@@ -1,0 +1,60 @@
+//! Single-device attention kernels: blocked (flash-style) vs explicit
+//! matrices, forward and backward, across masks. The blocked kernel's edge
+//! grows with sparsity because it skips fully-masked tiles.
+
+use burst_bench::attn_problem;
+use burst_kernels::{flash_backward, flash_forward, naive::naive_forward, AttnMask};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+/// Keep full-workspace bench runs short: the comparisons of interest are
+/// order-of-magnitude, not microsecond-precise.
+fn fast<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group(name);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2));
+    g.sample_size(10);
+    g
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = fast(c, "attention_forward");
+    for &n in &[128usize, 256, 512] {
+        let p = attn_problem(n, 64, 1);
+        let idx: Vec<usize> = (0..n).collect();
+        for (name, mask) in [
+            ("full", AttnMask::Full),
+            ("causal", AttnMask::Causal),
+            ("swa64", AttnMask::SlidingWindow { window: 64 }),
+        ] {
+            group.bench_with_input(BenchmarkId::new(format!("flash/{name}"), n), &n, |b, _| {
+                b.iter(|| flash_forward(&p.q, &p.k, &p.v, p.scale, &mask, &idx, &idx))
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("naive/causal", n), &n, |b, _| {
+            b.iter(|| naive_forward(&p.q, &p.k, &p.v, p.scale, &AttnMask::Causal, &idx, &idx))
+        });
+    }
+    group.finish();
+}
+
+fn bench_backward(c: &mut Criterion) {
+    let mut group = fast(c, "attention_backward");
+    for &n in &[128usize, 256] {
+        let p = attn_problem(n, 64, 2);
+        let idx: Vec<usize> = (0..n).collect();
+        let mask = AttnMask::Causal;
+        let fwd = flash_forward(&p.q, &p.k, &p.v, p.scale, &mask, &idx, &idx);
+        group.bench_with_input(BenchmarkId::new("flash/causal", n), &n, |b, _| {
+            b.iter(|| {
+                flash_backward(
+                    &p.q, &p.k, &p.v, &fwd.o, &p.grad_o, &fwd.lse, p.scale, &mask, &idx, &idx,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward, bench_backward);
+criterion_main!(benches);

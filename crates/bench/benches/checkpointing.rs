@@ -1,0 +1,70 @@
+//! Gradient-checkpointing strategies (Fig. 7's trade): real wall time of a
+//! full training step under each strategy. `None` is fastest,
+//! `Full` slowest, selective++ ≈ `None`, sequence-level in between — while
+//! memory orders the other way (asserted in the model crate tests).
+
+use burst_comm::{Topology, World};
+use burst_dattn::{Algo, CostModel, Layout};
+use burst_kernels::AttnMask;
+use burst_model::engine::{run_rank, Backend, EngineConfig};
+use burst_model::{AdamCfg, ModelConfig, Strategy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+/// Keep full-workspace bench runs short: the comparisons of interest are
+/// order-of-magnitude, not microsecond-precise.
+fn fast<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group(name);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2));
+    g.sample_size(10);
+    g
+}
+
+fn cfg(strategy: Strategy) -> EngineConfig {
+    EngineConfig {
+        model: ModelConfig {
+            layers: 3,
+            d_model: 32,
+            heads: 4,
+            d_ff: 64,
+            vocab: 61,
+            seq_len: 128,
+            rope: true,
+        },
+        backend: Backend::Ring(Algo::BurstFlat),
+        layout: Layout::Zigzag,
+        strategy,
+        mask: AttnMask::Causal,
+        cost: CostModel::free(),
+        fsdp: false,
+        offload_optimizer: false,
+        grad_accum: 1,
+        emulate_bf16: false,
+        overlap: burst_dattn::OverlapMode::Fine,
+        adam: AdamCfg::default(),
+        seed: 13,
+    }
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = fast(c, "checkpoint_strategies");
+    for (name, strategy) in [
+        ("none", Strategy::None),
+        ("full", Strategy::Full),
+        ("selective_pp", Strategy::SelectivePlusPlus),
+        ("seq_selective_0.5", Strategy::SeqSelective { rho: 0.5 }),
+    ] {
+        let engine = cfg(strategy);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| {
+                let world = World::new(Topology::single_node(4));
+                world.run_results(|comm| run_rank(comm, &engine, 1).0)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

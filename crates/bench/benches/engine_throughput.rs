@@ -1,0 +1,65 @@
+//! Whole-engine training-step throughput on the simulated cluster: real
+//! wall time of complete distributed steps (forward, backward, FSDP sync,
+//! Adam) per backend.
+
+use burst_comm::{Topology, World};
+use burst_dattn::{Algo, CostModel, Layout, OverlapMode};
+use burst_kernels::AttnMask;
+use burst_model::engine::{run_rank, Backend, EngineConfig};
+use burst_model::{AdamCfg, ModelConfig, Strategy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn cfg(backend: Backend) -> EngineConfig {
+    EngineConfig {
+        model: ModelConfig {
+            layers: 2,
+            d_model: 32,
+            heads: 4,
+            d_ff: 64,
+            vocab: 61,
+            seq_len: 64,
+            rope: true,
+        },
+        backend,
+        layout: Layout::Zigzag,
+        strategy: Strategy::SeqSelective { rho: 0.5 },
+        mask: AttnMask::Causal,
+        cost: CostModel::free(),
+        fsdp: true,
+        offload_optimizer: false,
+        grad_accum: 1,
+        emulate_bf16: false,
+        overlap: OverlapMode::Fine,
+        adam: AdamCfg::default(),
+        seed: 17,
+    }
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_step");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    for (name, backend, topo) in [
+        ("ring_flat", Backend::Ring(Algo::RingFlat), Topology::a800(2, 2)),
+        ("burst_topo", Backend::Ring(Algo::BurstTopo), Topology::a800(2, 2)),
+        ("ulysses", Backend::Ulysses, Topology::single_node(4)),
+        ("usp", Backend::Usp { ulysses_size: 2 }, Topology::a800(2, 2)),
+    ] {
+        let mut engine = cfg(backend);
+        if matches!(backend, Backend::Ulysses) {
+            engine.layout = Layout::Contiguous;
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| {
+                let world = World::new(topo.clone());
+                world.run_results(|comm| run_rank(comm, &engine, 1).0)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Fused LM head + loss (Algorithm 3) vs the materialised reference, across
+//! vocabulary sizes — the paper's §3.3 trade: same FLOPs, bounded memory,
+//! no recompute.
+
+use burst_kernels::lmhead::{fused_lm_loss_with_blocks, naive_lm_loss};
+use burst_tensor::randn_mat;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+/// Keep full-workspace bench runs short: the comparisons of interest are
+/// order-of-magnitude, not microsecond-precise.
+fn fast<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group(name);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2));
+    g.sample_size(10);
+    g
+}
+
+fn bench_lm_loss(c: &mut Criterion) {
+    let mut group = fast(c, "lm_head_loss");
+    let n = 256;
+    let d = 64;
+    for &vocab in &[512usize, 2048, 8192] {
+        let h = randn_mat(n, d, 0.8, 5);
+        let w = randn_mat(vocab, d, 0.8, 6);
+        let y: Vec<usize> = (0..n).map(|i| (i * 31) % vocab).collect();
+        group.bench_with_input(BenchmarkId::new("fused", vocab), &vocab, |b, _| {
+            b.iter(|| fused_lm_loss_with_blocks(&h, &w, &y, 64, 256))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", vocab), &vocab, |b, _| {
+            b.iter(|| naive_lm_loss(&h, &w, &y))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tile_sizes(c: &mut Criterion) {
+    let mut group = fast(c, "lm_head_tiles");
+    let (n, d, vocab) = (256usize, 64usize, 4096usize);
+    let h = randn_mat(n, d, 0.8, 7);
+    let w = randn_mat(vocab, d, 0.8, 8);
+    let y: Vec<usize> = (0..n).map(|i| (i * 17) % vocab).collect();
+    for &bs in &[16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(bs), &bs, |b, &bs| {
+            b.iter(|| fused_lm_loss_with_blocks(&h, &w, &y, bs, 256))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lm_loss, bench_tile_sizes);
+criterion_main!(benches);

@@ -1,0 +1,192 @@
+//! Export every model-evaluated experiment as one JSON document (for
+//! plotting / downstream analysis):
+//!
+//! ```text
+//! cargo run --release -p burst-bench --bin export_json > results.json
+//! ```
+
+use burst_kernels::AttnMask;
+use burst_perf::endtoend::{attention_only, evaluate, rho_sweep, BurstOpts, Method};
+use burst_perf::machine::{Cluster, PaperModel};
+use burst_perf::memory::{ckpt_bytes_per_layer, lm_head_bytes, CkptKind, LmHeadKind};
+use burst_perf::{commtime, flops};
+use serde_json::{json, Value};
+
+fn method_row(method: &Method, c: &Cluster, m: &PaperModel, seq: usize) -> Value {
+    match evaluate(method, c, m, &AttnMask::Causal, seq) {
+        Ok(e) => json!({
+            "method": method.name(),
+            "tgs": e.tgs,
+            "mfu": e.mfu,
+            "mem_gb": e.mem_gb,
+            "step_time_s": e.step_time,
+            "comm_exposed_s": e.comm_exposed,
+        }),
+        Err(err) => json!({
+            "method": method.name(),
+            "infeasible": format!("{err}"),
+        }),
+    }
+}
+
+fn main() {
+    let c32 = Cluster::a800(4, 8);
+    let c64 = Cluster::a800(8, 8);
+    let m7 = PaperModel::llama_7b();
+    let m14 = PaperModel::llama_14b();
+
+    let fig2: Vec<Value> = (15..=20)
+        .map(|e| {
+            let n = 1usize << e;
+            json!({
+                "seq": n,
+                "attention_share": flops::attention_time_fraction(&c32, &m7, n),
+            })
+        })
+        .collect();
+
+    let tab1: Vec<Value> = [2usize, 4, 8]
+        .iter()
+        .flat_map(|&nodes| {
+            let c = Cluster::a800(nodes, 8);
+            [19usize, 20, 21].iter().map(move |&e| {
+                let t = commtime::layer_comm_times(&c, 1 << e, m14.d_model);
+                json!({
+                    "nodes": nodes,
+                    "seq": 1usize << e,
+                    "ring_s": t.ring,
+                    "double_ring_s": t.double_ring,
+                    "burst_s": t.burst,
+                })
+            })
+        })
+        .collect();
+
+    let fig6: Vec<Value> = rho_sweep(&c32, &m14, &AttnMask::Causal, 1 << 20, 10)
+        .into_iter()
+        .map(|(rho, e)| json!({"rho": rho, "tgs": e.tgs, "mfu": e.mfu, "mem_gb": e.mem_gb}))
+        .collect();
+
+    let fig7: Vec<Value> = (16..=20)
+        .map(|e| {
+            let local = (1u64 << e) as f64 / 32.0;
+            json!({
+                "seq": 1u64 << e,
+                "full_gb": m14.layers as f64 * ckpt_bytes_per_layer(&m14, local, CkptKind::Full) / 1e9,
+                "seq_selective_gb": m14.layers as f64
+                    * ckpt_bytes_per_layer(&m14, local, CkptKind::SeqSelective { rho: 0.5 }) / 1e9,
+                "selective_pp_gb": m14.layers as f64
+                    * ckpt_bytes_per_layer(&m14, local, CkptKind::SelectivePP) / 1e9,
+                "none_gb": m14.layers as f64 * ckpt_bytes_per_layer(&m14, local, CkptKind::None) / 1e9,
+            })
+        })
+        .collect();
+
+    let fig8: Vec<Value> = [13usize, 15, 17, 19, 20]
+        .iter()
+        .map(|&e| {
+            let n = (1usize << e) as f64;
+            json!({
+                "seq": 1usize << e,
+                "llama2_gb": lm_head_bytes(&m7, n, LmHeadKind::Chunked) / 1e9,
+                "llama3_gb": lm_head_bytes(&PaperModel::llama3_8b(), n, LmHeadKind::Chunked) / 1e9,
+                "fused_gb": lm_head_bytes(&PaperModel::llama3_8b(), n, LmHeadKind::Fused) / 1e9,
+            })
+        })
+        .collect();
+
+    let fig12: Vec<Value> = [
+        ("7B@2M/32", &m7, 2usize << 20, &c32),
+        ("14B@1M/32", &m14, 1 << 20, &c32),
+        ("7B@4M/64", &m7, 4 << 20, &c64),
+        ("14B@2M/64", &m14, 2 << 20, &c64),
+    ]
+    .into_iter()
+    .map(|(name, m, seq, c)| {
+        json!({
+            "setting": name,
+            "methods": Method::all().iter().map(|mm| method_row(mm, c, m, seq)).collect::<Vec<_>>(),
+        })
+    })
+    .collect();
+
+    let fig14: Vec<Value> = [17usize, 18, 19, 20]
+        .iter()
+        .map(|&e| {
+            let n = 1usize << e;
+            let rows: Vec<Value> = Method::all()
+                .iter()
+                .map(|mm| match attention_only(mm, &c32, &m14, &AttnMask::Causal, n) {
+                    Ok(t) => json!({"method": mm.name(), "time_s": t}),
+                    Err(err) => json!({"method": mm.name(), "infeasible": format!("{err}")}),
+                })
+                .collect();
+            json!({"seq": n, "methods": rows})
+        })
+        .collect();
+
+    let tab2: Vec<Value> = [
+        ("baseline", BurstOpts::baseline()),
+        (
+            "backward_opt",
+            BurstOpts {
+                backward_opt: true,
+                ..BurstOpts::baseline()
+            },
+        ),
+        (
+            "topo_ring",
+            BurstOpts {
+                backward_opt: true,
+                topo_ring: true,
+                ..BurstOpts::baseline()
+            },
+        ),
+        (
+            "fused_head",
+            BurstOpts {
+                backward_opt: true,
+                topo_ring: true,
+                fused_lm_head: true,
+                ckpt: CkptKind::Full,
+            },
+        ),
+        (
+            "seq_selective",
+            BurstOpts {
+                backward_opt: true,
+                topo_ring: true,
+                fused_lm_head: true,
+                ckpt: CkptKind::SeqSelective { rho: 0.5 },
+            },
+        ),
+        (
+            "selective_pp",
+            BurstOpts {
+                backward_opt: true,
+                topo_ring: true,
+                fused_lm_head: true,
+                ckpt: CkptKind::SelectivePP,
+            },
+        ),
+    ]
+    .into_iter()
+    .map(|(name, o)| {
+        let e = evaluate(&Method::BurstEngine(o), &c32, &m14, &AttnMask::Causal, 1 << 20).unwrap();
+        json!({"config": name, "tgs": e.tgs, "mfu": e.mfu, "mem_gb": e.mem_gb})
+    })
+    .collect();
+
+    let doc = json!({
+        "source": "burstengine-rs analytical models (see EXPERIMENTS.md for calibration)",
+        "fig2_attention_share": fig2,
+        "tab1_comm_time": tab1,
+        "fig6_rho_sweep": fig6,
+        "fig7_ckpt_memory": fig7,
+        "fig8_lmhead_memory": fig8,
+        "fig12_13_end_to_end": fig12,
+        "fig14_attention_only": fig14,
+        "tab2_ablation": tab2,
+    });
+    println!("{}", serde_json::to_string_pretty(&doc).unwrap());
+}

@@ -1,0 +1,498 @@
+//! Regenerate every figure and table of the paper's evaluation section.
+//!
+//! ```text
+//! cargo run --release -p burst-bench --bin tables            # everything
+//! cargo run --release -p burst-bench --bin tables -- fig12   # one item
+//! ```
+//!
+//! Paper-scale rows come from the analytical models of `burst-perf`
+//! (machine constants of the A800 testbed); small-scale cross-checks run
+//! the executable cluster simulator. Paper-reported values are printed
+//! alongside for comparison — see EXPERIMENTS.md for the full
+//! paper-vs-model record.
+
+use burst_comm::{Topology, World};
+use burst_dattn::{run_attention, Algo, CostModel, Layout};
+use burst_kernels::AttnMask;
+use burst_perf::commtime;
+use burst_perf::endtoend::{
+    attention_only, evaluate, evaluate_intra_node_cp, BurstOpts, Method,
+};
+use burst_perf::flops;
+use burst_perf::machine::{Cluster, PaperModel};
+use burst_perf::memory::{ckpt_bytes_per_layer, lm_head_bytes, CkptKind, LmHeadKind};
+use burst_tensor::randn_mat;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let all = arg == "all";
+    if all || arg == "fig2" {
+        fig2();
+    }
+    if all || arg == "tab1" {
+        tab1();
+    }
+    if all || arg == "fig6" {
+        fig6();
+    }
+    if all || arg == "fig7" {
+        fig7();
+    }
+    if all || arg == "fig8" {
+        fig8();
+    }
+    if all || arg == "fig12" || arg == "fig13" {
+        fig12_13();
+    }
+    if all || arg == "fig14" {
+        fig14();
+    }
+    if all || arg == "tab2" {
+        tab2();
+    }
+    if all || arg == "tab3" {
+        tab3();
+    }
+    if all || arg == "tab4" {
+        tab4();
+    }
+    if all || arg == "tab5" {
+        tab5();
+    }
+}
+
+fn header(title: &str) {
+    println!("\n==== {title} ====");
+}
+
+/// Fig. 2: share of compute time spent in attention vs sequence length.
+fn fig2() {
+    header("Figure 2: attention share of end-to-end compute (7B model)");
+    let c = Cluster::a800(4, 8);
+    let m = PaperModel::llama_7b();
+    println!("{:>10}  {:>14}", "seq", "attention %");
+    for exp in [15usize, 16, 17, 18, 19, 20] {
+        let n = 1usize << exp;
+        let f = flops::attention_time_fraction(&c, &m, n);
+        println!("{:>10}  {:>13.1}%", fmt_tokens(n), f * 100.0);
+    }
+    println!("paper: attention dominates beyond 128K, ~90% at 1M");
+}
+
+/// Table 1: communication time formulas, evaluated on the testbed.
+fn tab1() {
+    header("Table 1: per-layer attention communication time (fwd+bwd)");
+    let m = PaperModel::llama_14b();
+    println!(
+        "{:>8} {:>8}  {:>12} {:>12} {:>12}  {:>12}",
+        "nodes", "seq", "Ring", "DoubleRing", "Burst", "Ring/Burst"
+    );
+    for nodes in [2usize, 4, 8] {
+        let c = Cluster::a800(nodes, 8);
+        for exp in [19usize, 20, 21] {
+            let n = 1usize << exp;
+            let t = commtime::layer_comm_times(&c, n, m.d_model);
+            println!(
+                "{:>8} {:>8}  {:>11.1}ms {:>11.1}ms {:>11.1}ms  {:>11.2}x",
+                nodes,
+                fmt_tokens(n),
+                t.ring * 1e3,
+                t.double_ring * 1e3,
+                t.burst * 1e3,
+                t.ring / t.burst
+            );
+        }
+    }
+    println!("paper: Burst < DoubleRing < Ring whenever B_intra > B_inter");
+}
+
+/// Fig. 6: the sequence-level selective checkpointing split-point sweep —
+/// the trade-off the paper's ρ = 0.5 choice sits on.
+fn fig6() {
+    header("Figure 6: seq-selective checkpointing split point (14B @ 1M, 32 GPUs)");
+    let c = Cluster::a800(4, 8);
+    let m = PaperModel::llama_14b();
+    println!("{:>6}  {:>9} {:>8} {:>9}", "rho", "TGS", "MFU", "mem");
+    for (rho, e) in burst_perf::endtoend::rho_sweep(&c, &m, &AttnMask::Causal, 1 << 20, 8) {
+        println!(
+            "{:>6.3}  {:>9.2} {:>7.2}% {:>8.2}G",
+            rho,
+            e.tgs,
+            e.mfu * 100.0,
+            e.mem_gb
+        );
+    }
+    println!("paper: rho=0.5 balances the +14% speedup against ++'s memory");
+}
+
+/// Fig. 7: checkpointing memory per strategy vs sequence length.
+fn fig7() {
+    header("Figure 7: gradient-checkpointing memory (14B, 32 GPUs)");
+    let m = PaperModel::llama_14b();
+    println!(
+        "{:>8}  {:>10} {:>12} {:>14} {:>10}",
+        "seq", "full", "seq-sel(0.5)", "selective++", "none"
+    );
+    for exp in [16usize, 17, 18, 19, 20] {
+        let n = 1usize << exp;
+        let local = n as f64 / 32.0;
+        let gb = |k: CkptKind| m.layers as f64 * ckpt_bytes_per_layer(&m, local, k) / 1e9;
+        println!(
+            "{:>8}  {:>9.2}G {:>11.2}G {:>13.2}G {:>9.1}G",
+            fmt_tokens(n),
+            gb(CkptKind::Full),
+            gb(CkptKind::SeqSelective { rho: 0.5 }),
+            gb(CkptKind::SelectivePP),
+            gb(CkptKind::None),
+        );
+    }
+    println!("paper: seq-selective halves selective++'s extra storage");
+}
+
+/// Fig. 8: LM-head logits memory, LLaMA-1/2 vs LLaMA-3 vocabulary.
+fn fig8() {
+    header("Figure 8: LM-head logits memory vs sequence length");
+    println!(
+        "{:>8}  {:>14} {:>14} {:>12}",
+        "seq", "LLaMA-2 (32K)", "LLaMA-3 (128K)", "fused (128K)"
+    );
+    let l2 = PaperModel::llama_7b();
+    let l3 = PaperModel::llama3_8b();
+    for exp in [13usize, 15, 17, 19, 20] {
+        let n = (1usize << exp) as f64;
+        println!(
+            "{:>8}  {:>13.2}G {:>13.2}G {:>11.3}G",
+            fmt_tokens(1 << exp),
+            lm_head_bytes(&l2, n, LmHeadKind::Chunked) / 1e9,
+            lm_head_bytes(&l3, n, LmHeadKind::Chunked) / 1e9,
+            lm_head_bytes(&l3, n, LmHeadKind::Fused) / 1e9,
+        );
+    }
+    println!("paper: memory grows linearly in N and 4x with the 128K vocabulary");
+}
+
+/// Figs. 12 + 13: end-to-end TGS/MFU and peak memory, all methods.
+fn fig12_13() {
+    header("Figures 12-13: end-to-end training (TGS / MFU / peak GB)");
+    let causal = AttnMask::Causal;
+    let settings = [
+        ("7B @ 2M, 32 GPUs", PaperModel::llama_7b(), 2usize << 20, 4usize),
+        ("14B @ 1M, 32 GPUs", PaperModel::llama_14b(), 1 << 20, 4),
+        ("7B @ 4M, 64 GPUs", PaperModel::llama_7b(), 4 << 20, 8),
+        ("14B @ 2M, 64 GPUs", PaperModel::llama_14b(), 2 << 20, 8),
+    ];
+    for (name, model, seq, nodes) in settings {
+        let c = Cluster::a800(nodes, 8);
+        println!("-- {name} --");
+        for method in Method::all() {
+            match evaluate(&method, &c, &model, &causal, seq) {
+                Ok(e) => println!(
+                    "  {:<22} TGS {:>8.2}   MFU {:>5.1}%   mem {:>6.2} GB",
+                    method.name(),
+                    e.tgs,
+                    e.mfu * 100.0,
+                    e.mem_gb
+                ),
+                Err(err) => println!("  {:<22} {err}", method.name()),
+            }
+        }
+    }
+    println!("paper: BurstEngine 1.19x/1.15x over USP at 32 GPUs; lowest memory;");
+    println!("       only BurstEngine completes the 64-GPU settings");
+}
+
+/// Fig. 14: attention-only time vs sequence length (model) plus a
+/// small-scale simulator cross-check of the ordering.
+fn fig14() {
+    header("Figure 14: distributed attention fwd+bwd time (14B config, 32 GPUs)");
+    let c = Cluster::a800(4, 8);
+    let m = PaperModel::llama_14b();
+    let causal = AttnMask::Causal;
+    let methods = [
+        Method::MegatronCp,
+        Method::DeepSpeedUlysses,
+        Method::LoongTrainDoubleRing,
+        Method::LoongTrainUsp,
+        Method::BurstEngine(BurstOpts::full()),
+    ];
+    print!("{:>8}", "seq");
+    for method in &methods {
+        print!("  {:>21}", method.name());
+    }
+    println!();
+    for exp in [17usize, 18, 19, 20] {
+        let n = 1usize << exp;
+        print!("{:>8}", fmt_tokens(n));
+        for method in &methods {
+            match attention_only(method, &c, &m, &causal, n) {
+                Ok(t) => print!("  {:>20.1}ms", t * 1e3),
+                Err(e) => print!("  {:>21}", format!("{e}")),
+            }
+        }
+        println!();
+    }
+    println!("paper: Burst 1.05x over USP, 1.33x over DoubleRing at 1M;");
+    println!("       Megatron-CP OOM beyond 256K");
+
+    // Simulator cross-check: measured virtual time at reduced scale.
+    println!("\n  simulator cross-check (2x4 simulated GPUs, 64x16 shards):");
+    let topo = Topology::a800(2, 4);
+    let mask = AttnMask::Causal;
+    let (n, d) = (64usize, 16usize);
+    let q = randn_mat(n, d, 0.7, 1);
+    let k = randn_mat(n, d, 0.7, 2);
+    let v = randn_mat(n, d, 0.7, 3);
+    let go = randn_mat(n, d, 0.8, 4);
+    for algo in [Algo::RingFlat, Algo::DoubleRing, Algo::BurstTopo] {
+        let world = World::new(topo.clone());
+        let (_, makespan, _) = world.run_timed(|comm| {
+            let idx = Layout::Zigzag.indices(n, 8, comm.rank());
+            run_attention(
+                algo,
+                comm,
+                &q.gather_rows(&idx),
+                &k.gather_rows(&idx),
+                &v.gather_rows(&idx),
+                &go.gather_rows(&idx),
+                1.0 / (d as f32).sqrt(),
+                &mask,
+                Layout::Zigzag,
+                n,
+                &CostModel::free(),
+            );
+        });
+        println!("    {algo:?}: {:.2} us (virtual, comm-bound)", makespan * 1e6);
+    }
+}
+
+/// Table 2: the ablation study.
+fn tab2() {
+    header("Table 2: BurstEngine ablation (14B @ 1M, 32 GPUs)");
+    let c = Cluster::a800(4, 8);
+    let m = PaperModel::llama_14b();
+    let causal = AttnMask::Causal;
+    let rows: Vec<(&str, BurstOpts, (f64, f64, f64))> = vec![
+        ("none (baseline)", BurstOpts::baseline(), (36.75, 83.79, 48.47)),
+        (
+            "+ backward comm opt",
+            BurstOpts {
+                backward_opt: true,
+                ..BurstOpts::baseline()
+            },
+            (38.37, 87.48, 49.31),
+        ),
+        (
+            "+ topo-aware ring",
+            BurstOpts {
+                backward_opt: true,
+                topo_ring: true,
+                ..BurstOpts::baseline()
+            },
+            (41.69, 95.06, 48.97),
+        ),
+        (
+            "+ fused LM head",
+            BurstOpts {
+                backward_opt: true,
+                topo_ring: true,
+                fused_lm_head: true,
+                ckpt: CkptKind::Full,
+            },
+            (41.58, 94.81, 41.45),
+        ),
+        (
+            "+ seq-selective ckpt",
+            BurstOpts {
+                backward_opt: true,
+                topo_ring: true,
+                fused_lm_head: true,
+                ckpt: CkptKind::SeqSelective { rho: 0.5 },
+            },
+            (47.72, 108.82, 45.93),
+        ),
+        (
+            "selective++ instead",
+            BurstOpts {
+                backward_opt: true,
+                topo_ring: true,
+                fused_lm_head: true,
+                ckpt: CkptKind::SelectivePP,
+            },
+            (51.68, 117.83, 53.91),
+        ),
+    ];
+    println!(
+        "{:<22} {:>9} {:>9} {:>9}   {:>9} {:>9} {:>9}",
+        "configuration", "MFU", "TGS", "mem", "paperMFU", "paperTGS", "paperGB"
+    );
+    for (name, opts, (p_mfu, p_tgs, p_mem)) in rows {
+        let e = evaluate(&Method::BurstEngine(opts), &c, &m, &causal, 1 << 20).unwrap();
+        println!(
+            "{:<22} {:>8.2}% {:>9.2} {:>8.2}G   {:>8.2}% {:>9.2} {:>8.2}G",
+            name,
+            e.mfu * 100.0,
+            e.tgs,
+            e.mem_gb,
+            p_mfu,
+            p_tgs,
+            p_mem
+        );
+    }
+}
+
+/// Table 3: sparse-attention workload balance.
+fn tab3() {
+    header("Table 3: sparse attention integration (14B @ 1M, 32 GPUs)");
+    let c = Cluster::a800(4, 8);
+    let m = PaperModel::llama_14b();
+    let burst = Method::BurstEngine(BurstOpts::full());
+    let masking = evaluate(&burst, &c, &m, &AttnMask::Full, 1 << 20).unwrap();
+    let causal = evaluate(&burst, &c, &m, &AttnMask::Causal, 1 << 20).unwrap();
+    let swa = evaluate(
+        &burst,
+        &c,
+        &m,
+        &AttnMask::SlidingWindow { window: 32 << 10 },
+        1 << 20,
+    )
+    .unwrap();
+    println!("{:<22} {:>9} {:>9}   {:>14}", "implementation", "TGS", "speedup", "paper speedup");
+    println!(
+        "{:<22} {:>9.2} {:>8.2}x   {:>13.2}x",
+        "attention masking", masking.tgs, 1.0, 1.0
+    );
+    println!(
+        "{:<22} {:>9.2} {:>8.2}x   {:>13.2}x",
+        "causal (zigzag)", causal.tgs, causal.tgs / masking.tgs, 1.72
+    );
+    println!(
+        "{:<22} {:>9.2} {:>8.2}x   {:>13.2}x",
+        "SWA 32K (block)", swa.tgs, swa.tgs / masking.tgs, 3.68
+    );
+    println!("note: the model realises more of SWA's theoretical saving than the");
+    println!("      paper's kernels (see EXPERIMENTS.md)");
+
+    // Simulator cross-check: measured makespans under a compute-bound model.
+    println!("\n  simulator cross-check (8 simulated GPUs, 64-token sequence):");
+    let topo = Topology::single_node(8);
+    let (n, d) = (64usize, 8usize);
+    let q = randn_mat(n, d, 0.7, 11);
+    let k = randn_mat(n, d, 0.7, 12);
+    let v = randn_mat(n, d, 0.7, 13);
+    let go = randn_mat(n, d, 0.8, 14);
+    let cost = CostModel {
+        peak_flops: 1e8,
+        efficiency: 1.0,
+    };
+    let mut base = 0.0;
+    for (name, mask, layout) in [
+        ("masking (full)", AttnMask::Full, Layout::Contiguous),
+        ("causal zigzag", AttnMask::Causal, Layout::Zigzag),
+        (
+            "SWA striped",
+            AttnMask::SlidingWindow { window: 16 },
+            Layout::Striped,
+        ),
+    ] {
+        let world = World::new(topo.clone());
+        let (_, makespan, _) = world.run_timed(|comm| {
+            let idx = layout.indices(n, 8, comm.rank());
+            run_attention(
+                Algo::BurstFlat,
+                comm,
+                &q.gather_rows(&idx),
+                &k.gather_rows(&idx),
+                &v.gather_rows(&idx),
+                &go.gather_rows(&idx),
+                1.0 / (d as f32).sqrt(),
+                &mask,
+                layout,
+                n,
+                &cost,
+            );
+        });
+        if base == 0.0 {
+            base = makespan;
+        }
+        println!(
+            "    {:<16} {:>8.2} us  ({:.2}x)",
+            name,
+            makespan * 1e6,
+            base / makespan
+        );
+    }
+}
+
+/// Table 4: inter-node scalability.
+fn tab4() {
+    header("Table 4: inter-node scaling (14B, 32K tokens/GPU)");
+    let m = PaperModel::llama_14b();
+    let causal = AttnMask::Causal;
+    let paper = [(2usize, 53.1, 223.25, 63.13), (4, 53.2, 118.36, 53.96), (8, 52.7, 60.49, 50.96)];
+    println!(
+        "{:>6} {:>8}  {:>7} {:>9} {:>8}   {:>8} {:>9} {:>8}",
+        "nodes", "seq", "MFU", "TGS", "mem", "paperMFU", "paperTGS", "paperGB"
+    );
+    for (nodes, p_mfu, p_tgs, p_mem) in paper {
+        let c = Cluster::a800(nodes, 8);
+        let n = 32768 * c.world();
+        let e = evaluate(
+            &Method::BurstEngine(BurstOpts::full()),
+            &c,
+            &m,
+            &causal,
+            n,
+        )
+        .unwrap();
+        println!(
+            "{:>6} {:>8}  {:>6.1}% {:>9.2} {:>7.2}G   {:>7.1}% {:>9.2} {:>7.2}G",
+            nodes,
+            fmt_tokens(n),
+            e.mfu * 100.0,
+            e.tgs,
+            e.mem_gb,
+            p_mfu,
+            p_tgs,
+            p_mem
+        );
+    }
+}
+
+/// Table 5: intra-node context-parallel scaling.
+fn tab5() {
+    header("Table 5: intra-node CP scaling (14B, 32K tokens/GPU, 8 GPUs)");
+    let m = PaperModel::llama_14b();
+    let causal = AttnMask::Causal;
+    let paper = [
+        (1usize, 47.34, 1201.14, 57.71),
+        (2, 48.85, 928.24, 55.18),
+        (4, 50.55, 639.43, 55.58),
+        (8, 51.90, 393.44, 53.56),
+    ];
+    println!(
+        "{:>4} {:>8}  {:>7} {:>9} {:>8}   {:>8} {:>9} {:>8}",
+        "CP", "seq", "MFU", "TGS", "mem", "paperMFU", "paperTGS", "paperGB"
+    );
+    for (cp, p_mfu, p_tgs, p_mem) in paper {
+        let e = evaluate_intra_node_cp(8, cp, &m, &causal, 32768, BurstOpts::full()).unwrap();
+        println!(
+            "{:>4} {:>8}  {:>6.1}% {:>9.2} {:>7.2}G   {:>7.1}% {:>9.2} {:>7.2}G",
+            cp,
+            fmt_tokens(32768 * cp),
+            e.mfu * 100.0,
+            e.tgs,
+            e.mem_gb,
+            p_mfu,
+            p_tgs,
+            p_mem
+        );
+    }
+}
+
+fn fmt_tokens(n: usize) -> String {
+    if n >= 1 << 20 {
+        format!("{}M", n >> 20)
+    } else {
+        format!("{}K", n >> 10)
+    }
+}

@@ -1,0 +1,59 @@
+//! # burst-bench
+//!
+//! Shared workload builders for the Criterion benches and the `tables`
+//! harness (`cargo run -p burst-bench --bin tables`), which regenerates
+//! every figure and table in the paper's evaluation section — Figs. 2, 7,
+//! 8, 12, 13, 14 and Tables 1–5 — from the analytical models of
+//! `burst-perf`, cross-checked where feasible against the executable
+//! simulator of `burst-comm`/`burst-dattn` at reduced scale.
+
+use burst_tensor::{randn_mat, Mat};
+
+/// A deterministic attention problem: `(Q, K, V, ∇O, scale)`.
+pub struct AttnProblem {
+    pub q: Mat,
+    pub k: Mat,
+    pub v: Mat,
+    pub grad_o: Mat,
+    pub scale: f32,
+}
+
+/// Build a seeded attention problem of `n × d`.
+pub fn attn_problem(n: usize, d: usize, seed: u64) -> AttnProblem {
+    AttnProblem {
+        q: randn_mat(n, d, 0.7, seed),
+        k: randn_mat(n, d, 0.7, seed + 1),
+        v: randn_mat(n, d, 0.7, seed + 2),
+        grad_o: randn_mat(n, d, 0.8, seed + 3),
+        scale: 1.0 / (d as f32).sqrt(),
+    }
+}
+
+/// Render one row of a fixed-width text table.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn problem_is_seeded() {
+        let a = attn_problem(8, 4, 1);
+        let b = attn_problem(8, 4, 1);
+        assert_eq!(a.q, b.q);
+        assert_eq!(a.scale, 0.5);
+    }
+
+    #[test]
+    fn row_pads_right_aligned() {
+        let r = row(&["a".into(), "bb".into()], &[3, 4]);
+        assert_eq!(r, "  a    bb");
+    }
+}

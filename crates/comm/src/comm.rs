@@ -1,0 +1,450 @@
+//! The per-rank [`Communicator`]: P2P messaging, collectives, virtual clock.
+
+use crate::stats::CommStats;
+use crate::topology::Topology;
+use crate::trace::TraceEvent;
+use burst_tensor::Mat;
+use crossbeam::channel::{Receiver, Sender};
+
+/// A message payload. Real data moves between ranks so distributed
+/// algorithms are numerically exact end-to-end.
+#[derive(Debug, Clone)]
+pub enum MsgData {
+    Mat(Mat),
+    Vec(Vec<f32>),
+    Scalar(f64),
+    Empty,
+}
+
+impl MsgData {
+    /// Logical element count used for wire-time modeling.
+    pub fn elems(&self) -> usize {
+        match self {
+            MsgData::Mat(m) => m.len(),
+            MsgData::Vec(v) => v.len(),
+            MsgData::Scalar(_) => 1,
+            MsgData::Empty => 0,
+        }
+    }
+}
+
+/// A message in flight: payload plus its causal virtual arrival time.
+#[derive(Debug, Clone)]
+pub struct Msg {
+    pub arrival: f64,
+    pub data: MsgData,
+}
+
+/// One rank's endpoint into the simulated cluster.
+///
+/// Sends are non-blocking in virtual time (NCCL multi-stream style): the
+/// sender's clock does not advance, but the message occupies the sender's
+/// egress port (NVLink port intra-node, the GPU's IB NIC inter-node), so
+/// back-to-back sends through one port serialise. A receive advances the
+/// local clock to the message's arrival time — communication posted early
+/// and consumed late therefore overlaps with compute automatically.
+pub struct Communicator {
+    rank: usize,
+    topo: Topology,
+    tx: Vec<Sender<Msg>>,
+    rx: Vec<Receiver<Msg>>,
+    clock: f64,
+    intra_port_free: f64,
+    nic_free: f64,
+    stats: CommStats,
+    trace: Option<Vec<TraceEvent>>,
+}
+
+impl Communicator {
+    pub(crate) fn new(
+        rank: usize,
+        topo: Topology,
+        tx: Vec<Sender<Msg>>,
+        rx: Vec<Receiver<Msg>>,
+    ) -> Self {
+        Communicator {
+            rank,
+            topo,
+            tx,
+            rx,
+            clock: 0.0,
+            intra_port_free: 0.0,
+            nic_free: 0.0,
+            stats: CommStats::default(),
+            trace: None,
+        }
+    }
+
+    /// Start recording a virtual-time event trace (see [`crate::trace`]).
+    pub fn start_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Stop tracing and return the recorded events.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.trace.take().unwrap_or_default()
+    }
+
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    #[inline]
+    pub fn world_size(&self) -> usize {
+        self.topo.world_size()
+    }
+
+    #[inline]
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    #[inline]
+    pub fn node(&self) -> usize {
+        self.topo.node_of(self.rank)
+    }
+
+    #[inline]
+    pub fn local_rank(&self) -> usize {
+        self.topo.local_rank(self.rank)
+    }
+
+    /// Current virtual time on this rank, in seconds.
+    #[inline]
+    pub fn time(&self) -> f64 {
+        self.clock
+    }
+
+    /// Communication/compute counters accumulated so far.
+    #[inline]
+    pub fn stats(&self) -> CommStats {
+        self.stats
+    }
+
+    /// Model `seconds` of local compute (advances the virtual clock).
+    pub fn advance_compute(&mut self, seconds: f64) {
+        debug_assert!(seconds >= 0.0, "negative compute time");
+        if seconds > 0.0 {
+            if let Some(trace) = &mut self.trace {
+                trace.push(TraceEvent::Compute {
+                    start: self.clock,
+                    end: self.clock + seconds,
+                });
+            }
+        }
+        self.clock += seconds;
+        self.stats.compute_time += seconds;
+    }
+
+    /// Non-blocking send of `data` to `dst`.
+    #[track_caller]
+    pub fn send(&mut self, dst: usize, data: MsgData) {
+        assert!(dst < self.world_size(), "send: dst {dst} out of range");
+        assert_ne!(dst, self.rank, "send: self-send is not supported");
+        let elems = data.elems();
+        let bytes = self.topo.wire_bytes(elems);
+        let link = self.topo.link(self.rank, dst);
+        let port_free = if self.topo.same_node(self.rank, dst) {
+            &mut self.intra_port_free
+        } else {
+            &mut self.nic_free
+        };
+        let depart = self.clock.max(*port_free);
+        let tx_time = link.serialization(bytes);
+        *port_free = depart + tx_time;
+        let arrival = depart + link.latency + tx_time;
+        if self.topo.same_node(self.rank, dst) {
+            self.stats.intra_msgs += 1;
+            self.stats.intra_elems += elems as u64;
+            self.stats.intra_bytes += bytes;
+        } else {
+            self.stats.inter_msgs += 1;
+            self.stats.inter_elems += elems as u64;
+            self.stats.inter_bytes += bytes;
+        }
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent::Send {
+                dst,
+                elems,
+                depart,
+                arrival,
+                inter_node: !self.topo.same_node(self.rank, dst),
+            });
+        }
+        self.tx[dst]
+            .send(Msg { arrival, data })
+            .expect("send: peer rank terminated");
+    }
+
+    /// Blocking receive of the next message from `src`. Advances the clock
+    /// to the message's causal arrival time.
+    #[track_caller]
+    pub fn recv(&mut self, src: usize) -> MsgData {
+        assert!(src < self.world_size(), "recv: src {src} out of range");
+        assert_ne!(src, self.rank, "recv: self-recv is not supported");
+        let msg = self.rx[src].recv().expect("recv: peer rank terminated");
+        let posted = self.clock;
+        if msg.arrival > self.clock {
+            self.stats.wait_time += msg.arrival - self.clock;
+            self.clock = msg.arrival;
+        }
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent::Recv {
+                src,
+                elems: msg.data.elems(),
+                posted,
+                completed: self.clock,
+            });
+        }
+        msg.data
+    }
+
+    // ----- typed helpers ---------------------------------------------------
+
+    pub fn send_mat(&mut self, dst: usize, m: &Mat) {
+        self.send(dst, MsgData::Mat(m.clone()));
+    }
+
+    #[track_caller]
+    pub fn recv_mat(&mut self, src: usize) -> Mat {
+        match self.recv(src) {
+            MsgData::Mat(m) => m,
+            other => panic!("recv_mat from {src}: got {other:?}"),
+        }
+    }
+
+    pub fn send_vec(&mut self, dst: usize, v: &[f32]) {
+        self.send(dst, MsgData::Vec(v.to_vec()));
+    }
+
+    #[track_caller]
+    pub fn recv_vec(&mut self, src: usize) -> Vec<f32> {
+        match self.recv(src) {
+            MsgData::Vec(v) => v,
+            other => panic!("recv_vec from {src}: got {other:?}"),
+        }
+    }
+
+    pub fn send_scalar(&mut self, dst: usize, s: f64) {
+        self.send(dst, MsgData::Scalar(s));
+    }
+
+    #[track_caller]
+    pub fn recv_scalar(&mut self, src: usize) -> f64 {
+        match self.recv(src) {
+            MsgData::Scalar(s) => s,
+            other => panic!("recv_scalar from {src}: got {other:?}"),
+        }
+    }
+
+    // ----- ring helpers ----------------------------------------------------
+
+    #[inline]
+    pub fn next_rank(&self) -> usize {
+        self.topo.next_rank(self.rank)
+    }
+
+    #[inline]
+    pub fn prev_rank(&self) -> usize {
+        self.topo.prev_rank(self.rank)
+    }
+
+    #[inline]
+    pub fn next_in_node(&self) -> usize {
+        self.topo.next_in_node(self.rank)
+    }
+
+    #[inline]
+    pub fn prev_in_node(&self) -> usize {
+        self.topo.prev_in_node(self.rank)
+    }
+
+    #[inline]
+    pub fn peer_next_node(&self) -> usize {
+        self.topo.peer_next_node(self.rank)
+    }
+
+    #[inline]
+    pub fn peer_prev_node(&self) -> usize {
+        self.topo.peer_prev_node(self.rank)
+    }
+
+    /// One synchronous step of the flat global ring: send `data` to the next
+    /// rank, receive the previous rank's message.
+    pub fn ring_shift(&mut self, data: MsgData) -> MsgData {
+        self.send(self.next_rank(), data);
+        self.recv(self.prev_rank())
+    }
+
+    // ----- collectives -----------------------------------------------------
+
+    /// Global barrier: gather-to-0 + broadcast of empty messages. After it
+    /// returns, every rank's clock equals the global maximum (plus the
+    /// barrier's own latency cost).
+    pub fn barrier(&mut self) {
+        let g = self.world_size();
+        if g == 1 {
+            return;
+        }
+        if self.rank == 0 {
+            for src in 1..g {
+                let _ = self.recv(src);
+            }
+            for dst in 1..g {
+                self.send(dst, MsgData::Empty);
+            }
+        } else {
+            self.send(0, MsgData::Empty);
+            let _ = self.recv(0);
+        }
+    }
+
+    /// Ring all-gather: returns every rank's matrix, indexed by rank.
+    ///
+    /// Implements the standard `G-1`-step ring (each step forwards the block
+    /// received in the previous step), so port occupancy and latency follow
+    /// the real algorithm.
+    pub fn all_gather_mat(&mut self, mine: &Mat) -> Vec<Mat> {
+        let g = self.world_size();
+        let mut parts: Vec<Option<Mat>> = vec![None; g];
+        parts[self.rank] = Some(mine.clone());
+        let mut cursor = self.rank; // index of the block we forward next
+        for _ in 0..g.saturating_sub(1) {
+            let outgoing = parts[cursor].clone().expect("ring all-gather invariant");
+            self.send(self.next_rank(), MsgData::Mat(outgoing));
+            let incoming = self.recv_mat(self.prev_rank());
+            cursor = (cursor + g - 1) % g;
+            parts[cursor] = Some(incoming);
+        }
+        parts
+            .into_iter()
+            .map(|p| p.expect("ring all-gather missed a block"))
+            .collect()
+    }
+
+    /// Ring reduce-scatter (sum): `parts[d]` is this rank's contribution to
+    /// destination rank `d`; returns the fully reduced block owned by this
+    /// rank.
+    #[track_caller]
+    pub fn reduce_scatter_mat(&mut self, parts: &[Mat]) -> Mat {
+        let g = self.world_size();
+        assert_eq!(parts.len(), g, "reduce_scatter: need one part per rank");
+        if g == 1 {
+            return parts[0].clone();
+        }
+        // Standard ring: block b starts at rank (b + G - 1) % G and flows
+        // toward decreasing ranks, accumulating, until it lands on rank b.
+        let mut acc: Vec<Mat> = parts.to_vec();
+        let mut cursor = (self.rank + 1) % g; // block we send first
+        for _ in 0..g - 1 {
+            let outgoing = acc[cursor].clone();
+            self.send(self.prev_rank(), MsgData::Mat(outgoing));
+            let incoming = self.recv_mat(self.next_rank());
+            cursor = (cursor + 1) % g;
+            acc[cursor].add_assign(&incoming);
+        }
+        debug_assert_eq!(cursor, self.rank);
+        acc[self.rank].clone()
+    }
+
+    /// All-reduce (sum) of a matrix: ring reduce-scatter over row blocks
+    /// followed by ring all-gather when the row count divides evenly,
+    /// otherwise a gather-broadcast fallback.
+    pub fn all_reduce_mat(&mut self, m: &Mat) -> Mat {
+        let g = self.world_size();
+        if g == 1 {
+            return m.clone();
+        }
+        if m.rows() % g == 0 && m.rows() >= g {
+            let parts = m.chunk_rows(g);
+            let mine = self.reduce_scatter_mat(&parts);
+            let gathered = self.all_gather_mat(&mine);
+            Mat::vstack(&gathered)
+        } else {
+            // Gather to rank 0, reduce, broadcast.
+            if self.rank == 0 {
+                let mut acc = m.clone();
+                for src in 1..g {
+                    acc.add_assign(&self.recv_mat(src));
+                }
+                for dst in 1..g {
+                    self.send_mat(dst, &acc);
+                }
+                acc
+            } else {
+                self.send_mat(0, m);
+                self.recv_mat(0)
+            }
+        }
+    }
+
+    /// All-to-all: `outgoing[d]` goes to rank `d`; returns `incoming[s]`
+    /// from each rank `s` (our own block passes through untouched).
+    #[track_caller]
+    pub fn all_to_all_mat(&mut self, outgoing: Vec<Mat>) -> Vec<Mat> {
+        let g = self.world_size();
+        assert_eq!(outgoing.len(), g, "all_to_all: need one block per rank");
+        let mut incoming: Vec<Option<Mat>> = vec![None; g];
+        // Schedule sends in an offset pattern (classic balanced exchange).
+        let mut keep = None;
+        for (d, block) in outgoing.into_iter().enumerate() {
+            if d == self.rank {
+                keep = Some(block);
+            } else {
+                self.send(d, MsgData::Mat(block));
+            }
+        }
+        incoming[self.rank] = keep;
+        for off in 1..g {
+            let src = (self.rank + g - off) % g;
+            incoming[src] = Some(self.recv_mat(src));
+        }
+        incoming
+            .into_iter()
+            .map(|p| p.expect("all_to_all missed a block"))
+            .collect()
+    }
+
+    /// Broadcast from `root`. Non-root ranks pass `None`.
+    #[track_caller]
+    pub fn broadcast_mat(&mut self, root: usize, m: Option<&Mat>) -> Mat {
+        if self.rank == root {
+            let m = m.expect("broadcast: root must supply the matrix");
+            for dst in 0..self.world_size() {
+                if dst != root {
+                    self.send_mat(dst, m);
+                }
+            }
+            m.clone()
+        } else {
+            self.recv_mat(root)
+        }
+    }
+
+    /// All-reduce (sum) of a flat vector via gather-broadcast (used for
+    /// scalars/short vectors where ring overhead is irrelevant).
+    pub fn all_reduce_vec(&mut self, v: &[f32]) -> Vec<f32> {
+        let g = self.world_size();
+        if g == 1 {
+            return v.to_vec();
+        }
+        if self.rank == 0 {
+            let mut acc = v.to_vec();
+            for src in 1..g {
+                let part = self.recv_vec(src);
+                assert_eq!(part.len(), acc.len(), "all_reduce_vec: length mismatch");
+                for (a, p) in acc.iter_mut().zip(&part) {
+                    *a += p;
+                }
+            }
+            for dst in 1..g {
+                self.send_vec(dst, &acc);
+            }
+            acc
+        } else {
+            self.send_vec(0, v);
+            self.recv_vec(0)
+        }
+    }
+}

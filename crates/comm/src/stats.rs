@@ -1,0 +1,80 @@
+//! Per-rank communication accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Byte/message counters for one rank, split by link class.
+///
+/// `*_elems` counts logical tensor elements (what Algorithms 1–2 count as
+/// `Nd` words); `*_bytes` is the modeled wire volume (elements ×
+/// `wire_bytes_per_elem`). The BurstAttention backward claim — `3Nd + 2N`
+/// words vs RingAttention's `4Nd` — is asserted directly on these counters
+/// in the dattn tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CommStats {
+    pub intra_msgs: u64,
+    pub inter_msgs: u64,
+    pub intra_elems: u64,
+    pub inter_elems: u64,
+    pub intra_bytes: f64,
+    pub inter_bytes: f64,
+    /// Virtual seconds this rank spent blocked waiting for data that had not
+    /// yet arrived (exposed so benches can report overlap efficiency).
+    pub wait_time: f64,
+    /// Virtual seconds of modeled compute on this rank.
+    pub compute_time: f64,
+}
+
+impl CommStats {
+    /// Total logical elements sent (both link classes).
+    pub fn total_elems(&self) -> u64 {
+        self.intra_elems + self.inter_elems
+    }
+
+    /// Total wire bytes sent.
+    pub fn total_bytes(&self) -> f64 {
+        self.intra_bytes + self.inter_bytes
+    }
+
+    pub fn total_msgs(&self) -> u64 {
+        self.intra_msgs + self.inter_msgs
+    }
+
+    /// Element-wise sum, for aggregating across ranks.
+    pub fn merge(&self, other: &CommStats) -> CommStats {
+        CommStats {
+            intra_msgs: self.intra_msgs + other.intra_msgs,
+            inter_msgs: self.inter_msgs + other.inter_msgs,
+            intra_elems: self.intra_elems + other.intra_elems,
+            inter_elems: self.inter_elems + other.inter_elems,
+            intra_bytes: self.intra_bytes + other.intra_bytes,
+            inter_bytes: self.inter_bytes + other.inter_bytes,
+            wait_time: self.wait_time + other.wait_time,
+            compute_time: self.compute_time + other.compute_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let a = CommStats {
+            intra_msgs: 1,
+            inter_msgs: 2,
+            intra_elems: 10,
+            inter_elems: 20,
+            intra_bytes: 100.0,
+            inter_bytes: 200.0,
+            wait_time: 0.5,
+            compute_time: 1.5,
+        };
+        let m = a.merge(&a);
+        assert_eq!(m.total_msgs(), 6);
+        assert_eq!(m.total_elems(), 60);
+        assert_eq!(m.total_bytes(), 600.0);
+        assert_eq!(m.wait_time, 1.0);
+        assert_eq!(m.compute_time, 3.0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Cluster topology: node layout and link performance parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// A point-to-point link model: `time(bytes) = latency + bytes / bandwidth`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// One-way latency in seconds.
+    pub latency: f64,
+    /// Bandwidth in bytes per second.
+    pub bandwidth: f64,
+}
+
+impl Link {
+    pub fn new(latency: f64, bandwidth: f64) -> Self {
+        Link { latency, bandwidth }
+    }
+
+    /// Pure serialisation (bandwidth) term for `bytes`.
+    #[inline]
+    pub fn serialization(&self, bytes: f64) -> f64 {
+        bytes / self.bandwidth
+    }
+
+    /// Full transfer time for `bytes`.
+    #[inline]
+    pub fn transfer_time(&self, bytes: f64) -> f64 {
+        self.latency + bytes / self.bandwidth
+    }
+}
+
+/// The shape of the simulated cluster.
+///
+/// Ranks are numbered `0..nodes*gpus_per_node`; rank `r` lives on node
+/// `r / gpus_per_node` with local index `r % gpus_per_node`. Intra-node
+/// traffic uses the NVLink [`Link`]; inter-node traffic uses the sending
+/// GPU's dedicated NIC [`Link`] (the paper's testbed has one HDR NIC per
+/// GPU, so per-GPU inter-node bandwidth is a single NIC's).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    pub nodes: usize,
+    pub gpus_per_node: usize,
+    /// NVLink (intra-node) link model.
+    pub intra: Link,
+    /// Per-GPU InfiniBand NIC (inter-node) link model.
+    pub inter: Link,
+    /// Modeled wire bytes per tensor element (2.0 for bf16 training).
+    pub wire_bytes_per_elem: f64,
+}
+
+impl Topology {
+    pub fn new(nodes: usize, gpus_per_node: usize, intra: Link, inter: Link) -> Self {
+        assert!(nodes > 0 && gpus_per_node > 0, "Topology: empty cluster");
+        Topology {
+            nodes,
+            gpus_per_node,
+            intra,
+            inter,
+            wire_bytes_per_elem: 2.0,
+        }
+    }
+
+    /// The paper's testbed: A800 nodes with 400 GB/s NVLink and one
+    /// 200 Gb/s (25 GB/s) HDR InfiniBand NIC per GPU. Latencies are typical
+    /// measured values (NVLink ~3 µs effective per NCCL op, IB ~10 µs).
+    pub fn a800(nodes: usize, gpus_per_node: usize) -> Self {
+        Topology::new(
+            nodes,
+            gpus_per_node,
+            Link::new(3e-6, 400e9),
+            Link::new(10e-6, 25e9),
+        )
+    }
+
+    /// A single-node topology where every link is NVLink.
+    pub fn single_node(gpus: usize) -> Self {
+        Topology::a800(1, gpus)
+    }
+
+    /// An idealised uniform cluster (for unit tests): every link identical.
+    pub fn uniform(world: usize, link: Link) -> Self {
+        Topology::new(1, world, link, link)
+    }
+
+    #[inline]
+    pub fn world_size(&self) -> usize {
+        self.nodes * self.gpus_per_node
+    }
+
+    #[inline]
+    #[track_caller]
+    pub fn node_of(&self, rank: usize) -> usize {
+        debug_assert!(rank < self.world_size(), "rank {rank} out of range");
+        rank / self.gpus_per_node
+    }
+
+    #[inline]
+    pub fn local_rank(&self, rank: usize) -> usize {
+        rank % self.gpus_per_node
+    }
+
+    #[inline]
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// Link used when `src` sends to `dst`.
+    #[inline]
+    pub fn link(&self, src: usize, dst: usize) -> Link {
+        if self.same_node(src, dst) {
+            self.intra
+        } else {
+            self.inter
+        }
+    }
+
+    /// Wire bytes for `elems` tensor elements.
+    #[inline]
+    pub fn wire_bytes(&self, elems: usize) -> f64 {
+        elems as f64 * self.wire_bytes_per_elem
+    }
+
+    /// Successor on the flat global ring.
+    #[inline]
+    pub fn next_rank(&self, rank: usize) -> usize {
+        (rank + 1) % self.world_size()
+    }
+
+    /// Predecessor on the flat global ring.
+    #[inline]
+    pub fn prev_rank(&self, rank: usize) -> usize {
+        (rank + self.world_size() - 1) % self.world_size()
+    }
+
+    /// Successor on the intra-node sub-ring (same node, next local rank).
+    #[inline]
+    pub fn next_in_node(&self, rank: usize) -> usize {
+        let node = self.node_of(rank);
+        node * self.gpus_per_node + (self.local_rank(rank) + 1) % self.gpus_per_node
+    }
+
+    /// Predecessor on the intra-node sub-ring.
+    #[inline]
+    pub fn prev_in_node(&self, rank: usize) -> usize {
+        let node = self.node_of(rank);
+        let g = self.gpus_per_node;
+        node * g + (self.local_rank(rank) + g - 1) % g
+    }
+
+    /// Peer with the same local rank on the next node (inter-node ring).
+    #[inline]
+    pub fn peer_next_node(&self, rank: usize) -> usize {
+        let node = (self.node_of(rank) + 1) % self.nodes;
+        node * self.gpus_per_node + self.local_rank(rank)
+    }
+
+    /// Peer with the same local rank on the previous node.
+    #[inline]
+    pub fn peer_prev_node(&self, rank: usize) -> usize {
+        let node = (self.node_of(rank) + self.nodes - 1) % self.nodes;
+        node * self.gpus_per_node + self.local_rank(rank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_indexing() {
+        let t = Topology::a800(2, 4);
+        assert_eq!(t.world_size(), 8);
+        assert_eq!(t.node_of(5), 1);
+        assert_eq!(t.local_rank(5), 1);
+        assert!(t.same_node(4, 7));
+        assert!(!t.same_node(3, 4));
+    }
+
+    #[test]
+    fn link_selection() {
+        let t = Topology::a800(2, 4);
+        assert_eq!(t.link(0, 3), t.intra);
+        assert_eq!(t.link(3, 4), t.inter);
+        assert!(t.intra.bandwidth > t.inter.bandwidth);
+    }
+
+    #[test]
+    fn transfer_time_formula() {
+        let l = Link::new(1e-6, 1e9);
+        let t = l.transfer_time(1e9);
+        assert!((t - (1.0 + 1e-6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ring_neighbors_wrap() {
+        let t = Topology::a800(2, 4);
+        assert_eq!(t.next_rank(7), 0);
+        assert_eq!(t.prev_rank(0), 7);
+        // Intra-node sub-ring stays in the node.
+        assert_eq!(t.next_in_node(3), 0);
+        assert_eq!(t.next_in_node(7), 4);
+        assert_eq!(t.prev_in_node(4), 7);
+        // Inter-node ring preserves local rank.
+        assert_eq!(t.peer_next_node(2), 6);
+        assert_eq!(t.peer_next_node(6), 2);
+        assert_eq!(t.peer_prev_node(2), 6);
+    }
+
+    #[test]
+    fn sub_rings_partition_global_ring() {
+        // Walking next_in_node from any rank visits exactly its node's ranks.
+        let t = Topology::a800(3, 4);
+        for start in 0..t.world_size() {
+            let mut seen = vec![start];
+            let mut r = t.next_in_node(start);
+            while r != start {
+                seen.push(r);
+                r = t.next_in_node(r);
+            }
+            assert_eq!(seen.len(), t.gpus_per_node);
+            assert!(seen.iter().all(|&x| t.same_node(x, start)));
+        }
+    }
+
+    #[test]
+    fn wire_bytes_uses_bf16() {
+        let t = Topology::a800(1, 2);
+        assert_eq!(t.wire_bytes(100), 200.0);
+    }
+}

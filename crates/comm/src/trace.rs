@@ -1,0 +1,182 @@
+//! Virtual-time tracing: per-rank event timelines.
+//!
+//! When enabled, a [`crate::Communicator`] records every send (with its
+//! modeled wire interval), receive (with the time spent blocked) and
+//! compute span. The resulting trace is what the paper's Fig. 5 overlap
+//! diagrams draw: you can *see* activations departing before the compute
+//! that hides them and gradients trailing one round behind.
+
+use serde::{Deserialize, Serialize};
+
+/// One event on a rank's virtual timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A message departed through this rank's egress port.
+    Send {
+        dst: usize,
+        elems: usize,
+        /// When the port started transmitting.
+        depart: f64,
+        /// When the payload fully arrived at `dst`.
+        arrival: f64,
+        /// Crossed the node boundary (NIC) rather than NVLink.
+        inter_node: bool,
+    },
+    /// A receive completed.
+    Recv {
+        src: usize,
+        elems: usize,
+        /// Local clock when the receive was posted.
+        posted: f64,
+        /// Local clock after the message was consumed.
+        completed: f64,
+    },
+    /// A span of modeled local compute.
+    Compute { start: f64, end: f64 },
+}
+
+impl TraceEvent {
+    /// The interval this event occupies on the rank's timeline.
+    pub fn interval(&self) -> (f64, f64) {
+        match self {
+            TraceEvent::Send { depart, arrival, .. } => (*depart, *arrival),
+            TraceEvent::Recv { posted, completed, .. } => (*posted, *completed),
+            TraceEvent::Compute { start, end } => (*start, *end),
+        }
+    }
+
+    /// Seconds this rank was *blocked* by the event (zero for sends, which
+    /// are asynchronous in virtual time).
+    pub fn blocked_secs(&self) -> f64 {
+        match self {
+            TraceEvent::Send { .. } => 0.0,
+            TraceEvent::Recv { posted, completed, .. } => (completed - posted).max(0.0),
+            TraceEvent::Compute { start, end } => end - start,
+        }
+    }
+}
+
+/// Summarise a rank's trace: `(compute, wait, send_count, bytes_modeled)`.
+pub fn summarize(trace: &[TraceEvent]) -> TraceSummary {
+    let mut s = TraceSummary::default();
+    for e in trace {
+        match e {
+            TraceEvent::Compute { start, end } => s.compute_secs += end - start,
+            TraceEvent::Recv { posted, completed, .. } => {
+                s.wait_secs += (completed - posted).max(0.0);
+                s.recvs += 1;
+            }
+            TraceEvent::Send { elems, inter_node, .. } => {
+                s.sends += 1;
+                s.sent_elems += elems;
+                if *inter_node {
+                    s.inter_sends += 1;
+                }
+            }
+        }
+    }
+    s
+}
+
+/// Aggregate numbers derived from a trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    pub compute_secs: f64,
+    pub wait_secs: f64,
+    pub sends: usize,
+    pub inter_sends: usize,
+    pub recvs: usize,
+    pub sent_elems: usize,
+}
+
+/// Render a fixed-width ASCII Gantt row for a rank's timeline:
+/// `#` = compute, `.` = blocked waiting, ` ` = idle/overlapped comm.
+pub fn ascii_lane(trace: &[TraceEvent], t_end: f64, width: usize) -> String {
+    let mut lane = vec![' '; width];
+    let scale = width as f64 / t_end.max(f64::MIN_POSITIVE);
+    let mut paint = |a: f64, b: f64, ch: char| {
+        let lo = (a * scale).floor() as usize;
+        let hi = ((b * scale).ceil() as usize).min(width);
+        for c in lane.iter_mut().take(hi).skip(lo.min(width)) {
+            if *c == ' ' || (ch == '#' && *c == '.') {
+                *c = ch;
+            }
+        }
+    };
+    for e in trace {
+        match e {
+            TraceEvent::Compute { start, end } => paint(*start, *end, '#'),
+            TraceEvent::Recv { posted, completed, .. } => paint(*posted, *completed, '.'),
+            TraceEvent::Send { .. } => {}
+        }
+    }
+    lane.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_accumulates() {
+        let trace = vec![
+            TraceEvent::Compute { start: 0.0, end: 1.0 },
+            TraceEvent::Send {
+                dst: 1,
+                elems: 10,
+                depart: 0.5,
+                arrival: 0.9,
+                inter_node: true,
+            },
+            TraceEvent::Recv {
+                src: 1,
+                elems: 5,
+                posted: 1.0,
+                completed: 1.5,
+            },
+        ];
+        let s = summarize(&trace);
+        assert_eq!(s.compute_secs, 1.0);
+        assert_eq!(s.wait_secs, 0.5);
+        assert_eq!(s.sends, 1);
+        assert_eq!(s.inter_sends, 1);
+        assert_eq!(s.recvs, 1);
+        assert_eq!(s.sent_elems, 10);
+    }
+
+    #[test]
+    fn ascii_lane_paints_compute_over_waits() {
+        let trace = vec![
+            TraceEvent::Recv {
+                src: 0,
+                elems: 1,
+                posted: 0.0,
+                completed: 1.0,
+            },
+            TraceEvent::Compute { start: 0.5, end: 1.0 },
+        ];
+        let lane = ascii_lane(&trace, 1.0, 8);
+        assert_eq!(lane.len(), 8);
+        assert!(lane.starts_with("...."), "{lane:?}");
+        assert!(lane.ends_with("####"), "{lane:?}");
+    }
+
+    #[test]
+    fn blocked_secs_semantics() {
+        let send = TraceEvent::Send {
+            dst: 0,
+            elems: 1,
+            depart: 0.0,
+            arrival: 5.0,
+            inter_node: false,
+        };
+        assert_eq!(send.blocked_secs(), 0.0);
+        let recv = TraceEvent::Recv {
+            src: 0,
+            elems: 1,
+            posted: 1.0,
+            completed: 3.0,
+        };
+        assert_eq!(recv.blocked_secs(), 2.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Spawning a simulated cluster: one OS thread per rank.
+
+use crate::comm::{Communicator, Msg};
+use crate::stats::CommStats;
+use crate::topology::Topology;
+use crossbeam::channel::unbounded;
+
+/// What each rank produced: the closure's return value, its communication
+/// counters and its final virtual clock.
+#[derive(Debug, Clone)]
+pub struct RankOutput<R> {
+    pub rank: usize,
+    pub result: R,
+    pub stats: CommStats,
+    /// Final virtual time of this rank in seconds.
+    pub time: f64,
+}
+
+/// A simulated cluster described by a [`Topology`].
+#[derive(Debug, Clone)]
+pub struct World {
+    topo: Topology,
+}
+
+impl World {
+    pub fn new(topo: Topology) -> Self {
+        World { topo }
+    }
+
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Run `f` on every rank concurrently (one OS thread per rank) and
+    /// collect the per-rank outputs, ordered by rank.
+    ///
+    /// Panics in any rank propagate (the whole simulation aborts), matching
+    /// the "a dead rank kills the job" semantics of real collectives.
+    pub fn run<R, F>(&self, f: F) -> Vec<RankOutput<R>>
+    where
+        R: Send,
+        F: Fn(&mut Communicator) -> R + Sync,
+    {
+        let g = self.topo.world_size();
+        // Channel matrix: pair (src, dst) gets its own channel so message
+        // streams between distinct peers never interleave.
+        let mut senders: Vec<Vec<Option<crossbeam::channel::Sender<Msg>>>> =
+            (0..g).map(|_| (0..g).map(|_| None).collect()).collect();
+        let mut receivers: Vec<Vec<Option<crossbeam::channel::Receiver<Msg>>>> =
+            (0..g).map(|_| (0..g).map(|_| None).collect()).collect();
+        for src in 0..g {
+            for dst in 0..g {
+                let (tx, rx) = unbounded();
+                senders[src][dst] = Some(tx);
+                receivers[dst][src] = Some(rx);
+            }
+        }
+
+        let comms: Vec<Communicator> = senders
+            .into_iter()
+            .zip(receivers)
+            .enumerate()
+            .map(|(rank, (tx_row, rx_row))| {
+                Communicator::new(
+                    rank,
+                    self.topo.clone(),
+                    tx_row.into_iter().map(|t| t.unwrap()).collect(),
+                    rx_row.into_iter().map(|r| r.unwrap()).collect(),
+                )
+            })
+            .collect();
+
+        let f = &f;
+        let mut outputs: Vec<Option<RankOutput<R>>> = (0..g).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            // Each thread *owns* its Communicator: if a rank panics, its
+            // channel endpoints drop immediately and every peer blocked on
+            // a matching receive fails fast ("peer rank terminated")
+            // instead of deadlocking — the "a dead rank kills the job"
+            // semantics of real collectives.
+            let handles: Vec<_> = comms
+                .into_iter()
+                .enumerate()
+                .map(|(rank, mut comm)| {
+                    scope.spawn(move || {
+                        let result = f(&mut comm);
+                        RankOutput {
+                            rank,
+                            result,
+                            stats: comm.stats(),
+                            time: comm.time(),
+                        }
+                    })
+                })
+                .collect();
+            let mut panicked = None;
+            for (rank, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(out) => outputs[rank] = Some(out),
+                    Err(payload) => panicked = Some(payload),
+                }
+            }
+            if let Some(payload) = panicked {
+                std::panic::resume_unwind(payload);
+            }
+        });
+        outputs.into_iter().map(|o| o.unwrap()).collect()
+    }
+
+    /// Convenience: run and return only the results, ordered by rank.
+    pub fn run_results<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut Communicator) -> R + Sync,
+    {
+        self.run(f).into_iter().map(|o| o.result).collect()
+    }
+
+    /// Convenience: run and return the makespan — the maximum final virtual
+    /// clock across ranks (what a benchmark would measure as step time).
+    pub fn run_timed<R, F>(&self, f: F) -> (Vec<R>, f64, CommStats)
+    where
+        R: Send,
+        F: Fn(&mut Communicator) -> R + Sync,
+    {
+        let outs = self.run(f);
+        let makespan = outs.iter().map(|o| o.time).fold(0.0, f64::max);
+        let stats = outs
+            .iter()
+            .map(|o| o.stats)
+            .fold(CommStats::default(), |a, b| a.merge(&b));
+        (outs.into_iter().map(|o| o.result).collect(), makespan, stats)
+    }
+}

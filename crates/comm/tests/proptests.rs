@@ -1,0 +1,132 @@
+//! Property-based tests of the simulated cluster's collectives under
+//! randomised world sizes, shapes and payloads.
+
+use burst_comm::{Topology, World};
+use burst_tensor::Mat;
+use proptest::prelude::*;
+
+fn rank_mat(rank: usize, rows: usize, cols: usize, salt: u64) -> Mat {
+    Mat::from_fn(rows, cols, |r, c| {
+        ((rank as u64 * 131 + r as u64 * 17 + c as u64 * 3 + salt) % 97) as f32 - 48.0
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_gather_collects_every_rank_in_order(
+        g in 1usize..6,
+        rows in 1usize..6,
+        cols in 1usize..5,
+        salt in 0u64..1000,
+    ) {
+        let world = World::new(Topology::single_node(g));
+        let outs = world.run_results(move |comm| {
+            comm.all_gather_mat(&rank_mat(comm.rank(), rows, cols, salt))
+        });
+        for got in &outs {
+            prop_assert_eq!(got.len(), g);
+            for (src, m) in got.iter().enumerate() {
+                prop_assert_eq!(m.clone(), rank_mat(src, rows, cols, salt));
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_equals_manual_sum(
+        g in 1usize..6,
+        rows in 1usize..5,
+        salt in 0u64..1000,
+    ) {
+        let world = World::new(Topology::single_node(g));
+        let outs = world.run_results(move |comm| {
+            let parts: Vec<Mat> = (0..g)
+                .map(|d| rank_mat(comm.rank() * 10 + d, rows, 2, salt))
+                .collect();
+            comm.reduce_scatter_mat(&parts)
+        });
+        for (dst, got) in outs.iter().enumerate() {
+            let mut expect = rank_mat(dst, rows, 2, salt);
+            for src in 1..g {
+                expect.add_assign(&rank_mat(src * 10 + dst, rows, 2, salt));
+            }
+            prop_assert!(burst_tensor::testutil::allclose(got, &expect, 1e-4, 1e-4));
+        }
+    }
+
+    #[test]
+    fn all_reduce_is_rank_invariant_sum(
+        g in 1usize..6,
+        rows in 1usize..8,
+        salt in 0u64..1000,
+    ) {
+        let world = World::new(Topology::single_node(g));
+        let outs = world.run_results(move |comm| {
+            comm.all_reduce_mat(&rank_mat(comm.rank(), rows, 3, salt))
+        });
+        let mut expect = rank_mat(0, rows, 3, salt);
+        for src in 1..g {
+            expect.add_assign(&rank_mat(src, rows, 3, salt));
+        }
+        for got in &outs {
+            prop_assert!(burst_tensor::testutil::allclose(got, &expect, 1e-4, 1e-4));
+        }
+    }
+
+    #[test]
+    fn all_to_all_is_a_transpose(
+        g in 1usize..6,
+        salt in 0u64..1000,
+    ) {
+        let world = World::new(Topology::single_node(g));
+        let outs = world.run_results(move |comm| {
+            let outgoing: Vec<Mat> = (0..g)
+                .map(|d| rank_mat(comm.rank() * 100 + d, 2, 2, salt))
+                .collect();
+            comm.all_to_all_mat(outgoing)
+        });
+        for (me, got) in outs.iter().enumerate() {
+            for (src, m) in got.iter().enumerate() {
+                prop_assert_eq!(m.clone(), rank_mat(src * 100 + me, 2, 2, salt));
+            }
+        }
+    }
+
+    #[test]
+    fn virtual_clocks_are_schedule_independent(
+        nodes in 1usize..3,
+        gpn in 1usize..4,
+        rows in 1usize..32,
+    ) {
+        let run = || {
+            let world = World::new(Topology::a800(nodes, gpn));
+            let outs = world.run(move |comm| {
+                let m = rank_mat(comm.rank(), rows, 4, 7);
+                let all = comm.all_gather_mat(&m);
+                comm.barrier();
+                all.len()
+            });
+            outs.iter().map(|o| (o.time, o.stats.total_bytes())).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone(
+        g in 2usize..6,
+        root in 0usize..5,
+        salt in 0u64..1000,
+    ) {
+        let root = root % g;
+        let world = World::new(Topology::single_node(g));
+        let outs = world.run_results(move |comm| {
+            let m = rank_mat(999, 3, 3, salt);
+            let mine = if comm.rank() == root { Some(&m) } else { None };
+            comm.broadcast_mat(root, mine)
+        });
+        for got in &outs {
+            prop_assert_eq!(got.clone(), rank_mat(999, 3, 3, salt));
+        }
+    }
+}

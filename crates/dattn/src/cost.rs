@@ -1,0 +1,107 @@
+//! The FLOP→virtual-seconds model for the simulated devices.
+//!
+//! Kernels report *allowed query–key pairs*; one pair costs `4·d` FLOPs in
+//! the forward pass (the `QKᵀ` and `PV` products) and `10·d` in the
+//! backward (score recompute plus the four gradient products of
+//! Algorithms 1–2). The model converts pairs into seconds on an A800-like
+//! device. Absolute values only anchor the virtual clock; every paper
+//! comparison is a ratio.
+
+use serde::{Deserialize, Serialize};
+
+/// Device compute model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Peak dense throughput in FLOP/s (A800 bf16: 312e12).
+    pub peak_flops: f64,
+    /// Achieved fraction of peak for attention kernels.
+    pub efficiency: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::a800()
+    }
+}
+
+impl CostModel {
+    /// The paper's A800-SXM4-80GB at a measured-kernel efficiency.
+    pub fn a800() -> Self {
+        CostModel {
+            peak_flops: 312e12,
+            efficiency: 0.55,
+        }
+    }
+
+    /// A model where compute is instantaneous — isolates communication in
+    /// virtual-time experiments.
+    pub fn free() -> Self {
+        CostModel {
+            peak_flops: f64::INFINITY,
+            efficiency: 1.0,
+        }
+    }
+
+    #[inline]
+    fn secs(&self, flops: f64) -> f64 {
+        if self.peak_flops.is_infinite() {
+            0.0
+        } else {
+            flops / (self.peak_flops * self.efficiency)
+        }
+    }
+
+    /// Forward attention time for `pairs` allowed pairs at head dim `d`.
+    pub fn attn_fwd_secs(&self, pairs: u64, d: usize) -> f64 {
+        self.secs(pairs as f64 * 4.0 * d as f64)
+    }
+
+    /// Backward attention time for `pairs` allowed pairs at head dim `d`.
+    pub fn attn_bwd_secs(&self, pairs: u64, d: usize) -> f64 {
+        self.secs(pairs as f64 * 10.0 * d as f64)
+    }
+
+    /// Time for a dense GEMM of `m × k · k × n`.
+    pub fn gemm_secs(&self, m: usize, k: usize, n: usize) -> f64 {
+        self.secs(2.0 * m as f64 * k as f64 * n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_cost_scales_linearly() {
+        let c = CostModel::a800();
+        let t1 = c.attn_fwd_secs(1000, 64);
+        let t2 = c.attn_fwd_secs(2000, 64);
+        assert!((t2 / t1 - 2.0).abs() < 1e-12);
+        assert!(t1 > 0.0);
+    }
+
+    #[test]
+    fn backward_is_2_5x_forward() {
+        let c = CostModel::a800();
+        let f = c.attn_fwd_secs(1234, 32);
+        let b = c.attn_bwd_secs(1234, 32);
+        assert!((b / f - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn free_model_is_zero() {
+        let c = CostModel::free();
+        assert_eq!(c.attn_fwd_secs(u64::MAX, 128), 0.0);
+        assert_eq!(c.gemm_secs(1000, 1000, 1000), 0.0);
+    }
+
+    #[test]
+    fn gemm_cost_formula() {
+        let c = CostModel {
+            peak_flops: 1e12,
+            efficiency: 0.5,
+        };
+        // 2*10*20*30 = 12000 FLOPs at 5e11 FLOP/s.
+        assert!((c.gemm_secs(10, 20, 30) - 12000.0 / 5e11).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,309 @@
+//! Topology-aware two-level ring attention (paper §3.1, Fig. 4–5).
+//!
+//! The global ring is split into intra-node NVLink sub-rings nested inside
+//! an inter-node NIC ring. One outer iteration = one full intra-node sweep
+//! (`gpus_per_node` compute steps) + one inter-node exchange. Because every
+//! GPU exchanges with its same-local-rank peer on the neighbouring node,
+//! all NICs move data simultaneously — the bandwidth win over the flat
+//! ring, where the single node-boundary link serialises everything.
+//!
+//! Three schedules are provided:
+//!
+//! * [`double_ring_forward`] — shared by DoubleRingAttention and
+//!   BurstAttention: `K, V` are read-only, so the inter-node transfer is
+//!   posted at the *start* of each outer iteration and hides behind the
+//!   whole intra-node sweep;
+//! * [`double_ring_backward_alg1`] — the LoongTrain DoubleRing baseline:
+//!   Algorithm 1's `(K, V, ∇K, ∇V)` bundle circulates through every rank.
+//!   Gradients ride in the same buffers as activations, so *nothing* can be
+//!   posted early: each transfer waits for the compute that updated it
+//!   (the paper's "fails to overlap gradient communication" critique);
+//! * [`double_ring_backward_alg2`] — full BurstAttention: Algorithm 2's
+//!   read-only bundle `(Q, ∇O, Lse, D)` flows exactly like the forward
+//!   (early posts), while `∇Q` follows one compute step behind on a
+//!   delayed stream (warm-up-round schedule, Fig. 5 bottom), so gradient
+//!   communication also hides under compute.
+
+use crate::ring::{AttnShard, BackwardInputs, DistAttnOut};
+use burst_comm::Communicator;
+use burst_kernels::{attn_tile_backward, flash_forward, KernelWork, OnlineState};
+use burst_tensor::Mat;
+
+/// Forward pass over the two-level ring.
+pub fn double_ring_forward(comm: &mut Communicator, shard: &AttnShard) -> DistAttnOut {
+    let topo = comm.topology().clone();
+    let (nodes, gpn) = (topo.nodes, topo.gpus_per_node);
+    let d = shard.q.cols();
+    let qi = shard.my_idx(comm);
+    let mut state = OnlineState::empty(shard.q.rows(), shard.v.cols());
+    let mut work = KernelWork::default();
+
+    let mut start_k = shard.k.clone();
+    let mut start_v = shard.v.clone();
+    let mut start_src = comm.rank();
+    for outer in 0..nodes {
+        if outer < nodes - 1 {
+            // Early inter-node post: hides behind the whole intra sweep.
+            comm.send_mat(comm.peer_next_node(), &start_k);
+            comm.send_mat(comm.peer_next_node(), &start_v);
+        }
+        let mut cur_k = start_k.clone();
+        let mut cur_v = start_v.clone();
+        let mut src = start_src;
+        for inner in 0..gpn {
+            if inner < gpn - 1 {
+                comm.send_mat(comm.next_in_node(), &cur_k);
+                comm.send_mat(comm.next_in_node(), &cur_v);
+            }
+            let kidx = shard.idx_of(comm, src);
+            let out =
+                flash_forward(shard.q, &cur_k, &cur_v, shard.scale, shard.mask, &qi, &kidx);
+            comm.advance_compute(shard.cost.attn_fwd_secs(out.work.pairs, d));
+            state.merge(&OnlineState::new(out.o, out.lse));
+            work.merge(out.work);
+            if inner < gpn - 1 {
+                cur_k = comm.recv_mat(comm.prev_in_node());
+                cur_v = comm.recv_mat(comm.prev_in_node());
+                src = topo.prev_in_node(src);
+            }
+        }
+        if outer < nodes - 1 {
+            start_k = comm.recv_mat(comm.peer_prev_node());
+            start_v = comm.recv_mat(comm.peer_prev_node());
+            start_src = topo.peer_prev_node(start_src);
+        }
+    }
+    DistAttnOut {
+        o: state.o,
+        lse: state.lse,
+        work,
+    }
+}
+
+/// DoubleRingAttention backward (Algorithm 1 over the two-level ring).
+///
+/// The `(K, V, ∇K, ∇V)` bundle physically accumulates gradients at every
+/// rank, so every hop — intra and inter — departs only after the compute
+/// that updated it: communication serialises with compute. After the sweep,
+/// the bundle is one node and `nodes mod gpn` local hops away from home;
+/// the completion hops deliver `(∇K, ∇V)` back to their owner.
+pub fn double_ring_backward_alg1(
+    comm: &mut Communicator,
+    shard: &AttnShard,
+    back: &BackwardInputs,
+) -> (Mat, Mat, Mat) {
+    let topo = comm.topology().clone();
+    let (nodes, gpn) = (topo.nodes, topo.gpus_per_node);
+    let d = shard.q.cols();
+    let qi = shard.my_idx(comm);
+    let d_vec = back.grad_o.rowsum_hadamard(back.o);
+    let d_recompute = shard.cost.gemm_secs(shard.q.rows(), d, 1);
+    let mut grad_q = Mat::zeros(shard.q.rows(), shard.q.cols());
+    let mut cur_k = shard.k.clone();
+    let mut cur_v = shard.v.clone();
+    let mut cur_dk = Mat::zeros(shard.k.rows(), shard.k.cols());
+    let mut cur_dv = Mat::zeros(shard.v.rows(), shard.v.cols());
+    let mut src = comm.rank();
+
+    for outer in 0..nodes {
+        for inner in 0..gpn {
+            let kidx = shard.idx_of(comm, src);
+            let (dq_c, dk_c, dv_c, w) = attn_tile_backward(
+                shard.q,
+                &cur_k,
+                &cur_v,
+                back.grad_o,
+                back.lse,
+                &d_vec,
+                shard.scale,
+                shard.mask,
+                &qi,
+                &kidx,
+            );
+            // Algorithm 1 recomputes D every round.
+            comm.advance_compute(shard.cost.attn_bwd_secs(w.pairs, d) + d_recompute);
+            grad_q.add_assign(&dq_c);
+            cur_dk.add_assign(&dk_c);
+            cur_dv.add_assign(&dv_c);
+            let last_inner = inner == gpn - 1;
+            let dst = if last_inner {
+                if outer == nodes - 1 {
+                    break; // sweep done; completion hops below
+                }
+                comm.peer_next_node()
+            } else {
+                comm.next_in_node()
+            };
+            let src_peer = if last_inner {
+                comm.peer_prev_node()
+            } else {
+                comm.prev_in_node()
+            };
+            comm.send_mat(dst, &cur_k);
+            comm.send_mat(dst, &cur_v);
+            comm.send_mat(dst, &cur_dk);
+            comm.send_mat(dst, &cur_dv);
+            cur_k = comm.recv_mat(src_peer);
+            cur_v = comm.recv_mat(src_peer);
+            cur_dk = comm.recv_mat(src_peer);
+            cur_dv = comm.recv_mat(src_peer);
+            src = if last_inner {
+                topo.peer_prev_node(src)
+            } else {
+                topo.prev_in_node(src)
+            };
+        }
+    }
+    // Completion: deliver (∇K, ∇V) home — one inter hop (the sweep ends one
+    // node early) plus `nodes mod gpn` intra hops (local drift of the
+    // nested rotation).
+    if nodes > 1 {
+        comm.send_mat(comm.peer_next_node(), &cur_dk);
+        comm.send_mat(comm.peer_next_node(), &cur_dv);
+        cur_dk = comm.recv_mat(comm.peer_prev_node());
+        cur_dv = comm.recv_mat(comm.peer_prev_node());
+        src = topo.peer_prev_node(src);
+    }
+    for _ in 0..nodes % gpn {
+        comm.send_mat(comm.next_in_node(), &cur_dk);
+        comm.send_mat(comm.next_in_node(), &cur_dv);
+        cur_dk = comm.recv_mat(comm.prev_in_node());
+        cur_dv = comm.recv_mat(comm.prev_in_node());
+        // The buffer we now hold came from our intra predecessor, whose
+        // owner sits one local slot earlier than our previous buffer's.
+        src = topo.prev_in_node(src);
+    }
+    debug_assert_eq!(src, comm.rank(), "alg1 completion must deliver home");
+    (grad_q, cur_dk, cur_dv)
+}
+
+/// Full BurstAttention backward: Algorithm 2 over the two-level ring with
+/// fine-grained gradient overlap.
+///
+/// The read-only bundle `(Q_j, ∇O_j, Lse_j, D_j)` takes the forward's
+/// traversal (early inter posts, intra posts before compute). `∇Q_j`
+/// follows one compute step behind: after rank `r` computes its
+/// contribution at slot `(o, t)`, it forwards `∇Q_j` to the rank that
+/// processes bundle `j` at the next slot — `next_in_node(r)` within a
+/// sweep, and the *diagonal* peer `peer_next(next_in(r))` across sweeps.
+pub fn double_ring_backward_alg2(
+    comm: &mut Communicator,
+    shard: &AttnShard,
+    back: &BackwardInputs,
+) -> (Mat, Mat, Mat) {
+    let topo = comm.topology().clone();
+    let (nodes, gpn) = (topo.nodes, topo.gpus_per_node);
+    let g = comm.world_size();
+    let d = shard.q.cols();
+    let ki = shard.my_idx(comm);
+    let d_vec = back.grad_o.rowsum_hadamard(back.o);
+    comm.advance_compute(shard.cost.gemm_secs(shard.q.rows(), d, 1));
+    let mut grad_k = Mat::zeros(shard.k.rows(), shard.k.cols());
+    let mut grad_v = Mat::zeros(shard.v.rows(), shard.v.cols());
+
+    if g == 1 {
+        let (dq, dk, dv, w) = attn_tile_backward(
+            shard.q,
+            shard.k,
+            shard.v,
+            back.grad_o,
+            back.lse,
+            &d_vec,
+            shard.scale,
+            shard.mask,
+            &ki,
+            &ki,
+        );
+        comm.advance_compute(shard.cost.attn_bwd_secs(w.pairs, d));
+        grad_k.add_assign(&dk);
+        grad_v.add_assign(&dv);
+        return (dq, grad_k, grad_v);
+    }
+
+    // The rank that processes a bundle right after us when crossing nodes,
+    // and the one that processed it right before us.
+    let diag_next = topo.peer_next_node(topo.next_in_node(comm.rank()));
+    let diag_prev = topo.peer_prev_node(topo.prev_in_node(comm.rank()));
+
+    let mut start_q = shard.q.clone();
+    let mut start_do = back.grad_o.clone();
+    let mut start_lse = back.lse.to_vec();
+    let mut start_d = d_vec.clone();
+    let mut start_src = comm.rank();
+
+    for outer in 0..nodes {
+        if outer < nodes - 1 {
+            // Early inter-node post of the read-only bundle.
+            let p = comm.peer_next_node();
+            comm.send_mat(p, &start_q);
+            comm.send_mat(p, &start_do);
+            comm.send_vec(p, &start_lse);
+            comm.send_vec(p, &start_d);
+        }
+        let mut cur_q = start_q.clone();
+        let mut cur_do = start_do.clone();
+        let mut cur_lse = start_lse.clone();
+        let mut cur_d = start_d.clone();
+        let mut src = start_src;
+        for inner in 0..gpn {
+            if inner < gpn - 1 {
+                // Read-only intra post before compute.
+                let n = comm.next_in_node();
+                comm.send_mat(n, &cur_q);
+                comm.send_mat(n, &cur_do);
+                comm.send_vec(n, &cur_lse);
+                comm.send_vec(n, &cur_d);
+            }
+            let qidx = shard.idx_of(comm, src);
+            let (dq_c, dk_c, dv_c, w) = attn_tile_backward(
+                &cur_q,
+                shard.k,
+                shard.v,
+                &cur_do,
+                &cur_lse,
+                &cur_d,
+                shard.scale,
+                shard.mask,
+                &qidx,
+                &ki,
+            );
+            comm.advance_compute(shard.cost.attn_bwd_secs(w.pairs, d));
+            grad_k.add_assign(&dk_c);
+            grad_v.add_assign(&dv_c);
+            // ∇Q stream, one step behind: receive the partial sum from the
+            // bundle's previous processor (none at the very first slot),
+            // add our contribution, forward to the next processor.
+            let dq_j = if outer == 0 && inner == 0 {
+                dq_c
+            } else {
+                let from = if inner == 0 { diag_prev } else { comm.prev_in_node() };
+                let mut dq = comm.recv_mat(from);
+                dq.add_assign(&dq_c);
+                dq
+            };
+            let to = if inner == gpn - 1 { diag_next } else { comm.next_in_node() };
+            comm.send_mat(to, &dq_j);
+            if inner < gpn - 1 {
+                let p = comm.prev_in_node();
+                cur_q = comm.recv_mat(p);
+                cur_do = comm.recv_mat(p);
+                cur_lse = comm.recv_vec(p);
+                cur_d = comm.recv_vec(p);
+                src = topo.prev_in_node(src);
+            }
+        }
+        if outer < nodes - 1 {
+            let p = comm.peer_prev_node();
+            start_q = comm.recv_mat(p);
+            start_do = comm.recv_mat(p);
+            start_lse = comm.recv_vec(p);
+            start_d = comm.recv_vec(p);
+            start_src = topo.peer_prev_node(start_src);
+        }
+    }
+    // The very last ∇Q send above (slot (nodes−1, gpn−1)) delivered that
+    // bundle's gradient home via the diagonal; symmetrically, our own ∇Q
+    // arrives from our diagonal predecessor.
+    let grad_q = comm.recv_mat(diag_prev);
+    (grad_q, grad_k, grad_v)
+}

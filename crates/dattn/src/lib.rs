@@ -1,0 +1,110 @@
+//! # burst-dattn
+//!
+//! Distributed attention — the paper's primary contribution — implemented on
+//! the simulated cluster of [`burst_comm`]. Real tensors move between rank
+//! threads, so every algorithm here is validated bit-for-bit against the
+//! single-device kernels; virtual time and byte counters reproduce the
+//! paper's communication claims.
+//!
+//! Algorithms:
+//!
+//! * [`ring`] — the flat global ring: forward pass (shared by RingAttention
+//!   and BurstAttention, `2Nd` communication), RingAttention's backward
+//!   (Algorithm 1, `4Nd`) and BurstAttention's backward (Algorithm 2,
+//!   `3Nd + 2N`) with optional fine-grained gradient overlap;
+//! * [`double_ring`] — topology-aware two-level rings (paper §3.1, Fig. 4):
+//!   intra-node NVLink sub-rings nested inside an inter-node NIC ring, with
+//!   the inter-node exchange posted early so it hides behind a whole
+//!   intra-node sweep. Provides both the DoubleRingAttention baseline
+//!   (no gradient overlap in backward) and BurstAttention's topology-aware
+//!   variant;
+//! * [`ulysses`] — DeepSpeed-Ulysses head parallelism (all-to-all);
+//! * [`usp`] — LoongTrain's hybrid head+context parallelism;
+//! * [`layout`] — sequence partitions: contiguous, zigzag (Eq. 11–12) and
+//!   striped (Eq. 13–14) causal workload balance. Because the kernels take
+//!   global token indices and skip fully-masked tiles, balance follows from
+//!   the partition alone — including for block-wise sparse masks (Fig. 11);
+//! * [`cost`] — the FLOP→seconds model that turns kernel work counters into
+//!   virtual compute time on the simulated A800s.
+
+pub mod cost;
+pub mod double_ring;
+pub mod layout;
+pub mod ring;
+pub mod ulysses;
+pub mod usp;
+
+pub use cost::CostModel;
+pub use layout::Layout;
+pub use ring::{
+    burst_backward, ring_backward, ring_forward, AttnShard, BackwardInputs, DistAttnOut,
+    OverlapMode, Ring,
+};
+
+use burst_comm::Communicator;
+use burst_kernels::AttnMask;
+use burst_tensor::Mat;
+
+/// Which distributed attention implementation to run — mirrors the paper's
+/// evaluated systems (Fig. 14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// RingAttention on the flat global ring (Megatron-CP style).
+    RingFlat,
+    /// BurstAttention (Alg. 2 backward) on the flat global ring.
+    BurstFlat,
+    /// DoubleRingAttention (LoongTrain): topology-aware rings, Alg. 1
+    /// backward, no gradient overlap.
+    DoubleRing,
+    /// Full BurstAttention: topology-aware rings + Alg. 2 backward with
+    /// fine-grained gradient overlap.
+    BurstTopo,
+}
+
+/// One forward+backward of the selected algorithm on this rank's shard.
+/// Returns `(O, Lse, dQ, dK, dV)`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_attention(
+    algo: Algo,
+    comm: &mut Communicator,
+    q: &Mat,
+    k: &Mat,
+    v: &Mat,
+    grad_o: &Mat,
+    scale: f32,
+    mask: &AttnMask,
+    layout: Layout,
+    seq_len: usize,
+    cost: &CostModel,
+) -> (Mat, Vec<f32>, Mat, Mat, Mat) {
+    let shard = AttnShard {
+        q,
+        k,
+        v,
+        scale,
+        mask,
+        layout,
+        seq_len,
+        cost: *cost,
+        max_token: None,
+    };
+    let ring = Ring::global(comm);
+    let fwd = match algo {
+        Algo::RingFlat | Algo::BurstFlat => ring_forward(comm, &ring, &shard),
+        Algo::DoubleRing | Algo::BurstTopo => double_ring::double_ring_forward(comm, &shard),
+    };
+    let back = BackwardInputs {
+        o: &fwd.o,
+        lse: &fwd.lse,
+        grad_o,
+    };
+    let (dq, dk, dv) = match algo {
+        Algo::RingFlat => ring_backward(comm, &ring, &shard, &back, OverlapMode::Fine),
+        Algo::BurstFlat => burst_backward(comm, &ring, &shard, &back, OverlapMode::Fine),
+        Algo::DoubleRing => {
+            double_ring::double_ring_backward_alg1(comm, &shard, &back)
+        }
+        Algo::BurstTopo => double_ring::double_ring_backward_alg2(comm, &shard, &back),
+    };
+    (fwd.o, fwd.lse, dq, dk, dv)
+}

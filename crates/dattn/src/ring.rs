@@ -1,0 +1,406 @@
+//! Flat global-ring attention: the shared forward pass, RingAttention's
+//! backward (Algorithm 1) and BurstAttention's backward (Algorithm 2).
+//!
+//! ## Communication accounting (per rank, `N` tokens, `G` ranks, head dim `d`)
+//!
+//! * forward: `(G−1)` ring hops of `(K_j, V_j)` → `2Nd·(G−1)/G ≈ 2Nd`;
+//! * Algorithm 1 backward: `G` hops of `(K_j, V_j, ∇K_j, ∇V_j)` → exactly
+//!   `4Nd` (the read-only `K, V` ride the ring all the way home — the waste
+//!   BurstAttention eliminates);
+//! * Algorithm 2 backward: `(G−1)` hops of the read-only bundle
+//!   `(Q_j, ∇O_j, Lse_j, D_j)` plus `G` hops of `∇Q_j` →
+//!   `(2Nd + 2N)(G−1)/G + Nd ≈ 3Nd + 2N`, ~25 % less than Algorithm 1.
+//!
+//! These counts are asserted exactly from the simulator's byte counters in
+//! the crate tests.
+//!
+//! ## Overlap
+//!
+//! With [`OverlapMode::Fine`], read-only payloads are posted *before* the
+//! local compute of each step (activation overlapping, Fig. 5 top) and
+//! gradients are forwarded right after the compute that produced them, one
+//! round behind the read-only stream (the warm-up-round trick, Fig. 5
+//! bottom) — so both transfer streams hide behind compute in virtual time.
+//! [`OverlapMode::None`] sends everything after compute and receives before
+//! the next compute, serialising communication; the delta between the two
+//! modes is the paper's "fine-grained overlap" ablation row.
+
+use crate::cost::CostModel;
+use crate::layout::Layout;
+use burst_comm::Communicator;
+use burst_kernels::{attn_tile_backward, flash_forward, AttnMask, KernelWork, OnlineState};
+use burst_tensor::Mat;
+
+/// This rank's slice of the attention problem plus the global parameters.
+pub struct AttnShard<'a> {
+    pub q: &'a Mat,
+    pub k: &'a Mat,
+    pub v: &'a Mat,
+    pub scale: f32,
+    pub mask: &'a AttnMask,
+    pub layout: Layout,
+    /// Global sequence length `N`.
+    pub seq_len: usize,
+    pub cost: CostModel,
+    /// Restrict the attention problem to global tokens `< max_token`
+    /// (every rank's `Q/K/V` must hold exactly its owned tokens below the
+    /// cutoff, in layout order). Used by sequence-level selective
+    /// checkpointing to recompute only the front segment. `None` = full
+    /// sequence.
+    pub max_token: Option<usize>,
+}
+
+impl AttnShard<'_> {
+    /// Global indices owned by ring position `pos` of a `ring_size` ring.
+    pub fn idx_at(&self, ring_size: usize, pos: usize) -> Vec<usize> {
+        let idx = self.layout.indices(self.seq_len, ring_size, pos);
+        match self.max_token {
+            Some(cut) => idx.into_iter().filter(|&i| i < cut).collect(),
+            None => idx,
+        }
+    }
+
+    /// Global indices owned by `rank` on the global ring.
+    pub fn idx_of(&self, comm: &Communicator, rank: usize) -> Vec<usize> {
+        self.idx_at(comm.world_size(), rank)
+    }
+
+    pub fn my_idx(&self, comm: &Communicator) -> Vec<usize> {
+        self.idx_of(comm, comm.rank())
+    }
+
+    fn head_dim(&self) -> usize {
+        self.q.cols()
+    }
+}
+
+/// Extra inputs for the backward pass.
+pub struct BackwardInputs<'a> {
+    pub o: &'a Mat,
+    pub lse: &'a [f32],
+    pub grad_o: &'a Mat,
+}
+
+/// Per-rank result of a distributed attention forward.
+#[derive(Debug, Clone)]
+pub struct DistAttnOut {
+    pub o: Mat,
+    pub lse: Vec<f32>,
+    pub work: KernelWork,
+}
+
+/// Communication/computation overlap discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverlapMode {
+    /// Communicate strictly between compute steps (no hiding).
+    None,
+    /// Fine-grained overlap: read-only data posted before compute,
+    /// gradients one round behind (paper Fig. 5).
+    Fine,
+}
+
+
+/// An ordered ring of ranks. [`Ring::global`] spans the whole world;
+/// sub-rings (e.g. the context-parallel groups of USP) list their members
+/// explicitly.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// Global rank of each member, in ring order.
+    pub members: Vec<usize>,
+    /// This rank's position within `members`.
+    pub pos: usize,
+}
+
+impl Ring {
+    /// The flat ring over all ranks.
+    pub fn global(comm: &Communicator) -> Ring {
+        Ring {
+            members: (0..comm.world_size()).collect(),
+            pos: comm.rank(),
+        }
+    }
+
+    /// A sub-ring; panics if `comm`'s rank is not a member.
+    #[track_caller]
+    pub fn subgroup(comm: &Communicator, members: Vec<usize>) -> Ring {
+        let pos = members
+            .iter()
+            .position(|&m| m == comm.rank())
+            .expect("Ring::subgroup: calling rank not in member list");
+        Ring { members, pos }
+    }
+
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Global rank of the next member.
+    #[inline]
+    pub fn next(&self) -> usize {
+        self.members[(self.pos + 1) % self.members.len()]
+    }
+
+    /// Global rank of the previous member.
+    #[inline]
+    pub fn prev(&self) -> usize {
+        self.members[(self.pos + self.members.len() - 1) % self.members.len()]
+    }
+}
+
+/// Forward pass on the flat global ring (shared by RingAttention and
+/// BurstAttention): `K, V` partitions circulate, each rank folds every
+/// partition into its online-softmax state.
+pub fn ring_forward(comm: &mut Communicator, ring: &Ring, shard: &AttnShard) -> DistAttnOut {
+    let g = ring.size();
+    let d = shard.head_dim();
+    let qi = shard.idx_at(g, ring.pos);
+    let mut state = OnlineState::empty(shard.q.rows(), shard.v.cols());
+    let mut work = KernelWork::default();
+    let mut cur_k = shard.k.clone();
+    let mut cur_v = shard.v.clone();
+    let mut src = ring.pos;
+    for step in 0..g {
+        // Post the shift before computing so the transfer hides under the
+        // kernel (double buffering).
+        if step < g - 1 {
+            comm.send_mat(ring.next(), &cur_k);
+            comm.send_mat(ring.next(), &cur_v);
+        }
+        let kidx = shard.idx_at(g, src);
+        let out = flash_forward(shard.q, &cur_k, &cur_v, shard.scale, shard.mask, &qi, &kidx);
+        comm.advance_compute(shard.cost.attn_fwd_secs(out.work.pairs, d));
+        state.merge(&OnlineState::new(out.o, out.lse));
+        work.merge(out.work);
+        if step < g - 1 {
+            cur_k = comm.recv_mat(ring.prev());
+            cur_v = comm.recv_mat(ring.prev());
+            src = (src + g - 1) % g;
+        }
+    }
+    DistAttnOut {
+        o: state.o,
+        lse: state.lse,
+        work,
+    }
+}
+
+/// RingAttention backward (Algorithm 1): `(K_j, V_j, ∇K_j, ∇V_j)` circulate
+/// for `G` full hops (exactly `4Nd` words per rank); `∇Q_i` accumulates
+/// locally. Per Algorithm 1 line 10, `D_i = rowsum(∇O_i ∘ O_i)` is
+/// recomputed every round — we charge its (small) cost each round, which is
+/// precisely the compute overhead Algorithm 2 removes.
+pub fn ring_backward(
+    comm: &mut Communicator,
+    ring: &Ring,
+    shard: &AttnShard,
+    back: &BackwardInputs,
+    overlap: OverlapMode,
+) -> (Mat, Mat, Mat) {
+    let g = ring.size();
+    let d = shard.head_dim();
+    let qi = shard.idx_at(g, ring.pos);
+    let d_vec = back.grad_o.rowsum_hadamard(back.o);
+    let d_recompute = shard.cost.gemm_secs(shard.q.rows(), d, 1);
+    if g == 1 {
+        let (dq, dk, dv, w) = attn_tile_backward(
+            shard.q, shard.k, shard.v, back.grad_o, back.lse, &d_vec, shard.scale, shard.mask,
+            &qi, &qi,
+        );
+        comm.advance_compute(shard.cost.attn_bwd_secs(w.pairs, d) + d_recompute);
+        return (dq, dk, dv);
+    }
+    let mut grad_q = Mat::zeros(shard.q.rows(), shard.q.cols());
+    let mut cur_k = shard.k.clone();
+    let mut cur_v = shard.v.clone();
+    let mut cur_dk = Mat::zeros(shard.k.rows(), shard.k.cols());
+    let mut cur_dv = Mat::zeros(shard.v.rows(), shard.v.cols());
+    let mut src = ring.pos;
+    for _step in 0..g {
+        if overlap == OverlapMode::Fine {
+            // Activations can depart before the compute that reads them
+            // (we own a copy); gradients cannot.
+            comm.send_mat(ring.next(), &cur_k);
+            comm.send_mat(ring.next(), &cur_v);
+        }
+        let kidx = shard.idx_at(g, src);
+        let (dq_c, dk_c, dv_c, w) = attn_tile_backward(
+            shard.q,
+            &cur_k,
+            &cur_v,
+            back.grad_o,
+            back.lse,
+            &d_vec,
+            shard.scale,
+            shard.mask,
+            &qi,
+            &kidx,
+        );
+        comm.advance_compute(shard.cost.attn_bwd_secs(w.pairs, d) + d_recompute);
+        grad_q.add_assign(&dq_c);
+        cur_dk.add_assign(&dk_c);
+        cur_dv.add_assign(&dv_c);
+        match overlap {
+            OverlapMode::Fine => {
+                comm.send_mat(ring.next(), &cur_dk);
+                comm.send_mat(ring.next(), &cur_dv);
+            }
+            OverlapMode::None => {
+                comm.send_mat(ring.next(), &cur_k);
+                comm.send_mat(ring.next(), &cur_v);
+                comm.send_mat(ring.next(), &cur_dk);
+                comm.send_mat(ring.next(), &cur_dv);
+            }
+        }
+        cur_k = comm.recv_mat(ring.prev());
+        cur_v = comm.recv_mat(ring.prev());
+        cur_dk = comm.recv_mat(ring.prev());
+        cur_dv = comm.recv_mat(ring.prev());
+        src = (src + g - 1) % g;
+    }
+    // After G hops everything is home: src wrapped to our own position and
+    // the circulating buffers carry the fully reduced gradients of our K, V.
+    debug_assert_eq!(src, ring.pos);
+    (grad_q, cur_dk, cur_dv)
+}
+
+/// BurstAttention backward (Algorithm 2): `K_i, V_i, ∇K_i, ∇V_i` stay
+/// local; the read-only bundle `(Q_j, ∇O_j, Lse_j, D_j)` circulates `G−1`
+/// hops and `∇Q_j` circulates `G` hops — `≈ 3Nd + 2N` words per rank.
+/// `D_i` is computed once, before the loop (Algorithm 2 line 2).
+///
+/// With [`OverlapMode::Fine`] the read-only bundle is forwarded *on
+/// receipt* (before the local compute) and `∇Q` follows one round behind —
+/// the warm-up-round schedule of Fig. 5 that lets gradient communication
+/// hide under compute.
+pub fn burst_backward(
+    comm: &mut Communicator,
+    ring: &Ring,
+    shard: &AttnShard,
+    back: &BackwardInputs,
+    overlap: OverlapMode,
+) -> (Mat, Mat, Mat) {
+    let g = ring.size();
+    let d = shard.head_dim();
+    let ki = shard.idx_at(g, ring.pos);
+    let d_vec = back.grad_o.rowsum_hadamard(back.o);
+    comm.advance_compute(shard.cost.gemm_secs(shard.q.rows(), d, 1));
+    let mut grad_k = Mat::zeros(shard.k.rows(), shard.k.cols());
+    let mut grad_v = Mat::zeros(shard.v.rows(), shard.v.cols());
+
+    let compute = |comm: &mut Communicator,
+                   grad_k: &mut Mat,
+                   grad_v: &mut Mat,
+                   q_j: &Mat,
+                   do_j: &Mat,
+                   lse_j: &[f32],
+                   d_j: &[f32],
+                   src: usize|
+     -> Mat {
+        let qidx = shard.idx_at(g, src);
+        let (dq_c, dk_c, dv_c, w) = attn_tile_backward(
+            q_j,
+            shard.k,
+            shard.v,
+            do_j,
+            lse_j,
+            d_j,
+            shard.scale,
+            shard.mask,
+            &qidx,
+            &ki,
+        );
+        comm.advance_compute(shard.cost.attn_bwd_secs(w.pairs, d));
+        grad_k.add_assign(&dk_c);
+        grad_v.add_assign(&dv_c);
+        dq_c
+    };
+
+    if g == 1 {
+        let dq = compute(
+            comm,
+            &mut grad_k,
+            &mut grad_v,
+            shard.q,
+            back.grad_o,
+            back.lse,
+            &d_vec,
+            0,
+        );
+        return (dq, grad_k, grad_v);
+    }
+
+    match overlap {
+        OverlapMode::Fine => {
+            // Warm-up round: process our own bundle before any communication
+            // (Fig. 5 bottom), then stream: forward the read-only bundle the
+            // moment it arrives, compute, and send ∇Q one round behind.
+            let me = ring.pos;
+            let next = ring.next();
+            let prev = ring.prev();
+            // Read-only parts depart before the warm-up compute; ∇Q follows
+            // one round behind it.
+            comm.send_mat(next, shard.q);
+            comm.send_mat(next, back.grad_o);
+            comm.send_vec(next, back.lse);
+            comm.send_vec(next, &d_vec);
+            let dq_own =
+                compute(comm, &mut grad_k, &mut grad_v, shard.q, back.grad_o, back.lse, &d_vec, me);
+            comm.send_mat(next, &dq_own);
+            for s in 1..g {
+                let src = (me + g - s) % g;
+                let q_j = comm.recv_mat(prev);
+                let do_j = comm.recv_mat(prev);
+                let lse_j = comm.recv_vec(prev);
+                let d_j = comm.recv_vec(prev);
+                if s < g - 1 {
+                    // The next rank is not the bundle's home: forward the
+                    // read-only parts immediately, before computing.
+                    comm.send_mat(next, &q_j);
+                    comm.send_mat(next, &do_j);
+                    comm.send_vec(next, &lse_j);
+                    comm.send_vec(next, &d_j);
+                }
+                let dq_c = compute(comm, &mut grad_k, &mut grad_v, &q_j, &do_j, &lse_j, &d_j, src);
+                let mut dq_j = comm.recv_mat(prev);
+                dq_j.add_assign(&dq_c);
+                comm.send_mat(next, &dq_j);
+            }
+            let grad_q = comm.recv_mat(prev);
+            (grad_q, grad_k, grad_v)
+        }
+        OverlapMode::None => {
+            // Bundle moves strictly after each compute: no hiding.
+            let mut cur_q = shard.q.clone();
+            let mut cur_do = back.grad_o.clone();
+            let mut cur_lse = back.lse.to_vec();
+            let mut cur_d = d_vec.clone();
+            let mut cur_dq = Mat::zeros(shard.q.rows(), shard.q.cols());
+            let mut src = ring.pos;
+            for step in 0..g {
+                let dq_c = compute(
+                    comm, &mut grad_k, &mut grad_v, &cur_q, &cur_do, &cur_lse, &cur_d, src,
+                );
+                cur_dq.add_assign(&dq_c);
+                if step < g - 1 {
+                    comm.send_mat(ring.next(), &cur_q);
+                    comm.send_mat(ring.next(), &cur_do);
+                    comm.send_vec(ring.next(), &cur_lse);
+                    comm.send_vec(ring.next(), &cur_d);
+                    comm.send_mat(ring.next(), &cur_dq);
+                    cur_q = comm.recv_mat(ring.prev());
+                    cur_do = comm.recv_mat(ring.prev());
+                    cur_lse = comm.recv_vec(ring.prev());
+                    cur_d = comm.recv_vec(ring.prev());
+                    cur_dq = comm.recv_mat(ring.prev());
+                    src = (src + g - 1) % g;
+                } else {
+                    // Last hop: only ∇Q needs to travel home.
+                    comm.send_mat(ring.next(), &cur_dq);
+                    cur_dq = comm.recv_mat(ring.prev());
+                }
+            }
+            (cur_dq, grad_k, grad_v)
+        }
+    }
+}

@@ -1,0 +1,476 @@
+//! Blocked (FlashAttention-style) attention forward and backward.
+//!
+//! The forward tiles over keys and folds each tile's local softmax into an
+//! [`OnlineState`], so the `N/G × N/G` score matrix of a ring step is never
+//! stored beyond one tile. The backward is exposed at two levels:
+//!
+//! * [`attn_tile_backward`] — the tile kernel of Algorithms 1–2: given the
+//!   *global* per-row `Lse` and `D = rowsum(∇O ∘ O)`, produce this tile's
+//!   contributions `(∇Q, ∇K, ∇V)`. Ring algorithms call it once per ring
+//!   step with remote partitions.
+//! * [`flash_backward`] — the single-device composition: computes `D`
+//!   locally and loops over local key tiles.
+//!
+//! All kernels take global token indices (`q_idx`, `k_idx`) so the
+//! zigzag/striped layouts of §3.4 work unchanged, and they skip
+//! fully-masked tiles — the savings measured in Table 3.
+
+use crate::mask::{AttnMask, TileState};
+use crate::online::OnlineState;
+use burst_tensor::Mat;
+
+/// Default square tile edge. Correctness never depends on it.
+pub const DEFAULT_BLOCK: usize = 32;
+
+/// Work counters: how much attention math a kernel actually performed.
+///
+/// `pairs` counts allowed (query, key) pairs — proportional to FLOPs — and
+/// is what the simulator converts into virtual compute time, so workload
+/// *imbalance* across ranks shows up as idle time exactly as on real GPUs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelWork {
+    pub tiles_computed: usize,
+    pub tiles_skipped: usize,
+    pub pairs: u64,
+}
+
+impl KernelWork {
+    pub fn merge(&mut self, other: KernelWork) {
+        self.tiles_computed += other.tiles_computed;
+        self.tiles_skipped += other.tiles_skipped;
+        self.pairs += other.pairs;
+    }
+}
+
+/// Output of the blocked forward: aggregated output, per-row log-sum-exp,
+/// and work counters.
+#[derive(Debug, Clone)]
+pub struct FlashOut {
+    pub o: Mat,
+    pub lse: Vec<f32>,
+    pub work: KernelWork,
+}
+
+fn count_pairs(mask: &AttnMask, state: TileState, q_idx: &[usize], k_idx: &[usize]) -> u64 {
+    match state {
+        TileState::FullyAllowed => (q_idx.len() * k_idx.len()) as u64,
+        TileState::FullyMasked => 0,
+        TileState::Partial => q_idx
+            .iter()
+            .map(|&i| k_idx.iter().filter(|&&j| mask.allowed(i, j)).count() as u64)
+            .sum(),
+    }
+}
+
+/// Apply `mask` to a score tile in place (`-inf` where disallowed).
+fn mask_tile(s: &mut Mat, mask: &AttnMask, q_idx: &[usize], k_idx: &[usize]) {
+    for (r, &gi) in q_idx.iter().enumerate() {
+        let row = s.row_mut(r);
+        for (c, &gj) in k_idx.iter().enumerate() {
+            if !mask.allowed(gi, gj) {
+                row[c] = f32::NEG_INFINITY;
+            }
+        }
+    }
+}
+
+/// Blocked attention forward with online softmax, default tile size.
+pub fn flash_forward(
+    q: &Mat,
+    k: &Mat,
+    v: &Mat,
+    scale: f32,
+    mask: &AttnMask,
+    q_idx: &[usize],
+    k_idx: &[usize],
+) -> FlashOut {
+    flash_forward_with_block(q, k, v, scale, mask, q_idx, k_idx, DEFAULT_BLOCK)
+}
+
+/// Blocked attention forward with an explicit tile size.
+#[allow(clippy::too_many_arguments)]
+#[track_caller]
+pub fn flash_forward_with_block(
+    q: &Mat,
+    k: &Mat,
+    v: &Mat,
+    scale: f32,
+    mask: &AttnMask,
+    q_idx: &[usize],
+    k_idx: &[usize],
+    block: usize,
+) -> FlashOut {
+    assert!(block > 0, "flash_forward: zero block");
+    assert_eq!(q.rows(), q_idx.len(), "flash_forward: q_idx length");
+    assert_eq!(k.rows(), k_idx.len(), "flash_forward: k_idx length");
+    assert_eq!(k.rows(), v.rows(), "flash_forward: K/V rows");
+    assert_eq!(q.cols(), k.cols(), "flash_forward: Q/K dim");
+    let (n, d) = (q.rows(), v.cols());
+    let mut o = Mat::zeros(n, d);
+    let mut lse = vec![f32::NEG_INFINITY; n];
+    let mut work = KernelWork::default();
+
+    let mut r0 = 0;
+    while r0 < n {
+        let r1 = (r0 + block).min(n);
+        let qb = q.slice_rows(r0, r1);
+        let qi = &q_idx[r0..r1];
+        let mut state = OnlineState::empty(r1 - r0, d);
+        let mut c0 = 0;
+        while c0 < k.rows() {
+            let c1 = (c0 + block).min(k.rows());
+            let ki = &k_idx[c0..c1];
+            let tstate = mask.tile_state(qi, ki);
+            if tstate == TileState::FullyMasked {
+                work.tiles_skipped += 1;
+                c0 = c1;
+                continue;
+            }
+            let kb = k.slice_rows(c0, c1);
+            let vb = v.slice_rows(c0, c1);
+            let mut s = qb.matmul_nt(&kb);
+            s.scale(scale);
+            if tstate == TileState::Partial {
+                mask_tile(&mut s, mask, qi, ki);
+            }
+            let tile_lse = s.lse_rows();
+            let p = s.exp_sub_rowwise(&tile_lse);
+            let o_tile = p.matmul(&vb);
+            state.merge(&OnlineState::new(o_tile, tile_lse));
+            work.tiles_computed += 1;
+            work.pairs += count_pairs(mask, tstate, qi, ki);
+            c0 = c1;
+        }
+        o.set_rows(r0, &state.o);
+        lse[r0..r1].copy_from_slice(&state.lse);
+        r0 = r1;
+    }
+    FlashOut { o, lse, work }
+}
+
+/// The tile backward kernel of Algorithms 1–2 (default tile size).
+///
+/// Inputs are a query block (with its gradient stream `∇O`, global `Lse`
+/// and global `D = rowsum(∇O ∘ O)`) and a key/value block. Returns the
+/// tile's additive contributions `(∇Q, ∇K, ∇V)` and work counters.
+#[allow(clippy::too_many_arguments)]
+pub fn attn_tile_backward(
+    q: &Mat,
+    k: &Mat,
+    v: &Mat,
+    grad_o: &Mat,
+    lse: &[f32],
+    d_vec: &[f32],
+    scale: f32,
+    mask: &AttnMask,
+    q_idx: &[usize],
+    k_idx: &[usize],
+) -> (Mat, Mat, Mat, KernelWork) {
+    attn_tile_backward_with_block(
+        q, k, v, grad_o, lse, d_vec, scale, mask, q_idx, k_idx, DEFAULT_BLOCK,
+    )
+}
+
+/// [`attn_tile_backward`] with an explicit tile size.
+#[allow(clippy::too_many_arguments)]
+#[track_caller]
+pub fn attn_tile_backward_with_block(
+    q: &Mat,
+    k: &Mat,
+    v: &Mat,
+    grad_o: &Mat,
+    lse: &[f32],
+    d_vec: &[f32],
+    scale: f32,
+    mask: &AttnMask,
+    q_idx: &[usize],
+    k_idx: &[usize],
+    block: usize,
+) -> (Mat, Mat, Mat, KernelWork) {
+    assert!(block > 0, "attn_tile_backward: zero block");
+    assert_eq!(q.rows(), q_idx.len(), "attn_tile_backward: q_idx length");
+    assert_eq!(k.rows(), k_idx.len(), "attn_tile_backward: k_idx length");
+    assert_eq!(q.rows(), grad_o.rows(), "attn_tile_backward: ∇O rows");
+    assert_eq!(q.rows(), lse.len(), "attn_tile_backward: Lse length");
+    assert_eq!(q.rows(), d_vec.len(), "attn_tile_backward: D length");
+    let mut grad_q = Mat::zeros(q.rows(), q.cols());
+    let mut grad_k = Mat::zeros(k.rows(), k.cols());
+    let mut grad_v = Mat::zeros(v.rows(), v.cols());
+    let mut work = KernelWork::default();
+
+    let mut r0 = 0;
+    while r0 < q.rows() {
+        let r1 = (r0 + block).min(q.rows());
+        let qi = &q_idx[r0..r1];
+        let qb = q.slice_rows(r0, r1);
+        let dob = grad_o.slice_rows(r0, r1);
+        let lse_b = &lse[r0..r1];
+        let d_b = &d_vec[r0..r1];
+        let mut c0 = 0;
+        while c0 < k.rows() {
+            let c1 = (c0 + block).min(k.rows());
+            let ki = &k_idx[c0..c1];
+            let tstate = mask.tile_state(qi, ki);
+            if tstate == TileState::FullyMasked {
+                work.tiles_skipped += 1;
+                c0 = c1;
+                continue;
+            }
+            let kb = k.slice_rows(c0, c1);
+            let vb = v.slice_rows(c0, c1);
+            // Recompute P for this tile from the stored global Lse.
+            let mut s = qb.matmul_nt(&kb);
+            s.scale(scale);
+            if tstate == TileState::Partial {
+                mask_tile(&mut s, mask, qi, ki);
+            }
+            let p = s.exp_sub_rowwise(lse_b);
+            // ∇V_tile = Pᵀ ∇O
+            let gv = p.matmul_tn(&dob);
+            for (r, gr) in (c0..c1).zip(0..gv.rows()) {
+                let dst = grad_v.row_mut(r);
+                for (o, x) in dst.iter_mut().zip(gv.row(gr)) {
+                    *o += x;
+                }
+            }
+            // ∇P = ∇O Vᵀ ; ∇S = P ∘ (∇P − D)
+            let grad_p = dob.matmul_nt(&vb);
+            let mut grad_s = p;
+            for r in 0..grad_s.rows() {
+                let drow = d_b[r];
+                let gp = grad_p.row(r);
+                for (gs, g) in grad_s.row_mut(r).iter_mut().zip(gp) {
+                    *gs *= g - drow;
+                }
+            }
+            // ∇Q_block += scale · ∇S K ; ∇K_tile += scale · ∇Sᵀ Q
+            let mut gq = grad_s.matmul(&kb);
+            gq.scale(scale);
+            for (r, gr) in (r0..r1).zip(0..gq.rows()) {
+                let dst = grad_q.row_mut(r);
+                for (o, x) in dst.iter_mut().zip(gq.row(gr)) {
+                    *o += x;
+                }
+            }
+            let mut gk = grad_s.matmul_tn(&qb);
+            gk.scale(scale);
+            for (r, gr) in (c0..c1).zip(0..gk.rows()) {
+                let dst = grad_k.row_mut(r);
+                for (o, x) in dst.iter_mut().zip(gk.row(gr)) {
+                    *o += x;
+                }
+            }
+            work.tiles_computed += 1;
+            work.pairs += count_pairs(mask, tstate, qi, ki);
+            c0 = c1;
+        }
+        r0 = r1;
+    }
+    (grad_q, grad_k, grad_v, work)
+}
+
+/// Single-device blocked backward: computes `D = rowsum(∇O ∘ O)` and runs
+/// the tile kernel over the local keys.
+#[allow(clippy::too_many_arguments)]
+pub fn flash_backward(
+    q: &Mat,
+    k: &Mat,
+    v: &Mat,
+    o: &Mat,
+    grad_o: &Mat,
+    lse: &[f32],
+    scale: f32,
+    mask: &AttnMask,
+    q_idx: &[usize],
+    k_idx: &[usize],
+) -> (Mat, Mat, Mat, KernelWork) {
+    let d_vec = grad_o.rowsum_hadamard(o);
+    attn_tile_backward(q, k, v, grad_o, lse, &d_vec, scale, mask, q_idx, k_idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mask::BlockSparseMask;
+    use crate::naive::{naive_backward, naive_forward};
+    use burst_tensor::randn_mat;
+    use burst_tensor::testutil::{assert_allclose, assert_allclose_vec};
+
+    fn idx(n: usize) -> Vec<usize> {
+        (0..n).collect()
+    }
+
+    fn all_masks(n: usize) -> Vec<AttnMask> {
+        vec![
+            AttnMask::Full,
+            AttnMask::Causal,
+            AttnMask::SlidingWindow { window: 5 },
+            AttnMask::BlockSparse(BlockSparseMask::sliding_window_blocks(4, n.div_ceil(4), 2)),
+        ]
+    }
+
+    #[test]
+    fn forward_matches_naive_for_all_masks_and_blocks() {
+        let (n, d) = (19, 6);
+        let q = randn_mat(n, d, 0.8, 20);
+        let k = randn_mat(n, d, 0.8, 21);
+        let v = randn_mat(n, d, 0.8, 22);
+        let scale = 1.0 / (d as f32).sqrt();
+        for mask in all_masks(n) {
+            let (o_ref, lse_ref) = naive_forward(&q, &k, &v, scale, &mask, &idx(n), &idx(n));
+            for block in [4, 7, 32] {
+                let out =
+                    flash_forward_with_block(&q, &k, &v, scale, &mask, &idx(n), &idx(n), block);
+                assert_allclose(&out.o, &o_ref, 1e-4, &format!("{mask:?} block {block}"));
+                assert_allclose_vec(&out.lse, &lse_ref, 1e-4, "lse");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_handles_strided_global_indices() {
+        // Striped layout: Q rows are tokens {1, 5, 9, 13}, K rows {3, 7, 11, 15}.
+        let d = 4;
+        let q = randn_mat(4, d, 1.0, 30);
+        let k = randn_mat(4, d, 1.0, 31);
+        let v = randn_mat(4, d, 1.0, 32);
+        let qi = vec![1usize, 5, 9, 13];
+        let ki = vec![3usize, 7, 11, 15];
+        let mask = AttnMask::Causal;
+        let (o_ref, lse_ref) = naive_forward(&q, &k, &v, 0.5, &mask, &qi, &ki);
+        let out = flash_forward_with_block(&q, &k, &v, 0.5, &mask, &qi, &ki, 2);
+        assert_allclose(&out.o, &o_ref, 1e-4, "strided forward");
+        assert_allclose_vec(&out.lse, &lse_ref, 1e-4, "strided lse");
+    }
+
+    #[test]
+    fn fully_masked_rows_produce_zero_output() {
+        // Query token 0 with keys all in the future.
+        let q = randn_mat(2, 3, 1.0, 40);
+        let k = randn_mat(4, 3, 1.0, 41);
+        let v = randn_mat(4, 3, 1.0, 42);
+        let out = flash_forward(&q, &k, &v, 1.0, &AttnMask::Causal, &[0, 1], &[10, 11, 12, 13]);
+        assert_eq!(out.o, burst_tensor::Mat::zeros(2, 3));
+        assert!(out.lse.iter().all(|&l| l == f32::NEG_INFINITY));
+        assert_eq!(out.work.pairs, 0);
+    }
+
+    #[test]
+    fn backward_matches_naive_for_all_masks() {
+        let (n, d) = (17, 5);
+        let q = randn_mat(n, d, 0.7, 50);
+        let k = randn_mat(n, d, 0.7, 51);
+        let v = randn_mat(n, d, 0.7, 52);
+        let grad_o = randn_mat(n, d, 1.0, 53);
+        let scale = 1.0 / (d as f32).sqrt();
+        for mask in all_masks(n) {
+            let (gq_ref, gk_ref, gv_ref) =
+                naive_backward(&q, &k, &v, &grad_o, scale, &mask, &idx(n), &idx(n));
+            let out = flash_forward(&q, &k, &v, scale, &mask, &idx(n), &idx(n));
+            for block in [4, 32] {
+                let (gq, gk, gv, _) = {
+                    let d_vec = grad_o.rowsum_hadamard(&out.o);
+                    attn_tile_backward_with_block(
+                        &q, &k, &v, &grad_o, &out.lse, &d_vec, scale, &mask, &idx(n), &idx(n),
+                        block,
+                    )
+                };
+                assert_allclose(&gq, &gq_ref, 1e-3, &format!("dQ {mask:?}"));
+                assert_allclose(&gk, &gk_ref, 1e-3, &format!("dK {mask:?}"));
+                assert_allclose(&gv, &gv_ref, 1e-3, &format!("dV {mask:?}"));
+            }
+        }
+    }
+
+    #[test]
+    fn tile_backward_is_additive_over_key_partitions() {
+        // Splitting K/V into two halves and summing the tile contributions
+        // must equal the whole backward — the invariant ring attention
+        // relies on.
+        let (n, d) = (12, 4);
+        let q = randn_mat(n, d, 0.7, 60);
+        let k = randn_mat(n, d, 0.7, 61);
+        let v = randn_mat(n, d, 0.7, 62);
+        let grad_o = randn_mat(n, d, 1.0, 63);
+        let scale = 0.5;
+        let mask = AttnMask::Causal;
+        let out = flash_forward(&q, &k, &v, scale, &mask, &idx(n), &idx(n));
+        let d_vec = grad_o.rowsum_hadamard(&out.o);
+        let (gq_ref, gk_ref, gv_ref, _) = attn_tile_backward(
+            &q, &k, &v, &grad_o, &out.lse, &d_vec, scale, &mask, &idx(n), &idx(n),
+        );
+        let half = n / 2;
+        let k1 = k.slice_rows(0, half);
+        let v1 = v.slice_rows(0, half);
+        let k2 = k.slice_rows(half, n);
+        let v2 = v.slice_rows(half, n);
+        let all_idx = idx(n);
+        let (gq1, gk1, gv1, _) = attn_tile_backward(
+            &q, &k1, &v1, &grad_o, &out.lse, &d_vec, scale, &mask, &all_idx, &all_idx[..half],
+        );
+        let (gq2, gk2, gv2, _) = attn_tile_backward(
+            &q, &k2, &v2, &grad_o, &out.lse, &d_vec, scale, &mask, &all_idx, &all_idx[half..],
+        );
+        let mut gq = gq1;
+        gq.add_assign(&gq2);
+        assert_allclose(&gq, &gq_ref, 1e-4, "dQ additivity");
+        let gk = burst_tensor::Mat::vstack(&[gk1, gk2]);
+        let gv = burst_tensor::Mat::vstack(&[gv1, gv2]);
+        assert_allclose(&gk, &gk_ref, 1e-4, "dK additivity");
+        assert_allclose(&gv, &gv_ref, 1e-4, "dV additivity");
+    }
+
+    #[test]
+    fn work_counters_match_mask_density() {
+        let n = 32;
+        let d = 4;
+        let q = randn_mat(n, d, 1.0, 70);
+        let k = randn_mat(n, d, 1.0, 71);
+        let v = randn_mat(n, d, 1.0, 72);
+        for mask in [
+            AttnMask::Full,
+            AttnMask::Causal,
+            AttnMask::SlidingWindow { window: 8 },
+        ] {
+            let out = flash_forward_with_block(&q, &k, &v, 1.0, &mask, &idx(n), &idx(n), 8);
+            assert_eq!(
+                out.work.pairs as u128,
+                mask.allowed_pairs(n),
+                "pairs for {mask:?}"
+            );
+        }
+        // Sliding window must skip distant tiles.
+        let out = flash_forward_with_block(
+            &q,
+            &k,
+            &v,
+            1.0,
+            &AttnMask::SlidingWindow { window: 4 },
+            &idx(n),
+            &idx(n),
+            4,
+        );
+        assert!(out.work.tiles_skipped > 0, "SWA should skip far tiles");
+    }
+
+    #[test]
+    fn flash_backward_convenience_matches_tile_kernel() {
+        let (n, d) = (10, 3);
+        let q = randn_mat(n, d, 0.7, 80);
+        let k = randn_mat(n, d, 0.7, 81);
+        let v = randn_mat(n, d, 0.7, 82);
+        let grad_o = randn_mat(n, d, 1.0, 83);
+        let mask = AttnMask::Full;
+        let out = flash_forward(&q, &k, &v, 1.0, &mask, &idx(n), &idx(n));
+        let (gq1, gk1, gv1, _) = flash_backward(
+            &q, &k, &v, &out.o, &grad_o, &out.lse, 1.0, &mask, &idx(n), &idx(n),
+        );
+        let d_vec = grad_o.rowsum_hadamard(&out.o);
+        let (gq2, gk2, gv2, _) = attn_tile_backward(
+            &q, &k, &v, &grad_o, &out.lse, &d_vec, 1.0, &mask, &idx(n), &idx(n),
+        );
+        assert_allclose(&gq1, &gq2, 0.0, "dQ");
+        assert_allclose(&gk1, &gk2, 0.0, "dK");
+        assert_allclose(&gv1, &gv2, 0.0, "dV");
+    }
+}

@@ -1,0 +1,287 @@
+//! Sequence-level fusion of the LM head and cross-entropy loss
+//! (paper §3.3, Algorithm 3).
+//!
+//! The LM head `Logits = H W_headᵀ` produces an `N × v` matrix — at 1M
+//! tokens and a 128K vocabulary, half a terabyte in bf16 (paper Fig. 8). The
+//! fused kernel tiles `H` along the sequence (`B_s` rows) and `W_head` along
+//! the vocabulary (`B_v` rows), accumulates the per-row log-sum-exp online,
+//! and runs the backward **immediately after** each row tile's forward,
+//! while that tile's logits are still live — so nothing is recomputed and
+//! the live working set is `B_s × v` instead of `N × v`.
+//!
+//! Gradient convention: mean-reduced cross-entropy, i.e.
+//! `∇Logits = (softmax(Logits) − onehot(Y)) / N`.
+
+use burst_tensor::Mat;
+
+/// Default sequence-tile rows.
+pub const DEFAULT_BLOCK_S: usize = 32;
+/// Default vocabulary-tile rows.
+pub const DEFAULT_BLOCK_V: usize = 64;
+
+/// Result of an LM-head + loss evaluation (forward **and** backward).
+#[derive(Debug, Clone)]
+pub struct LmLossOut {
+    /// Mean cross-entropy over the `N` positions.
+    pub loss: f32,
+    /// Per-position losses.
+    pub losses: Vec<f32>,
+    /// Gradient w.r.t. the hidden states, `N × d`.
+    pub grad_h: Mat,
+    /// Gradient w.r.t. the head weights, `v × d`.
+    pub grad_w: Mat,
+    /// Per-position log-sum-exp over the vocabulary.
+    pub lse: Vec<f32>,
+    /// Peak number of live logit elements — the quantity Fig. 8 plots.
+    pub peak_logits_elems: usize,
+}
+
+/// Unfused reference: materialises the full `N × v` logits matrix.
+#[track_caller]
+pub fn naive_lm_loss(h: &Mat, w: &Mat, targets: &[usize]) -> LmLossOut {
+    let n = h.rows();
+    let v = w.rows();
+    assert_eq!(targets.len(), n, "naive_lm_loss: target length");
+    assert!(
+        targets.iter().all(|&t| t < v),
+        "naive_lm_loss: target out of vocabulary"
+    );
+    let logits = h.matmul_nt(w);
+    let lse = logits.lse_rows();
+    let losses: Vec<f32> = (0..n).map(|r| lse[r] - logits.get(r, targets[r])).collect();
+    let loss = losses.iter().sum::<f32>() / n as f32;
+    // ∇Logits = (softmax − onehot) / N
+    let mut grad_logits = logits.exp_sub_rowwise(&lse);
+    let inv_n = 1.0 / n as f32;
+    for r in 0..n {
+        let row = grad_logits.row_mut(r);
+        for x in row.iter_mut() {
+            *x *= inv_n;
+        }
+        row[targets[r]] -= inv_n;
+    }
+    let grad_h = grad_logits.matmul(w);
+    let grad_w = grad_logits.matmul_tn(h);
+    LmLossOut {
+        loss,
+        losses,
+        grad_h,
+        grad_w,
+        lse,
+        peak_logits_elems: n * v,
+    }
+}
+
+/// Algorithm 3 with default tile sizes.
+pub fn fused_lm_loss(h: &Mat, w: &Mat, targets: &[usize]) -> LmLossOut {
+    fused_lm_loss_with_blocks(h, w, targets, DEFAULT_BLOCK_S, DEFAULT_BLOCK_V)
+}
+
+/// Algorithm 3: tiled, fused forward + backward of LM head and loss.
+#[track_caller]
+pub fn fused_lm_loss_with_blocks(
+    h: &Mat,
+    w: &Mat,
+    targets: &[usize],
+    block_s: usize,
+    block_v: usize,
+) -> LmLossOut {
+    assert!(block_s > 0 && block_v > 0, "fused_lm_loss: zero tile size");
+    let n = h.rows();
+    let v = w.rows();
+    let d = h.cols();
+    assert_eq!(w.cols(), d, "fused_lm_loss: H/W dim mismatch");
+    assert_eq!(targets.len(), n, "fused_lm_loss: target length");
+    assert!(
+        targets.iter().all(|&t| t < v),
+        "fused_lm_loss: target out of vocabulary"
+    );
+
+    let inv_n = 1.0 / n as f32;
+    let mut losses = vec![0.0f32; n];
+    let mut lse_all = vec![0.0f32; n];
+    let mut grad_h = Mat::zeros(n, d);
+    let mut grad_w = Mat::zeros(v, d);
+    let n_vtiles = v.div_ceil(block_v);
+    // Live logits: one row tile × the whole vocabulary (B_s × v), reused
+    // across row tiles — this bounded buffer is the fusion's memory win.
+    let peak_logits_elems = block_s.min(n) * v;
+
+    let mut r0 = 0;
+    while r0 < n {
+        let r1 = (r0 + block_s).min(n);
+        let hb = h.slice_rows(r0, r1);
+        let rows = r1 - r0;
+        // ---- forward over vocabulary tiles: logits + online LSE ----
+        let mut tiles: Vec<Mat> = Vec::with_capacity(n_vtiles);
+        let mut lse = vec![f32::NEG_INFINITY; rows];
+        let mut c0 = 0;
+        while c0 < v {
+            let c1 = (c0 + block_v).min(v);
+            let wb = w.slice_rows(c0, c1);
+            let logits = hb.matmul_nt(&wb);
+            let tile_lse = logits.lse_rows();
+            for (acc, t) in lse.iter_mut().zip(&tile_lse) {
+                *acc = crate::online::OnlineState::merge_lse(*acc, *t);
+            }
+            tiles.push(logits);
+            c0 = c1;
+        }
+        // ---- loss: ℒ_r = Lse_r − h_r · w_{y_r} ----
+        for r in 0..rows {
+            let y = targets[r0 + r];
+            let dot: f32 = hb.row(r).iter().zip(w.row(y)).map(|(a, b)| a * b).sum();
+            losses[r0 + r] = lse[r] - dot;
+        }
+        lse_all[r0..r1].copy_from_slice(&lse);
+        // ---- backward immediately, reusing the live logits tiles ----
+        for (j, logits) in tiles.iter().enumerate() {
+            let c0 = j * block_v;
+            let c1 = (c0 + block_v).min(v);
+            let wb = w.slice_rows(c0, c1);
+            let mut grad_logits = logits.exp_sub_rowwise(&lse);
+            for r in 0..rows {
+                let row = grad_logits.row_mut(r);
+                for x in row.iter_mut() {
+                    *x *= inv_n;
+                }
+                let y = targets[r0 + r];
+                if (c0..c1).contains(&y) {
+                    row[y - c0] -= inv_n;
+                }
+            }
+            // ∇H_block += ∇Logits_tile · W_tile
+            let gh = grad_logits.matmul(&wb);
+            for (r, gr) in (r0..r1).zip(0..gh.rows()) {
+                let dst = grad_h.row_mut(r);
+                for (o, x) in dst.iter_mut().zip(gh.row(gr)) {
+                    *o += x;
+                }
+            }
+            // ∇W_tile += ∇Logitsᵀ · H_block
+            let gw = grad_logits.matmul_tn(&hb);
+            for (r, gr) in (c0..c1).zip(0..gw.rows()) {
+                let dst = grad_w.row_mut(r);
+                for (o, x) in dst.iter_mut().zip(gw.row(gr)) {
+                    *o += x;
+                }
+            }
+        }
+        r0 = r1;
+    }
+    let loss = losses.iter().sum::<f32>() * inv_n;
+    LmLossOut {
+        loss,
+        losses,
+        grad_h,
+        grad_w,
+        lse: lse_all,
+        peak_logits_elems,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use burst_tensor::randn_mat;
+    use burst_tensor::testutil::{assert_allclose, assert_allclose_vec, numerical_grad};
+    use rand::prelude::*;
+
+    fn targets(n: usize, v: usize, seed: u64) -> Vec<usize> {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(0..v)).collect()
+    }
+
+    #[test]
+    fn fused_matches_naive_across_tilings() {
+        let (n, d, v) = (13, 6, 23);
+        let h = randn_mat(n, d, 0.8, 100);
+        let w = randn_mat(v, d, 0.8, 101);
+        let y = targets(n, v, 102);
+        let reference = naive_lm_loss(&h, &w, &y);
+        for (bs, bv) in [(1, 1), (4, 8), (5, 7), (32, 64), (13, 23)] {
+            let fused = fused_lm_loss_with_blocks(&h, &w, &y, bs, bv);
+            assert!(
+                (fused.loss - reference.loss).abs() < 1e-4,
+                "loss mismatch at tiles ({bs},{bv})"
+            );
+            assert_allclose(&fused.grad_h, &reference.grad_h, 1e-4, "∇H");
+            assert_allclose(&fused.grad_w, &reference.grad_w, 1e-4, "∇W");
+            assert_allclose_vec(&fused.lse, &reference.lse, 1e-4, "lse");
+            assert_allclose_vec(&fused.losses, &reference.losses, 1e-4, "losses");
+        }
+    }
+
+    #[test]
+    fn loss_is_negative_log_probability_of_target() {
+        let (n, d, v) = (4, 3, 7);
+        let h = randn_mat(n, d, 1.0, 110);
+        let w = randn_mat(v, d, 1.0, 111);
+        let y = targets(n, v, 112);
+        let out = fused_lm_loss(&h, &w, &y);
+        let logits = h.matmul_nt(&w);
+        let p = logits.softmax_rows();
+        for r in 0..n {
+            let expect = -p.get(r, y[r]).ln();
+            assert!(
+                (out.losses[r] - expect).abs() < 1e-4,
+                "row {r}: {} vs {}",
+                out.losses[r],
+                expect
+            );
+        }
+    }
+
+    #[test]
+    fn gradients_match_numerical() {
+        let (n, d, v) = (5, 3, 6);
+        let h = randn_mat(n, d, 0.7, 120);
+        let w = randn_mat(v, d, 0.7, 121);
+        let y = targets(n, v, 122);
+        let out = fused_lm_loss(&h, &w, &y);
+        let y2 = y.clone();
+        let w2 = w.clone();
+        let nh = numerical_grad(&h, 1e-2, move |m| fused_lm_loss(m, &w2, &y2).loss);
+        assert_allclose(&out.grad_h, &nh, 2e-2, "∇H numerical");
+        let y3 = y.clone();
+        let h2 = h.clone();
+        let nw = numerical_grad(&w, 1e-2, move |m| fused_lm_loss(&h2, m, &y3).loss);
+        assert_allclose(&out.grad_w, &nw, 2e-2, "∇W numerical");
+    }
+
+    #[test]
+    fn peak_logits_memory_is_bounded_by_row_tile() {
+        let (n, d, v) = (64, 4, 50);
+        let h = randn_mat(n, d, 1.0, 130);
+        let w = randn_mat(v, d, 1.0, 131);
+        let y = targets(n, v, 132);
+        let naive = naive_lm_loss(&h, &w, &y);
+        let fused = fused_lm_loss_with_blocks(&h, &w, &y, 8, 16);
+        assert_eq!(naive.peak_logits_elems, n * v);
+        assert_eq!(fused.peak_logits_elems, 8 * v);
+        assert!(fused.peak_logits_elems < naive.peak_logits_elems / 4);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero_over_vocabulary() {
+        // Column sums of ∇W are Σ_r ∇Logits[r, :]ᵀ h_r; the softmax−onehot
+        // rows each sum to zero, so Σ_v ∇W[v] = Σ_r (Σ_c ∇Logits[r,c]) h_r = 0.
+        let (n, d, v) = (6, 4, 9);
+        let h = randn_mat(n, d, 1.0, 140);
+        let w = randn_mat(v, d, 1.0, 141);
+        let y = targets(n, v, 142);
+        let out = fused_lm_loss(&h, &w, &y);
+        for c in 0..d {
+            let col_sum: f32 = (0..v).map(|r| out.grad_w.get(r, c)).sum();
+            assert!(col_sum.abs() < 1e-4, "col {c} sums to {col_sum}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "target out of vocabulary")]
+    fn rejects_out_of_vocab_target() {
+        let h = randn_mat(2, 2, 1.0, 150);
+        let w = randn_mat(3, 2, 1.0, 151);
+        let _ = fused_lm_loss(&h, &w, &[0, 3]);
+    }
+}

@@ -1,0 +1,361 @@
+//! Attention sparsity patterns over global token indices.
+//!
+//! Distributed workload balance (paper §3.4) hands each device
+//! *non-contiguous* pieces of the sequence, so masks are always evaluated on
+//! global indices. The tile classifier [`AttnMask::tile_state`] lets kernels
+//! skip fully-masked tiles entirely and run the dense fast path on
+//! fully-allowed tiles — that skip is precisely the "workload" whose balance
+//! the paper's Table 3 measures.
+
+/// Block-sparse pattern: the sequence is cut into `block`-token blocks and
+/// `allowed[bi * nblocks + bj]` says whether queries in block `bi` may attend
+/// to keys in block `bj`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockSparseMask {
+    pub block: usize,
+    pub nblocks: usize,
+    pub allowed: Vec<bool>,
+}
+
+impl BlockSparseMask {
+    #[track_caller]
+    pub fn new(block: usize, nblocks: usize, allowed: Vec<bool>) -> Self {
+        assert!(block > 0, "BlockSparseMask: zero block size");
+        assert_eq!(
+            allowed.len(),
+            nblocks * nblocks,
+            "BlockSparseMask: allowed matrix must be nblocks² entries"
+        );
+        BlockSparseMask {
+            block,
+            nblocks,
+            allowed,
+        }
+    }
+
+    /// A sliding-window pattern at block granularity: block `bi` attends to
+    /// blocks `bj` with `bi - w_blocks < bj <= bi` (causal block window).
+    pub fn sliding_window_blocks(block: usize, nblocks: usize, w_blocks: usize) -> Self {
+        let mut allowed = vec![false; nblocks * nblocks];
+        for bi in 0..nblocks {
+            for bj in 0..nblocks {
+                if bj <= bi && bi - bj < w_blocks {
+                    allowed[bi * nblocks + bj] = true;
+                }
+            }
+        }
+        BlockSparseMask::new(block, nblocks, allowed)
+    }
+
+    #[inline]
+    pub fn block_allowed(&self, bi: usize, bj: usize) -> bool {
+        if bi >= self.nblocks || bj >= self.nblocks {
+            return false;
+        }
+        self.allowed[bi * self.nblocks + bj]
+    }
+}
+
+/// The attention mask kinds the engine integrates (paper §3.4).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttnMask {
+    /// Dense attention, no masking.
+    Full,
+    /// Token `i` attends to tokens `j <= i`.
+    Causal,
+    /// Causal with a window: `j <= i` and `i - j < window`.
+    SlidingWindow { window: usize },
+    /// Dilated causal attention (LongNet-style): within a window of
+    /// `window` tokens, attend only to keys at multiples of `step`
+    /// (`j <= i`, `i − j < window`, `(i − j) % step == 0`).
+    Dilated { window: usize, step: usize },
+    /// Block-wise sparse pattern.
+    BlockSparse(BlockSparseMask),
+}
+
+/// Classification of a (q-tile, k-tile) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TileState {
+    /// Every (q, k) pair in the tile is allowed: dense fast path, no
+    /// per-element checks.
+    FullyAllowed,
+    /// No pair is allowed: the tile is skipped entirely (zero work).
+    FullyMasked,
+    /// Mixed: per-element masking applies.
+    Partial,
+}
+
+impl AttnMask {
+    /// May global query `i` attend to global key `j`?
+    #[inline]
+    pub fn allowed(&self, i: usize, j: usize) -> bool {
+        match self {
+            AttnMask::Full => true,
+            AttnMask::Causal => j <= i,
+            AttnMask::SlidingWindow { window } => j <= i && i - j < *window,
+            AttnMask::Dilated { window, step } => {
+                j <= i && i - j < *window && (i - j) % step.max(&1) == 0
+            }
+            AttnMask::BlockSparse(bs) => bs.block_allowed(i / bs.block, j / bs.block),
+        }
+    }
+
+    /// Classify a tile given the global index sets of its rows and columns.
+    ///
+    /// Exact for arbitrary index sets: conservative short-cuts via min/max
+    /// bounds handle the common contiguous/strided cases without scanning,
+    /// and a scan settles the rest.
+    pub fn tile_state(&self, q_idx: &[usize], k_idx: &[usize]) -> TileState {
+        if q_idx.is_empty() || k_idx.is_empty() {
+            return TileState::FullyMasked;
+        }
+        let (qmin, qmax) = min_max(q_idx);
+        let (kmin, kmax) = min_max(k_idx);
+        match self {
+            AttnMask::Full => TileState::FullyAllowed,
+            AttnMask::Causal => {
+                if kmax <= qmin {
+                    TileState::FullyAllowed
+                } else if kmin > qmax {
+                    TileState::FullyMasked
+                } else {
+                    TileState::Partial
+                }
+            }
+            AttnMask::SlidingWindow { window } => {
+                let all = kmax <= qmin && qmax - kmin < *window;
+                if all {
+                    TileState::FullyAllowed
+                } else if kmin > qmax || qmin >= kmax + *window {
+                    // Every key is after every query, or every key fell out
+                    // of even the latest query's window.
+                    TileState::FullyMasked
+                } else {
+                    self.scan_tile(q_idx, k_idx)
+                }
+            }
+            AttnMask::Dilated { window, .. } => {
+                if kmin > qmax || qmin >= kmax + *window {
+                    TileState::FullyMasked
+                } else {
+                    self.scan_tile(q_idx, k_idx)
+                }
+            }
+            AttnMask::BlockSparse(_) => self.scan_tile(q_idx, k_idx),
+        }
+    }
+
+    /// Exact tile classification by scanning all pairs.
+    fn scan_tile(&self, q_idx: &[usize], k_idx: &[usize]) -> TileState {
+        let mut any = false;
+        let mut all = true;
+        for &i in q_idx {
+            for &j in k_idx {
+                if self.allowed(i, j) {
+                    any = true;
+                } else {
+                    all = false;
+                }
+                if any && !all {
+                    return TileState::Partial;
+                }
+            }
+        }
+        if all {
+            TileState::FullyAllowed
+        } else if any {
+            TileState::Partial
+        } else {
+            TileState::FullyMasked
+        }
+    }
+
+    /// Number of allowed (query, key) pairs in an `n × n` attention — the
+    /// exact FLOP-relevant workload of the pattern (used by the balance
+    /// benches and the perf model).
+    pub fn allowed_pairs(&self, n: usize) -> u128 {
+        match self {
+            AttnMask::Full => (n as u128) * (n as u128),
+            AttnMask::Causal => (n as u128) * (n as u128 + 1) / 2,
+            AttnMask::SlidingWindow { window } => {
+                let w = *window as u128;
+                let n = n as u128;
+                if w >= n {
+                    n * (n + 1) / 2
+                } else {
+                    // First w rows form a triangle; the rest see w keys each.
+                    w * (w + 1) / 2 + (n - w) * w
+                }
+            }
+            AttnMask::Dilated { window, step } => {
+                let step = (*step).max(1) as u128;
+                let w = *window as u128;
+                // Row i contributes ceil(min(i+1, w) / step) allowed keys.
+                (0..n as u128)
+                    .map(|i| ((i + 1).min(w) + step - 1) / step)
+                    .sum()
+            }
+            AttnMask::BlockSparse(bs) => {
+                let mut pairs = 0u128;
+                // Include the trailing partial block; block_span clips each
+                // block's extent to n.
+                let touched_blocks = n.div_ceil(bs.block).min(bs.nblocks);
+                for bi in 0..touched_blocks {
+                    for bj in 0..bs.nblocks {
+                        if !bs.block_allowed(bi, bj) {
+                            continue;
+                        }
+                        let rows = block_span(bi, bs.block, n);
+                        let cols = block_span(bj, bs.block, n);
+                        pairs += (rows as u128) * (cols as u128);
+                    }
+                }
+                pairs
+            }
+        }
+    }
+}
+
+fn block_span(b: usize, block: usize, n: usize) -> usize {
+    let start = b * block;
+    if start >= n {
+        0
+    } else {
+        block.min(n - start)
+    }
+}
+
+fn min_max(idx: &[usize]) -> (usize, usize) {
+    let mut lo = usize::MAX;
+    let mut hi = 0;
+    for &i in idx {
+        lo = lo.min(i);
+        hi = hi.max(i);
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn causal_allows_past_only() {
+        let m = AttnMask::Causal;
+        assert!(m.allowed(5, 5));
+        assert!(m.allowed(5, 0));
+        assert!(!m.allowed(5, 6));
+    }
+
+    #[test]
+    fn sliding_window_bounds() {
+        let m = AttnMask::SlidingWindow { window: 3 };
+        assert!(m.allowed(10, 10));
+        assert!(m.allowed(10, 8));
+        assert!(!m.allowed(10, 7)); // distance 3 >= window
+        assert!(!m.allowed(10, 11));
+    }
+
+    #[test]
+    fn block_sparse_indexing() {
+        let bs = BlockSparseMask::sliding_window_blocks(4, 3, 2);
+        let m = AttnMask::BlockSparse(bs);
+        // Block layout (3 blocks of 4): block 2 attends to blocks 1, 2.
+        assert!(m.allowed(8, 4)); // b(2,1)
+        assert!(m.allowed(8, 11)); // b(2,2)
+        assert!(!m.allowed(8, 0)); // b(2,0) outside window
+        assert!(!m.allowed(0, 4)); // non-causal block
+    }
+
+    #[test]
+    fn tile_state_causal_contiguous() {
+        let m = AttnMask::Causal;
+        let q: Vec<usize> = (8..16).collect();
+        assert_eq!(m.tile_state(&q, &(0..8).collect::<Vec<_>>()), TileState::FullyAllowed);
+        assert_eq!(m.tile_state(&q, &(16..24).collect::<Vec<_>>()), TileState::FullyMasked);
+        assert_eq!(m.tile_state(&q, &(8..16).collect::<Vec<_>>()), TileState::Partial);
+    }
+
+    #[test]
+    fn tile_state_matches_scan_for_strided_indices() {
+        // Striped layout: rank 1 of 4 owns tokens 1, 5, 9, 13.
+        let m = AttnMask::Causal;
+        let q = vec![1usize, 5, 9, 13];
+        let k = vec![2usize, 6, 10, 14];
+        assert_eq!(m.tile_state(&q, &k), TileState::Partial);
+        let k_early = vec![0usize];
+        assert_eq!(m.tile_state(&q, &k_early), TileState::FullyAllowed);
+    }
+
+    #[test]
+    fn tile_state_full_mask() {
+        let m = AttnMask::Full;
+        assert_eq!(m.tile_state(&[0, 1], &[5, 6]), TileState::FullyAllowed);
+        assert_eq!(m.tile_state(&[], &[5]), TileState::FullyMasked);
+    }
+
+    #[test]
+    fn sliding_window_tile_states() {
+        let m = AttnMask::SlidingWindow { window: 4 };
+        let q: Vec<usize> = (100..104).collect();
+        // Keys immediately before and inside window.
+        assert_eq!(m.tile_state(&q, &(100..104).collect::<Vec<_>>()), TileState::Partial);
+        // Keys far in the past: fully masked.
+        assert_eq!(m.tile_state(&q, &(0..4).collect::<Vec<_>>()), TileState::FullyMasked);
+        // Keys in the future: fully masked.
+        assert_eq!(m.tile_state(&q, &(200..204).collect::<Vec<_>>()), TileState::FullyMasked);
+    }
+
+    #[test]
+    fn allowed_pairs_formulas() {
+        assert_eq!(AttnMask::Full.allowed_pairs(10), 100);
+        assert_eq!(AttnMask::Causal.allowed_pairs(10), 55);
+        // Window 3 over 10 tokens: 3·4/2 + 7·3 = 6 + 21 = 27.
+        assert_eq!(AttnMask::SlidingWindow { window: 3 }.allowed_pairs(10), 27);
+        // Window >= n degrades to causal.
+        assert_eq!(
+            AttnMask::SlidingWindow { window: 100 }.allowed_pairs(10),
+            55
+        );
+    }
+
+    #[test]
+    fn dilated_mask_semantics() {
+        let m = AttnMask::Dilated { window: 8, step: 2 };
+        assert!(m.allowed(10, 10)); // distance 0
+        assert!(m.allowed(10, 8)); // distance 2
+        assert!(!m.allowed(10, 9)); // distance 1: off the dilation grid
+        assert!(!m.allowed(10, 1)); // distance 9: outside window
+        assert!(!m.allowed(10, 11)); // future
+    }
+
+    #[test]
+    fn dilated_tile_states_are_conservative_and_correct() {
+        let m = AttnMask::Dilated { window: 8, step: 2 };
+        let q: Vec<usize> = (100..104).collect();
+        assert_eq!(m.tile_state(&q, &(0..4).collect::<Vec<_>>()), TileState::FullyMasked);
+        assert_eq!(m.tile_state(&q, &(200..204).collect::<Vec<_>>()), TileState::FullyMasked);
+        assert_eq!(m.tile_state(&q, &(98..102).collect::<Vec<_>>()), TileState::Partial);
+    }
+
+    #[test]
+    fn allowed_pairs_matches_bruteforce() {
+        let masks = [
+            AttnMask::Full,
+            AttnMask::Causal,
+            AttnMask::SlidingWindow { window: 5 },
+            AttnMask::Dilated { window: 6, step: 2 },
+            AttnMask::Dilated { window: 5, step: 3 },
+            AttnMask::Dilated { window: 4, step: 1 },
+            AttnMask::BlockSparse(BlockSparseMask::sliding_window_blocks(4, 4, 2)),
+        ];
+        let n = 16;
+        for m in &masks {
+            let brute: u128 = (0..n)
+                .flat_map(|i| (0..n).map(move |j| (i, j)))
+                .filter(|&(i, j)| m.allowed(i, j))
+                .count() as u128;
+            assert_eq!(m.allowed_pairs(n), brute, "mask {m:?}");
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Explicit-matrix reference attention, used to validate the blocked
+//! kernels. Materialises the full `S` and `P` matrices — only ever run on
+//! small shapes in tests and benches.
+
+use crate::mask::AttnMask;
+use burst_tensor::Mat;
+
+/// Reference forward pass: returns `(O, Lse)` with the mask applied on
+/// global indices.
+#[track_caller]
+pub fn naive_forward(
+    q: &Mat,
+    k: &Mat,
+    v: &Mat,
+    scale: f32,
+    mask: &AttnMask,
+    q_idx: &[usize],
+    k_idx: &[usize],
+) -> (Mat, Vec<f32>) {
+    assert_eq!(q.rows(), q_idx.len(), "naive_forward: q_idx length");
+    assert_eq!(k.rows(), k_idx.len(), "naive_forward: k_idx length");
+    assert_eq!(k.rows(), v.rows(), "naive_forward: K/V row mismatch");
+    let mut s = q.matmul_nt(k);
+    s.scale(scale);
+    for (r, &gi) in q_idx.iter().enumerate() {
+        for (c, &gj) in k_idx.iter().enumerate() {
+            if !mask.allowed(gi, gj) {
+                s.set(r, c, f32::NEG_INFINITY);
+            }
+        }
+    }
+    let lse = s.lse_rows();
+    let p = s.exp_sub_rowwise(&lse);
+    (p.matmul(v), lse)
+}
+
+/// Reference backward pass: gradients of a scalar loss w.r.t. `Q`, `K`, `V`
+/// given `∇O`, via the explicit softmax Jacobian.
+#[allow(clippy::too_many_arguments)]
+#[track_caller]
+pub fn naive_backward(
+    q: &Mat,
+    k: &Mat,
+    v: &Mat,
+    grad_o: &Mat,
+    scale: f32,
+    mask: &AttnMask,
+    q_idx: &[usize],
+    k_idx: &[usize],
+) -> (Mat, Mat, Mat) {
+    let mut s = q.matmul_nt(k);
+    s.scale(scale);
+    for (r, &gi) in q_idx.iter().enumerate() {
+        for (c, &gj) in k_idx.iter().enumerate() {
+            if !mask.allowed(gi, gj) {
+                s.set(r, c, f32::NEG_INFINITY);
+            }
+        }
+    }
+    let lse = s.lse_rows();
+    let p = s.exp_sub_rowwise(&lse);
+    // ∇V = Pᵀ ∇O
+    let grad_v = p.matmul_tn(grad_o);
+    // ∇P = ∇O Vᵀ
+    let grad_p = grad_o.matmul_nt(v);
+    // ∇S = P ∘ (∇P − D), D_r = Σ_c P_rc ∇P_rc = rowsum(∇O ∘ O)
+    let d = p.rowsum_hadamard(&grad_p);
+    let mut grad_s = Mat::zeros(p.rows(), p.cols());
+    for r in 0..p.rows() {
+        for c in 0..p.cols() {
+            grad_s.set(r, c, p.get(r, c) * (grad_p.get(r, c) - d[r]));
+        }
+    }
+    // ∇Q = scale · ∇S K ; ∇K = scale · ∇Sᵀ Q
+    let mut grad_q = grad_s.matmul(k);
+    grad_q.scale(scale);
+    let mut grad_k = grad_s.matmul_tn(q);
+    grad_k.scale(scale);
+    (grad_q, grad_k, grad_v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use burst_tensor::testutil::{assert_allclose, numerical_grad};
+    use burst_tensor::randn_mat;
+
+    fn idx(n: usize) -> Vec<usize> {
+        (0..n).collect()
+    }
+
+    #[test]
+    fn full_mask_matches_direct_softmax() {
+        let (n, d) = (6, 4);
+        let q = randn_mat(n, d, 1.0, 1);
+        let k = randn_mat(n, d, 1.0, 2);
+        let v = randn_mat(n, d, 1.0, 3);
+        let scale = 1.0 / (d as f32).sqrt();
+        let (o, _) = naive_forward(&q, &k, &v, scale, &AttnMask::Full, &idx(n), &idx(n));
+        let mut s = q.matmul_nt(&k);
+        s.scale(scale);
+        let o_ref = s.softmax_rows().matmul(&v);
+        assert_allclose(&o, &o_ref, 1e-5, "naive vs direct");
+    }
+
+    #[test]
+    fn causal_first_row_attends_to_itself_only() {
+        let (n, d) = (4, 3);
+        let q = randn_mat(n, d, 1.0, 4);
+        let k = randn_mat(n, d, 1.0, 5);
+        let v = randn_mat(n, d, 1.0, 6);
+        let (o, _) = naive_forward(&q, &k, &v, 1.0, &AttnMask::Causal, &idx(n), &idx(n));
+        // Row 0 sees only key 0 → output equals V row 0 exactly.
+        for (a, b) in o.row(0).iter().zip(v.row(0)) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn backward_matches_numerical_gradient() {
+        let (n, d) = (5, 3);
+        let q = randn_mat(n, d, 0.8, 7);
+        let k = randn_mat(n, d, 0.8, 8);
+        let v = randn_mat(n, d, 0.8, 9);
+        let grad_o = randn_mat(n, d, 1.0, 10);
+        let scale = 1.0 / (d as f32).sqrt();
+        let mask = AttnMask::Causal;
+        let (gq, gk, gv) = naive_backward(&q, &k, &v, &grad_o, scale, &mask, &idx(n), &idx(n));
+
+        // Loss = <O, grad_o>; numerical gradients w.r.t. each input.
+        let loss = |q: &Mat, k: &Mat, v: &Mat| -> f32 {
+            let (o, _) = naive_forward(q, k, v, scale, &mask, &idx(n), &idx(n));
+            o.as_slice()
+                .iter()
+                .zip(grad_o.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
+        };
+        let nq = numerical_grad(&q, 1e-2, |m| loss(m, &k, &v));
+        let nk = numerical_grad(&k, 1e-2, |m| loss(&q, m, &v));
+        let nv = numerical_grad(&v, 1e-2, |m| loss(&q, &k, m));
+        assert_allclose(&gq, &nq, 3e-2, "dQ");
+        assert_allclose(&gk, &nk, 3e-2, "dK");
+        assert_allclose(&gv, &nv, 3e-2, "dV");
+    }
+
+    #[test]
+    fn masked_keys_get_no_value_gradient() {
+        // With sliding window 1, each query sees exactly one key, so dV for
+        // key j comes only from query j.
+        let (n, d) = (4, 2);
+        let q = randn_mat(n, d, 1.0, 11);
+        let k = randn_mat(n, d, 1.0, 12);
+        let v = randn_mat(n, d, 1.0, 13);
+        let grad_o = Mat::zeros(n, d);
+        let mut g = grad_o.clone();
+        g.row_mut(2).copy_from_slice(&[1.0, 1.0]); // only query 2 has gradient
+        let mask = AttnMask::SlidingWindow { window: 1 };
+        let (_, _, gv) = naive_backward(&q, &k, &v, &g, 1.0, &mask, &idx(n), &idx(n));
+        for r in 0..n {
+            if r == 2 {
+                assert!(gv.row(r).iter().any(|&x| x != 0.0));
+            } else {
+                assert!(gv.row(r).iter().all(|&x| x == 0.0), "row {r} {:?}", gv.row(r));
+            }
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! A pre-norm Transformer block (Eq. 2): attention and SwiGLU FFN with
+//! residual connections, hand-written backward.
+
+use crate::attention::{AttnExec, MhaSaved, MultiHeadAttention};
+use crate::checkpoint::AttnCache;
+use crate::ffn::{SwiGlu, SwiGluSaved};
+use crate::norm::{RmsNorm, RmsNormSaved};
+use burst_tensor::Mat;
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TransformerBlock {
+    pub norm1: RmsNorm,
+    pub attn: MultiHeadAttention,
+    pub norm2: RmsNorm,
+    pub ffn: SwiGlu,
+}
+
+/// Full forward context of one block.
+#[derive(Debug, Clone)]
+pub struct BlockSaved {
+    pub norm1: RmsNormSaved,
+    pub mha: MhaSaved,
+    /// Post-attention residual stream (input to the second norm).
+    pub h: Mat,
+    pub norm2: RmsNormSaved,
+    pub ffn: SwiGluSaved,
+}
+
+impl BlockSaved {
+    pub fn nbytes(&self) -> usize {
+        self.norm1.nbytes()
+            + self.mha.nbytes()
+            + self.h.nbytes()
+            + self.norm2.nbytes()
+            + self.ffn.nbytes()
+    }
+}
+
+impl TransformerBlock {
+    pub fn new(d_model: usize, heads: usize, d_ff: usize, seed: u64) -> Self {
+        TransformerBlock {
+            norm1: RmsNorm::new(d_model),
+            attn: MultiHeadAttention::new(d_model, heads, seed),
+            norm2: RmsNorm::new(d_model),
+            ffn: SwiGlu::new(d_model, d_ff, seed + 10),
+        }
+    }
+
+    pub fn forward<E: AttnExec>(&self, x: &Mat, exec: &mut E) -> (Mat, BlockSaved) {
+        let (a, norm1) = self.norm1.forward(x);
+        let (y_attn, mha) = self.attn.forward(&a, exec);
+        let mut h = x.clone();
+        h.add_assign(&y_attn);
+        let (b, norm2) = self.norm2.forward(&h);
+        let (f, ffn) = self.ffn.forward(&b);
+        let mut y = h.clone();
+        y.add_assign(&f);
+        (
+            y,
+            BlockSaved {
+                norm1,
+                mha,
+                h,
+                norm2,
+                ffn,
+            },
+        )
+    }
+
+    /// Forward that injects cached attention outputs (checkpointing
+    /// recompute path).
+    pub fn forward_with_cache<E: AttnExec>(
+        &self,
+        x: &Mat,
+        exec: &mut E,
+        cache: &AttnCache,
+    ) -> (Mat, BlockSaved) {
+        let (a, norm1) = self.norm1.forward(x);
+        let (y_attn, mha) = self.attn.forward_with_cache(&a, exec, cache);
+        let mut h = x.clone();
+        h.add_assign(&y_attn);
+        let (b, norm2) = self.norm2.forward(&h);
+        let (f, ffn) = self.ffn.forward(&b);
+        let mut y = h.clone();
+        y.add_assign(&f);
+        (
+            y,
+            BlockSaved {
+                norm1,
+                mha,
+                h,
+                norm2,
+                ffn,
+            },
+        )
+    }
+
+    /// Backward through the block; accumulates every parameter gradient and
+    /// returns `∇x`.
+    pub fn backward<E: AttnExec>(
+        &mut self,
+        saved: &BlockSaved,
+        grad_y: &Mat,
+        exec: &mut E,
+    ) -> Mat {
+        // y = h + f(norm2(h))
+        let grad_b = self.ffn.backward(&saved.ffn, grad_y);
+        let mut grad_h = self.norm2.backward(&saved.norm2, &grad_b);
+        grad_h.add_assign(grad_y);
+        // h = x + attn(norm1(x))
+        let grad_a = self.attn.backward(&saved.mha, &grad_h, exec);
+        let mut grad_x = self.norm1.backward(&saved.norm1, &grad_a);
+        grad_x.add_assign(&grad_h);
+        grad_x
+    }
+
+    pub fn forward_nosave<E: AttnExec>(&self, x: &Mat, exec: &mut E) -> Mat {
+        self.forward(x, exec).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attention::LocalExec;
+    use burst_kernels::AttnMask;
+    use burst_tensor::randn_mat;
+    use burst_tensor::testutil::{assert_allclose, numerical_grad};
+
+    #[test]
+    fn block_backward_matches_numerical() {
+        let (n, d, heads, dff) = (6usize, 4usize, 2usize, 8usize);
+        let block = TransformerBlock::new(d, heads, dff, 70);
+        let x = randn_mat(n, d, 0.8, 71);
+        let gy = randn_mat(n, d, 1.0, 72);
+        let mut exec = LocalExec::new(AttnMask::Causal, n);
+        let (_, saved) = block.forward(&x, &mut exec);
+        let mut block2 = block.clone();
+        let gx = block2.backward(&saved, &gy, &mut exec);
+
+        let gy2 = gy.clone();
+        let block3 = block.clone();
+        let nx = numerical_grad(&x, 1e-2, move |m| {
+            let mut e = LocalExec::new(AttnMask::Causal, n);
+            block3
+                .forward_nosave(m, &mut e)
+                .as_slice()
+                .iter()
+                .zip(gy2.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
+        });
+        assert_allclose(&gx, &nx, 4e-2, "block ∇x");
+    }
+
+    #[test]
+    fn residual_stream_preserved_at_zero_weights() {
+        // Zero the output projections: the block must act as identity.
+        let (n, d) = (5usize, 4usize);
+        let mut block = TransformerBlock::new(d, 2, 8, 80);
+        block.attn.wo.weight.w = Mat::zeros(d, d);
+        block.ffn.w_down.weight.w = Mat::zeros(d, 8);
+        let x = randn_mat(n, d, 1.0, 81);
+        let mut exec = LocalExec::new(AttnMask::Causal, n);
+        let (y, _) = block.forward(&x, &mut exec);
+        assert_allclose(&y, &x, 1e-6, "identity with zero projections");
+    }
+
+    #[test]
+    fn forward_with_full_cache_matches_plain_forward() {
+        let (n, d, heads, dff) = (8usize, 4usize, 2usize, 8usize);
+        let block = TransformerBlock::new(d, heads, dff, 90);
+        let x = randn_mat(n, d, 0.8, 91);
+        let mut exec = LocalExec::new(AttnMask::Causal, n);
+        let (y1, saved) = block.forward(&x, &mut exec);
+        let cache = AttnCache::Full {
+            o: saved.mha.o_heads.clone(),
+            lse: saved.mha.lse.clone(),
+        };
+        let (y2, saved2) = block.forward_with_cache(&x, &mut exec, &cache);
+        assert_allclose(&y2, &y1, 1e-6, "cached forward");
+        assert_eq!(saved2.mha.o_heads.len(), saved.mha.o_heads.len());
+    }
+}

@@ -1,0 +1,274 @@
+//! Gradient-checkpointing strategies over a stack of Transformer blocks
+//! (paper §3.2, Fig. 6–7).
+//!
+//! The forward decides what to *store* per block; the backward rebuilds
+//! whatever is missing by recomputation. All four strategies produce
+//! bit-identical gradients for ring-family backends — only memory and
+//! recompute differ (asserted in the crate tests):
+//!
+//! | strategy          | stored per block          | attention recompute |
+//! |--------------------|---------------------------|---------------------|
+//! | `None`             | everything                | none                |
+//! | `Full`             | block input               | full                |
+//! | `SelectivePlusPlus`| block input + `(O, Lse)`  | none                |
+//! | `SeqSelective{ρ}`  | block input + tail `(O, Lse)` | front segment (≈ ρ² of full for causal) |
+
+use crate::attention::AttnExec;
+use crate::block::{BlockSaved, TransformerBlock};
+use crate::memory::MemoryTracker;
+use burst_tensor::Mat;
+
+/// Cached attention outputs a strategy chose to keep.
+#[derive(Debug, Clone)]
+pub enum AttnCache {
+    /// Per-head `(O, Lse)` for all local rows (selective checkpointing++).
+    Full { o: Vec<Mat>, lse: Vec<Vec<f32>> },
+    /// Per-head `(O, Lse)` for local rows with global index `>= cutoff`
+    /// only (sequence-level selective checkpointing).
+    Tail {
+        o_tail: Vec<Mat>,
+        lse_tail: Vec<Vec<f32>>,
+        cutoff: usize,
+    },
+}
+
+impl AttnCache {
+    pub fn nbytes(&self) -> usize {
+        match self {
+            AttnCache::Full { o, lse } => {
+                o.iter().map(|m| m.nbytes()).sum::<usize>()
+                    + lse.iter().map(|l| l.len() * 4).sum::<usize>()
+            }
+            AttnCache::Tail { o_tail, lse_tail, .. } => {
+                o_tail.iter().map(|m| m.nbytes()).sum::<usize>()
+                    + lse_tail.iter().map(|l| l.len() * 4).sum::<usize>()
+            }
+        }
+    }
+}
+
+/// The checkpointing strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Strategy {
+    /// Store all activations (no recomputation).
+    None,
+    /// Classic gradient checkpointing: store block inputs only.
+    Full,
+    /// DISTFLASHATTN / LoongTrain selective checkpointing++: additionally
+    /// store each attention's outputs so attention is never recomputed.
+    SelectivePlusPlus,
+    /// The paper's sequence-level selective checkpointing: store the tail
+    /// `(1−ρ)` fraction of the attention outputs, recompute the front `ρ`.
+    SeqSelective { rho: f32 },
+}
+
+/// What the forward kept for one block.
+pub enum Stored {
+    Everything(Box<BlockSaved>),
+    InputOnly { x: Mat },
+    WithCache { x: Mat, cache: AttnCache },
+}
+
+impl Stored {
+    pub fn nbytes(&self) -> usize {
+        match self {
+            Stored::Everything(s) => s.nbytes(),
+            Stored::InputOnly { x } => x.nbytes(),
+            Stored::WithCache { x, cache } => x.nbytes() + cache.nbytes(),
+        }
+    }
+}
+
+/// Forward through all blocks, storing per `strategy`. Registers stored
+/// bytes with the tracker (freed by [`backward_blocks`]).
+pub fn forward_blocks<E: AttnExec>(
+    blocks: &[TransformerBlock],
+    x: &Mat,
+    exec: &mut E,
+    strategy: Strategy,
+    seq_len: usize,
+    tracker: &mut MemoryTracker,
+) -> (Mat, Vec<Stored>) {
+    let mut cur = x.clone();
+    let mut stored = Vec::with_capacity(blocks.len());
+    for block in blocks {
+        let input = cur.clone();
+        let (y, saved) = block.forward(&cur, exec);
+        let keep = match strategy {
+            Strategy::None => Stored::Everything(Box::new(saved)),
+            Strategy::Full => Stored::InputOnly { x: input },
+            Strategy::SelectivePlusPlus => Stored::WithCache {
+                x: input,
+                cache: AttnCache::Full {
+                    o: saved.mha.o_heads.clone(),
+                    lse: saved.mha.lse.clone(),
+                },
+            },
+            Strategy::SeqSelective { rho } => {
+                let cutoff = cutoff_for(rho, seq_len);
+                let idx = exec.local_indices();
+                let tail_rows: Vec<usize> = idx
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &g)| g >= cutoff)
+                    .map(|(r, _)| r)
+                    .collect();
+                let o_tail: Vec<Mat> = saved
+                    .mha
+                    .o_heads
+                    .iter()
+                    .map(|m| m.gather_rows(&tail_rows))
+                    .collect();
+                let lse_tail: Vec<Vec<f32>> = saved
+                    .mha
+                    .lse
+                    .iter()
+                    .map(|l| tail_rows.iter().map(|&r| l[r]).collect())
+                    .collect();
+                Stored::WithCache {
+                    x: input,
+                    cache: AttnCache::Tail {
+                        o_tail,
+                        lse_tail,
+                        cutoff,
+                    },
+                }
+            }
+        };
+        tracker.alloc(keep.nbytes());
+        stored.push(keep);
+        cur = y;
+    }
+    (cur, stored)
+}
+
+/// Round the split point to the sequence position `ρ·N`.
+pub fn cutoff_for(rho: f32, seq_len: usize) -> usize {
+    ((rho as f64 * seq_len as f64).round() as usize).min(seq_len)
+}
+
+/// Backward through all blocks in reverse, recomputing per the stored kind.
+/// Frees each block's stored bytes as it is consumed and accounts the
+/// transient recompute working set.
+pub fn backward_blocks<E: AttnExec>(
+    blocks: &mut [TransformerBlock],
+    stored: Vec<Stored>,
+    grad_y: &Mat,
+    exec: &mut E,
+    tracker: &mut MemoryTracker,
+) -> Mat {
+    assert_eq!(blocks.len(), stored.len(), "backward_blocks: layer mismatch");
+    let mut grad = grad_y.clone();
+    for (block, keep) in blocks.iter_mut().zip(stored.into_iter()).rev() {
+        let kept_bytes = keep.nbytes();
+        let saved = match keep {
+            Stored::Everything(saved) => *saved,
+            Stored::InputOnly { x } => block.forward(&x, exec).1,
+            Stored::WithCache { x, cache } => block.forward_with_cache(&x, exec, &cache).1,
+        };
+        // The rebuilt full context is transient: live only during this
+        // block's backward.
+        let transient = saved.nbytes().saturating_sub(kept_bytes);
+        grad = tracker.with_transient(transient, |_t| block.backward(&saved, &grad, exec));
+        tracker.free(kept_bytes);
+    }
+    grad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attention::LocalExec;
+    use burst_kernels::AttnMask;
+    use burst_tensor::randn_mat;
+    use burst_tensor::testutil::assert_allclose;
+
+    fn blocks(d: usize, heads: usize, dff: usize, layers: usize) -> Vec<TransformerBlock> {
+        (0..layers)
+            .map(|l| TransformerBlock::new(d, heads, dff, 500 + 100 * l as u64))
+            .collect()
+    }
+
+    fn run(strategy: Strategy) -> (Mat, Vec<Mat>, usize) {
+        let (n, d, heads, dff, layers) = (16usize, 4usize, 2usize, 8usize, 3usize);
+        let mut bs = blocks(d, heads, dff, layers);
+        let x = randn_mat(n, d, 0.8, 600);
+        let gy = randn_mat(n, d, 1.0, 601);
+        let mut exec = LocalExec::new(AttnMask::Causal, n);
+        let mut tracker = MemoryTracker::new();
+        let (y, stored) = forward_blocks(&bs, &x, &mut exec, strategy, n, &mut tracker);
+        let stored_peak = tracker.current();
+        let gx = backward_blocks(&mut bs, stored, &gy, &mut exec, &mut tracker);
+        let grads: Vec<Mat> = bs
+            .iter()
+            .flat_map(|b| {
+                vec![
+                    b.attn.wq.weight.grad.clone(),
+                    b.ffn.w_down.weight.grad.clone(),
+                    b.norm1.weight.grad.clone(),
+                ]
+            })
+            .collect();
+        let mut all = vec![y, gx];
+        all.extend(grads);
+        let out = all.remove(0);
+        (out, all, stored_peak)
+    }
+
+    #[test]
+    fn all_strategies_produce_identical_gradients() {
+        let (y_ref, grads_ref, _) = run(Strategy::None);
+        for strategy in [
+            Strategy::Full,
+            Strategy::SelectivePlusPlus,
+            Strategy::SeqSelective { rho: 0.5 },
+            Strategy::SeqSelective { rho: 0.25 },
+        ] {
+            let (y, grads, _) = run(strategy);
+            assert_allclose(&y, &y_ref, 1e-5, &format!("{strategy:?} output"));
+            for (g, gr) in grads.iter().zip(&grads_ref) {
+                assert_allclose(g, gr, 1e-5, &format!("{strategy:?} grads"));
+            }
+        }
+    }
+
+    #[test]
+    fn stored_memory_ordering_matches_figure_7() {
+        let (_, _, m_none) = run(Strategy::None);
+        let (_, _, m_full) = run(Strategy::Full);
+        let (_, _, m_pp) = run(Strategy::SelectivePlusPlus);
+        let (_, _, m_seq) = run(Strategy::SeqSelective { rho: 0.5 });
+        assert!(m_full < m_seq, "full ckpt {m_full} < seq-selective {m_seq}");
+        assert!(m_seq < m_pp, "seq-selective {m_seq} < selective++ {m_pp}");
+        assert!(m_pp < m_none, "selective++ {m_pp} < no ckpt {m_none}");
+        // Sequence-level at ρ=0.5 halves the attention-output storage of ++
+        // (plus the shared block-input storage).
+        let attn_pp = m_pp - m_full;
+        let attn_seq = m_seq - m_full;
+        let ratio = attn_seq as f64 / attn_pp as f64;
+        assert!(
+            (0.4..0.6).contains(&ratio),
+            "tail storage should be ~half of ++: {ratio}"
+        );
+    }
+
+    #[test]
+    fn cutoff_rounds_correctly() {
+        assert_eq!(cutoff_for(0.5, 16), 8);
+        assert_eq!(cutoff_for(0.0, 16), 0);
+        assert_eq!(cutoff_for(1.0, 16), 16);
+        assert_eq!(cutoff_for(0.26, 100), 26);
+    }
+
+    #[test]
+    fn seq_selective_with_rho_zero_equals_selective_pp() {
+        // ρ = 0: nothing recomputed, everything cached — memory equals ++.
+        let (_, _, m_pp) = run(Strategy::SelectivePlusPlus);
+        let (_, _, m_seq0) = run(Strategy::SeqSelective { rho: 0.0 });
+        assert_eq!(m_pp, m_seq0);
+        // ρ = 1: everything recomputed — memory equals full checkpointing.
+        let (_, _, m_full) = run(Strategy::Full);
+        let (_, _, m_seq1) = run(Strategy::SeqSelective { rho: 1.0 });
+        assert_eq!(m_full, m_seq1);
+    }
+}

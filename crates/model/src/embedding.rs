@@ -1,0 +1,65 @@
+//! Token embedding lookup with scatter-add gradient.
+
+use crate::param::Param;
+use burst_tensor::Mat;
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Embedding {
+    /// `vocab × d` table.
+    pub table: Param,
+}
+
+impl Embedding {
+    pub fn new(vocab: usize, d: usize, seed: u64) -> Self {
+        Embedding {
+            table: Param::randn(vocab, d, 0.02, seed),
+        }
+    }
+
+    /// Look up `tokens` → `len × d`.
+    #[track_caller]
+    pub fn forward(&self, tokens: &[usize]) -> Mat {
+        assert!(
+            tokens.iter().all(|&t| t < self.table.w.rows()),
+            "Embedding: token out of vocabulary"
+        );
+        self.table.w.gather_rows(tokens)
+    }
+
+    /// Scatter-add the output gradient into the table gradient.
+    pub fn backward(&mut self, tokens: &[usize], grad_y: &Mat) {
+        self.table.grad.scatter_add_rows(tokens, grad_y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_returns_rows() {
+        let e = Embedding::new(5, 3, 1);
+        let y = e.forward(&[4, 0, 4]);
+        assert_eq!(y.row(0), e.table.w.row(4));
+        assert_eq!(y.row(1), e.table.w.row(0));
+        assert_eq!(y.row(2), e.table.w.row(4));
+    }
+
+    #[test]
+    fn backward_accumulates_repeated_tokens() {
+        let mut e = Embedding::new(4, 2, 2);
+        let g = Mat::from_vec(3, 2, vec![1.0, 2.0, 10.0, 20.0, 100.0, 200.0]);
+        e.backward(&[1, 1, 3], &g);
+        assert_eq!(e.table.grad.row(1), &[11.0, 22.0]);
+        assert_eq!(e.table.grad.row(3), &[100.0, 200.0]);
+        assert_eq!(e.table.grad.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn rejects_oov() {
+        let e = Embedding::new(4, 2, 3);
+        let _ = e.forward(&[4]);
+    }
+}

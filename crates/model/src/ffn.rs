@@ -1,0 +1,181 @@
+//! SwiGLU feed-forward network (LLaMA): `f = W₂ᵀ(silu(W₁x) ∘ W₃x)`.
+
+use crate::linear::{Linear, LinearSaved};
+use burst_tensor::Mat;
+use serde::{Deserialize, Serialize};
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[inline]
+fn silu(x: f32) -> f32 {
+    x * sigmoid(x)
+}
+
+/// d silu / dx = σ(x)·(1 + x·(1 − σ(x))).
+#[inline]
+fn silu_grad(x: f32) -> f32 {
+    let s = sigmoid(x);
+    s * (1.0 + x * (1.0 - s))
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SwiGlu {
+    /// Gate projection, `hidden × d`.
+    pub w_gate: Linear,
+    /// Up projection, `hidden × d`.
+    pub w_up: Linear,
+    /// Down projection, `d × hidden`.
+    pub w_down: Linear,
+}
+
+#[derive(Debug, Clone)]
+pub struct SwiGluSaved {
+    gate_saved: LinearSaved,
+    /// Pre-activation gate `g = x W₁ᵀ`.
+    g: Mat,
+    /// Up values `u = x W₃ᵀ`.
+    u: Mat,
+    down_saved: LinearSaved,
+}
+
+impl SwiGluSaved {
+    pub fn nbytes(&self) -> usize {
+        // gate_saved.x and the up projection share the same input; count
+        // the distinct stored tensors.
+        self.gate_saved.nbytes() + self.g.nbytes() + self.u.nbytes() + self.down_saved.nbytes()
+    }
+}
+
+impl SwiGlu {
+    pub fn new(d: usize, hidden: usize, seed: u64) -> Self {
+        SwiGlu {
+            w_gate: Linear::new(hidden, d, seed),
+            w_up: Linear::new(hidden, d, seed + 1),
+            w_down: Linear::new(d, hidden, seed + 2),
+        }
+    }
+
+    pub fn forward(&self, x: &Mat) -> (Mat, SwiGluSaved) {
+        let (g, gate_saved) = self.w_gate.forward(x);
+        let (u, _) = self.w_up.forward(x);
+        let mut s = g.clone();
+        for (sv, uv) in s.as_mut_slice().iter_mut().zip(u.as_slice()) {
+            *sv = silu(*sv) * uv;
+        }
+        let (y, down_saved) = self.w_down.forward(&s);
+        (
+            y,
+            SwiGluSaved {
+                gate_saved,
+                g,
+                u,
+                down_saved,
+            },
+        )
+    }
+
+    /// Backward: accumulates all three weight grads, returns `∇x`.
+    pub fn backward(&mut self, saved: &SwiGluSaved, grad_y: &Mat) -> Mat {
+        // Through the down projection.
+        let grad_s = self.w_down.backward(&saved.down_saved, grad_y);
+        // s = silu(g) ∘ u.
+        let mut grad_g = grad_s.clone();
+        let mut grad_u = grad_s;
+        for i in 0..grad_g.len() {
+            let g = saved.g.as_slice()[i];
+            let u = saved.u.as_slice()[i];
+            let gs = grad_g.as_slice()[i];
+            grad_g.as_mut_slice()[i] = gs * u * silu_grad(g);
+            grad_u.as_mut_slice()[i] *= silu(g);
+        }
+        // Both projections saw the same input.
+        let mut grad_x = self.w_gate.backward(&saved.gate_saved, &grad_g);
+        let gx_up = self.w_up.backward(&saved.gate_saved, &grad_u);
+        grad_x.add_assign(&gx_up);
+        grad_x
+    }
+
+    pub fn forward_nosave(&self, x: &Mat) -> Mat {
+        let g = self.w_gate.forward_nosave(x);
+        let u = self.w_up.forward_nosave(x);
+        let mut s = g;
+        for (sv, uv) in s.as_mut_slice().iter_mut().zip(u.as_slice()) {
+            *sv = silu(*sv) * uv;
+        }
+        self.w_down.forward_nosave(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use burst_tensor::randn_mat;
+    use burst_tensor::testutil::{assert_allclose, numerical_grad};
+
+    #[test]
+    fn silu_values() {
+        assert!((silu(0.0)).abs() < 1e-7);
+        assert!((silu(10.0) - 10.0).abs() < 1e-3); // ≈ identity for large x
+        assert!(silu(-10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn silu_grad_matches_finite_difference() {
+        for x in [-3.0f32, -0.5, 0.0, 0.7, 4.0] {
+            let eps = 1e-3;
+            let fd = (silu(x + eps) - silu(x - eps)) / (2.0 * eps);
+            assert!((silu_grad(x) - fd).abs() < 1e-3, "x={x}");
+        }
+    }
+
+    #[test]
+    fn forward_shape_and_nosave_agree() {
+        let ffn = SwiGlu::new(6, 16, 10);
+        let x = randn_mat(5, 6, 1.0, 11);
+        let (y, _) = ffn.forward(&x);
+        assert_eq!(y.shape(), (5, 6));
+        assert_allclose(&y, &ffn.forward_nosave(&x), 0.0, "nosave");
+    }
+
+    #[test]
+    fn backward_matches_numerical() {
+        let mut ffn = SwiGlu::new(4, 8, 20);
+        let x = randn_mat(3, 4, 0.8, 21);
+        let gy = randn_mat(3, 4, 1.0, 22);
+        let (_, saved) = ffn.forward(&x);
+        let gx = ffn.backward(&saved, &gy);
+
+        let f2 = ffn.clone();
+        let gy2 = gy.clone();
+        let nx = numerical_grad(&x, 1e-2, move |m| {
+            f2.forward(m)
+                .0
+                .as_slice()
+                .iter()
+                .zip(gy2.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
+        });
+        assert_allclose(&gx, &nx, 2e-2, "∇x");
+
+        // Gate weight gradient.
+        let x2 = x.clone();
+        let gy3 = gy.clone();
+        let mut probe = ffn.clone();
+        let nw = numerical_grad(&ffn.w_gate.weight.w, 1e-2, move |m| {
+            probe.w_gate.weight.w = m.clone();
+            probe
+                .forward(&x2)
+                .0
+                .as_slice()
+                .iter()
+                .zip(gy3.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
+        });
+        assert_allclose(&ffn.w_gate.weight.grad, &nw, 2e-2, "∇W_gate");
+    }
+}

@@ -1,0 +1,118 @@
+//! FSDP-style parameter handling (the paper trains with BMTrain's fully
+//! sharded data parallelism).
+//!
+//! Compute replicas hold full parameters; sharding shows up as *real*
+//! collective traffic on the simulated cluster: weights are all-gathered
+//! from row shards at step start, gradients are all-reduced (ring
+//! reduce-scatter + all-gather, numerically the sum every rank needs before
+//! the identical Adam update). The virtual clock therefore carries the
+//! FSDP communication the paper identifies as the reason end-to-end
+//! overlap is imperfect (§4.3).
+
+use crate::param::Param;
+use burst_comm::Communicator;
+use burst_tensor::Mat;
+
+/// Near-equal row range of `rank` for an `rows`-row parameter.
+fn shard_range(rows: usize, g: usize, rank: usize) -> (usize, usize) {
+    (rows * rank / g, rows * (rank + 1) / g)
+}
+
+/// All-gather every parameter's row shard (charges the weight-gather
+/// traffic; the gathered values must reproduce the replica, which is
+/// asserted — catching any divergence between ranks).
+pub fn gather_weights(comm: &mut Communicator, params: &mut [&mut Param]) {
+    let g = comm.world_size();
+    if g == 1 {
+        return;
+    }
+    for p in params.iter_mut() {
+        let (r0, r1) = shard_range(p.w.rows(), g, comm.rank());
+        let shard = p.w.slice_rows(r0, r1);
+        let gathered = Mat::vstack(&comm.all_gather_mat(&shard));
+        debug_assert_eq!(gathered.shape(), p.w.shape());
+        assert!(
+            burst_tensor::testutil::allclose(&gathered, &p.w, 1e-6, 1e-6),
+            "FSDP: rank replicas diverged for a parameter of shape {:?}",
+            p.w.shape()
+        );
+        p.w = gathered;
+    }
+}
+
+/// All-reduce (sum) every parameter's gradient across ranks.
+pub fn sync_grads(comm: &mut Communicator, params: &mut [&mut Param]) {
+    let g = comm.world_size();
+    if g == 1 {
+        return;
+    }
+    for p in params.iter_mut() {
+        p.grad = comm.all_reduce_mat(&p.grad);
+    }
+}
+
+/// Modeled per-rank parameter + optimizer memory under FSDP sharding:
+/// each rank persists `1/G` of weights, gradients and the two Adam moments
+/// (all f32 here; the perf crate models mixed precision at paper scale).
+pub fn sharded_state_bytes(total_params: usize, g: usize) -> usize {
+    total_params * 4 * 4 / g
+}
+
+/// Device-resident state with optional optimizer offloading (ZeRO-Offload):
+/// the Adam moments (2 × 4 B/param) move to host memory, leaving weights +
+/// gradients on device.
+pub fn device_state_bytes(total_params: usize, g: usize, offload_optimizer: bool) -> usize {
+    let per_param = if offload_optimizer { 2 * 4 } else { 4 * 4 };
+    total_params * per_param / g
+}
+
+/// PCIe round-trip seconds for one offloaded optimizer step: gradients
+/// stream to the host and updated parameters stream back (ZeRO-Offload's
+/// data path), at an effective 12 GB/s per direction.
+pub fn offload_step_seconds(total_params: usize, g: usize) -> f64 {
+    const PCIE_BW: f64 = 12e9;
+    let down = (total_params / g) as f64 * 4.0; // fp32 gradients out
+    let up = (total_params / g) as f64 * 4.0; // fp32 master weights back
+    down / PCIE_BW + up / PCIE_BW
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_cover_rows() {
+        for rows in [7usize, 8, 33] {
+            for g in [1usize, 3, 4] {
+                let mut covered = 0;
+                for r in 0..g {
+                    let (a, b) = shard_range(rows, g, r);
+                    assert_eq!(a, covered);
+                    covered = b;
+                }
+                assert_eq!(covered, rows);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_state_shrinks_with_world() {
+        assert_eq!(sharded_state_bytes(1000, 1), 16_000);
+        assert_eq!(sharded_state_bytes(1000, 4), 4_000);
+    }
+
+    #[test]
+    fn offload_halves_device_state() {
+        assert_eq!(device_state_bytes(1000, 1, false), 16_000);
+        assert_eq!(device_state_bytes(1000, 1, true), 8_000);
+        assert_eq!(device_state_bytes(1000, 4, true), 2_000);
+    }
+
+    #[test]
+    fn offload_time_scales_with_params_and_shards() {
+        let t1 = offload_step_seconds(12_000_000, 1);
+        let t4 = offload_step_seconds(12_000_000, 4);
+        assert!(t1 > 0.0);
+        assert!((t1 / t4 - 4.0).abs() < 1e-9);
+    }
+}

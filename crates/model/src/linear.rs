@@ -1,0 +1,117 @@
+//! Linear projection `y = x Wᵀ` with an explicit backward pass.
+
+use crate::param::Param;
+use burst_tensor::Mat;
+use serde::{Deserialize, Serialize};
+
+/// A bias-free linear layer (`W: out × in`, LLaMA convention).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Linear {
+    pub weight: Param,
+}
+
+/// Forward context: the input, needed for `∇W = ∇yᵀ x`.
+#[derive(Debug, Clone)]
+pub struct LinearSaved {
+    pub x: Mat,
+}
+
+impl LinearSaved {
+    pub fn nbytes(&self) -> usize {
+        self.x.nbytes()
+    }
+}
+
+impl Linear {
+    /// Init with std `1/√in` (maintains unit variance).
+    pub fn new(out_dim: usize, in_dim: usize, seed: u64) -> Self {
+        Linear {
+            weight: Param::randn(out_dim, in_dim, 1.0 / (in_dim as f32).sqrt(), seed),
+        }
+    }
+
+    #[track_caller]
+    pub fn forward(&self, x: &Mat) -> (Mat, LinearSaved) {
+        assert_eq!(x.cols(), self.weight.w.cols(), "Linear: dim mismatch");
+        (x.matmul_nt(&self.weight.w), LinearSaved { x: x.clone() })
+    }
+
+    /// Backward: accumulates `∇W += ∇yᵀ x`, returns `∇x = ∇y W`.
+    #[track_caller]
+    pub fn backward(&mut self, saved: &LinearSaved, grad_y: &Mat) -> Mat {
+        assert_eq!(grad_y.cols(), self.weight.w.rows(), "Linear bwd: dim");
+        let gw = grad_y.matmul_tn(&saved.x);
+        self.weight.grad.add_assign(&gw);
+        grad_y.matmul(&self.weight.w)
+    }
+
+    /// Forward without retaining the input (used during recomputation when
+    /// the caller will immediately run the backward with its own copy).
+    pub fn forward_nosave(&self, x: &Mat) -> Mat {
+        x.matmul_nt(&self.weight.w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use burst_tensor::testutil::{assert_allclose, numerical_grad};
+    use burst_tensor::randn_mat;
+
+    #[test]
+    fn forward_matches_matmul() {
+        let l = Linear::new(3, 4, 1);
+        let x = randn_mat(5, 4, 1.0, 2);
+        let (y, _) = l.forward(&x);
+        assert_eq!(y.shape(), (5, 3));
+        assert_allclose(&y, &x.matmul(&l.weight.w.transpose()), 1e-5, "fwd");
+    }
+
+    #[test]
+    fn backward_matches_numerical() {
+        let mut l = Linear::new(3, 4, 3);
+        let x = randn_mat(5, 4, 1.0, 4);
+        let gy = randn_mat(5, 3, 1.0, 5);
+        let (_, saved) = l.forward(&x);
+        let gx = l.backward(&saved, &gy);
+
+        // Loss = <y, gy>.
+        let w0 = l.weight.w.clone();
+        let gy2 = gy.clone();
+        let nx = numerical_grad(&x, 1e-2, |m| {
+            m.matmul_nt(&w0)
+                .as_slice()
+                .iter()
+                .zip(gy2.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
+        });
+        assert_allclose(&gx, &nx, 1e-2, "∇x");
+
+        let x2 = x.clone();
+        let gy3 = gy.clone();
+        let nw = numerical_grad(&l.weight.w, 1e-2, |m| {
+            x2.matmul_nt(m)
+                .as_slice()
+                .iter()
+                .zip(gy3.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
+        });
+        assert_allclose(&l.weight.grad, &nw, 1e-2, "∇W");
+    }
+
+    #[test]
+    fn backward_accumulates() {
+        let mut l = Linear::new(2, 2, 6);
+        let x = randn_mat(3, 2, 1.0, 7);
+        let gy = randn_mat(3, 2, 1.0, 8);
+        let (_, s) = l.forward(&x);
+        l.backward(&s, &gy);
+        let once = l.weight.grad.clone();
+        l.backward(&s, &gy);
+        let mut twice = once.clone();
+        twice.add_assign(&once);
+        assert_allclose(&l.weight.grad, &twice, 1e-5, "accumulation");
+    }
+}

@@ -1,0 +1,173 @@
+//! RMSNorm (the LLaMA normalisation) with explicit backward.
+//!
+//! `y_rc = w_c · x_rc / rms_r`, `rms_r = sqrt(mean_c(x_rc²) + ε)`.
+
+use crate::param::Param;
+use burst_tensor::Mat;
+use serde::{Deserialize, Serialize};
+
+const EPS: f32 = 1e-6;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RmsNorm {
+    /// Per-dimension gain, stored as a `1 × d` matrix.
+    pub weight: Param,
+}
+
+#[derive(Debug, Clone)]
+pub struct RmsNormSaved {
+    pub x: Mat,
+    inv_rms: Vec<f32>,
+}
+
+impl RmsNormSaved {
+    pub fn nbytes(&self) -> usize {
+        self.x.nbytes() + self.inv_rms.len() * 4
+    }
+}
+
+impl RmsNorm {
+    pub fn new(dim: usize) -> Self {
+        RmsNorm {
+            weight: Param::new(Mat::full(1, dim, 1.0)),
+        }
+    }
+
+    #[track_caller]
+    pub fn forward(&self, x: &Mat) -> (Mat, RmsNormSaved) {
+        let d = x.cols();
+        assert_eq!(d, self.weight.w.cols(), "RmsNorm: dim mismatch");
+        let mut y = x.clone();
+        let mut inv_rms = Vec::with_capacity(x.rows());
+        let w = self.weight.w.row(0);
+        for r in 0..x.rows() {
+            let row = y.row_mut(r);
+            let ms: f32 = row.iter().map(|v| v * v).sum::<f32>() / d as f32;
+            let inv = 1.0 / (ms + EPS).sqrt();
+            inv_rms.push(inv);
+            for (v, &g) in row.iter_mut().zip(w) {
+                *v *= inv * g;
+            }
+        }
+        (
+            y,
+            RmsNormSaved {
+                x: x.clone(),
+                inv_rms,
+            },
+        )
+    }
+
+    /// Backward: accumulates `∇w`, returns `∇x`.
+    ///
+    /// With `u = x·inv_rms`: `y = w ∘ u`; `∇u = w ∘ ∇y`;
+    /// `∇x = inv_rms · (∇u − u · mean_c(∇u ∘ u))` (projection removes the
+    /// component along `x` that the normalisation absorbed).
+    #[track_caller]
+    pub fn backward(&mut self, saved: &RmsNormSaved, grad_y: &Mat) -> Mat {
+        let d = saved.x.cols();
+        assert_eq!(grad_y.shape(), saved.x.shape(), "RmsNorm bwd: shape");
+        let w = self.weight.w.row(0).to_vec();
+        let mut grad_x = Mat::zeros(saved.x.rows(), d);
+        let mut grad_w = vec![0.0f32; d];
+        for r in 0..saved.x.rows() {
+            let inv = saved.inv_rms[r];
+            let x = saved.x.row(r);
+            let gy = grad_y.row(r);
+            // u = x·inv; ∇w_c += gy_c · u_c
+            let mut dot = 0.0f32; // Σ_c ∇u_c · u_c / d
+            for c in 0..d {
+                let u = x[c] * inv;
+                grad_w[c] += gy[c] * u;
+                dot += w[c] * gy[c] * u;
+            }
+            dot /= d as f32;
+            let gx = grad_x.row_mut(r);
+            for c in 0..d {
+                let u = x[c] * inv;
+                gx[c] = inv * (w[c] * gy[c] - u * dot);
+            }
+        }
+        for (acc, g) in self.weight.grad.row_mut(0).iter_mut().zip(&grad_w) {
+            *acc += g;
+        }
+        grad_x
+    }
+
+    pub fn forward_nosave(&self, x: &Mat) -> Mat {
+        self.forward(x).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use burst_tensor::randn_mat;
+    use burst_tensor::testutil::{assert_allclose, numerical_grad};
+
+    #[test]
+    fn output_rows_have_unit_rms_with_unit_gain() {
+        let n = RmsNorm::new(8);
+        let x = randn_mat(4, 8, 3.0, 1);
+        let (y, _) = n.forward(&x);
+        for r in 0..4 {
+            let ms: f32 = y.row(r).iter().map(|v| v * v).sum::<f32>() / 8.0;
+            assert!((ms - 1.0).abs() < 1e-3, "row {r} ms {ms}");
+        }
+    }
+
+    #[test]
+    fn backward_matches_numerical() {
+        let mut n = RmsNorm::new(5);
+        // Non-trivial gain.
+        n.weight.w = randn_mat(1, 5, 1.0, 2);
+        let x = randn_mat(4, 5, 1.0, 3);
+        let gy = randn_mat(4, 5, 1.0, 4);
+        let (_, saved) = n.forward(&x);
+        let gx = n.backward(&saved, &gy);
+
+        let n2 = n.clone();
+        let gy2 = gy.clone();
+        let nx = numerical_grad(&x, 1e-2, move |m| {
+            n2.forward(m)
+                .0
+                .as_slice()
+                .iter()
+                .zip(gy2.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
+        });
+        assert_allclose(&gx, &nx, 2e-2, "∇x");
+
+        let x2 = x.clone();
+        let gy3 = gy.clone();
+        let mut probe = n.clone();
+        let nw = numerical_grad(&n.weight.w, 1e-2, move |m| {
+            probe.weight.w = m.clone();
+            probe
+                .forward(&x2)
+                .0
+                .as_slice()
+                .iter()
+                .zip(gy3.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
+        });
+        assert_allclose(&n.weight.grad, &nw, 2e-2, "∇w");
+    }
+
+    #[test]
+    fn scale_invariance_of_gradient() {
+        // RMSNorm output is invariant to input scale, so ∇x must be
+        // orthogonal-ish: scaling x by c scales ∇x by 1/c.
+        let mut n = RmsNorm::new(6);
+        let x = randn_mat(2, 6, 1.0, 5);
+        let gy = randn_mat(2, 6, 1.0, 6);
+        let (_, s1) = n.forward(&x);
+        let g1 = n.backward(&s1, &gy);
+        let xs = x.scaled(2.0);
+        let (_, s2) = n.forward(&xs);
+        let g2 = n.backward(&s2, &gy);
+        assert_allclose(&g2.scaled(2.0), &g1, 1e-3, "1/c scaling");
+    }
+}

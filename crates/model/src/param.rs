@@ -1,0 +1,132 @@
+//! Trainable parameters and the Adam optimizer.
+
+use burst_tensor::{randn_mat, Mat};
+use serde::{Deserialize, Serialize};
+
+/// Adam hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AdamCfg {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+}
+
+impl Default for AdamCfg {
+    fn default() -> Self {
+        AdamCfg {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+}
+
+/// A trainable matrix with its gradient accumulator and Adam state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Param {
+    pub w: Mat,
+    pub grad: Mat,
+    m: Mat,
+    v: Mat,
+}
+
+impl Param {
+    pub fn new(w: Mat) -> Self {
+        let (r, c) = w.shape();
+        Param {
+            w,
+            grad: Mat::zeros(r, c),
+            m: Mat::zeros(r, c),
+            v: Mat::zeros(r, c),
+        }
+    }
+
+    /// Gaussian init with the given std, deterministic in `seed`.
+    pub fn randn(rows: usize, cols: usize, std: f32, seed: u64) -> Self {
+        Param::new(randn_mat(rows, cols, std, seed))
+    }
+
+    pub fn zero_grad(&mut self) {
+        self.grad.as_mut_slice().fill(0.0);
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.w.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.w.is_empty()
+    }
+
+    /// One Adam update; `t` is the 1-based global step (bias correction).
+    pub fn adam_step(&mut self, cfg: &AdamCfg, t: u64) {
+        debug_assert!(t >= 1, "adam_step: t is 1-based");
+        let b1t = 1.0 - cfg.beta1.powi(t as i32);
+        let b2t = 1.0 - cfg.beta2.powi(t as i32);
+        let w = self.w.as_mut_slice();
+        let g = self.grad.as_slice();
+        let m = self.m.as_mut_slice();
+        let v = self.v.as_mut_slice();
+        for i in 0..w.len() {
+            m[i] = cfg.beta1 * m[i] + (1.0 - cfg.beta1) * g[i];
+            v[i] = cfg.beta2 * v[i] + (1.0 - cfg.beta2) * g[i] * g[i];
+            let mhat = m[i] / b1t;
+            let vhat = v[i] / b2t;
+            w[i] -= cfg.lr * mhat / (vhat.sqrt() + cfg.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adam_descends_a_quadratic() {
+        // minimise f(w) = 0.5‖w − 3‖²; gradient w − 3.
+        let mut p = Param::new(Mat::zeros(2, 2));
+        let cfg = AdamCfg {
+            lr: 0.1,
+            ..AdamCfg::default()
+        };
+        for t in 1..=400 {
+            for (g, w) in p
+                .grad
+                .as_mut_slice()
+                .iter_mut()
+                .zip(p.w.as_slice().iter())
+            {
+                *g = w - 3.0;
+            }
+            p.adam_step(&cfg, t);
+        }
+        for &w in p.w.as_slice() {
+            assert!((w - 3.0).abs() < 0.05, "converged to {w}");
+        }
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::randn(2, 3, 1.0, 1);
+        p.grad = Mat::full(2, 3, 5.0);
+        p.zero_grad();
+        assert!(p.grad.as_slice().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn adam_is_deterministic() {
+        let run = || {
+            let mut p = Param::randn(3, 3, 1.0, 7);
+            let cfg = AdamCfg::default();
+            for t in 1..=5 {
+                p.grad = Mat::full(3, 3, 0.3);
+                p.adam_step(&cfg, t);
+            }
+            p.w
+        };
+        assert_eq!(run(), run());
+    }
+}

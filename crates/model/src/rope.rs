@@ -1,0 +1,120 @@
+//! Rotary position embeddings (RoPE, the LLaMA positional scheme).
+//!
+//! Each head-dimension pair `(2i, 2i+1)` of a query/key row is rotated by
+//! `pos · θ^{−2i/d}`. Positions are **global token indices**, so a
+//! distributed shard rotates by the positions it owns — zigzag and striped
+//! layouts work unchanged, and distributed attention stays bit-compatible
+//! with the single-device reference.
+//!
+//! The rotation is orthogonal, so the backward pass is the inverse
+//! rotation ([`rope_backward`]).
+
+use burst_tensor::Mat;
+
+/// LLaMA's base frequency.
+pub const ROPE_THETA: f32 = 10_000.0;
+
+fn rotate(x: &Mat, positions: &[usize], theta: f32, sign: f32) -> Mat {
+    assert_eq!(x.rows(), positions.len(), "rope: row/position mismatch");
+    let d = x.cols();
+    assert_eq!(d % 2, 0, "rope: head dim must be even");
+    let mut out = x.clone();
+    // Per-pair inverse frequencies, precomputed once per call.
+    let inv_freq: Vec<f32> = (0..d / 2)
+        .map(|i| theta.powf(-2.0 * i as f32 / d as f32))
+        .collect();
+    for (r, &pos) in positions.iter().enumerate() {
+        let row = out.row_mut(r);
+        for (i, &f) in inv_freq.iter().enumerate() {
+            let angle = sign * pos as f32 * f;
+            let (sin, cos) = angle.sin_cos();
+            let a = row[2 * i];
+            let b = row[2 * i + 1];
+            row[2 * i] = a * cos - b * sin;
+            row[2 * i + 1] = a * sin + b * cos;
+        }
+    }
+    out
+}
+
+/// Rotate `x` (rows × head_dim) by its global `positions`.
+pub fn rope_apply(x: &Mat, positions: &[usize], theta: f32) -> Mat {
+    rotate(x, positions, theta, 1.0)
+}
+
+/// Gradient through the rotation: the inverse (negative-angle) rotation.
+pub fn rope_backward(grad: &Mat, positions: &[usize], theta: f32) -> Mat {
+    rotate(grad, positions, theta, -1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use burst_tensor::randn_mat;
+    use burst_tensor::testutil::assert_allclose;
+
+    #[test]
+    fn position_zero_is_identity() {
+        let x = randn_mat(1, 8, 1.0, 1);
+        let y = rope_apply(&x, &[0], ROPE_THETA);
+        assert_allclose(&y, &x, 1e-6, "pos 0");
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let x = randn_mat(4, 8, 1.0, 2);
+        let y = rope_apply(&x, &[3, 100, 7, 100_000], ROPE_THETA);
+        for r in 0..4 {
+            let nx: f32 = x.row(r).iter().map(|v| v * v).sum();
+            let ny: f32 = y.row(r).iter().map(|v| v * v).sum();
+            assert!((nx - ny).abs() < 1e-3, "row {r}: {nx} vs {ny}");
+        }
+    }
+
+    #[test]
+    fn backward_inverts_forward() {
+        let x = randn_mat(3, 6, 1.0, 3);
+        let pos = [5usize, 17, 999];
+        let y = rope_apply(&x, &pos, ROPE_THETA);
+        let back = rope_backward(&y, &pos, ROPE_THETA);
+        assert_allclose(&back, &x, 1e-5, "inverse rotation");
+    }
+
+    #[test]
+    fn attention_scores_depend_on_relative_position_only() {
+        // RoPE's defining property: ⟨R(p)q, R(p+k)v⟩ depends only on k.
+        let q = randn_mat(1, 8, 1.0, 4);
+        let k = randn_mat(1, 8, 1.0, 5);
+        let dot = |a: &Mat, b: &Mat| -> f32 {
+            a.row(0).iter().zip(b.row(0)).map(|(x, y)| x * y).sum()
+        };
+        let s1 = dot(
+            &rope_apply(&q, &[10], ROPE_THETA),
+            &rope_apply(&k, &[7], ROPE_THETA),
+        );
+        let s2 = dot(
+            &rope_apply(&q, &[210], ROPE_THETA),
+            &rope_apply(&k, &[207], ROPE_THETA),
+        );
+        assert!((s1 - s2).abs() < 1e-3, "relative invariance: {s1} vs {s2}");
+    }
+
+    #[test]
+    fn gradient_chain_matches_numerical() {
+        // f(x) = <rope(x), a>: ∇x = rope_backward(a).
+        let x = randn_mat(2, 4, 1.0, 6);
+        let a = randn_mat(2, 4, 1.0, 7);
+        let pos = [3usize, 11];
+        let analytic = rope_backward(&a, &pos, ROPE_THETA);
+        let a2 = a.clone();
+        let numeric = burst_tensor::testutil::numerical_grad(&x, 1e-2, move |m| {
+            rope_apply(m, &pos, ROPE_THETA)
+                .as_slice()
+                .iter()
+                .zip(a2.as_slice())
+                .map(|(u, v)| u * v)
+                .sum()
+        });
+        assert_allclose(&analytic, &numeric, 1e-2, "rope grad");
+    }
+}

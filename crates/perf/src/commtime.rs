@@ -1,0 +1,131 @@
+//! Table 1: communication time of one attention layer (forward + backward)
+//! under the three ring disciplines.
+//!
+//! Following the paper's notation, a full ring pass makes `G` hops; in a
+//! flat ring every hop is gated by the slower of the two link classes,
+//! while the two-level rings take `G − N_inter` NVLink hops and `N_inter`
+//! NIC hops (all NICs active simultaneously). One "unit" is a full ring
+//! pass of one `N/G × d` partition: the forward moves 2 units (`K, V`),
+//! Algorithm 1's backward moves 4 and Algorithm 2's moves ~3.
+//!
+//! * RingAttention:      `6 · max(G·T_intra(P), G·T_inter(P))`
+//! * DoubleRingAttention:`4 · max((G−n)·T_intra, n·T_inter) + 2·((G−n)·T_intra + n·T_inter)`
+//!   (forward's 2 units overlap the two link classes; the backward's 4
+//!   gradient-carrying units cannot, so their intra and inter parts add)
+//! * BurstAttention:     `5 · max((G−n)·T_intra, n·T_inter)`
+//!   (2 forward + ~3 backward units, both levels overlapped)
+
+use crate::machine::Cluster;
+use serde::{Deserialize, Serialize};
+
+/// Communication time of one layer's attention fwd+bwd for each method.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CommTimes {
+    pub ring: f64,
+    pub double_ring: f64,
+    pub burst: f64,
+}
+
+/// Per-hop partition bytes: one `N/G × d_model` activation in bf16.
+pub fn partition_bytes(seq_len: usize, d_model: usize, world: usize) -> f64 {
+    (seq_len as f64 / world as f64) * d_model as f64 * 2.0
+}
+
+/// Evaluate all three Table 1 rows for a partition of `p_bytes`.
+pub fn comm_times(cluster: &Cluster, p_bytes: f64) -> CommTimes {
+    let g = cluster.world() as f64;
+    // A single node has no inter-node hops at all; otherwise one hop per
+    // node boundary.
+    let n_inter = if cluster.nodes > 1 { cluster.nodes as f64 } else { 0.0 };
+    let t_intra = cluster.nvlink.time(p_bytes);
+    let t_inter = if cluster.nodes > 1 { cluster.nic.time(p_bytes) } else { 0.0 };
+    let flat_pass = if cluster.nodes > 1 {
+        g * t_intra.max(t_inter)
+    } else {
+        g * t_intra
+    };
+    let two_level_pass = ((g - n_inter) * t_intra).max(n_inter * t_inter);
+    let two_level_serial = (g - n_inter) * t_intra + n_inter * t_inter;
+    CommTimes {
+        ring: 6.0 * flat_pass,
+        double_ring: 4.0 * two_level_pass + 2.0 * two_level_serial,
+        burst: 5.0 * two_level_pass,
+    }
+}
+
+/// Forward-only share of each method's communication (2 of 6/6/5 units).
+pub fn forward_fraction(method_units: f64) -> f64 {
+    2.0 / method_units
+}
+
+/// Convenience: per-layer communication times for a model shape.
+pub fn layer_comm_times(cluster: &Cluster, seq_len: usize, d_model: usize) -> CommTimes {
+    comm_times(cluster, partition_bytes(seq_len, d_model, cluster.world()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> Cluster {
+        Cluster::a800(4, 8)
+    }
+
+    #[test]
+    fn partition_bytes_formula() {
+        // 1M tokens, 5120 dims, 32 GPUs, bf16.
+        let p = partition_bytes(1 << 20, 5120, 32);
+        assert_eq!(p, (1 << 20) as f64 / 32.0 * 5120.0 * 2.0);
+    }
+
+    #[test]
+    fn burst_is_fastest_multi_node() {
+        let t = layer_comm_times(&cluster(), 1 << 20, 5120);
+        assert!(t.burst < t.double_ring, "burst {} < double {}", t.burst, t.double_ring);
+        assert!(t.double_ring < t.ring, "double {} < ring {}", t.double_ring, t.ring);
+    }
+
+    #[test]
+    fn single_node_all_collapse_to_nvlink() {
+        // With one node the NIC terms vanish and burst/ring differ only by
+        // the 5-vs-6 unit count.
+        let c = Cluster::a800(1, 8);
+        let t = layer_comm_times(&c, 1 << 18, 4096);
+        let ratio = t.burst / t.ring;
+        assert!((ratio - 5.0 / 6.0).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn flat_ring_is_gated_by_the_nic() {
+        let c = cluster();
+        let p = partition_bytes(1 << 20, 5120, c.world());
+        let t = comm_times(&c, p);
+        let g = c.world() as f64;
+        assert!((t.ring - 6.0 * g * c.nic.time(p)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn burst_advantage_grows_with_node_count() {
+        let seq = 1 << 20;
+        let r2 = {
+            let t = layer_comm_times(&Cluster::a800(2, 8), seq, 5120);
+            t.ring / t.burst
+        };
+        let r8 = {
+            let t = layer_comm_times(&Cluster::a800(8, 8), seq, 5120);
+            t.ring / t.burst
+        };
+        assert!(r8 >= r2, "advantage should not shrink: 2 nodes {r2}, 8 nodes {r8}");
+    }
+
+    #[test]
+    fn times_scale_linearly_in_bytes_at_zero_latency() {
+        let mut c = cluster();
+        c.nvlink.latency = 0.0;
+        c.nic.latency = 0.0;
+        let t1 = comm_times(&c, 1e6);
+        let t2 = comm_times(&c, 2e6);
+        assert!((t2.ring / t1.ring - 2.0).abs() < 1e-9);
+        assert!((t2.burst / t1.burst - 2.0).abs() < 1e-9);
+    }
+}

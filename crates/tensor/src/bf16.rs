@@ -1,0 +1,99 @@
+//! bf16 emulation: round-trip `f32` values through bfloat16 precision.
+//!
+//! The paper trains in bf16 with fp32 Adam masters. The simulator computes
+//! in `f32` for exact cross-checks, but [`round_bf16`] lets the engine
+//! emulate bf16 weight storage — truncating the mantissa to 8 bits with
+//! round-to-nearest-even — to demonstrate that every equivalence in this
+//! reproduction survives the paper's actual numeric format.
+
+use crate::mat::Mat;
+
+/// Round an `f32` to the nearest bfloat16-representable value
+/// (round-to-nearest-even on the dropped 16 mantissa bits).
+#[inline]
+pub fn round_bf16(x: f32) -> f32 {
+    if x.is_nan() {
+        return x;
+    }
+    let bits = x.to_bits();
+    let rounding_bias = 0x7FFF + ((bits >> 16) & 1);
+    f32::from_bits(bits.wrapping_add(rounding_bias) & 0xFFFF_0000)
+}
+
+impl Mat {
+    /// Round every element to bf16 precision in place.
+    pub fn round_bf16_inplace(&mut self) {
+        for v in self.as_mut_slice() {
+            *v = round_bf16(*v);
+        }
+    }
+
+    /// A bf16-rounded copy.
+    pub fn to_bf16(&self) -> Mat {
+        let mut m = self.clone();
+        m.round_bf16_inplace();
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounding_is_idempotent() {
+        for &x in &[0.1f32, -3.7, 1e-20, 1e20, 0.333333] {
+            let once = round_bf16(x);
+            assert_eq!(round_bf16(once), once, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn representable_values_pass_through() {
+        // Powers of two and small integers are exactly representable.
+        for &x in &[0.0f32, 1.0, -2.0, 0.5, 256.0, -1024.0] {
+            assert_eq!(round_bf16(x), x);
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded_by_bf16_epsilon() {
+        // bf16 has 8 significand bits: relative error ≤ 2⁻⁸.
+        for i in 1..1000 {
+            let x = (i as f32).sin() * 37.0 + 0.01;
+            let r = round_bf16(x);
+            assert!(
+                ((r - x) / x).abs() <= 1.0 / 256.0,
+                "x = {x}, rounded = {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn special_values_are_preserved() {
+        assert!(round_bf16(f32::NAN).is_nan());
+        assert_eq!(round_bf16(f32::INFINITY), f32::INFINITY);
+        assert_eq!(round_bf16(f32::NEG_INFINITY), f32::NEG_INFINITY);
+        assert_eq!(round_bf16(-0.0).to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn ties_round_to_even() {
+        // 1 + 2⁻⁹ sits exactly between 1.0 and 1 + 2⁻⁸: even mantissa wins.
+        let x = f32::from_bits(0x3F80_8000);
+        assert_eq!(round_bf16(x), 1.0);
+        // 1 + 3·2⁻⁹ between 1+2⁻⁸ and 1+2⁻⁷: rounds up to even (1+2⁻⁷).
+        let y = f32::from_bits(0x3F81_8000);
+        assert_eq!(round_bf16(y).to_bits(), 0x3F82_0000);
+    }
+
+    #[test]
+    fn mat_rounding_applies_elementwise() {
+        let m = Mat::from_vec(1, 3, vec![0.1, 1.0, 0.333333]);
+        let r = m.to_bf16();
+        assert_eq!(r.get(0, 1), 1.0);
+        for c in 0..3 {
+            assert_eq!(round_bf16(m.get(0, c)), r.get(0, c));
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # burst-tensor
+//!
+//! Dense `f32` tensor substrate underlying the BurstEngine reproduction.
+//!
+//! The crate deliberately implements only what the attention / transformer
+//! kernels need, but implements it well:
+//!
+//! * [`Mat`] — an owned, row-major 2-D matrix with cache-blocked,
+//!   rayon-parallel matrix products in all transpose variants
+//!   ([`Mat::matmul`], [`Mat::matmul_nt`], [`Mat::matmul_tn`]),
+//! * numerically robust row-wise softmax and log-sum-exp ([`Mat::softmax_rows`],
+//!   [`Mat::lse_rows`]) used by the online-softmax machinery,
+//! * deterministic random initialisation ([`random`]),
+//! * test utilities: [`testutil::allclose`] and a central-difference
+//!   numerical gradient checker ([`testutil::numerical_grad`]).
+//!
+//! Shape mismatches are programming errors and panic with a precise message
+//! (the same contract `ndarray` and BLAS wrappers use); the hot paths carry
+//! no `Result` overhead.
+
+pub mod bf16;
+pub mod mat;
+pub mod ops;
+pub mod random;
+pub mod testutil;
+
+pub use bf16::round_bf16;
+pub use mat::Mat;
+pub use random::{randn_mat, uniform_mat, SeedStream};

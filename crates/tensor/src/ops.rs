@@ -1,0 +1,497 @@
+//! Linear algebra and reduction kernels on [`Mat`].
+//!
+//! Matrix products are cache-blocked and parallelised over row blocks with
+//! rayon. The blocking constant is tuned for L1-resident inner tiles on
+//! typical x86 cores; correctness never depends on it.
+
+use crate::mat::Mat;
+use rayon::prelude::*;
+
+/// Row-block size used to split work across rayon tasks.
+const PAR_ROW_BLOCK: usize = 32;
+/// Inner-dimension tile for the matmul micro-kernels.
+const K_TILE: usize = 64;
+
+/// Smallest matrix volume (`m * n * k`) worth parallelising; below this the
+/// rayon fork/join overhead dominates.
+const PAR_THRESHOLD: usize = 32 * 32 * 32;
+
+impl Mat {
+    /// `C = A · B` (`self` is A). Panics on inner-dimension mismatch.
+    #[track_caller]
+    pub fn matmul(&self, b: &Mat) -> Mat {
+        assert_eq!(
+            self.cols(),
+            b.rows(),
+            "matmul: inner dims {}x{} · {}x{}",
+            self.rows(),
+            self.cols(),
+            b.rows(),
+            b.cols()
+        );
+        let (m, k, n) = (self.rows(), self.cols(), b.cols());
+        let mut out = Mat::zeros(m, n);
+        let run = |rows: &mut [f32], r0: usize, len: usize| {
+            matmul_nn_block(self, b, rows, r0, len, k, n);
+        };
+        run_blocked(&mut out, m, m * n * k, run);
+        out
+    }
+
+    /// `C = A · Bᵀ` — the attention-score product `Q Kᵀ` without forming `Kᵀ`.
+    #[track_caller]
+    pub fn matmul_nt(&self, b: &Mat) -> Mat {
+        assert_eq!(
+            self.cols(),
+            b.cols(),
+            "matmul_nt: inner dims {}x{} · ({}x{})ᵀ",
+            self.rows(),
+            self.cols(),
+            b.rows(),
+            b.cols()
+        );
+        let (m, k, n) = (self.rows(), self.cols(), b.rows());
+        let mut out = Mat::zeros(m, n);
+        let run = |rows: &mut [f32], r0: usize, len: usize| {
+            matmul_nt_block(self, b, rows, r0, len, k, n);
+        };
+        run_blocked(&mut out, m, m * n * k, run);
+        out
+    }
+
+    /// `C = Aᵀ · B` — gradient products like `Pᵀ ∇O` without forming `Aᵀ`.
+    #[track_caller]
+    pub fn matmul_tn(&self, b: &Mat) -> Mat {
+        assert_eq!(
+            self.rows(),
+            b.rows(),
+            "matmul_tn: inner dims ({}x{})ᵀ · {}x{}",
+            self.rows(),
+            self.cols(),
+            b.rows(),
+            b.cols()
+        );
+        let (m, k, n) = (self.cols(), self.rows(), b.cols());
+        // Aᵀ·B accumulates along rows of both: compute as sum_r a[r]ᵀ ⊗ b[r].
+        // Parallelise over output row blocks (columns of A).
+        let a = self;
+        let mut out = Mat::zeros(m, n);
+        if m * n * k >= PAR_THRESHOLD && m >= 2 {
+            let blocks: Vec<(usize, usize)> = row_blocks(m);
+            let cols_n = n;
+            let parts: Vec<Mat> = blocks
+                .par_iter()
+                .map(|&(r0, len)| {
+                    let mut part = Mat::zeros(len, cols_n);
+                    matmul_tn_block(a, b, part.as_mut_slice(), r0, len, k, n);
+                    part
+                })
+                .collect();
+            for (&(r0, _), part) in blocks.iter().zip(&parts) {
+                out.set_rows(r0, part);
+            }
+        } else {
+            let (o, r0, len) = (out.as_mut_slice(), 0, m);
+            matmul_tn_block(a, b, o, r0, len, k, n);
+        }
+        out
+    }
+
+    /// Element-wise (Hadamard) product.
+    #[track_caller]
+    pub fn hadamard(&self, b: &Mat) -> Mat {
+        assert_eq!(self.shape(), b.shape(), "hadamard: shape mismatch");
+        let mut out = self.clone();
+        for (o, x) in out.as_mut_slice().iter_mut().zip(b.as_slice()) {
+            *o *= x;
+        }
+        out
+    }
+
+    /// `self += other`.
+    #[track_caller]
+    pub fn add_assign(&mut self, other: &Mat) {
+        assert_eq!(self.shape(), other.shape(), "add_assign: shape mismatch");
+        for (o, x) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *o += x;
+        }
+    }
+
+    /// `self += alpha * other` (axpy).
+    #[track_caller]
+    pub fn axpy(&mut self, alpha: f32, other: &Mat) {
+        assert_eq!(self.shape(), other.shape(), "axpy: shape mismatch");
+        for (o, x) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *o += alpha * x;
+        }
+    }
+
+    /// `self - other` as a new matrix.
+    #[track_caller]
+    pub fn sub(&self, other: &Mat) -> Mat {
+        assert_eq!(self.shape(), other.shape(), "sub: shape mismatch");
+        let mut out = self.clone();
+        for (o, x) in out.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *o -= x;
+        }
+        out
+    }
+
+    /// Multiply every element by `s` in place.
+    pub fn scale(&mut self, s: f32) {
+        for v in self.as_mut_slice() {
+            *v *= s;
+        }
+    }
+
+    /// A scaled copy.
+    pub fn scaled(&self, s: f32) -> Mat {
+        let mut out = self.clone();
+        out.scale(s);
+        out
+    }
+
+    /// Row-wise sums.
+    pub fn rowsum(&self) -> Vec<f32> {
+        (0..self.rows()).map(|r| self.row(r).iter().sum()).collect()
+    }
+
+    /// `rowsum(self ∘ other)` without materialising the product — this is the
+    /// `D = rowsum(∇O ∘ O)` reduction of Algorithms 1–2.
+    #[track_caller]
+    pub fn rowsum_hadamard(&self, other: &Mat) -> Vec<f32> {
+        assert_eq!(self.shape(), other.shape(), "rowsum_hadamard: shape mismatch");
+        (0..self.rows())
+            .map(|r| {
+                self.row(r)
+                    .iter()
+                    .zip(other.row(r))
+                    .map(|(a, b)| a * b)
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Numerically stable row-wise softmax.
+    pub fn softmax_rows(&self) -> Mat {
+        let mut out = self.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            if !max.is_finite() {
+                // All -inf (fully masked row): define softmax as all zeros.
+                row.fill(0.0);
+                continue;
+            }
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            let inv = 1.0 / sum;
+            for v in row.iter_mut() {
+                *v *= inv;
+            }
+        }
+        out
+    }
+
+    /// Numerically stable row-wise log-sum-exp: `lse[r] = log Σ_c exp(self[r,c])`.
+    ///
+    /// Fully masked rows (all `-inf`) produce `-inf`, which the online-softmax
+    /// merge treats as "no mass yet".
+    pub fn lse_rows(&self) -> Vec<f32> {
+        (0..self.rows())
+            .map(|r| {
+                let row = self.row(r);
+                let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                if !max.is_finite() {
+                    return f32::NEG_INFINITY;
+                }
+                let sum: f32 = row.iter().map(|v| (v - max).exp()).sum();
+                max + sum.ln()
+            })
+            .collect()
+    }
+
+    /// Subtract a per-row scalar and exponentiate: `exp(self[r,c] - s[r])`.
+    /// This is the `P = exp(S - Lse)` step shared by Algorithms 1–3.
+    #[track_caller]
+    pub fn exp_sub_rowwise(&self, s: &[f32]) -> Mat {
+        assert_eq!(self.rows(), s.len(), "exp_sub_rowwise: row count mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows() {
+            let shift = s[r];
+            for v in out.row_mut(r) {
+                // exp(-inf - -inf) must be 0, not NaN: a masked row has no mass.
+                *v = if v.is_finite() || shift.is_finite() {
+                    (*v - shift).exp()
+                } else {
+                    0.0
+                };
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn frob_norm(&self) -> f32 {
+        self.as_slice().iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Largest absolute element.
+    pub fn max_abs(&self) -> f32 {
+        self.as_slice().iter().fold(0.0f32, |m, v| m.max(v.abs()))
+    }
+
+    /// Index of the maximum in each row.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        (0..self.rows())
+            .map(|r| {
+                self.row(r)
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+fn row_blocks(m: usize) -> Vec<(usize, usize)> {
+    let mut blocks = Vec::new();
+    let mut r = 0;
+    while r < m {
+        let len = PAR_ROW_BLOCK.min(m - r);
+        blocks.push((r, len));
+        r += len;
+    }
+    blocks
+}
+
+/// Dispatch a row-blocked kernel either serially or across rayon tasks.
+fn run_blocked(
+    out: &mut Mat,
+    m: usize,
+    volume: usize,
+    kernel: impl Fn(&mut [f32], usize, usize) + Sync,
+) {
+    let n = out.cols();
+    if volume >= PAR_THRESHOLD && m > PAR_ROW_BLOCK {
+        out.as_mut_slice()
+            .par_chunks_mut(PAR_ROW_BLOCK * n)
+            .enumerate()
+            .for_each(|(bi, chunk)| {
+                let r0 = bi * PAR_ROW_BLOCK;
+                kernel(chunk, r0, chunk.len() / n);
+            });
+    } else {
+        let slice = out.as_mut_slice();
+        kernel(slice, 0, m);
+    }
+}
+
+/// `out[r0..r0+len] += A[r0..] · B`, tiled over k.
+fn matmul_nn_block(a: &Mat, b: &Mat, out: &mut [f32], r0: usize, len: usize, k: usize, n: usize) {
+    for kk in (0..k).step_by(K_TILE) {
+        let kend = (kk + K_TILE).min(k);
+        for r in 0..len {
+            let arow = &a.row(r0 + r)[kk..kend];
+            let orow = &mut out[r * n..(r + 1) * n];
+            for (ki, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = b.row(kk + ki);
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+}
+
+/// `out[r0..r0+len] += A[r0..] · Bᵀ` — rows of B are contiguous, so each
+/// output element is a dot product of two contiguous slices.
+fn matmul_nt_block(a: &Mat, b: &Mat, out: &mut [f32], r0: usize, len: usize, k: usize, n: usize) {
+    debug_assert_eq!(k, a.cols());
+    for r in 0..len {
+        let arow = a.row(r0 + r);
+        let orow = &mut out[r * n..(r + 1) * n];
+        for (c, o) in orow.iter_mut().enumerate() {
+            let brow = b.row(c);
+            let mut acc = 0.0f32;
+            for (x, y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            *o = acc;
+        }
+    }
+}
+
+/// `out[r0..r0+len] += (Aᵀ · B)[r0..]` where `out` rows index columns of A.
+fn matmul_tn_block(a: &Mat, b: &Mat, out: &mut [f32], c0: usize, len: usize, k: usize, n: usize) {
+    debug_assert_eq!(k, a.rows());
+    for r in 0..k {
+        let arow = &a.row(r)[c0..c0 + len];
+        let brow = b.row(r);
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::mat::Mat;
+    use crate::testutil::assert_allclose;
+
+    fn naive_matmul(a: &Mat, b: &Mat) -> Mat {
+        let mut out = Mat::zeros(a.rows(), b.cols());
+        for r in 0..a.rows() {
+            for c in 0..b.cols() {
+                let mut acc = 0.0;
+                for k in 0..a.cols() {
+                    acc += a.get(r, k) * b.get(k, c);
+                }
+                out.set(r, c, acc);
+            }
+        }
+        out
+    }
+
+    fn arange(rows: usize, cols: usize, scale: f32) -> Mat {
+        Mat::from_fn(rows, cols, |r, c| ((r * cols + c) as f32).sin() * scale)
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        for (m, k, n) in [(1, 1, 1), (3, 4, 5), (17, 33, 9), (64, 64, 64)] {
+            let a = arange(m, k, 0.7);
+            let b = arange(k, n, 1.3);
+            assert_allclose(&a.matmul(&b), &naive_matmul(&a, &b), 1e-4, "matmul");
+        }
+    }
+
+    #[test]
+    fn matmul_parallel_path_matches_naive() {
+        // Big enough to cross PAR_THRESHOLD and use multiple row blocks.
+        let a = arange(96, 48, 0.9);
+        let b = arange(48, 40, 1.1);
+        assert_allclose(&a.matmul(&b), &naive_matmul(&a, &b), 1e-3, "matmul par");
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = arange(7, 11, 0.5);
+        let b = arange(13, 11, 0.8);
+        assert_allclose(&a.matmul_nt(&b), &a.matmul(&b.transpose()), 1e-4, "nt");
+        let big_a = arange(80, 64, 0.5);
+        let big_b = arange(72, 64, 0.8);
+        assert_allclose(
+            &big_a.matmul_nt(&big_b),
+            &big_a.matmul(&big_b.transpose()),
+            1e-3,
+            "nt par",
+        );
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = arange(11, 7, 0.5);
+        let b = arange(11, 13, 0.8);
+        assert_allclose(&a.matmul_tn(&b), &a.transpose().matmul(&b), 1e-4, "tn");
+        let big_a = arange(64, 80, 0.5);
+        let big_b = arange(64, 72, 0.8);
+        assert_allclose(
+            &big_a.matmul_tn(&big_b),
+            &big_a.transpose().matmul(&big_b),
+            1e-3,
+            "tn par",
+        );
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_is_shift_invariant() {
+        let m = arange(5, 9, 3.0);
+        let sm = m.softmax_rows();
+        for r in 0..5 {
+            let s: f32 = sm.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "row {r} sums to {s}");
+        }
+        let mut shifted = m.clone();
+        for r in 0..5 {
+            for v in shifted.row_mut(r) {
+                *v += 100.0;
+            }
+        }
+        assert_allclose(&shifted.softmax_rows(), &sm, 1e-5, "shift invariance");
+    }
+
+    #[test]
+    fn softmax_handles_fully_masked_row() {
+        let m = Mat::from_vec(1, 3, vec![f32::NEG_INFINITY; 3]);
+        let sm = m.softmax_rows();
+        assert_eq!(sm.row(0), &[0.0, 0.0, 0.0]);
+        assert_eq!(m.lse_rows()[0], f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn lse_matches_log_of_sum() {
+        let m = arange(4, 6, 2.0);
+        let lse = m.lse_rows();
+        for r in 0..4 {
+            let direct: f32 = m.row(r).iter().map(|v| v.exp()).sum::<f32>().ln();
+            assert!((lse[r] - direct).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn exp_sub_rowwise_reproduces_softmax() {
+        let m = arange(4, 6, 2.0);
+        let lse = m.lse_rows();
+        let p = m.exp_sub_rowwise(&lse);
+        assert_allclose(&p, &m.softmax_rows(), 1e-5, "exp_sub");
+    }
+
+    #[test]
+    fn exp_sub_rowwise_masked_row_is_zero() {
+        let m = Mat::from_vec(1, 2, vec![f32::NEG_INFINITY; 2]);
+        let p = m.exp_sub_rowwise(&[f32::NEG_INFINITY]);
+        assert_eq!(p.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn rowsum_hadamard_matches_composition() {
+        let a = arange(6, 5, 1.0);
+        let b = arange(6, 5, 0.4);
+        let d = a.rowsum_hadamard(&b);
+        let explicit = a.hadamard(&b).rowsum();
+        for (x, y) in d.iter().zip(&explicit) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Mat::full(2, 2, 1.0);
+        let b = Mat::full(2, 2, 2.0);
+        a.axpy(0.5, &b);
+        assert_eq!(a.row(0), &[2.0, 2.0]);
+        a.scale(2.0);
+        assert_eq!(a.row(1), &[4.0, 4.0]);
+    }
+
+    #[test]
+    fn argmax_rows_picks_max() {
+        let m = Mat::from_vec(2, 3, vec![0.1, 0.9, 0.3, 5.0, -1.0, 2.0]);
+        assert_eq!(m.argmax_rows(), vec![1, 0]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Test utilities: approximate comparison and numerical gradients.
+//!
+//! These live in the library (not `#[cfg(test)]`) because every downstream
+//! crate's tests use them to validate kernels against finite differences.
+
+use crate::mat::Mat;
+
+/// `true` iff every element pair differs by at most `atol + rtol·|b|`.
+pub fn allclose(a: &Mat, b: &Mat, atol: f32, rtol: f32) -> bool {
+    if a.shape() != b.shape() {
+        return false;
+    }
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .all(|(x, y)| (x - y).abs() <= atol + rtol * y.abs())
+}
+
+/// Panic with a diagnostic if `a` and `b` differ by more than `tol`
+/// (absolute, with a matching relative term).
+#[track_caller]
+pub fn assert_allclose(a: &Mat, b: &Mat, tol: f32, ctx: &str) {
+    assert_eq!(a.shape(), b.shape(), "{ctx}: shape {:?} vs {:?}", a.shape(), b.shape());
+    let mut worst = 0.0f32;
+    let mut worst_at = 0;
+    for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        if x == y {
+            continue; // covers equal infinities, whose difference is NaN
+        }
+        let d = (x - y).abs() / (1.0 + y.abs());
+        if d > worst {
+            worst = d;
+            worst_at = i;
+        }
+    }
+    assert!(
+        worst <= tol,
+        "{ctx}: max rel-abs diff {worst} > {tol} at flat index {worst_at} \
+         (a={}, b={})",
+        a.as_slice()[worst_at],
+        b.as_slice()[worst_at]
+    );
+}
+
+/// Same comparison for plain vectors.
+#[track_caller]
+pub fn assert_allclose_vec(a: &[f32], b: &[f32], tol: f32, ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        if x == y {
+            continue; // covers equal infinities, whose difference is NaN
+        }
+        let d = (x - y).abs() / (1.0 + y.abs());
+        assert!(d <= tol, "{ctx}: diff {d} > {tol} at {i} (a={x}, b={y})");
+    }
+}
+
+/// Central-difference numerical gradient of a scalar function of a matrix.
+///
+/// `f` must be deterministic. `eps` around `1e-2`–`1e-3` works well for f32;
+/// the caller compares against the analytic gradient with a loose tolerance.
+pub fn numerical_grad(x: &Mat, eps: f32, mut f: impl FnMut(&Mat) -> f32) -> Mat {
+    let mut grad = Mat::zeros(x.rows(), x.cols());
+    let mut probe = x.clone();
+    for r in 0..x.rows() {
+        for c in 0..x.cols() {
+            let orig = probe.get(r, c);
+            probe.set(r, c, orig + eps);
+            let fp = f(&probe);
+            probe.set(r, c, orig - eps);
+            let fm = f(&probe);
+            probe.set(r, c, orig);
+            grad.set(r, c, (fp - fm) / (2.0 * eps));
+        }
+    }
+    grad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::randn_mat;
+
+    #[test]
+    fn allclose_detects_differences() {
+        let a = Mat::full(2, 2, 1.0);
+        let mut b = a.clone();
+        assert!(allclose(&a, &b, 1e-6, 1e-6));
+        b.set(0, 0, 1.1);
+        assert!(!allclose(&a, &b, 1e-6, 1e-6));
+    }
+
+    #[test]
+    fn allclose_rejects_shape_mismatch() {
+        assert!(!allclose(&Mat::zeros(2, 2), &Mat::zeros(2, 3), 1.0, 1.0));
+    }
+
+    #[test]
+    fn numerical_grad_of_quadratic() {
+        // f(X) = 0.5 Σ x² → ∇f = X.
+        let x = randn_mat(3, 4, 1.0, 5);
+        let g = numerical_grad(&x, 1e-2, |m| {
+            0.5 * m.as_slice().iter().map(|v| v * v).sum::<f32>()
+        });
+        assert_allclose(&g, &x, 1e-2, "grad of quadratic");
+    }
+
+    #[test]
+    fn numerical_grad_of_linear_form() {
+        // f(X) = Σ_ij A_ij X_ij → ∇f = A.
+        let a = randn_mat(2, 3, 1.0, 11);
+        let x = randn_mat(2, 3, 1.0, 12);
+        let a2 = a.clone();
+        let g = numerical_grad(&x, 1e-2, move |m| {
+            m.as_slice()
+                .iter()
+                .zip(a2.as_slice())
+                .map(|(x, a)| x * a)
+                .sum::<f32>()
+        });
+        assert_allclose(&g, &a, 1e-2, "grad of linear form");
+    }
+}

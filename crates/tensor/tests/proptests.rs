@@ -1,0 +1,105 @@
+//! Property-based tests for the tensor substrate.
+
+use burst_tensor::testutil::{allclose, assert_allclose};
+use burst_tensor::Mat;
+use proptest::prelude::*;
+
+fn small_mat(max_dim: usize) -> impl Strategy<Value = Mat> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-4.0f32..4.0, r * c)
+            .prop_map(move |v| Mat::from_vec(r, c, v))
+    })
+}
+
+fn mat_pair_mul(max_dim: usize) -> impl Strategy<Value = (Mat, Mat)> {
+    (1..=max_dim, 1..=max_dim, 1..=max_dim).prop_flat_map(|(m, k, n)| {
+        (
+            proptest::collection::vec(-2.0f32..2.0, m * k)
+                .prop_map(move |v| Mat::from_vec(m, k, v)),
+            proptest::collection::vec(-2.0f32..2.0, k * n)
+                .prop_map(move |v| Mat::from_vec(k, n, v)),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn matmul_distributes_over_addition((a, b) in mat_pair_mul(8), s in -2.0f32..2.0) {
+        // A·(B + sB) == A·B + s(A·B)
+        let mut b2 = b.clone();
+        b2.axpy(s, &b);
+        let lhs = a.matmul(&b2);
+        let mut rhs = a.matmul(&b);
+        let ab = rhs.clone();
+        rhs.axpy(s, &ab);
+        prop_assert!(allclose(&lhs, &rhs, 1e-3, 1e-3));
+    }
+
+    #[test]
+    fn matmul_transpose_identities((a, b) in mat_pair_mul(8)) {
+        // (A·B)ᵀ == Bᵀ·Aᵀ, and the nt/tn kernels agree with explicit transposes.
+        let ab_t = a.matmul(&b).transpose();
+        let bt_at = b.transpose().matmul(&a.transpose());
+        prop_assert!(allclose(&ab_t, &bt_at, 1e-3, 1e-3));
+        let nt = a.matmul_nt(&b.transpose());
+        prop_assert!(allclose(&nt, &a.matmul(&b), 1e-3, 1e-3));
+        let tn = a.transpose().matmul_tn(&b);
+        prop_assert!(allclose(&tn, &a.matmul(&b), 1e-3, 1e-3));
+    }
+
+    #[test]
+    fn identity_is_neutral(a in small_mat(8)) {
+        let i = Mat::eye(a.cols());
+        prop_assert!(allclose(&a.matmul(&i), &a, 1e-5, 1e-5));
+        let i2 = Mat::eye(a.rows());
+        prop_assert!(allclose(&i2.matmul(&a), &a, 1e-5, 1e-5));
+    }
+
+    #[test]
+    fn softmax_rows_are_probability_rows(a in small_mat(8)) {
+        let sm = a.softmax_rows();
+        for r in 0..sm.rows() {
+            let sum: f32 = sm.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(sm.row(r).iter().all(|&v| (0.0..=1.0 + 1e-6).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn lse_is_shift_equivariant(a in small_mat(6), shift in -5.0f32..5.0) {
+        let base = a.lse_rows();
+        let mut shifted = a.clone();
+        for v in shifted.as_mut_slice() { *v += shift; }
+        let lse2 = shifted.lse_rows();
+        for (x, y) in base.iter().zip(&lse2) {
+            prop_assert!((x + shift - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn vstack_chunk_roundtrip(a in small_mat(6), parts in 1usize..4) {
+        // Pad rows to a multiple of `parts` by stacking the matrix with itself.
+        let reps = parts;
+        let stacked = Mat::vstack(&vec![a.clone(); reps]);
+        let chunks = stacked.chunk_rows(reps);
+        for c in &chunks {
+            prop_assert!(allclose(c, &a, 0.0, 0.0));
+        }
+    }
+
+    #[test]
+    fn rowsum_hadamard_is_bilinear(a in small_mat(6)) {
+        let b = a.clone();
+        let d = a.rowsum_hadamard(&b);
+        for (r, sum) in d.iter().enumerate() {
+            let expect: f32 = a.row(r).iter().map(|v| v * v).sum();
+            prop_assert!((sum - expect).abs() < 1e-4);
+        }
+    }
+}
+
+#[test]
+fn assert_allclose_is_reflexive() {
+    let a = Mat::from_fn(4, 4, |r, c| (r + c) as f32);
+    assert_allclose(&a, &a, 0.0, "reflexive");
+}

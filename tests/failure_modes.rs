@@ -1,0 +1,131 @@
+//! Failure-injection and misuse tests: the library must fail loudly and
+//! precisely, not silently corrupt results.
+
+use burstengine::prelude::*;
+
+#[test]
+fn mismatched_recv_type_panics_with_context() {
+    let result = std::panic::catch_unwind(|| {
+        let world = World::new(Topology::single_node(2));
+        world.run_results(|comm| {
+            if comm.rank() == 0 {
+                comm.send_vec(1, &[1.0, 2.0]);
+            } else {
+                // Expecting a matrix where a vector was sent.
+                let _ = comm.recv_mat(0);
+            }
+        });
+    });
+    assert!(result.is_err(), "type-confused receive must panic");
+}
+
+#[test]
+fn rank_panic_propagates_to_the_caller() {
+    let result = std::panic::catch_unwind(|| {
+        let world = World::new(Topology::single_node(2));
+        world.run_results(|comm| {
+            if comm.rank() == 1 {
+                panic!("injected rank failure");
+            }
+            // Rank 0 performs no communication with rank 1, so it completes.
+            comm.rank()
+        });
+    });
+    assert!(result.is_err(), "a dead rank must abort the job");
+}
+
+#[test]
+fn shape_mismatched_collective_is_rejected() {
+    let result = std::panic::catch_unwind(|| {
+        let world = World::new(Topology::single_node(2));
+        world.run_results(|comm| {
+            // Ranks contribute different lengths to an all-reduce.
+            let v = vec![0.0f32; 2 + comm.rank()];
+            comm.all_reduce_vec(&v)
+        });
+    });
+    assert!(result.is_err(), "length mismatch must be detected");
+}
+
+#[test]
+fn layout_rejects_indivisible_sequences() {
+    let result = std::panic::catch_unwind(|| Layout::Zigzag.indices(30, 4, 0));
+    assert!(result.is_err(), "zigzag needs 2G-divisible sequences");
+}
+
+#[test]
+fn attention_rejects_inconsistent_shard_shapes() {
+    let result = std::panic::catch_unwind(|| {
+        let world = World::new(Topology::single_node(2));
+        let n = 16;
+        world.run_results(|comm| {
+            // K shard deliberately has the wrong row count.
+            let q = randn_mat(n / 2, 4, 1.0, 1);
+            let k = randn_mat(n / 2 + 1, 4, 1.0, 2);
+            let v = randn_mat(n / 2 + 1, 4, 1.0, 3);
+            let go = randn_mat(n / 2, 4, 1.0, 4);
+            run_attention(
+                Algo::BurstFlat,
+                comm,
+                &q,
+                &k,
+                &v,
+                &go,
+                0.5,
+                &AttnMask::Causal,
+                Layout::Contiguous,
+                n,
+                &CostModel::free(),
+            )
+        });
+    });
+    assert!(result.is_err(), "inconsistent shard shapes must panic");
+}
+
+#[test]
+fn ulysses_error_is_typed_not_a_panic() {
+    use burstengine::dattn::ulysses::{ulysses_forward, UlyssesError};
+    let world = World::new(Topology::single_node(2));
+    let outs = world.run_results(|comm| {
+        let members = vec![0usize, 1];
+        let idx = vec![vec![0usize, 1], vec![2usize, 3]];
+        let heads: Vec<Mat> = (0..3).map(|h| randn_mat(2, 4, 1.0, h)).collect();
+        ulysses_forward(
+            comm,
+            &members,
+            &idx,
+            &heads,
+            &heads,
+            &heads,
+            0.5,
+            &AttnMask::Causal,
+            &CostModel::free(),
+        )
+        .err()
+    });
+    for e in outs {
+        assert_eq!(e, Some(UlyssesError::HeadsNotDivisible { heads: 3, group: 2 }));
+    }
+}
+
+#[test]
+fn oom_and_head_failures_are_reported_not_panicked() {
+    use burstengine::perf::endtoend::Infeasible;
+    let c = Cluster::a800(4, 8);
+    let r = evaluate(
+        &Method::MegatronCp,
+        &c,
+        &PaperModel::llama_14b(),
+        &AttnMask::Causal,
+        1 << 20,
+    );
+    match r {
+        Err(Infeasible::Oom { required_gb, budget_gb }) => {
+            assert!(required_gb > budget_gb);
+            // The error formats into the string the tables harness prints.
+            let msg = format!("{}", Infeasible::Oom { required_gb, budget_gb });
+            assert!(msg.contains("OOM"));
+        }
+        other => panic!("expected OOM, got {other:?}"),
+    }
+}
