@@ -9,7 +9,10 @@ use std::time::Duration;
 
 /// Keep full-workspace bench runs short: the comparisons of interest are
 /// order-of-magnitude, not microsecond-precise.
-fn fast<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+fn fast<'a>(
+    c: &'a mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
     let mut g = c.benchmark_group(name);
     g.warm_up_time(Duration::from_millis(300));
     g.measurement_time(Duration::from_secs(2));
@@ -35,12 +38,22 @@ fn bench_forward(c: &mut Criterion) {
             b.iter(|| naive_forward(&p.q, &p.k, &p.v, p.scale, &AttnMask::Causal, &idx, &idx))
         });
     }
+    // Long-sequence point, flash only (the naive kernel materialises the
+    // full n×n score matrix and is no longer interesting here).
+    {
+        let n = 4096usize;
+        let p = attn_problem(n, 64, 1);
+        let idx: Vec<usize> = (0..n).collect();
+        group.bench_with_input(BenchmarkId::new("flash/causal", n), &n, |b, _| {
+            b.iter(|| flash_forward(&p.q, &p.k, &p.v, p.scale, &AttnMask::Causal, &idx, &idx))
+        });
+    }
     group.finish();
 }
 
 fn bench_backward(c: &mut Criterion) {
     let mut group = fast(c, "attention_backward");
-    for &n in &[128usize, 256] {
+    for &n in &[128usize, 256, 4096] {
         let p = attn_problem(n, 64, 2);
         let idx: Vec<usize> = (0..n).collect();
         let mask = AttnMask::Causal;

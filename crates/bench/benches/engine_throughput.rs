@@ -42,10 +42,22 @@ fn bench_backends(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(3));
     group.sample_size(10);
     for (name, backend, topo) in [
-        ("ring_flat", Backend::Ring(Algo::RingFlat), Topology::a800(2, 2)),
-        ("burst_topo", Backend::Ring(Algo::BurstTopo), Topology::a800(2, 2)),
+        (
+            "ring_flat",
+            Backend::Ring(Algo::RingFlat),
+            Topology::a800(2, 2),
+        ),
+        (
+            "burst_topo",
+            Backend::Ring(Algo::BurstTopo),
+            Topology::a800(2, 2),
+        ),
         ("ulysses", Backend::Ulysses, Topology::single_node(4)),
-        ("usp", Backend::Usp { ulysses_size: 2 }, Topology::a800(2, 2)),
+        (
+            "usp",
+            Backend::Usp { ulysses_size: 2 },
+            Topology::a800(2, 2),
+        ),
     ] {
         let mut engine = cfg(backend);
         if matches!(backend, Backend::Ulysses) {

@@ -9,7 +9,10 @@ use std::time::Duration;
 
 /// Keep full-workspace bench runs short: the comparisons of interest are
 /// order-of-magnitude, not microsecond-precise.
-fn fast<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+fn fast<'a>(
+    c: &'a mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
     let mut g = c.benchmark_group(name);
     g.warm_up_time(Duration::from_millis(300));
     g.measurement_time(Duration::from_secs(2));
@@ -31,6 +34,19 @@ fn bench_lm_loss(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("naive", vocab), &vocab, |b, _| {
             b.iter(|| naive_lm_loss(&h, &w, &y))
         });
+    }
+    // Long-sequence point, fused only (the naive path would materialise a
+    // 4096×2048 logits matrix per gradient — measured enough at n=256).
+    {
+        let (n, d, vocab) = (4096usize, 64usize, 2048usize);
+        let h = randn_mat(n, d, 0.8, 9);
+        let w = randn_mat(vocab, d, 0.8, 10);
+        let y: Vec<usize> = (0..n).map(|i| (i * 31) % vocab).collect();
+        group.bench_with_input(
+            BenchmarkId::new("fused", format!("{n}x{vocab}")),
+            &n,
+            |b, _| b.iter(|| fused_lm_loss_with_blocks(&h, &w, &y, 64, 256)),
+        );
     }
     group.finish();
 }

@@ -12,7 +12,10 @@ use std::time::Duration;
 
 /// Keep full-workspace bench runs short: the comparisons of interest are
 /// order-of-magnitude, not microsecond-precise.
-fn fast<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+fn fast<'a>(
+    c: &'a mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
     let mut g = c.benchmark_group(name);
     g.warm_up_time(Duration::from_millis(300));
     g.measurement_time(Duration::from_secs(2));

@@ -4,13 +4,116 @@
 //! ```text
 //! cargo run --release -p burst-bench --bin export_json > results.json
 //! ```
+//!
+//! With `--kernels`, measures the real CPU kernels instead (median
+//! wall-clock seconds per call) and emits `BENCH_kernels.json`. Pass
+//! `--baseline <prev.json>` to embed a previous run's medians and the
+//! resulting speedups:
+//!
+//! ```text
+//! cargo run --release -p burst-bench --bin export_json -- --kernels \
+//!     --baseline old.json > BENCH_kernels.json
+//! ```
 
-use burst_kernels::AttnMask;
+use burst_bench::attn_problem;
+use burst_kernels::{flash_backward, flash_forward, fused_lm_loss, AttnMask};
 use burst_perf::endtoend::{attention_only, evaluate, rho_sweep, BurstOpts, Method};
 use burst_perf::machine::{Cluster, PaperModel};
 use burst_perf::memory::{ckpt_bytes_per_layer, lm_head_bytes, CkptKind, LmHeadKind};
 use burst_perf::{commtime, flops};
+use burst_tensor::randn_mat;
+use criterion::measure_median_secs;
 use serde_json::{json, Value};
+use std::time::Duration;
+
+/// One measured kernel case; pairs with the same-named case of a previous
+/// run when a baseline document is supplied.
+fn case_row(name: &str, median_s: f64, baseline: Option<&Value>) -> Value {
+    let base = baseline
+        .and_then(|b| b.get("cases"))
+        .and_then(|c| c.as_array())
+        .and_then(|arr| {
+            arr.iter()
+                .find(|r| r.get("name").and_then(|v| v.as_str()) == Some(name))
+        })
+        .and_then(|r| r.get("median_s"))
+        .and_then(|v| v.as_f64());
+    match base {
+        Some(b) => json!({
+            "name": name,
+            "median_s": median_s,
+            "baseline_median_s": b,
+            "speedup": b / median_s,
+        }),
+        None => json!({"name": name, "median_s": median_s}),
+    }
+}
+
+/// `--kernels` mode: time the attention and LM-head kernels at bench sizes
+/// (the large-`n` points the `attention_kernels`/`lmhead_fusion` Criterion
+/// benches also cover) and print the JSON document.
+fn export_kernels(baseline_path: Option<String>) {
+    let baseline: Option<Value> = baseline_path.map(|p| {
+        let fail = |e: &dyn std::fmt::Display| -> ! {
+            eprintln!("error: --baseline {p}: {e}");
+            std::process::exit(2);
+        };
+        let text = std::fs::read_to_string(&p).unwrap_or_else(|e| fail(&e));
+        serde_json::from_str(&text).unwrap_or_else(|e| fail(&e))
+    });
+    let warm = Duration::from_millis(200);
+    let meas = Duration::from_secs(2);
+    let samples = 3;
+    let mask = AttnMask::Causal;
+    let mut cases: Vec<Value> = Vec::new();
+
+    for &n in &[1024usize, 4096] {
+        let p = attn_problem(n, 64, 1);
+        let idx: Vec<usize> = (0..n).collect();
+        let m = measure_median_secs(warm, meas, samples, || {
+            flash_forward(&p.q, &p.k, &p.v, p.scale, &mask, &idx, &idx)
+        });
+        cases.push(case_row(
+            &format!("attention_forward/flash/causal/{n}"),
+            m,
+            baseline.as_ref(),
+        ));
+        let fwd = flash_forward(&p.q, &p.k, &p.v, p.scale, &mask, &idx, &idx);
+        let m = measure_median_secs(warm, meas, samples, || {
+            flash_backward(
+                &p.q, &p.k, &p.v, &fwd.o, &p.grad_o, &fwd.lse, p.scale, &mask, &idx, &idx,
+            )
+        });
+        cases.push(case_row(
+            &format!("attention_backward/flash/causal/{n}"),
+            m,
+            baseline.as_ref(),
+        ));
+    }
+
+    for &(n, v) in &[(1024usize, 8192usize), (4096, 2048)] {
+        let h = randn_mat(n, 64, 0.8, 5);
+        let w = randn_mat(v, 64, 0.8, 6);
+        let y: Vec<usize> = (0..n).map(|i| (i * 31) % v).collect();
+        let m = measure_median_secs(warm, meas, samples, || fused_lm_loss(&h, &w, &y));
+        cases.push(case_row(
+            &format!("lm_head_loss/fused/{n}x{v}"),
+            m,
+            baseline.as_ref(),
+        ));
+    }
+
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1);
+    let doc = json!({
+        "source": "cargo run --release -p burst-bench --bin export_json -- --kernels [--baseline <prev.json>]",
+        "metric": "median wall-clock seconds per kernel call",
+        "host_threads": threads,
+        "cases": cases,
+    });
+    println!("{}", serde_json::to_string_pretty(&doc).unwrap());
+}
 
 fn method_row(method: &Method, c: &Cluster, m: &PaperModel, seq: usize) -> Value {
     match evaluate(method, c, m, &AttnMask::Causal, seq) {
@@ -30,6 +133,16 @@ fn method_row(method: &Method, c: &Cluster, m: &PaperModel, seq: usize) -> Value
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--kernels") {
+        let baseline = args
+            .iter()
+            .position(|a| a == "--baseline")
+            .and_then(|i| args.get(i + 1))
+            .cloned();
+        export_kernels(baseline);
+        return;
+    }
     let c32 = Cluster::a800(4, 8);
     let c64 = Cluster::a800(8, 8);
     let m7 = PaperModel::llama_7b();
@@ -116,10 +229,12 @@ fn main() {
             let n = 1usize << e;
             let rows: Vec<Value> = Method::all()
                 .iter()
-                .map(|mm| match attention_only(mm, &c32, &m14, &AttnMask::Causal, n) {
-                    Ok(t) => json!({"method": mm.name(), "time_s": t}),
-                    Err(err) => json!({"method": mm.name(), "infeasible": format!("{err}")}),
-                })
+                .map(
+                    |mm| match attention_only(mm, &c32, &m14, &AttnMask::Causal, n) {
+                        Ok(t) => json!({"method": mm.name(), "time_s": t}),
+                        Err(err) => json!({"method": mm.name(), "infeasible": format!("{err}")}),
+                    },
+                )
                 .collect();
             json!({"seq": n, "methods": rows})
         })
@@ -172,7 +287,14 @@ fn main() {
     ]
     .into_iter()
     .map(|(name, o)| {
-        let e = evaluate(&Method::BurstEngine(o), &c32, &m14, &AttnMask::Causal, 1 << 20).unwrap();
+        let e = evaluate(
+            &Method::BurstEngine(o),
+            &c32,
+            &m14,
+            &AttnMask::Causal,
+            1 << 20,
+        )
+        .unwrap();
         json!({"config": name, "tgs": e.tgs, "mfu": e.mfu, "mem_gb": e.mem_gb})
     })
     .collect();

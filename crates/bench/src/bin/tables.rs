@@ -15,9 +15,7 @@ use burst_comm::{Topology, World};
 use burst_dattn::{run_attention, Algo, CostModel, Layout};
 use burst_kernels::AttnMask;
 use burst_perf::commtime;
-use burst_perf::endtoend::{
-    attention_only, evaluate, evaluate_intra_node_cp, BurstOpts, Method,
-};
+use burst_perf::endtoend::{attention_only, evaluate, evaluate_intra_node_cp, BurstOpts, Method};
 use burst_perf::flops;
 use burst_perf::machine::{Cluster, PaperModel};
 use burst_perf::memory::{ckpt_bytes_per_layer, lm_head_bytes, CkptKind, LmHeadKind};
@@ -176,7 +174,12 @@ fn fig12_13() {
     header("Figures 12-13: end-to-end training (TGS / MFU / peak GB)");
     let causal = AttnMask::Causal;
     let settings = [
-        ("7B @ 2M, 32 GPUs", PaperModel::llama_7b(), 2usize << 20, 4usize),
+        (
+            "7B @ 2M, 32 GPUs",
+            PaperModel::llama_7b(),
+            2usize << 20,
+            4usize,
+        ),
         ("14B @ 1M, 32 GPUs", PaperModel::llama_14b(), 1 << 20, 4),
         ("7B @ 4M, 64 GPUs", PaperModel::llama_7b(), 4 << 20, 8),
         ("14B @ 2M, 64 GPUs", PaperModel::llama_14b(), 2 << 20, 8),
@@ -261,7 +264,10 @@ fn fig14() {
                 &CostModel::free(),
             );
         });
-        println!("    {algo:?}: {:.2} us (virtual, comm-bound)", makespan * 1e6);
+        println!(
+            "    {algo:?}: {:.2} us (virtual, comm-bound)",
+            makespan * 1e6
+        );
     }
 }
 
@@ -272,7 +278,11 @@ fn tab2() {
     let m = PaperModel::llama_14b();
     let causal = AttnMask::Causal;
     let rows: Vec<(&str, BurstOpts, (f64, f64, f64))> = vec![
-        ("none (baseline)", BurstOpts::baseline(), (36.75, 83.79, 48.47)),
+        (
+            "none (baseline)",
+            BurstOpts::baseline(),
+            (36.75, 83.79, 48.47),
+        ),
         (
             "+ backward comm opt",
             BurstOpts {
@@ -356,18 +366,27 @@ fn tab3() {
         1 << 20,
     )
     .unwrap();
-    println!("{:<22} {:>9} {:>9}   {:>14}", "implementation", "TGS", "speedup", "paper speedup");
+    println!(
+        "{:<22} {:>9} {:>9}   {:>14}",
+        "implementation", "TGS", "speedup", "paper speedup"
+    );
     println!(
         "{:<22} {:>9.2} {:>8.2}x   {:>13.2}x",
         "attention masking", masking.tgs, 1.0, 1.0
     );
     println!(
         "{:<22} {:>9.2} {:>8.2}x   {:>13.2}x",
-        "causal (zigzag)", causal.tgs, causal.tgs / masking.tgs, 1.72
+        "causal (zigzag)",
+        causal.tgs,
+        causal.tgs / masking.tgs,
+        1.72
     );
     println!(
         "{:<22} {:>9.2} {:>8.2}x   {:>13.2}x",
-        "SWA 32K (block)", swa.tgs, swa.tgs / masking.tgs, 3.68
+        "SWA 32K (block)",
+        swa.tgs,
+        swa.tgs / masking.tgs,
+        3.68
     );
     println!("note: the model realises more of SWA's theoretical saving than the");
     println!("      paper's kernels (see EXPERIMENTS.md)");
@@ -428,7 +447,11 @@ fn tab4() {
     header("Table 4: inter-node scaling (14B, 32K tokens/GPU)");
     let m = PaperModel::llama_14b();
     let causal = AttnMask::Causal;
-    let paper = [(2usize, 53.1, 223.25, 63.13), (4, 53.2, 118.36, 53.96), (8, 52.7, 60.49, 50.96)];
+    let paper = [
+        (2usize, 53.1, 223.25, 63.13),
+        (4, 53.2, 118.36, 53.96),
+        (8, 52.7, 60.49, 50.96),
+    ];
     println!(
         "{:>6} {:>8}  {:>7} {:>9} {:>8}   {:>8} {:>9} {:>8}",
         "nodes", "seq", "MFU", "TGS", "mem", "paperMFU", "paperTGS", "paperGB"
@@ -436,14 +459,7 @@ fn tab4() {
     for (nodes, p_mfu, p_tgs, p_mem) in paper {
         let c = Cluster::a800(nodes, 8);
         let n = 32768 * c.world();
-        let e = evaluate(
-            &Method::BurstEngine(BurstOpts::full()),
-            &c,
-            &m,
-            &causal,
-            n,
-        )
-        .unwrap();
+        let e = evaluate(&Method::BurstEngine(BurstOpts::full()), &c, &m, &causal, n).unwrap();
         println!(
             "{:>6} {:>8}  {:>6.1}% {:>9.2} {:>7.2}G   {:>7.1}% {:>9.2} {:>7.2}G",
             nodes,

@@ -356,7 +356,7 @@ impl Communicator {
         if g == 1 {
             return m.clone();
         }
-        if m.rows() % g == 0 && m.rows() >= g {
+        if m.rows().is_multiple_of(g) && m.rows() >= g {
             let parts = m.chunk_rows(g);
             let mine = self.reduce_scatter_mat(&parts);
             let gathered = self.all_gather_mat(&mine);

@@ -35,7 +35,7 @@ pub mod trace;
 pub mod world;
 
 pub use comm::{Communicator, Msg, MsgData};
-pub use trace::{ascii_lane, summarize, TraceEvent, TraceSummary};
 pub use stats::CommStats;
 pub use topology::{Link, Topology};
+pub use trace::{ascii_lane, summarize, TraceEvent, TraceSummary};
 pub use world::{RankOutput, World};

@@ -39,8 +39,12 @@ impl TraceEvent {
     /// The interval this event occupies on the rank's timeline.
     pub fn interval(&self) -> (f64, f64) {
         match self {
-            TraceEvent::Send { depart, arrival, .. } => (*depart, *arrival),
-            TraceEvent::Recv { posted, completed, .. } => (*posted, *completed),
+            TraceEvent::Send {
+                depart, arrival, ..
+            } => (*depart, *arrival),
+            TraceEvent::Recv {
+                posted, completed, ..
+            } => (*posted, *completed),
             TraceEvent::Compute { start, end } => (*start, *end),
         }
     }
@@ -50,7 +54,9 @@ impl TraceEvent {
     pub fn blocked_secs(&self) -> f64 {
         match self {
             TraceEvent::Send { .. } => 0.0,
-            TraceEvent::Recv { posted, completed, .. } => (completed - posted).max(0.0),
+            TraceEvent::Recv {
+                posted, completed, ..
+            } => (completed - posted).max(0.0),
             TraceEvent::Compute { start, end } => end - start,
         }
     }
@@ -62,11 +68,15 @@ pub fn summarize(trace: &[TraceEvent]) -> TraceSummary {
     for e in trace {
         match e {
             TraceEvent::Compute { start, end } => s.compute_secs += end - start,
-            TraceEvent::Recv { posted, completed, .. } => {
+            TraceEvent::Recv {
+                posted, completed, ..
+            } => {
                 s.wait_secs += (completed - posted).max(0.0);
                 s.recvs += 1;
             }
-            TraceEvent::Send { elems, inter_node, .. } => {
+            TraceEvent::Send {
+                elems, inter_node, ..
+            } => {
                 s.sends += 1;
                 s.sent_elems += elems;
                 if *inter_node {
@@ -106,7 +116,9 @@ pub fn ascii_lane(trace: &[TraceEvent], t_end: f64, width: usize) -> String {
     for e in trace {
         match e {
             TraceEvent::Compute { start, end } => paint(*start, *end, '#'),
-            TraceEvent::Recv { posted, completed, .. } => paint(*posted, *completed, '.'),
+            TraceEvent::Recv {
+                posted, completed, ..
+            } => paint(*posted, *completed, '.'),
             TraceEvent::Send { .. } => {}
         }
     }
@@ -120,7 +132,10 @@ mod tests {
     #[test]
     fn summary_accumulates() {
         let trace = vec![
-            TraceEvent::Compute { start: 0.0, end: 1.0 },
+            TraceEvent::Compute {
+                start: 0.0,
+                end: 1.0,
+            },
             TraceEvent::Send {
                 dst: 1,
                 elems: 10,
@@ -153,7 +168,10 @@ mod tests {
                 posted: 0.0,
                 completed: 1.0,
             },
-            TraceEvent::Compute { start: 0.5, end: 1.0 },
+            TraceEvent::Compute {
+                start: 0.5,
+                end: 1.0,
+            },
         ];
         let lane = ascii_lane(&trace, 1.0, 8);
         assert_eq!(lane.len(), 8);

@@ -129,6 +129,10 @@ impl World {
             .iter()
             .map(|o| o.stats)
             .fold(CommStats::default(), |a, b| a.merge(&b));
-        (outs.into_iter().map(|o| o.result).collect(), makespan, stats)
+        (
+            outs.into_iter().map(|o| o.result).collect(),
+            makespan,
+            stats,
+        )
     }
 }

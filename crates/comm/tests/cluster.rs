@@ -40,7 +40,10 @@ fn clock_respects_latency_and_bandwidth() {
         }
         comm.time()
     });
-    assert_eq!(outs[0].result, 0.0, "sends are non-blocking in virtual time");
+    assert_eq!(
+        outs[0].result, 0.0,
+        "sends are non-blocking in virtual time"
+    );
     let expect = 1e-3 + 1000.0 / 1e9;
     assert!(
         (outs[1].result - expect).abs() < 1e-12,
@@ -122,7 +125,11 @@ fn overlap_is_max_of_compute_and_comm() {
         }
     });
     // Transfer takes 2 ms; 1 ms of compute hides inside it: total 2 ms, not 3.
-    assert!((outs[1] - 2e-3).abs() < 1e-9, "overlapped total {}", outs[1]);
+    assert!(
+        (outs[1] - 2e-3).abs() < 1e-9,
+        "overlapped total {}",
+        outs[1]
+    );
 }
 
 #[test]
@@ -230,7 +237,11 @@ fn all_to_all_transposes_blocks() {
     });
     for (rank, got) in outs.iter().enumerate() {
         for (src, m) in got.iter().enumerate() {
-            assert_eq!(m.get(0, 0), (src * 10 + rank) as f32, "rank {rank} src {src}");
+            assert_eq!(
+                m.get(0, 0),
+                (src * 10 + rank) as f32,
+                "rank {rank} src {src}"
+            );
         }
     }
 }
@@ -260,12 +271,13 @@ fn all_reduce_vec_sums() {
 #[test]
 fn ring_shift_moves_data_one_hop() {
     let world = World::new(Topology::single_node(4));
-    let outs = world.run_results(|comm| {
-        match comm.ring_shift(MsgData::Scalar(comm.rank() as f64)) {
-            MsgData::Scalar(s) => s,
-            other => panic!("unexpected {other:?}"),
-        }
-    });
+    let outs =
+        world.run_results(
+            |comm| match comm.ring_shift(MsgData::Scalar(comm.rank() as f64)) {
+                MsgData::Scalar(s) => s,
+                other => panic!("unexpected {other:?}"),
+            },
+        );
     assert_eq!(outs, vec![3.0, 0.0, 1.0, 2.0]);
 }
 
@@ -274,11 +286,9 @@ fn stats_split_intra_vs_inter() {
     let world = World::new(Topology::a800(2, 2));
     let outs = world.run(|comm| {
         if comm.rank() == 0 {
-            comm.send_vec(1, &vec![0.0; 10]); // intra
-            comm.send_vec(2, &vec![0.0; 20]); // inter
-        } else if comm.rank() == 1 {
-            let _ = comm.recv_vec(0);
-        } else if comm.rank() == 2 {
+            comm.send_vec(1, &[0.0; 10]); // intra
+            comm.send_vec(2, &[0.0; 20]); // inter
+        } else if comm.rank() == 1 || comm.rank() == 2 {
             let _ = comm.recv_vec(0);
         }
     });

@@ -23,59 +23,88 @@
 //!   (early posts), while `∇Q` follows one compute step behind on a
 //!   delayed stream (warm-up-round schedule, Fig. 5 bottom), so gradient
 //!   communication also hides under compute.
+//!
+//! All three schedules use the `_acc` tile kernels with persistent
+//! accumulators and one reused [`Scratch`], and read the local shard (and
+//! each sweep's start bundle) by reference — steady-state rounds perform no
+//! heap allocations in the tile-compute path.
 
 use crate::ring::{AttnShard, BackwardInputs, DistAttnOut};
 use burst_comm::Communicator;
-use burst_kernels::{attn_tile_backward, flash_forward, KernelWork, OnlineState};
-use burst_tensor::Mat;
+use burst_kernels::{attn_tile_backward, attn_tile_backward_acc, flash_forward_acc, KernelWork};
+use burst_tensor::{Mat, Scratch};
 
 /// Forward pass over the two-level ring.
 pub fn double_ring_forward(comm: &mut Communicator, shard: &AttnShard) -> DistAttnOut {
     let topo = comm.topology().clone();
     let (nodes, gpn) = (topo.nodes, topo.gpus_per_node);
+    let g = comm.world_size();
     let d = shard.q.cols();
     let qi = shard.my_idx(comm);
-    let mut state = OnlineState::empty(shard.q.rows(), shard.v.cols());
+    let kidx_all: Vec<Vec<usize>> = (0..g).map(|r| shard.idx_of(comm, r)).collect();
+    let mut acc_o = Mat::zeros(shard.q.rows(), shard.v.cols());
+    let mut acc_lse = vec![f32::NEG_INFINITY; shard.q.rows()];
+    let mut scratch = Scratch::new();
     let mut work = KernelWork::default();
 
-    let mut start_k = shard.k.clone();
-    let mut start_v = shard.v.clone();
+    // `None` start bundle = outer round 0, read the local shard in place;
+    // `None` current bundle = inner step 0, read the start bundle in place.
+    let mut start_owned: Option<(Mat, Mat)> = None;
     let mut start_src = comm.rank();
     for outer in 0..nodes {
+        let (start_k, start_v) = match &start_owned {
+            Some((k, v)) => (k, v),
+            None => (shard.k, shard.v),
+        };
         if outer < nodes - 1 {
             // Early inter-node post: hides behind the whole intra sweep.
-            comm.send_mat(comm.peer_next_node(), &start_k);
-            comm.send_mat(comm.peer_next_node(), &start_v);
+            comm.send_mat(comm.peer_next_node(), start_k);
+            comm.send_mat(comm.peer_next_node(), start_v);
         }
-        let mut cur_k = start_k.clone();
-        let mut cur_v = start_v.clone();
+        let mut cur_owned: Option<(Mat, Mat)> = None;
         let mut src = start_src;
         for inner in 0..gpn {
+            let (cur_k, cur_v) = match &cur_owned {
+                Some((k, v)) => (k, v),
+                None => (start_k, start_v),
+            };
             if inner < gpn - 1 {
-                comm.send_mat(comm.next_in_node(), &cur_k);
-                comm.send_mat(comm.next_in_node(), &cur_v);
+                comm.send_mat(comm.next_in_node(), cur_k);
+                comm.send_mat(comm.next_in_node(), cur_v);
             }
-            let kidx = shard.idx_of(comm, src);
-            let out =
-                flash_forward(shard.q, &cur_k, &cur_v, shard.scale, shard.mask, &qi, &kidx);
-            comm.advance_compute(shard.cost.attn_fwd_secs(out.work.pairs, d));
-            state.merge(&OnlineState::new(out.o, out.lse));
-            work.merge(out.work);
+            let w = flash_forward_acc(
+                shard.q,
+                cur_k,
+                cur_v,
+                shard.scale,
+                shard.mask,
+                &qi,
+                &kidx_all[src],
+                &mut acc_o,
+                &mut acc_lse,
+                &mut scratch,
+            );
+            comm.advance_compute(shard.cost.attn_fwd_secs(w.pairs, d));
+            work.merge(w);
             if inner < gpn - 1 {
-                cur_k = comm.recv_mat(comm.prev_in_node());
-                cur_v = comm.recv_mat(comm.prev_in_node());
+                cur_owned = Some((
+                    comm.recv_mat(comm.prev_in_node()),
+                    comm.recv_mat(comm.prev_in_node()),
+                ));
                 src = topo.prev_in_node(src);
             }
         }
         if outer < nodes - 1 {
-            start_k = comm.recv_mat(comm.peer_prev_node());
-            start_v = comm.recv_mat(comm.peer_prev_node());
+            start_owned = Some((
+                comm.recv_mat(comm.peer_prev_node()),
+                comm.recv_mat(comm.peer_prev_node()),
+            ));
             start_src = topo.peer_prev_node(start_src);
         }
     }
     DistAttnOut {
-        o: state.o,
-        lse: state.lse,
+        o: acc_o,
+        lse: acc_lse,
         work,
     }
 }
@@ -94,37 +123,43 @@ pub fn double_ring_backward_alg1(
 ) -> (Mat, Mat, Mat) {
     let topo = comm.topology().clone();
     let (nodes, gpn) = (topo.nodes, topo.gpus_per_node);
+    let g = comm.world_size();
     let d = shard.q.cols();
     let qi = shard.my_idx(comm);
+    let kidx_all: Vec<Vec<usize>> = (0..g).map(|r| shard.idx_of(comm, r)).collect();
     let d_vec = back.grad_o.rowsum_hadamard(back.o);
     let d_recompute = shard.cost.gemm_secs(shard.q.rows(), d, 1);
     let mut grad_q = Mat::zeros(shard.q.rows(), shard.q.cols());
-    let mut cur_k = shard.k.clone();
-    let mut cur_v = shard.v.clone();
+    let mut owned_kv: Option<(Mat, Mat)> = None;
     let mut cur_dk = Mat::zeros(shard.k.rows(), shard.k.cols());
     let mut cur_dv = Mat::zeros(shard.v.rows(), shard.v.cols());
+    let mut scratch = Scratch::new();
     let mut src = comm.rank();
 
     for outer in 0..nodes {
         for inner in 0..gpn {
-            let kidx = shard.idx_of(comm, src);
-            let (dq_c, dk_c, dv_c, w) = attn_tile_backward(
+            let (cur_k, cur_v) = match &owned_kv {
+                Some((k, v)) => (k, v),
+                None => (shard.k, shard.v),
+            };
+            let w = attn_tile_backward_acc(
                 shard.q,
-                &cur_k,
-                &cur_v,
+                cur_k,
+                cur_v,
                 back.grad_o,
                 back.lse,
                 &d_vec,
                 shard.scale,
                 shard.mask,
                 &qi,
-                &kidx,
+                &kidx_all[src],
+                &mut grad_q,
+                &mut cur_dk,
+                &mut cur_dv,
+                &mut scratch,
             );
             // Algorithm 1 recomputes D every round.
             comm.advance_compute(shard.cost.attn_bwd_secs(w.pairs, d) + d_recompute);
-            grad_q.add_assign(&dq_c);
-            cur_dk.add_assign(&dk_c);
-            cur_dv.add_assign(&dv_c);
             let last_inner = inner == gpn - 1;
             let dst = if last_inner {
                 if outer == nodes - 1 {
@@ -139,12 +174,11 @@ pub fn double_ring_backward_alg1(
             } else {
                 comm.prev_in_node()
             };
-            comm.send_mat(dst, &cur_k);
-            comm.send_mat(dst, &cur_v);
+            comm.send_mat(dst, cur_k);
+            comm.send_mat(dst, cur_v);
             comm.send_mat(dst, &cur_dk);
             comm.send_mat(dst, &cur_dv);
-            cur_k = comm.recv_mat(src_peer);
-            cur_v = comm.recv_mat(src_peer);
+            owned_kv = Some((comm.recv_mat(src_peer), comm.recv_mat(src_peer)));
             cur_dk = comm.recv_mat(src_peer);
             cur_dv = comm.recv_mat(src_peer);
             src = if last_inner {
@@ -196,10 +230,13 @@ pub fn double_ring_backward_alg2(
     let g = comm.world_size();
     let d = shard.q.cols();
     let ki = shard.my_idx(comm);
+    let qidx_all: Vec<Vec<usize>> = (0..g).map(|r| shard.idx_of(comm, r)).collect();
     let d_vec = back.grad_o.rowsum_hadamard(back.o);
     comm.advance_compute(shard.cost.gemm_secs(shard.q.rows(), d, 1));
     let mut grad_k = Mat::zeros(shard.k.rows(), shard.k.cols());
     let mut grad_v = Mat::zeros(shard.v.rows(), shard.v.cols());
+    let mut scratch = Scratch::new();
+    let mut dq_buf = Mat::default();
 
     if g == 1 {
         let (dq, dk, dv, w) = attn_tile_backward(
@@ -215,9 +252,7 @@ pub fn double_ring_backward_alg2(
             &ki,
         );
         comm.advance_compute(shard.cost.attn_bwd_secs(w.pairs, d));
-        grad_k.add_assign(&dk);
-        grad_v.add_assign(&dv);
-        return (dq, grad_k, grad_v);
+        return (dq, dk, dv);
     }
 
     // The rank that processes a bundle right after us when crossing nodes,
@@ -225,79 +260,95 @@ pub fn double_ring_backward_alg2(
     let diag_next = topo.peer_next_node(topo.next_in_node(comm.rank()));
     let diag_prev = topo.peer_prev_node(topo.prev_in_node(comm.rank()));
 
-    let mut start_q = shard.q.clone();
-    let mut start_do = back.grad_o.clone();
-    let mut start_lse = back.lse.to_vec();
-    let mut start_d = d_vec.clone();
+    let mut start_owned: Option<(Mat, Mat, Vec<f32>, Vec<f32>)> = None;
     let mut start_src = comm.rank();
 
     for outer in 0..nodes {
+        let (start_q, start_do, start_lse, start_d): (&Mat, &Mat, &[f32], &[f32]) =
+            match &start_owned {
+                Some((q, o, l, dd)) => (q, o, l, dd),
+                None => (shard.q, back.grad_o, back.lse, &d_vec),
+            };
         if outer < nodes - 1 {
             // Early inter-node post of the read-only bundle.
             let p = comm.peer_next_node();
-            comm.send_mat(p, &start_q);
-            comm.send_mat(p, &start_do);
-            comm.send_vec(p, &start_lse);
-            comm.send_vec(p, &start_d);
+            comm.send_mat(p, start_q);
+            comm.send_mat(p, start_do);
+            comm.send_vec(p, start_lse);
+            comm.send_vec(p, start_d);
         }
-        let mut cur_q = start_q.clone();
-        let mut cur_do = start_do.clone();
-        let mut cur_lse = start_lse.clone();
-        let mut cur_d = start_d.clone();
+        let mut cur_owned: Option<(Mat, Mat, Vec<f32>, Vec<f32>)> = None;
         let mut src = start_src;
         for inner in 0..gpn {
+            let (cur_q, cur_do, cur_lse, cur_d): (&Mat, &Mat, &[f32], &[f32]) = match &cur_owned {
+                Some((q, o, l, dd)) => (q, o, l, dd),
+                None => (start_q, start_do, start_lse, start_d),
+            };
             if inner < gpn - 1 {
                 // Read-only intra post before compute.
                 let n = comm.next_in_node();
-                comm.send_mat(n, &cur_q);
-                comm.send_mat(n, &cur_do);
-                comm.send_vec(n, &cur_lse);
-                comm.send_vec(n, &cur_d);
+                comm.send_mat(n, cur_q);
+                comm.send_mat(n, cur_do);
+                comm.send_vec(n, cur_lse);
+                comm.send_vec(n, cur_d);
             }
-            let qidx = shard.idx_of(comm, src);
-            let (dq_c, dk_c, dv_c, w) = attn_tile_backward(
-                &cur_q,
+            dq_buf.reshape_in_place(cur_q.rows(), cur_q.cols());
+            let w = attn_tile_backward_acc(
+                cur_q,
                 shard.k,
                 shard.v,
-                &cur_do,
-                &cur_lse,
-                &cur_d,
+                cur_do,
+                cur_lse,
+                cur_d,
                 shard.scale,
                 shard.mask,
-                &qidx,
+                &qidx_all[src],
                 &ki,
+                &mut dq_buf,
+                &mut grad_k,
+                &mut grad_v,
+                &mut scratch,
             );
             comm.advance_compute(shard.cost.attn_bwd_secs(w.pairs, d));
-            grad_k.add_assign(&dk_c);
-            grad_v.add_assign(&dv_c);
             // ∇Q stream, one step behind: receive the partial sum from the
             // bundle's previous processor (none at the very first slot),
             // add our contribution, forward to the next processor.
-            let dq_j = if outer == 0 && inner == 0 {
-                dq_c
+            let to = if inner == gpn - 1 {
+                diag_next
             } else {
-                let from = if inner == 0 { diag_prev } else { comm.prev_in_node() };
-                let mut dq = comm.recv_mat(from);
-                dq.add_assign(&dq_c);
-                dq
+                comm.next_in_node()
             };
-            let to = if inner == gpn - 1 { diag_next } else { comm.next_in_node() };
-            comm.send_mat(to, &dq_j);
+            if outer == 0 && inner == 0 {
+                comm.send_mat(to, &dq_buf);
+            } else {
+                let from = if inner == 0 {
+                    diag_prev
+                } else {
+                    comm.prev_in_node()
+                };
+                let mut dq_j = comm.recv_mat(from);
+                dq_j.add_assign(&dq_buf);
+                comm.send_mat(to, &dq_j);
+            }
             if inner < gpn - 1 {
                 let p = comm.prev_in_node();
-                cur_q = comm.recv_mat(p);
-                cur_do = comm.recv_mat(p);
-                cur_lse = comm.recv_vec(p);
-                cur_d = comm.recv_vec(p);
+                cur_owned = Some((
+                    comm.recv_mat(p),
+                    comm.recv_mat(p),
+                    comm.recv_vec(p),
+                    comm.recv_vec(p),
+                ));
                 src = topo.prev_in_node(src);
             }
         }
         if outer < nodes - 1 {
             let p = comm.peer_prev_node();
-            start_q = comm.recv_mat(p);
-            start_do = comm.recv_mat(p);
-            start_lse = comm.recv_vec(p);
-            start_d = comm.recv_vec(p);
+            start_owned = Some((
+                comm.recv_mat(p),
+                comm.recv_mat(p),
+                comm.recv_vec(p),
+                comm.recv_vec(p),
+            ));
             start_src = topo.peer_prev_node(start_src);
         }
     }

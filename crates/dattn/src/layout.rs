@@ -136,7 +136,9 @@ mod tests {
         let g = 8;
         let mask = AttnMask::Causal;
         for layout in [Layout::Zigzag, Layout::Striped] {
-            let loads: Vec<u128> = (0..g).map(|r| layout.rank_workload(&mask, n, g, r)).collect();
+            let loads: Vec<u128> = (0..g)
+                .map(|r| layout.rank_workload(&mask, n, g, r))
+                .collect();
             let max = *loads.iter().max().unwrap();
             let min = *loads.iter().min().unwrap();
             // Zigzag is exactly balanced; striped is balanced up to the
@@ -156,9 +158,9 @@ mod tests {
         // Block size a multiple of G (the paper's stated requirement).
         let n = 64;
         let g = 4;
-        let mask = AttnMask::BlockSparse(
-            burst_kernels::BlockSparseMask::sliding_window_blocks(16, 4, 2),
-        );
+        let mask = AttnMask::BlockSparse(burst_kernels::BlockSparseMask::sliding_window_blocks(
+            16, 4, 2,
+        ));
         let loads: Vec<u128> = (0..g)
             .map(|r| Layout::Striped.rank_workload(&mask, n, g, r))
             .collect();

@@ -101,9 +101,7 @@ pub fn run_attention(
     let (dq, dk, dv) = match algo {
         Algo::RingFlat => ring_backward(comm, &ring, &shard, &back, OverlapMode::Fine),
         Algo::BurstFlat => burst_backward(comm, &ring, &shard, &back, OverlapMode::Fine),
-        Algo::DoubleRing => {
-            double_ring::double_ring_backward_alg1(comm, &shard, &back)
-        }
+        Algo::DoubleRing => double_ring::double_ring_backward_alg1(comm, &shard, &back),
         Algo::BurstTopo => double_ring::double_ring_backward_alg2(comm, &shard, &back),
     };
     (fwd.o, fwd.lse, dq, dk, dv)

@@ -28,8 +28,10 @@
 use crate::cost::CostModel;
 use crate::layout::Layout;
 use burst_comm::Communicator;
-use burst_kernels::{attn_tile_backward, flash_forward, AttnMask, KernelWork, OnlineState};
-use burst_tensor::Mat;
+use burst_kernels::{
+    attn_tile_backward, attn_tile_backward_acc, flash_forward_acc, AttnMask, KernelWork,
+};
+use burst_tensor::{Mat, Scratch};
 
 /// This rank's slice of the attention problem plus the global parameters.
 pub struct AttnShard<'a> {
@@ -99,7 +101,6 @@ pub enum OverlapMode {
     Fine,
 }
 
-
 /// An ordered ring of ranks. [`Ring::global`] spans the whole world;
 /// sub-rings (e.g. the context-parallel groups of USP) list their members
 /// explicitly.
@@ -151,36 +152,58 @@ impl Ring {
 /// Forward pass on the flat global ring (shared by RingAttention and
 /// BurstAttention): `K, V` partitions circulate, each rank folds every
 /// partition into its online-softmax state.
+///
+/// Steady-state rounds are allocation-free in the tile-compute path: the
+/// first round reads the local shard by reference (no clone), index tables
+/// for every ring position are precomputed, and the kernel merges each
+/// partition straight into persistent `(O, Lse)` accumulators through one
+/// reused [`Scratch`].
 pub fn ring_forward(comm: &mut Communicator, ring: &Ring, shard: &AttnShard) -> DistAttnOut {
     let g = ring.size();
     let d = shard.head_dim();
     let qi = shard.idx_at(g, ring.pos);
-    let mut state = OnlineState::empty(shard.q.rows(), shard.v.cols());
+    let kidx_all: Vec<Vec<usize>> = (0..g).map(|p| shard.idx_at(g, p)).collect();
+    let mut acc_o = Mat::zeros(shard.q.rows(), shard.v.cols());
+    let mut acc_lse = vec![f32::NEG_INFINITY; shard.q.rows()];
+    let mut scratch = Scratch::new();
     let mut work = KernelWork::default();
-    let mut cur_k = shard.k.clone();
-    let mut cur_v = shard.v.clone();
+    // `None` means "round 0, read the local shard in place"; afterwards the
+    // received partitions are owned ring buffers.
+    let mut owned_kv: Option<(Mat, Mat)> = None;
     let mut src = ring.pos;
     for step in 0..g {
+        let (cur_k, cur_v) = match &owned_kv {
+            Some((k, v)) => (k, v),
+            None => (shard.k, shard.v),
+        };
         // Post the shift before computing so the transfer hides under the
         // kernel (double buffering).
         if step < g - 1 {
-            comm.send_mat(ring.next(), &cur_k);
-            comm.send_mat(ring.next(), &cur_v);
+            comm.send_mat(ring.next(), cur_k);
+            comm.send_mat(ring.next(), cur_v);
         }
-        let kidx = shard.idx_at(g, src);
-        let out = flash_forward(shard.q, &cur_k, &cur_v, shard.scale, shard.mask, &qi, &kidx);
-        comm.advance_compute(shard.cost.attn_fwd_secs(out.work.pairs, d));
-        state.merge(&OnlineState::new(out.o, out.lse));
-        work.merge(out.work);
+        let w = flash_forward_acc(
+            shard.q,
+            cur_k,
+            cur_v,
+            shard.scale,
+            shard.mask,
+            &qi,
+            &kidx_all[src],
+            &mut acc_o,
+            &mut acc_lse,
+            &mut scratch,
+        );
+        comm.advance_compute(shard.cost.attn_fwd_secs(w.pairs, d));
+        work.merge(w);
         if step < g - 1 {
-            cur_k = comm.recv_mat(ring.prev());
-            cur_v = comm.recv_mat(ring.prev());
+            owned_kv = Some((comm.recv_mat(ring.prev()), comm.recv_mat(ring.prev())));
             src = (src + g - 1) % g;
         }
     }
     DistAttnOut {
-        o: state.o,
-        lse: state.lse,
+        o: acc_o,
+        lse: acc_lse,
         work,
     }
 }
@@ -204,56 +227,72 @@ pub fn ring_backward(
     let d_recompute = shard.cost.gemm_secs(shard.q.rows(), d, 1);
     if g == 1 {
         let (dq, dk, dv, w) = attn_tile_backward(
-            shard.q, shard.k, shard.v, back.grad_o, back.lse, &d_vec, shard.scale, shard.mask,
-            &qi, &qi,
-        );
-        comm.advance_compute(shard.cost.attn_bwd_secs(w.pairs, d) + d_recompute);
-        return (dq, dk, dv);
-    }
-    let mut grad_q = Mat::zeros(shard.q.rows(), shard.q.cols());
-    let mut cur_k = shard.k.clone();
-    let mut cur_v = shard.v.clone();
-    let mut cur_dk = Mat::zeros(shard.k.rows(), shard.k.cols());
-    let mut cur_dv = Mat::zeros(shard.v.rows(), shard.v.cols());
-    let mut src = ring.pos;
-    for _step in 0..g {
-        if overlap == OverlapMode::Fine {
-            // Activations can depart before the compute that reads them
-            // (we own a copy); gradients cannot.
-            comm.send_mat(ring.next(), &cur_k);
-            comm.send_mat(ring.next(), &cur_v);
-        }
-        let kidx = shard.idx_at(g, src);
-        let (dq_c, dk_c, dv_c, w) = attn_tile_backward(
             shard.q,
-            &cur_k,
-            &cur_v,
+            shard.k,
+            shard.v,
             back.grad_o,
             back.lse,
             &d_vec,
             shard.scale,
             shard.mask,
             &qi,
-            &kidx,
+            &qi,
         );
         comm.advance_compute(shard.cost.attn_bwd_secs(w.pairs, d) + d_recompute);
-        grad_q.add_assign(&dq_c);
-        cur_dk.add_assign(&dk_c);
-        cur_dv.add_assign(&dv_c);
+        return (dq, dk, dv);
+    }
+    let mut grad_q = Mat::zeros(shard.q.rows(), shard.q.cols());
+    let kidx_all: Vec<Vec<usize>> = (0..g).map(|p| shard.idx_at(g, p)).collect();
+    // Round 0 reads the local K/V shard by reference; the circulating
+    // gradient buffers start at zero and the tile kernel accumulates into
+    // them (and into `grad_q`) in place, through one reused scratch — no
+    // per-round temporaries.
+    let mut owned_kv: Option<(Mat, Mat)> = None;
+    let mut cur_dk = Mat::zeros(shard.k.rows(), shard.k.cols());
+    let mut cur_dv = Mat::zeros(shard.v.rows(), shard.v.cols());
+    let mut scratch = Scratch::new();
+    let mut src = ring.pos;
+    for _step in 0..g {
+        let (cur_k, cur_v) = match &owned_kv {
+            Some((k, v)) => (k, v),
+            None => (shard.k, shard.v),
+        };
+        if overlap == OverlapMode::Fine {
+            // Activations can depart before the compute that reads them
+            // (we own a copy); gradients cannot.
+            comm.send_mat(ring.next(), cur_k);
+            comm.send_mat(ring.next(), cur_v);
+        }
+        let w = attn_tile_backward_acc(
+            shard.q,
+            cur_k,
+            cur_v,
+            back.grad_o,
+            back.lse,
+            &d_vec,
+            shard.scale,
+            shard.mask,
+            &qi,
+            &kidx_all[src],
+            &mut grad_q,
+            &mut cur_dk,
+            &mut cur_dv,
+            &mut scratch,
+        );
+        comm.advance_compute(shard.cost.attn_bwd_secs(w.pairs, d) + d_recompute);
         match overlap {
             OverlapMode::Fine => {
                 comm.send_mat(ring.next(), &cur_dk);
                 comm.send_mat(ring.next(), &cur_dv);
             }
             OverlapMode::None => {
-                comm.send_mat(ring.next(), &cur_k);
-                comm.send_mat(ring.next(), &cur_v);
+                comm.send_mat(ring.next(), cur_k);
+                comm.send_mat(ring.next(), cur_v);
                 comm.send_mat(ring.next(), &cur_dk);
                 comm.send_mat(ring.next(), &cur_dv);
             }
         }
-        cur_k = comm.recv_mat(ring.prev());
-        cur_v = comm.recv_mat(ring.prev());
+        owned_kv = Some((comm.recv_mat(ring.prev()), comm.recv_mat(ring.prev())));
         cur_dk = comm.recv_mat(ring.prev());
         cur_dv = comm.recv_mat(ring.prev());
         src = (src + g - 1) % g;
@@ -283,51 +322,28 @@ pub fn burst_backward(
     let g = ring.size();
     let d = shard.head_dim();
     let ki = shard.idx_at(g, ring.pos);
+    let qidx_all: Vec<Vec<usize>> = (0..g).map(|p| shard.idx_at(g, p)).collect();
     let d_vec = back.grad_o.rowsum_hadamard(back.o);
     comm.advance_compute(shard.cost.gemm_secs(shard.q.rows(), d, 1));
     let mut grad_k = Mat::zeros(shard.k.rows(), shard.k.cols());
     let mut grad_v = Mat::zeros(shard.v.rows(), shard.v.cols());
-
-    let compute = |comm: &mut Communicator,
-                   grad_k: &mut Mat,
-                   grad_v: &mut Mat,
-                   q_j: &Mat,
-                   do_j: &Mat,
-                   lse_j: &[f32],
-                   d_j: &[f32],
-                   src: usize|
-     -> Mat {
-        let qidx = shard.idx_at(g, src);
-        let (dq_c, dk_c, dv_c, w) = attn_tile_backward(
-            q_j,
-            shard.k,
-            shard.v,
-            do_j,
-            lse_j,
-            d_j,
-            shard.scale,
-            shard.mask,
-            &qidx,
-            &ki,
-        );
-        comm.advance_compute(shard.cost.attn_bwd_secs(w.pairs, d));
-        grad_k.add_assign(&dk_c);
-        grad_v.add_assign(&dv_c);
-        dq_c
-    };
+    let mut scratch = Scratch::new();
 
     if g == 1 {
-        let dq = compute(
-            comm,
-            &mut grad_k,
-            &mut grad_v,
+        let (dq, dk, dv, w) = attn_tile_backward(
             shard.q,
+            shard.k,
+            shard.v,
             back.grad_o,
             back.lse,
             &d_vec,
-            0,
+            shard.scale,
+            shard.mask,
+            &qidx_all[0],
+            &ki,
         );
-        return (dq, grad_k, grad_v);
+        comm.advance_compute(shard.cost.attn_bwd_secs(w.pairs, d));
+        return (dq, dk, dv);
     }
 
     match overlap {
@@ -335,18 +351,38 @@ pub fn burst_backward(
             // Warm-up round: process our own bundle before any communication
             // (Fig. 5 bottom), then stream: forward the read-only bundle the
             // moment it arrives, compute, and send ∇Q one round behind.
+            // `dq_buf` is re-zeroed in place each round (capacity reused),
+            // and ∇K/∇V accumulate directly into the local outputs — the
+            // steady-state tile-compute path allocates nothing.
             let me = ring.pos;
             let next = ring.next();
             let prev = ring.prev();
+            let mut dq_buf = Mat::default();
             // Read-only parts depart before the warm-up compute; ∇Q follows
             // one round behind it.
             comm.send_mat(next, shard.q);
             comm.send_mat(next, back.grad_o);
             comm.send_vec(next, back.lse);
             comm.send_vec(next, &d_vec);
-            let dq_own =
-                compute(comm, &mut grad_k, &mut grad_v, shard.q, back.grad_o, back.lse, &d_vec, me);
-            comm.send_mat(next, &dq_own);
+            dq_buf.reshape_in_place(shard.q.rows(), shard.q.cols());
+            let w = attn_tile_backward_acc(
+                shard.q,
+                shard.k,
+                shard.v,
+                back.grad_o,
+                back.lse,
+                &d_vec,
+                shard.scale,
+                shard.mask,
+                &qidx_all[me],
+                &ki,
+                &mut dq_buf,
+                &mut grad_k,
+                &mut grad_v,
+                &mut scratch,
+            );
+            comm.advance_compute(shard.cost.attn_bwd_secs(w.pairs, d));
+            comm.send_mat(next, &dq_buf);
             for s in 1..g {
                 let src = (me + g - s) % g;
                 let q_j = comm.recv_mat(prev);
@@ -361,37 +397,72 @@ pub fn burst_backward(
                     comm.send_vec(next, &lse_j);
                     comm.send_vec(next, &d_j);
                 }
-                let dq_c = compute(comm, &mut grad_k, &mut grad_v, &q_j, &do_j, &lse_j, &d_j, src);
+                dq_buf.reshape_in_place(q_j.rows(), q_j.cols());
+                let w = attn_tile_backward_acc(
+                    &q_j,
+                    shard.k,
+                    shard.v,
+                    &do_j,
+                    &lse_j,
+                    &d_j,
+                    shard.scale,
+                    shard.mask,
+                    &qidx_all[src],
+                    &ki,
+                    &mut dq_buf,
+                    &mut grad_k,
+                    &mut grad_v,
+                    &mut scratch,
+                );
+                comm.advance_compute(shard.cost.attn_bwd_secs(w.pairs, d));
                 let mut dq_j = comm.recv_mat(prev);
-                dq_j.add_assign(&dq_c);
+                dq_j.add_assign(&dq_buf);
                 comm.send_mat(next, &dq_j);
             }
             let grad_q = comm.recv_mat(prev);
             (grad_q, grad_k, grad_v)
         }
         OverlapMode::None => {
-            // Bundle moves strictly after each compute: no hiding.
-            let mut cur_q = shard.q.clone();
-            let mut cur_do = back.grad_o.clone();
-            let mut cur_lse = back.lse.to_vec();
-            let mut cur_d = d_vec.clone();
+            // Bundle moves strictly after each compute: no hiding. Round 0
+            // reads the local bundle by reference; the circulating ∇Q
+            // partial is accumulated into directly by the tile kernel.
+            let mut owned: Option<(Mat, Mat, Vec<f32>, Vec<f32>)> = None;
             let mut cur_dq = Mat::zeros(shard.q.rows(), shard.q.cols());
             let mut src = ring.pos;
             for step in 0..g {
-                let dq_c = compute(
-                    comm, &mut grad_k, &mut grad_v, &cur_q, &cur_do, &cur_lse, &cur_d, src,
+                let (q_j, do_j, lse_j, d_j): (&Mat, &Mat, &[f32], &[f32]) = match &owned {
+                    Some((q, o, l, dd)) => (q, o, l, dd),
+                    None => (shard.q, back.grad_o, back.lse, &d_vec),
+                };
+                let w = attn_tile_backward_acc(
+                    q_j,
+                    shard.k,
+                    shard.v,
+                    do_j,
+                    lse_j,
+                    d_j,
+                    shard.scale,
+                    shard.mask,
+                    &qidx_all[src],
+                    &ki,
+                    &mut cur_dq,
+                    &mut grad_k,
+                    &mut grad_v,
+                    &mut scratch,
                 );
-                cur_dq.add_assign(&dq_c);
+                comm.advance_compute(shard.cost.attn_bwd_secs(w.pairs, d));
                 if step < g - 1 {
-                    comm.send_mat(ring.next(), &cur_q);
-                    comm.send_mat(ring.next(), &cur_do);
-                    comm.send_vec(ring.next(), &cur_lse);
-                    comm.send_vec(ring.next(), &cur_d);
+                    comm.send_mat(ring.next(), q_j);
+                    comm.send_mat(ring.next(), do_j);
+                    comm.send_vec(ring.next(), lse_j);
+                    comm.send_vec(ring.next(), d_j);
                     comm.send_mat(ring.next(), &cur_dq);
-                    cur_q = comm.recv_mat(ring.prev());
-                    cur_do = comm.recv_mat(ring.prev());
-                    cur_lse = comm.recv_vec(ring.prev());
-                    cur_d = comm.recv_vec(ring.prev());
+                    owned = Some((
+                        comm.recv_mat(ring.prev()),
+                        comm.recv_mat(ring.prev()),
+                        comm.recv_vec(ring.prev()),
+                        comm.recv_vec(ring.prev()),
+                    ));
                     cur_dq = comm.recv_mat(ring.prev());
                     src = (src + g - 1) % g;
                 } else {

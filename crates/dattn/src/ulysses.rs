@@ -106,7 +106,7 @@ pub fn ulysses_forward(
 ) -> Result<(Vec<Mat>, UlyssesSaved), UlyssesError> {
     let group = members.len();
     let heads = q_heads.len();
-    if heads % group != 0 {
+    if !heads.is_multiple_of(group) {
         return Err(UlyssesError::HeadsNotDivisible { heads, group });
     }
     let hpr = heads / group;
@@ -191,7 +191,7 @@ pub fn rebuild_saved(
 ) -> Result<UlyssesSaved, UlyssesError> {
     let group = members.len();
     let heads = q_heads.len();
-    if heads % group != 0 {
+    if !heads.is_multiple_of(group) {
         return Err(UlyssesError::HeadsNotDivisible { heads, group });
     }
     let hpr = heads / group;
@@ -209,11 +209,13 @@ pub fn rebuild_saved(
     // Lse columns ride a bundled matrix (one column per head).
     let rows = lse_heads[0].len();
     let lse_local = Mat::from_fn(rows, heads, |r, h| lse_heads[h][r]);
-    let lse_full = redistribute(comm, &(0..heads).map(|h| lse_local.slice_cols(h, h + 1)).collect::<Vec<_>>());
-    let lse: Vec<Vec<f32>> = lse_full
-        .iter()
-        .map(|m| m.as_slice().to_vec())
-        .collect();
+    let lse_full = redistribute(
+        comm,
+        &(0..heads)
+            .map(|h| lse_local.slice_cols(h, h + 1))
+            .collect::<Vec<_>>(),
+    );
+    let lse: Vec<Vec<f32>> = lse_full.iter().map(|m| m.as_slice().to_vec()).collect();
     Ok(UlyssesSaved {
         q,
         k,
@@ -223,6 +225,9 @@ pub fn rebuild_saved(
         heads_per_rank: hpr,
     })
 }
+
+/// Per-head `(∇Q, ∇K, ∇V)` triple returned by the backward passes.
+pub type HeadGrads = (Vec<Mat>, Vec<Mat>, Vec<Mat>);
 
 /// Ulysses backward: all-to-all of `∇O`, local blocked backward per owned
 /// head, all-to-all of `(∇Q, ∇K, ∇V)` back to the sequence partition.
@@ -236,10 +241,10 @@ pub fn ulysses_backward(
     scale: f32,
     mask: &AttnMask,
     cost: &CostModel,
-) -> Result<(Vec<Mat>, Vec<Mat>, Vec<Mat>), UlyssesError> {
+) -> Result<HeadGrads, UlyssesError> {
     let group = members.len();
     let heads = grad_o_heads.len();
-    if heads % group != 0 {
+    if !heads.is_multiple_of(group) {
         return Err(UlyssesError::HeadsNotDivisible { heads, group });
     }
     let hpr = saved.heads_per_rank;
@@ -255,13 +260,13 @@ pub fn ulysses_backward(
     let mut dq_full = Vec::with_capacity(hpr);
     let mut dk_full = Vec::with_capacity(hpr);
     let mut dv_full = Vec::with_capacity(hpr);
-    for h in 0..hpr {
+    for (h, do_h) in do_full.iter().enumerate().take(hpr) {
         let (dq, dk, dv, w) = flash_backward(
             &saved.q[h],
             &saved.k[h],
             &saved.v[h],
             &saved.o[h],
-            &do_full[h],
+            do_h,
             &saved.lse[h],
             scale,
             mask,

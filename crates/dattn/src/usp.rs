@@ -19,7 +19,7 @@
 use crate::cost::CostModel;
 use crate::layout::Layout;
 use crate::ring::{ring_backward, ring_forward, AttnShard, BackwardInputs, OverlapMode, Ring};
-use crate::ulysses::{group_all_to_all, UlyssesError};
+use crate::ulysses::{group_all_to_all, HeadGrads, UlyssesError};
 use burst_comm::Communicator;
 use burst_kernels::AttnMask;
 use burst_tensor::Mat;
@@ -47,7 +47,7 @@ impl UspTopo {
     pub fn new(comm: &Communicator, ulysses_size: usize) -> Self {
         let g = comm.world_size();
         assert!(
-            ulysses_size > 0 && g % ulysses_size == 0,
+            ulysses_size > 0 && g.is_multiple_of(ulysses_size),
             "USP: ulysses size {ulysses_size} must divide world size {g}"
         );
         let r = g / ulysses_size;
@@ -122,7 +122,7 @@ pub fn usp_forward(
     cost: &CostModel,
 ) -> Result<(Vec<Mat>, UspSaved), UlyssesError> {
     let heads = q_heads.len();
-    if heads % topo.ulysses != 0 {
+    if !heads.is_multiple_of(topo.ulysses) {
         return Err(UlyssesError::HeadsNotDivisible {
             heads,
             group: topo.ulysses,
@@ -176,10 +176,7 @@ pub fn usp_forward(
         })
         .collect();
     let incoming = group_all_to_all(comm, &topo.u_members, outgoing);
-    let o_heads: Vec<Mat> = incoming
-        .iter()
-        .flat_map(|b| unbundle(b, hpr))
-        .collect();
+    let o_heads: Vec<Mat> = incoming.iter().flat_map(|b| unbundle(b, hpr)).collect();
     Ok((
         o_heads,
         UspSaved {
@@ -206,7 +203,7 @@ pub fn rebuild_saved(
     lse_heads: &[Vec<f32>],
 ) -> Result<UspSaved, UlyssesError> {
     let heads = q_heads.len();
-    if heads % topo.ulysses != 0 {
+    if !heads.is_multiple_of(topo.ulysses) {
         return Err(UlyssesError::HeadsNotDivisible {
             heads,
             group: topo.ulysses,
@@ -252,9 +249,9 @@ pub fn usp_backward(
     mask: &AttnMask,
     seq_len: usize,
     cost: &CostModel,
-) -> Result<(Vec<Mat>, Vec<Mat>, Vec<Mat>), UlyssesError> {
+) -> Result<HeadGrads, UlyssesError> {
     let heads = grad_o_heads.len();
-    if heads % topo.ulysses != 0 {
+    if !heads.is_multiple_of(topo.ulysses) {
         return Err(UlyssesError::HeadsNotDivisible {
             heads,
             group: topo.ulysses,
@@ -272,7 +269,7 @@ pub fn usp_backward(
     let mut dq_shard = Vec::with_capacity(hpr);
     let mut dk_shard = Vec::with_capacity(hpr);
     let mut dv_shard = Vec::with_capacity(hpr);
-    for h in 0..hpr {
+    for (h, do_h) in do_shard.iter().enumerate().take(hpr) {
         let shard = AttnShard {
             q: &saved.q[h],
             k: &saved.k[h],
@@ -287,7 +284,7 @@ pub fn usp_backward(
         let back = BackwardInputs {
             o: &saved.o[h],
             lse: &saved.lse[h],
-            grad_o: &do_shard[h],
+            grad_o: do_h,
         };
         let (dq, dk, dv) = ring_backward(comm, &ring, &shard, &back, OverlapMode::Fine);
         dq_shard.push(dq);

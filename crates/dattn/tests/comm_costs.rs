@@ -67,7 +67,10 @@ fn measure_flat(n: usize, d: usize, g: usize, burst: bool, overlap: OverlapMode)
         (fwd_elems, comm.stats().total_elems() - fwd_elems)
     });
     // All ranks send the same volume; return rank 0's.
-    assert!(outs.iter().all(|&o| o == outs[0]), "asymmetric volumes {outs:?}");
+    assert!(
+        outs.iter().all(|&o| o == outs[0]),
+        "asymmetric volumes {outs:?}"
+    );
     outs[0]
 }
 

@@ -84,14 +84,28 @@ fn check_algo(algo: Algo, topo: Topology, layout: Layout, mask: AttnMask, n: usi
 #[test]
 fn ring_flat_matches_reference_all_layouts() {
     for layout in [Layout::Contiguous, Layout::Zigzag, Layout::Striped] {
-        check_algo(Algo::RingFlat, Topology::single_node(4), layout, AttnMask::Causal, 32, 6);
+        check_algo(
+            Algo::RingFlat,
+            Topology::single_node(4),
+            layout,
+            AttnMask::Causal,
+            32,
+            6,
+        );
     }
 }
 
 #[test]
 fn burst_flat_matches_reference_all_layouts() {
     for layout in [Layout::Contiguous, Layout::Zigzag, Layout::Striped] {
-        check_algo(Algo::BurstFlat, Topology::single_node(4), layout, AttnMask::Causal, 32, 6);
+        check_algo(
+            Algo::BurstFlat,
+            Topology::single_node(4),
+            layout,
+            AttnMask::Causal,
+            32,
+            6,
+        );
     }
 }
 
@@ -99,7 +113,11 @@ fn burst_flat_matches_reference_all_layouts() {
 fn double_ring_matches_reference_multi_node() {
     // 2×2, 2×4 and 3×2 exercise different completion-hop counts
     // (nodes mod gpn = 0, 2 and 1).
-    for topo in [Topology::a800(2, 2), Topology::a800(2, 4), Topology::a800(3, 2)] {
+    for topo in [
+        Topology::a800(2, 2),
+        Topology::a800(2, 4),
+        Topology::a800(3, 2),
+    ] {
         check_algo(
             Algo::DoubleRing,
             topo,
@@ -113,8 +131,19 @@ fn double_ring_matches_reference_multi_node() {
 
 #[test]
 fn burst_topo_matches_reference_multi_node() {
-    for topo in [Topology::a800(2, 2), Topology::a800(2, 4), Topology::a800(3, 2)] {
-        check_algo(Algo::BurstTopo, topo, Layout::Zigzag, AttnMask::Causal, 48, 5);
+    for topo in [
+        Topology::a800(2, 2),
+        Topology::a800(2, 4),
+        Topology::a800(3, 2),
+    ] {
+        check_algo(
+            Algo::BurstTopo,
+            topo,
+            Layout::Zigzag,
+            AttnMask::Causal,
+            48,
+            5,
+        );
     }
 }
 
@@ -131,7 +160,14 @@ fn topo_algorithms_handle_single_gpu_nodes_and_single_node() {
             32,
             4,
         );
-        check_algo(Algo::BurstTopo, topo, Layout::Contiguous, AttnMask::Causal, 32, 4);
+        check_algo(
+            Algo::BurstTopo,
+            topo,
+            Layout::Contiguous,
+            AttnMask::Causal,
+            32,
+            4,
+        );
     }
 }
 

@@ -4,8 +4,8 @@
 use burst_comm::{Topology, World};
 use burst_dattn::{run_attention, Algo, CostModel, Layout};
 use burst_kernels::{flash_backward, flash_forward, AttnMask};
-use burst_tensor::testutil::allclose;
 use burst_tensor::randn_mat;
+use burst_tensor::testutil::allclose;
 use proptest::prelude::*;
 
 fn arb_topology() -> impl Strategy<Value = Topology> {

@@ -78,7 +78,10 @@ fn burst_posts_read_only_payloads_before_computing() {
             _ => None,
         });
         let (s, c) = (first_send.unwrap(), first_compute_end.unwrap());
-        assert!(s < c, "first send at {s} must precede first compute end {c}");
+        assert!(
+            s < c,
+            "first send at {s} must precede first compute end {c}"
+        );
     }
 }
 

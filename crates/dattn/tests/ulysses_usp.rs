@@ -23,10 +23,18 @@ struct HeadProblem {
 
 fn head_problem(n: usize, heads: usize, dh: usize) -> HeadProblem {
     HeadProblem {
-        q: (0..heads).map(|h| randn_mat(n, dh, 0.7, 100 + h as u64)).collect(),
-        k: (0..heads).map(|h| randn_mat(n, dh, 0.7, 200 + h as u64)).collect(),
-        v: (0..heads).map(|h| randn_mat(n, dh, 0.7, 300 + h as u64)).collect(),
-        grad_o: (0..heads).map(|h| randn_mat(n, dh, 0.8, 400 + h as u64)).collect(),
+        q: (0..heads)
+            .map(|h| randn_mat(n, dh, 0.7, 100 + h as u64))
+            .collect(),
+        k: (0..heads)
+            .map(|h| randn_mat(n, dh, 0.7, 200 + h as u64))
+            .collect(),
+        v: (0..heads)
+            .map(|h| randn_mat(n, dh, 0.7, 300 + h as u64))
+            .collect(),
+        grad_o: (0..heads)
+            .map(|h| randn_mat(n, dh, 0.8, 400 + h as u64))
+            .collect(),
         scale: 1.0 / (dh as f32).sqrt(),
     }
 }
@@ -49,7 +57,16 @@ fn head_reference(p: &HeadProblem, mask: &AttnMask, n: usize) -> HeadRef {
     for h in 0..p.q.len() {
         let fwd = flash_forward(&p.q[h], &p.k[h], &p.v[h], p.scale, mask, &idx, &idx);
         let (dq, dk, dv, _) = flash_backward(
-            &p.q[h], &p.k[h], &p.v[h], &fwd.o, &p.grad_o[h], &fwd.lse, p.scale, mask, &idx, &idx,
+            &p.q[h],
+            &p.k[h],
+            &p.v[h],
+            &fwd.o,
+            &p.grad_o[h],
+            &fwd.lse,
+            p.scale,
+            mask,
+            &idx,
+            &idx,
         );
         r.o.push(fwd.o);
         r.dq.push(dq);
@@ -77,11 +94,26 @@ fn ulysses_matches_reference_per_head() {
         let vl: Vec<Mat> = p.v.iter().map(|m| m.gather_rows(my_idx)).collect();
         let dol: Vec<Mat> = p.grad_o.iter().map(|m| m.gather_rows(my_idx)).collect();
         let (o, saved) = ulysses_forward(
-            comm, &members, &member_idx, &ql, &kl, &vl, p.scale, &mask, &CostModel::free(),
+            comm,
+            &members,
+            &member_idx,
+            &ql,
+            &kl,
+            &vl,
+            p.scale,
+            &mask,
+            &CostModel::free(),
         )
         .expect("ulysses forward");
         let (dq, dk, dv) = ulysses_backward(
-            comm, &members, &member_idx, &saved, &dol, p.scale, &mask, &CostModel::free(),
+            comm,
+            &members,
+            &member_idx,
+            &saved,
+            &dol,
+            p.scale,
+            &mask,
+            &CostModel::free(),
         )
         .expect("ulysses backward");
         (o, dq, dk, dv)
@@ -91,9 +123,24 @@ fn ulysses_matches_reference_per_head() {
         for h in 0..heads {
             let ctx = format!("rank {rank} head {h}");
             assert_allclose(&o[h], &r.o[h].gather_rows(&idx), TOL, &format!("{ctx} O"));
-            assert_allclose(&dq[h], &r.dq[h].gather_rows(&idx), TOL, &format!("{ctx} dQ"));
-            assert_allclose(&dk[h], &r.dk[h].gather_rows(&idx), TOL, &format!("{ctx} dK"));
-            assert_allclose(&dv[h], &r.dv[h].gather_rows(&idx), TOL, &format!("{ctx} dV"));
+            assert_allclose(
+                &dq[h],
+                &r.dq[h].gather_rows(&idx),
+                TOL,
+                &format!("{ctx} dQ"),
+            );
+            assert_allclose(
+                &dk[h],
+                &r.dk[h].gather_rows(&idx),
+                TOL,
+                &format!("{ctx} dK"),
+            );
+            assert_allclose(
+                &dv[h],
+                &r.dv[h].gather_rows(&idx),
+                TOL,
+                &format!("{ctx} dV"),
+            );
         }
     }
 }
@@ -151,7 +198,14 @@ fn ulysses_communication_scales_inversely_with_group() {
             let kl: Vec<Mat> = p.k.iter().map(|m| m.gather_rows(my_idx)).collect();
             let vl: Vec<Mat> = p.v.iter().map(|m| m.gather_rows(my_idx)).collect();
             ulysses_forward(
-                comm, &members, &member_idx, &ql, &kl, &vl, p.scale, &AttnMask::Causal,
+                comm,
+                &members,
+                &member_idx,
+                &ql,
+                &kl,
+                &vl,
+                p.scale,
+                &AttnMask::Causal,
                 &CostModel::free(),
             )
             .expect("fwd");
@@ -182,11 +236,27 @@ fn usp_matches_reference_per_head() {
         let kl: Vec<Mat> = p.k.iter().map(|m| m.gather_rows(&my_idx)).collect();
         let vl: Vec<Mat> = p.v.iter().map(|m| m.gather_rows(&my_idx)).collect();
         let dol: Vec<Mat> = p.grad_o.iter().map(|m| m.gather_rows(&my_idx)).collect();
-        let (o, saved) =
-            usp_forward(comm, &topo, &ql, &kl, &vl, p.scale, &mask, n, &CostModel::free())
-                .expect("usp forward");
+        let (o, saved) = usp_forward(
+            comm,
+            &topo,
+            &ql,
+            &kl,
+            &vl,
+            p.scale,
+            &mask,
+            n,
+            &CostModel::free(),
+        )
+        .expect("usp forward");
         let (dq, dk, dv) = usp_backward(
-            comm, &topo, &saved, &dol, p.scale, &mask, n, &CostModel::free(),
+            comm,
+            &topo,
+            &saved,
+            &dol,
+            p.scale,
+            &mask,
+            n,
+            &CostModel::free(),
         )
         .expect("usp backward");
         (my_idx, o, dq, dk, dv)
@@ -218,14 +288,23 @@ fn usp_with_u_equal_world_degenerates_to_ulysses_shape() {
         let ql: Vec<Mat> = p.q.iter().map(|m| m.gather_rows(&my_idx)).collect();
         let kl: Vec<Mat> = p.k.iter().map(|m| m.gather_rows(&my_idx)).collect();
         let vl: Vec<Mat> = p.v.iter().map(|m| m.gather_rows(&my_idx)).collect();
-        let (o, _) =
-            usp_forward(comm, &topo, &ql, &kl, &vl, p.scale, &mask, n, &CostModel::free())
-                .expect("usp forward");
+        let (o, _) = usp_forward(
+            comm,
+            &topo,
+            &ql,
+            &kl,
+            &vl,
+            p.scale,
+            &mask,
+            n,
+            &CostModel::free(),
+        )
+        .expect("usp forward");
         (my_idx, o)
     });
     for (idx, o) in &outs {
-        for h in 0..heads {
-            assert_allclose(&o[h], &r.o[h].gather_rows(idx), TOL, "U=G output");
+        for (h, oh) in o.iter().enumerate().take(heads) {
+            assert_allclose(oh, &r.o[h].gather_rows(idx), TOL, "U=G output");
         }
     }
 }

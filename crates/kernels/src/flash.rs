@@ -1,8 +1,9 @@
 //! Blocked (FlashAttention-style) attention forward and backward.
 //!
-//! The forward tiles over keys and folds each tile's local softmax into an
-//! [`OnlineState`], so the `N/G × N/G` score matrix of a ring step is never
-//! stored beyond one tile. The backward is exposed at two levels:
+//! The forward tiles over keys and folds each tile's *unnormalised* softmax
+//! into a running `(O, Lse)` accumulator, so the `N/G × N/G` score matrix of
+//! a ring step is never stored beyond one tile and each score element costs
+//! a single `exp`. The backward is exposed at two levels:
 //!
 //! * [`attn_tile_backward`] — the tile kernel of Algorithms 1–2: given the
 //!   *global* per-row `Lse` and `D = rowsum(∇O ∘ O)`, produce this tile's
@@ -11,16 +12,33 @@
 //! * [`flash_backward`] — the single-device composition: computes `D`
 //!   locally and loops over local key tiles.
 //!
+//! Both directions also come in `_acc` form ([`flash_forward_acc`],
+//! [`attn_tile_backward_acc`]) which accumulate into caller-owned buffers
+//! through a reusable [`Scratch`] workspace; the ring loops call these every
+//! round so steady-state rounds perform zero heap allocations.
+//!
+//! Large single calls parallelise over query row-blocks (and key row-blocks
+//! in the backward) with a fixed block→task mapping, so results are
+//! bit-identical for any thread count: every output row sees the same tile
+//! contributions, computed by the same code, folded in the same order.
+//!
 //! All kernels take global token indices (`q_idx`, `k_idx`) so the
 //! zigzag/striped layouts of §3.4 work unchanged, and they skip
 //! fully-masked tiles — the savings measured in Table 3.
 
 use crate::mask::{AttnMask, TileState};
 use crate::online::OnlineState;
-use burst_tensor::Mat;
+use burst_tensor::{
+    axpy_rows_slice, matmul_into, matmul_nt_into, matmul_tn_into, Mat, MatRef, Scratch,
+};
 
 /// Default square tile edge. Correctness never depends on it.
 pub const DEFAULT_BLOCK: usize = 32;
+
+/// Problem volume (`q_rows · k_rows · head_dim`) below which the fork/join
+/// overhead of parallel dispatch outweighs the work and the kernels stay
+/// serial. Determinism never depends on which path runs.
+const PAR_VOLUME: usize = 64 * 64 * 16;
 
 /// Work counters: how much attention math a kernel actually performed.
 ///
@@ -74,6 +92,173 @@ fn mask_tile(s: &mut Mat, mask: &AttnMask, q_idx: &[usize], k_idx: &[usize]) {
     }
 }
 
+/// Borrowed problem description threaded through the tile loops.
+#[derive(Clone, Copy)]
+struct Ctx<'a> {
+    q: MatRef<'a>,
+    k: MatRef<'a>,
+    v: MatRef<'a>,
+    scale: f32,
+    mask: &'a AttnMask,
+    q_idx: &'a [usize],
+    k_idx: &'a [usize],
+    block: usize,
+}
+
+/// [`Ctx`] plus the backward-only streams.
+#[derive(Clone, Copy)]
+struct BwdCtx<'a> {
+    fwd: Ctx<'a>,
+    grad_o: MatRef<'a>,
+    lse: &'a [f32],
+    d_vec: &'a [f32],
+}
+
+/// `[start, end)` row ranges covering `0..n` in steps of `block`.
+pub(crate) fn row_blocks(n: usize, block: usize) -> Vec<(usize, usize)> {
+    let mut blocks = Vec::with_capacity(n.div_ceil(block.max(1)));
+    let mut r = 0;
+    while r < n {
+        let e = (r + block).min(n);
+        blocks.push((r, e));
+        r = e;
+    }
+    blocks
+}
+
+/// Forward for query rows `[r0, r1)`: tile over all keys and merge each
+/// tile into `(o_rows, lse_rows)` online.
+///
+/// Each tile costs one `exp` per score element: the tile keeps the
+/// unnormalised `P̃ = exp(s − rowmax)`, and since
+/// `Õ = P̃ · V = exp(s − m) · V`, the normalised-tile merge weight
+/// `exp(l_t − l_new) / Σp̃` collapses to `exp(m − l_new)` — no second
+/// normalisation pass either.
+fn forward_rows(
+    ctx: &Ctx<'_>,
+    r0: usize,
+    r1: usize,
+    o_rows: &mut [f32],
+    lse_rows: &mut [f32],
+    scratch: &mut Scratch,
+) -> KernelWork {
+    let dv = ctx.v.cols();
+    let qb = ctx.q.rows_view(r0, r1);
+    let qi = &ctx.q_idx[r0..r1];
+    let mut work = KernelWork::default();
+    let Scratch {
+        score,
+        gtmp,
+        tile_lse,
+        tile_max,
+        ..
+    } = scratch;
+    let mut c0 = 0;
+    while c0 < ctx.k.rows() {
+        let c1 = (c0 + ctx.block).min(ctx.k.rows());
+        let ki = &ctx.k_idx[c0..c1];
+        let tstate = ctx.mask.tile_state(qi, ki);
+        if tstate == TileState::FullyMasked {
+            work.tiles_skipped += 1;
+            c0 = c1;
+            continue;
+        }
+        matmul_nt_into(qb, ctx.k.rows_view(c0, c1), score);
+        score.scale(ctx.scale);
+        if tstate == TileState::Partial {
+            mask_tile(score, ctx.mask, qi, ki);
+        }
+        // P̃ = exp(s − rowmax) in place, Σp̃ accumulated on the fly.
+        tile_max.clear();
+        tile_lse.clear();
+        for r in 0..score.rows() {
+            let row = score.row_mut(r);
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            if m == f32::NEG_INFINITY {
+                row.fill(0.0);
+                tile_max.push(f32::NEG_INFINITY);
+                tile_lse.push(f32::NEG_INFINITY);
+                continue;
+            }
+            let mut sum = 0.0f32;
+            for x in row.iter_mut() {
+                *x = (*x - m).exp();
+                sum += *x;
+            }
+            tile_max.push(m);
+            tile_lse.push(m + sum.ln());
+        }
+        // Õ = P̃ · V_tile (unnormalised).
+        matmul_into(score.view(), ctx.v.rows_view(c0, c1), gtmp);
+        for r in 0..gtmp.rows() {
+            let lt = tile_lse[r];
+            if lt == f32::NEG_INFINITY {
+                continue;
+            }
+            let la = lse_rows[r];
+            let lnew = OnlineState::merge_lse(la, lt);
+            let wa = if la == f32::NEG_INFINITY {
+                0.0
+            } else {
+                (la - lnew).exp()
+            };
+            let wt = (tile_max[r] - lnew).exp();
+            let orow = &mut o_rows[r * dv..(r + 1) * dv];
+            for (o, &t) in orow.iter_mut().zip(gtmp.row(r)) {
+                *o = wa * *o + wt * t;
+            }
+            lse_rows[r] = lnew;
+        }
+        work.tiles_computed += 1;
+        work.pairs += count_pairs(ctx.mask, tstate, qi, ki);
+        c0 = c1;
+    }
+    work
+}
+
+/// Run `forward_rows` over a list of row blocks, recursively forking at
+/// block boundaries when `parallel`. The block list is fixed by the problem
+/// shape, every block is processed by identical code against disjoint
+/// output rows, so the split never changes results.
+fn forward_blocks(
+    ctx: &Ctx<'_>,
+    blocks: &[(usize, usize)],
+    o: &mut [f32],
+    lse: &mut [f32],
+    parallel: bool,
+) -> KernelWork {
+    let Some(&(base, _)) = blocks.first() else {
+        return KernelWork::default();
+    };
+    let dv = ctx.v.cols();
+    if !parallel || blocks.len() == 1 {
+        let mut scratch = Scratch::new();
+        let mut work = KernelWork::default();
+        for &(r0, r1) in blocks {
+            let w = forward_rows(
+                ctx,
+                r0,
+                r1,
+                &mut o[(r0 - base) * dv..(r1 - base) * dv],
+                &mut lse[r0 - base..r1 - base],
+                &mut scratch,
+            );
+            work.merge(w);
+        }
+        return work;
+    }
+    let (lo, hi) = blocks.split_at(blocks.len() / 2);
+    let cut = hi[0].0 - base;
+    let (o_lo, o_hi) = o.split_at_mut(cut * dv);
+    let (l_lo, l_hi) = lse.split_at_mut(cut);
+    let (mut wa, wb) = rayon::join(
+        || forward_blocks(ctx, lo, o_lo, l_lo, true),
+        || forward_blocks(ctx, hi, o_hi, l_hi, true),
+    );
+    wa.merge(wb);
+    wa
+}
+
 /// Blocked attention forward with online softmax, default tile size.
 pub fn flash_forward(
     q: &Mat,
@@ -105,47 +290,280 @@ pub fn flash_forward_with_block(
     assert_eq!(k.rows(), k_idx.len(), "flash_forward: k_idx length");
     assert_eq!(k.rows(), v.rows(), "flash_forward: K/V rows");
     assert_eq!(q.cols(), k.cols(), "flash_forward: Q/K dim");
-    let (n, d) = (q.rows(), v.cols());
-    let mut o = Mat::zeros(n, d);
+    let (n, dv) = (q.rows(), v.cols());
+    let mut o = Mat::zeros(n, dv);
     let mut lse = vec![f32::NEG_INFINITY; n];
-    let mut work = KernelWork::default();
+    let ctx = Ctx {
+        q: q.view(),
+        k: k.view(),
+        v: v.view(),
+        scale,
+        mask,
+        q_idx,
+        k_idx,
+        block,
+    };
+    let blocks = row_blocks(n, block);
+    let parallel = blocks.len() > 1
+        && n * k.rows() * q.cols() >= PAR_VOLUME
+        && rayon::current_num_threads() > 1;
+    let work = forward_blocks(&ctx, &blocks, o.as_mut_slice(), &mut lse, parallel);
+    FlashOut { o, lse, work }
+}
 
+/// Forward one K/V partition *into* a running `(acc_o, acc_lse)` pair.
+///
+/// This is the ring-round entry point: `acc_o`/`acc_lse` carry the online
+/// state across rounds (initialise to zeros / `-inf`), and all temporaries
+/// live in `scratch`, so after the first round a ring step allocates
+/// nothing. Merging partitions here is bit-identical to passing the
+/// concatenated keys to [`flash_forward`] tile by tile.
+#[allow(clippy::too_many_arguments)]
+#[track_caller]
+pub fn flash_forward_acc(
+    q: &Mat,
+    k: &Mat,
+    v: &Mat,
+    scale: f32,
+    mask: &AttnMask,
+    q_idx: &[usize],
+    k_idx: &[usize],
+    acc_o: &mut Mat,
+    acc_lse: &mut [f32],
+    scratch: &mut Scratch,
+) -> KernelWork {
+    assert_eq!(q.rows(), q_idx.len(), "flash_forward_acc: q_idx length");
+    assert_eq!(k.rows(), k_idx.len(), "flash_forward_acc: k_idx length");
+    assert_eq!(k.rows(), v.rows(), "flash_forward_acc: K/V rows");
+    assert_eq!(q.cols(), k.cols(), "flash_forward_acc: Q/K dim");
+    assert_eq!(
+        acc_o.shape(),
+        (q.rows(), v.cols()),
+        "flash_forward_acc: acc_o shape"
+    );
+    assert_eq!(q.rows(), acc_lse.len(), "flash_forward_acc: acc_lse length");
+    let ctx = Ctx {
+        q: q.view(),
+        k: k.view(),
+        v: v.view(),
+        scale,
+        mask,
+        q_idx,
+        k_idx,
+        block: DEFAULT_BLOCK,
+    };
+    let dv = v.cols();
+    let mut work = KernelWork::default();
     let mut r0 = 0;
-    while r0 < n {
-        let r1 = (r0 + block).min(n);
-        let qb = q.slice_rows(r0, r1);
-        let qi = &q_idx[r0..r1];
-        let mut state = OnlineState::empty(r1 - r0, d);
+    while r0 < q.rows() {
+        let r1 = (r0 + DEFAULT_BLOCK).min(q.rows());
+        let w = forward_rows(
+            &ctx,
+            r0,
+            r1,
+            &mut acc_o.as_mut_slice()[r0 * dv..r1 * dv],
+            &mut acc_lse[r0..r1],
+            scratch,
+        );
+        work.merge(w);
+        r0 = r1;
+    }
+    work
+}
+
+/// Recompute the probability tile `P = exp(scale·Q_b K_bᵀ − Lse_b)` into
+/// `score` from the stored global `Lse`.
+fn recompute_p(
+    ctx: &BwdCtx<'_>,
+    r0: usize,
+    r1: usize,
+    c0: usize,
+    c1: usize,
+    tstate: TileState,
+    score: &mut Mat,
+) {
+    let f = &ctx.fwd;
+    matmul_nt_into(f.q.rows_view(r0, r1), f.k.rows_view(c0, c1), score);
+    score.scale(f.scale);
+    if tstate == TileState::Partial {
+        mask_tile(score, f.mask, &f.q_idx[r0..r1], &f.k_idx[c0..c1]);
+    }
+    score.exp_sub_rowwise_inplace(&ctx.lse[r0..r1]);
+}
+
+/// `∇S = P ∘ (∇P − D)`, overwriting `P` in `score`.
+fn ds_in_place(score: &mut Mat, gp: &Mat, d_b: &[f32]) {
+    for (r, &drow) in d_b.iter().enumerate().take(score.rows()) {
+        let gpr = gp.row(r);
+        for (gs, &g) in score.row_mut(r).iter_mut().zip(gpr) {
+            *gs *= g - drow;
+        }
+    }
+}
+
+/// Serial single sweep over all (query, key) tiles, accumulating into the
+/// raw storage of all three gradients. This is both the small-problem path
+/// and the `_acc` ring path.
+fn backward_sweep(
+    ctx: &BwdCtx<'_>,
+    gq: &mut [f32],
+    gk: &mut [f32],
+    gv: &mut [f32],
+    scratch: &mut Scratch,
+) -> KernelWork {
+    let f = &ctx.fwd;
+    let mut work = KernelWork::default();
+    let Scratch {
+        score, gp, gtmp, ..
+    } = scratch;
+    let mut r0 = 0;
+    while r0 < f.q.rows() {
+        let r1 = (r0 + f.block).min(f.q.rows());
+        let qi = &f.q_idx[r0..r1];
+        let dob = ctx.grad_o.rows_view(r0, r1);
+        let d_b = &ctx.d_vec[r0..r1];
         let mut c0 = 0;
-        while c0 < k.rows() {
-            let c1 = (c0 + block).min(k.rows());
-            let ki = &k_idx[c0..c1];
-            let tstate = mask.tile_state(qi, ki);
+        while c0 < f.k.rows() {
+            let c1 = (c0 + f.block).min(f.k.rows());
+            let ki = &f.k_idx[c0..c1];
+            let tstate = f.mask.tile_state(qi, ki);
             if tstate == TileState::FullyMasked {
                 work.tiles_skipped += 1;
                 c0 = c1;
                 continue;
             }
-            let kb = k.slice_rows(c0, c1);
-            let vb = v.slice_rows(c0, c1);
-            let mut s = qb.matmul_nt(&kb);
-            s.scale(scale);
-            if tstate == TileState::Partial {
-                mask_tile(&mut s, mask, qi, ki);
-            }
-            let tile_lse = s.lse_rows();
-            let p = s.exp_sub_rowwise(&tile_lse);
-            let o_tile = p.matmul(&vb);
-            state.merge(&OnlineState::new(o_tile, tile_lse));
+            recompute_p(ctx, r0, r1, c0, c1, tstate, score);
+            // ∇V_tile += Pᵀ ∇O
+            matmul_tn_into(score.view(), dob, gtmp);
+            axpy_rows_slice(gv, c0, 1.0, gtmp);
+            // ∇P = ∇O Vᵀ ; ∇S = P ∘ (∇P − D)
+            matmul_nt_into(dob, f.v.rows_view(c0, c1), gp);
+            ds_in_place(score, gp, d_b);
+            // ∇Q_block += scale · ∇S K ; ∇K_tile += scale · ∇Sᵀ Q
+            matmul_into(score.view(), f.k.rows_view(c0, c1), gtmp);
+            axpy_rows_slice(gq, r0, f.scale, gtmp);
+            matmul_tn_into(score.view(), f.q.rows_view(r0, r1), gtmp);
+            axpy_rows_slice(gk, c0, f.scale, gtmp);
             work.tiles_computed += 1;
-            work.pairs += count_pairs(mask, tstate, qi, ki);
+            work.pairs += count_pairs(f.mask, tstate, qi, ki);
             c0 = c1;
         }
-        o.set_rows(r0, &state.o);
-        lse[r0..r1].copy_from_slice(&state.lse);
         r0 = r1;
     }
-    FlashOut { o, lse, work }
+    work
+}
+
+/// `∇Q` for query rows `[r0, r1)` (pass Q of the parallel backward):
+/// owns the work counters so each tile is counted exactly once.
+fn backward_q_rows(
+    ctx: &BwdCtx<'_>,
+    r0: usize,
+    r1: usize,
+    gq_rows: &mut [f32],
+    scratch: &mut Scratch,
+) -> KernelWork {
+    let f = &ctx.fwd;
+    let mut work = KernelWork::default();
+    let Scratch {
+        score, gp, gtmp, ..
+    } = scratch;
+    let qi = &f.q_idx[r0..r1];
+    let dob = ctx.grad_o.rows_view(r0, r1);
+    let d_b = &ctx.d_vec[r0..r1];
+    let mut c0 = 0;
+    while c0 < f.k.rows() {
+        let c1 = (c0 + f.block).min(f.k.rows());
+        let ki = &f.k_idx[c0..c1];
+        let tstate = f.mask.tile_state(qi, ki);
+        if tstate == TileState::FullyMasked {
+            work.tiles_skipped += 1;
+            c0 = c1;
+            continue;
+        }
+        recompute_p(ctx, r0, r1, c0, c1, tstate, score);
+        matmul_nt_into(dob, f.v.rows_view(c0, c1), gp);
+        ds_in_place(score, gp, d_b);
+        matmul_into(score.view(), f.k.rows_view(c0, c1), gtmp);
+        axpy_rows_slice(gq_rows, 0, f.scale, gtmp);
+        work.tiles_computed += 1;
+        work.pairs += count_pairs(f.mask, tstate, qi, ki);
+        c0 = c1;
+    }
+    work
+}
+
+/// `∇K`/`∇V` for key rows `[c0, c1)` (pass K of the parallel backward).
+/// Per destination row the query blocks are folded in ascending order —
+/// the same order the serial sweep uses — so both paths are bit-identical.
+fn backward_kv_rows(
+    ctx: &BwdCtx<'_>,
+    c0: usize,
+    c1: usize,
+    gk_rows: &mut [f32],
+    gv_rows: &mut [f32],
+    scratch: &mut Scratch,
+) {
+    let f = &ctx.fwd;
+    let Scratch {
+        score, gp, gtmp, ..
+    } = scratch;
+    let ki = &f.k_idx[c0..c1];
+    let mut r0 = 0;
+    while r0 < f.q.rows() {
+        let r1 = (r0 + f.block).min(f.q.rows());
+        let qi = &f.q_idx[r0..r1];
+        let tstate = f.mask.tile_state(qi, ki);
+        if tstate == TileState::FullyMasked {
+            r0 = r1;
+            continue;
+        }
+        let dob = ctx.grad_o.rows_view(r0, r1);
+        recompute_p(ctx, r0, r1, c0, c1, tstate, score);
+        matmul_tn_into(score.view(), dob, gtmp);
+        axpy_rows_slice(gv_rows, 0, 1.0, gtmp);
+        matmul_nt_into(dob, f.v.rows_view(c0, c1), gp);
+        ds_in_place(score, gp, &ctx.d_vec[r0..r1]);
+        matmul_tn_into(score.view(), f.q.rows_view(r0, r1), gtmp);
+        axpy_rows_slice(gk_rows, 0, f.scale, gtmp);
+        r0 = r1;
+    }
+}
+
+fn par_backward_q(ctx: &BwdCtx<'_>, blocks: &[(usize, usize)], gq: &mut [f32]) -> KernelWork {
+    let Some(&(base, _)) = blocks.first() else {
+        return KernelWork::default();
+    };
+    if blocks.len() == 1 {
+        let (r0, r1) = blocks[0];
+        return backward_q_rows(ctx, r0, r1, gq, &mut Scratch::new());
+    }
+    let (lo, hi) = blocks.split_at(blocks.len() / 2);
+    let (gq_lo, gq_hi) = gq.split_at_mut((hi[0].0 - base) * ctx.fwd.q.cols());
+    let (mut wa, wb) = rayon::join(
+        || par_backward_q(ctx, lo, gq_lo),
+        || par_backward_q(ctx, hi, gq_hi),
+    );
+    wa.merge(wb);
+    wa
+}
+
+fn par_backward_kv(ctx: &BwdCtx<'_>, blocks: &[(usize, usize)], gk: &mut [f32], gv: &mut [f32]) {
+    let Some(&(base, _)) = blocks.first() else {
+        return;
+    };
+    if blocks.len() == 1 {
+        let (c0, c1) = blocks[0];
+        backward_kv_rows(ctx, c0, c1, gk, gv, &mut Scratch::new());
+        return;
+    }
+    let (lo, hi) = blocks.split_at(blocks.len() / 2);
+    let cut = hi[0].0 - base;
+    let (gk_lo, gk_hi) = gk.split_at_mut(cut * ctx.fwd.k.cols());
+    let (gv_lo, gv_hi) = gv.split_at_mut(cut * ctx.fwd.v.cols());
+    rayon::join(
+        || par_backward_kv(ctx, lo, gk_lo, gv_lo),
+        || par_backward_kv(ctx, hi, gk_hi, gv_hi),
+    );
 }
 
 /// The tile backward kernel of Algorithms 1–2 (default tile size).
@@ -167,11 +585,27 @@ pub fn attn_tile_backward(
     k_idx: &[usize],
 ) -> (Mat, Mat, Mat, KernelWork) {
     attn_tile_backward_with_block(
-        q, k, v, grad_o, lse, d_vec, scale, mask, q_idx, k_idx, DEFAULT_BLOCK,
+        q,
+        k,
+        v,
+        grad_o,
+        lse,
+        d_vec,
+        scale,
+        mask,
+        q_idx,
+        k_idx,
+        DEFAULT_BLOCK,
     )
 }
 
 /// [`attn_tile_backward`] with an explicit tile size.
+///
+/// Large problems run two parallel passes — one over query blocks for `∇Q`,
+/// one over key blocks for `∇K`/`∇V` — each writing disjoint rows. Small
+/// problems run one serial sweep. Per destination row both schedules fold
+/// the same tile contributions in the same order, so the result does not
+/// depend on thread count.
 #[allow(clippy::too_many_arguments)]
 #[track_caller]
 pub fn attn_tile_backward_with_block(
@@ -196,77 +630,116 @@ pub fn attn_tile_backward_with_block(
     let mut grad_q = Mat::zeros(q.rows(), q.cols());
     let mut grad_k = Mat::zeros(k.rows(), k.cols());
     let mut grad_v = Mat::zeros(v.rows(), v.cols());
-    let mut work = KernelWork::default();
-
-    let mut r0 = 0;
-    while r0 < q.rows() {
-        let r1 = (r0 + block).min(q.rows());
-        let qi = &q_idx[r0..r1];
-        let qb = q.slice_rows(r0, r1);
-        let dob = grad_o.slice_rows(r0, r1);
-        let lse_b = &lse[r0..r1];
-        let d_b = &d_vec[r0..r1];
-        let mut c0 = 0;
-        while c0 < k.rows() {
-            let c1 = (c0 + block).min(k.rows());
-            let ki = &k_idx[c0..c1];
-            let tstate = mask.tile_state(qi, ki);
-            if tstate == TileState::FullyMasked {
-                work.tiles_skipped += 1;
-                c0 = c1;
-                continue;
-            }
-            let kb = k.slice_rows(c0, c1);
-            let vb = v.slice_rows(c0, c1);
-            // Recompute P for this tile from the stored global Lse.
-            let mut s = qb.matmul_nt(&kb);
-            s.scale(scale);
-            if tstate == TileState::Partial {
-                mask_tile(&mut s, mask, qi, ki);
-            }
-            let p = s.exp_sub_rowwise(lse_b);
-            // ∇V_tile = Pᵀ ∇O
-            let gv = p.matmul_tn(&dob);
-            for (r, gr) in (c0..c1).zip(0..gv.rows()) {
-                let dst = grad_v.row_mut(r);
-                for (o, x) in dst.iter_mut().zip(gv.row(gr)) {
-                    *o += x;
-                }
-            }
-            // ∇P = ∇O Vᵀ ; ∇S = P ∘ (∇P − D)
-            let grad_p = dob.matmul_nt(&vb);
-            let mut grad_s = p;
-            for r in 0..grad_s.rows() {
-                let drow = d_b[r];
-                let gp = grad_p.row(r);
-                for (gs, g) in grad_s.row_mut(r).iter_mut().zip(gp) {
-                    *gs *= g - drow;
-                }
-            }
-            // ∇Q_block += scale · ∇S K ; ∇K_tile += scale · ∇Sᵀ Q
-            let mut gq = grad_s.matmul(&kb);
-            gq.scale(scale);
-            for (r, gr) in (r0..r1).zip(0..gq.rows()) {
-                let dst = grad_q.row_mut(r);
-                for (o, x) in dst.iter_mut().zip(gq.row(gr)) {
-                    *o += x;
-                }
-            }
-            let mut gk = grad_s.matmul_tn(&qb);
-            gk.scale(scale);
-            for (r, gr) in (c0..c1).zip(0..gk.rows()) {
-                let dst = grad_k.row_mut(r);
-                for (o, x) in dst.iter_mut().zip(gk.row(gr)) {
-                    *o += x;
-                }
-            }
-            work.tiles_computed += 1;
-            work.pairs += count_pairs(mask, tstate, qi, ki);
-            c0 = c1;
-        }
-        r0 = r1;
-    }
+    let ctx = BwdCtx {
+        fwd: Ctx {
+            q: q.view(),
+            k: k.view(),
+            v: v.view(),
+            scale,
+            mask,
+            q_idx,
+            k_idx,
+            block,
+        },
+        grad_o: grad_o.view(),
+        lse,
+        d_vec,
+    };
+    let qblocks = row_blocks(q.rows(), block);
+    let kblocks = row_blocks(k.rows(), block);
+    let parallel = (qblocks.len() > 1 || kblocks.len() > 1)
+        && q.rows() * k.rows() * q.cols() >= PAR_VOLUME
+        && rayon::current_num_threads() > 1;
+    let work = if parallel {
+        let work = par_backward_q(&ctx, &qblocks, grad_q.as_mut_slice());
+        par_backward_kv(&ctx, &kblocks, grad_k.as_mut_slice(), grad_v.as_mut_slice());
+        work
+    } else {
+        backward_sweep(
+            &ctx,
+            grad_q.as_mut_slice(),
+            grad_k.as_mut_slice(),
+            grad_v.as_mut_slice(),
+            &mut Scratch::new(),
+        )
+    };
     (grad_q, grad_k, grad_v, work)
+}
+
+/// [`attn_tile_backward`] accumulating `+=` into caller-owned gradients.
+///
+/// The ring-round entry point: gradients and `scratch` persist across
+/// rounds, so steady-state rounds allocate nothing. Runs the serial sweep —
+/// accumulation order per destination row matches [`attn_tile_backward`]
+/// exactly, so partition sums are bit-identical to the one-shot kernel.
+#[allow(clippy::too_many_arguments)]
+#[track_caller]
+pub fn attn_tile_backward_acc(
+    q: &Mat,
+    k: &Mat,
+    v: &Mat,
+    grad_o: &Mat,
+    lse: &[f32],
+    d_vec: &[f32],
+    scale: f32,
+    mask: &AttnMask,
+    q_idx: &[usize],
+    k_idx: &[usize],
+    grad_q: &mut Mat,
+    grad_k: &mut Mat,
+    grad_v: &mut Mat,
+    scratch: &mut Scratch,
+) -> KernelWork {
+    assert_eq!(
+        q.rows(),
+        q_idx.len(),
+        "attn_tile_backward_acc: q_idx length"
+    );
+    assert_eq!(
+        k.rows(),
+        k_idx.len(),
+        "attn_tile_backward_acc: k_idx length"
+    );
+    assert_eq!(q.rows(), grad_o.rows(), "attn_tile_backward_acc: ∇O rows");
+    assert_eq!(q.rows(), lse.len(), "attn_tile_backward_acc: Lse length");
+    assert_eq!(q.rows(), d_vec.len(), "attn_tile_backward_acc: D length");
+    assert_eq!(
+        grad_q.shape(),
+        q.shape(),
+        "attn_tile_backward_acc: ∇Q shape"
+    );
+    assert_eq!(
+        grad_k.shape(),
+        k.shape(),
+        "attn_tile_backward_acc: ∇K shape"
+    );
+    assert_eq!(
+        grad_v.shape(),
+        v.shape(),
+        "attn_tile_backward_acc: ∇V shape"
+    );
+    let ctx = BwdCtx {
+        fwd: Ctx {
+            q: q.view(),
+            k: k.view(),
+            v: v.view(),
+            scale,
+            mask,
+            q_idx,
+            k_idx,
+            block: DEFAULT_BLOCK,
+        },
+        grad_o: grad_o.view(),
+        lse,
+        d_vec,
+    };
+    backward_sweep(
+        &ctx,
+        grad_q.as_mut_slice(),
+        grad_k.as_mut_slice(),
+        grad_v.as_mut_slice(),
+        scratch,
+    )
 }
 
 /// Single-device blocked backward: computes `D = rowsum(∇O ∘ O)` and runs
@@ -349,7 +822,15 @@ mod tests {
         let q = randn_mat(2, 3, 1.0, 40);
         let k = randn_mat(4, 3, 1.0, 41);
         let v = randn_mat(4, 3, 1.0, 42);
-        let out = flash_forward(&q, &k, &v, 1.0, &AttnMask::Causal, &[0, 1], &[10, 11, 12, 13]);
+        let out = flash_forward(
+            &q,
+            &k,
+            &v,
+            1.0,
+            &AttnMask::Causal,
+            &[0, 1],
+            &[10, 11, 12, 13],
+        );
         assert_eq!(out.o, burst_tensor::Mat::zeros(2, 3));
         assert!(out.lse.iter().all(|&l| l == f32::NEG_INFINITY));
         assert_eq!(out.work.pairs, 0);
@@ -371,7 +852,16 @@ mod tests {
                 let (gq, gk, gv, _) = {
                     let d_vec = grad_o.rowsum_hadamard(&out.o);
                     attn_tile_backward_with_block(
-                        &q, &k, &v, &grad_o, &out.lse, &d_vec, scale, &mask, &idx(n), &idx(n),
+                        &q,
+                        &k,
+                        &v,
+                        &grad_o,
+                        &out.lse,
+                        &d_vec,
+                        scale,
+                        &mask,
+                        &idx(n),
+                        &idx(n),
                         block,
                     )
                 };
@@ -397,7 +887,16 @@ mod tests {
         let out = flash_forward(&q, &k, &v, scale, &mask, &idx(n), &idx(n));
         let d_vec = grad_o.rowsum_hadamard(&out.o);
         let (gq_ref, gk_ref, gv_ref, _) = attn_tile_backward(
-            &q, &k, &v, &grad_o, &out.lse, &d_vec, scale, &mask, &idx(n), &idx(n),
+            &q,
+            &k,
+            &v,
+            &grad_o,
+            &out.lse,
+            &d_vec,
+            scale,
+            &mask,
+            &idx(n),
+            &idx(n),
         );
         let half = n / 2;
         let k1 = k.slice_rows(0, half);
@@ -406,10 +905,28 @@ mod tests {
         let v2 = v.slice_rows(half, n);
         let all_idx = idx(n);
         let (gq1, gk1, gv1, _) = attn_tile_backward(
-            &q, &k1, &v1, &grad_o, &out.lse, &d_vec, scale, &mask, &all_idx, &all_idx[..half],
+            &q,
+            &k1,
+            &v1,
+            &grad_o,
+            &out.lse,
+            &d_vec,
+            scale,
+            &mask,
+            &all_idx,
+            &all_idx[..half],
         );
         let (gq2, gk2, gv2, _) = attn_tile_backward(
-            &q, &k2, &v2, &grad_o, &out.lse, &d_vec, scale, &mask, &all_idx, &all_idx[half..],
+            &q,
+            &k2,
+            &v2,
+            &grad_o,
+            &out.lse,
+            &d_vec,
+            scale,
+            &mask,
+            &all_idx,
+            &all_idx[half..],
         );
         let mut gq = gq1;
         gq.add_assign(&gq2);
@@ -418,6 +935,116 @@ mod tests {
         let gv = burst_tensor::Mat::vstack(&[gv1, gv2]);
         assert_allclose(&gk, &gk_ref, 1e-4, "dK additivity");
         assert_allclose(&gv, &gv_ref, 1e-4, "dV additivity");
+    }
+
+    #[test]
+    fn acc_forward_over_partitions_matches_one_shot() {
+        // Feeding two K/V partitions through flash_forward_acc must produce
+        // exactly what one flash_forward over the concatenated keys does —
+        // the zero-alloc ring rounds rely on this.
+        let (n, d) = (23, 6);
+        let q = randn_mat(n, d, 0.8, 90);
+        let k = randn_mat(n, d, 0.8, 91);
+        let v = randn_mat(n, d, 0.8, 92);
+        let scale = 1.0 / (d as f32).sqrt();
+        let all_idx = idx(n);
+        for mask in all_masks(n) {
+            let whole = flash_forward(&q, &k, &v, scale, &mask, &all_idx, &all_idx);
+            let half = 11; // not a multiple of DEFAULT_BLOCK on purpose
+            let (k1, v1) = (k.slice_rows(0, half), v.slice_rows(0, half));
+            let (k2, v2) = (k.slice_rows(half, n), v.slice_rows(half, n));
+            let mut acc_o = Mat::zeros(n, d);
+            let mut acc_lse = vec![f32::NEG_INFINITY; n];
+            let mut scratch = Scratch::new();
+            let mut work = flash_forward_acc(
+                &q,
+                &k1,
+                &v1,
+                scale,
+                &mask,
+                &all_idx,
+                &all_idx[..half],
+                &mut acc_o,
+                &mut acc_lse,
+                &mut scratch,
+            );
+            work.merge(flash_forward_acc(
+                &q,
+                &k2,
+                &v2,
+                scale,
+                &mask,
+                &all_idx,
+                &all_idx[half..],
+                &mut acc_o,
+                &mut acc_lse,
+                &mut scratch,
+            ));
+            assert_allclose(&acc_o, &whole.o, 1e-5, &format!("acc O {mask:?}"));
+            assert_allclose_vec(&acc_lse, &whole.lse, 1e-5, "acc lse");
+            assert_eq!(work.pairs, whole.work.pairs, "acc pairs {mask:?}");
+        }
+    }
+
+    #[test]
+    fn acc_backward_over_partitions_matches_one_shot() {
+        let (n, d) = (23, 6);
+        let q = randn_mat(n, d, 0.7, 93);
+        let k = randn_mat(n, d, 0.7, 94);
+        let v = randn_mat(n, d, 0.7, 95);
+        let grad_o = randn_mat(n, d, 1.0, 96);
+        let scale = 1.0 / (d as f32).sqrt();
+        let all_idx = idx(n);
+        let mask = AttnMask::Causal;
+        let out = flash_forward(&q, &k, &v, scale, &mask, &all_idx, &all_idx);
+        let d_vec = grad_o.rowsum_hadamard(&out.o);
+        let (gq_ref, gk_ref, gv_ref, _) = attn_tile_backward(
+            &q, &k, &v, &grad_o, &out.lse, &d_vec, scale, &mask, &all_idx, &all_idx,
+        );
+        let half = 11;
+        let mut gq = Mat::zeros(n, d);
+        let mut gk1 = Mat::zeros(half, d);
+        let mut gv1 = Mat::zeros(half, d);
+        let mut gk2 = Mat::zeros(n - half, d);
+        let mut gv2 = Mat::zeros(n - half, d);
+        let mut scratch = Scratch::new();
+        attn_tile_backward_acc(
+            &q,
+            &k.slice_rows(0, half),
+            &v.slice_rows(0, half),
+            &grad_o,
+            &out.lse,
+            &d_vec,
+            scale,
+            &mask,
+            &all_idx,
+            &all_idx[..half],
+            &mut gq,
+            &mut gk1,
+            &mut gv1,
+            &mut scratch,
+        );
+        attn_tile_backward_acc(
+            &q,
+            &k.slice_rows(half, n),
+            &v.slice_rows(half, n),
+            &grad_o,
+            &out.lse,
+            &d_vec,
+            scale,
+            &mask,
+            &all_idx,
+            &all_idx[half..],
+            &mut gq,
+            &mut gk2,
+            &mut gv2,
+            &mut scratch,
+        );
+        assert_allclose(&gq, &gq_ref, 1e-4, "acc dQ");
+        let gk = burst_tensor::Mat::vstack(&[gk1, gk2]);
+        let gv = burst_tensor::Mat::vstack(&[gv1, gv2]);
+        assert_allclose(&gk, &gk_ref, 1e-4, "acc dK");
+        assert_allclose(&gv, &gv_ref, 1e-4, "acc dV");
     }
 
     #[test]
@@ -463,11 +1090,29 @@ mod tests {
         let mask = AttnMask::Full;
         let out = flash_forward(&q, &k, &v, 1.0, &mask, &idx(n), &idx(n));
         let (gq1, gk1, gv1, _) = flash_backward(
-            &q, &k, &v, &out.o, &grad_o, &out.lse, 1.0, &mask, &idx(n), &idx(n),
+            &q,
+            &k,
+            &v,
+            &out.o,
+            &grad_o,
+            &out.lse,
+            1.0,
+            &mask,
+            &idx(n),
+            &idx(n),
         );
         let d_vec = grad_o.rowsum_hadamard(&out.o);
         let (gq2, gk2, gv2, _) = attn_tile_backward(
-            &q, &k, &v, &grad_o, &out.lse, &d_vec, 1.0, &mask, &idx(n), &idx(n),
+            &q,
+            &k,
+            &v,
+            &grad_o,
+            &out.lse,
+            &d_vec,
+            1.0,
+            &mask,
+            &idx(n),
+            &idx(n),
         );
         assert_allclose(&gq1, &gq2, 0.0, "dQ");
         assert_allclose(&gk1, &gk2, 0.0, "dK");

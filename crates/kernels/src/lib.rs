@@ -31,7 +31,10 @@ pub mod mask;
 pub mod naive;
 pub mod online;
 
-pub use flash::{attn_tile_backward, flash_backward, flash_forward, FlashOut, KernelWork};
+pub use flash::{
+    attn_tile_backward, attn_tile_backward_acc, flash_backward, flash_forward, flash_forward_acc,
+    FlashOut, KernelWork,
+};
 pub use lmhead::{fused_lm_loss, naive_lm_loss, LmLossOut};
 pub use mask::{AttnMask, BlockSparseMask, TileState};
 pub use online::OnlineState;

@@ -6,18 +6,38 @@
 //! fused kernel tiles `H` along the sequence (`B_s` rows) and `W_head` along
 //! the vocabulary (`B_v` rows), accumulates the per-row log-sum-exp online,
 //! and runs the backward **immediately after** each row tile's forward,
-//! while that tile's logits are still live — so nothing is recomputed and
-//! the live working set is `B_s × v` instead of `N × v`.
+//! while that tile's (unnormalised) probabilities are still live — so the
+//! logits are never recomputed and the live working set is `B_s × v`
+//! instead of `N × v`.
+//!
+//! The forward stores `P̃ = exp(logits − rowmax)` per vocabulary tile, which
+//! makes the backward exp-free: `∇Logits = P̃ · exp(max − Lse) / N` is a pure
+//! row scaling. One `exp` per logit total.
+//!
+//! Large problems run two parallel passes with a decomposition fixed by the
+//! tile sizes — row tiles own disjoint `∇H`/loss rows, vocabulary tiles own
+//! disjoint `∇W` rows — and the per-tile loss sum uses a fixed-shape tree
+//! reduction, so results are bit-identical for any thread count. (The
+//! parallel path recomputes each logits tile once in the `∇W` pass and
+//! keeps one live row tile *per task*, trading the serial path's strict
+//! `B_s × v` bound for speed.)
 //!
 //! Gradient convention: mean-reduced cross-entropy, i.e.
 //! `∇Logits = (softmax(Logits) − onehot(Y)) / N`.
 
-use burst_tensor::Mat;
+use crate::flash::row_blocks;
+use crate::online::OnlineState;
+use burst_tensor::{
+    axpy_rows_slice, matmul_into, matmul_nt_into, matmul_tn_into, tree_sum, Mat, MatRef, Scratch,
+};
 
 /// Default sequence-tile rows.
 pub const DEFAULT_BLOCK_S: usize = 32;
 /// Default vocabulary-tile rows.
 pub const DEFAULT_BLOCK_V: usize = 64;
+
+/// Problem volume (`n · v · d`) below which the kernel stays serial.
+const PAR_VOLUME: usize = 64 * 64 * 16;
 
 /// Result of an LM-head + loss evaluation (forward **and** backward).
 #[derive(Debug, Clone)]
@@ -72,6 +92,259 @@ pub fn naive_lm_loss(h: &Mat, w: &Mat, targets: &[usize]) -> LmLossOut {
     }
 }
 
+/// Borrowed problem description threaded through the tile loops.
+#[derive(Clone, Copy)]
+struct LmCtx<'a> {
+    h: MatRef<'a>,
+    w: MatRef<'a>,
+    targets: &'a [usize],
+    inv_n: f32,
+    block_s: usize,
+    block_v: usize,
+}
+
+/// Forward one row tile `[r0, r1)`: for each vocabulary tile, leave
+/// `P̃ = exp(logits − rowmax)` in `scratch.vtiles[j]` and the row maxes in
+/// `scratch.tile_max[j·rows..]`, folding the tile LSEs into `lse_rows`
+/// online. Also writes the per-position losses.
+fn lm_forward_rows(
+    ctx: &LmCtx<'_>,
+    r0: usize,
+    r1: usize,
+    losses_rows: &mut [f32],
+    lse_rows: &mut [f32],
+    scratch: &mut Scratch,
+) {
+    let rows = r1 - r0;
+    let v = ctx.w.rows();
+    let hb = ctx.h.rows_view(r0, r1);
+    let n_vtiles = v.div_ceil(ctx.block_v);
+    scratch.ensure_vtiles(n_vtiles);
+    scratch.tile_max.clear();
+    scratch.tile_max.resize(n_vtiles * rows, 0.0);
+    lse_rows.fill(f32::NEG_INFINITY);
+    let Scratch {
+        vtiles, tile_max, ..
+    } = scratch;
+    for (j, pt) in vtiles.iter_mut().take(n_vtiles).enumerate() {
+        let c0 = j * ctx.block_v;
+        let c1 = (c0 + ctx.block_v).min(v);
+        matmul_nt_into(hb, ctx.w.rows_view(c0, c1), pt);
+        let maxes = &mut tile_max[j * rows..(j + 1) * rows];
+        for r in 0..rows {
+            let row = pt.row_mut(r);
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            if m == f32::NEG_INFINITY {
+                row.fill(0.0);
+                maxes[r] = f32::NEG_INFINITY;
+                continue;
+            }
+            let mut sum = 0.0f32;
+            for x in row.iter_mut() {
+                *x = (*x - m).exp();
+                sum += *x;
+            }
+            maxes[r] = m;
+            lse_rows[r] = OnlineState::merge_lse(lse_rows[r], m + sum.ln());
+        }
+    }
+    // ℒ_r = Lse_r − h_r · w_{y_r}
+    for r in 0..rows {
+        let y = ctx.targets[r0 + r];
+        let dot: f32 = hb.row(r).iter().zip(ctx.w.row(y)).map(|(a, b)| a * b).sum();
+        losses_rows[r] = lse_rows[r] - dot;
+    }
+}
+
+/// Scale a retained `P̃` tile into `∇Logits` in place:
+/// `∇Logits = P̃ · exp(max − Lse) / N − onehot(Y) / N`. No `exp` per element.
+#[allow(clippy::too_many_arguments)]
+fn scale_to_grad_logits(
+    pt: &mut Mat,
+    maxes: &[f32],
+    lse_rows: &[f32],
+    inv_n: f32,
+    targets: &[usize],
+    r0: usize,
+    c0: usize,
+    c1: usize,
+) {
+    for r in 0..pt.rows() {
+        let sr = (maxes[r] - lse_rows[r]).exp() * inv_n;
+        let row = pt.row_mut(r);
+        for x in row.iter_mut() {
+            *x *= sr;
+        }
+        let y = targets[r0 + r];
+        if (c0..c1).contains(&y) {
+            row[y - c0] -= inv_n;
+        }
+    }
+}
+
+/// Serial backward for one row tile, reusing the live `P̃` tiles: both
+/// `∇H` rows and every `∇W` tile.
+fn lm_backward_rows(
+    ctx: &LmCtx<'_>,
+    r0: usize,
+    r1: usize,
+    lse_rows: &[f32],
+    grad_h_rows: &mut [f32],
+    grad_w: &mut [f32],
+    scratch: &mut Scratch,
+) {
+    let rows = r1 - r0;
+    let v = ctx.w.rows();
+    let hb = ctx.h.rows_view(r0, r1);
+    let n_vtiles = v.div_ceil(ctx.block_v);
+    let Scratch {
+        vtiles,
+        tile_max,
+        gtmp,
+        ..
+    } = scratch;
+    for (j, pt) in vtiles.iter_mut().take(n_vtiles).enumerate() {
+        let c0 = j * ctx.block_v;
+        let c1 = (c0 + ctx.block_v).min(v);
+        let maxes = &tile_max[j * rows..(j + 1) * rows];
+        scale_to_grad_logits(pt, maxes, lse_rows, ctx.inv_n, ctx.targets, r0, c0, c1);
+        // ∇H_block += ∇Logits_tile · W_tile
+        matmul_into(pt.view(), ctx.w.rows_view(c0, c1), gtmp);
+        axpy_rows_slice(grad_h_rows, 0, 1.0, gtmp);
+        // ∇W_tile += ∇Logitsᵀ · H_block
+        matmul_tn_into(pt.view(), hb, gtmp);
+        axpy_rows_slice(grad_w, c0, 1.0, gtmp);
+    }
+}
+
+/// Pass H of the parallel schedule: forward + losses + `∇H` for one row
+/// tile. Identical arithmetic to the serial path for everything it writes.
+fn lm_pass_h_rows(
+    ctx: &LmCtx<'_>,
+    r0: usize,
+    r1: usize,
+    losses_rows: &mut [f32],
+    lse_rows: &mut [f32],
+    grad_h_rows: &mut [f32],
+    scratch: &mut Scratch,
+) {
+    lm_forward_rows(ctx, r0, r1, losses_rows, lse_rows, scratch);
+    let rows = r1 - r0;
+    let v = ctx.w.rows();
+    let n_vtiles = v.div_ceil(ctx.block_v);
+    let Scratch {
+        vtiles,
+        tile_max,
+        gtmp,
+        ..
+    } = scratch;
+    for (j, pt) in vtiles.iter_mut().take(n_vtiles).enumerate() {
+        let c0 = j * ctx.block_v;
+        let c1 = (c0 + ctx.block_v).min(v);
+        let maxes = &tile_max[j * rows..(j + 1) * rows];
+        scale_to_grad_logits(pt, maxes, lse_rows, ctx.inv_n, ctx.targets, r0, c0, c1);
+        matmul_into(pt.view(), ctx.w.rows_view(c0, c1), gtmp);
+        axpy_rows_slice(grad_h_rows, 0, 1.0, gtmp);
+    }
+}
+
+/// Pass W of the parallel schedule: `∇W` rows `[c0, c1)`, folding row tiles
+/// in ascending order — the order the serial path uses — after recomputing
+/// each `P̃` tile with the exact serial arithmetic.
+fn lm_pass_w_tile(
+    ctx: &LmCtx<'_>,
+    c0: usize,
+    c1: usize,
+    lse_all: &[f32],
+    gw_rows: &mut [f32],
+    scratch: &mut Scratch,
+) {
+    let n = ctx.h.rows();
+    let wb = ctx.w.rows_view(c0, c1);
+    let Scratch {
+        score,
+        gtmp,
+        tile_max,
+        ..
+    } = scratch;
+    let mut r0 = 0;
+    while r0 < n {
+        let r1 = (r0 + ctx.block_s).min(n);
+        let hb = ctx.h.rows_view(r0, r1);
+        matmul_nt_into(hb, wb, score);
+        tile_max.clear();
+        for r in 0..score.rows() {
+            let row = score.row_mut(r);
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            if m == f32::NEG_INFINITY {
+                row.fill(0.0);
+                tile_max.push(f32::NEG_INFINITY);
+                continue;
+            }
+            for x in row.iter_mut() {
+                *x = (*x - m).exp();
+            }
+            tile_max.push(m);
+        }
+        scale_to_grad_logits(
+            score,
+            tile_max,
+            &lse_all[r0..r1],
+            ctx.inv_n,
+            ctx.targets,
+            r0,
+            c0,
+            c1,
+        );
+        matmul_tn_into(score.view(), hb, gtmp);
+        axpy_rows_slice(gw_rows, 0, 1.0, gtmp);
+        r0 = r1;
+    }
+}
+
+fn lm_par_h(
+    ctx: &LmCtx<'_>,
+    blocks: &[(usize, usize)],
+    losses: &mut [f32],
+    lse: &mut [f32],
+    gh: &mut [f32],
+) {
+    let Some(&(base, _)) = blocks.first() else {
+        return;
+    };
+    if blocks.len() == 1 {
+        let (r0, r1) = blocks[0];
+        lm_pass_h_rows(ctx, r0, r1, losses, lse, gh, &mut Scratch::new());
+        return;
+    }
+    let (lo, hi) = blocks.split_at(blocks.len() / 2);
+    let cut = hi[0].0 - base;
+    let (lo_losses, hi_losses) = losses.split_at_mut(cut);
+    let (lo_lse, hi_lse) = lse.split_at_mut(cut);
+    let (lo_gh, hi_gh) = gh.split_at_mut(cut * ctx.h.cols());
+    rayon::join(
+        || lm_par_h(ctx, lo, lo_losses, lo_lse, lo_gh),
+        || lm_par_h(ctx, hi, hi_losses, hi_lse, hi_gh),
+    );
+}
+
+fn lm_par_w(ctx: &LmCtx<'_>, blocks: &[(usize, usize)], lse_all: &[f32], gw: &mut [f32]) {
+    let Some(&(base, _)) = blocks.first() else {
+        return;
+    };
+    if blocks.len() == 1 {
+        let (c0, c1) = blocks[0];
+        lm_pass_w_tile(ctx, c0, c1, lse_all, gw, &mut Scratch::new());
+        return;
+    }
+    let (lo, hi) = blocks.split_at(blocks.len() / 2);
+    let (lo_gw, hi_gw) = gw.split_at_mut((hi[0].0 - base) * ctx.w.cols());
+    rayon::join(
+        || lm_par_w(ctx, lo, lse_all, lo_gw),
+        || lm_par_w(ctx, hi, lse_all, hi_gw),
+    );
+}
+
 /// Algorithm 3 with default tile sizes.
 pub fn fused_lm_loss(h: &Mat, w: &Mat, targets: &[usize]) -> LmLossOut {
     fused_lm_loss_with_blocks(h, w, targets, DEFAULT_BLOCK_S, DEFAULT_BLOCK_V)
@@ -102,74 +375,54 @@ pub fn fused_lm_loss_with_blocks(
     let mut lse_all = vec![0.0f32; n];
     let mut grad_h = Mat::zeros(n, d);
     let mut grad_w = Mat::zeros(v, d);
-    let n_vtiles = v.div_ceil(block_v);
-    // Live logits: one row tile × the whole vocabulary (B_s × v), reused
-    // across row tiles — this bounded buffer is the fusion's memory win.
+    // Live logits on the serial path: one row tile × the whole vocabulary
+    // (B_s × v), reused across row tiles — the fusion's memory win.
     let peak_logits_elems = block_s.min(n) * v;
-
-    let mut r0 = 0;
-    while r0 < n {
-        let r1 = (r0 + block_s).min(n);
-        let hb = h.slice_rows(r0, r1);
-        let rows = r1 - r0;
-        // ---- forward over vocabulary tiles: logits + online LSE ----
-        let mut tiles: Vec<Mat> = Vec::with_capacity(n_vtiles);
-        let mut lse = vec![f32::NEG_INFINITY; rows];
-        let mut c0 = 0;
-        while c0 < v {
-            let c1 = (c0 + block_v).min(v);
-            let wb = w.slice_rows(c0, c1);
-            let logits = hb.matmul_nt(&wb);
-            let tile_lse = logits.lse_rows();
-            for (acc, t) in lse.iter_mut().zip(&tile_lse) {
-                *acc = crate::online::OnlineState::merge_lse(*acc, *t);
-            }
-            tiles.push(logits);
-            c0 = c1;
+    let ctx = LmCtx {
+        h: h.view(),
+        w: w.view(),
+        targets,
+        inv_n,
+        block_s,
+        block_v,
+    };
+    let sblocks = row_blocks(n, block_s);
+    let vblocks = row_blocks(v, block_v);
+    let parallel = (sblocks.len() > 1 || vblocks.len() > 1)
+        && n * v * d >= PAR_VOLUME
+        && rayon::current_num_threads() > 1;
+    if parallel {
+        lm_par_h(
+            &ctx,
+            &sblocks,
+            &mut losses,
+            &mut lse_all,
+            grad_h.as_mut_slice(),
+        );
+        lm_par_w(&ctx, &vblocks, &lse_all, grad_w.as_mut_slice());
+    } else {
+        let mut scratch = Scratch::new();
+        for &(r0, r1) in &sblocks {
+            lm_forward_rows(
+                &ctx,
+                r0,
+                r1,
+                &mut losses[r0..r1],
+                &mut lse_all[r0..r1],
+                &mut scratch,
+            );
+            lm_backward_rows(
+                &ctx,
+                r0,
+                r1,
+                &lse_all[r0..r1],
+                &mut grad_h.as_mut_slice()[r0 * d..r1 * d],
+                grad_w.as_mut_slice(),
+                &mut scratch,
+            );
         }
-        // ---- loss: ℒ_r = Lse_r − h_r · w_{y_r} ----
-        for r in 0..rows {
-            let y = targets[r0 + r];
-            let dot: f32 = hb.row(r).iter().zip(w.row(y)).map(|(a, b)| a * b).sum();
-            losses[r0 + r] = lse[r] - dot;
-        }
-        lse_all[r0..r1].copy_from_slice(&lse);
-        // ---- backward immediately, reusing the live logits tiles ----
-        for (j, logits) in tiles.iter().enumerate() {
-            let c0 = j * block_v;
-            let c1 = (c0 + block_v).min(v);
-            let wb = w.slice_rows(c0, c1);
-            let mut grad_logits = logits.exp_sub_rowwise(&lse);
-            for r in 0..rows {
-                let row = grad_logits.row_mut(r);
-                for x in row.iter_mut() {
-                    *x *= inv_n;
-                }
-                let y = targets[r0 + r];
-                if (c0..c1).contains(&y) {
-                    row[y - c0] -= inv_n;
-                }
-            }
-            // ∇H_block += ∇Logits_tile · W_tile
-            let gh = grad_logits.matmul(&wb);
-            for (r, gr) in (r0..r1).zip(0..gh.rows()) {
-                let dst = grad_h.row_mut(r);
-                for (o, x) in dst.iter_mut().zip(gh.row(gr)) {
-                    *o += x;
-                }
-            }
-            // ∇W_tile += ∇Logitsᵀ · H_block
-            let gw = grad_logits.matmul_tn(&hb);
-            for (r, gr) in (c0..c1).zip(0..gw.rows()) {
-                let dst = grad_w.row_mut(r);
-                for (o, x) in dst.iter_mut().zip(gw.row(gr)) {
-                    *o += x;
-                }
-            }
-        }
-        r0 = r1;
     }
-    let loss = losses.iter().sum::<f32>() * inv_n;
+    let loss = tree_sum(&losses) * inv_n;
     LmLossOut {
         loss,
         losses,
@@ -221,8 +474,8 @@ mod tests {
         let out = fused_lm_loss(&h, &w, &y);
         let logits = h.matmul_nt(&w);
         let p = logits.softmax_rows();
-        for r in 0..n {
-            let expect = -p.get(r, y[r]).ln();
+        for (r, &yr) in y.iter().enumerate() {
+            let expect = -p.get(r, yr).ln();
             assert!(
                 (out.losses[r] - expect).abs() < 1e-4,
                 "row {r}: {} vs {}",

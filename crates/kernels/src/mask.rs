@@ -94,7 +94,7 @@ impl AttnMask {
             AttnMask::Causal => j <= i,
             AttnMask::SlidingWindow { window } => j <= i && i - j < *window,
             AttnMask::Dilated { window, step } => {
-                j <= i && i - j < *window && (i - j) % step.max(&1) == 0
+                j <= i && i - j < *window && (i - j).is_multiple_of(*step.max(&1))
             }
             AttnMask::BlockSparse(bs) => bs.block_allowed(i / bs.block, j / bs.block),
         }
@@ -191,9 +191,7 @@ impl AttnMask {
                 let step = (*step).max(1) as u128;
                 let w = *window as u128;
                 // Row i contributes ceil(min(i+1, w) / step) allowed keys.
-                (0..n as u128)
-                    .map(|i| ((i + 1).min(w) + step - 1) / step)
-                    .sum()
+                (0..n as u128).map(|i| (i + 1).min(w).div_ceil(step)).sum()
             }
             AttnMask::BlockSparse(bs) => {
                 let mut pairs = 0u128;
@@ -271,9 +269,18 @@ mod tests {
     fn tile_state_causal_contiguous() {
         let m = AttnMask::Causal;
         let q: Vec<usize> = (8..16).collect();
-        assert_eq!(m.tile_state(&q, &(0..8).collect::<Vec<_>>()), TileState::FullyAllowed);
-        assert_eq!(m.tile_state(&q, &(16..24).collect::<Vec<_>>()), TileState::FullyMasked);
-        assert_eq!(m.tile_state(&q, &(8..16).collect::<Vec<_>>()), TileState::Partial);
+        assert_eq!(
+            m.tile_state(&q, &(0..8).collect::<Vec<_>>()),
+            TileState::FullyAllowed
+        );
+        assert_eq!(
+            m.tile_state(&q, &(16..24).collect::<Vec<_>>()),
+            TileState::FullyMasked
+        );
+        assert_eq!(
+            m.tile_state(&q, &(8..16).collect::<Vec<_>>()),
+            TileState::Partial
+        );
     }
 
     #[test]
@@ -299,11 +306,20 @@ mod tests {
         let m = AttnMask::SlidingWindow { window: 4 };
         let q: Vec<usize> = (100..104).collect();
         // Keys immediately before and inside window.
-        assert_eq!(m.tile_state(&q, &(100..104).collect::<Vec<_>>()), TileState::Partial);
+        assert_eq!(
+            m.tile_state(&q, &(100..104).collect::<Vec<_>>()),
+            TileState::Partial
+        );
         // Keys far in the past: fully masked.
-        assert_eq!(m.tile_state(&q, &(0..4).collect::<Vec<_>>()), TileState::FullyMasked);
+        assert_eq!(
+            m.tile_state(&q, &(0..4).collect::<Vec<_>>()),
+            TileState::FullyMasked
+        );
         // Keys in the future: fully masked.
-        assert_eq!(m.tile_state(&q, &(200..204).collect::<Vec<_>>()), TileState::FullyMasked);
+        assert_eq!(
+            m.tile_state(&q, &(200..204).collect::<Vec<_>>()),
+            TileState::FullyMasked
+        );
     }
 
     #[test]
@@ -333,9 +349,18 @@ mod tests {
     fn dilated_tile_states_are_conservative_and_correct() {
         let m = AttnMask::Dilated { window: 8, step: 2 };
         let q: Vec<usize> = (100..104).collect();
-        assert_eq!(m.tile_state(&q, &(0..4).collect::<Vec<_>>()), TileState::FullyMasked);
-        assert_eq!(m.tile_state(&q, &(200..204).collect::<Vec<_>>()), TileState::FullyMasked);
-        assert_eq!(m.tile_state(&q, &(98..102).collect::<Vec<_>>()), TileState::Partial);
+        assert_eq!(
+            m.tile_state(&q, &(0..4).collect::<Vec<_>>()),
+            TileState::FullyMasked
+        );
+        assert_eq!(
+            m.tile_state(&q, &(200..204).collect::<Vec<_>>()),
+            TileState::FullyMasked
+        );
+        assert_eq!(
+            m.tile_state(&q, &(98..102).collect::<Vec<_>>()),
+            TileState::Partial
+        );
     }
 
     #[test]

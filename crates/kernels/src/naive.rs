@@ -66,9 +66,9 @@ pub fn naive_backward(
     // ∇S = P ∘ (∇P − D), D_r = Σ_c P_rc ∇P_rc = rowsum(∇O ∘ O)
     let d = p.rowsum_hadamard(&grad_p);
     let mut grad_s = Mat::zeros(p.rows(), p.cols());
-    for r in 0..p.rows() {
+    for (r, &dr) in d.iter().enumerate() {
         for c in 0..p.cols() {
-            grad_s.set(r, c, p.get(r, c) * (grad_p.get(r, c) - d[r]));
+            grad_s.set(r, c, p.get(r, c) * (grad_p.get(r, c) - dr));
         }
     }
     // ∇Q = scale · ∇S K ; ∇K = scale · ∇Sᵀ Q
@@ -82,8 +82,8 @@ pub fn naive_backward(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use burst_tensor::testutil::{assert_allclose, numerical_grad};
     use burst_tensor::randn_mat;
+    use burst_tensor::testutil::{assert_allclose, numerical_grad};
 
     fn idx(n: usize) -> Vec<usize> {
         (0..n).collect()
@@ -161,7 +161,11 @@ mod tests {
             if r == 2 {
                 assert!(gv.row(r).iter().any(|&x| x != 0.0));
             } else {
-                assert!(gv.row(r).iter().all(|&x| x == 0.0), "row {r} {:?}", gv.row(r));
+                assert!(
+                    gv.row(r).iter().all(|&x| x == 0.0),
+                    "row {r} {:?}",
+                    gv.row(r)
+                );
             }
         }
     }

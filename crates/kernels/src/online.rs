@@ -62,8 +62,16 @@ impl OnlineState {
             let la = self.lse[r];
             let lb = other.lse[r];
             let lnew = Self::merge_lse(la, lb);
-            let wa = if la == f32::NEG_INFINITY { 0.0 } else { (la - lnew).exp() };
-            let wb = if lb == f32::NEG_INFINITY { 0.0 } else { (lb - lnew).exp() };
+            let wa = if la == f32::NEG_INFINITY {
+                0.0
+            } else {
+                (la - lnew).exp()
+            };
+            let wb = if lb == f32::NEG_INFINITY {
+                0.0
+            } else {
+                (lb - lnew).exp()
+            };
             let dst = self.o.row_mut(r);
             let src = other.o.row(r);
             for (d, s) in dst.iter_mut().zip(src) {

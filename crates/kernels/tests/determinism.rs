@@ -1,0 +1,113 @@
+//! Bitwise determinism of the parallel kernels across thread counts.
+//!
+//! The parallel schedules in `flash.rs` and `lmhead.rs` decompose work into
+//! *fixed* row/vocab blocks whose per-destination accumulation order never
+//! depends on how many workers execute them, so the results must be
+//! bit-identical — not merely close — to the serial path at any
+//! `RAYON_NUM_THREADS`. These tests sweep 1, 2, and 8 threads over every
+//! mask kind and compare outputs with `f32::to_bits`.
+//!
+//! The rayon shim re-reads `RAYON_NUM_THREADS` on every call, which is what
+//! lets a single process sweep thread counts. The variable is process-global
+//! state, so everything runs inside one `#[test]` to keep the sweeps from
+//! racing each other under the default parallel test harness.
+
+use burst_kernels::{attn_tile_backward, flash_forward, fused_lm_loss, AttnMask, BlockSparseMask};
+use burst_tensor::randn_mat;
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    std::env::set_var("RAYON_NUM_THREADS", n.to_string());
+    let r = f();
+    std::env::remove_var("RAYON_NUM_THREADS");
+    r
+}
+
+fn assert_bits_eq(a: &[f32], b: &[f32], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: bit mismatch at {i}: {x} vs {y}"
+        );
+    }
+}
+
+fn mask_kinds(n: usize) -> Vec<(&'static str, AttnMask)> {
+    vec![
+        ("full", AttnMask::Full),
+        ("causal", AttnMask::Causal),
+        ("swa", AttnMask::SlidingWindow { window: 24 }),
+        (
+            "dilated",
+            AttnMask::Dilated {
+                window: 32,
+                step: 2,
+            },
+        ),
+        (
+            "blocksparse",
+            AttnMask::BlockSparse(BlockSparseMask::sliding_window_blocks(4, n.div_ceil(4), 2)),
+        ),
+    ]
+}
+
+#[test]
+fn parallel_kernels_bit_identical_across_thread_counts() {
+    // n and d chosen so n·n·d clears the PAR_VOLUME gate (96·96·16 = 147456)
+    // and n is not a multiple of the 32-row block, exercising the ragged
+    // final block under every thread count.
+    let (n, d) = (97usize, 16usize);
+    let q = randn_mat(n, d, 0.6, 11);
+    let k = randn_mat(n, d, 0.6, 12);
+    let v = randn_mat(n, d, 0.6, 13);
+    let grad_o = randn_mat(n, d, 0.4, 14);
+    let idx: Vec<usize> = (0..n).collect();
+    let scale = 1.0 / (d as f32).sqrt();
+
+    for (name, mask) in mask_kinds(n) {
+        let reference = with_threads(1, || {
+            let fwd = flash_forward(&q, &k, &v, scale, &mask, &idx, &idx);
+            let d_vec = grad_o.rowsum_hadamard(&fwd.o);
+            let (dq, dk, dv, _) = attn_tile_backward(
+                &q, &k, &v, &grad_o, &fwd.lse, &d_vec, scale, &mask, &idx, &idx,
+            );
+            (fwd, dq, dk, dv)
+        });
+        for threads in THREADS {
+            let (fwd, dq, dk, dv) = with_threads(threads, || {
+                let fwd = flash_forward(&q, &k, &v, scale, &mask, &idx, &idx);
+                let d_vec = grad_o.rowsum_hadamard(&fwd.o);
+                let (dq, dk, dv, _) = attn_tile_backward(
+                    &q, &k, &v, &grad_o, &fwd.lse, &d_vec, scale, &mask, &idx, &idx,
+                );
+                (fwd, dq, dk, dv)
+            });
+            let tag = format!("flash/{name}/t{threads}");
+            assert_bits_eq(fwd.o.as_slice(), reference.0.o.as_slice(), &tag);
+            assert_bits_eq(&fwd.lse, &reference.0.lse, &tag);
+            assert_bits_eq(dq.as_slice(), reference.1.as_slice(), &tag);
+            assert_bits_eq(dk.as_slice(), reference.2.as_slice(), &tag);
+            assert_bits_eq(dv.as_slice(), reference.3.as_slice(), &tag);
+        }
+    }
+
+    // Fused LM head: 97·512·16 = 794624 clears the gate; both the row-tile
+    // and vocab-tile lists have several blocks.
+    let vocab = 512usize;
+    let h = randn_mat(n, d, 0.7, 15);
+    let w = randn_mat(vocab, d, 0.7, 16);
+    let y: Vec<usize> = (0..n).map(|i| (i * 131) % vocab).collect();
+    let reference = with_threads(1, || fused_lm_loss(&h, &w, &y));
+    for threads in THREADS {
+        let out = with_threads(threads, || fused_lm_loss(&h, &w, &y));
+        let tag = format!("lmhead/t{threads}");
+        assert_eq!(out.loss.to_bits(), reference.loss.to_bits(), "{tag}: loss");
+        assert_bits_eq(&out.losses, &reference.losses, &tag);
+        assert_bits_eq(&out.lse, &reference.lse, &tag);
+        assert_bits_eq(out.grad_h.as_slice(), reference.grad_h.as_slice(), &tag);
+        assert_bits_eq(out.grad_w.as_slice(), reference.grad_w.as_slice(), &tag);
+    }
+}

@@ -1,9 +1,9 @@
 //! Property-based tests of the attention and LM-head kernels against their
 //! explicit-matrix references, under randomised shapes, masks and tilings.
 
+use burst_kernels::flash::flash_forward_with_block;
 use burst_kernels::lmhead::{fused_lm_loss_with_blocks, naive_lm_loss};
 use burst_kernels::naive::{naive_backward, naive_forward};
-use burst_kernels::flash::flash_forward_with_block;
 use burst_kernels::{flash_backward, AttnMask, BlockSparseMask, OnlineState};
 use burst_tensor::testutil::allclose;
 use burst_tensor::{randn_mat, Mat};
@@ -14,14 +14,9 @@ fn arb_mask(n: usize) -> impl Strategy<Value = AttnMask> {
         Just(AttnMask::Full),
         Just(AttnMask::Causal),
         (1usize..n.max(2)).prop_map(|w| AttnMask::SlidingWindow { window: w }),
-        (1usize..n.max(2), 1usize..4)
-            .prop_map(|(w, s)| AttnMask::Dilated { window: w, step: s }),
+        (1usize..n.max(2), 1usize..4).prop_map(|(w, s)| AttnMask::Dilated { window: w, step: s }),
         (1usize..3).prop_map(move |wb| {
-            AttnMask::BlockSparse(BlockSparseMask::sliding_window_blocks(
-                4,
-                n.div_ceil(4),
-                wb,
-            ))
+            AttnMask::BlockSparse(BlockSparseMask::sliding_window_blocks(4, n.div_ceil(4), wb))
         }),
     ]
 }
@@ -102,7 +97,7 @@ proptest! {
         // A deterministic pseudo-shuffle.
         let mut shuffled = forward.clone();
         for i in 0..parts {
-            let j = ((perm_seed as usize + i * 7) % parts) as usize;
+            let j = (perm_seed as usize + i * 7) % parts;
             shuffled.swap(i, j);
         }
         let a = fold(&forward);

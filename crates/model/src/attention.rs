@@ -53,7 +53,13 @@ pub trait AttnExec {
     /// Recompute the attention outputs restricted to global tokens
     /// `< cutoff` (inputs are the local rows below the cutoff, in layout
     /// order). `None` when the backend does not support partial recompute.
-    fn forward_partial(&mut self, _q: &[Mat], _k: &[Mat], _v: &[Mat], _cutoff: usize) -> Option<AttnOut> {
+    fn forward_partial(
+        &mut self,
+        _q: &[Mat],
+        _k: &[Mat],
+        _v: &[Mat],
+        _cutoff: usize,
+    ) -> Option<AttnOut> {
         None
     }
 
@@ -83,7 +89,15 @@ impl AttnExec for LocalExec {
         let mut o = Vec::with_capacity(q.len());
         let mut lse = Vec::with_capacity(q.len());
         for h in 0..q.len() {
-            let out = flash_forward(&q[h], &k[h], &v[h], head_scale(&q[h]), &self.mask, &idx, &idx);
+            let out = flash_forward(
+                &q[h],
+                &k[h],
+                &v[h],
+                head_scale(&q[h]),
+                &self.mask,
+                &idx,
+                &idx,
+            );
             o.push(out.o);
             lse.push(out.lse);
         }
@@ -123,12 +137,26 @@ impl AttnExec for LocalExec {
         (dq, dk, dv)
     }
 
-    fn forward_partial(&mut self, q: &[Mat], k: &[Mat], v: &[Mat], cutoff: usize) -> Option<AttnOut> {
+    fn forward_partial(
+        &mut self,
+        q: &[Mat],
+        k: &[Mat],
+        v: &[Mat],
+        cutoff: usize,
+    ) -> Option<AttnOut> {
         let idx: Vec<usize> = (0..cutoff.min(self.seq_len)).collect();
         let mut o = Vec::with_capacity(q.len());
         let mut lse = Vec::with_capacity(q.len());
         for h in 0..q.len() {
-            let out = flash_forward(&q[h], &k[h], &v[h], head_scale(&q[h]), &self.mask, &idx, &idx);
+            let out = flash_forward(
+                &q[h],
+                &k[h],
+                &v[h],
+                head_scale(&q[h]),
+                &self.mask,
+                &idx,
+                &idx,
+            );
             o.push(out.o);
             lse.push(out.lse);
         }
@@ -191,7 +219,9 @@ impl<'a> DistExec<'a> {
                 let ring = Ring::global(self.comm);
                 ring_forward(self.comm, &ring, &shard)
             }
-            Algo::DoubleRing | Algo::BurstTopo => double_ring::double_ring_forward(self.comm, &shard),
+            Algo::DoubleRing | Algo::BurstTopo => {
+                double_ring::double_ring_forward(self.comm, &shard)
+            }
         };
         (out.o, out.lse)
     }
@@ -250,9 +280,7 @@ impl AttnExec for DistExec<'_> {
                 Algo::DoubleRing => {
                     double_ring::double_ring_backward_alg1(self.comm, &shard, &back)
                 }
-                Algo::BurstTopo => {
-                    double_ring::double_ring_backward_alg2(self.comm, &shard, &back)
-                }
+                Algo::BurstTopo => double_ring::double_ring_backward_alg2(self.comm, &shard, &back),
             };
             dq.push(a);
             dk.push(b);
@@ -261,7 +289,13 @@ impl AttnExec for DistExec<'_> {
         (dq, dk, dv)
     }
 
-    fn forward_partial(&mut self, q: &[Mat], k: &[Mat], v: &[Mat], cutoff: usize) -> Option<AttnOut> {
+    fn forward_partial(
+        &mut self,
+        q: &[Mat],
+        k: &[Mat],
+        v: &[Mat],
+        cutoff: usize,
+    ) -> Option<AttnOut> {
         let mut o = Vec::with_capacity(q.len());
         let mut lse = Vec::with_capacity(q.len());
         for h in 0..q.len() {
@@ -362,7 +396,15 @@ impl AttnExec for UspExec<'_> {
         let topo = UspTopo::new(self.comm, self.ulysses_size);
         let scale = head_scale(&q[0]);
         let (o, saved) = usp_forward(
-            self.comm, &topo, q, k, v, scale, &self.mask, self.seq_len, &self.cost,
+            self.comm,
+            &topo,
+            q,
+            k,
+            v,
+            scale,
+            &self.mask,
+            self.seq_len,
+            &self.cost,
         )
         .expect("USP infeasible for this head/group combination");
         let _ = saved;
@@ -384,11 +426,26 @@ impl AttnExec for UspExec<'_> {
         let scale = head_scale(&q[0]);
         let _ = o;
         let (_, saved) = usp_forward(
-            self.comm, &topo, q, k, v, scale, &self.mask, self.seq_len, &self.cost,
+            self.comm,
+            &topo,
+            q,
+            k,
+            v,
+            scale,
+            &self.mask,
+            self.seq_len,
+            &self.cost,
         )
         .expect("USP infeasible");
         let (dq, dk, dv) = usp_backward(
-            self.comm, &topo, &saved, grad_o, scale, &self.mask, self.seq_len, &self.cost,
+            self.comm,
+            &topo,
+            &saved,
+            grad_o,
+            scale,
+            &self.mask,
+            self.seq_len,
+            &self.cost,
         )
         .expect("USP infeasible");
         (dq, dk, dv)
@@ -467,7 +524,7 @@ impl MultiHeadAttention {
     pub fn new_gqa(d_model: usize, heads: usize, kv_heads: usize, seed: u64) -> Self {
         assert_eq!(d_model % heads, 0, "MHA: d_model must divide by heads");
         assert!(
-            kv_heads > 0 && heads % kv_heads == 0,
+            kv_heads > 0 && heads.is_multiple_of(kv_heads),
             "MHA: heads ({heads}) must divide by kv_heads ({kv_heads})"
         );
         let dh = d_model / heads;

@@ -98,12 +98,7 @@ impl TransformerBlock {
 
     /// Backward through the block; accumulates every parameter gradient and
     /// returns `∇x`.
-    pub fn backward<E: AttnExec>(
-        &mut self,
-        saved: &BlockSaved,
-        grad_y: &Mat,
-        exec: &mut E,
-    ) -> Mat {
+    pub fn backward<E: AttnExec>(&mut self, saved: &BlockSaved, grad_y: &Mat, exec: &mut E) -> Mat {
         // y = h + f(norm2(h))
         let grad_b = self.ffn.backward(&saved.ffn, grad_y);
         let mut grad_h = self.norm2.backward(&saved.norm2, &grad_b);

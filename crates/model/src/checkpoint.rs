@@ -39,7 +39,9 @@ impl AttnCache {
                 o.iter().map(|m| m.nbytes()).sum::<usize>()
                     + lse.iter().map(|l| l.len() * 4).sum::<usize>()
             }
-            AttnCache::Tail { o_tail, lse_tail, .. } => {
+            AttnCache::Tail {
+                o_tail, lse_tail, ..
+            } => {
                 o_tail.iter().map(|m| m.nbytes()).sum::<usize>()
                     + lse_tail.iter().map(|l| l.len() * 4).sum::<usize>()
             }
@@ -157,9 +159,13 @@ pub fn backward_blocks<E: AttnExec>(
     exec: &mut E,
     tracker: &mut MemoryTracker,
 ) -> Mat {
-    assert_eq!(blocks.len(), stored.len(), "backward_blocks: layer mismatch");
+    assert_eq!(
+        blocks.len(),
+        stored.len(),
+        "backward_blocks: layer mismatch"
+    );
     let mut grad = grad_y.clone();
-    for (block, keep) in blocks.iter_mut().zip(stored.into_iter()).rev() {
+    for (block, keep) in blocks.iter_mut().zip(stored).rev() {
         let kept_bytes = keep.nbytes();
         let saved = match keep {
             Stored::Everything(saved) => *saved,

@@ -93,7 +93,10 @@ mod tests {
         for t in 4..=6 {
             losses.push(step(&mut resumed, &cfg, t));
         }
-        assert_eq!(losses, full_losses, "Adam moments must survive the roundtrip");
+        assert_eq!(
+            losses, full_losses,
+            "Adam moments must survive the roundtrip"
+        );
         assert_eq!(resumed.head.w, full.head.w);
     }
 

@@ -213,10 +213,7 @@ pub fn run_rank(
             // The update itself ran on identical replicas above; charge the
             // ZeRO-Offload PCIe round trip for the sharded states.
             let shard = if cfg.fsdp { comm.world_size() } else { 1 };
-            comm.advance_compute(fsdp::offload_step_seconds(
-                cfg.model.param_count(),
-                shard,
-            ));
+            comm.advance_compute(fsdp::offload_step_seconds(cfg.model.param_count(), shard));
         }
         last = Some(out);
     }
@@ -263,8 +260,7 @@ pub fn train(world: &World, cfg: &EngineConfig, steps: usize) -> TrainMetrics {
         f64::INFINITY
     };
     let mfu = if wall_time > 0.0 && cfg.cost.peak_flops.is_finite() {
-        useful_flops(&cfg.model, &cfg.mask) * steps as f64
-            / (wall_time * cfg.cost.peak_flops * g)
+        useful_flops(&cfg.model, &cfg.mask) * steps as f64 / (wall_time * cfg.cost.peak_flops * g)
     } else {
         f64::NAN
     };

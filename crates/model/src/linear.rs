@@ -55,8 +55,8 @@ impl Linear {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use burst_tensor::testutil::{assert_allclose, numerical_grad};
     use burst_tensor::randn_mat;
+    use burst_tensor::testutil::{assert_allclose, numerical_grad};
 
     #[test]
     fn forward_matches_matmul() {

@@ -292,7 +292,11 @@ mod tests {
             let mut exec = LocalExec::new(AttnMask::Causal, cfg.seq_len);
             m.zero_grads();
             let out = m.train_step(&tokens, &targets, &mut exec, Strategy::None, cfg.seq_len);
-            (out.loss_sum, m.head.grad.clone(), m.embed.table.grad.clone())
+            (
+                out.loss_sum,
+                m.head.grad.clone(),
+                m.embed.table.grad.clone(),
+            )
         };
         let (l1, hg1, eg1) = run(true);
         let (l2, hg2, eg2) = run(false);

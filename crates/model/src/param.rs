@@ -93,12 +93,7 @@ mod tests {
             ..AdamCfg::default()
         };
         for t in 1..=400 {
-            for (g, w) in p
-                .grad
-                .as_mut_slice()
-                .iter_mut()
-                .zip(p.w.as_slice().iter())
-            {
+            for (g, w) in p.grad.as_mut_slice().iter_mut().zip(p.w.as_slice().iter()) {
                 *g = w - 3.0;
             }
             p.adam_step(&cfg, t);

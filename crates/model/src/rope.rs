@@ -85,9 +85,8 @@ mod tests {
         // RoPE's defining property: ⟨R(p)q, R(p+k)v⟩ depends only on k.
         let q = randn_mat(1, 8, 1.0, 4);
         let k = randn_mat(1, 8, 1.0, 5);
-        let dot = |a: &Mat, b: &Mat| -> f32 {
-            a.row(0).iter().zip(b.row(0)).map(|(x, y)| x * y).sum()
-        };
+        let dot =
+            |a: &Mat, b: &Mat| -> f32 { a.row(0).iter().zip(b.row(0)).map(|(x, y)| x * y).sum() };
         let s1 = dot(
             &rope_apply(&q, &[10], ROPE_THETA),
             &rope_apply(&k, &[7], ROPE_THETA),

@@ -132,7 +132,10 @@ fn seq_selective_memory_sits_between_full_and_pp_distributed() {
     let seq = mem(Strategy::SeqSelective { rho: 0.5 });
     let pp = mem(Strategy::SelectivePlusPlus);
     let none = mem(Strategy::None);
-    assert!(full < seq && seq < pp && pp < none, "{full} {seq} {pp} {none}");
+    assert!(
+        full < seq && seq < pp && pp < none,
+        "{full} {seq} {pp} {none}"
+    );
 }
 
 #[test]
@@ -175,7 +178,10 @@ fn optimizer_offload_trades_time_for_device_state() {
     let without = train(&world, &off, 2);
     // Same numerics, slower steps, smaller device state.
     assert_eq!(with.losses, without.losses);
-    assert!(without.wall_time > with.wall_time, "offload must cost PCIe time");
+    assert!(
+        without.wall_time > with.wall_time,
+        "offload must cost PCIe time"
+    );
     assert!(without.state_bytes_per_rank < with.state_bytes_per_rank);
 }
 
@@ -184,11 +190,17 @@ fn dilated_mask_trains_distributed() {
     // The §3.4 dilated pattern through the whole stack.
     let world = World::new(Topology::single_node(4));
     let mut c = cfg(Backend::Ring(Algo::BurstTopo));
-    c.mask = AttnMask::Dilated { window: 16, step: 2 };
+    c.mask = AttnMask::Dilated {
+        window: 16,
+        step: 2,
+    };
     let dist = train(&world, &c, 2).losses;
     let mut local = cfg(Backend::Local);
     local.fsdp = false;
-    local.mask = AttnMask::Dilated { window: 16, step: 2 };
+    local.mask = AttnMask::Dilated {
+        window: 16,
+        step: 2,
+    };
     let reference = train(&World::new(Topology::single_node(1)), &local, 2).losses;
     close(&dist, &reference, 5e-3, "dilated");
 }
@@ -215,7 +227,12 @@ fn gradient_accumulation_runs_and_stays_consistent() {
     local.grad_accum = 3;
     local.adam.lr = 3e-3;
     let r = train(&World::new(Topology::single_node(1)), &local, 6);
-    close(&a.losses, &r.losses, 5e-3, "accumulated distributed vs local");
+    close(
+        &a.losses,
+        &r.losses,
+        5e-3,
+        "accumulated distributed vs local",
+    );
 }
 
 #[test]
@@ -248,6 +265,10 @@ fn tgs_accounts_compute_and_comm() {
     let m = train(&world, &c, 2);
     assert!(m.wall_time > 0.0);
     assert!(m.tgs.is_finite() && m.tgs > 0.0);
-    assert!(m.mfu.is_finite() && m.mfu > 0.0 && m.mfu < 1.0, "mfu {}", m.mfu);
+    assert!(
+        m.mfu.is_finite() && m.mfu > 0.0 && m.mfu < 1.0,
+        "mfu {}",
+        m.mfu
+    );
     assert!(m.comm.total_elems() > 0);
 }

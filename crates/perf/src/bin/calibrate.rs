@@ -18,7 +18,11 @@ fn main() {
             match evaluate(&m, &c, &model, &causal, seq) {
                 Ok(e) => println!(
                     "  {:<24} tgs {:8.2}  mfu {:5.1}%  mem {:6.2} GB  step {:7.1}s",
-                    m.name(), e.tgs, e.mfu * 100.0, e.mem_gb, e.step_time
+                    m.name(),
+                    e.tgs,
+                    e.mfu * 100.0,
+                    e.mem_gb,
+                    e.step_time
                 ),
                 Err(e) => println!("  {:<24} {e}", m.name()),
             }
@@ -28,10 +32,24 @@ fn main() {
         for (tag, lm, ck) in [
             ("full+vanilla", LmHeadKind::Vanilla, CkptKind::Full),
             ("pp+vanilla", LmHeadKind::Vanilla, CkptKind::SelectivePP),
-            ("burst", LmHeadKind::Fused, CkptKind::SeqSelective { rho: 0.5 }),
+            (
+                "burst",
+                LmHeadKind::Fused,
+                CkptKind::SeqSelective { rho: 0.5 },
+            ),
         ] {
-            let b = memory(&model, c.world(), local, &MemOptions {
-                fsdp: true, offload_optimizer: false, lm_head: lm, ckpt: ck, comm_state_per_rank: 0.0 });
+            let b = memory(
+                &model,
+                c.world(),
+                local,
+                &MemOptions {
+                    fsdp: true,
+                    offload_optimizer: false,
+                    lm_head: lm,
+                    ckpt: ck,
+                    comm_state_per_rank: 0.0,
+                },
+            );
             println!("    mem[{tag:<13}] = {:6.2} GB  (ckpt {:5.2} head {:5.2} trans {:5.2} buf {:5.2} states {:5.2})",
                 b.total_gb(), b.checkpoints/1e9, b.lm_head/1e9, b.transient/1e9, b.buffers/1e9,
                 (b.weights+b.grads+b.optimizer)/1e9);
@@ -42,15 +60,57 @@ fn main() {
     let m = PaperModel::llama_14b();
     let rows: Vec<(&str, BurstOpts)> = vec![
         ("row1 baseline", BurstOpts::baseline()),
-        ("row2 +bwdopt", BurstOpts { backward_opt: true, ..BurstOpts::baseline() }),
-        ("row3 +topo", BurstOpts { backward_opt: true, topo_ring: true, ..BurstOpts::baseline() }),
-        ("row4 +fuse", BurstOpts { backward_opt: true, topo_ring: true, fused_lm_head: true, ckpt: CkptKind::Full }),
-        ("row5 +seqckpt", BurstOpts { backward_opt: true, topo_ring: true, fused_lm_head: true, ckpt: CkptKind::SeqSelective { rho: 0.5 } }),
-        ("row6 ++", BurstOpts { backward_opt: true, topo_ring: true, fused_lm_head: true, ckpt: CkptKind::SelectivePP }),
+        (
+            "row2 +bwdopt",
+            BurstOpts {
+                backward_opt: true,
+                ..BurstOpts::baseline()
+            },
+        ),
+        (
+            "row3 +topo",
+            BurstOpts {
+                backward_opt: true,
+                topo_ring: true,
+                ..BurstOpts::baseline()
+            },
+        ),
+        (
+            "row4 +fuse",
+            BurstOpts {
+                backward_opt: true,
+                topo_ring: true,
+                fused_lm_head: true,
+                ckpt: CkptKind::Full,
+            },
+        ),
+        (
+            "row5 +seqckpt",
+            BurstOpts {
+                backward_opt: true,
+                topo_ring: true,
+                fused_lm_head: true,
+                ckpt: CkptKind::SeqSelective { rho: 0.5 },
+            },
+        ),
+        (
+            "row6 ++",
+            BurstOpts {
+                backward_opt: true,
+                topo_ring: true,
+                fused_lm_head: true,
+                ckpt: CkptKind::SelectivePP,
+            },
+        ),
     ];
     println!("=== Table 2 (paper: 36.75/38.37/41.69/41.58/47.72/51.68 MFU; 48.47/49.31/48.97/41.45/45.93/53.91 GB) ===");
     for (tag, o) in rows {
         let e = evaluate(&Method::BurstEngine(o), &c, &m, &causal, 1 << 20).unwrap();
-        println!("  {tag:<14} mfu {:5.2}%  tgs {:7.2}  mem {:6.2} GB", e.mfu * 100.0, e.tgs, e.mem_gb);
+        println!(
+            "  {tag:<14} mfu {:5.2}%  tgs {:7.2}  mem {:6.2} GB",
+            e.mfu * 100.0,
+            e.tgs,
+            e.mem_gb
+        );
     }
 }

@@ -36,9 +36,17 @@ pub fn comm_times(cluster: &Cluster, p_bytes: f64) -> CommTimes {
     let g = cluster.world() as f64;
     // A single node has no inter-node hops at all; otherwise one hop per
     // node boundary.
-    let n_inter = if cluster.nodes > 1 { cluster.nodes as f64 } else { 0.0 };
+    let n_inter = if cluster.nodes > 1 {
+        cluster.nodes as f64
+    } else {
+        0.0
+    };
     let t_intra = cluster.nvlink.time(p_bytes);
-    let t_inter = if cluster.nodes > 1 { cluster.nic.time(p_bytes) } else { 0.0 };
+    let t_inter = if cluster.nodes > 1 {
+        cluster.nic.time(p_bytes)
+    } else {
+        0.0
+    };
     let flat_pass = if cluster.nodes > 1 {
         g * t_intra.max(t_inter)
     } else {
@@ -81,8 +89,18 @@ mod tests {
     #[test]
     fn burst_is_fastest_multi_node() {
         let t = layer_comm_times(&cluster(), 1 << 20, 5120);
-        assert!(t.burst < t.double_ring, "burst {} < double {}", t.burst, t.double_ring);
-        assert!(t.double_ring < t.ring, "double {} < ring {}", t.double_ring, t.ring);
+        assert!(
+            t.burst < t.double_ring,
+            "burst {} < double {}",
+            t.burst,
+            t.double_ring
+        );
+        assert!(
+            t.double_ring < t.ring,
+            "double {} < ring {}",
+            t.double_ring,
+            t.ring
+        );
     }
 
     #[test]
@@ -115,7 +133,10 @@ mod tests {
             let t = layer_comm_times(&Cluster::a800(8, 8), seq, 5120);
             t.ring / t.burst
         };
-        assert!(r8 >= r2, "advantage should not shrink: 2 nodes {r2}, 8 nodes {r8}");
+        assert!(
+            r8 >= r2,
+            "advantage should not shrink: 2 nodes {r2}, 8 nodes {r8}"
+        );
     }
 
     #[test]

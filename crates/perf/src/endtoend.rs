@@ -16,7 +16,9 @@
 use crate::commtime;
 use crate::flops;
 use crate::machine::{Cluster, PaperModel};
-use crate::memory::{self, CkptKind, LmHeadKind, MemOptions, COMM_STATE_BMTRAIN, COMM_STATE_PYTORCH};
+use crate::memory::{
+    self, CkptKind, LmHeadKind, MemOptions, COMM_STATE_BMTRAIN, COMM_STATE_PYTORCH,
+};
 use burst_kernels::AttnMask;
 use serde::{Deserialize, Serialize};
 
@@ -154,7 +156,7 @@ fn dense_factor(ckpt: CkptKind) -> f64 {
 pub fn ulysses_group(heads: usize, world: usize) -> usize {
     let mut best = 1;
     for g in 1..=world.min(heads) {
-        if heads % g == 0 && world % g == 0 {
+        if heads.is_multiple_of(g) && world.is_multiple_of(g) {
             best = g;
         }
     }
@@ -205,8 +207,8 @@ fn attention_phase_with_passes(
             // Table 1: the `+2(...)` serial term is the unoverlapped
             // gradient communication.
             let n_inter = cluster.nodes as f64;
-            let two_level_serial = (g - n_inter) * cluster.nvlink.time(p)
-                + n_inter * cluster.nic.time(p);
+            let two_level_serial =
+                (g - n_inter) * cluster.nvlink.time(p) + n_inter * cluster.nic.time(p);
             let overlappable = times.double_ring - 2.0 * two_level_serial;
             (compute, overlappable, 2.0 * two_level_serial)
         }
@@ -241,8 +243,8 @@ fn attention_phase_with_passes(
             if opts.topo_ring {
                 // Two-level rings, everything fine-overlapped.
                 let n_inter = cluster.nodes as f64;
-                let pass = ((g - n_inter) * cluster.nvlink.time(p))
-                    .max(n_inter * cluster.nic.time(p));
+                let pass =
+                    ((g - n_inter) * cluster.nvlink.time(p)).max(n_inter * cluster.nic.time(p));
                 (compute, units * pass, 0.0)
             } else {
                 // Flat ring; Alg. 2 leaves only the ∇Q unit serial, Alg. 1
@@ -398,7 +400,7 @@ pub fn evaluate_with_offload(
 }
 
 /// Fig. 14's attention-only microbenchmark: one attention layer's forward
-/// + backward (no recomputation, no dense path, no FSDP) across the
+/// and backward (no recomputation, no dense path, no FSDP) across the
 /// cluster. Megatron-CP's reported OOM beyond 256K tokens is reproduced by
 /// its implementation's per-step fp32 score/probability chunks
 /// (`(N/G)² × heads × 8 B`), which the online-softmax implementations never
@@ -447,7 +449,7 @@ pub fn evaluate_intra_node_cp(
     tokens_per_gpu: usize,
     opts: BurstOpts,
 ) -> Result<EndToEnd, Infeasible> {
-    assert!(cp > 0 && gpus % cp == 0, "cp must divide the node");
+    assert!(cp > 0 && gpus.is_multiple_of(cp), "cp must divide the node");
     let node = Cluster::a800(1, gpus);
     let cp_cluster = Cluster::a800(1, cp);
     let seq = tokens_per_gpu * cp;
@@ -466,8 +468,7 @@ pub fn evaluate_intra_node_cp(
     }
     // Timing: attention runs on the cp-sized ring over `seq` tokens; the
     // dense path sees `tokens_per_gpu` per GPU.
-    let (attn_c, comm_ov, comm_serial) =
-        attention_phase(&method, &cp_cluster, model, mask, seq);
+    let (attn_c, comm_ov, comm_serial) = attention_phase(&method, &cp_cluster, model, mask, seq);
     let attn_total = (attn_c.max(comm_ov) + comm_serial) * model.layers as f64;
     let dense = flops::dense_flops(model, tokens_per_gpu, dense_factor(opts.ckpt))
         / (node.peak_flops * node.eff_gemm);
@@ -658,9 +659,7 @@ mod tests {
         let c = Cluster::a800(4, 8);
         let m = PaperModel::llama_14b();
         let n = 1 << 20;
-        let row = |o: BurstOpts| {
-            evaluate(&Method::BurstEngine(o), &c, &m, &causal(), n).unwrap()
-        };
+        let row = |o: BurstOpts| evaluate(&Method::BurstEngine(o), &c, &m, &causal(), n).unwrap();
         let r1 = row(BurstOpts::baseline());
         let r2 = row(BurstOpts {
             backward_opt: true,
@@ -698,7 +697,12 @@ mod tests {
         assert!(r2.mfu > r1.mfu, "backward opt: {} > {}", r2.mfu, r1.mfu);
         assert!(r3.mfu > r2.mfu, "topo ring: {} > {}", r3.mfu, r2.mfu);
         // Fusion: memory drops a lot, throughput unchanged.
-        assert!(r4.mem_gb < r3.mem_gb - 5.0, "{} vs {}", r4.mem_gb, r3.mem_gb);
+        assert!(
+            r4.mem_gb < r3.mem_gb - 5.0,
+            "{} vs {}",
+            r4.mem_gb,
+            r3.mem_gb
+        );
         assert!((r4.mfu - r3.mfu).abs() < 0.01);
         // Seq-selective: big MFU gain, moderate memory increase.
         assert!(r5.mfu > 1.10 * r4.mfu, "{} vs {}", r5.mfu, r4.mfu);
@@ -741,8 +745,7 @@ mod tests {
         let m = PaperModel::llama_14b();
         let mut rows = Vec::new();
         for cp in [1usize, 2, 4, 8] {
-            let e = evaluate_intra_node_cp(8, cp, &m, &causal(), 32768, BurstOpts::full())
-                .unwrap();
+            let e = evaluate_intra_node_cp(8, cp, &m, &causal(), 32768, BurstOpts::full()).unwrap();
             rows.push((cp, e));
         }
         for w in rows.windows(2) {
@@ -778,7 +781,10 @@ mod tests {
         let rows = rho_sweep(&c, &m, &causal(), 1 << 20, 4);
         for w in rows.windows(2) {
             assert!(w[1].1.tgs <= w[0].1.tgs + 1e-9, "TGS must fall with ρ");
-            assert!(w[1].1.mem_gb <= w[0].1.mem_gb + 1e-9, "memory must fall with ρ");
+            assert!(
+                w[1].1.mem_gb <= w[0].1.mem_gb + 1e-9,
+                "memory must fall with ρ"
+            );
         }
         // Endpoints coincide with the named strategies.
         let pp = evaluate(

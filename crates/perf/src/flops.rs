@@ -57,8 +57,7 @@ pub fn mfu(
     seq_len: usize,
     step_time: f64,
 ) -> f64 {
-    useful_flops(model, mask, seq_len)
-        / (step_time * cluster.peak_flops * cluster.world() as f64)
+    useful_flops(model, mask, seq_len) / (step_time * cluster.peak_flops * cluster.world() as f64)
 }
 
 /// Tokens per second per GPU.

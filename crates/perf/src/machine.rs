@@ -110,8 +110,8 @@ impl PaperModel {
 
     /// Total parameter count (embeddings + blocks + head).
     pub fn params(&self) -> f64 {
-        let block = 4 * self.d_model * self.d_model + 3 * self.d_model * self.d_ff
-            + 2 * self.d_model;
+        let block =
+            4 * self.d_model * self.d_model + 3 * self.d_model * self.d_ff + 2 * self.d_model;
         (2 * self.vocab * self.d_model + self.layers * block + self.d_model) as f64
     }
 }

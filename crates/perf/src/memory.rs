@@ -157,12 +157,10 @@ pub fn memory(
     // the attention working tensors (q, k, v, o, ∇o, ∇q).
     let d = model.d_model as f64;
     let dff = model.d_ff as f64;
-    let transient =
-        local_tokens * (8.0 * d + 3.0 * dff) * BF16 + 6.0 * local_tokens * d * BF16;
+    let transient = local_tokens * (8.0 * d + 3.0 * dff) * BF16 + 6.0 * local_tokens * d * BF16;
     // Buffers: triple-buffered ring partitions (K, V) + one FSDP-gathered
     // block's weights (double-buffered prefetch).
-    let block_params = (4 * model.d_model * model.d_model
-        + 3 * model.d_model * model.d_ff) as f64;
+    let block_params = (4 * model.d_model * model.d_model + 3 * model.d_model * model.d_ff) as f64;
     let buffers = 3.0 * 2.0 * local_tokens * d * BF16 + 2.0 * block_params * BF16;
     let comm_state = opts.comm_state_per_rank * world as f64;
     let sub = weights + grads + optimizer + checkpoints + lm_head + transient + buffers;
@@ -225,7 +223,10 @@ mod tests {
         // chunked logits.
         let vanilla = memory(&m, 32, local, &opts(CkptKind::Full, LmHeadKind::Vanilla)).total();
         let extra_gb = (vanilla - unfused) / 1e9;
-        assert!((12.0..22.0).contains(&extra_gb), "vanilla upcast {extra_gb} GB");
+        assert!(
+            (12.0..22.0).contains(&extra_gb),
+            "vanilla upcast {extra_gb} GB"
+        );
     }
 
     #[test]

@@ -62,10 +62,7 @@ mod tests {
         for i in 1..1000 {
             let x = (i as f32).sin() * 37.0 + 0.01;
             let r = round_bf16(x);
-            assert!(
-                ((r - x) / x).abs() <= 1.0 / 256.0,
-                "x = {x}, rounded = {r}"
-            );
+            assert!(((r - x) / x).abs() <= 1.0 / 256.0, "x = {x}, rounded = {r}");
         }
     }
 

@@ -5,9 +5,14 @@
 //! The crate deliberately implements only what the attention / transformer
 //! kernels need, but implements it well:
 //!
-//! * [`Mat`] — an owned, row-major 2-D matrix with cache-blocked,
-//!   rayon-parallel matrix products in all transpose variants
-//!   ([`Mat::matmul`], [`Mat::matmul_nt`], [`Mat::matmul_tn`]),
+//! * [`Mat`] — an owned, row-major 2-D matrix with register-blocked,
+//!   cache-tiled, rayon-parallel matrix products in all transpose variants
+//!   ([`Mat::matmul`], [`Mat::matmul_nt`], [`Mat::matmul_tn`]), plus
+//!   allocation-free `_into` variants ([`matmul_into`], [`matmul_nt_into`],
+//!   [`matmul_tn_into`]) over borrowed [`MatRef`] views,
+//! * [`Scratch`] — a reusable workspace the tiled kernels thread through
+//!   their tile loops so steady-state iterations (ring rounds in
+//!   particular) perform zero heap allocations,
 //! * numerically robust row-wise softmax and log-sum-exp ([`Mat::softmax_rows`],
 //!   [`Mat::lse_rows`]) used by the online-softmax machinery,
 //! * deterministic random initialisation ([`random`]),
@@ -22,8 +27,11 @@ pub mod bf16;
 pub mod mat;
 pub mod ops;
 pub mod random;
+pub mod scratch;
 pub mod testutil;
 
 pub use bf16::round_bf16;
-pub use mat::Mat;
+pub use mat::{Mat, MatRef};
+pub use ops::{axpy_rows_slice, matmul_into, matmul_nt_into, matmul_tn_into, tree_sum};
 pub use random::{randn_mat, uniform_mat, SeedStream};
+pub use scratch::Scratch;

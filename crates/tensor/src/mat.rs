@@ -1,14 +1,100 @@
-//! The [`Mat`] type: an owned, row-major, dense `f32` matrix.
+//! The [`Mat`] type: an owned, row-major, dense `f32` matrix, and the
+//! borrowed row-block view [`MatRef`] that lets kernels slice operands
+//! without copying.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// A borrowed, row-major, dense `f32` matrix view.
+///
+/// `MatRef` is what the tiled kernels consume: a row block of a [`Mat`]
+/// (`q.rows_view(r0, r1)`) is a `MatRef` borrowing the parent's storage, so
+/// tiling never copies operands — the allocation the old
+/// [`Mat::slice_rows`]-based tile loops paid on every tile.
+#[derive(Clone, Copy, Debug)]
+pub struct MatRef<'a> {
+    rows: usize,
+    cols: usize,
+    data: &'a [f32],
+}
+
+impl<'a> MatRef<'a> {
+    /// View over raw row-major storage. Panics if the slice length is not
+    /// `rows * cols`.
+    #[track_caller]
+    pub fn from_slice(rows: usize, cols: usize, data: &'a [f32]) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "MatRef::from_slice: data length {} != {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        MatRef { rows, cols, data }
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    pub fn as_slice(&self) -> &'a [f32] {
+        self.data
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    #[track_caller]
+    pub fn row(&self, r: usize) -> &'a [f32] {
+        debug_assert!(r < self.rows, "MatRef::row out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Sub-view of rows `[start, end)` (no copy).
+    #[inline]
+    #[track_caller]
+    pub fn rows_view(&self, start: usize, end: usize) -> MatRef<'a> {
+        assert!(
+            start <= end && end <= self.rows,
+            "MatRef::rows_view: invalid range {start}..{end} of {} rows",
+            self.rows
+        );
+        MatRef {
+            rows: end - start,
+            cols: self.cols,
+            data: &self.data[start * self.cols..end * self.cols],
+        }
+    }
+
+    /// An owning copy.
+    pub fn to_mat(&self) -> Mat {
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.to_vec(),
+        }
+    }
+}
+
+impl<'a> From<&'a Mat> for MatRef<'a> {
+    fn from(m: &'a Mat) -> Self {
+        m.view()
+    }
+}
 
 /// An owned, row-major, dense `f32` matrix.
 ///
 /// `Mat` is the workhorse of the whole reproduction: query/key/value
 /// partitions, attention probabilities, gradients and parameter shards are
 /// all `Mat`s. Element `(r, c)` lives at `data[r * cols + c]`.
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Mat {
     rows: usize,
     cols: usize,
@@ -156,6 +242,63 @@ impl Mat {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Borrowed view of the whole matrix.
+    #[inline]
+    pub fn view(&self) -> MatRef<'_> {
+        MatRef {
+            rows: self.rows,
+            cols: self.cols,
+            data: &self.data,
+        }
+    }
+
+    /// Borrowed view of rows `[start, end)` — the no-copy counterpart of
+    /// [`Mat::slice_rows`].
+    #[inline]
+    #[track_caller]
+    pub fn rows_view(&self, start: usize, end: usize) -> MatRef<'_> {
+        assert!(
+            start <= end && end <= self.rows,
+            "Mat::rows_view: invalid range {start}..{end} of {} rows",
+            self.rows
+        );
+        MatRef {
+            rows: end - start,
+            cols: self.cols,
+            data: &self.data[start * self.cols..end * self.cols],
+        }
+    }
+
+    /// Resize to `rows × cols` zeros, reusing the backing allocation when
+    /// its capacity suffices. This is the primitive behind
+    /// [`Scratch`](crate::Scratch): after a warm-up round, scratch matrices
+    /// cycle through shapes without touching the heap.
+    pub fn reshape_in_place(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// `self[row0 + r] += alpha * src[r]` for every row of `src` — in-place
+    /// accumulation of a row block scaled by `alpha`, without materialising
+    /// the scaled operand.
+    #[track_caller]
+    pub fn axpy_rows(&mut self, row0: usize, alpha: f32, src: &Mat) {
+        assert_eq!(self.cols, src.cols, "Mat::axpy_rows: col mismatch");
+        assert!(
+            row0 + src.rows <= self.rows,
+            "Mat::axpy_rows: rows {}..{} out of {}",
+            row0,
+            row0 + src.rows,
+            self.rows
+        );
+        let dst = &mut self.data[row0 * self.cols..(row0 + src.rows) * self.cols];
+        for (d, s) in dst.iter_mut().zip(&src.data) {
+            *d += alpha * s;
+        }
+    }
+
     /// Copy of rows `[start, end)` as a new matrix.
     #[track_caller]
     pub fn slice_rows(&self, start: usize, end: usize) -> Mat {
@@ -176,7 +319,10 @@ impl Mat {
     pub fn gather_rows(&self, idx: &[usize]) -> Mat {
         let mut out = Mat::zeros(idx.len(), self.cols);
         for (dst, &src) in idx.iter().enumerate() {
-            assert!(src < self.rows, "Mat::gather_rows: index {src} out of bounds");
+            assert!(
+                src < self.rows,
+                "Mat::gather_rows: index {src} out of bounds"
+            );
             out.row_mut(dst).copy_from_slice(self.row(src));
         }
         out
@@ -190,7 +336,10 @@ impl Mat {
         assert_eq!(idx.len(), src.rows, "scatter_add_rows: index/src mismatch");
         assert_eq!(self.cols, src.cols, "scatter_add_rows: col mismatch");
         for (k, &dst) in idx.iter().enumerate() {
-            assert!(dst < self.rows, "scatter_add_rows: index {dst} out of bounds");
+            assert!(
+                dst < self.rows,
+                "scatter_add_rows: index {dst} out of bounds"
+            );
             let row = src.row(k);
             let out = self.row_mut(dst);
             for (o, s) in out.iter_mut().zip(row) {
@@ -210,8 +359,7 @@ impl Mat {
             start + src.rows,
             self.rows
         );
-        self.data[start * self.cols..(start + src.rows) * self.cols]
-            .copy_from_slice(&src.data);
+        self.data[start * self.cols..(start + src.rows) * self.cols].copy_from_slice(&src.data);
     }
 
     /// Stack matrices vertically (all must share `cols`).
@@ -239,8 +387,7 @@ impl Mat {
         for p in parts {
             assert_eq!(p.rows, rows, "Mat::hstack: row mismatch");
             for r in 0..rows {
-                out.data[r * cols + off..r * cols + off + p.cols]
-                    .copy_from_slice(p.row(r));
+                out.data[r * cols + off..r * cols + off + p.cols].copy_from_slice(p.row(r));
             }
             off += p.cols;
         }
@@ -257,8 +404,7 @@ impl Mat {
         );
         let mut out = Mat::zeros(self.rows, end - start);
         for r in 0..self.rows {
-            out.row_mut(r)
-                .copy_from_slice(&self.row(r)[start..end]);
+            out.row_mut(r).copy_from_slice(&self.row(r)[start..end]);
         }
         out
     }
@@ -358,6 +504,47 @@ mod tests {
             assert_eq!(acc.row(i), m.row(i));
         }
         assert_eq!(acc.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn views_borrow_without_copying() {
+        let m = Mat::from_fn(6, 3, |r, c| (r * 3 + c) as f32);
+        let v = m.view();
+        assert_eq!((v.rows(), v.cols()), m.shape());
+        let blk = m.rows_view(2, 5);
+        assert_eq!(blk.rows(), 3);
+        assert_eq!(blk.row(0), m.row(2));
+        assert_eq!(blk.rows_view(1, 3).row(0), m.row(3));
+        assert_eq!(blk.to_mat(), m.slice_rows(2, 5));
+        // Views alias the parent storage.
+        assert_eq!(v.as_slice().as_ptr(), m.as_slice().as_ptr());
+    }
+
+    #[test]
+    fn reshape_in_place_reuses_capacity() {
+        let mut m = Mat::from_fn(8, 8, |_, _| 1.0);
+        let cap = m.data.capacity();
+        let ptr = m.data.as_ptr();
+        m.reshape_in_place(4, 6);
+        assert_eq!(m.shape(), (4, 6));
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+        assert_eq!(m.data.capacity(), cap);
+        assert_eq!(m.data.as_ptr(), ptr);
+        // Growing past capacity still works (may reallocate).
+        m.reshape_in_place(16, 16);
+        assert_eq!(m.shape(), (16, 16));
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn axpy_rows_accumulates_scaled_block() {
+        let mut acc = Mat::from_fn(4, 2, |r, c| (r * 2 + c) as f32);
+        let src = Mat::from_fn(2, 2, |r, c| (r + c) as f32 + 1.0);
+        acc.axpy_rows(1, 2.0, &src);
+        assert_eq!(acc.row(0), &[0.0, 1.0]);
+        assert_eq!(acc.row(1), &[2.0 + 2.0, 3.0 + 4.0]);
+        assert_eq!(acc.row(2), &[4.0 + 4.0, 5.0 + 6.0]);
+        assert_eq!(acc.row(3), &[6.0, 7.0]);
     }
 
     #[test]

@@ -1,16 +1,40 @@
 //! Linear algebra and reduction kernels on [`Mat`].
 //!
-//! Matrix products are cache-blocked and parallelised over row blocks with
-//! rayon. The blocking constant is tuned for L1-resident inner tiles on
-//! typical x86 cores; correctness never depends on it.
+//! Matrix products go through one set of register-blocked micro-kernels
+//! (see [`nt_micro`] and friends): 4×4 output blocks with sixteen
+//! independent accumulators, K-tiled so the streamed operands stay
+//! L1-resident, written so LLVM autovectorizes the inner loops. Dispatch is
+//! cache-blocked over output row blocks and parallelised with rayon above a
+//! volume threshold.
+//!
+//! Every product has two entry points: the owned `Mat` method
+//! (`a.matmul(&b)`) and an `_into` free function
+//! ([`matmul_into`], [`matmul_nt_into`], [`matmul_tn_into`]) that writes
+//! into a caller-provided [`Mat`], reusing its allocation via
+//! [`Mat::reshape_in_place`]. Both run the identical kernel, and each
+//! output element accumulates its products in a fixed ascending-k order
+//! regardless of how rows are grouped or which thread runs the block — so
+//! results are bit-identical across thread counts and entry points.
 
-use crate::mat::Mat;
+use crate::mat::{Mat, MatRef};
 use rayon::prelude::*;
 
-/// Row-block size used to split work across rayon tasks.
+/// Row-block size used to split work across rayon tasks. Must stay a
+/// multiple of [`MR`] so serial and parallel dispatch group rows into the
+/// same 4-row quads.
 const PAR_ROW_BLOCK: usize = 32;
-/// Inner-dimension tile for the matmul micro-kernels.
-const K_TILE: usize = 64;
+/// Register-block row edge: micro-kernels process `MR` output rows at once.
+const MR: usize = 4;
+/// Column width of the output-stationary register tile in [`nn_micro`] /
+/// [`tn_micro`] (two 8-lane SIMD registers per output row).
+const NR: usize = 16;
+/// Emulated SIMD width: reduction accumulators in [`nt_micro`] are
+/// `[f32; VL]` arrays whose element-wise update LLVM lowers to one FMA.
+const VL: usize = 8;
+/// Column edge of the `nt` register block. `MR × NTC` vector accumulators
+/// must fit the 16 architectural SIMD registers with room for operands;
+/// 4×4 spills.
+const NTC: usize = 2;
 
 /// Smallest matrix volume (`m * n * k`) worth parallelising; below this the
 /// rayon fork/join overhead dominates.
@@ -20,80 +44,24 @@ impl Mat {
     /// `C = A · B` (`self` is A). Panics on inner-dimension mismatch.
     #[track_caller]
     pub fn matmul(&self, b: &Mat) -> Mat {
-        assert_eq!(
-            self.cols(),
-            b.rows(),
-            "matmul: inner dims {}x{} · {}x{}",
-            self.rows(),
-            self.cols(),
-            b.rows(),
-            b.cols()
-        );
-        let (m, k, n) = (self.rows(), self.cols(), b.cols());
-        let mut out = Mat::zeros(m, n);
-        let run = |rows: &mut [f32], r0: usize, len: usize| {
-            matmul_nn_block(self, b, rows, r0, len, k, n);
-        };
-        run_blocked(&mut out, m, m * n * k, run);
+        let mut out = Mat::default();
+        matmul_into(self.view(), b.view(), &mut out);
         out
     }
 
     /// `C = A · Bᵀ` — the attention-score product `Q Kᵀ` without forming `Kᵀ`.
     #[track_caller]
     pub fn matmul_nt(&self, b: &Mat) -> Mat {
-        assert_eq!(
-            self.cols(),
-            b.cols(),
-            "matmul_nt: inner dims {}x{} · ({}x{})ᵀ",
-            self.rows(),
-            self.cols(),
-            b.rows(),
-            b.cols()
-        );
-        let (m, k, n) = (self.rows(), self.cols(), b.rows());
-        let mut out = Mat::zeros(m, n);
-        let run = |rows: &mut [f32], r0: usize, len: usize| {
-            matmul_nt_block(self, b, rows, r0, len, k, n);
-        };
-        run_blocked(&mut out, m, m * n * k, run);
+        let mut out = Mat::default();
+        matmul_nt_into(self.view(), b.view(), &mut out);
         out
     }
 
     /// `C = Aᵀ · B` — gradient products like `Pᵀ ∇O` without forming `Aᵀ`.
     #[track_caller]
     pub fn matmul_tn(&self, b: &Mat) -> Mat {
-        assert_eq!(
-            self.rows(),
-            b.rows(),
-            "matmul_tn: inner dims ({}x{})ᵀ · {}x{}",
-            self.rows(),
-            self.cols(),
-            b.rows(),
-            b.cols()
-        );
-        let (m, k, n) = (self.cols(), self.rows(), b.cols());
-        // Aᵀ·B accumulates along rows of both: compute as sum_r a[r]ᵀ ⊗ b[r].
-        // Parallelise over output row blocks (columns of A).
-        let a = self;
-        let mut out = Mat::zeros(m, n);
-        if m * n * k >= PAR_THRESHOLD && m >= 2 {
-            let blocks: Vec<(usize, usize)> = row_blocks(m);
-            let cols_n = n;
-            let parts: Vec<Mat> = blocks
-                .par_iter()
-                .map(|&(r0, len)| {
-                    let mut part = Mat::zeros(len, cols_n);
-                    matmul_tn_block(a, b, part.as_mut_slice(), r0, len, k, n);
-                    part
-                })
-                .collect();
-            for (&(r0, _), part) in blocks.iter().zip(&parts) {
-                out.set_rows(r0, part);
-            }
-        } else {
-            let (o, r0, len) = (out.as_mut_slice(), 0, m);
-            matmul_tn_block(a, b, o, r0, len, k, n);
-        }
+        let mut out = Mat::default();
+        matmul_tn_into(self.view(), b.view(), &mut out);
         out
     }
 
@@ -160,7 +128,11 @@ impl Mat {
     /// `D = rowsum(∇O ∘ O)` reduction of Algorithms 1–2.
     #[track_caller]
     pub fn rowsum_hadamard(&self, other: &Mat) -> Vec<f32> {
-        assert_eq!(self.shape(), other.shape(), "rowsum_hadamard: shape mismatch");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "rowsum_hadamard: shape mismatch"
+        );
         (0..self.rows())
             .map(|r| {
                 self.row(r)
@@ -201,28 +173,43 @@ impl Mat {
     /// Fully masked rows (all `-inf`) produce `-inf`, which the online-softmax
     /// merge treats as "no mass yet".
     pub fn lse_rows(&self) -> Vec<f32> {
-        (0..self.rows())
-            .map(|r| {
-                let row = self.row(r);
-                let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-                if !max.is_finite() {
-                    return f32::NEG_INFINITY;
-                }
-                let sum: f32 = row.iter().map(|v| (v - max).exp()).sum();
-                max + sum.ln()
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.lse_rows_into(&mut out);
+        out
+    }
+
+    /// [`Mat::lse_rows`] into a caller-provided vector, reusing its
+    /// allocation (the per-tile LSE buffer of [`Scratch`](crate::Scratch)).
+    pub fn lse_rows_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.extend((0..self.rows()).map(|r| {
+            let row = self.row(r);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            if !max.is_finite() {
+                return f32::NEG_INFINITY;
+            }
+            let sum: f32 = row.iter().map(|v| (v - max).exp()).sum();
+            max + sum.ln()
+        }));
     }
 
     /// Subtract a per-row scalar and exponentiate: `exp(self[r,c] - s[r])`.
     /// This is the `P = exp(S - Lse)` step shared by Algorithms 1–3.
     #[track_caller]
     pub fn exp_sub_rowwise(&self, s: &[f32]) -> Mat {
-        assert_eq!(self.rows(), s.len(), "exp_sub_rowwise: row count mismatch");
         let mut out = self.clone();
-        for r in 0..out.rows() {
-            let shift = s[r];
-            for v in out.row_mut(r) {
+        out.exp_sub_rowwise_inplace(s);
+        out
+    }
+
+    /// In-place [`Mat::exp_sub_rowwise`]: overwrite `S` with
+    /// `P = exp(S - Lse)` instead of allocating a probability matrix — the
+    /// score tile doubles as the probability tile in the tiled kernels.
+    #[track_caller]
+    pub fn exp_sub_rowwise_inplace(&mut self, s: &[f32]) {
+        assert_eq!(self.rows(), s.len(), "exp_sub_rowwise: row count mismatch");
+        for (r, &shift) in s.iter().enumerate() {
+            for v in self.row_mut(r) {
                 // exp(-inf - -inf) must be 0, not NaN: a masked row has no mass.
                 *v = if v.is_finite() || shift.is_finite() {
                     (*v - shift).exp()
@@ -231,7 +218,6 @@ impl Mat {
                 };
             }
         }
-        out
     }
 
     /// Frobenius norm.
@@ -259,18 +245,104 @@ impl Mat {
     }
 }
 
-fn row_blocks(m: usize) -> Vec<(usize, usize)> {
-    let mut blocks = Vec::new();
-    let mut r = 0;
-    while r < m {
-        let len = PAR_ROW_BLOCK.min(m - r);
-        blocks.push((r, len));
-        r += len;
+/// `C = A · B` into a caller-provided matrix; `out` is reshaped to `m × n`
+/// in place (zero heap traffic once its capacity has reached steady state).
+#[track_caller]
+pub fn matmul_into(a: MatRef<'_>, b: MatRef<'_>, out: &mut Mat) {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul: inner dims {}x{} · {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    out.reshape_in_place(m, n);
+    run_blocked(out, m, m * n * k, |rows, r0, len| {
+        matmul_nn_block(a, b, rows, r0, len, n);
+    });
+}
+
+/// `C = A · Bᵀ` into a caller-provided matrix (see [`matmul_into`]).
+#[track_caller]
+pub fn matmul_nt_into(a: MatRef<'_>, b: MatRef<'_>, out: &mut Mat) {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "matmul_nt: inner dims {}x{} · ({}x{})ᵀ",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, k, n) = (a.rows(), a.cols(), b.rows());
+    out.reshape_in_place(m, n);
+    run_blocked(out, m, m * n * k, |rows, r0, len| {
+        matmul_nt_block(a, b, rows, r0, len, n);
+    });
+}
+
+/// `C = Aᵀ · B` into a caller-provided matrix (see [`matmul_into`]).
+/// Output rows index columns of `A`, so row blocks are independent and the
+/// same dispatch applies.
+#[track_caller]
+pub fn matmul_tn_into(a: MatRef<'_>, b: MatRef<'_>, out: &mut Mat) {
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "matmul_tn: inner dims ({}x{})ᵀ · {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, k, n) = (a.cols(), a.rows(), b.cols());
+    out.reshape_in_place(m, n);
+    run_blocked(out, m, m * n * k, |rows, c0, len| {
+        matmul_tn_block(a, b, rows, c0, len, n);
+    });
+}
+
+/// `dst[row0..][..src.rows()] += alpha · src`, where `dst` is the raw
+/// row-major storage of a matrix with `src.cols()` columns.
+///
+/// The tiled kernels accumulate per-tile products into gradient buffers
+/// through this; it takes a raw slice (not [`Mat`]) so parallel passes can
+/// hand each task a disjoint `split_at_mut` region of one output.
+pub fn axpy_rows_slice(dst: &mut [f32], row0: usize, alpha: f32, src: &Mat) {
+    let w = src.cols();
+    let dst = &mut dst[row0 * w..(row0 + src.rows()) * w];
+    for (d, s) in dst.iter_mut().zip(src.as_slice()) {
+        *d += alpha * s;
     }
-    blocks
+}
+
+/// Deterministic pairwise (tree) reduction of a slice. The association is a
+/// fixed balanced split, so the result depends only on the input — not on
+/// chunking, thread count, or accumulation order of the producer.
+pub fn tree_sum(xs: &[f32]) -> f32 {
+    match xs.len() {
+        0 => 0.0,
+        1 => xs[0],
+        2 => xs[0] + xs[1],
+        len => {
+            let (lo, hi) = xs.split_at(len / 2);
+            tree_sum(lo) + tree_sum(hi)
+        }
+    }
 }
 
 /// Dispatch a row-blocked kernel either serially or across rayon tasks.
+///
+/// The parallel path hands each `PAR_ROW_BLOCK`-row chunk to a task; the
+/// serial path runs one call covering all rows. Because every kernel
+/// processes rows in [`MR`]-row quads *relative to the chunk start* and
+/// `PAR_ROW_BLOCK % MR == 0`, both paths group the same global rows into
+/// the same quads, and each output element sees the same ascending-k
+/// accumulation either way — results are bit-identical across thread
+/// counts.
 fn run_blocked(
     out: &mut Mat,
     m: usize,
@@ -292,58 +364,281 @@ fn run_blocked(
     }
 }
 
-/// `out[r0..r0+len] += A[r0..] · B`, tiled over k.
-fn matmul_nn_block(a: &Mat, b: &Mat, out: &mut [f32], r0: usize, len: usize, k: usize, n: usize) {
-    for kk in (0..k).step_by(K_TILE) {
-        let kend = (kk + K_TILE).min(k);
-        for r in 0..len {
-            let arow = &a.row(r0 + r)[kk..kend];
-            let orow = &mut out[r * n..(r + 1) * n];
-            for (ki, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = b.row(kk + ki);
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
+/// Fixed-order pairwise reduction of one emulated vector register. The
+/// association is baked into the code, so the value never depends on how
+/// the caller was dispatched.
+#[inline(always)]
+fn hsum8(v: [f32; VL]) -> f32 {
+    ((v[0] + v[1]) + (v[2] + v[3])) + ((v[4] + v[5]) + (v[6] + v[7]))
+}
+
+/// `R × C` register-blocked panel of `A · Bᵀ`: accumulate
+/// `out[or0+p][c0+q] += Σ_k a[r0+p][k] · b[c0+q][k]`.
+///
+/// A plain dot product is one serial FP add chain, which LLVM cannot
+/// vectorize (float addition is not associative). Each accumulator here is
+/// an emulated 8-lane vector (`[f32; VL]`) updated element-wise over
+/// `VL`-wide chunks of `k` — that's a single SIMD FMA per chunk — and the
+/// `R*C` accumulators give the FPU independent chains to overlap. Lanes are
+/// combined by the fixed-order [`hsum8`] at the end, and any `k % VL` tail
+/// accumulates into lane 0, so the value for a given output element depends
+/// only on this code path — never on `R`, `C`, or the dispatch that chose
+/// them. This is where the scores (`Q Kᵀ`) and logits (`H Wᵀ`) products get
+/// their speedup.
+#[inline(always)]
+fn nt_micro<const R: usize, const C: usize>(
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    out: &mut [f32],
+    n: usize,
+    r0: usize,
+    or0: usize,
+    c0: usize,
+) {
+    let k = a.cols();
+    let arows: [&[f32]; R] = std::array::from_fn(|p| &a.row(r0 + p)[..k]);
+    let brows: [&[f32]; C] = std::array::from_fn(|q| &b.row(c0 + q)[..k]);
+    let mut acc = [[[0.0f32; VL]; C]; R];
+    let whole = k - k % VL;
+    let mut i = 0;
+    while i < whole {
+        for p in 0..R {
+            for q in 0..C {
+                let av = &arows[p][i..i + VL];
+                let bv = &brows[q][i..i + VL];
+                for l in 0..VL {
+                    acc[p][q][l] += av[l] * bv[l];
                 }
             }
+        }
+        i += VL;
+    }
+    while i < k {
+        for p in 0..R {
+            for q in 0..C {
+                acc[p][q][0] += arows[p][i] * brows[q][i];
+            }
+        }
+        i += 1;
+    }
+    for p in 0..R {
+        for q in 0..C {
+            out[(or0 + p) * n + c0 + q] += hsum8(acc[p][q]);
         }
     }
 }
 
-/// `out[r0..r0+len] += A[r0..] · Bᵀ` — rows of B are contiguous, so each
-/// output element is a dot product of two contiguous slices.
-fn matmul_nt_block(a: &Mat, b: &Mat, out: &mut [f32], r0: usize, len: usize, k: usize, n: usize) {
-    debug_assert_eq!(k, a.cols());
-    for r in 0..len {
-        let arow = a.row(r0 + r);
-        let orow = &mut out[r * n..(r + 1) * n];
-        for (c, o) in orow.iter_mut().enumerate() {
-            let brow = b.row(c);
-            let mut acc = 0.0f32;
-            for (x, y) in arow.iter().zip(brow) {
-                acc += x * y;
+/// `R × NR` output-stationary panel of `A · B`: the `R`-row,
+/// `NR`-column output tile lives in registers across the whole `k` loop;
+/// each step broadcasts `a[r0+p][i]` against a contiguous `NR`-wide slice
+/// of row `b[i]`. Output memory is touched exactly once per tile and each
+/// streamed `B` slice is reused `R` times from registers.
+// Index-form loops are deliberate here: the accumulation order is part of
+// the determinism contract and the codegen is tuned around this exact shape.
+#[allow(clippy::needless_range_loop)]
+#[inline(always)]
+fn nn_micro<const R: usize>(
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    out: &mut [f32],
+    n: usize,
+    r0: usize,
+    or0: usize,
+    c0: usize,
+) {
+    let k = a.cols();
+    let arows: [&[f32]; R] = std::array::from_fn(|p| &a.row(r0 + p)[..k]);
+    let mut acc = [[0.0f32; NR]; R];
+    for i in 0..k {
+        let brow = &b.row(i)[c0..c0 + NR];
+        for p in 0..R {
+            let x = arows[p][i];
+            for l in 0..NR {
+                acc[p][l] += x * brow[l];
             }
-            *o = acc;
+        }
+    }
+    for p in 0..R {
+        let orow = &mut out[(or0 + p) * n + c0..(or0 + p) * n + c0 + NR];
+        for l in 0..NR {
+            orow[l] += acc[p][l];
         }
     }
 }
 
-/// `out[r0..r0+len] += (Aᵀ · B)[r0..]` where `out` rows index columns of A.
-fn matmul_tn_block(a: &Mat, b: &Mat, out: &mut [f32], c0: usize, len: usize, k: usize, n: usize) {
-    debug_assert_eq!(k, a.rows());
-    for r in 0..k {
-        let arow = &a.row(r)[c0..c0 + len];
-        let brow = b.row(r);
-        for (i, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let orow = &mut out[i * n..(i + 1) * n];
+/// Column remainder of [`nn_micro`] (`cn < NR` trailing columns):
+/// accumulates straight into `out` in the same ascending-`k` order. Only
+/// runs when `n % NR != 0`, so its throughput is irrelevant.
+#[allow(clippy::needless_range_loop, clippy::too_many_arguments)]
+#[inline(always)]
+fn nn_micro_tail<const R: usize>(
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    out: &mut [f32],
+    n: usize,
+    r0: usize,
+    or0: usize,
+    c0: usize,
+    cn: usize,
+) {
+    let k = a.cols();
+    let arows: [&[f32]; R] = std::array::from_fn(|p| &a.row(r0 + p)[..k]);
+    for i in 0..k {
+        let brow = &b.row(i)[c0..c0 + cn];
+        for p in 0..R {
+            let x = arows[p][i];
+            let orow = &mut out[(or0 + p) * n + c0..(or0 + p) * n + c0 + cn];
             for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
+                *o += x * bv;
             }
+        }
+    }
+}
+
+/// `R × NR` output-stationary panel of `Aᵀ · B` (outer-product
+/// accumulation): structure mirrors [`nn_micro`] with the broadcast taken
+/// from a column of `A`; output rows `[i0, i0+R)` gather
+/// `Σ_r a[r][ac0+i0+p] · b[r][c0..c0+NR]` in ascending-`r` order.
+#[inline(always)]
+fn tn_micro<const R: usize>(
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    out: &mut [f32],
+    n: usize,
+    ac0: usize,
+    i0: usize,
+    c0: usize,
+) {
+    let k = a.rows();
+    let mut acc = [[0.0f32; NR]; R];
+    for r in 0..k {
+        let arow = a.row(r);
+        let brow = &b.row(r)[c0..c0 + NR];
+        for p in 0..R {
+            let x = arow[ac0 + i0 + p];
+            for l in 0..NR {
+                acc[p][l] += x * brow[l];
+            }
+        }
+    }
+    for p in 0..R {
+        let orow = &mut out[(i0 + p) * n + c0..(i0 + p) * n + c0 + NR];
+        for l in 0..NR {
+            orow[l] += acc[p][l];
+        }
+    }
+}
+
+/// Column remainder of [`tn_micro`], analogous to [`nn_micro_tail`].
+#[allow(clippy::needless_range_loop, clippy::too_many_arguments)]
+#[inline(always)]
+fn tn_micro_tail<const R: usize>(
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    out: &mut [f32],
+    n: usize,
+    ac0: usize,
+    i0: usize,
+    c0: usize,
+    cn: usize,
+) {
+    let k = a.rows();
+    for r in 0..k {
+        let arow = a.row(r);
+        let brow = &b.row(r)[c0..c0 + cn];
+        for p in 0..R {
+            let x = arow[ac0 + i0 + p];
+            let orow = &mut out[(i0 + p) * n + c0..(i0 + p) * n + c0 + cn];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += x * bv;
+            }
+        }
+    }
+}
+
+/// `out[0..len] += A[r0..r0+len] · B`, in `MR`-row quads relative to `r0`
+/// and `NR`-column register tiles.
+fn matmul_nn_block(a: MatRef<'_>, b: MatRef<'_>, out: &mut [f32], r0: usize, len: usize, n: usize) {
+    let cwhole = n - n % NR;
+    let mut r = 0;
+    while r < len {
+        let mut c = 0;
+        if r + MR <= len {
+            while c < cwhole {
+                nn_micro::<MR>(a, b, out, n, r0 + r, r, c);
+                c += NR;
+            }
+            if c < n {
+                nn_micro_tail::<MR>(a, b, out, n, r0 + r, r, c, n - c);
+            }
+            r += MR;
+        } else {
+            while c < cwhole {
+                nn_micro::<1>(a, b, out, n, r0 + r, r, c);
+                c += NR;
+            }
+            if c < n {
+                nn_micro_tail::<1>(a, b, out, n, r0 + r, r, c, n - c);
+            }
+            r += 1;
+        }
+    }
+}
+
+/// `out[0..len] += A[r0..r0+len] · Bᵀ`, in `MR × NTC` register blocks
+/// (eight 8-lane accumulators — small enough to stay in registers).
+fn matmul_nt_block(a: MatRef<'_>, b: MatRef<'_>, out: &mut [f32], r0: usize, len: usize, n: usize) {
+    let mut r = 0;
+    while r + MR <= len {
+        let mut c = 0;
+        while c + NTC <= n {
+            nt_micro::<MR, NTC>(a, b, out, n, r0 + r, r, c);
+            c += NTC;
+        }
+        while c < n {
+            nt_micro::<MR, 1>(a, b, out, n, r0 + r, r, c);
+            c += 1;
+        }
+        r += MR;
+    }
+    while r < len {
+        let mut c = 0;
+        while c + NTC <= n {
+            nt_micro::<1, NTC>(a, b, out, n, r0 + r, r, c);
+            c += NTC;
+        }
+        while c < n {
+            nt_micro::<1, 1>(a, b, out, n, r0 + r, r, c);
+            c += 1;
+        }
+        r += 1;
+    }
+}
+
+/// `out[0..len] += (Aᵀ · B)[c0..c0+len]` where `out` rows index columns of A.
+fn matmul_tn_block(a: MatRef<'_>, b: MatRef<'_>, out: &mut [f32], c0: usize, len: usize, n: usize) {
+    let cwhole = n - n % NR;
+    let mut i = 0;
+    while i < len {
+        let mut c = 0;
+        if i + MR <= len {
+            while c < cwhole {
+                tn_micro::<MR>(a, b, out, n, c0, i, c);
+                c += NR;
+            }
+            if c < n {
+                tn_micro_tail::<MR>(a, b, out, n, c0, i, c, n - c);
+            }
+            i += MR;
+        } else {
+            while c < cwhole {
+                tn_micro::<1>(a, b, out, n, c0, i, c);
+                c += NR;
+            }
+            if c < n {
+                tn_micro_tail::<1>(a, b, out, n, c0, i, c, n - c);
+            }
+            i += 1;
         }
     }
 }
@@ -447,9 +742,9 @@ mod tests {
     fn lse_matches_log_of_sum() {
         let m = arange(4, 6, 2.0);
         let lse = m.lse_rows();
-        for r in 0..4 {
+        for (r, &l) in lse.iter().enumerate() {
             let direct: f32 = m.row(r).iter().map(|v| v.exp()).sum::<f32>().ln();
-            assert!((lse[r] - direct).abs() < 1e-5);
+            assert!((l - direct).abs() < 1e-5);
         }
     }
 
@@ -493,5 +788,91 @@ mod tests {
     fn argmax_rows_picks_max() {
         let m = Mat::from_vec(2, 3, vec![0.1, 0.9, 0.3, 5.0, -1.0, 2.0]);
         assert_eq!(m.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn into_variants_match_owned_bitwise_and_reuse_allocation() {
+        use crate::ops::{matmul_into, matmul_nt_into, matmul_tn_into};
+        let a = arange(37, 29, 0.7);
+        let b = arange(29, 23, 1.1);
+        let bt = arange(23, 29, 1.1);
+        let at = arange(29, 37, 0.7);
+
+        let mut out = Mat::zeros(64, 64); // larger than any result below
+        let ptr = out.as_slice().as_ptr();
+
+        matmul_into(a.view(), b.view(), &mut out);
+        assert_eq!(out, a.matmul(&b));
+        matmul_nt_into(a.view(), bt.view(), &mut out);
+        assert_eq!(out, a.matmul_nt(&bt));
+        matmul_tn_into(at.view(), b.view(), &mut out);
+        assert_eq!(out, at.matmul_tn(&b));
+        // Every product above fit in the original capacity: no reallocation.
+        assert_eq!(out.as_slice().as_ptr(), ptr);
+    }
+
+    #[test]
+    fn into_variants_accept_row_views() {
+        use crate::ops::matmul_nt_into;
+        let a = arange(24, 16, 0.5);
+        let b = arange(40, 16, 0.9);
+        let mut out = Mat::default();
+        matmul_nt_into(a.rows_view(8, 20), b.rows_view(4, 36), &mut out);
+        assert_eq!(out, a.slice_rows(8, 20).matmul_nt(&b.slice_rows(4, 36)));
+    }
+
+    #[test]
+    fn quad_grouping_is_consistent_across_block_splits() {
+        // A 40-row product crosses the 32-row parallel block boundary, so
+        // rows 32..40 land in a second chunk; results must still be
+        // bit-identical to computing each row block separately, because
+        // quads are aligned to multiples of MR from each chunk start and
+        // PAR_ROW_BLOCK % MR == 0.
+        let a = arange(40, 64, 0.6);
+        let b = arange(48, 64, 0.9);
+        let whole = a.matmul_nt(&b);
+        for split in [4, 12, 32] {
+            let top = a.slice_rows(0, split).matmul_nt(&b);
+            let bot = a.slice_rows(split, 40).matmul_nt(&b);
+            let mut glued = Mat::zeros(40, 48);
+            glued.set_rows(0, &top);
+            glued.set_rows(split, &bot);
+            assert_eq!(glued, whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn tree_sum_matches_sequential_within_tolerance() {
+        use crate::ops::tree_sum;
+        assert_eq!(tree_sum(&[]), 0.0);
+        assert_eq!(tree_sum(&[2.5]), 2.5);
+        assert_eq!(tree_sum(&[1.0, 2.0]), 3.0);
+        let xs: Vec<f32> = (0..1000)
+            .map(|i| ((i * 37) % 101) as f32 * 0.01 - 0.5)
+            .collect();
+        let seq: f32 = xs.iter().sum();
+        let tree = tree_sum(&xs);
+        assert!((seq - tree).abs() < 1e-3, "seq {seq} vs tree {tree}");
+        // Determinism: identical association every call.
+        assert_eq!(tree.to_bits(), tree_sum(&xs).to_bits());
+    }
+
+    #[test]
+    fn exp_sub_rowwise_inplace_matches_allocating_variant() {
+        let m = arange(6, 9, 2.0);
+        let lse = m.lse_rows();
+        let mut inplace = m.clone();
+        inplace.exp_sub_rowwise_inplace(&lse);
+        assert_eq!(inplace, m.exp_sub_rowwise(&lse));
+    }
+
+    #[test]
+    fn lse_rows_into_reuses_buffer() {
+        let m = arange(8, 5, 1.5);
+        let mut buf = Vec::with_capacity(16);
+        let ptr = buf.as_ptr();
+        m.lse_rows_into(&mut buf);
+        assert_eq!(buf, m.lse_rows());
+        assert_eq!(buf.as_ptr(), ptr);
     }
 }

@@ -1,0 +1,103 @@
+//! Reusable kernel workspace.
+//!
+//! The tiled attention and LM-head kernels need a handful of temporaries per
+//! tile (score matrix, probability matrix, partial gradients, per-tile LSE).
+//! Allocating them per tile dominated small-tile runtime and — worse — made
+//! every ring round in the distributed loops pay a fresh set of heap
+//! allocations. A [`Scratch`] owns those temporaries; callers thread one
+//! through a whole pass (or keep one per ring participant) and each tile
+//! reshapes the buffers in place via [`Mat::reshape_in_place`], which reuses
+//! the backing `Vec` capacity. After the first round every buffer has
+//! reached its steady-state size, so subsequent rounds perform zero heap
+//! allocations in the tile-compute path.
+
+use crate::Mat;
+
+/// Pre-sized temporaries for the tiled kernels.
+///
+/// Field roles (shapes are per-tile and set by `reshape_in_place`):
+///
+/// * `score` — attention scores / probabilities (`bq × bk`), or a logits
+///   tile in the LM head (`bs × bv`); doubles as `dS` in the backward pass
+///   since `dS` overwrites `P` element-wise.
+/// * `gp` — `dP = dO · Vᵀ` in the attention backward (`bq × bk`).
+/// * `gtmp` — small dense products accumulated into caller outputs:
+///   `P · V`, `dS · K`, `dSᵀ · Q`, `dL · W`, … (`b × d`).
+/// * `tile_lse` — per-row log-sum-exp of the current tile.
+/// * `tile_max` — per-row score maximum of the current tile (the online
+///   merge weights an unnormalised tile by `exp(max − lse_new)`).
+/// * `vtiles` — retained per-vocab-tile probability matrices for the fused
+///   LM head (forward writes, backward re-reads); each slot is itself
+///   reshaped in place across calls.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    pub score: Mat,
+    pub gp: Mat,
+    pub gtmp: Mat,
+    pub tile_lse: Vec<f32>,
+    pub tile_max: Vec<f32>,
+    pub vtiles: Vec<Mat>,
+}
+
+impl Scratch {
+    /// An empty workspace; buffers grow to steady-state sizes on first use.
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+
+    /// Resize `tile_lse` to `n` entries of `fill` without shrinking the
+    /// allocation.
+    pub fn lse_fill(&mut self, n: usize, fill: f32) -> &mut [f32] {
+        self.tile_lse.clear();
+        self.tile_lse.resize(n, fill);
+        &mut self.tile_lse
+    }
+
+    /// Make sure `vtiles` has at least `n` slots (empty `Mat`s are cheap;
+    /// they inflate lazily on first reshape).
+    pub fn ensure_vtiles(&mut self, n: usize) {
+        if self.vtiles.len() < n {
+            self.vtiles.resize_with(n, Mat::default);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_reach_steady_state() {
+        let mut s = Scratch::new();
+        s.score.reshape_in_place(32, 64);
+        let cap = s.score.as_slice().len();
+        let ptr = s.score.as_slice().as_ptr();
+        // Any smaller-or-equal reshape reuses the same allocation.
+        s.score.reshape_in_place(16, 64);
+        s.score.reshape_in_place(32, 32);
+        assert_eq!(s.score.as_slice().as_ptr(), ptr);
+        assert!(s.score.as_slice().len() <= cap);
+    }
+
+    #[test]
+    fn lse_fill_resizes_and_fills() {
+        let mut s = Scratch::new();
+        let l = s.lse_fill(5, f32::NEG_INFINITY);
+        assert_eq!(l.len(), 5);
+        assert!(l.iter().all(|x| *x == f32::NEG_INFINITY));
+        let l = s.lse_fill(3, 0.0);
+        assert_eq!(l.len(), 3);
+        assert!(l.iter().all(|x| *x == 0.0));
+    }
+
+    #[test]
+    fn ensure_vtiles_grows_only() {
+        let mut s = Scratch::new();
+        s.ensure_vtiles(4);
+        assert_eq!(s.vtiles.len(), 4);
+        s.vtiles[2].reshape_in_place(8, 8);
+        s.ensure_vtiles(2);
+        assert_eq!(s.vtiles.len(), 4);
+        assert_eq!(s.vtiles[2].shape(), (8, 8));
+    }
+}

@@ -20,7 +20,13 @@ pub fn allclose(a: &Mat, b: &Mat, atol: f32, rtol: f32) -> bool {
 /// (absolute, with a matching relative term).
 #[track_caller]
 pub fn assert_allclose(a: &Mat, b: &Mat, tol: f32, ctx: &str) {
-    assert_eq!(a.shape(), b.shape(), "{ctx}: shape {:?} vs {:?}", a.shape(), b.shape());
+    assert_eq!(
+        a.shape(),
+        b.shape(),
+        "{ctx}: shape {:?} vs {:?}",
+        a.shape(),
+        b.shape()
+    );
     let mut worst = 0.0f32;
     let mut worst_at = 0;
     for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {

@@ -6,8 +6,7 @@ use proptest::prelude::*;
 
 fn small_mat(max_dim: usize) -> impl Strategy<Value = Mat> {
     (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
-        proptest::collection::vec(-4.0f32..4.0, r * c)
-            .prop_map(move |v| Mat::from_vec(r, c, v))
+        proptest::collection::vec(-4.0f32..4.0, r * c).prop_map(move |v| Mat::from_vec(r, c, v))
     })
 }
 

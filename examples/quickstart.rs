@@ -10,8 +10,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use burstengine::prelude::*;
 use burstengine::kernels::flash_forward;
+use burstengine::prelude::*;
 
 fn main() {
     let n = 256; // global sequence length
@@ -60,7 +60,10 @@ fn main() {
         worst = worst.max(diff);
     }
     println!("max |distributed − single-device| over all ranks: {worst:.2e}");
-    assert!(worst < 1e-3, "distributed attention must match the reference");
+    assert!(
+        worst < 1e-3,
+        "distributed attention must match the reference"
+    );
 
     // Communication accounting (the 3Nd + 2N claim of Algorithm 2).
     let s = outs[0].stats;

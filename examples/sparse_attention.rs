@@ -57,7 +57,10 @@ fn main() {
     for (name, mask) in [
         ("dense masking", AttnMask::Full),
         ("causal", AttnMask::Causal),
-        ("sliding window (32)", AttnMask::SlidingWindow { window: 32 }),
+        (
+            "sliding window (32)",
+            AttnMask::SlidingWindow { window: 32 },
+        ),
     ] {
         println!("-- {name} --");
         let mut base = 0.0;
@@ -71,7 +74,11 @@ fn main() {
                 base = t;
             }
             let max = per_rank.iter().cloned().fold(0.0, f64::max);
-            print!("  {lname:<11} makespan {:>8.1} µs ({:>4.2}x)  per-rank load:", t * 1e6, base / t);
+            print!(
+                "  {lname:<11} makespan {:>8.1} µs ({:>4.2}x)  per-rank load:",
+                t * 1e6,
+                base / t
+            );
             for r in &per_rank {
                 print!(" {:>3.0}%", r / max * 100.0);
             }

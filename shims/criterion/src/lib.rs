@@ -1,0 +1,348 @@
+//! Offline subset of `criterion` (see `shims/README.md`).
+//!
+//! A real (if simplified) wall-clock micro-benchmark harness: warm-up, then
+//! `sample_size` samples sized to fill `measurement_time`, reporting
+//! `[min median max]` per benchmark to stdout. Honours a positional CLI
+//! filter argument like upstream (`cargo bench -p burst-bench -- flash`).
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+pub mod measurement {
+    /// Marker type: wall-clock time (the only measurement supported).
+    pub struct WallTime;
+}
+
+/// Benchmark identifier: optional function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::new(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function: Some(s.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId {
+            function: Some(s),
+            parameter: None,
+        }
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // First positional (non-flag) CLI argument is a substring filter;
+        // flags cargo passes to bench binaries (e.g. `--bench`) are ignored.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+            samples: 20,
+            _measurement: std::marker::PhantomData,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id: BenchmarkId = id.into();
+        let full = id.render();
+        run_benchmark(
+            &full,
+            self.filter.as_deref(),
+            Duration::from_millis(500),
+            Duration::from_secs(2),
+            20,
+            &mut f,
+        );
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    criterion: &'a mut Criterion,
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl<'a, M> BenchmarkGroup<'a, M> {
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.samples = n;
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.render());
+        run_benchmark(
+            &full,
+            self.criterion.filter.as_deref(),
+            self.warm_up,
+            self.measurement,
+            self.samples,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id: BenchmarkId = id.into();
+        let full = format!("{}/{}", self.name, id.render());
+        run_benchmark(
+            &full,
+            self.criterion.filter.as_deref(),
+            self.warm_up,
+            self.measurement,
+            self.samples,
+            &mut f,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` times the supplied routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn time_once<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+/// Run one benchmark and print a summary line. Public only for the macros'
+/// sake; not part of the mimicked API.
+pub fn run_benchmark<F>(
+    full_name: &str,
+    filter: Option<&str>,
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+    f: &mut F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(pat) = filter {
+        if !full_name.contains(pat) {
+            return;
+        }
+    }
+    // Warm-up: double iteration count until the warm-up budget is spent;
+    // this also estimates per-iteration cost.
+    let mut iters = 1u64;
+    let mut spent = Duration::ZERO;
+    let mut last = Duration::ZERO;
+    while spent < warm_up {
+        last = time_once(f, iters);
+        spent += last;
+        if spent >= warm_up {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+    let per_iter = last.as_secs_f64() / iters as f64;
+    // Size each sample so all samples together fill the measurement budget.
+    let budget = measurement.as_secs_f64() / samples as f64;
+    let sample_iters = ((budget / per_iter.max(1e-9)) as u64).max(1);
+    let mut per_iter_times: Vec<f64> = (0..samples)
+        .map(|_| time_once(f, sample_iters).as_secs_f64() / sample_iters as f64)
+        .collect();
+    per_iter_times.sort_by(|a, b| a.total_cmp(b));
+    let lo = per_iter_times[0];
+    let mid = per_iter_times[per_iter_times.len() / 2];
+    let hi = per_iter_times[per_iter_times.len() - 1];
+    println!(
+        "{full_name:<56} time: [{} {} {}]  ({} samples × {} iters)",
+        fmt_time(lo),
+        fmt_time(mid),
+        fmt_time(hi),
+        samples,
+        sample_iters
+    );
+}
+
+/// Median per-iteration seconds for an ad-hoc measurement (used by the
+/// `export_json --kernels` baseline emitter; not a real criterion API).
+pub fn measure_median_secs<O, F: FnMut() -> O>(
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+    mut routine: F,
+) -> f64 {
+    let mut f = |b: &mut Bencher| b.iter(&mut routine);
+    let mut iters = 1u64;
+    let mut spent = Duration::ZERO;
+    let mut last = Duration::ZERO;
+    while spent < warm_up {
+        last = time_once(&mut f, iters);
+        spent += last;
+        if spent >= warm_up {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+    let per_iter = last.as_secs_f64() / iters as f64;
+    let budget = measurement.as_secs_f64() / samples as f64;
+    let sample_iters = ((budget / per_iter.max(1e-9)) as u64).max(1);
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| time_once(&mut f, sample_iters).as_secs_f64() / sample_iters as f64)
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+fn fmt_time(secs: f64) -> String {
+    let mut out = String::new();
+    if secs >= 1.0 {
+        let _ = write!(out, "{secs:.3} s");
+    } else if secs >= 1e-3 {
+        let _ = write!(out, "{:.3} ms", secs * 1e3);
+    } else if secs >= 1e-6 {
+        let _ = write!(out, "{:.3} µs", secs * 1e6);
+    } else {
+        let _ = write!(out, "{:.1} ns", secs * 1e9);
+    }
+    out
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let median = measure_median_secs(
+            Duration::from_millis(5),
+            Duration::from_millis(20),
+            5,
+            || {
+                let mut acc = 0u64;
+                for i in 0..1000u64 {
+                    acc = acc.wrapping_add(black_box(i * i));
+                }
+                acc
+            },
+        );
+        assert!(median > 0.0 && median < 0.1, "median {median}");
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("flash", 4096).render(), "flash/4096");
+        assert_eq!(BenchmarkId::from_parameter(8).render(), "8");
+        assert_eq!(BenchmarkId::from("plain").render(), "plain");
+    }
+}

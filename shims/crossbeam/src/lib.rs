@@ -1,0 +1,68 @@
+//! Offline subset of `crossbeam` (see `shims/README.md`): just
+//! `channel::{unbounded, Sender, Receiver}`, backed by `std::sync::mpsc`.
+//!
+//! `std::sync::mpsc::Receiver` is single-consumer, which matches how the
+//! simulated cluster uses its channel matrix (each `(src, dst)` receiver is
+//! owned by exactly one rank thread).
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    // mpsc::Sender is Clone but its derive-free impl requires a manual
+    // forwarding impl here so `Sender<T>: Clone` without `T: Clone`.
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> Sender<T> {
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    /// Unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn roundtrip_across_threads() {
+        let (tx, rx) = unbounded::<usize>();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || {
+            tx2.send(41).unwrap();
+            tx.send(1).unwrap();
+        });
+        assert_eq!(rx.recv().unwrap() + rx.recv().unwrap(), 42);
+    }
+}

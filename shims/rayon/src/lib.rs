@@ -1,0 +1,289 @@
+//! Offline subset of `rayon` (see `shims/README.md`).
+//!
+//! Backed by `std::thread::scope` rather than a persistent work-stealing
+//! pool: each parallel call spawns scoped OS threads, partitions work into
+//! **fixed, thread-count-independent chunks**, and joins. That is slower to
+//! launch than real rayon but has one property this workspace leans on:
+//! because work decomposition never depends on the number of workers, any
+//! kernel whose per-chunk math is deterministic is automatically
+//! bit-identical across `RAYON_NUM_THREADS` settings.
+//!
+//! `current_num_threads` re-reads `RAYON_NUM_THREADS` on *every* call
+//! (upstream rayon latches it at pool construction), which lets tests sweep
+//! thread counts within a single process.
+
+/// Number of worker threads parallel calls may use right now.
+///
+/// Honours `RAYON_NUM_THREADS` (re-read on each call); falls back to the
+/// machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = match hb.join() {
+            Ok(v) => v,
+            Err(panic) => std::panic::resume_unwind(panic),
+        };
+        (ra, rb)
+    })
+}
+
+/// Distribute `n` work items over up to `current_num_threads()` workers.
+/// `run(lo, hi)` processes items `lo..hi`; item ranges are contiguous and
+/// in order, so side effects into disjoint per-item slots are deterministic.
+fn for_each_span<F: Fn(usize, usize) + Sync>(n: usize, run: F) {
+    if n == 0 {
+        return;
+    }
+    let workers = current_num_threads().min(n);
+    if workers <= 1 {
+        run(0, n);
+        return;
+    }
+    let per = n.div_ceil(workers);
+    std::thread::scope(|s| {
+        let run = &run;
+        for w in 0..workers {
+            let lo = w * per;
+            let hi = (lo + per).min(n);
+            if lo >= hi {
+                break;
+            }
+            s.spawn(move || run(lo, hi));
+        }
+    });
+}
+
+pub mod iter {
+    use super::for_each_span;
+    use std::sync::Mutex;
+
+    /// `&[T] -> par_iter()`.
+    pub trait IntoParallelRefIterator<'data> {
+        type Item: 'data;
+        type Iter;
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = &'data T;
+        type Iter = ParIter<'data, T>;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { slice: self }
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = &'data T;
+        type Iter = ParIter<'data, T>;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { slice: self }
+        }
+    }
+
+    pub struct ParIter<'data, T> {
+        slice: &'data [T],
+    }
+
+    impl<'data, T: Sync> ParIter<'data, T> {
+        pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+        where
+            F: Fn(&'data T) -> R + Sync,
+            R: Send,
+        {
+            ParMap {
+                slice: self.slice,
+                f,
+            }
+        }
+
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&'data T) + Sync,
+        {
+            let slice = self.slice;
+            for_each_span(slice.len(), |lo, hi| {
+                for item in &slice[lo..hi] {
+                    f(item);
+                }
+            });
+        }
+    }
+
+    pub struct ParMap<'data, T, F> {
+        slice: &'data [T],
+        f: F,
+    }
+
+    impl<'data, T: Sync, F> ParMap<'data, T, F> {
+        /// Collect mapped results **in input order** (parallelism never
+        /// changes the output sequence).
+        pub fn collect<C, R>(self) -> C
+        where
+            F: Fn(&'data T) -> R + Sync,
+            R: Send,
+            C: FromParVec<R>,
+        {
+            let n = self.slice.len();
+            let workers = super::current_num_threads().min(n.max(1));
+            if workers <= 1 {
+                return C::from_par_vec(self.slice.iter().map(&self.f).collect());
+            }
+            let per = n.div_ceil(workers);
+            let slice = self.slice;
+            let f = &self.f;
+            let parts: Vec<Vec<R>> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .filter_map(|w| {
+                        let lo = w * per;
+                        let hi = (lo + per).min(n);
+                        (lo < hi).then(|| {
+                            s.spawn(move || slice[lo..hi].iter().map(f).collect::<Vec<R>>())
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            let mut out = Vec::with_capacity(n);
+            for p in parts {
+                out.extend(p);
+            }
+            C::from_par_vec(out)
+        }
+    }
+
+    /// Targets of `ParMap::collect` (stands in for `FromParallelIterator`).
+    pub trait FromParVec<R> {
+        fn from_par_vec(v: Vec<R>) -> Self;
+    }
+
+    impl<R> FromParVec<R> for Vec<R> {
+        fn from_par_vec(v: Vec<R>) -> Self {
+            v
+        }
+    }
+
+    /// `&mut [T] -> par_chunks_mut(n)`.
+    pub trait ParallelSliceMut<T: Send> {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+            assert!(chunk_size > 0, "chunk size must be non-zero");
+            ParChunksMut {
+                slice: self,
+                chunk_size,
+            }
+        }
+    }
+
+    pub struct ParChunksMut<'data, T> {
+        slice: &'data mut [T],
+        chunk_size: usize,
+    }
+
+    impl<'data, T: Send> ParChunksMut<'data, T> {
+        pub fn enumerate(self) -> EnumeratedChunksMut<'data, T> {
+            EnumeratedChunksMut {
+                slice: self.slice,
+                chunk_size: self.chunk_size,
+            }
+        }
+
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&mut [T]) + Sync,
+        {
+            self.enumerate().for_each(|(_, chunk)| f(chunk));
+        }
+    }
+
+    pub struct EnumeratedChunksMut<'data, T> {
+        slice: &'data mut [T],
+        chunk_size: usize,
+    }
+
+    impl<'data, T: Send> EnumeratedChunksMut<'data, T> {
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn((usize, &mut [T])) + Sync,
+        {
+            let chunks: Vec<(usize, Mutex<&mut [T]>)> = self
+                .slice
+                .chunks_mut(self.chunk_size)
+                .enumerate()
+                .map(|(i, c)| (i, Mutex::new(c)))
+                .collect();
+            for_each_span(chunks.len(), |lo, hi| {
+                for (i, cell) in &chunks[lo..hi] {
+                    let mut guard = cell.lock().unwrap();
+                    f((*i, &mut guard));
+                }
+            });
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::{FromParVec, IntoParallelRefIterator, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 2 + 2, || "x".repeat(3));
+        assert_eq!(a, 4);
+        assert_eq!(b, "xxx");
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_all_in_order() {
+        let mut v = vec![0usize; 103];
+        v.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for (j, x) in chunk.iter_mut().enumerate() {
+                *x = i * 10 + j;
+            }
+        });
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i);
+        }
+    }
+
+    #[test]
+    fn par_map_collect_preserves_order() {
+        let input: Vec<usize> = (0..257).collect();
+        let out: Vec<usize> = input.par_iter().map(|&x| x * 3).collect();
+        assert_eq!(out.len(), input.len());
+        for (i, x) in out.iter().enumerate() {
+            assert_eq!(*x, i * 3);
+        }
+    }
+}

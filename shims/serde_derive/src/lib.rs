@@ -1,0 +1,394 @@
+//! Offline `#[derive(Serialize, Deserialize)]` for the serde shim
+//! (see `shims/README.md`).
+//!
+//! Hand-parses the item's token stream (no `syn`/`quote`) and emits impls of
+//! the shim's `Value`-tree traits. Supports exactly what this workspace
+//! derives on:
+//!
+//! * structs with named fields (private fields fine — impls are generated in
+//!   the defining crate),
+//! * enums with unit, tuple, and struct variants,
+//! * no generic parameters, no `#[serde(...)]` attributes.
+//!
+//! Encoding matches real serde's externally-tagged default, so e.g.
+//! `CkptKind::SeqSelective { rho: 0.5 }` becomes
+//! `{"SeqSelective": {"rho": 0.5}}` and unit variants become plain strings.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: bad generated code")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: bad generated code")
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Named-field struct: field names in declaration order.
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VFields,
+}
+
+enum VFields {
+    Unit,
+    /// Tuple variant with this many fields.
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tts: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tts, &mut i);
+    let keyword = expect_ident(&tts, &mut i);
+    let name = expect_ident(&tts, &mut i);
+    if matches!(&tts.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type `{name}` not supported");
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match tts.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(parse_named_fields(g.stream()))
+            }
+            other => {
+                panic!("serde_derive shim: struct `{name}` must have named fields, found {other:?}")
+            }
+        },
+        "enum" => match tts.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive shim: enum `{name}` has no body, found {other:?}"),
+        },
+        kw => panic!("serde_derive shim: cannot derive on `{kw}` items"),
+    };
+    Item { name, kind }
+}
+
+/// Skip any number of `#[...]` attributes and an optional `pub` /
+/// `pub(...)` visibility prefix.
+fn skip_attrs_and_vis(tts: &[TokenTree], i: &mut usize) {
+    loop {
+        match tts.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tts.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tts: &[TokenTree], i: &mut usize) -> String {
+    match tts.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive shim: expected identifier, found {other:?}"),
+    }
+}
+
+/// Parse `name: Type, ...` from inside a brace group. Commas nested in
+/// `<...>` (multi-parameter generics) are not separators, so angle depth is
+/// tracked explicitly; bracket-like groups are single tokens already.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tts: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&tts, &mut i);
+        if i >= tts.len() {
+            break;
+        }
+        let name = expect_ident(&tts, &mut i);
+        match tts.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                panic!("serde_derive shim: expected `:` after field `{name}`, found {other:?}")
+            }
+        }
+        let mut angle = 0i32;
+        while let Some(tt) = tts.get(i) {
+            if let TokenTree::Punct(p) = tt {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tts: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&tts, &mut i);
+        if i >= tts.len() {
+            break;
+        }
+        let name = expect_ident(&tts, &mut i);
+        let fields = match tts.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VFields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VFields::Named(parse_named_fields(g.stream()))
+            }
+            _ => VFields::Unit,
+        };
+        match tts.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                panic!("serde_derive shim: explicit discriminants not supported")
+            }
+            other => {
+                panic!("serde_derive shim: unexpected token after variant `{name}`: {other:?}")
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+/// Count comma-separated types in a tuple variant's parenthesised list.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tts: Vec<TokenTree> = stream.into_iter().collect();
+    if tts.is_empty() {
+        return 0;
+    }
+    let mut angle = 0i32;
+    let mut count = 1;
+    let mut trailing_comma = false;
+    for tt in &tts {
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    count += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+// --------------------------------------------------------------- codegen
+
+const HEADER: &str =
+    "#[automatically_derived]\n#[allow(clippy::all, unused_variables, unreachable_patterns, non_shorthand_field_patterns)]\n";
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", pairs.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| ser_arm(name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "{HEADER}impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n}}\n"
+    )
+}
+
+fn ser_arm(name: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.fields {
+        VFields::Unit => format!(
+            "{name}::{vn} => ::serde::Value::String(::std::string::String::from(\"{vn}\")),"
+        ),
+        VFields::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+            let inner = if *n == 1 {
+                "::serde::Serialize::to_value(__f0)".to_string()
+            } else {
+                let elems: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "))
+            };
+            format!(
+                "{name}::{vn}({}) => ::serde::Value::Object(::std::vec![\
+                 (::std::string::String::from(\"{vn}\"), {inner})]),",
+                binds.join(", ")
+            )
+        }
+        VFields::Named(fields) => {
+            let binds = fields.join(", ");
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(::std::vec![\
+                 (::std::string::String::from(\"{vn}\"), \
+                 ::serde::Value::Object(::std::vec![{}]))]),",
+                pairs.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(__v.field(\"{f}\")?)?"))
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::Enum(variants) => gen_enum_de(name, variants),
+    };
+    format!(
+        "{HEADER}impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n}}\n"
+    )
+}
+
+fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, VFields::Unit))
+        .map(|v| {
+            format!(
+                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),",
+                vn = v.name
+            )
+        })
+        .collect();
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let vn = &v.name;
+            match &v.fields {
+                VFields::Unit => None,
+                VFields::Tuple(1) => Some(format!(
+                    "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                     ::serde::Deserialize::from_value(__inner)?)),"
+                )),
+                VFields::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Deserialize::from_value(&__arr[{k}])?"))
+                        .collect();
+                    Some(format!(
+                        "\"{vn}\" => {{ \
+                         let __arr = __inner.as_array().ok_or_else(|| \
+                         ::serde::DeError::custom(\"expected array for variant {vn}\"))?; \
+                         if __arr.len() != {n} {{ return ::std::result::Result::Err(\
+                         ::serde::DeError::custom(\"wrong arity for variant {vn}\")); }} \
+                         ::std::result::Result::Ok({name}::{vn}({})) }}",
+                        elems.join(", ")
+                    ))
+                }
+                VFields::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 __inner.field(\"{f}\")?)?"
+                            )
+                        })
+                        .collect();
+                    Some(format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {} }}),",
+                        inits.join(", ")
+                    ))
+                }
+            }
+        })
+        .collect();
+    format!(
+        "match __v {{ \
+         ::serde::Value::String(__s) => match __s.as_str() {{ \
+         {} \
+         __other => ::std::result::Result::Err(::serde::DeError::custom(\
+         ::std::format!(\"unknown unit variant `{{__other}}` for {name}\"))), \
+         }}, \
+         ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{ \
+         let (__tag, __inner) = &__pairs[0]; \
+         match __tag.as_str() {{ \
+         {} \
+         __other => ::std::result::Result::Err(::serde::DeError::custom(\
+         ::std::format!(\"unknown variant `{{__other}}` for {name}\"))), \
+         }} }}, \
+         __other => ::std::result::Result::Err(::serde::DeError::custom(\
+         ::std::format!(\"bad encoding for enum {name}\"))), \
+         }}",
+        unit_arms.join(" "),
+        tagged_arms.join(" ")
+    )
+}

@@ -1,0 +1,491 @@
+//! Offline subset of `serde_json` (see `shims/README.md`).
+//!
+//! Serializes the serde shim's [`Value`] tree to JSON text and parses it
+//! back. Floats are printed with Rust's shortest-roundtrip formatting, so
+//! `f32`/`f64` values survive a round-trip bit-exactly (the checkpoint tests
+//! rely on this). Integral floats print without a fractional part.
+
+pub use serde::Value;
+use serde::{DeError, Deserialize, Serialize};
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(String);
+
+impl Error {
+    fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error(e.to_string())
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+// -------------------------------------------------------------- encoding
+
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(*n, out),
+        Value::String(s) => write_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_number(n: f64, out: &mut String) {
+    use std::fmt::Write;
+    if !n.is_finite() {
+        // The serde shim encodes non-finite floats as strings before they
+        // reach here; a bare non-finite number has no JSON form.
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 1e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        // `{:?}` is Rust's shortest representation that round-trips f64.
+        let _ = write!(out, "{n:?}");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// -------------------------------------------------------------- decoding
+
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let value = parse_value_str(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::msg(e.to_string()))?;
+    from_str(s)
+}
+
+fn parse_value_str(s: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::msg(format!("trailing input at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, token: &str) -> Result<()> {
+        if self.bytes[self.pos..].starts_with(token.as_bytes()) {
+            self.pos += token.len();
+            Ok(())
+        } else {
+            Err(Error::msg(format!(
+                "expected `{token}` at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'n') => {
+                self.eat("null")?;
+                Ok(Value::Null)
+            }
+            Some(b't') => {
+                self.eat("true")?;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') => {
+                self.eat("false")?;
+                Ok(Value::Bool(false))
+            }
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(Error::msg(format!(
+                "unexpected {other:?} at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.eat("[")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => {
+                    return Err(Error::msg(format!(
+                        "expected `,` or `]`, got {other:?} at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.eat("{")?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(":")?;
+            self.skip_ws();
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                other => {
+                    return Err(Error::msg(format!(
+                        "expected `,` or `}}`, got {other:?} at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.eat("\"")?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| Error::msg(e.to_string()))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| Error::msg("eof in escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::msg("eof in \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| Error::msg(e.to_string()))?,
+                                16,
+                            )
+                            .map_err(|e| Error::msg(e.to_string()))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code).ok_or_else(|| Error::msg("bad \\u escape"))?,
+                            );
+                        }
+                        other => return Err(Error::msg(format!("bad escape \\{}", other as char))),
+                    }
+                }
+                _ => return Err(Error::msg("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| Error::msg(e.to_string()))?;
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|e| Error::msg(format!("bad number `{text}`: {e}")))
+    }
+}
+
+// ----------------------------------------------------------------- json!
+
+/// Construct a [`Value`] from JSON-ish syntax, like real `serde_json`.
+/// Values may be arbitrary expressions (converted via `Value::from`),
+/// nested `{...}` objects, or `[...]` arrays.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elems:tt)* ]) => {
+        $crate::Value::Array($crate::json_array_munch!([] $($elems)*))
+    };
+    ({ $($entries:tt)* }) => {{
+        #[allow(clippy::vec_init_then_push)]
+        let __obj = {
+            #[allow(unused_mut)]
+            let mut __obj: ::std::vec::Vec<(::std::string::String, $crate::Value)> =
+                ::std::vec::Vec::new();
+            $crate::json_object_munch!(__obj $($entries)*);
+            __obj
+        };
+        $crate::Value::Object(__obj)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_value_munch {
+    (null) => { $crate::Value::Null };
+    ({ $($tt:tt)* }) => { $crate::json!({ $($tt)* }) };
+    ([ $($tt:tt)* ]) => { $crate::json!([ $($tt)* ]) };
+    ($($e:tt)+) => { $crate::Value::from($($e)+) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_munch {
+    ($obj:ident) => {};
+    ($obj:ident $key:literal : $($rest:tt)*) => {
+        $crate::json_object_value_munch!($obj $key () $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_value_munch {
+    ($obj:ident $key:literal ($($cur:tt)+) , $($rest:tt)*) => {
+        $obj.push(($key.to_string(), $crate::json_value_munch!($($cur)+)));
+        $crate::json_object_munch!($obj $($rest)*);
+    };
+    ($obj:ident $key:literal ($($cur:tt)+)) => {
+        $obj.push(($key.to_string(), $crate::json_value_munch!($($cur)+)));
+    };
+    ($obj:ident $key:literal ($($cur:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_object_value_munch!($obj $key ($($cur)* $next) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_munch {
+    ([$($done:expr),*]) => { ::std::vec![$($done),*] };
+    ([$($done:expr),*] $($rest:tt)+) => {
+        $crate::json_array_value_munch!([$($done),*] () $($rest)+)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_value_munch {
+    ([$($done:expr),*] ($($cur:tt)+) , $($rest:tt)*) => {
+        $crate::json_array_munch!([$($done,)* $crate::json_value_munch!($($cur)+)] $($rest)*)
+    };
+    ([$($done:expr),*] ($($cur:tt)+)) => {
+        $crate::json_array_munch!([$($done,)* $crate::json_value_munch!($($cur)+)])
+    };
+    ([$($done:expr),*] ($($cur:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_array_value_munch!([$($done),*] ($($cur)* $next) $($rest)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_and_roundtrip() {
+        let n = 4096usize;
+        let rows: Vec<Value> = (0..2)
+            .map(|i| json!({"idx": i, "half": (i as f64) / 2.0}))
+            .collect();
+        let doc = json!({
+            "name": format!("run-{n}"),
+            "seq": n,
+            "ok": true,
+            "nothing": null,
+            "rows": rows,
+            "lit": [1, 2.5, "x"],
+        });
+        let text = to_string_pretty(&doc).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn float_bit_exact_roundtrip() {
+        let xs: Vec<f32> = vec![0.1, -3.75e-6, 1.0, 16777216.0, f32::MIN_POSITIVE];
+        let text = to_string(&xs).unwrap();
+        let back: Vec<f32> = from_str(&text).unwrap();
+        for (a, b) in xs.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn nonfinite_floats_roundtrip_via_strings() {
+        let xs = [f32::INFINITY, f32::NEG_INFINITY];
+        let back: Vec<f32> = from_str(&to_string(&xs[..]).unwrap()).unwrap();
+        assert_eq!(back, xs);
+        let nan: f32 = from_str(&to_string(&f32::NAN).unwrap()).unwrap();
+        assert!(nan.is_nan());
+    }
+
+    #[test]
+    fn string_escapes() {
+        let s = "a\"b\\c\nd\te\u{1}".to_string();
+        let back: String = from_str(&to_string(&s).unwrap()).unwrap();
+        assert_eq!(back, s);
+    }
+}

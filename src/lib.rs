@@ -70,9 +70,7 @@ pub mod prelude {
         flash_backward, flash_forward, fused_lm_loss, AttnMask, BlockSparseMask, OnlineState,
     };
     pub use burst_model::engine::{train, Backend, EngineConfig};
-    pub use burst_model::{
-        AdamCfg, LocalExec, Model, ModelConfig, MultiHeadAttention, Strategy,
-    };
+    pub use burst_model::{AdamCfg, LocalExec, Model, ModelConfig, MultiHeadAttention, Strategy};
     pub use burst_perf::endtoend::{evaluate, BurstOpts, Method};
     pub use burst_perf::machine::{Cluster, PaperModel};
     pub use burst_tensor::{randn_mat, Mat, SeedStream};

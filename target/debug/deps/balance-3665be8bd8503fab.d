@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/balance-3665be8bd8503fab.d: crates/dattn/tests/balance.rs
+
+/root/repo/target/debug/deps/balance-3665be8bd8503fab: crates/dattn/tests/balance.rs
+
+crates/dattn/tests/balance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bf16_training-a669432f29fe1c6b.d: crates/model/tests/bf16_training.rs
+
+/root/repo/target/debug/deps/bf16_training-a669432f29fe1c6b: crates/model/tests/bf16_training.rs
+
+crates/model/tests/bf16_training.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/burst_bench-5369478130dcc2d8.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libburst_bench-5369478130dcc2d8.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libburst_bench-5369478130dcc2d8.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

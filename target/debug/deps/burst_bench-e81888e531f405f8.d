@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/burst_bench-e81888e531f405f8.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/burst_bench-e81888e531f405f8: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/burst_comm-ec6ce0ba4730f182.d: crates/comm/src/lib.rs crates/comm/src/comm.rs crates/comm/src/stats.rs crates/comm/src/topology.rs crates/comm/src/trace.rs crates/comm/src/world.rs
+
+/root/repo/target/debug/deps/libburst_comm-ec6ce0ba4730f182.rlib: crates/comm/src/lib.rs crates/comm/src/comm.rs crates/comm/src/stats.rs crates/comm/src/topology.rs crates/comm/src/trace.rs crates/comm/src/world.rs
+
+/root/repo/target/debug/deps/libburst_comm-ec6ce0ba4730f182.rmeta: crates/comm/src/lib.rs crates/comm/src/comm.rs crates/comm/src/stats.rs crates/comm/src/topology.rs crates/comm/src/trace.rs crates/comm/src/world.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/comm.rs:
+crates/comm/src/stats.rs:
+crates/comm/src/topology.rs:
+crates/comm/src/trace.rs:
+crates/comm/src/world.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/burst_dattn-932cd29b11be4e5e.d: crates/dattn/src/lib.rs crates/dattn/src/cost.rs crates/dattn/src/double_ring.rs crates/dattn/src/layout.rs crates/dattn/src/ring.rs crates/dattn/src/ulysses.rs crates/dattn/src/usp.rs
+
+/root/repo/target/debug/deps/burst_dattn-932cd29b11be4e5e: crates/dattn/src/lib.rs crates/dattn/src/cost.rs crates/dattn/src/double_ring.rs crates/dattn/src/layout.rs crates/dattn/src/ring.rs crates/dattn/src/ulysses.rs crates/dattn/src/usp.rs
+
+crates/dattn/src/lib.rs:
+crates/dattn/src/cost.rs:
+crates/dattn/src/double_ring.rs:
+crates/dattn/src/layout.rs:
+crates/dattn/src/ring.rs:
+crates/dattn/src/ulysses.rs:
+crates/dattn/src/usp.rs:

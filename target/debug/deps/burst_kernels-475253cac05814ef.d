@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/burst_kernels-475253cac05814ef.d: crates/kernels/src/lib.rs crates/kernels/src/flash.rs crates/kernels/src/lmhead.rs crates/kernels/src/mask.rs crates/kernels/src/naive.rs crates/kernels/src/online.rs
+
+/root/repo/target/debug/deps/burst_kernels-475253cac05814ef: crates/kernels/src/lib.rs crates/kernels/src/flash.rs crates/kernels/src/lmhead.rs crates/kernels/src/mask.rs crates/kernels/src/naive.rs crates/kernels/src/online.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/flash.rs:
+crates/kernels/src/lmhead.rs:
+crates/kernels/src/mask.rs:
+crates/kernels/src/naive.rs:
+crates/kernels/src/online.rs:

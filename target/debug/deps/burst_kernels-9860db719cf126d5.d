@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/burst_kernels-9860db719cf126d5.d: crates/kernels/src/lib.rs crates/kernels/src/flash.rs crates/kernels/src/lmhead.rs crates/kernels/src/mask.rs crates/kernels/src/naive.rs crates/kernels/src/online.rs
+
+/root/repo/target/debug/deps/libburst_kernels-9860db719cf126d5.rlib: crates/kernels/src/lib.rs crates/kernels/src/flash.rs crates/kernels/src/lmhead.rs crates/kernels/src/mask.rs crates/kernels/src/naive.rs crates/kernels/src/online.rs
+
+/root/repo/target/debug/deps/libburst_kernels-9860db719cf126d5.rmeta: crates/kernels/src/lib.rs crates/kernels/src/flash.rs crates/kernels/src/lmhead.rs crates/kernels/src/mask.rs crates/kernels/src/naive.rs crates/kernels/src/online.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/flash.rs:
+crates/kernels/src/lmhead.rs:
+crates/kernels/src/mask.rs:
+crates/kernels/src/naive.rs:
+crates/kernels/src/online.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/burst_perf-5c14444b4f09459c.d: crates/perf/src/lib.rs crates/perf/src/commtime.rs crates/perf/src/endtoend.rs crates/perf/src/flops.rs crates/perf/src/machine.rs crates/perf/src/memory.rs
+
+/root/repo/target/debug/deps/burst_perf-5c14444b4f09459c: crates/perf/src/lib.rs crates/perf/src/commtime.rs crates/perf/src/endtoend.rs crates/perf/src/flops.rs crates/perf/src/machine.rs crates/perf/src/memory.rs
+
+crates/perf/src/lib.rs:
+crates/perf/src/commtime.rs:
+crates/perf/src/endtoend.rs:
+crates/perf/src/flops.rs:
+crates/perf/src/machine.rs:
+crates/perf/src/memory.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/burst_tensor-003125b392100a71.d: crates/tensor/src/lib.rs crates/tensor/src/bf16.rs crates/tensor/src/mat.rs crates/tensor/src/ops.rs crates/tensor/src/random.rs crates/tensor/src/testutil.rs
+
+/root/repo/target/debug/deps/burst_tensor-003125b392100a71: crates/tensor/src/lib.rs crates/tensor/src/bf16.rs crates/tensor/src/mat.rs crates/tensor/src/ops.rs crates/tensor/src/random.rs crates/tensor/src/testutil.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/bf16.rs:
+crates/tensor/src/mat.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/random.rs:
+crates/tensor/src/testutil.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/burst_tensor-9e5221a5cf69f91d.d: crates/tensor/src/lib.rs crates/tensor/src/bf16.rs crates/tensor/src/mat.rs crates/tensor/src/ops.rs crates/tensor/src/random.rs crates/tensor/src/testutil.rs
+
+/root/repo/target/debug/deps/libburst_tensor-9e5221a5cf69f91d.rlib: crates/tensor/src/lib.rs crates/tensor/src/bf16.rs crates/tensor/src/mat.rs crates/tensor/src/ops.rs crates/tensor/src/random.rs crates/tensor/src/testutil.rs
+
+/root/repo/target/debug/deps/libburst_tensor-9e5221a5cf69f91d.rmeta: crates/tensor/src/lib.rs crates/tensor/src/bf16.rs crates/tensor/src/mat.rs crates/tensor/src/ops.rs crates/tensor/src/random.rs crates/tensor/src/testutil.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/bf16.rs:
+crates/tensor/src/mat.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/random.rs:
+crates/tensor/src/testutil.rs:

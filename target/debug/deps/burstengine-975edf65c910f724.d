@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/burstengine-975edf65c910f724.d: src/lib.rs
+
+/root/repo/target/debug/deps/burstengine-975edf65c910f724: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/burstengine-f0cc6e9c13f53c9b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libburstengine-f0cc6e9c13f53c9b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libburstengine-f0cc6e9c13f53c9b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-992e359c59bed62c.d: crates/perf/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-992e359c59bed62c: crates/perf/src/bin/calibrate.rs
+
+crates/perf/src/bin/calibrate.rs:

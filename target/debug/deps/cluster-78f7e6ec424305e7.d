@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cluster-78f7e6ec424305e7.d: crates/comm/tests/cluster.rs
+
+/root/repo/target/debug/deps/cluster-78f7e6ec424305e7: crates/comm/tests/cluster.rs
+
+crates/comm/tests/cluster.rs:

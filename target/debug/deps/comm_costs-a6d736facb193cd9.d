@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/comm_costs-a6d736facb193cd9.d: crates/dattn/tests/comm_costs.rs
+
+/root/repo/target/debug/deps/comm_costs-a6d736facb193cd9: crates/dattn/tests/comm_costs.rs
+
+crates/dattn/tests/comm_costs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/distributed_correctness-fc5c4ef41e7c22b7.d: crates/dattn/tests/distributed_correctness.rs
+
+/root/repo/target/debug/deps/distributed_correctness-fc5c4ef41e7c22b7: crates/dattn/tests/distributed_correctness.rs
+
+crates/dattn/tests/distributed_correctness.rs:

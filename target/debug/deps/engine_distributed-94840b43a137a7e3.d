@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_distributed-94840b43a137a7e3.d: crates/model/tests/engine_distributed.rs
+
+/root/repo/target/debug/deps/engine_distributed-94840b43a137a7e3: crates/model/tests/engine_distributed.rs
+
+crates/model/tests/engine_distributed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/export_json-18408d308d904443.d: crates/bench/src/bin/export_json.rs
+
+/root/repo/target/debug/deps/export_json-18408d308d904443: crates/bench/src/bin/export_json.rs
+
+crates/bench/src/bin/export_json.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_modes-17905bbe05f68072.d: tests/failure_modes.rs
+
+/root/repo/target/debug/deps/failure_modes-17905bbe05f68072: tests/failure_modes.rs
+
+tests/failure_modes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_stack-9dcd17e57ce831be.d: tests/full_stack.rs
+
+/root/repo/target/debug/deps/full_stack-9dcd17e57ce831be: tests/full_stack.rs
+
+tests/full_stack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-249320d09903b044.d: crates/kernels/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-249320d09903b044: crates/kernels/tests/proptests.rs
+
+crates/kernels/tests/proptests.rs:

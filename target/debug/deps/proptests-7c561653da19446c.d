@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-7c561653da19446c.d: crates/comm/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-7c561653da19446c: crates/comm/tests/proptests.rs
+
+crates/comm/tests/proptests.rs:

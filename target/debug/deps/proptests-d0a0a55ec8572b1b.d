@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-d0a0a55ec8572b1b.d: crates/dattn/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-d0a0a55ec8572b1b: crates/dattn/tests/proptests.rs
+
+crates/dattn/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-ee29ab5bedf6037d.d: crates/tensor/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-ee29ab5bedf6037d: crates/tensor/tests/proptests.rs
+
+crates/tensor/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-3e41f8eb9d7c4399.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-3e41f8eb9d7c4399: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

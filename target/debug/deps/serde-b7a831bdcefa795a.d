@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-b7a831bdcefa795a.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-b7a831bdcefa795a.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-b7a831bdcefa795a.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

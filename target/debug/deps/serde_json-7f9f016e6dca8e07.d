@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-7f9f016e6dca8e07.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-7f9f016e6dca8e07.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-7f9f016e6dca8e07.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

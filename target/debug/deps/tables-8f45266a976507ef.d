@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-8f45266a976507ef.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/debug/deps/tables-8f45266a976507ef: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_overlap-48b21278ca0aaef9.d: crates/dattn/tests/trace_overlap.rs
+
+/root/repo/target/debug/deps/trace_overlap-48b21278ca0aaef9: crates/dattn/tests/trace_overlap.rs
+
+crates/dattn/tests/trace_overlap.rs:

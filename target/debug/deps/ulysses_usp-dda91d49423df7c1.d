@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ulysses_usp-dda91d49423df7c1.d: crates/dattn/tests/ulysses_usp.rs
+
+/root/repo/target/debug/deps/ulysses_usp-dda91d49423df7c1: crates/dattn/tests/ulysses_usp.rs
+
+crates/dattn/tests/ulysses_usp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/char_lm-2ba2ef12eb38e5ec.d: examples/char_lm.rs
+
+/root/repo/target/debug/examples/char_lm-2ba2ef12eb38e5ec: examples/char_lm.rs
+
+examples/char_lm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/method_faceoff-1f3cced0941f921b.d: examples/method_faceoff.rs
+
+/root/repo/target/debug/examples/method_faceoff-1f3cced0941f921b: examples/method_faceoff.rs
+
+examples/method_faceoff.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/overlap_timeline-a72ddf00a5fb81da.d: examples/overlap_timeline.rs
+
+/root/repo/target/debug/examples/overlap_timeline-a72ddf00a5fb81da: examples/overlap_timeline.rs
+
+examples/overlap_timeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-2b9f276501084291.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-2b9f276501084291: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sparse_attention-5af217e8b56dea64.d: examples/sparse_attention.rs
+
+/root/repo/target/debug/examples/sparse_attention-5af217e8b56dea64: examples/sparse_attention.rs
+
+examples/sparse_attention.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/train_long_context-40df13424d94c8a4.d: examples/train_long_context.rs
+
+/root/repo/target/debug/examples/train_long_context-40df13424d94c8a4: examples/train_long_context.rs
+
+examples/train_long_context.rs:

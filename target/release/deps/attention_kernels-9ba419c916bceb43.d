@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/attention_kernels-9ba419c916bceb43.d: crates/bench/benches/attention_kernels.rs Cargo.toml
+
+/root/repo/target/release/deps/libattention_kernels-9ba419c916bceb43.rmeta: crates/bench/benches/attention_kernels.rs Cargo.toml
+
+crates/bench/benches/attention_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/balance-0be3ad1f74ffb9f1.d: crates/dattn/tests/balance.rs Cargo.toml
+
+/root/repo/target/release/deps/libbalance-0be3ad1f74ffb9f1.rmeta: crates/dattn/tests/balance.rs Cargo.toml
+
+crates/dattn/tests/balance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

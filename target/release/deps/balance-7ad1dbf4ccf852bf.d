@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/balance-7ad1dbf4ccf852bf.d: crates/dattn/tests/balance.rs
+
+/root/repo/target/release/deps/balance-7ad1dbf4ccf852bf: crates/dattn/tests/balance.rs
+
+crates/dattn/tests/balance.rs:

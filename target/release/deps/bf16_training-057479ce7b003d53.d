@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bf16_training-057479ce7b003d53.d: crates/model/tests/bf16_training.rs Cargo.toml
+
+/root/repo/target/release/deps/libbf16_training-057479ce7b003d53.rmeta: crates/model/tests/bf16_training.rs Cargo.toml
+
+crates/model/tests/bf16_training.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bf16_training-2e08b5bde0702487.d: crates/model/tests/bf16_training.rs
+
+/root/repo/target/release/deps/bf16_training-2e08b5bde0702487: crates/model/tests/bf16_training.rs
+
+crates/model/tests/bf16_training.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/burst_bench-008f5581306cfa0f.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libburst_bench-008f5581306cfa0f.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

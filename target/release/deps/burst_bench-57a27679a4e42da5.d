@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/burst_bench-57a27679a4e42da5.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/burst_bench-57a27679a4e42da5: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/burst_bench-7a1b3a0200557589.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libburst_bench-7a1b3a0200557589.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libburst_bench-7a1b3a0200557589.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

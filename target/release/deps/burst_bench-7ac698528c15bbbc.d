@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/burst_bench-7ac698528c15bbbc.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libburst_bench-7ac698528c15bbbc.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libburst_bench-7ac698528c15bbbc.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/burst_bench-ff2d25b24dbd0a88.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libburst_bench-ff2d25b24dbd0a88.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

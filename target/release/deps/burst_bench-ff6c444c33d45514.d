@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/burst_bench-ff6c444c33d45514.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libburst_bench-ff6c444c33d45514.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libburst_bench-ff6c444c33d45514.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

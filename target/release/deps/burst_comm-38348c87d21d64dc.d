@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/burst_comm-38348c87d21d64dc.d: crates/comm/src/lib.rs crates/comm/src/comm.rs crates/comm/src/stats.rs crates/comm/src/topology.rs crates/comm/src/trace.rs crates/comm/src/world.rs
+
+/root/repo/target/release/deps/burst_comm-38348c87d21d64dc: crates/comm/src/lib.rs crates/comm/src/comm.rs crates/comm/src/stats.rs crates/comm/src/topology.rs crates/comm/src/trace.rs crates/comm/src/world.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/comm.rs:
+crates/comm/src/stats.rs:
+crates/comm/src/topology.rs:
+crates/comm/src/trace.rs:
+crates/comm/src/world.rs:

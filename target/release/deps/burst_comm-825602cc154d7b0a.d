@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/burst_comm-825602cc154d7b0a.d: crates/comm/src/lib.rs crates/comm/src/comm.rs crates/comm/src/stats.rs crates/comm/src/topology.rs crates/comm/src/trace.rs crates/comm/src/world.rs Cargo.toml
+
+/root/repo/target/release/deps/libburst_comm-825602cc154d7b0a.rmeta: crates/comm/src/lib.rs crates/comm/src/comm.rs crates/comm/src/stats.rs crates/comm/src/topology.rs crates/comm/src/trace.rs crates/comm/src/world.rs Cargo.toml
+
+crates/comm/src/lib.rs:
+crates/comm/src/comm.rs:
+crates/comm/src/stats.rs:
+crates/comm/src/topology.rs:
+crates/comm/src/trace.rs:
+crates/comm/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

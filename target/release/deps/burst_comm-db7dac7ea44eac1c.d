@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/burst_comm-db7dac7ea44eac1c.d: crates/comm/src/lib.rs crates/comm/src/comm.rs crates/comm/src/stats.rs crates/comm/src/topology.rs crates/comm/src/trace.rs crates/comm/src/world.rs
+
+/root/repo/target/release/deps/libburst_comm-db7dac7ea44eac1c.rlib: crates/comm/src/lib.rs crates/comm/src/comm.rs crates/comm/src/stats.rs crates/comm/src/topology.rs crates/comm/src/trace.rs crates/comm/src/world.rs
+
+/root/repo/target/release/deps/libburst_comm-db7dac7ea44eac1c.rmeta: crates/comm/src/lib.rs crates/comm/src/comm.rs crates/comm/src/stats.rs crates/comm/src/topology.rs crates/comm/src/trace.rs crates/comm/src/world.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/comm.rs:
+crates/comm/src/stats.rs:
+crates/comm/src/topology.rs:
+crates/comm/src/trace.rs:
+crates/comm/src/world.rs:

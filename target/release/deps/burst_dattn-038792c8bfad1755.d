@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/burst_dattn-038792c8bfad1755.d: crates/dattn/src/lib.rs crates/dattn/src/cost.rs crates/dattn/src/double_ring.rs crates/dattn/src/layout.rs crates/dattn/src/ring.rs crates/dattn/src/ulysses.rs crates/dattn/src/usp.rs
+
+/root/repo/target/release/deps/burst_dattn-038792c8bfad1755: crates/dattn/src/lib.rs crates/dattn/src/cost.rs crates/dattn/src/double_ring.rs crates/dattn/src/layout.rs crates/dattn/src/ring.rs crates/dattn/src/ulysses.rs crates/dattn/src/usp.rs
+
+crates/dattn/src/lib.rs:
+crates/dattn/src/cost.rs:
+crates/dattn/src/double_ring.rs:
+crates/dattn/src/layout.rs:
+crates/dattn/src/ring.rs:
+crates/dattn/src/ulysses.rs:
+crates/dattn/src/usp.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/burst_dattn-0be494dcac0559d5.d: crates/dattn/src/lib.rs crates/dattn/src/cost.rs crates/dattn/src/double_ring.rs crates/dattn/src/layout.rs crates/dattn/src/ring.rs crates/dattn/src/ulysses.rs crates/dattn/src/usp.rs
+
+/root/repo/target/release/deps/libburst_dattn-0be494dcac0559d5.rlib: crates/dattn/src/lib.rs crates/dattn/src/cost.rs crates/dattn/src/double_ring.rs crates/dattn/src/layout.rs crates/dattn/src/ring.rs crates/dattn/src/ulysses.rs crates/dattn/src/usp.rs
+
+/root/repo/target/release/deps/libburst_dattn-0be494dcac0559d5.rmeta: crates/dattn/src/lib.rs crates/dattn/src/cost.rs crates/dattn/src/double_ring.rs crates/dattn/src/layout.rs crates/dattn/src/ring.rs crates/dattn/src/ulysses.rs crates/dattn/src/usp.rs
+
+crates/dattn/src/lib.rs:
+crates/dattn/src/cost.rs:
+crates/dattn/src/double_ring.rs:
+crates/dattn/src/layout.rs:
+crates/dattn/src/ring.rs:
+crates/dattn/src/ulysses.rs:
+crates/dattn/src/usp.rs:

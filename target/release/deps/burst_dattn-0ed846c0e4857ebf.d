@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/burst_dattn-0ed846c0e4857ebf.d: crates/dattn/src/lib.rs crates/dattn/src/cost.rs crates/dattn/src/double_ring.rs crates/dattn/src/layout.rs crates/dattn/src/ring.rs crates/dattn/src/ulysses.rs crates/dattn/src/usp.rs Cargo.toml
+
+/root/repo/target/release/deps/libburst_dattn-0ed846c0e4857ebf.rmeta: crates/dattn/src/lib.rs crates/dattn/src/cost.rs crates/dattn/src/double_ring.rs crates/dattn/src/layout.rs crates/dattn/src/ring.rs crates/dattn/src/ulysses.rs crates/dattn/src/usp.rs Cargo.toml
+
+crates/dattn/src/lib.rs:
+crates/dattn/src/cost.rs:
+crates/dattn/src/double_ring.rs:
+crates/dattn/src/layout.rs:
+crates/dattn/src/ring.rs:
+crates/dattn/src/ulysses.rs:
+crates/dattn/src/usp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/burst_kernels-93f88e671a885200.d: crates/kernels/src/lib.rs crates/kernels/src/flash.rs crates/kernels/src/lmhead.rs crates/kernels/src/mask.rs crates/kernels/src/naive.rs crates/kernels/src/online.rs
+
+/root/repo/target/release/deps/libburst_kernels-93f88e671a885200.rlib: crates/kernels/src/lib.rs crates/kernels/src/flash.rs crates/kernels/src/lmhead.rs crates/kernels/src/mask.rs crates/kernels/src/naive.rs crates/kernels/src/online.rs
+
+/root/repo/target/release/deps/libburst_kernels-93f88e671a885200.rmeta: crates/kernels/src/lib.rs crates/kernels/src/flash.rs crates/kernels/src/lmhead.rs crates/kernels/src/mask.rs crates/kernels/src/naive.rs crates/kernels/src/online.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/flash.rs:
+crates/kernels/src/lmhead.rs:
+crates/kernels/src/mask.rs:
+crates/kernels/src/naive.rs:
+crates/kernels/src/online.rs:

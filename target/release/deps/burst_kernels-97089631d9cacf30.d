@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/burst_kernels-97089631d9cacf30.d: crates/kernels/src/lib.rs crates/kernels/src/flash.rs crates/kernels/src/lmhead.rs crates/kernels/src/mask.rs crates/kernels/src/naive.rs crates/kernels/src/online.rs
+
+/root/repo/target/release/deps/burst_kernels-97089631d9cacf30: crates/kernels/src/lib.rs crates/kernels/src/flash.rs crates/kernels/src/lmhead.rs crates/kernels/src/mask.rs crates/kernels/src/naive.rs crates/kernels/src/online.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/flash.rs:
+crates/kernels/src/lmhead.rs:
+crates/kernels/src/mask.rs:
+crates/kernels/src/naive.rs:
+crates/kernels/src/online.rs:

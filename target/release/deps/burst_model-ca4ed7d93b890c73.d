@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/burst_model-ca4ed7d93b890c73.d: crates/model/src/lib.rs crates/model/src/attention.rs crates/model/src/block.rs crates/model/src/checkpoint.rs crates/model/src/checkpoint_io.rs crates/model/src/embedding.rs crates/model/src/engine.rs crates/model/src/ffn.rs crates/model/src/fsdp.rs crates/model/src/linear.rs crates/model/src/memory.rs crates/model/src/model.rs crates/model/src/norm.rs crates/model/src/param.rs crates/model/src/rope.rs
+
+/root/repo/target/release/deps/burst_model-ca4ed7d93b890c73: crates/model/src/lib.rs crates/model/src/attention.rs crates/model/src/block.rs crates/model/src/checkpoint.rs crates/model/src/checkpoint_io.rs crates/model/src/embedding.rs crates/model/src/engine.rs crates/model/src/ffn.rs crates/model/src/fsdp.rs crates/model/src/linear.rs crates/model/src/memory.rs crates/model/src/model.rs crates/model/src/norm.rs crates/model/src/param.rs crates/model/src/rope.rs
+
+crates/model/src/lib.rs:
+crates/model/src/attention.rs:
+crates/model/src/block.rs:
+crates/model/src/checkpoint.rs:
+crates/model/src/checkpoint_io.rs:
+crates/model/src/embedding.rs:
+crates/model/src/engine.rs:
+crates/model/src/ffn.rs:
+crates/model/src/fsdp.rs:
+crates/model/src/linear.rs:
+crates/model/src/memory.rs:
+crates/model/src/model.rs:
+crates/model/src/norm.rs:
+crates/model/src/param.rs:
+crates/model/src/rope.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/burst_perf-033e2fcdbdd532e7.d: crates/perf/src/lib.rs crates/perf/src/commtime.rs crates/perf/src/endtoend.rs crates/perf/src/flops.rs crates/perf/src/machine.rs crates/perf/src/memory.rs
+
+/root/repo/target/release/deps/libburst_perf-033e2fcdbdd532e7.rlib: crates/perf/src/lib.rs crates/perf/src/commtime.rs crates/perf/src/endtoend.rs crates/perf/src/flops.rs crates/perf/src/machine.rs crates/perf/src/memory.rs
+
+/root/repo/target/release/deps/libburst_perf-033e2fcdbdd532e7.rmeta: crates/perf/src/lib.rs crates/perf/src/commtime.rs crates/perf/src/endtoend.rs crates/perf/src/flops.rs crates/perf/src/machine.rs crates/perf/src/memory.rs
+
+crates/perf/src/lib.rs:
+crates/perf/src/commtime.rs:
+crates/perf/src/endtoend.rs:
+crates/perf/src/flops.rs:
+crates/perf/src/machine.rs:
+crates/perf/src/memory.rs:

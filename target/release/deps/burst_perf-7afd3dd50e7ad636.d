@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/burst_perf-7afd3dd50e7ad636.d: crates/perf/src/lib.rs crates/perf/src/commtime.rs crates/perf/src/endtoend.rs crates/perf/src/flops.rs crates/perf/src/machine.rs crates/perf/src/memory.rs
+
+/root/repo/target/release/deps/burst_perf-7afd3dd50e7ad636: crates/perf/src/lib.rs crates/perf/src/commtime.rs crates/perf/src/endtoend.rs crates/perf/src/flops.rs crates/perf/src/machine.rs crates/perf/src/memory.rs
+
+crates/perf/src/lib.rs:
+crates/perf/src/commtime.rs:
+crates/perf/src/endtoend.rs:
+crates/perf/src/flops.rs:
+crates/perf/src/machine.rs:
+crates/perf/src/memory.rs:

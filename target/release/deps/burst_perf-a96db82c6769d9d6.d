@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/burst_perf-a96db82c6769d9d6.d: crates/perf/src/lib.rs crates/perf/src/commtime.rs crates/perf/src/endtoend.rs crates/perf/src/flops.rs crates/perf/src/machine.rs crates/perf/src/memory.rs Cargo.toml
+
+/root/repo/target/release/deps/libburst_perf-a96db82c6769d9d6.rmeta: crates/perf/src/lib.rs crates/perf/src/commtime.rs crates/perf/src/endtoend.rs crates/perf/src/flops.rs crates/perf/src/machine.rs crates/perf/src/memory.rs Cargo.toml
+
+crates/perf/src/lib.rs:
+crates/perf/src/commtime.rs:
+crates/perf/src/endtoend.rs:
+crates/perf/src/flops.rs:
+crates/perf/src/machine.rs:
+crates/perf/src/memory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

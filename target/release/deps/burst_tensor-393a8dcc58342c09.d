@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/burst_tensor-393a8dcc58342c09.d: crates/tensor/src/lib.rs crates/tensor/src/bf16.rs crates/tensor/src/mat.rs crates/tensor/src/ops.rs crates/tensor/src/random.rs crates/tensor/src/scratch.rs crates/tensor/src/testutil.rs
+
+/root/repo/target/release/deps/libburst_tensor-393a8dcc58342c09.rlib: crates/tensor/src/lib.rs crates/tensor/src/bf16.rs crates/tensor/src/mat.rs crates/tensor/src/ops.rs crates/tensor/src/random.rs crates/tensor/src/scratch.rs crates/tensor/src/testutil.rs
+
+/root/repo/target/release/deps/libburst_tensor-393a8dcc58342c09.rmeta: crates/tensor/src/lib.rs crates/tensor/src/bf16.rs crates/tensor/src/mat.rs crates/tensor/src/ops.rs crates/tensor/src/random.rs crates/tensor/src/scratch.rs crates/tensor/src/testutil.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/bf16.rs:
+crates/tensor/src/mat.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/random.rs:
+crates/tensor/src/scratch.rs:
+crates/tensor/src/testutil.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/burst_tensor-a658c772a9480926.d: crates/tensor/src/lib.rs crates/tensor/src/bf16.rs crates/tensor/src/mat.rs crates/tensor/src/ops.rs crates/tensor/src/random.rs crates/tensor/src/scratch.rs crates/tensor/src/testutil.rs Cargo.toml
+
+/root/repo/target/release/deps/libburst_tensor-a658c772a9480926.rmeta: crates/tensor/src/lib.rs crates/tensor/src/bf16.rs crates/tensor/src/mat.rs crates/tensor/src/ops.rs crates/tensor/src/random.rs crates/tensor/src/scratch.rs crates/tensor/src/testutil.rs Cargo.toml
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/bf16.rs:
+crates/tensor/src/mat.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/random.rs:
+crates/tensor/src/scratch.rs:
+crates/tensor/src/testutil.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/burst_tensor-fac4a15f2d90cc07.d: crates/tensor/src/lib.rs crates/tensor/src/bf16.rs crates/tensor/src/mat.rs crates/tensor/src/ops.rs crates/tensor/src/random.rs crates/tensor/src/scratch.rs crates/tensor/src/testutil.rs Cargo.toml
+
+/root/repo/target/release/deps/libburst_tensor-fac4a15f2d90cc07.rmeta: crates/tensor/src/lib.rs crates/tensor/src/bf16.rs crates/tensor/src/mat.rs crates/tensor/src/ops.rs crates/tensor/src/random.rs crates/tensor/src/scratch.rs crates/tensor/src/testutil.rs Cargo.toml
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/bf16.rs:
+crates/tensor/src/mat.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/random.rs:
+crates/tensor/src/scratch.rs:
+crates/tensor/src/testutil.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

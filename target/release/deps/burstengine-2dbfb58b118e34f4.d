@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/burstengine-2dbfb58b118e34f4.d: src/lib.rs
+
+/root/repo/target/release/deps/libburstengine-2dbfb58b118e34f4.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libburstengine-2dbfb58b118e34f4.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/burstengine-69ca00d589bea231.d: src/lib.rs
+
+/root/repo/target/release/deps/libburstengine-69ca00d589bea231.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libburstengine-69ca00d589bea231.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/burstengine-9340a209837256d1.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libburstengine-9340a209837256d1.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

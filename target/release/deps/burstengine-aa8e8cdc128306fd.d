@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/burstengine-aa8e8cdc128306fd.d: src/lib.rs
+
+/root/repo/target/release/deps/burstengine-aa8e8cdc128306fd: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/burstengine-ef4fdf24b6b72fdf.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libburstengine-ef4fdf24b6b72fdf.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/calibrate-239038553061c1ef.d: crates/perf/src/bin/calibrate.rs Cargo.toml
+
+/root/repo/target/release/deps/libcalibrate-239038553061c1ef.rmeta: crates/perf/src/bin/calibrate.rs Cargo.toml
+
+crates/perf/src/bin/calibrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-3c0dad0bb48e0236.d: crates/perf/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-3c0dad0bb48e0236: crates/perf/src/bin/calibrate.rs
+
+crates/perf/src/bin/calibrate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/calibrate-a49e228ae94dd82f.d: crates/perf/src/bin/calibrate.rs Cargo.toml
+
+/root/repo/target/release/deps/libcalibrate-a49e228ae94dd82f.rmeta: crates/perf/src/bin/calibrate.rs Cargo.toml
+
+crates/perf/src/bin/calibrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/checkpointing-0ff84e25f07d700c.d: crates/bench/benches/checkpointing.rs Cargo.toml
+
+/root/repo/target/release/deps/libcheckpointing-0ff84e25f07d700c.rmeta: crates/bench/benches/checkpointing.rs Cargo.toml
+
+crates/bench/benches/checkpointing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

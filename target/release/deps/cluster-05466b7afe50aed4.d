@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cluster-05466b7afe50aed4.d: crates/comm/tests/cluster.rs
+
+/root/repo/target/release/deps/cluster-05466b7afe50aed4: crates/comm/tests/cluster.rs
+
+crates/comm/tests/cluster.rs:

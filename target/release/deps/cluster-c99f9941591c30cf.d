@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cluster-c99f9941591c30cf.d: crates/comm/tests/cluster.rs Cargo.toml
+
+/root/repo/target/release/deps/libcluster-c99f9941591c30cf.rmeta: crates/comm/tests/cluster.rs Cargo.toml
+
+crates/comm/tests/cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

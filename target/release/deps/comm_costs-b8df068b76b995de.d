@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/comm_costs-b8df068b76b995de.d: crates/dattn/tests/comm_costs.rs Cargo.toml
+
+/root/repo/target/release/deps/libcomm_costs-b8df068b76b995de.rmeta: crates/dattn/tests/comm_costs.rs Cargo.toml
+
+crates/dattn/tests/comm_costs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

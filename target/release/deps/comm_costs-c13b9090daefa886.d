@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/comm_costs-c13b9090daefa886.d: crates/dattn/tests/comm_costs.rs
+
+/root/repo/target/release/deps/comm_costs-c13b9090daefa886: crates/dattn/tests/comm_costs.rs
+
+crates/dattn/tests/comm_costs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/comm_primitives-5e5ab1c1c700768f.d: crates/bench/benches/comm_primitives.rs Cargo.toml
+
+/root/repo/target/release/deps/libcomm_primitives-5e5ab1c1c700768f.rmeta: crates/bench/benches/comm_primitives.rs Cargo.toml
+
+crates/bench/benches/comm_primitives.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-4193b8f1eb4b56e5.d: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-4193b8f1eb4b56e5: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

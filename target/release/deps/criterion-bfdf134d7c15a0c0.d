@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-bfdf134d7c15a0c0.d: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-bfdf134d7c15a0c0.rlib: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-bfdf134d7c15a0c0.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

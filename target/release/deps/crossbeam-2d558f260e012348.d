@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/crossbeam-2d558f260e012348.d: shims/crossbeam/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcrossbeam-2d558f260e012348.rmeta: shims/crossbeam/src/lib.rs Cargo.toml
+
+shims/crossbeam/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

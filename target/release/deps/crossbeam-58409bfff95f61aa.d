@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-58409bfff95f61aa.d: shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-58409bfff95f61aa.rlib: shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-58409bfff95f61aa.rmeta: shims/crossbeam/src/lib.rs
+
+shims/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crossbeam-dc5af44b9b3ef8e9.d: shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/crossbeam-dc5af44b9b3ef8e9: shims/crossbeam/src/lib.rs
+
+shims/crossbeam/src/lib.rs:

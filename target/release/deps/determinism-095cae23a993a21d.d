@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/determinism-095cae23a993a21d.d: crates/kernels/tests/determinism.rs Cargo.toml
+
+/root/repo/target/release/deps/libdeterminism-095cae23a993a21d.rmeta: crates/kernels/tests/determinism.rs Cargo.toml
+
+crates/kernels/tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-8d730f09e6ead23a.d: crates/kernels/tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-8d730f09e6ead23a: crates/kernels/tests/determinism.rs
+
+crates/kernels/tests/determinism.rs:

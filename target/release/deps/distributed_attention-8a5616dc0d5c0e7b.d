@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/distributed_attention-8a5616dc0d5c0e7b.d: crates/bench/benches/distributed_attention.rs Cargo.toml
+
+/root/repo/target/release/deps/libdistributed_attention-8a5616dc0d5c0e7b.rmeta: crates/bench/benches/distributed_attention.rs Cargo.toml
+
+crates/bench/benches/distributed_attention.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

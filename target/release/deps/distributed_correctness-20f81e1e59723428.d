@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/distributed_correctness-20f81e1e59723428.d: crates/dattn/tests/distributed_correctness.rs
+
+/root/repo/target/release/deps/distributed_correctness-20f81e1e59723428: crates/dattn/tests/distributed_correctness.rs
+
+crates/dattn/tests/distributed_correctness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/distributed_correctness-93067adba155d288.d: crates/dattn/tests/distributed_correctness.rs Cargo.toml
+
+/root/repo/target/release/deps/libdistributed_correctness-93067adba155d288.rmeta: crates/dattn/tests/distributed_correctness.rs Cargo.toml
+
+crates/dattn/tests/distributed_correctness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine_distributed-201fd821b973f398.d: crates/model/tests/engine_distributed.rs
+
+/root/repo/target/release/deps/engine_distributed-201fd821b973f398: crates/model/tests/engine_distributed.rs
+
+crates/model/tests/engine_distributed.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/engine_distributed-316310f3d0d8c866.d: crates/model/tests/engine_distributed.rs Cargo.toml
+
+/root/repo/target/release/deps/libengine_distributed-316310f3d0d8c866.rmeta: crates/model/tests/engine_distributed.rs Cargo.toml
+
+crates/model/tests/engine_distributed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/engine_throughput-ecbfe3e15494a99c.d: crates/bench/benches/engine_throughput.rs Cargo.toml
+
+/root/repo/target/release/deps/libengine_throughput-ecbfe3e15494a99c.rmeta: crates/bench/benches/engine_throughput.rs Cargo.toml
+
+crates/bench/benches/engine_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/export_json-078b267951e216d8.d: crates/bench/src/bin/export_json.rs Cargo.toml
+
+/root/repo/target/release/deps/libexport_json-078b267951e216d8.rmeta: crates/bench/src/bin/export_json.rs Cargo.toml
+
+crates/bench/src/bin/export_json.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/export_json-137d1be15c1cf38f.d: crates/bench/src/bin/export_json.rs
+
+/root/repo/target/release/deps/export_json-137d1be15c1cf38f: crates/bench/src/bin/export_json.rs
+
+crates/bench/src/bin/export_json.rs:

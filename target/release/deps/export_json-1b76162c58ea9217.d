@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/export_json-1b76162c58ea9217.d: crates/bench/src/bin/export_json.rs
+
+/root/repo/target/release/deps/export_json-1b76162c58ea9217: crates/bench/src/bin/export_json.rs
+
+crates/bench/src/bin/export_json.rs:

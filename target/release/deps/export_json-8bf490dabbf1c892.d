@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/export_json-8bf490dabbf1c892.d: crates/bench/src/bin/export_json.rs
+
+/root/repo/target/release/deps/export_json-8bf490dabbf1c892: crates/bench/src/bin/export_json.rs
+
+crates/bench/src/bin/export_json.rs:

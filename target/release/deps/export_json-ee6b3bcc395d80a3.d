@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/export_json-ee6b3bcc395d80a3.d: crates/bench/src/bin/export_json.rs
+
+/root/repo/target/release/deps/export_json-ee6b3bcc395d80a3: crates/bench/src/bin/export_json.rs
+
+crates/bench/src/bin/export_json.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/export_json-f3f81c40cd3f8677.d: crates/bench/src/bin/export_json.rs Cargo.toml
+
+/root/repo/target/release/deps/libexport_json-f3f81c40cd3f8677.rmeta: crates/bench/src/bin/export_json.rs Cargo.toml
+
+crates/bench/src/bin/export_json.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

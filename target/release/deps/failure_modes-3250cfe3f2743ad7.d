@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/failure_modes-3250cfe3f2743ad7.d: tests/failure_modes.rs Cargo.toml
+
+/root/repo/target/release/deps/libfailure_modes-3250cfe3f2743ad7.rmeta: tests/failure_modes.rs Cargo.toml
+
+tests/failure_modes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/failure_modes-e16063c10ad6532c.d: tests/failure_modes.rs
+
+/root/repo/target/release/deps/failure_modes-e16063c10ad6532c: tests/failure_modes.rs
+
+tests/failure_modes.rs:

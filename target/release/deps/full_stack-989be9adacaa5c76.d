@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/full_stack-989be9adacaa5c76.d: tests/full_stack.rs
+
+/root/repo/target/release/deps/full_stack-989be9adacaa5c76: tests/full_stack.rs
+
+tests/full_stack.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/full_stack-9c7c64a555a332ed.d: tests/full_stack.rs Cargo.toml
+
+/root/repo/target/release/deps/libfull_stack-9c7c64a555a332ed.rmeta: tests/full_stack.rs Cargo.toml
+
+tests/full_stack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

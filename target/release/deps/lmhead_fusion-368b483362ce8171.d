@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lmhead_fusion-368b483362ce8171.d: crates/bench/benches/lmhead_fusion.rs Cargo.toml
+
+/root/repo/target/release/deps/liblmhead_fusion-368b483362ce8171.rmeta: crates/bench/benches/lmhead_fusion.rs Cargo.toml
+
+crates/bench/benches/lmhead_fusion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-3350dad17b901291.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-3350dad17b901291: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

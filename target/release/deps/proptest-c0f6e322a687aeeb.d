@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-c0f6e322a687aeeb.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-c0f6e322a687aeeb.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-c0f6e322a687aeeb.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest-f3d0fdba1224d258.d: shims/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest-f3d0fdba1224d258.rmeta: shims/proptest/src/lib.rs Cargo.toml
+
+shims/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

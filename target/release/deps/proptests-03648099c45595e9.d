@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-03648099c45595e9.d: crates/kernels/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-03648099c45595e9.rmeta: crates/kernels/tests/proptests.rs Cargo.toml
+
+crates/kernels/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-0d3d0441dbc09afe.d: crates/tensor/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-0d3d0441dbc09afe: crates/tensor/tests/proptests.rs
+
+crates/tensor/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-54a7271b687b8190.d: crates/dattn/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-54a7271b687b8190: crates/dattn/tests/proptests.rs
+
+crates/dattn/tests/proptests.rs:

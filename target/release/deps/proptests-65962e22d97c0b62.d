@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-65962e22d97c0b62.d: crates/dattn/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-65962e22d97c0b62.rmeta: crates/dattn/tests/proptests.rs Cargo.toml
+
+crates/dattn/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

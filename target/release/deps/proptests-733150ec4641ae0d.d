@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-733150ec4641ae0d.d: crates/tensor/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-733150ec4641ae0d.rmeta: crates/tensor/tests/proptests.rs Cargo.toml
+
+crates/tensor/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

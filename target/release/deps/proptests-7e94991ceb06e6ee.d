@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-7e94991ceb06e6ee.d: crates/comm/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-7e94991ceb06e6ee: crates/comm/tests/proptests.rs
+
+crates/comm/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-af96792b4e77e175.d: crates/kernels/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-af96792b4e77e175: crates/kernels/tests/proptests.rs
+
+crates/kernels/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-f4464948ad6d98cf.d: crates/comm/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-f4464948ad6d98cf.rmeta: crates/comm/tests/proptests.rs Cargo.toml
+
+crates/comm/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

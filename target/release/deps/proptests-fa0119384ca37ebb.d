@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-fa0119384ca37ebb.d: crates/tensor/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-fa0119384ca37ebb: crates/tensor/tests/proptests.rs
+
+crates/tensor/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-1d982ff067946690.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-1d982ff067946690: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

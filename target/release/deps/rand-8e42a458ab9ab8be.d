@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-8e42a458ab9ab8be.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-8e42a458ab9ab8be.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-8e42a458ab9ab8be.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-af7f7446a3bac649.d: shims/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand-af7f7446a3bac649.rmeta: shims/rand/src/lib.rs Cargo.toml
+
+shims/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

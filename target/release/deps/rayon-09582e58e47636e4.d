@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rayon-09582e58e47636e4.d: shims/rayon/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librayon-09582e58e47636e4.rmeta: shims/rayon/src/lib.rs Cargo.toml
+
+shims/rayon/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

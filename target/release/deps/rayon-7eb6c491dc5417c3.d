@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-7eb6c491dc5417c3.d: shims/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-7eb6c491dc5417c3.rlib: shims/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-7eb6c491dc5417c3.rmeta: shims/rayon/src/lib.rs
+
+shims/rayon/src/lib.rs:

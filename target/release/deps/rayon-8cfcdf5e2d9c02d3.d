@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rayon-8cfcdf5e2d9c02d3.d: shims/rayon/src/lib.rs
+
+/root/repo/target/release/deps/rayon-8cfcdf5e2d9c02d3: shims/rayon/src/lib.rs
+
+shims/rayon/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-a85fd4b8696354aa.d: shims/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-a85fd4b8696354aa.rlib: shims/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-a85fd4b8696354aa.rmeta: shims/rayon/src/lib.rs
+
+shims/rayon/src/lib.rs:

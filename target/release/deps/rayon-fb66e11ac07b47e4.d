@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rayon-fb66e11ac07b47e4.d: shims/rayon/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librayon-fb66e11ac07b47e4.rmeta: shims/rayon/src/lib.rs Cargo.toml
+
+shims/rayon/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde-003d3f84585b5fff.d: shims/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde-003d3f84585b5fff.rmeta: shims/serde/src/lib.rs Cargo.toml
+
+shims/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

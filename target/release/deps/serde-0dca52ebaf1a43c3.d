@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-0dca52ebaf1a43c3.d: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/serde-0dca52ebaf1a43c3: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-5fe1876bea8b295a.d: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-5fe1876bea8b295a.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-5fe1876bea8b295a.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

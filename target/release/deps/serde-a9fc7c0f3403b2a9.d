@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-a9fc7c0f3403b2a9.d: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-a9fc7c0f3403b2a9.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-a9fc7c0f3403b2a9.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde-bfba37f7deda2327.d: shims/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde-bfba37f7deda2327.rmeta: shims/serde/src/lib.rs Cargo.toml
+
+shims/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde_derive-1ba15f573a96d3d4.d: shims/serde_derive/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde_derive-1ba15f573a96d3d4.so: shims/serde_derive/src/lib.rs Cargo.toml
+
+shims/serde_derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

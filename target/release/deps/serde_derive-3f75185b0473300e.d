@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-3f75185b0473300e.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/serde_derive-3f75185b0473300e: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

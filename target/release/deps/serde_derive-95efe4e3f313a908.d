@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde_derive-95efe4e3f313a908.d: shims/serde_derive/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde_derive-95efe4e3f313a908.rmeta: shims/serde_derive/src/lib.rs Cargo.toml
+
+shims/serde_derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-d0faac15a2636ae6.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-d0faac15a2636ae6.so: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-73ce2302401b2691.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-73ce2302401b2691.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-73ce2302401b2691.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde_json-7fec268a2c785122.d: shims/serde_json/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde_json-7fec268a2c785122.rmeta: shims/serde_json/src/lib.rs Cargo.toml
+
+shims/serde_json/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

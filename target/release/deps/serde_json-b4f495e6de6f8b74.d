@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_json-b4f495e6de6f8b74.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/serde_json-b4f495e6de6f8b74: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-e2e8016f0f4ba5b8.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-e2e8016f0f4ba5b8.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-e2e8016f0f4ba5b8.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

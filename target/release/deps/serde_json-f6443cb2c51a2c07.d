@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde_json-f6443cb2c51a2c07.d: shims/serde_json/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde_json-f6443cb2c51a2c07.rmeta: shims/serde_json/src/lib.rs Cargo.toml
+
+shims/serde_json/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables-00dad4ea2c595df2.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/release/deps/tables-00dad4ea2c595df2: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

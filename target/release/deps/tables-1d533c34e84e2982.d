@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tables-1d533c34e84e2982.d: crates/bench/src/bin/tables.rs Cargo.toml
+
+/root/repo/target/release/deps/libtables-1d533c34e84e2982.rmeta: crates/bench/src/bin/tables.rs Cargo.toml
+
+crates/bench/src/bin/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

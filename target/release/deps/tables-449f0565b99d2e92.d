@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tables-449f0565b99d2e92.d: crates/bench/src/bin/tables.rs Cargo.toml
+
+/root/repo/target/release/deps/libtables-449f0565b99d2e92.rmeta: crates/bench/src/bin/tables.rs Cargo.toml
+
+crates/bench/src/bin/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

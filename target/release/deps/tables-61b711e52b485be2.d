@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables-61b711e52b485be2.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/release/deps/tables-61b711e52b485be2: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables-d9c18667e78c64db.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/release/deps/tables-d9c18667e78c64db: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/timing_probe-66b512180423a765.d: crates/tensor/tests/timing_probe.rs
+
+/root/repo/target/release/deps/timing_probe-66b512180423a765: crates/tensor/tests/timing_probe.rs
+
+crates/tensor/tests/timing_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/timing_probe-d7f347739e3a2ce1.d: crates/tensor/tests/timing_probe.rs
+
+/root/repo/target/release/deps/timing_probe-d7f347739e3a2ce1: crates/tensor/tests/timing_probe.rs
+
+crates/tensor/tests/timing_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_overlap-3803c2a68df38e2f.d: crates/dattn/tests/trace_overlap.rs
+
+/root/repo/target/release/deps/trace_overlap-3803c2a68df38e2f: crates/dattn/tests/trace_overlap.rs
+
+crates/dattn/tests/trace_overlap.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/trace_overlap-c5b88ef3fedcaf37.d: crates/dattn/tests/trace_overlap.rs Cargo.toml
+
+/root/repo/target/release/deps/libtrace_overlap-c5b88ef3fedcaf37.rmeta: crates/dattn/tests/trace_overlap.rs Cargo.toml
+
+crates/dattn/tests/trace_overlap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

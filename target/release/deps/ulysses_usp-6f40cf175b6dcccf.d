@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ulysses_usp-6f40cf175b6dcccf.d: crates/dattn/tests/ulysses_usp.rs
+
+/root/repo/target/release/deps/ulysses_usp-6f40cf175b6dcccf: crates/dattn/tests/ulysses_usp.rs
+
+crates/dattn/tests/ulysses_usp.rs:

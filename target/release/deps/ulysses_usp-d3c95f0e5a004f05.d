@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ulysses_usp-d3c95f0e5a004f05.d: crates/dattn/tests/ulysses_usp.rs Cargo.toml
+
+/root/repo/target/release/deps/libulysses_usp-d3c95f0e5a004f05.rmeta: crates/dattn/tests/ulysses_usp.rs Cargo.toml
+
+crates/dattn/tests/ulysses_usp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/workload_balance-bc1f970a0dfa82f7.d: crates/bench/benches/workload_balance.rs Cargo.toml
+
+/root/repo/target/release/deps/libworkload_balance-bc1f970a0dfa82f7.rmeta: crates/bench/benches/workload_balance.rs Cargo.toml
+
+crates/bench/benches/workload_balance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/char_lm-4afea2215e8e7eb3.d: examples/char_lm.rs Cargo.toml
+
+/root/repo/target/release/examples/libchar_lm-4afea2215e8e7eb3.rmeta: examples/char_lm.rs Cargo.toml
+
+examples/char_lm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/char_lm-c396b1bd415e6a33.d: examples/char_lm.rs
+
+/root/repo/target/release/examples/char_lm-c396b1bd415e6a33: examples/char_lm.rs
+
+examples/char_lm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/method_faceoff-35225356da35c493.d: examples/method_faceoff.rs
+
+/root/repo/target/release/examples/method_faceoff-35225356da35c493: examples/method_faceoff.rs
+
+examples/method_faceoff.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/method_faceoff-daeb54f321afcc11.d: examples/method_faceoff.rs Cargo.toml
+
+/root/repo/target/release/examples/libmethod_faceoff-daeb54f321afcc11.rmeta: examples/method_faceoff.rs Cargo.toml
+
+examples/method_faceoff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

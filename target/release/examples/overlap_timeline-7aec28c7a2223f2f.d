@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/overlap_timeline-7aec28c7a2223f2f.d: examples/overlap_timeline.rs
+
+/root/repo/target/release/examples/overlap_timeline-7aec28c7a2223f2f: examples/overlap_timeline.rs
+
+examples/overlap_timeline.rs:

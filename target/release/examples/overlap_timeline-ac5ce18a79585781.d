@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/overlap_timeline-ac5ce18a79585781.d: examples/overlap_timeline.rs Cargo.toml
+
+/root/repo/target/release/examples/liboverlap_timeline-ac5ce18a79585781.rmeta: examples/overlap_timeline.rs Cargo.toml
+
+examples/overlap_timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

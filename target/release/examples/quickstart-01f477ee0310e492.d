@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-01f477ee0310e492.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-01f477ee0310e492: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/sparse_attention-4f0a275f56bf8be1.d: examples/sparse_attention.rs Cargo.toml
+
+/root/repo/target/release/examples/libsparse_attention-4f0a275f56bf8be1.rmeta: examples/sparse_attention.rs Cargo.toml
+
+examples/sparse_attention.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

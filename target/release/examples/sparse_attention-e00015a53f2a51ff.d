@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sparse_attention-e00015a53f2a51ff.d: examples/sparse_attention.rs
+
+/root/repo/target/release/examples/sparse_attention-e00015a53f2a51ff: examples/sparse_attention.rs
+
+examples/sparse_attention.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/train_long_context-079f2f17c8bd4001.d: examples/train_long_context.rs Cargo.toml
+
+/root/repo/target/release/examples/libtrain_long_context-079f2f17c8bd4001.rmeta: examples/train_long_context.rs Cargo.toml
+
+examples/train_long_context.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/train_long_context-2f427609ec06f01d.d: examples/train_long_context.rs
+
+/root/repo/target/release/examples/train_long_context-2f427609ec06f01d: examples/train_long_context.rs
+
+examples/train_long_context.rs:

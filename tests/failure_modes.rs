@@ -104,7 +104,10 @@ fn ulysses_error_is_typed_not_a_panic() {
         .err()
     });
     for e in outs {
-        assert_eq!(e, Some(UlyssesError::HeadsNotDivisible { heads: 3, group: 2 }));
+        assert_eq!(
+            e,
+            Some(UlyssesError::HeadsNotDivisible { heads: 3, group: 2 })
+        );
     }
 }
 
@@ -120,10 +123,19 @@ fn oom_and_head_failures_are_reported_not_panicked() {
         1 << 20,
     );
     match r {
-        Err(Infeasible::Oom { required_gb, budget_gb }) => {
+        Err(Infeasible::Oom {
+            required_gb,
+            budget_gb,
+        }) => {
             assert!(required_gb > budget_gb);
             // The error formats into the string the tables harness prints.
-            let msg = format!("{}", Infeasible::Oom { required_gb, budget_gb });
+            let msg = format!(
+                "{}",
+                Infeasible::Oom {
+                    required_gb,
+                    budget_gb
+                }
+            );
             assert!(msg.contains("OOM"));
         }
         other => panic!("expected OOM, got {other:?}"),

@@ -144,7 +144,14 @@ fn paper_scale_headline_numbers_hold() {
     let c = Cluster::a800(4, 8);
     let m = PaperModel::llama_14b();
     let mask = AttnMask::Causal;
-    let burst = evaluate(&Method::BurstEngine(BurstOpts::full()), &c, &m, &mask, 1 << 20).unwrap();
+    let burst = evaluate(
+        &Method::BurstEngine(BurstOpts::full()),
+        &c,
+        &m,
+        &mask,
+        1 << 20,
+    )
+    .unwrap();
     let usp = evaluate(&Method::LoongTrainUsp, &c, &m, &mask, 1 << 20).unwrap();
     assert!(burst.tgs / usp.tgs > 1.1, "speedup {}", burst.tgs / usp.tgs);
     assert!(
@@ -153,7 +160,14 @@ fn paper_scale_headline_numbers_hold() {
         1.0 - burst.mem_gb / usp.mem_gb
     );
     let c64 = Cluster::a800(8, 8);
-    assert!(evaluate(&Method::BurstEngine(BurstOpts::full()), &c64, &m, &mask, 2 << 20).is_ok());
+    assert!(evaluate(
+        &Method::BurstEngine(BurstOpts::full()),
+        &c64,
+        &m,
+        &mask,
+        2 << 20
+    )
+    .is_ok());
     for b in [
         Method::MegatronCp,
         Method::DeepSpeedUlysses,
