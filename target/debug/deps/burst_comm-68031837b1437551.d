@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/burst_comm-68031837b1437551.d: crates/comm/src/lib.rs crates/comm/src/comm.rs crates/comm/src/stats.rs crates/comm/src/topology.rs crates/comm/src/trace.rs crates/comm/src/world.rs
+
+/root/repo/target/debug/deps/libburst_comm-68031837b1437551.rlib: crates/comm/src/lib.rs crates/comm/src/comm.rs crates/comm/src/stats.rs crates/comm/src/topology.rs crates/comm/src/trace.rs crates/comm/src/world.rs
+
+/root/repo/target/debug/deps/libburst_comm-68031837b1437551.rmeta: crates/comm/src/lib.rs crates/comm/src/comm.rs crates/comm/src/stats.rs crates/comm/src/topology.rs crates/comm/src/trace.rs crates/comm/src/world.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/comm.rs:
+crates/comm/src/stats.rs:
+crates/comm/src/topology.rs:
+crates/comm/src/trace.rs:
+crates/comm/src/world.rs:

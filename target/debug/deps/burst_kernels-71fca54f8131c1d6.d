@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/burst_kernels-71fca54f8131c1d6.d: crates/kernels/src/lib.rs crates/kernels/src/flash.rs crates/kernels/src/lmhead.rs crates/kernels/src/mask.rs crates/kernels/src/naive.rs crates/kernels/src/online.rs
+
+/root/repo/target/debug/deps/libburst_kernels-71fca54f8131c1d6.rlib: crates/kernels/src/lib.rs crates/kernels/src/flash.rs crates/kernels/src/lmhead.rs crates/kernels/src/mask.rs crates/kernels/src/naive.rs crates/kernels/src/online.rs
+
+/root/repo/target/debug/deps/libburst_kernels-71fca54f8131c1d6.rmeta: crates/kernels/src/lib.rs crates/kernels/src/flash.rs crates/kernels/src/lmhead.rs crates/kernels/src/mask.rs crates/kernels/src/naive.rs crates/kernels/src/online.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/flash.rs:
+crates/kernels/src/lmhead.rs:
+crates/kernels/src/mask.rs:
+crates/kernels/src/naive.rs:
+crates/kernels/src/online.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/burst_model-727d70ca2f4ceb09.d: crates/model/src/lib.rs crates/model/src/attention.rs crates/model/src/block.rs crates/model/src/checkpoint.rs crates/model/src/checkpoint_io.rs crates/model/src/embedding.rs crates/model/src/engine.rs crates/model/src/ffn.rs crates/model/src/fsdp.rs crates/model/src/linear.rs crates/model/src/memory.rs crates/model/src/model.rs crates/model/src/norm.rs crates/model/src/param.rs crates/model/src/rope.rs
+
+/root/repo/target/debug/deps/libburst_model-727d70ca2f4ceb09.rlib: crates/model/src/lib.rs crates/model/src/attention.rs crates/model/src/block.rs crates/model/src/checkpoint.rs crates/model/src/checkpoint_io.rs crates/model/src/embedding.rs crates/model/src/engine.rs crates/model/src/ffn.rs crates/model/src/fsdp.rs crates/model/src/linear.rs crates/model/src/memory.rs crates/model/src/model.rs crates/model/src/norm.rs crates/model/src/param.rs crates/model/src/rope.rs
+
+/root/repo/target/debug/deps/libburst_model-727d70ca2f4ceb09.rmeta: crates/model/src/lib.rs crates/model/src/attention.rs crates/model/src/block.rs crates/model/src/checkpoint.rs crates/model/src/checkpoint_io.rs crates/model/src/embedding.rs crates/model/src/engine.rs crates/model/src/ffn.rs crates/model/src/fsdp.rs crates/model/src/linear.rs crates/model/src/memory.rs crates/model/src/model.rs crates/model/src/norm.rs crates/model/src/param.rs crates/model/src/rope.rs
+
+crates/model/src/lib.rs:
+crates/model/src/attention.rs:
+crates/model/src/block.rs:
+crates/model/src/checkpoint.rs:
+crates/model/src/checkpoint_io.rs:
+crates/model/src/embedding.rs:
+crates/model/src/engine.rs:
+crates/model/src/ffn.rs:
+crates/model/src/fsdp.rs:
+crates/model/src/linear.rs:
+crates/model/src/memory.rs:
+crates/model/src/model.rs:
+crates/model/src/norm.rs:
+crates/model/src/param.rs:
+crates/model/src/rope.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/burst_perf-023f10d9ea19b30f.d: crates/perf/src/lib.rs crates/perf/src/commtime.rs crates/perf/src/endtoend.rs crates/perf/src/flops.rs crates/perf/src/machine.rs crates/perf/src/memory.rs
+
+/root/repo/target/debug/deps/libburst_perf-023f10d9ea19b30f.rlib: crates/perf/src/lib.rs crates/perf/src/commtime.rs crates/perf/src/endtoend.rs crates/perf/src/flops.rs crates/perf/src/machine.rs crates/perf/src/memory.rs
+
+/root/repo/target/debug/deps/libburst_perf-023f10d9ea19b30f.rmeta: crates/perf/src/lib.rs crates/perf/src/commtime.rs crates/perf/src/endtoend.rs crates/perf/src/flops.rs crates/perf/src/machine.rs crates/perf/src/memory.rs
+
+crates/perf/src/lib.rs:
+crates/perf/src/commtime.rs:
+crates/perf/src/endtoend.rs:
+crates/perf/src/flops.rs:
+crates/perf/src/machine.rs:
+crates/perf/src/memory.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/burst_tensor-f0c44f92ce236265.d: crates/tensor/src/lib.rs crates/tensor/src/bf16.rs crates/tensor/src/mat.rs crates/tensor/src/ops.rs crates/tensor/src/random.rs crates/tensor/src/scratch.rs crates/tensor/src/testutil.rs
+
+/root/repo/target/debug/deps/libburst_tensor-f0c44f92ce236265.rlib: crates/tensor/src/lib.rs crates/tensor/src/bf16.rs crates/tensor/src/mat.rs crates/tensor/src/ops.rs crates/tensor/src/random.rs crates/tensor/src/scratch.rs crates/tensor/src/testutil.rs
+
+/root/repo/target/debug/deps/libburst_tensor-f0c44f92ce236265.rmeta: crates/tensor/src/lib.rs crates/tensor/src/bf16.rs crates/tensor/src/mat.rs crates/tensor/src/ops.rs crates/tensor/src/random.rs crates/tensor/src/scratch.rs crates/tensor/src/testutil.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/bf16.rs:
+crates/tensor/src/mat.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/random.rs:
+crates/tensor/src/scratch.rs:
+crates/tensor/src/testutil.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/burstengine-06e3b0eb9e1dac95.d: src/lib.rs
+
+/root/repo/target/debug/deps/burstengine-06e3b0eb9e1dac95: src/lib.rs
+
+src/lib.rs:

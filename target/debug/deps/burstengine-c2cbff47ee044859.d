@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/burstengine-c2cbff47ee044859.d: src/lib.rs
+
+/root/repo/target/debug/deps/libburstengine-c2cbff47ee044859.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libburstengine-c2cbff47ee044859.rmeta: src/lib.rs
+
+src/lib.rs:

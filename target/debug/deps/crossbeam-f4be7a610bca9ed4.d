@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-f4be7a610bca9ed4.d: shims/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-f4be7a610bca9ed4.rlib: shims/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-f4be7a610bca9ed4.rmeta: shims/crossbeam/src/lib.rs
+
+shims/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_modes-1fa9ebe1e5bf7c4f.d: tests/failure_modes.rs
+
+/root/repo/target/debug/deps/failure_modes-1fa9ebe1e5bf7c4f: tests/failure_modes.rs
+
+tests/failure_modes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_stack-cf49e971bdc5955b.d: tests/full_stack.rs
+
+/root/repo/target/debug/deps/full_stack-cf49e971bdc5955b: tests/full_stack.rs
+
+tests/full_stack.rs:

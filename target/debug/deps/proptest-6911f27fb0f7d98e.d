@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-6911f27fb0f7d98e.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-6911f27fb0f7d98e.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-6911f27fb0f7d98e.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-9a7afa764bcafff9.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-9a7afa764bcafff9.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-9a7afa764bcafff9.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-634468494c192fd5.d: shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-634468494c192fd5.rlib: shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-634468494c192fd5.rmeta: shims/rayon/src/lib.rs
+
+shims/rayon/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-6db6b2d30cab15d5.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-6db6b2d30cab15d5.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-6db6b2d30cab15d5.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

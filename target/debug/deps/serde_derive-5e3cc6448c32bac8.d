@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-5e3cc6448c32bac8.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-5e3cc6448c32bac8.so: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

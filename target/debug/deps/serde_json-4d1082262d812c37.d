@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-4d1082262d812c37.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-4d1082262d812c37.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-4d1082262d812c37.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/char_lm-0a154d1777450497.d: examples/char_lm.rs
+
+/root/repo/target/debug/examples/char_lm-0a154d1777450497: examples/char_lm.rs
+
+examples/char_lm.rs:

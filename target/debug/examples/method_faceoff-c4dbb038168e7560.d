@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/method_faceoff-c4dbb038168e7560.d: examples/method_faceoff.rs
+
+/root/repo/target/debug/examples/method_faceoff-c4dbb038168e7560: examples/method_faceoff.rs
+
+examples/method_faceoff.rs:

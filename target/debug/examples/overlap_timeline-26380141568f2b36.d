@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/overlap_timeline-26380141568f2b36.d: examples/overlap_timeline.rs
+
+/root/repo/target/debug/examples/overlap_timeline-26380141568f2b36: examples/overlap_timeline.rs
+
+examples/overlap_timeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c552a727ba621133.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c552a727ba621133: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sparse_attention-63f8378f29e7ebeb.d: examples/sparse_attention.rs
+
+/root/repo/target/debug/examples/sparse_attention-63f8378f29e7ebeb: examples/sparse_attention.rs
+
+examples/sparse_attention.rs:

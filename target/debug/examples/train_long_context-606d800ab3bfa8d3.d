@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/train_long_context-606d800ab3bfa8d3.d: examples/train_long_context.rs
+
+/root/repo/target/debug/examples/train_long_context-606d800ab3bfa8d3: examples/train_long_context.rs
+
+examples/train_long_context.rs:
