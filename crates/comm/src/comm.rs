@@ -1,10 +1,20 @@
-//! The per-rank [`Communicator`]: P2P messaging, collectives, virtual clock.
+//! The per-rank [`Communicator`]: P2P messaging, collectives, virtual clock,
+//! and fallible `try_*` variants that surface injected faults as typed
+//! [`CommError`]s instead of panics.
 
+use crate::fault::{CommError, CrashAt, FaultPlan};
 use crate::stats::CommStats;
 use crate::topology::Topology;
 use crate::trace::TraceEvent;
 use burst_tensor::Mat;
-use crossbeam::channel::{Receiver, Sender};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
+
+/// Wall-clock backstop for receives under a fault plan: the virtual-clock
+/// deadline is the real timeout mechanism (deterministic), but if a bug ever
+/// leaves a rank blocked on a message that will never be sent, this bound
+/// converts the would-be deadlock into a typed error instead of a hang.
+const WALL_BACKSTOP: Duration = Duration::from_secs(30);
 
 /// A message payload. Real data moves between ranks so distributed
 /// algorithms are numerically exact end-to-end.
@@ -26,13 +36,74 @@ impl MsgData {
             MsgData::Empty => 0,
         }
     }
+
+    /// Human-readable payload kind + shape, for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            MsgData::Mat(m) => format!("Mat {}x{}", m.rows(), m.cols()),
+            MsgData::Vec(v) => format!("Vec[{}]", v.len()),
+            MsgData::Scalar(_) => "Scalar".to_string(),
+            MsgData::Empty => "Empty".to_string(),
+        }
+    }
+
+    /// FNV-1a over the payload bits (shape included), for in-flight
+    /// corruption detection. Only computed when a fault plan is active.
+    fn checksum(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |b: u64| {
+            h ^= b;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        match self {
+            MsgData::Mat(m) => {
+                eat(m.rows() as u64);
+                eat(m.cols() as u64);
+                for v in m.as_slice() {
+                    eat(v.to_bits() as u64);
+                }
+            }
+            MsgData::Vec(v) => {
+                eat(v.len() as u64);
+                for x in v {
+                    eat(x.to_bits() as u64);
+                }
+            }
+            MsgData::Scalar(s) => eat(s.to_bits()),
+            MsgData::Empty => eat(0),
+        }
+        h
+    }
+
+    /// Flip the sign bit of the first element (injected corruption). The
+    /// checksum is taken *before* this, so the receiver detects it.
+    fn corrupt_in_place(&mut self) {
+        match self {
+            MsgData::Mat(m) => {
+                if let Some(x) = m.as_mut_slice().first_mut() {
+                    *x = f32::from_bits(x.to_bits() ^ 0x8000_0000);
+                }
+            }
+            MsgData::Vec(v) => {
+                if let Some(x) = v.first_mut() {
+                    *x = f32::from_bits(x.to_bits() ^ 0x8000_0000);
+                }
+            }
+            MsgData::Scalar(s) => *s = f64::from_bits(s.to_bits() ^ (1 << 63)),
+            MsgData::Empty => {}
+        }
+    }
 }
 
-/// A message in flight: payload plus its causal virtual arrival time.
+/// A message in flight: payload plus its causal virtual arrival time and
+/// (under a fault plan) a payload checksum. `dropped` marks a message the
+/// plan discarded on the wire — the receiver consumes it as a timeout.
 #[derive(Debug, Clone)]
 pub struct Msg {
     pub arrival: f64,
     pub data: MsgData,
+    pub checksum: u64,
+    pub dropped: bool,
 }
 
 /// One rank's endpoint into the simulated cluster.
@@ -43,6 +114,13 @@ pub struct Msg {
 /// back-to-back sends through one port serialise. A receive advances the
 /// local clock to the message's arrival time — communication posted early
 /// and consumed late therefore overlaps with compute automatically.
+///
+/// Every operation has two forms: the infallible classic form (`send`,
+/// `recv_mat`, `all_gather_mat`, …) that panics on failure with a message
+/// naming the local rank, the peer and the expected payload kind, and a
+/// fallible `try_*` form returning `Result<_, CommError>`. Under a fault
+/// plan the infallible forms panic with the typed [`CommError`] itself as
+/// the payload so [`crate::World::run_faulty`] can recover it.
 pub struct Communicator {
     rank: usize,
     topo: Topology,
@@ -53,6 +131,11 @@ pub struct Communicator {
     nic_free: f64,
     stats: CommStats,
     trace: Option<Vec<TraceEvent>>,
+    fault: Option<FaultPlan>,
+    /// Communication operations performed so far (sends + receives).
+    ops: u64,
+    /// Per-destination sent-message counters (fault trigger indexing).
+    sent: Vec<u64>,
 }
 
 impl Communicator {
@@ -61,7 +144,9 @@ impl Communicator {
         topo: Topology,
         tx: Vec<Sender<Msg>>,
         rx: Vec<Receiver<Msg>>,
+        fault: Option<FaultPlan>,
     ) -> Self {
+        let world = topo.world_size();
         Communicator {
             rank,
             topo,
@@ -72,6 +157,9 @@ impl Communicator {
             nic_free: 0.0,
             stats: CommStats::default(),
             trace: None,
+            fault,
+            ops: 0,
+            sent: vec![0; world],
         }
     }
 
@@ -122,6 +210,31 @@ impl Communicator {
         self.stats
     }
 
+    /// Communication operations (sends + receives) performed so far — the
+    /// index space of [`FaultPlan::crash_at_op`].
+    #[inline]
+    pub fn op_count(&self) -> u64 {
+        self.ops
+    }
+
+    /// Whether a fault plan is installed on this world.
+    #[inline]
+    pub fn has_faults(&self) -> bool {
+        self.fault.is_some()
+    }
+
+    /// Escalate a typed error through the infallible API: under a fault
+    /// plan the panic payload is the [`CommError`] itself (recoverable by
+    /// [`crate::World::run_faulty`]); otherwise a readable message.
+    #[track_caller]
+    pub fn escalate(&self, e: CommError) -> ! {
+        if self.fault.is_some() {
+            std::panic::panic_any(e)
+        } else {
+            panic!("{e}")
+        }
+    }
+
     /// Model `seconds` of local compute (advances the virtual clock).
     pub fn advance_compute(&mut self, seconds: f64) {
         debug_assert!(seconds >= 0.0, "negative compute time");
@@ -137,14 +250,73 @@ impl Communicator {
         self.stats.compute_time += seconds;
     }
 
-    /// Non-blocking send of `data` to `dst`.
-    #[track_caller]
-    pub fn send(&mut self, dst: usize, data: MsgData) {
-        assert!(dst < self.world_size(), "send: dst {dst} out of range");
-        assert_ne!(dst, self.rank, "send: self-send is not supported");
+    /// Check this rank's scheduled crash trigger and count the operation.
+    /// Once the trigger fires every subsequent operation fails too — a
+    /// crashed rank stays crashed.
+    fn check_crash(&mut self) -> Result<(), CommError> {
+        if let Some(plan) = &self.fault {
+            match plan.crash_trigger(self.rank) {
+                Some(CrashAt::Time(t)) if self.clock >= t => {
+                    return Err(CommError::Crashed {
+                        rank: self.rank,
+                        at: self.clock,
+                    });
+                }
+                Some(CrashAt::Op(n)) if self.ops >= n => {
+                    return Err(CommError::Crashed {
+                        rank: self.rank,
+                        at: self.clock,
+                    });
+                }
+                _ => {}
+            }
+        }
+        self.ops += 1;
+        Ok(())
+    }
+
+    /// The virtual-clock deadline for a receive posted now.
+    fn recv_deadline_abs(&self) -> f64 {
+        match &self.fault {
+            Some(plan) => self.clock + plan.deadline_secs(),
+            None => f64::INFINITY,
+        }
+    }
+
+    /// Non-blocking send of `data` to `dst` (fallible form).
+    pub fn try_send(&mut self, dst: usize, data: MsgData) -> Result<(), CommError> {
+        assert!(
+            dst < self.world_size(),
+            "rank {}: send: dst {dst} out of range (world size {})",
+            self.rank,
+            self.world_size()
+        );
+        assert_ne!(
+            dst, self.rank,
+            "rank {}: send: self-send is not supported",
+            self.rank
+        );
+        self.check_crash()?;
+        let mut data = data;
         let elems = data.elems();
         let bytes = self.topo.wire_bytes(elems);
         let link = self.topo.link(self.rank, dst);
+        let msg_index = self.sent[dst];
+        self.sent[dst] += 1;
+        // Injected link faults: deterministic extra latency/jitter, drops
+        // and corruption, all keyed off the plan seed and message index.
+        let (extra, dropped, checksum) = match &self.fault {
+            Some(plan) => {
+                let extra = plan.extra_latency(self.rank, dst, msg_index);
+                let dropped = plan.should_drop(self.rank, dst, msg_index);
+                let checksum = data.checksum();
+                if plan.should_corrupt(self.rank, dst, msg_index) {
+                    data.corrupt_in_place();
+                }
+                (extra, dropped, checksum)
+            }
+            None => (0.0, false, 0),
+        };
         let port_free = if self.topo.same_node(self.rank, dst) {
             &mut self.intra_port_free
         } else {
@@ -153,7 +325,7 @@ impl Communicator {
         let depart = self.clock.max(*port_free);
         let tx_time = link.serialization(bytes);
         *port_free = depart + tx_time;
-        let arrival = depart + link.latency + tx_time;
+        let arrival = depart + link.latency + extra + tx_time;
         if self.topo.same_node(self.rank, dst) {
             self.stats.intra_msgs += 1;
             self.stats.intra_elems += elems as u64;
@@ -173,21 +345,103 @@ impl Communicator {
             });
         }
         self.tx[dst]
-            .send(Msg { arrival, data })
-            .expect("send: peer rank terminated");
+            .send(Msg {
+                arrival,
+                data,
+                checksum,
+                dropped,
+            })
+            .map_err(|_| CommError::PeerLost {
+                rank: self.rank,
+                src: dst,
+            })
     }
 
-    /// Blocking receive of the next message from `src`. Advances the clock
-    /// to the message's causal arrival time.
+    /// Non-blocking send of `data` to `dst`. Panics (with rank/peer
+    /// context) if the peer has terminated.
     #[track_caller]
-    pub fn recv(&mut self, src: usize) -> MsgData {
-        assert!(src < self.world_size(), "recv: src {src} out of range");
-        assert_ne!(src, self.rank, "recv: self-recv is not supported");
-        let msg = self.rx[src].recv().expect("recv: peer rank terminated");
+    pub fn send(&mut self, dst: usize, data: MsgData) {
+        if let Err(e) = self.try_send(dst, data) {
+            self.escalate(e);
+        }
+    }
+
+    /// Blocking receive of the next message from `src` (fallible form).
+    /// Advances the clock to the message's causal arrival time; a message
+    /// arriving after the fault plan's virtual deadline — or dropped on the
+    /// wire — is consumed as [`CommError::Timeout`], and a payload failing
+    /// checksum validation as [`CommError::Corrupt`].
+    pub fn try_recv(&mut self, src: usize) -> Result<MsgData, CommError> {
+        assert!(
+            src < self.world_size(),
+            "rank {}: recv: src {src} out of range (world size {})",
+            self.rank,
+            self.world_size()
+        );
+        assert_ne!(
+            src, self.rank,
+            "rank {}: recv: self-recv is not supported",
+            self.rank
+        );
+        self.check_crash()?;
         let posted = self.clock;
+        let deadline = self.recv_deadline_abs();
+        let msg = if self.fault.is_some() {
+            match self.rx[src].recv_timeout(WALL_BACKSTOP) {
+                Ok(m) => m,
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CommError::PeerLost {
+                        rank: self.rank,
+                        src,
+                    });
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(CommError::Timeout {
+                        rank: self.rank,
+                        src,
+                        deadline,
+                    });
+                }
+            }
+        } else {
+            match self.rx[src].recv() {
+                Ok(m) => m,
+                Err(_) => {
+                    return Err(CommError::PeerLost {
+                        rank: self.rank,
+                        src,
+                    });
+                }
+            }
+        };
+        if msg.dropped || msg.arrival > deadline {
+            // The wait burns virtual time up to the deadline; the message
+            // itself is gone (dropped) or too late to use.
+            if deadline.is_finite() && deadline > self.clock {
+                self.stats.wait_time += deadline - self.clock;
+                self.clock = deadline;
+            }
+            return Err(CommError::Timeout {
+                rank: self.rank,
+                src,
+                deadline,
+            });
+        }
         if msg.arrival > self.clock {
             self.stats.wait_time += msg.arrival - self.clock;
             self.clock = msg.arrival;
+        }
+        if self.fault.is_some() && msg.data.checksum() != msg.checksum {
+            return Err(CommError::Corrupt {
+                rank: self.rank,
+                src,
+                detail: format!(
+                    "checksum mismatch on {} (expected {:#x}, got {:#x})",
+                    msg.data.describe(),
+                    msg.checksum,
+                    msg.data.checksum()
+                ),
+            });
         }
         if let Some(trace) = &mut self.trace {
             trace.push(TraceEvent::Recv {
@@ -197,7 +451,17 @@ impl Communicator {
                 completed: self.clock,
             });
         }
-        msg.data
+        Ok(msg.data)
+    }
+
+    /// Blocking receive of the next message from `src`. Panics (with
+    /// rank/peer context) if the peer has terminated.
+    #[track_caller]
+    pub fn recv(&mut self, src: usize) -> MsgData {
+        match self.try_recv(src) {
+            Ok(d) => d,
+            Err(e) => self.escalate(e),
+        }
     }
 
     // ----- typed helpers ---------------------------------------------------
@@ -206,11 +470,27 @@ impl Communicator {
         self.send(dst, MsgData::Mat(m.clone()));
     }
 
+    pub fn try_send_mat(&mut self, dst: usize, m: &Mat) -> Result<(), CommError> {
+        self.try_send(dst, MsgData::Mat(m.clone()))
+    }
+
+    pub fn try_recv_mat(&mut self, src: usize) -> Result<Mat, CommError> {
+        match self.try_recv(src)? {
+            MsgData::Mat(m) => Ok(m),
+            other => Err(CommError::ShapeMismatch {
+                rank: self.rank,
+                src,
+                expected: "Mat",
+                got: other.describe(),
+            }),
+        }
+    }
+
     #[track_caller]
     pub fn recv_mat(&mut self, src: usize) -> Mat {
-        match self.recv(src) {
-            MsgData::Mat(m) => m,
-            other => panic!("recv_mat from {src}: got {other:?}"),
+        match self.try_recv_mat(src) {
+            Ok(m) => m,
+            Err(e) => self.escalate(e),
         }
     }
 
@@ -218,11 +498,27 @@ impl Communicator {
         self.send(dst, MsgData::Vec(v.to_vec()));
     }
 
+    pub fn try_send_vec(&mut self, dst: usize, v: &[f32]) -> Result<(), CommError> {
+        self.try_send(dst, MsgData::Vec(v.to_vec()))
+    }
+
+    pub fn try_recv_vec(&mut self, src: usize) -> Result<Vec<f32>, CommError> {
+        match self.try_recv(src)? {
+            MsgData::Vec(v) => Ok(v),
+            other => Err(CommError::ShapeMismatch {
+                rank: self.rank,
+                src,
+                expected: "Vec",
+                got: other.describe(),
+            }),
+        }
+    }
+
     #[track_caller]
     pub fn recv_vec(&mut self, src: usize) -> Vec<f32> {
-        match self.recv(src) {
-            MsgData::Vec(v) => v,
-            other => panic!("recv_vec from {src}: got {other:?}"),
+        match self.try_recv_vec(src) {
+            Ok(v) => v,
+            Err(e) => self.escalate(e),
         }
     }
 
@@ -230,11 +526,23 @@ impl Communicator {
         self.send(dst, MsgData::Scalar(s));
     }
 
+    pub fn try_recv_scalar(&mut self, src: usize) -> Result<f64, CommError> {
+        match self.try_recv(src)? {
+            MsgData::Scalar(s) => Ok(s),
+            other => Err(CommError::ShapeMismatch {
+                rank: self.rank,
+                src,
+                expected: "Scalar",
+                got: other.describe(),
+            }),
+        }
+    }
+
     #[track_caller]
     pub fn recv_scalar(&mut self, src: usize) -> f64 {
-        match self.recv(src) {
-            MsgData::Scalar(s) => s,
-            other => panic!("recv_scalar from {src}: got {other:?}"),
+        match self.try_recv_scalar(src) {
+            Ok(s) => s,
+            Err(e) => self.escalate(e),
         }
     }
 
@@ -277,27 +585,41 @@ impl Communicator {
         self.recv(self.prev_rank())
     }
 
+    /// Fallible [`Communicator::ring_shift`].
+    pub fn try_ring_shift(&mut self, data: MsgData) -> Result<MsgData, CommError> {
+        self.try_send(self.next_rank(), data)?;
+        self.try_recv(self.prev_rank())
+    }
+
     // ----- collectives -----------------------------------------------------
 
     /// Global barrier: gather-to-0 + broadcast of empty messages. After it
     /// returns, every rank's clock equals the global maximum (plus the
     /// barrier's own latency cost).
     pub fn barrier(&mut self) {
+        if let Err(e) = self.try_barrier() {
+            self.escalate(e);
+        }
+    }
+
+    /// Fallible [`Communicator::barrier`].
+    pub fn try_barrier(&mut self) -> Result<(), CommError> {
         let g = self.world_size();
         if g == 1 {
-            return;
+            return Ok(());
         }
         if self.rank == 0 {
             for src in 1..g {
-                let _ = self.recv(src);
+                let _ = self.try_recv(src)?;
             }
             for dst in 1..g {
-                self.send(dst, MsgData::Empty);
+                self.try_send(dst, MsgData::Empty)?;
             }
         } else {
-            self.send(0, MsgData::Empty);
-            let _ = self.recv(0);
+            self.try_send(0, MsgData::Empty)?;
+            let _ = self.try_recv(0)?;
         }
+        Ok(())
     }
 
     /// Ring all-gather: returns every rank's matrix, indexed by rank.
@@ -306,21 +628,29 @@ impl Communicator {
     /// received in the previous step), so port occupancy and latency follow
     /// the real algorithm.
     pub fn all_gather_mat(&mut self, mine: &Mat) -> Vec<Mat> {
+        match self.try_all_gather_mat(mine) {
+            Ok(v) => v,
+            Err(e) => self.escalate(e),
+        }
+    }
+
+    /// Fallible [`Communicator::all_gather_mat`].
+    pub fn try_all_gather_mat(&mut self, mine: &Mat) -> Result<Vec<Mat>, CommError> {
         let g = self.world_size();
         let mut parts: Vec<Option<Mat>> = vec![None; g];
         parts[self.rank] = Some(mine.clone());
         let mut cursor = self.rank; // index of the block we forward next
         for _ in 0..g.saturating_sub(1) {
             let outgoing = parts[cursor].clone().expect("ring all-gather invariant");
-            self.send(self.next_rank(), MsgData::Mat(outgoing));
-            let incoming = self.recv_mat(self.prev_rank());
+            self.try_send(self.next_rank(), MsgData::Mat(outgoing))?;
+            let incoming = self.try_recv_mat(self.prev_rank())?;
             cursor = (cursor + g - 1) % g;
             parts[cursor] = Some(incoming);
         }
-        parts
+        Ok(parts
             .into_iter()
             .map(|p| p.expect("ring all-gather missed a block"))
-            .collect()
+            .collect())
     }
 
     /// Ring reduce-scatter (sum): `parts[d]` is this rank's contribution to
@@ -328,10 +658,25 @@ impl Communicator {
     /// rank.
     #[track_caller]
     pub fn reduce_scatter_mat(&mut self, parts: &[Mat]) -> Mat {
+        match self.try_reduce_scatter_mat(parts) {
+            Ok(m) => m,
+            Err(e) => self.escalate(e),
+        }
+    }
+
+    /// Fallible [`Communicator::reduce_scatter_mat`].
+    #[track_caller]
+    pub fn try_reduce_scatter_mat(&mut self, parts: &[Mat]) -> Result<Mat, CommError> {
         let g = self.world_size();
-        assert_eq!(parts.len(), g, "reduce_scatter: need one part per rank");
+        assert_eq!(
+            parts.len(),
+            g,
+            "rank {}: reduce_scatter: need one part per rank ({} given, world size {g})",
+            self.rank,
+            parts.len()
+        );
         if g == 1 {
-            return parts[0].clone();
+            return Ok(parts[0].clone());
         }
         // Standard ring: block b starts at rank (b + G - 1) % G and flows
         // toward decreasing ranks, accumulating, until it lands on rank b.
@@ -339,42 +684,79 @@ impl Communicator {
         let mut cursor = (self.rank + 1) % g; // block we send first
         for _ in 0..g - 1 {
             let outgoing = acc[cursor].clone();
-            self.send(self.prev_rank(), MsgData::Mat(outgoing));
-            let incoming = self.recv_mat(self.next_rank());
+            self.try_send(self.prev_rank(), MsgData::Mat(outgoing))?;
+            let incoming = self.try_recv_mat(self.next_rank())?;
             cursor = (cursor + 1) % g;
+            if incoming.shape() != acc[cursor].shape() {
+                return Err(CommError::ShapeMismatch {
+                    rank: self.rank,
+                    src: self.next_rank(),
+                    expected: "reduce-scatter block of matching shape",
+                    got: format!(
+                        "Mat {}x{} (expected {}x{})",
+                        incoming.rows(),
+                        incoming.cols(),
+                        acc[cursor].rows(),
+                        acc[cursor].cols()
+                    ),
+                });
+            }
             acc[cursor].add_assign(&incoming);
         }
         debug_assert_eq!(cursor, self.rank);
-        acc[self.rank].clone()
+        Ok(acc[self.rank].clone())
     }
 
     /// All-reduce (sum) of a matrix: ring reduce-scatter over row blocks
     /// followed by ring all-gather when the row count divides evenly,
     /// otherwise a gather-broadcast fallback.
     pub fn all_reduce_mat(&mut self, m: &Mat) -> Mat {
+        match self.try_all_reduce_mat(m) {
+            Ok(m) => m,
+            Err(e) => self.escalate(e),
+        }
+    }
+
+    /// Fallible [`Communicator::all_reduce_mat`].
+    pub fn try_all_reduce_mat(&mut self, m: &Mat) -> Result<Mat, CommError> {
         let g = self.world_size();
         if g == 1 {
-            return m.clone();
+            return Ok(m.clone());
         }
         if m.rows().is_multiple_of(g) && m.rows() >= g {
             let parts = m.chunk_rows(g);
-            let mine = self.reduce_scatter_mat(&parts);
-            let gathered = self.all_gather_mat(&mine);
-            Mat::vstack(&gathered)
+            let mine = self.try_reduce_scatter_mat(&parts)?;
+            let gathered = self.try_all_gather_mat(&mine)?;
+            Ok(Mat::vstack(&gathered))
         } else {
             // Gather to rank 0, reduce, broadcast.
             if self.rank == 0 {
                 let mut acc = m.clone();
                 for src in 1..g {
-                    acc.add_assign(&self.recv_mat(src));
+                    let part = self.try_recv_mat(src)?;
+                    if part.shape() != acc.shape() {
+                        return Err(CommError::ShapeMismatch {
+                            rank: self.rank,
+                            src,
+                            expected: "all-reduce contribution of matching shape",
+                            got: format!(
+                                "Mat {}x{} (expected {}x{})",
+                                part.rows(),
+                                part.cols(),
+                                acc.rows(),
+                                acc.cols()
+                            ),
+                        });
+                    }
+                    acc.add_assign(&part);
                 }
                 for dst in 1..g {
-                    self.send_mat(dst, &acc);
+                    self.try_send_mat(dst, &acc)?;
                 }
-                acc
+                Ok(acc)
             } else {
-                self.send_mat(0, m);
-                self.recv_mat(0)
+                self.try_send_mat(0, m)?;
+                self.try_recv_mat(0)
             }
         }
     }
@@ -383,8 +765,23 @@ impl Communicator {
     /// from each rank `s` (our own block passes through untouched).
     #[track_caller]
     pub fn all_to_all_mat(&mut self, outgoing: Vec<Mat>) -> Vec<Mat> {
+        match self.try_all_to_all_mat(outgoing) {
+            Ok(v) => v,
+            Err(e) => self.escalate(e),
+        }
+    }
+
+    /// Fallible [`Communicator::all_to_all_mat`].
+    #[track_caller]
+    pub fn try_all_to_all_mat(&mut self, outgoing: Vec<Mat>) -> Result<Vec<Mat>, CommError> {
         let g = self.world_size();
-        assert_eq!(outgoing.len(), g, "all_to_all: need one block per rank");
+        assert_eq!(
+            outgoing.len(),
+            g,
+            "rank {}: all_to_all: need one block per rank ({} given, world size {g})",
+            self.rank,
+            outgoing.len()
+        );
         let mut incoming: Vec<Option<Mat>> = vec![None; g];
         // Schedule sends in an offset pattern (classic balanced exchange).
         let mut keep = None;
@@ -392,59 +789,85 @@ impl Communicator {
             if d == self.rank {
                 keep = Some(block);
             } else {
-                self.send(d, MsgData::Mat(block));
+                self.try_send(d, MsgData::Mat(block))?;
             }
         }
         incoming[self.rank] = keep;
         for off in 1..g {
             let src = (self.rank + g - off) % g;
-            incoming[src] = Some(self.recv_mat(src));
+            incoming[src] = Some(self.try_recv_mat(src)?);
         }
-        incoming
+        Ok(incoming
             .into_iter()
             .map(|p| p.expect("all_to_all missed a block"))
-            .collect()
+            .collect())
     }
 
     /// Broadcast from `root`. Non-root ranks pass `None`.
     #[track_caller]
     pub fn broadcast_mat(&mut self, root: usize, m: Option<&Mat>) -> Mat {
+        match self.try_broadcast_mat(root, m) {
+            Ok(m) => m,
+            Err(e) => self.escalate(e),
+        }
+    }
+
+    /// Fallible [`Communicator::broadcast_mat`].
+    #[track_caller]
+    pub fn try_broadcast_mat(&mut self, root: usize, m: Option<&Mat>) -> Result<Mat, CommError> {
         if self.rank == root {
-            let m = m.expect("broadcast: root must supply the matrix");
+            let m = m.unwrap_or_else(|| {
+                panic!("rank {}: broadcast: root must supply the matrix", self.rank)
+            });
             for dst in 0..self.world_size() {
                 if dst != root {
-                    self.send_mat(dst, m);
+                    self.try_send_mat(dst, m)?;
                 }
             }
-            m.clone()
+            Ok(m.clone())
         } else {
-            self.recv_mat(root)
+            self.try_recv_mat(root)
         }
     }
 
     /// All-reduce (sum) of a flat vector via gather-broadcast (used for
     /// scalars/short vectors where ring overhead is irrelevant).
     pub fn all_reduce_vec(&mut self, v: &[f32]) -> Vec<f32> {
+        match self.try_all_reduce_vec(v) {
+            Ok(v) => v,
+            Err(e) => self.escalate(e),
+        }
+    }
+
+    /// Fallible [`Communicator::all_reduce_vec`].
+    pub fn try_all_reduce_vec(&mut self, v: &[f32]) -> Result<Vec<f32>, CommError> {
         let g = self.world_size();
         if g == 1 {
-            return v.to_vec();
+            return Ok(v.to_vec());
         }
         if self.rank == 0 {
             let mut acc = v.to_vec();
             for src in 1..g {
-                let part = self.recv_vec(src);
-                assert_eq!(part.len(), acc.len(), "all_reduce_vec: length mismatch");
+                let part = self.try_recv_vec(src)?;
+                if part.len() != acc.len() {
+                    return Err(CommError::ShapeMismatch {
+                        rank: self.rank,
+                        src,
+                        expected: "all-reduce vector of matching length",
+                        got: format!("Vec[{}] (expected Vec[{}])", part.len(), acc.len()),
+                    });
+                }
                 for (a, p) in acc.iter_mut().zip(&part) {
                     *a += p;
                 }
             }
             for dst in 1..g {
-                self.send_vec(dst, &acc);
+                self.try_send_vec(dst, &acc)?;
             }
-            acc
+            Ok(acc)
         } else {
-            self.send_vec(0, v);
-            self.recv_vec(0)
+            self.try_send_vec(0, v)?;
+            self.try_recv_vec(0)
         }
     }
 }

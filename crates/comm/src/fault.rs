@@ -1,0 +1,334 @@
+//! Deterministic fault injection: typed communication errors and a seeded
+//! [`FaultPlan`] that turns the virtual cluster into a failure testbed.
+//!
+//! The plan is pure data attached to a [`crate::World`]: it schedules rank
+//! crashes (at a virtual time or at the n-th communication operation),
+//! per-link extra delay and seeded jitter (stragglers), message drops and
+//! payload corruption. Because every trigger is keyed off the deterministic
+//! virtual clock and per-link message counters — never off wall time or OS
+//! scheduling — the same plan and seed reproduce the same failure, bit for
+//! bit, on every run.
+//!
+//! Failures surface as [`CommError`] values naming the local rank, the peer
+//! and the deadline or payload detail involved, instead of context-free
+//! panics or deadlocks. The fallible `try_*` operations on
+//! [`crate::Communicator`] return them directly;
+//! [`crate::World::run_faulty`] collects per-rank `Result`s so one dead
+//! rank no longer aborts the whole simulation.
+
+/// A typed communication failure. Every injected fault (crash, timeout,
+/// drop, corruption) and every structural misuse (wrong payload kind)
+/// resolves to one of these, carrying enough context to attribute the
+/// failure to a rank, a peer and a cause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CommError {
+    /// The peer's rank thread terminated (crashed or returned early) while
+    /// `rank` was exchanging data with it.
+    PeerLost { rank: usize, src: usize },
+    /// A message from `src` did not arrive by the virtual-clock deadline
+    /// (straggler link or dropped packet).
+    Timeout {
+        rank: usize,
+        src: usize,
+        deadline: f64,
+    },
+    /// The payload kind or shape did not match what the receiver expected.
+    ShapeMismatch {
+        rank: usize,
+        src: usize,
+        expected: &'static str,
+        got: String,
+    },
+    /// The payload failed checksum validation (in-flight corruption).
+    Corrupt {
+        rank: usize,
+        src: usize,
+        detail: String,
+    },
+    /// This rank hit its scheduled [`FaultPlan`] crash point.
+    Crashed { rank: usize, at: f64 },
+    /// A rank panicked with a payload that was not a [`CommError`]
+    /// (collected by [`crate::World::run_faulty`] instead of unwinding).
+    Panicked { rank: usize, detail: String },
+}
+
+impl CommError {
+    /// The rank on which the error was observed.
+    pub fn rank(&self) -> usize {
+        match self {
+            CommError::PeerLost { rank, .. }
+            | CommError::Timeout { rank, .. }
+            | CommError::ShapeMismatch { rank, .. }
+            | CommError::Corrupt { rank, .. }
+            | CommError::Crashed { rank, .. }
+            | CommError::Panicked { rank, .. } => *rank,
+        }
+    }
+
+    /// The peer involved, when the failure has one.
+    pub fn peer(&self) -> Option<usize> {
+        match self {
+            CommError::PeerLost { src, .. }
+            | CommError::Timeout { src, .. }
+            | CommError::ShapeMismatch { src, .. }
+            | CommError::Corrupt { src, .. } => Some(*src),
+            CommError::Crashed { .. } | CommError::Panicked { .. } => None,
+        }
+    }
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::PeerLost { rank, src } => {
+                write!(f, "rank {rank}: peer rank {src} terminated")
+            }
+            CommError::Timeout {
+                rank,
+                src,
+                deadline,
+            } => write!(
+                f,
+                "rank {rank}: message from rank {src} missed its virtual deadline \
+                 ({deadline:.6}s)"
+            ),
+            CommError::ShapeMismatch {
+                rank,
+                src,
+                expected,
+                got,
+            } => write!(
+                f,
+                "rank {rank}: payload from rank {src} has wrong kind/shape: \
+                 expected {expected}, got {got}"
+            ),
+            CommError::Corrupt { rank, src, detail } => {
+                write!(f, "rank {rank}: corrupt payload from rank {src}: {detail}")
+            }
+            CommError::Crashed { rank, at } => {
+                write!(f, "rank {rank}: injected crash at virtual time {at:.6}s")
+            }
+            CommError::Panicked { rank, detail } => {
+                write!(f, "rank {rank}: panicked: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// When a scheduled crash fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CrashAt {
+    /// Crash at the first communication operation at or after this virtual
+    /// time.
+    Time(f64),
+    /// Crash at the n-th communication operation (send or receive,
+    /// 0-based) on that rank.
+    Op(u64),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct LinkFault {
+    src: usize,
+    dst: usize,
+    /// Deterministic extra one-way latency on every message (straggler).
+    extra_latency: f64,
+    /// Amplitude of seeded per-message jitter added on top (uniform in
+    /// `[0, jitter]`, derived from the plan seed and the message index).
+    jitter: f64,
+}
+
+/// SplitMix64: a tiny, high-quality deterministic mixer — all jitter
+/// randomness derives from it so a plan's seed fully determines the run.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A seeded, deterministic schedule of injected faults.
+///
+/// Built with a fluent API and attached to a [`crate::World`] via
+/// [`crate::World::with_faults`]:
+///
+/// ```
+/// use burst_comm::{FaultPlan, Topology, World};
+/// let plan = FaultPlan::new(42)
+///     .crash_at_op(2, 8)            // rank 2 dies at its 9th comm op
+///     .delay_link(0, 1, 5e-3, 1e-4) // straggler NIC with jitter
+///     .drop_msg(1, 0, 3)            // 4th message on link 1→0 vanishes
+///     .recv_deadline(1e-3);         // virtual-clock receive timeout
+/// let world = World::with_faults(Topology::single_node(4), plan);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    crashes: Vec<(usize, CrashAt)>,
+    links: Vec<LinkFault>,
+    drops: Vec<(usize, usize, u64)>,
+    corrupts: Vec<(usize, usize, u64)>,
+    recv_deadline: Option<f64>,
+}
+
+impl FaultPlan {
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Schedule `rank` to crash at the first comm op at or after virtual
+    /// time `t`.
+    pub fn crash_at_time(mut self, rank: usize, t: f64) -> Self {
+        self.crashes.push((rank, CrashAt::Time(t)));
+        self
+    }
+
+    /// Schedule `rank` to crash at its `op`-th communication operation
+    /// (sends and receives both count, 0-based).
+    pub fn crash_at_op(mut self, rank: usize, op: u64) -> Self {
+        self.crashes.push((rank, CrashAt::Op(op)));
+        self
+    }
+
+    /// Add `extra_latency` seconds (plus seeded jitter in `[0, jitter]`)
+    /// to every message on the directed link `src → dst` (a straggler NIC).
+    pub fn delay_link(mut self, src: usize, dst: usize, extra_latency: f64, jitter: f64) -> Self {
+        self.links.push(LinkFault {
+            src,
+            dst,
+            extra_latency,
+            jitter,
+        });
+        self
+    }
+
+    /// Drop the `index`-th message (0-based) sent on the directed link
+    /// `src → dst`. The receiver observes a virtual-deadline timeout
+    /// instead of the payload.
+    pub fn drop_msg(mut self, src: usize, dst: usize, index: u64) -> Self {
+        self.drops.push((src, dst, index));
+        self
+    }
+
+    /// Corrupt the payload of the `index`-th message on `src → dst`; the
+    /// receiver's checksum validation reports it as [`CommError::Corrupt`].
+    pub fn corrupt_msg(mut self, src: usize, dst: usize, index: u64) -> Self {
+        self.corrupts.push((src, dst, index));
+        self
+    }
+
+    /// Set the virtual-clock receive deadline: a `try_recv` whose message
+    /// arrives more than `seconds` of virtual time after the receive was
+    /// posted fails with [`CommError::Timeout`]. Default: no deadline.
+    pub fn recv_deadline(mut self, seconds: f64) -> Self {
+        self.recv_deadline = Some(seconds);
+        self
+    }
+
+    /// The configured virtual receive deadline (`INFINITY` when unset).
+    pub fn deadline_secs(&self) -> f64 {
+        self.recv_deadline.unwrap_or(f64::INFINITY)
+    }
+
+    /// The crash trigger for `rank`, if one is scheduled.
+    pub(crate) fn crash_trigger(&self, rank: usize) -> Option<CrashAt> {
+        self.crashes
+            .iter()
+            .find(|(r, _)| *r == rank)
+            .map(|(_, at)| *at)
+    }
+
+    /// Deterministic extra latency for message `index` on `src → dst`.
+    pub(crate) fn extra_latency(&self, src: usize, dst: usize, index: u64) -> f64 {
+        let mut extra = 0.0;
+        for l in &self.links {
+            if l.src == src && l.dst == dst {
+                extra += l.extra_latency;
+                if l.jitter > 0.0 {
+                    let h = splitmix64(
+                        self.seed
+                            ^ (src as u64).wrapping_mul(0x100_0001)
+                            ^ (dst as u64).wrapping_mul(0x1_0000_01b3)
+                            ^ index.wrapping_mul(0x9e3779b1),
+                    );
+                    extra += l.jitter * (h >> 11) as f64 / (1u64 << 53) as f64;
+                }
+            }
+        }
+        extra
+    }
+
+    pub(crate) fn should_drop(&self, src: usize, dst: usize, index: u64) -> bool {
+        self.drops
+            .iter()
+            .any(|&(s, d, i)| (s, d, i) == (src, dst, index))
+    }
+
+    pub(crate) fn should_corrupt(&self, src: usize, dst: usize, index: u64) -> bool {
+        self.corrupts
+            .iter()
+            .any(|&(s, d, i)| (s, d, i) == (src, dst, index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let plan = FaultPlan::new(7).delay_link(0, 1, 1e-3, 5e-4);
+        for idx in 0..32 {
+            let a = plan.extra_latency(0, 1, idx);
+            let b = plan.extra_latency(0, 1, idx);
+            assert_eq!(a, b, "same seed and index must give identical jitter");
+            assert!((1e-3..1e-3 + 5e-4).contains(&a));
+        }
+        // Different indices produce different jitter (with overwhelming
+        // probability for this seed).
+        assert_ne!(plan.extra_latency(0, 1, 0), plan.extra_latency(0, 1, 1));
+        // Unaffected links see no delay.
+        assert_eq!(plan.extra_latency(1, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::new(1).delay_link(0, 1, 0.0, 1e-3);
+        let b = FaultPlan::new(2).delay_link(0, 1, 0.0, 1e-3);
+        assert_ne!(a.extra_latency(0, 1, 0), b.extra_latency(0, 1, 0));
+    }
+
+    #[test]
+    fn triggers_match_exact_messages() {
+        let plan = FaultPlan::new(0).drop_msg(2, 3, 5).corrupt_msg(3, 2, 1);
+        assert!(plan.should_drop(2, 3, 5));
+        assert!(!plan.should_drop(2, 3, 4));
+        assert!(!plan.should_drop(3, 2, 5));
+        assert!(plan.should_corrupt(3, 2, 1));
+        assert!(!plan.should_corrupt(3, 2, 0));
+    }
+
+    #[test]
+    fn error_accessors_report_rank_and_peer() {
+        let e = CommError::Timeout {
+            rank: 3,
+            src: 1,
+            deadline: 0.5,
+        };
+        assert_eq!(e.rank(), 3);
+        assert_eq!(e.peer(), Some(1));
+        assert!(format!("{e}").contains("rank 3"));
+        assert!(format!("{e}").contains("rank 1"));
+        let c = CommError::Crashed { rank: 2, at: 1.0 };
+        assert_eq!(c.peer(), None);
+    }
+}

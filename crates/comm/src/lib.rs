@@ -29,12 +29,14 @@
 //! ([`Topology::a800`]).
 
 pub mod comm;
+pub mod fault;
 pub mod stats;
 pub mod topology;
 pub mod trace;
 pub mod world;
 
 pub use comm::{Communicator, Msg, MsgData};
+pub use fault::{CommError, CrashAt, FaultPlan};
 pub use stats::CommStats;
 pub use topology::{Link, Topology};
 pub use trace::{ascii_lane, summarize, TraceEvent, TraceSummary};

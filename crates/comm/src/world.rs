@@ -1,9 +1,11 @@
 //! Spawning a simulated cluster: one OS thread per rank.
 
 use crate::comm::{Communicator, Msg};
+use crate::fault::{CommError, FaultPlan};
 use crate::stats::CommStats;
 use crate::topology::Topology;
 use crossbeam::channel::unbounded;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// What each rank produced: the closure's return value, its communication
 /// counters and its final virtual clock.
@@ -16,34 +18,43 @@ pub struct RankOutput<R> {
     pub time: f64,
 }
 
-/// A simulated cluster described by a [`Topology`].
+/// A simulated cluster described by a [`Topology`], optionally carrying a
+/// deterministic [`FaultPlan`].
 #[derive(Debug, Clone)]
 pub struct World {
     topo: Topology,
+    fault: Option<FaultPlan>,
 }
 
 impl World {
     pub fn new(topo: Topology) -> Self {
-        World { topo }
+        World { topo, fault: None }
+    }
+
+    /// A world with an injected fault schedule. The plan is handed to every
+    /// rank's [`Communicator`]; use [`World::run_faulty`] to collect typed
+    /// per-rank failures instead of aborting on the first one.
+    pub fn with_faults(topo: Topology, plan: FaultPlan) -> Self {
+        World {
+            topo,
+            fault: Some(plan),
+        }
     }
 
     pub fn topology(&self) -> &Topology {
         &self.topo
     }
 
-    /// Run `f` on every rank concurrently (one OS thread per rank) and
-    /// collect the per-rank outputs, ordered by rank.
-    ///
-    /// Panics in any rank propagate (the whole simulation aborts), matching
-    /// the "a dead rank kills the job" semantics of real collectives.
-    pub fn run<R, F>(&self, f: F) -> Vec<RankOutput<R>>
-    where
-        R: Send,
-        F: Fn(&mut Communicator) -> R + Sync,
-    {
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
+    }
+
+    /// Build the per-rank communicators over a fresh channel matrix: pair
+    /// (src, dst) gets its own channel so message streams between distinct
+    /// peers never interleave.
+    fn communicators(&self) -> Vec<Communicator> {
         let g = self.topo.world_size();
-        // Channel matrix: pair (src, dst) gets its own channel so message
-        // streams between distinct peers never interleave.
         let mut senders: Vec<Vec<Option<crossbeam::channel::Sender<Msg>>>> =
             (0..g).map(|_| (0..g).map(|_| None).collect()).collect();
         let mut receivers: Vec<Vec<Option<crossbeam::channel::Receiver<Msg>>>> =
@@ -55,8 +66,7 @@ impl World {
                 receivers[dst][src] = Some(rx);
             }
         }
-
-        let comms: Vec<Communicator> = senders
+        senders
             .into_iter()
             .zip(receivers)
             .enumerate()
@@ -66,11 +76,27 @@ impl World {
                     self.topo.clone(),
                     tx_row.into_iter().map(|t| t.unwrap()).collect(),
                     rx_row.into_iter().map(|r| r.unwrap()).collect(),
+                    self.fault.clone(),
                 )
             })
-            .collect();
+            .collect()
+    }
 
+    /// Run `f` on every rank concurrently (one OS thread per rank) and
+    /// collect the per-rank outputs, ordered by rank.
+    ///
+    /// Panics in any rank propagate (the whole simulation aborts), matching
+    /// the "a dead rank kills the job" semantics of real collectives. For
+    /// fault-tolerant runs that collect per-rank failures instead, see
+    /// [`World::run_faulty`].
+    pub fn run<R, F>(&self, f: F) -> Vec<RankOutput<R>>
+    where
+        R: Send,
+        F: Fn(&mut Communicator) -> R + Sync,
+    {
+        let comms = self.communicators();
         let f = &f;
+        let g = self.topo.world_size();
         let mut outputs: Vec<Option<RankOutput<R>>> = (0..g).map(|_| None).collect();
         std::thread::scope(|scope| {
             // Each thread *owns* its Communicator: if a rank panics, its
@@ -102,6 +128,88 @@ impl World {
             }
             if let Some(payload) = panicked {
                 std::panic::resume_unwind(payload);
+            }
+        });
+        outputs.into_iter().map(|o| o.unwrap()).collect()
+    }
+
+    /// Fault-tolerant run: every rank's outcome is collected as a
+    /// `Result<R, CommError>` and one dead rank no longer aborts the
+    /// simulation.
+    ///
+    /// `f` may fail in two ways: by returning `Err(E)` (the `try_*` API —
+    /// `E` is any error convertible from [`CommError`], e.g. `CommError`
+    /// itself or `burst-dattn`'s round-annotated failure type), or by
+    /// panicking — a panic whose payload is an `E` or a [`CommError`]
+    /// (what the infallible API raises under a fault plan) is recovered
+    /// verbatim; any other panic is wrapped as [`CommError::Panicked`] with
+    /// the panic message as detail. When a rank dies its channel endpoints
+    /// drop, so peers blocked on it observe [`CommError::PeerLost`] rather
+    /// than deadlocking.
+    pub fn run_faulty<R, E, F>(&self, f: F) -> Vec<RankOutput<Result<R, E>>>
+    where
+        R: Send,
+        E: From<CommError> + Send + 'static,
+        F: Fn(&mut Communicator) -> Result<R, E> + Sync,
+    {
+        let comms = self.communicators();
+        let f = &f;
+        let g = self.topo.world_size();
+        let mut outputs: Vec<Option<RankOutput<Result<R, E>>>> = (0..g).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .enumerate()
+                .map(|(rank, mut comm)| {
+                    scope.spawn(move || {
+                        let caught = catch_unwind(AssertUnwindSafe(|| f(&mut comm)));
+                        match caught {
+                            Ok(result) => RankOutput {
+                                rank,
+                                result,
+                                stats: comm.stats(),
+                                time: comm.time(),
+                            },
+                            Err(payload) => {
+                                let err = match payload.downcast::<E>() {
+                                    Ok(e) => *e,
+                                    Err(payload) => match payload.downcast::<CommError>() {
+                                        Ok(e) => E::from(*e),
+                                        Err(payload) => {
+                                            let detail = if let Some(s) =
+                                                payload.downcast_ref::<String>()
+                                            {
+                                                s.clone()
+                                            } else if let Some(s) = payload.downcast_ref::<&str>() {
+                                                (*s).to_string()
+                                            } else {
+                                                "non-string panic payload".to_string()
+                                            };
+                                            E::from(CommError::Panicked { rank, detail })
+                                        }
+                                    },
+                                };
+                                // The communicator survived the unwind (we
+                                // still own it here), so report its state
+                                // and only then drop it to release the
+                                // channels for the surviving peers.
+                                RankOutput {
+                                    rank,
+                                    result: Err(err),
+                                    stats: comm.stats(),
+                                    time: comm.time(),
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                // Threads can no longer panic past catch_unwind; a join
+                // error would mean the harness itself is broken.
+                let out = h.join().expect("run_faulty: rank thread died outside f");
+                let rank = out.rank;
+                outputs[rank] = Some(out);
             }
         });
         outputs.into_iter().map(|o| o.unwrap()).collect()

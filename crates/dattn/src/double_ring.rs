@@ -29,13 +29,25 @@
 //! each sweep's start bundle) by reference — steady-state rounds perform no
 //! heap allocations in the tile-compute path.
 
-use crate::ring::{AttnShard, BackwardInputs, DistAttnOut};
+use crate::ring::{escalate_attn, AttnFailure, AttnShard, BackwardInputs, DistAttnOut, Phase};
 use burst_comm::Communicator;
 use burst_kernels::{attn_tile_backward, attn_tile_backward_acc, flash_forward_acc, KernelWork};
 use burst_tensor::{Mat, Scratch};
 
 /// Forward pass over the two-level ring.
 pub fn double_ring_forward(comm: &mut Communicator, shard: &AttnShard) -> DistAttnOut {
+    match try_double_ring_forward(comm, shard) {
+        Ok(out) => out,
+        Err(e) => escalate_attn(comm, e),
+    }
+}
+
+/// Fallible [`double_ring_forward`]: failures at slot `(outer, inner)` are
+/// reported with global round `outer · gpus_per_node + inner`.
+pub fn try_double_ring_forward(
+    comm: &mut Communicator,
+    shard: &AttnShard,
+) -> Result<DistAttnOut, AttnFailure> {
     let topo = comm.topology().clone();
     let (nodes, gpn) = (topo.nodes, topo.gpus_per_node);
     let g = comm.world_size();
@@ -58,19 +70,23 @@ pub fn double_ring_forward(comm: &mut Communicator, shard: &AttnShard) -> DistAt
         };
         if outer < nodes - 1 {
             // Early inter-node post: hides behind the whole intra sweep.
-            comm.send_mat(comm.peer_next_node(), start_k);
-            comm.send_mat(comm.peer_next_node(), start_v);
+            let at = AttnFailure::at(Phase::Forward, outer * gpn);
+            comm.try_send_mat(comm.peer_next_node(), start_k)
+                .map_err(&at)?;
+            comm.try_send_mat(comm.peer_next_node(), start_v)
+                .map_err(&at)?;
         }
         let mut cur_owned: Option<(Mat, Mat)> = None;
         let mut src = start_src;
         for inner in 0..gpn {
+            let at = AttnFailure::at(Phase::Forward, outer * gpn + inner);
             let (cur_k, cur_v) = match &cur_owned {
                 Some((k, v)) => (k, v),
                 None => (start_k, start_v),
             };
             if inner < gpn - 1 {
-                comm.send_mat(comm.next_in_node(), cur_k);
-                comm.send_mat(comm.next_in_node(), cur_v);
+                comm.try_send_mat(comm.next_in_node(), cur_k).map_err(&at)?;
+                comm.try_send_mat(comm.next_in_node(), cur_v).map_err(&at)?;
             }
             let w = flash_forward_acc(
                 shard.q,
@@ -88,25 +104,26 @@ pub fn double_ring_forward(comm: &mut Communicator, shard: &AttnShard) -> DistAt
             work.merge(w);
             if inner < gpn - 1 {
                 cur_owned = Some((
-                    comm.recv_mat(comm.prev_in_node()),
-                    comm.recv_mat(comm.prev_in_node()),
+                    comm.try_recv_mat(comm.prev_in_node()).map_err(&at)?,
+                    comm.try_recv_mat(comm.prev_in_node()).map_err(&at)?,
                 ));
                 src = topo.prev_in_node(src);
             }
         }
         if outer < nodes - 1 {
+            let at = AttnFailure::at(Phase::Forward, (outer + 1) * gpn - 1);
             start_owned = Some((
-                comm.recv_mat(comm.peer_prev_node()),
-                comm.recv_mat(comm.peer_prev_node()),
+                comm.try_recv_mat(comm.peer_prev_node()).map_err(&at)?,
+                comm.try_recv_mat(comm.peer_prev_node()).map_err(&at)?,
             ));
             start_src = topo.peer_prev_node(start_src);
         }
     }
-    DistAttnOut {
+    Ok(DistAttnOut {
         o: acc_o,
         lse: acc_lse,
         work,
-    }
+    })
 }
 
 /// DoubleRingAttention backward (Algorithm 1 over the two-level ring).
@@ -121,6 +138,18 @@ pub fn double_ring_backward_alg1(
     shard: &AttnShard,
     back: &BackwardInputs,
 ) -> (Mat, Mat, Mat) {
+    match try_double_ring_backward_alg1(comm, shard, back) {
+        Ok(out) => out,
+        Err(e) => escalate_attn(comm, e),
+    }
+}
+
+/// Fallible [`double_ring_backward_alg1`].
+pub fn try_double_ring_backward_alg1(
+    comm: &mut Communicator,
+    shard: &AttnShard,
+    back: &BackwardInputs,
+) -> Result<(Mat, Mat, Mat), AttnFailure> {
     let topo = comm.topology().clone();
     let (nodes, gpn) = (topo.nodes, topo.gpus_per_node);
     let g = comm.world_size();
@@ -138,6 +167,7 @@ pub fn double_ring_backward_alg1(
 
     for outer in 0..nodes {
         for inner in 0..gpn {
+            let at = AttnFailure::at(Phase::Backward, outer * gpn + inner);
             let (cur_k, cur_v) = match &owned_kv {
                 Some((k, v)) => (k, v),
                 None => (shard.k, shard.v),
@@ -174,13 +204,16 @@ pub fn double_ring_backward_alg1(
             } else {
                 comm.prev_in_node()
             };
-            comm.send_mat(dst, cur_k);
-            comm.send_mat(dst, cur_v);
-            comm.send_mat(dst, &cur_dk);
-            comm.send_mat(dst, &cur_dv);
-            owned_kv = Some((comm.recv_mat(src_peer), comm.recv_mat(src_peer)));
-            cur_dk = comm.recv_mat(src_peer);
-            cur_dv = comm.recv_mat(src_peer);
+            comm.try_send_mat(dst, cur_k).map_err(&at)?;
+            comm.try_send_mat(dst, cur_v).map_err(&at)?;
+            comm.try_send_mat(dst, &cur_dk).map_err(&at)?;
+            comm.try_send_mat(dst, &cur_dv).map_err(&at)?;
+            owned_kv = Some((
+                comm.try_recv_mat(src_peer).map_err(&at)?,
+                comm.try_recv_mat(src_peer).map_err(&at)?,
+            ));
+            cur_dk = comm.try_recv_mat(src_peer).map_err(&at)?;
+            cur_dv = comm.try_recv_mat(src_peer).map_err(&at)?;
             src = if last_inner {
                 topo.peer_prev_node(src)
             } else {
@@ -191,24 +224,29 @@ pub fn double_ring_backward_alg1(
     // Completion: deliver (∇K, ∇V) home — one inter hop (the sweep ends one
     // node early) plus `nodes mod gpn` intra hops (local drift of the
     // nested rotation).
+    let at = AttnFailure::at(Phase::Backward, nodes * gpn - 1);
     if nodes > 1 {
-        comm.send_mat(comm.peer_next_node(), &cur_dk);
-        comm.send_mat(comm.peer_next_node(), &cur_dv);
-        cur_dk = comm.recv_mat(comm.peer_prev_node());
-        cur_dv = comm.recv_mat(comm.peer_prev_node());
+        comm.try_send_mat(comm.peer_next_node(), &cur_dk)
+            .map_err(&at)?;
+        comm.try_send_mat(comm.peer_next_node(), &cur_dv)
+            .map_err(&at)?;
+        cur_dk = comm.try_recv_mat(comm.peer_prev_node()).map_err(&at)?;
+        cur_dv = comm.try_recv_mat(comm.peer_prev_node()).map_err(&at)?;
         src = topo.peer_prev_node(src);
     }
     for _ in 0..nodes % gpn {
-        comm.send_mat(comm.next_in_node(), &cur_dk);
-        comm.send_mat(comm.next_in_node(), &cur_dv);
-        cur_dk = comm.recv_mat(comm.prev_in_node());
-        cur_dv = comm.recv_mat(comm.prev_in_node());
+        comm.try_send_mat(comm.next_in_node(), &cur_dk)
+            .map_err(&at)?;
+        comm.try_send_mat(comm.next_in_node(), &cur_dv)
+            .map_err(&at)?;
+        cur_dk = comm.try_recv_mat(comm.prev_in_node()).map_err(&at)?;
+        cur_dv = comm.try_recv_mat(comm.prev_in_node()).map_err(&at)?;
         // The buffer we now hold came from our intra predecessor, whose
         // owner sits one local slot earlier than our previous buffer's.
         src = topo.prev_in_node(src);
     }
     debug_assert_eq!(src, comm.rank(), "alg1 completion must deliver home");
-    (grad_q, cur_dk, cur_dv)
+    Ok((grad_q, cur_dk, cur_dv))
 }
 
 /// Full BurstAttention backward: Algorithm 2 over the two-level ring with
@@ -225,6 +263,18 @@ pub fn double_ring_backward_alg2(
     shard: &AttnShard,
     back: &BackwardInputs,
 ) -> (Mat, Mat, Mat) {
+    match try_double_ring_backward_alg2(comm, shard, back) {
+        Ok(out) => out,
+        Err(e) => escalate_attn(comm, e),
+    }
+}
+
+/// Fallible [`double_ring_backward_alg2`].
+pub fn try_double_ring_backward_alg2(
+    comm: &mut Communicator,
+    shard: &AttnShard,
+    back: &BackwardInputs,
+) -> Result<(Mat, Mat, Mat), AttnFailure> {
     let topo = comm.topology().clone();
     let (nodes, gpn) = (topo.nodes, topo.gpus_per_node);
     let g = comm.world_size();
@@ -252,7 +302,7 @@ pub fn double_ring_backward_alg2(
             &ki,
         );
         comm.advance_compute(shard.cost.attn_bwd_secs(w.pairs, d));
-        return (dq, dk, dv);
+        return Ok((dq, dk, dv));
     }
 
     // The rank that processes a bundle right after us when crossing nodes,
@@ -271,15 +321,17 @@ pub fn double_ring_backward_alg2(
             };
         if outer < nodes - 1 {
             // Early inter-node post of the read-only bundle.
+            let at = AttnFailure::at(Phase::Backward, outer * gpn);
             let p = comm.peer_next_node();
-            comm.send_mat(p, start_q);
-            comm.send_mat(p, start_do);
-            comm.send_vec(p, start_lse);
-            comm.send_vec(p, start_d);
+            comm.try_send_mat(p, start_q).map_err(&at)?;
+            comm.try_send_mat(p, start_do).map_err(&at)?;
+            comm.try_send_vec(p, start_lse).map_err(&at)?;
+            comm.try_send_vec(p, start_d).map_err(&at)?;
         }
         let mut cur_owned: Option<(Mat, Mat, Vec<f32>, Vec<f32>)> = None;
         let mut src = start_src;
         for inner in 0..gpn {
+            let at = AttnFailure::at(Phase::Backward, outer * gpn + inner);
             let (cur_q, cur_do, cur_lse, cur_d): (&Mat, &Mat, &[f32], &[f32]) = match &cur_owned {
                 Some((q, o, l, dd)) => (q, o, l, dd),
                 None => (start_q, start_do, start_lse, start_d),
@@ -287,10 +339,10 @@ pub fn double_ring_backward_alg2(
             if inner < gpn - 1 {
                 // Read-only intra post before compute.
                 let n = comm.next_in_node();
-                comm.send_mat(n, cur_q);
-                comm.send_mat(n, cur_do);
-                comm.send_vec(n, cur_lse);
-                comm.send_vec(n, cur_d);
+                comm.try_send_mat(n, cur_q).map_err(&at)?;
+                comm.try_send_mat(n, cur_do).map_err(&at)?;
+                comm.try_send_vec(n, cur_lse).map_err(&at)?;
+                comm.try_send_vec(n, cur_d).map_err(&at)?;
             }
             dq_buf.reshape_in_place(cur_q.rows(), cur_q.cols());
             let w = attn_tile_backward_acc(
@@ -319,35 +371,36 @@ pub fn double_ring_backward_alg2(
                 comm.next_in_node()
             };
             if outer == 0 && inner == 0 {
-                comm.send_mat(to, &dq_buf);
+                comm.try_send_mat(to, &dq_buf).map_err(&at)?;
             } else {
                 let from = if inner == 0 {
                     diag_prev
                 } else {
                     comm.prev_in_node()
                 };
-                let mut dq_j = comm.recv_mat(from);
+                let mut dq_j = comm.try_recv_mat(from).map_err(&at)?;
                 dq_j.add_assign(&dq_buf);
-                comm.send_mat(to, &dq_j);
+                comm.try_send_mat(to, &dq_j).map_err(&at)?;
             }
             if inner < gpn - 1 {
                 let p = comm.prev_in_node();
                 cur_owned = Some((
-                    comm.recv_mat(p),
-                    comm.recv_mat(p),
-                    comm.recv_vec(p),
-                    comm.recv_vec(p),
+                    comm.try_recv_mat(p).map_err(&at)?,
+                    comm.try_recv_mat(p).map_err(&at)?,
+                    comm.try_recv_vec(p).map_err(&at)?,
+                    comm.try_recv_vec(p).map_err(&at)?,
                 ));
                 src = topo.prev_in_node(src);
             }
         }
         if outer < nodes - 1 {
+            let at = AttnFailure::at(Phase::Backward, (outer + 1) * gpn - 1);
             let p = comm.peer_prev_node();
             start_owned = Some((
-                comm.recv_mat(p),
-                comm.recv_mat(p),
-                comm.recv_vec(p),
-                comm.recv_vec(p),
+                comm.try_recv_mat(p).map_err(&at)?,
+                comm.try_recv_mat(p).map_err(&at)?,
+                comm.try_recv_vec(p).map_err(&at)?,
+                comm.try_recv_vec(p).map_err(&at)?,
             ));
             start_src = topo.peer_prev_node(start_src);
         }
@@ -355,6 +408,8 @@ pub fn double_ring_backward_alg2(
     // The very last ∇Q send above (slot (nodes−1, gpn−1)) delivered that
     // bundle's gradient home via the diagonal; symmetrically, our own ∇Q
     // arrives from our diagonal predecessor.
-    let grad_q = comm.recv_mat(diag_prev);
-    (grad_q, grad_k, grad_v)
+    let grad_q = comm
+        .try_recv_mat(diag_prev)
+        .map_err(AttnFailure::at(Phase::Backward, nodes * gpn - 1))?;
+    Ok((grad_q, grad_k, grad_v))
 }

@@ -37,13 +37,63 @@ pub mod usp;
 pub use cost::CostModel;
 pub use layout::Layout;
 pub use ring::{
-    burst_backward, ring_backward, ring_forward, AttnShard, BackwardInputs, DistAttnOut,
-    OverlapMode, Ring,
+    burst_backward, ring_backward, ring_forward, try_burst_backward, try_ring_backward,
+    try_ring_forward, AttnFailure, AttnShard, BackwardInputs, DistAttnOut, OverlapMode, Phase,
+    Ring,
 };
 
-use burst_comm::Communicator;
+use burst_comm::{CommError, Communicator};
 use burst_kernels::AttnMask;
 use burst_tensor::Mat;
+use ulysses::UlyssesError;
+
+/// Why a distributed attention call failed: either the requested geometry
+/// is infeasible (a configuration error, reported before any communication
+/// happens) or a communication fault struck mid-loop (carrying phase, round,
+/// rank and peer via [`AttnFailure`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DattnError {
+    /// A communication failure inside an attention loop.
+    Comm(AttnFailure),
+    /// The requested head/group geometry cannot run.
+    Infeasible(UlyssesError),
+}
+
+impl From<AttnFailure> for DattnError {
+    fn from(e: AttnFailure) -> Self {
+        DattnError::Comm(e)
+    }
+}
+
+impl From<UlyssesError> for DattnError {
+    fn from(e: UlyssesError) -> Self {
+        DattnError::Infeasible(e)
+    }
+}
+
+impl From<CommError> for DattnError {
+    fn from(e: CommError) -> Self {
+        DattnError::Comm(AttnFailure::from(e))
+    }
+}
+
+impl std::fmt::Display for DattnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DattnError::Comm(e) => write!(f, "{e}"),
+            DattnError::Infeasible(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DattnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DattnError::Comm(e) => Some(e),
+            DattnError::Infeasible(e) => Some(e),
+        }
+    }
+}
 
 /// Which distributed attention implementation to run — mirrors the paper's
 /// evaluated systems (Fig. 14).
@@ -77,6 +127,30 @@ pub fn run_attention(
     seq_len: usize,
     cost: &CostModel,
 ) -> (Mat, Vec<f32>, Mat, Mat, Mat) {
+    match try_run_attention(
+        algo, comm, q, k, v, grad_o, scale, mask, layout, seq_len, cost,
+    ) {
+        Ok(out) => out,
+        Err(e) => ring::escalate_attn(comm, e),
+    }
+}
+
+/// Fallible [`run_attention`]: a mid-loop communication fault surfaces as an
+/// [`AttnFailure`] naming the rank, the peer, the ring round and the phase.
+#[allow(clippy::too_many_arguments)]
+pub fn try_run_attention(
+    algo: Algo,
+    comm: &mut Communicator,
+    q: &Mat,
+    k: &Mat,
+    v: &Mat,
+    grad_o: &Mat,
+    scale: f32,
+    mask: &AttnMask,
+    layout: Layout,
+    seq_len: usize,
+    cost: &CostModel,
+) -> Result<(Mat, Vec<f32>, Mat, Mat, Mat), AttnFailure> {
     let shard = AttnShard {
         q,
         k,
@@ -90,8 +164,8 @@ pub fn run_attention(
     };
     let ring = Ring::global(comm);
     let fwd = match algo {
-        Algo::RingFlat | Algo::BurstFlat => ring_forward(comm, &ring, &shard),
-        Algo::DoubleRing | Algo::BurstTopo => double_ring::double_ring_forward(comm, &shard),
+        Algo::RingFlat | Algo::BurstFlat => try_ring_forward(comm, &ring, &shard)?,
+        Algo::DoubleRing | Algo::BurstTopo => double_ring::try_double_ring_forward(comm, &shard)?,
     };
     let back = BackwardInputs {
         o: &fwd.o,
@@ -99,10 +173,10 @@ pub fn run_attention(
         grad_o,
     };
     let (dq, dk, dv) = match algo {
-        Algo::RingFlat => ring_backward(comm, &ring, &shard, &back, OverlapMode::Fine),
-        Algo::BurstFlat => burst_backward(comm, &ring, &shard, &back, OverlapMode::Fine),
-        Algo::DoubleRing => double_ring::double_ring_backward_alg1(comm, &shard, &back),
-        Algo::BurstTopo => double_ring::double_ring_backward_alg2(comm, &shard, &back),
+        Algo::RingFlat => try_ring_backward(comm, &ring, &shard, &back, OverlapMode::Fine)?,
+        Algo::BurstFlat => try_burst_backward(comm, &ring, &shard, &back, OverlapMode::Fine)?,
+        Algo::DoubleRing => double_ring::try_double_ring_backward_alg1(comm, &shard, &back)?,
+        Algo::BurstTopo => double_ring::try_double_ring_backward_alg2(comm, &shard, &back)?,
     };
-    (fwd.o, fwd.lse, dq, dk, dv)
+    Ok((fwd.o, fwd.lse, dq, dk, dv))
 }

@@ -27,11 +27,102 @@
 
 use crate::cost::CostModel;
 use crate::layout::Layout;
-use burst_comm::Communicator;
+use burst_comm::{CommError, Communicator};
 use burst_kernels::{
     attn_tile_backward, attn_tile_backward_acc, flash_forward_acc, AttnMask, KernelWork,
 };
 use burst_tensor::{Mat, Scratch};
+
+/// Which half of the attention computation a failure struck.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    Forward,
+    Backward,
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Phase::Forward => write!(f, "forward"),
+            Phase::Backward => write!(f, "backward"),
+        }
+    }
+}
+
+/// A communication failure inside a distributed attention loop, annotated
+/// with *where* it struck: the phase (fwd/bwd) and the ring round (for
+/// Ulysses/USP, the all-to-all index). The underlying [`CommError`] names
+/// the rank and peer, so together a mid-ring death reports which rank,
+/// which round, and which phase died.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttnFailure {
+    /// `(phase, round)` when the failure struck inside an attention loop;
+    /// `None` when a raw [`CommError`] was promoted outside one.
+    pub context: Option<(Phase, usize)>,
+    pub source: CommError,
+}
+
+impl AttnFailure {
+    /// A `map_err` adaptor pinning the failure to `(phase, round)`.
+    pub fn at(phase: Phase, round: usize) -> impl Fn(CommError) -> AttnFailure {
+        move |source| AttnFailure {
+            context: Some((phase, round)),
+            source,
+        }
+    }
+
+    pub fn phase(&self) -> Option<Phase> {
+        self.context.map(|(p, _)| p)
+    }
+
+    pub fn round(&self) -> Option<usize> {
+        self.context.map(|(_, r)| r)
+    }
+
+    /// The rank on which the failure was observed.
+    pub fn rank(&self) -> usize {
+        self.source.rank()
+    }
+}
+
+impl From<CommError> for AttnFailure {
+    fn from(source: CommError) -> Self {
+        AttnFailure {
+            context: None,
+            source,
+        }
+    }
+}
+
+impl std::fmt::Display for AttnFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.context {
+            Some((phase, round)) => write!(
+                f,
+                "distributed attention {phase} failed at ring round {round}: {}",
+                self.source
+            ),
+            None => write!(f, "distributed attention failed: {}", self.source),
+        }
+    }
+}
+
+impl std::error::Error for AttnFailure {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Escalate an attention failure through the infallible API: under a fault
+/// plan the panic payload is the underlying [`CommError`] (recoverable by
+/// `World::run_faulty`); otherwise a readable message with phase/round.
+pub(crate) fn escalate_attn(comm: &Communicator, e: AttnFailure) -> ! {
+    if comm.has_faults() {
+        std::panic::panic_any(e.source)
+    } else {
+        panic!("{e}")
+    }
+}
 
 /// This rank's slice of the attention problem plus the global parameters.
 pub struct AttnShard<'a> {
@@ -159,6 +250,19 @@ impl Ring {
 /// partition straight into persistent `(O, Lse)` accumulators through one
 /// reused [`Scratch`].
 pub fn ring_forward(comm: &mut Communicator, ring: &Ring, shard: &AttnShard) -> DistAttnOut {
+    match try_ring_forward(comm, ring, shard) {
+        Ok(out) => out,
+        Err(e) => escalate_attn(comm, e),
+    }
+}
+
+/// Fallible [`ring_forward`]: a failed send/receive at ring round `k`
+/// surfaces as an [`AttnFailure`] carrying `(Phase::Forward, k)`.
+pub fn try_ring_forward(
+    comm: &mut Communicator,
+    ring: &Ring,
+    shard: &AttnShard,
+) -> Result<DistAttnOut, AttnFailure> {
     let g = ring.size();
     let d = shard.head_dim();
     let qi = shard.idx_at(g, ring.pos);
@@ -172,6 +276,7 @@ pub fn ring_forward(comm: &mut Communicator, ring: &Ring, shard: &AttnShard) -> 
     let mut owned_kv: Option<(Mat, Mat)> = None;
     let mut src = ring.pos;
     for step in 0..g {
+        let at = AttnFailure::at(Phase::Forward, step);
         let (cur_k, cur_v) = match &owned_kv {
             Some((k, v)) => (k, v),
             None => (shard.k, shard.v),
@@ -179,8 +284,8 @@ pub fn ring_forward(comm: &mut Communicator, ring: &Ring, shard: &AttnShard) -> 
         // Post the shift before computing so the transfer hides under the
         // kernel (double buffering).
         if step < g - 1 {
-            comm.send_mat(ring.next(), cur_k);
-            comm.send_mat(ring.next(), cur_v);
+            comm.try_send_mat(ring.next(), cur_k).map_err(&at)?;
+            comm.try_send_mat(ring.next(), cur_v).map_err(&at)?;
         }
         let w = flash_forward_acc(
             shard.q,
@@ -197,15 +302,18 @@ pub fn ring_forward(comm: &mut Communicator, ring: &Ring, shard: &AttnShard) -> 
         comm.advance_compute(shard.cost.attn_fwd_secs(w.pairs, d));
         work.merge(w);
         if step < g - 1 {
-            owned_kv = Some((comm.recv_mat(ring.prev()), comm.recv_mat(ring.prev())));
+            owned_kv = Some((
+                comm.try_recv_mat(ring.prev()).map_err(&at)?,
+                comm.try_recv_mat(ring.prev()).map_err(&at)?,
+            ));
             src = (src + g - 1) % g;
         }
     }
-    DistAttnOut {
+    Ok(DistAttnOut {
         o: acc_o,
         lse: acc_lse,
         work,
-    }
+    })
 }
 
 /// RingAttention backward (Algorithm 1): `(K_j, V_j, ∇K_j, ∇V_j)` circulate
@@ -220,6 +328,21 @@ pub fn ring_backward(
     back: &BackwardInputs,
     overlap: OverlapMode,
 ) -> (Mat, Mat, Mat) {
+    match try_ring_backward(comm, ring, shard, back, overlap) {
+        Ok(out) => out,
+        Err(e) => escalate_attn(comm, e),
+    }
+}
+
+/// Fallible [`ring_backward`]: a failed send/receive at ring round `k`
+/// surfaces as an [`AttnFailure`] carrying `(Phase::Backward, k)`.
+pub fn try_ring_backward(
+    comm: &mut Communicator,
+    ring: &Ring,
+    shard: &AttnShard,
+    back: &BackwardInputs,
+    overlap: OverlapMode,
+) -> Result<(Mat, Mat, Mat), AttnFailure> {
     let g = ring.size();
     let d = shard.head_dim();
     let qi = shard.idx_at(g, ring.pos);
@@ -239,7 +362,7 @@ pub fn ring_backward(
             &qi,
         );
         comm.advance_compute(shard.cost.attn_bwd_secs(w.pairs, d) + d_recompute);
-        return (dq, dk, dv);
+        return Ok((dq, dk, dv));
     }
     let mut grad_q = Mat::zeros(shard.q.rows(), shard.q.cols());
     let kidx_all: Vec<Vec<usize>> = (0..g).map(|p| shard.idx_at(g, p)).collect();
@@ -252,7 +375,8 @@ pub fn ring_backward(
     let mut cur_dv = Mat::zeros(shard.v.rows(), shard.v.cols());
     let mut scratch = Scratch::new();
     let mut src = ring.pos;
-    for _step in 0..g {
+    for step in 0..g {
+        let at = AttnFailure::at(Phase::Backward, step);
         let (cur_k, cur_v) = match &owned_kv {
             Some((k, v)) => (k, v),
             None => (shard.k, shard.v),
@@ -260,8 +384,8 @@ pub fn ring_backward(
         if overlap == OverlapMode::Fine {
             // Activations can depart before the compute that reads them
             // (we own a copy); gradients cannot.
-            comm.send_mat(ring.next(), cur_k);
-            comm.send_mat(ring.next(), cur_v);
+            comm.try_send_mat(ring.next(), cur_k).map_err(&at)?;
+            comm.try_send_mat(ring.next(), cur_v).map_err(&at)?;
         }
         let w = attn_tile_backward_acc(
             shard.q,
@@ -282,25 +406,28 @@ pub fn ring_backward(
         comm.advance_compute(shard.cost.attn_bwd_secs(w.pairs, d) + d_recompute);
         match overlap {
             OverlapMode::Fine => {
-                comm.send_mat(ring.next(), &cur_dk);
-                comm.send_mat(ring.next(), &cur_dv);
+                comm.try_send_mat(ring.next(), &cur_dk).map_err(&at)?;
+                comm.try_send_mat(ring.next(), &cur_dv).map_err(&at)?;
             }
             OverlapMode::None => {
-                comm.send_mat(ring.next(), cur_k);
-                comm.send_mat(ring.next(), cur_v);
-                comm.send_mat(ring.next(), &cur_dk);
-                comm.send_mat(ring.next(), &cur_dv);
+                comm.try_send_mat(ring.next(), cur_k).map_err(&at)?;
+                comm.try_send_mat(ring.next(), cur_v).map_err(&at)?;
+                comm.try_send_mat(ring.next(), &cur_dk).map_err(&at)?;
+                comm.try_send_mat(ring.next(), &cur_dv).map_err(&at)?;
             }
         }
-        owned_kv = Some((comm.recv_mat(ring.prev()), comm.recv_mat(ring.prev())));
-        cur_dk = comm.recv_mat(ring.prev());
-        cur_dv = comm.recv_mat(ring.prev());
+        owned_kv = Some((
+            comm.try_recv_mat(ring.prev()).map_err(&at)?,
+            comm.try_recv_mat(ring.prev()).map_err(&at)?,
+        ));
+        cur_dk = comm.try_recv_mat(ring.prev()).map_err(&at)?;
+        cur_dv = comm.try_recv_mat(ring.prev()).map_err(&at)?;
         src = (src + g - 1) % g;
     }
     // After G hops everything is home: src wrapped to our own position and
     // the circulating buffers carry the fully reduced gradients of our K, V.
     debug_assert_eq!(src, ring.pos);
-    (grad_q, cur_dk, cur_dv)
+    Ok((grad_q, cur_dk, cur_dv))
 }
 
 /// BurstAttention backward (Algorithm 2): `K_i, V_i, ∇K_i, ∇V_i` stay
@@ -319,6 +446,21 @@ pub fn burst_backward(
     back: &BackwardInputs,
     overlap: OverlapMode,
 ) -> (Mat, Mat, Mat) {
+    match try_burst_backward(comm, ring, shard, back, overlap) {
+        Ok(out) => out,
+        Err(e) => escalate_attn(comm, e),
+    }
+}
+
+/// Fallible [`burst_backward`]: a failed send/receive at ring round `k`
+/// surfaces as an [`AttnFailure`] carrying `(Phase::Backward, k)`.
+pub fn try_burst_backward(
+    comm: &mut Communicator,
+    ring: &Ring,
+    shard: &AttnShard,
+    back: &BackwardInputs,
+    overlap: OverlapMode,
+) -> Result<(Mat, Mat, Mat), AttnFailure> {
     let g = ring.size();
     let d = shard.head_dim();
     let ki = shard.idx_at(g, ring.pos);
@@ -343,7 +485,7 @@ pub fn burst_backward(
             &ki,
         );
         comm.advance_compute(shard.cost.attn_bwd_secs(w.pairs, d));
-        return (dq, dk, dv);
+        return Ok((dq, dk, dv));
     }
 
     match overlap {
@@ -360,10 +502,11 @@ pub fn burst_backward(
             let mut dq_buf = Mat::default();
             // Read-only parts depart before the warm-up compute; ∇Q follows
             // one round behind it.
-            comm.send_mat(next, shard.q);
-            comm.send_mat(next, back.grad_o);
-            comm.send_vec(next, back.lse);
-            comm.send_vec(next, &d_vec);
+            let at = AttnFailure::at(Phase::Backward, 0);
+            comm.try_send_mat(next, shard.q).map_err(&at)?;
+            comm.try_send_mat(next, back.grad_o).map_err(&at)?;
+            comm.try_send_vec(next, back.lse).map_err(&at)?;
+            comm.try_send_vec(next, &d_vec).map_err(&at)?;
             dq_buf.reshape_in_place(shard.q.rows(), shard.q.cols());
             let w = attn_tile_backward_acc(
                 shard.q,
@@ -382,20 +525,21 @@ pub fn burst_backward(
                 &mut scratch,
             );
             comm.advance_compute(shard.cost.attn_bwd_secs(w.pairs, d));
-            comm.send_mat(next, &dq_buf);
+            comm.try_send_mat(next, &dq_buf).map_err(&at)?;
             for s in 1..g {
+                let at = AttnFailure::at(Phase::Backward, s);
                 let src = (me + g - s) % g;
-                let q_j = comm.recv_mat(prev);
-                let do_j = comm.recv_mat(prev);
-                let lse_j = comm.recv_vec(prev);
-                let d_j = comm.recv_vec(prev);
+                let q_j = comm.try_recv_mat(prev).map_err(&at)?;
+                let do_j = comm.try_recv_mat(prev).map_err(&at)?;
+                let lse_j = comm.try_recv_vec(prev).map_err(&at)?;
+                let d_j = comm.try_recv_vec(prev).map_err(&at)?;
                 if s < g - 1 {
                     // The next rank is not the bundle's home: forward the
                     // read-only parts immediately, before computing.
-                    comm.send_mat(next, &q_j);
-                    comm.send_mat(next, &do_j);
-                    comm.send_vec(next, &lse_j);
-                    comm.send_vec(next, &d_j);
+                    comm.try_send_mat(next, &q_j).map_err(&at)?;
+                    comm.try_send_mat(next, &do_j).map_err(&at)?;
+                    comm.try_send_vec(next, &lse_j).map_err(&at)?;
+                    comm.try_send_vec(next, &d_j).map_err(&at)?;
                 }
                 dq_buf.reshape_in_place(q_j.rows(), q_j.cols());
                 let w = attn_tile_backward_acc(
@@ -415,12 +559,14 @@ pub fn burst_backward(
                     &mut scratch,
                 );
                 comm.advance_compute(shard.cost.attn_bwd_secs(w.pairs, d));
-                let mut dq_j = comm.recv_mat(prev);
+                let mut dq_j = comm.try_recv_mat(prev).map_err(&at)?;
                 dq_j.add_assign(&dq_buf);
-                comm.send_mat(next, &dq_j);
+                comm.try_send_mat(next, &dq_j).map_err(&at)?;
             }
-            let grad_q = comm.recv_mat(prev);
-            (grad_q, grad_k, grad_v)
+            let grad_q = comm
+                .try_recv_mat(prev)
+                .map_err(AttnFailure::at(Phase::Backward, g - 1))?;
+            Ok((grad_q, grad_k, grad_v))
         }
         OverlapMode::None => {
             // Bundle moves strictly after each compute: no hiding. Round 0
@@ -430,6 +576,7 @@ pub fn burst_backward(
             let mut cur_dq = Mat::zeros(shard.q.rows(), shard.q.cols());
             let mut src = ring.pos;
             for step in 0..g {
+                let at = AttnFailure::at(Phase::Backward, step);
                 let (q_j, do_j, lse_j, d_j): (&Mat, &Mat, &[f32], &[f32]) = match &owned {
                     Some((q, o, l, dd)) => (q, o, l, dd),
                     None => (shard.q, back.grad_o, back.lse, &d_vec),
@@ -452,26 +599,26 @@ pub fn burst_backward(
                 );
                 comm.advance_compute(shard.cost.attn_bwd_secs(w.pairs, d));
                 if step < g - 1 {
-                    comm.send_mat(ring.next(), q_j);
-                    comm.send_mat(ring.next(), do_j);
-                    comm.send_vec(ring.next(), lse_j);
-                    comm.send_vec(ring.next(), d_j);
-                    comm.send_mat(ring.next(), &cur_dq);
+                    comm.try_send_mat(ring.next(), q_j).map_err(&at)?;
+                    comm.try_send_mat(ring.next(), do_j).map_err(&at)?;
+                    comm.try_send_vec(ring.next(), lse_j).map_err(&at)?;
+                    comm.try_send_vec(ring.next(), d_j).map_err(&at)?;
+                    comm.try_send_mat(ring.next(), &cur_dq).map_err(&at)?;
                     owned = Some((
-                        comm.recv_mat(ring.prev()),
-                        comm.recv_mat(ring.prev()),
-                        comm.recv_vec(ring.prev()),
-                        comm.recv_vec(ring.prev()),
+                        comm.try_recv_mat(ring.prev()).map_err(&at)?,
+                        comm.try_recv_mat(ring.prev()).map_err(&at)?,
+                        comm.try_recv_vec(ring.prev()).map_err(&at)?,
+                        comm.try_recv_vec(ring.prev()).map_err(&at)?,
                     ));
-                    cur_dq = comm.recv_mat(ring.prev());
+                    cur_dq = comm.try_recv_mat(ring.prev()).map_err(&at)?;
                     src = (src + g - 1) % g;
                 } else {
                     // Last hop: only ∇Q needs to travel home.
-                    comm.send_mat(ring.next(), &cur_dq);
-                    cur_dq = comm.recv_mat(ring.prev());
+                    comm.try_send_mat(ring.next(), &cur_dq).map_err(&at)?;
+                    cur_dq = comm.try_recv_mat(ring.prev()).map_err(&at)?;
                 }
             }
-            (cur_dq, grad_k, grad_v)
+            Ok((cur_dq, grad_k, grad_v))
         }
     }
 }

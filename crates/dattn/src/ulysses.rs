@@ -10,7 +10,9 @@
 //! DeepSpeed does.
 
 use crate::cost::CostModel;
-use burst_comm::Communicator;
+use crate::ring::{escalate_attn, AttnFailure, Phase};
+use crate::DattnError;
+use burst_comm::{CommError, Communicator};
 use burst_kernels::{flash_backward, flash_forward, AttnMask};
 use burst_tensor::Mat;
 
@@ -41,6 +43,18 @@ pub(crate) fn group_all_to_all(
     members: &[usize],
     outgoing: Vec<Mat>,
 ) -> Vec<Mat> {
+    match try_group_all_to_all(comm, members, outgoing) {
+        Ok(v) => v,
+        Err(e) => comm.escalate(e),
+    }
+}
+
+/// Fallible [`group_all_to_all`].
+pub(crate) fn try_group_all_to_all(
+    comm: &mut Communicator,
+    members: &[usize],
+    outgoing: Vec<Mat>,
+) -> Result<Vec<Mat>, CommError> {
     assert_eq!(outgoing.len(), members.len(), "group_all_to_all: size");
     let pos = members
         .iter()
@@ -53,15 +67,15 @@ pub(crate) fn group_all_to_all(
         if p == pos {
             keep = Some(block);
         } else {
-            comm.send_mat(members[p], &block);
+            comm.try_send_mat(members[p], &block)?;
         }
     }
     incoming[pos] = keep;
     for off in 1..len {
         let sp = (pos + len - off) % len;
-        incoming[sp] = Some(comm.recv_mat(members[sp]));
+        incoming[sp] = Some(comm.try_recv_mat(members[sp])?);
     }
-    incoming.into_iter().map(|m| m.unwrap()).collect()
+    Ok(incoming.into_iter().map(|m| m.unwrap()).collect())
 }
 
 /// Bundle `heads[h0..h1]` column-wise into one matrix.
@@ -104,10 +118,37 @@ pub fn ulysses_forward(
     mask: &AttnMask,
     cost: &CostModel,
 ) -> Result<(Vec<Mat>, UlyssesSaved), UlyssesError> {
+    match try_ulysses_forward(
+        comm, members, member_idx, q_heads, k_heads, v_heads, scale, mask, cost,
+    ) {
+        Ok(out) => Ok(out),
+        Err(DattnError::Infeasible(e)) => Err(e),
+        Err(DattnError::Comm(e)) => escalate_attn(comm, e),
+    }
+}
+
+/// Fallible [`ulysses_forward`]: communication failures carry
+/// `(Phase::Forward, k)` where `k` is the all-to-all index (0 = Q, 1 = K,
+/// 2 = V, 3 = output).
+#[allow(clippy::too_many_arguments)]
+pub fn try_ulysses_forward(
+    comm: &mut Communicator,
+    members: &[usize],
+    member_idx: &[Vec<usize>],
+    q_heads: &[Mat],
+    k_heads: &[Mat],
+    v_heads: &[Mat],
+    scale: f32,
+    mask: &AttnMask,
+    cost: &CostModel,
+) -> Result<(Vec<Mat>, UlyssesSaved), DattnError> {
     let group = members.len();
     let heads = q_heads.len();
     if !heads.is_multiple_of(group) {
-        return Err(UlyssesError::HeadsNotDivisible { heads, group });
+        return Err(DattnError::Infeasible(UlyssesError::HeadsNotDivisible {
+            heads,
+            group,
+        }));
     }
     let hpr = heads / group;
     let pos = members
@@ -118,17 +159,21 @@ pub fn ulysses_forward(
     let dh = q_heads[0].cols();
 
     // Sequence-sharded → head-sharded: one all-to-all per tensor.
-    let redistribute = |comm: &mut Communicator, heads_in: &[Mat]| -> Vec<Mat> {
+    let redistribute = |comm: &mut Communicator,
+                        heads_in: &[Mat],
+                        round: usize|
+     -> Result<Vec<Mat>, AttnFailure> {
         let outgoing: Vec<Mat> = (0..group)
             .map(|p| bundle_heads(heads_in, p * hpr, (p + 1) * hpr))
             .collect();
-        let incoming = group_all_to_all(comm, members, outgoing);
+        let incoming = try_group_all_to_all(comm, members, outgoing)
+            .map_err(AttnFailure::at(Phase::Forward, round))?;
         let stacked = Mat::vstack(&incoming);
-        unbundle_heads(&stacked, hpr)
+        Ok(unbundle_heads(&stacked, hpr))
     };
-    let q_full = redistribute(comm, q_heads);
-    let k_full = redistribute(comm, k_heads);
-    let v_full = redistribute(comm, v_heads);
+    let q_full = redistribute(comm, q_heads, 0)?;
+    let k_full = redistribute(comm, k_heads, 1)?;
+    let v_full = redistribute(comm, v_heads, 2)?;
 
     // Local attention over the full sequence for our heads.
     let mut o_full = Vec::with_capacity(hpr);
@@ -154,7 +199,8 @@ pub fn ulysses_forward(
             Mat::hstack(&slices)
         })
         .collect();
-    let incoming = group_all_to_all(comm, members, outgoing);
+    let incoming = try_group_all_to_all(comm, members, outgoing)
+        .map_err(AttnFailure::at(Phase::Forward, 3))?;
     let mut o_heads = Vec::with_capacity(heads);
     for (s, bundle) in incoming.iter().enumerate() {
         debug_assert_eq!(bundle.rows(), member_idx[pos].len());
@@ -242,10 +288,43 @@ pub fn ulysses_backward(
     mask: &AttnMask,
     cost: &CostModel,
 ) -> Result<HeadGrads, UlyssesError> {
+    match try_ulysses_backward(
+        comm,
+        members,
+        member_idx,
+        saved,
+        grad_o_heads,
+        scale,
+        mask,
+        cost,
+    ) {
+        Ok(out) => Ok(out),
+        Err(DattnError::Infeasible(e)) => Err(e),
+        Err(DattnError::Comm(e)) => escalate_attn(comm, e),
+    }
+}
+
+/// Fallible [`ulysses_backward`]: communication failures carry
+/// `(Phase::Backward, k)` where `k` is the all-to-all index (0 = ∇O,
+/// 1 = ∇Q, 2 = ∇K, 3 = ∇V).
+#[allow(clippy::too_many_arguments)]
+pub fn try_ulysses_backward(
+    comm: &mut Communicator,
+    members: &[usize],
+    member_idx: &[Vec<usize>],
+    saved: &UlyssesSaved,
+    grad_o_heads: &[Mat],
+    scale: f32,
+    mask: &AttnMask,
+    cost: &CostModel,
+) -> Result<HeadGrads, DattnError> {
     let group = members.len();
     let heads = grad_o_heads.len();
     if !heads.is_multiple_of(group) {
-        return Err(UlyssesError::HeadsNotDivisible { heads, group });
+        return Err(DattnError::Infeasible(UlyssesError::HeadsNotDivisible {
+            heads,
+            group,
+        }));
     }
     let hpr = saved.heads_per_rank;
     let full_idx: Vec<usize> = member_idx.iter().flatten().copied().collect();
@@ -254,7 +333,8 @@ pub fn ulysses_backward(
     let outgoing: Vec<Mat> = (0..group)
         .map(|p| bundle_heads(grad_o_heads, p * hpr, (p + 1) * hpr))
         .collect();
-    let incoming = group_all_to_all(comm, members, outgoing);
+    let incoming = try_group_all_to_all(comm, members, outgoing)
+        .map_err(AttnFailure::at(Phase::Backward, 0))?;
     let do_full = unbundle_heads(&Mat::vstack(&incoming), hpr);
 
     let mut dq_full = Vec::with_capacity(hpr);
@@ -283,22 +363,24 @@ pub fn ulysses_backward(
         let start: usize = member_idx[..p].iter().map(|v| v.len()).sum();
         (start, start + member_idx[p].len())
     };
-    let scatter = |comm: &mut Communicator, grads: &[Mat]| -> Vec<Mat> {
-        let outgoing: Vec<Mat> = (0..group)
-            .map(|p| {
-                let (r0, r1) = row_of(p);
-                let slices: Vec<Mat> = grads.iter().map(|g| g.slice_rows(r0, r1)).collect();
-                Mat::hstack(&slices)
-            })
-            .collect();
-        let incoming = group_all_to_all(comm, members, outgoing);
-        incoming
-            .iter()
-            .flat_map(|bundle| unbundle_heads(bundle, hpr))
-            .collect()
-    };
-    let dq = scatter(comm, &dq_full);
-    let dk = scatter(comm, &dk_full);
-    let dv = scatter(comm, &dv_full);
+    let scatter =
+        |comm: &mut Communicator, grads: &[Mat], round: usize| -> Result<Vec<Mat>, AttnFailure> {
+            let outgoing: Vec<Mat> = (0..group)
+                .map(|p| {
+                    let (r0, r1) = row_of(p);
+                    let slices: Vec<Mat> = grads.iter().map(|g| g.slice_rows(r0, r1)).collect();
+                    Mat::hstack(&slices)
+                })
+                .collect();
+            let incoming = try_group_all_to_all(comm, members, outgoing)
+                .map_err(AttnFailure::at(Phase::Backward, round))?;
+            Ok(incoming
+                .iter()
+                .flat_map(|bundle| unbundle_heads(bundle, hpr))
+                .collect())
+        };
+    let dq = scatter(comm, &dq_full, 1)?;
+    let dk = scatter(comm, &dk_full, 2)?;
+    let dv = scatter(comm, &dv_full, 3)?;
     Ok((dq, dk, dv))
 }

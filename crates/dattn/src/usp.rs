@@ -18,8 +18,12 @@
 
 use crate::cost::CostModel;
 use crate::layout::Layout;
-use crate::ring::{ring_backward, ring_forward, AttnShard, BackwardInputs, OverlapMode, Ring};
-use crate::ulysses::{group_all_to_all, HeadGrads, UlyssesError};
+use crate::ring::{
+    escalate_attn, try_ring_backward, try_ring_forward, AttnFailure, AttnShard, BackwardInputs,
+    OverlapMode, Phase, Ring,
+};
+use crate::ulysses::{group_all_to_all, try_group_all_to_all, HeadGrads, UlyssesError};
+use crate::DattnError;
 use burst_comm::Communicator;
 use burst_kernels::AttnMask;
 use burst_tensor::Mat;
@@ -121,26 +125,52 @@ pub fn usp_forward(
     seq_len: usize,
     cost: &CostModel,
 ) -> Result<(Vec<Mat>, UspSaved), UlyssesError> {
+    match try_usp_forward(
+        comm, topo, q_heads, k_heads, v_heads, scale, mask, seq_len, cost,
+    ) {
+        Ok(out) => Ok(out),
+        Err(DattnError::Infeasible(e)) => Err(e),
+        Err(DattnError::Comm(e)) => escalate_attn(comm, e),
+    }
+}
+
+/// Fallible [`usp_forward`]: all-to-all failures carry `(Phase::Forward, k)`
+/// with `k` the all-to-all index; ring failures keep the ring's own
+/// phase/round annotation.
+#[allow(clippy::too_many_arguments)]
+pub fn try_usp_forward(
+    comm: &mut Communicator,
+    topo: &UspTopo,
+    q_heads: &[Mat],
+    k_heads: &[Mat],
+    v_heads: &[Mat],
+    scale: f32,
+    mask: &AttnMask,
+    seq_len: usize,
+    cost: &CostModel,
+) -> Result<(Vec<Mat>, UspSaved), DattnError> {
     let heads = q_heads.len();
     if !heads.is_multiple_of(topo.ulysses) {
-        return Err(UlyssesError::HeadsNotDivisible {
+        return Err(DattnError::Infeasible(UlyssesError::HeadsNotDivisible {
             heads,
             group: topo.ulysses,
-        });
+        }));
     }
     let hpr = heads / topo.ulysses;
     let dh = q_heads[0].cols();
 
-    let redistribute = |comm: &mut Communicator, hs: &[Mat]| -> Vec<Mat> {
-        let outgoing: Vec<Mat> = (0..topo.ulysses)
-            .map(|p| bundle(hs, p * hpr, (p + 1) * hpr))
-            .collect();
-        let incoming = group_all_to_all(comm, &topo.u_members, outgoing);
-        unbundle(&Mat::vstack(&incoming), hpr)
-    };
-    let q_shard = redistribute(comm, q_heads);
-    let k_shard = redistribute(comm, k_heads);
-    let v_shard = redistribute(comm, v_heads);
+    let redistribute =
+        |comm: &mut Communicator, hs: &[Mat], round: usize| -> Result<Vec<Mat>, AttnFailure> {
+            let outgoing: Vec<Mat> = (0..topo.ulysses)
+                .map(|p| bundle(hs, p * hpr, (p + 1) * hpr))
+                .collect();
+            let incoming = try_group_all_to_all(comm, &topo.u_members, outgoing)
+                .map_err(AttnFailure::at(Phase::Forward, round))?;
+            Ok(unbundle(&Mat::vstack(&incoming), hpr))
+        };
+    let q_shard = redistribute(comm, q_heads, 0)?;
+    let k_shard = redistribute(comm, k_heads, 1)?;
+    let v_shard = redistribute(comm, v_heads, 2)?;
 
     // Ring attention over the context group, zigzag-balanced.
     let ring = Ring::subgroup(comm, topo.r_members.clone());
@@ -158,7 +188,7 @@ pub fn usp_forward(
             cost: *cost,
             max_token: None,
         };
-        let out = ring_forward(comm, &ring, &shard);
+        let out = try_ring_forward(comm, &ring, &shard)?;
         let _ = dh;
         o_shard.push(out.o);
         lse.push(out.lse);
@@ -175,7 +205,8 @@ pub fn usp_forward(
             Mat::hstack(&slices)
         })
         .collect();
-    let incoming = group_all_to_all(comm, &topo.u_members, outgoing);
+    let incoming = try_group_all_to_all(comm, &topo.u_members, outgoing)
+        .map_err(AttnFailure::at(Phase::Forward, 3))?;
     let o_heads: Vec<Mat> = incoming.iter().flat_map(|b| unbundle(b, hpr)).collect();
     Ok((
         o_heads,
@@ -250,19 +281,41 @@ pub fn usp_backward(
     seq_len: usize,
     cost: &CostModel,
 ) -> Result<HeadGrads, UlyssesError> {
+    match try_usp_backward(comm, topo, saved, grad_o_heads, scale, mask, seq_len, cost) {
+        Ok(out) => Ok(out),
+        Err(DattnError::Infeasible(e)) => Err(e),
+        Err(DattnError::Comm(e)) => escalate_attn(comm, e),
+    }
+}
+
+/// Fallible [`usp_backward`]: all-to-all failures carry
+/// `(Phase::Backward, k)` with `k` the all-to-all index (0 = ∇O, 1 = ∇Q,
+/// 2 = ∇K, 3 = ∇V); ring failures keep the ring's own annotation.
+#[allow(clippy::too_many_arguments)]
+pub fn try_usp_backward(
+    comm: &mut Communicator,
+    topo: &UspTopo,
+    saved: &UspSaved,
+    grad_o_heads: &[Mat],
+    scale: f32,
+    mask: &AttnMask,
+    seq_len: usize,
+    cost: &CostModel,
+) -> Result<HeadGrads, DattnError> {
     let heads = grad_o_heads.len();
     if !heads.is_multiple_of(topo.ulysses) {
-        return Err(UlyssesError::HeadsNotDivisible {
+        return Err(DattnError::Infeasible(UlyssesError::HeadsNotDivisible {
             heads,
             group: topo.ulysses,
-        });
+        }));
     }
     let hpr = saved.heads_per_rank;
 
     let outgoing: Vec<Mat> = (0..topo.ulysses)
         .map(|p| bundle(grad_o_heads, p * hpr, (p + 1) * hpr))
         .collect();
-    let incoming = group_all_to_all(comm, &topo.u_members, outgoing);
+    let incoming = try_group_all_to_all(comm, &topo.u_members, outgoing)
+        .map_err(AttnFailure::at(Phase::Backward, 0))?;
     let do_shard = unbundle(&Mat::vstack(&incoming), hpr);
 
     let ring = Ring::subgroup(comm, topo.r_members.clone());
@@ -286,28 +339,30 @@ pub fn usp_backward(
             lse: &saved.lse[h],
             grad_o: do_h,
         };
-        let (dq, dk, dv) = ring_backward(comm, &ring, &shard, &back, OverlapMode::Fine);
+        let (dq, dk, dv) = try_ring_backward(comm, &ring, &shard, &back, OverlapMode::Fine)?;
         dq_shard.push(dq);
         dk_shard.push(dk);
         dv_shard.push(dv);
     }
 
     let rows_per_member = dq_shard[0].rows() / topo.ulysses;
-    let scatter = |comm: &mut Communicator, grads: &[Mat]| -> Vec<Mat> {
-        let outgoing: Vec<Mat> = (0..topo.ulysses)
-            .map(|p| {
-                let slices: Vec<Mat> = grads
-                    .iter()
-                    .map(|g| g.slice_rows(p * rows_per_member, (p + 1) * rows_per_member))
-                    .collect();
-                Mat::hstack(&slices)
-            })
-            .collect();
-        let incoming = group_all_to_all(comm, &topo.u_members, outgoing);
-        incoming.iter().flat_map(|b| unbundle(b, hpr)).collect()
-    };
-    let dq = scatter(comm, &dq_shard);
-    let dk = scatter(comm, &dk_shard);
-    let dv = scatter(comm, &dv_shard);
+    let scatter =
+        |comm: &mut Communicator, grads: &[Mat], round: usize| -> Result<Vec<Mat>, AttnFailure> {
+            let outgoing: Vec<Mat> = (0..topo.ulysses)
+                .map(|p| {
+                    let slices: Vec<Mat> = grads
+                        .iter()
+                        .map(|g| g.slice_rows(p * rows_per_member, (p + 1) * rows_per_member))
+                        .collect();
+                    Mat::hstack(&slices)
+                })
+                .collect();
+            let incoming = try_group_all_to_all(comm, &topo.u_members, outgoing)
+                .map_err(AttnFailure::at(Phase::Backward, round))?;
+            Ok(incoming.iter().flat_map(|b| unbundle(b, hpr)).collect())
+        };
+    let dq = scatter(comm, &dq_shard, 1)?;
+    let dk = scatter(comm, &dk_shard, 2)?;
+    let dv = scatter(comm, &dv_shard, 3)?;
     Ok((dq, dk, dv))
 }

@@ -2,10 +2,124 @@
 //! (weights, gradients, Adam moments, configuration) so a run can stop and
 //! resume bit-exactly — the operational counterpart of the paper's
 //! long-duration 1M-token training jobs.
+//!
+//! Checkpoints are written **atomically** (payload goes to `<path>.tmp`,
+//! then a single `rename` publishes it) and carry a versioned header with a
+//! content checksum, so a reader can never observe a half-written file and
+//! a bit-rotted or truncated checkpoint is rejected on load instead of
+//! silently resuming from garbage:
+//!
+//! ```text
+//! BURSTCKPT v1 len=<payload bytes> fnv=<hex checksum>\n
+//! <payload: serde_json of the checkpointed value>
+//! ```
 
 use crate::model::Model;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+
+/// Magic + format version written at the front of every checkpoint file.
+pub const CKPT_MAGIC: &str = "BURSTCKPT";
+/// Current checkpoint format version.
+pub const CKPT_VERSION: u32 = 1;
+
+/// FNV-1a over the payload bytes — the same cheap, dependency-free checksum
+/// the communication layer uses to detect corrupted messages.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn invalid(detail: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, detail)
+}
+
+/// Frame a serialized payload with the versioned header and checksum.
+pub fn encode_checkpoint(payload: &[u8]) -> Vec<u8> {
+    let header = format!(
+        "{CKPT_MAGIC} v{CKPT_VERSION} len={} fnv={:#018x}\n",
+        payload.len(),
+        fnv1a(payload)
+    );
+    let mut out = Vec::with_capacity(header.len() + payload.len());
+    out.extend_from_slice(header.as_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Validate the header of an encoded checkpoint and return the payload.
+///
+/// Rejects (with `io::ErrorKind::InvalidData`) anything that is not a
+/// complete, uncorrupted v1 checkpoint: wrong magic, unknown version,
+/// truncated payload, or a checksum mismatch.
+pub fn decode_checkpoint(bytes: &[u8]) -> io::Result<&[u8]> {
+    let nl = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| invalid("checkpoint header missing terminating newline".into()))?;
+    let header = std::str::from_utf8(&bytes[..nl])
+        .map_err(|_| invalid("checkpoint header is not valid UTF-8".into()))?;
+    let mut fields = header.split_whitespace();
+    let magic = fields.next().unwrap_or("");
+    if magic != CKPT_MAGIC {
+        return Err(invalid(format!(
+            "bad checkpoint magic: expected {CKPT_MAGIC:?}, got {magic:?}"
+        )));
+    }
+    let version = fields.next().unwrap_or("");
+    if version != format!("v{CKPT_VERSION}") {
+        return Err(invalid(format!(
+            "unsupported checkpoint version {version:?} (this build reads v{CKPT_VERSION})"
+        )));
+    }
+    let len: usize = fields
+        .next()
+        .and_then(|f| f.strip_prefix("len="))
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| invalid("checkpoint header missing len= field".into()))?;
+    let fnv: u64 = fields
+        .next()
+        .and_then(|f| f.strip_prefix("fnv="))
+        .and_then(|v| v.strip_prefix("0x"))
+        .and_then(|v| u64::from_str_radix(v, 16).ok())
+        .ok_or_else(|| invalid("checkpoint header missing fnv= field".into()))?;
+    let payload = &bytes[nl + 1..];
+    if payload.len() != len {
+        return Err(invalid(format!(
+            "truncated checkpoint: header promises {len} payload bytes, file has {}",
+            payload.len()
+        )));
+    }
+    let got = fnv1a(payload);
+    if got != fnv {
+        return Err(invalid(format!(
+            "checkpoint checksum mismatch: header says {fnv:#018x}, payload hashes to {got:#018x}"
+        )));
+    }
+    Ok(payload)
+}
+
+/// The temporary staging path used by [`atomic_write`]: `<path>.tmp`.
+pub fn tmp_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+/// Crash-safe file replacement: write the full contents to `<path>.tmp`,
+/// then `rename` over `path`. A crash before the rename leaves any previous
+/// checkpoint at `path` untouched and loadable; the rename itself is atomic
+/// on POSIX filesystems, so readers see either the old file or the new one,
+/// never a prefix.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = tmp_path(path);
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
 
 impl Model {
     /// Serialize the full training state to JSON bytes.
@@ -19,23 +133,27 @@ impl Model {
         serde_json::from_slice(bytes)
     }
 
-    /// Write a checkpoint file.
+    /// Write a checkpoint file atomically (versioned header + checksum,
+    /// staged via [`tmp_path`] and published by a single rename).
     pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
-        let bytes = self
+        let payload = self
             .to_json()
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        std::fs::write(path, bytes)
+        atomic_write(path.as_ref(), &encode_checkpoint(&payload))
     }
 
-    /// Load a checkpoint file.
+    /// Load a checkpoint file, validating the header and content checksum
+    /// before deserializing.
     pub fn load(path: impl AsRef<Path>) -> io::Result<Model> {
         let bytes = std::fs::read(path)?;
-        Model::from_json(&bytes).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        let payload = decode_checkpoint(&bytes)?;
+        Model::from_json(payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::*;
     use crate::attention::LocalExec;
     use crate::checkpoint::Strategy;
     use crate::model::{Model, ModelConfig};
@@ -110,6 +228,69 @@ mod tests {
         m.save(&path).unwrap();
         let loaded = Model::load(&path).unwrap();
         assert_eq!(loaded.head.w, m.head.w);
+        assert!(
+            !tmp_path(&path).exists(),
+            "atomic save must not leave a .tmp file behind"
+        );
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn header_roundtrip_and_checksum() {
+        let payload = b"hello checkpoint".to_vec();
+        let framed = encode_checkpoint(&payload);
+        assert!(framed.starts_with(b"BURSTCKPT v1 len=16 fnv=0x"));
+        assert_eq!(decode_checkpoint(&framed).unwrap(), &payload[..]);
+    }
+
+    #[test]
+    fn corrupted_payload_is_rejected() {
+        let mut framed = encode_checkpoint(b"some payload bytes");
+        let last = framed.len() - 1;
+        framed[last] ^= 0x01;
+        let err = decode_checkpoint(&framed).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(
+            err.to_string().contains("checksum"),
+            "error must name the checksum: {err}"
+        );
+    }
+
+    #[test]
+    fn truncated_and_foreign_files_are_rejected() {
+        let framed = encode_checkpoint(b"payload");
+        let truncated = &framed[..framed.len() - 2];
+        assert!(decode_checkpoint(truncated)
+            .unwrap_err()
+            .to_string()
+            .contains("truncated"));
+        assert!(decode_checkpoint(b"NOTACKPT v1 len=0 fnv=0x0\n")
+            .unwrap_err()
+            .to_string()
+            .contains("magic"));
+        assert!(
+            decode_checkpoint(b"BURSTCKPT v9 len=0 fnv=0x0000000000000000\n")
+                .unwrap_err()
+                .to_string()
+                .contains("version")
+        );
+        assert!(decode_checkpoint(b"no newline at all").is_err());
+    }
+
+    #[test]
+    fn interrupted_save_preserves_previous_checkpoint() {
+        let cfg = ModelConfig::tiny();
+        let m = Model::new(cfg, 36);
+        let dir = std::env::temp_dir().join("burstengine-ckpt-atomic-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.ckpt");
+        m.save(&path).unwrap();
+        // Simulate a crash mid-write: garbage lands in the staging file and
+        // the rename never happens.
+        std::fs::write(tmp_path(&path), b"half-written garbage").unwrap();
+        let loaded = Model::load(&path).unwrap();
+        assert_eq!(loaded.head.w, m.head.w);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(tmp_path(&path)).ok();
     }
 }

@@ -6,12 +6,15 @@
 
 use crate::attention::{AttnExec, DistExec, LocalExec, UlyssesExec, UspExec};
 use crate::checkpoint::Strategy;
+use crate::checkpoint_io::{atomic_write, decode_checkpoint, encode_checkpoint};
 use crate::fsdp;
 use crate::model::{Model, ModelConfig, StepOutput};
 use crate::param::AdamCfg;
-use burst_comm::{CommStats, Communicator, World};
+use burst_comm::{CommError, CommStats, Communicator, World};
 use burst_dattn::{Algo, CostModel, Layout, OverlapMode};
 use burst_kernels::AttnMask;
+use std::io;
+use std::path::{Path, PathBuf};
 
 /// Which attention parallelism the engine runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -136,11 +139,40 @@ pub fn run_rank(
     steps: usize,
 ) -> (Vec<f32>, StepOutput) {
     let mut model = Model::new(cfg.model, cfg.seed);
+    match run_span(comm, cfg, &mut model, 0, steps, |_, _, _| {}) {
+        Ok((losses, last)) => (losses, last.expect("steps > 0")),
+        Err(e) => comm.escalate(e),
+    }
+}
+
+/// Run training steps `start_step..end_step` on one rank, mutating `model`
+/// in place. Because the synthetic batch and the Adam bias correction are
+/// both functions of the *absolute* step index, a model restored from a
+/// checkpoint taken after `start_step` steps continues bit-identically to a
+/// run that never stopped — the invariant the recovery loop and its tests
+/// rely on.
+///
+/// `on_step(completed, model, losses)` fires after every optimizer step
+/// with the number of completed steps, the post-update model and the span's
+/// losses so far; [`train_with_recovery`] uses it to write checkpoints.
+///
+/// Fails with a typed [`CommError`] instead of aborting: a non-finite
+/// reduced loss (a poisoned step — some rank contributed NaN/Inf) is
+/// reported as [`CommError::Corrupt`], and communication faults injected by
+/// a [`burst_comm::FaultPlan`] surface through the fallible collectives.
+pub fn run_span(
+    comm: &mut Communicator,
+    cfg: &EngineConfig,
+    model: &mut Model,
+    start_step: usize,
+    end_step: usize,
+    mut on_step: impl FnMut(usize, &Model, &[f32]),
+) -> Result<(Vec<f32>, Option<StepOutput>), CommError> {
     let n = cfg.model.seq_len;
-    let mut losses = Vec::with_capacity(steps);
+    let mut losses = Vec::with_capacity(end_step.saturating_sub(start_step));
     let mut last = None;
     let accum = cfg.grad_accum.max(1);
-    for step in 0..steps {
+    for step in start_step..end_step {
         model.zero_grads();
         if cfg.fsdp {
             fsdp::gather_weights(comm, &mut model.params_mut());
@@ -161,13 +193,13 @@ pub fn run_rank(
                 match cfg.backend {
                     Backend::Local => {
                         let mut exec = LocalExec::new(cfg.mask.clone(), n);
-                        step_with(&mut model, &tokens, &targets, &mut exec, cfg, accum)
+                        step_with(&mut *model, &tokens, &targets, &mut exec, cfg, accum)
                     }
                     Backend::Ring(algo) => {
                         let mut exec =
                             DistExec::new(comm, algo, cfg.layout, cfg.mask.clone(), n, cfg.cost);
                         exec.overlap = cfg.overlap;
-                        step_with(&mut model, &tokens, &targets, &mut exec, cfg, accum)
+                        step_with(&mut *model, &tokens, &targets, &mut exec, cfg, accum)
                     }
                     Backend::Ulysses => {
                         let mut exec = UlyssesExec {
@@ -176,7 +208,7 @@ pub fn run_rank(
                             seq_len: n,
                             cost: cfg.cost,
                         };
-                        step_with(&mut model, &tokens, &targets, &mut exec, cfg, accum)
+                        step_with(&mut *model, &tokens, &targets, &mut exec, cfg, accum)
                     }
                     Backend::Usp { ulysses_size } => {
                         let mut exec = UspExec {
@@ -186,7 +218,7 @@ pub fn run_rank(
                             seq_len: n,
                             cost: cfg.cost,
                         };
-                        step_with(&mut model, &tokens, &targets, &mut exec, cfg, accum)
+                        step_with(&mut *model, &tokens, &targets, &mut exec, cfg, accum)
                     }
                 }
             };
@@ -203,8 +235,19 @@ pub fn run_rank(
         }
         let out = out.expect("grad_accum >= 1");
         // Global mean loss (over all micro-batches) + gradient sync.
-        let reduced = comm.all_reduce_vec(&[step_loss_sum]);
-        losses.push(reduced[0] / (n * accum) as f32);
+        let reduced = comm.try_all_reduce_vec(&[step_loss_sum])?;
+        let mean_loss = reduced[0] / (n * accum) as f32;
+        if !mean_loss.is_finite() {
+            // A poisoned step: some rank fed NaN/Inf into the reduction.
+            // Surface it as a typed error so the recovery loop can roll
+            // back to the last good checkpoint instead of training on.
+            return Err(CommError::Corrupt {
+                rank: comm.rank(),
+                src: comm.rank(),
+                detail: format!("non-finite global loss {mean_loss} at step {step}"),
+            });
+        }
+        losses.push(mean_loss);
         if cfg.fsdp {
             fsdp::sync_grads(comm, &mut model.params_mut());
         }
@@ -216,8 +259,9 @@ pub fn run_rank(
             comm.advance_compute(fsdp::offload_step_seconds(cfg.model.param_count(), shard));
         }
         last = Some(out);
+        on_step(step + 1, model, &losses);
     }
-    (losses, last.expect("steps > 0"))
+    Ok((losses, last))
 }
 
 fn step_with<E: AttnExec>(
@@ -286,5 +330,158 @@ pub fn train(world: &World, cfg: &EngineConfig, steps: usize) -> TrainMetrics {
             cfg.offload_optimizer,
         ),
         comm,
+    }
+}
+
+/// Everything needed to resume a training job from the middle: the number
+/// of completed optimizer steps, the global loss history, and the full
+/// model state (weights, gradients, Adam moments). Persisted with the same
+/// versioned, checksummed, atomically-renamed format as [`Model::save`].
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct TrainCheckpoint {
+    /// Optimizer steps completed before this checkpoint was taken.
+    pub step: usize,
+    /// Global mean loss of every completed step.
+    pub losses: Vec<f32>,
+    /// Full training state after `step` steps.
+    pub model: Model,
+}
+
+impl TrainCheckpoint {
+    /// Write the checkpoint atomically (staged at `<path>.tmp`, published
+    /// by rename) with a validated header.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let payload =
+            serde_json::to_vec(self).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        atomic_write(path.as_ref(), &encode_checkpoint(&payload))
+    }
+
+    /// Load and validate a checkpoint written by [`TrainCheckpoint::save`].
+    pub fn load(path: impl AsRef<Path>) -> io::Result<TrainCheckpoint> {
+        let bytes = std::fs::read(path)?;
+        let payload = decode_checkpoint(&bytes)?;
+        serde_json::from_slice(payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// Configuration of the elastic recovery loop in [`train_with_recovery`].
+#[derive(Debug, Clone)]
+pub struct RecoveryCfg {
+    /// Checkpoint every `every` optimizer steps (rank 0 writes).
+    pub every: usize,
+    /// Checkpoint file path.
+    pub path: PathBuf,
+    /// Give up after this many restarts.
+    pub max_restarts: usize,
+}
+
+/// What [`train_with_recovery`] observed: the full loss history (bit-exact
+/// against an uninterrupted run), the restarts it performed, and the typed
+/// failure that triggered each one.
+#[derive(Debug)]
+pub struct RecoveryReport {
+    /// Global mean loss of every step, across all attempts.
+    pub losses: Vec<f32>,
+    /// How many times the job was restarted from a checkpoint.
+    pub restarts: usize,
+    /// One representative typed failure per failed attempt.
+    pub failures: Vec<CommError>,
+    /// The final model state after all `steps` completed.
+    pub final_model: Model,
+}
+
+/// Elastic training: run `steps` optimizer steps, checkpointing every
+/// `recovery.every` steps, and when any rank fails — crash, timeout, lost
+/// peer, corrupted message or poisoned loss — restore the last good
+/// checkpoint and replay from there on a fresh world.
+///
+/// `make_world` builds the cluster for each attempt (attempt 0 first); a
+/// fault-injection test hands back a faulty world first and clean worlds
+/// after, modelling a failed node being replaced. Because every quantity in
+/// [`run_span`] depends only on the restored model state and the absolute
+/// step index, the recovered run is bit-identical to one that never failed.
+pub fn train_with_recovery(
+    make_world: impl Fn(usize) -> World,
+    cfg: &EngineConfig,
+    steps: usize,
+    recovery: &RecoveryCfg,
+) -> io::Result<RecoveryReport> {
+    let every = recovery.every.max(1);
+    let mut restarts = 0usize;
+    let mut failures: Vec<CommError> = Vec::new();
+    loop {
+        // Resume from the last good checkpoint, or start fresh when none
+        // has been written yet. A present-but-invalid file is a hard error:
+        // silently restarting a long job from step 0 would be worse.
+        let (start_model, start_step, prior_losses) = match TrainCheckpoint::load(&recovery.path) {
+            Ok(ck) => (ck.model, ck.step, ck.losses),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                (Model::new(cfg.model, cfg.seed), 0, Vec::new())
+            }
+            Err(e) => return Err(e),
+        };
+        let world = make_world(restarts);
+        let ckpt_path = recovery.path.clone();
+        let outs = world.run_faulty::<_, CommError, _>(|comm| {
+            let rank = comm.rank();
+            let mut model = start_model.clone();
+            let (span_losses, _) = run_span(
+                comm,
+                cfg,
+                &mut model,
+                start_step,
+                steps,
+                |done, m, sofar| {
+                    if rank == 0 && (done % every == 0 || done == steps) {
+                        let mut losses = prior_losses.clone();
+                        losses.extend_from_slice(sofar);
+                        let ck = TrainCheckpoint {
+                            step: done,
+                            losses,
+                            model: m.clone(),
+                        };
+                        ck.save(&ckpt_path)
+                            .unwrap_or_else(|e| panic!("rank 0: checkpoint write failed: {e}"));
+                    }
+                },
+            )?;
+            Ok((span_losses, model))
+        });
+        let mut first_err: Option<CommError> = None;
+        let mut ok: Option<(Vec<f32>, Model)> = None;
+        for out in outs {
+            match out.result {
+                Ok(r) => ok = Some(r),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        match first_err {
+            None => {
+                let (span_losses, final_model) = ok.expect("run_faulty returned no rank outputs");
+                let mut losses = prior_losses;
+                losses.extend(span_losses);
+                return Ok(RecoveryReport {
+                    losses,
+                    restarts,
+                    failures,
+                    final_model,
+                });
+            }
+            Some(e) => {
+                failures.push(e);
+                restarts += 1;
+                if restarts > recovery.max_restarts {
+                    let last = failures.last().expect("at least one failure");
+                    return Err(io::Error::other(format!(
+                        "giving up after {} restarts; last failure: {last}",
+                        recovery.max_restarts
+                    )));
+                }
+            }
+        }
     }
 }

@@ -46,7 +46,9 @@ pub mod rope;
 pub use attention::{AttnExec, DistExec, LocalExec, MultiHeadAttention};
 pub use block::TransformerBlock;
 pub use checkpoint::Strategy;
-pub use engine::{EngineConfig, TrainMetrics};
+pub use engine::{
+    train_with_recovery, EngineConfig, RecoveryCfg, RecoveryReport, TrainCheckpoint, TrainMetrics,
+};
 pub use memory::MemoryTracker;
 pub use model::{Model, ModelConfig};
 pub use param::{AdamCfg, Param};

@@ -64,13 +64,21 @@ pub use burst_tensor as tensor;
 
 /// The most commonly used items across the workspace.
 pub mod prelude {
-    pub use burst_comm::{CommStats, Communicator, Link, Topology, World};
-    pub use burst_dattn::{run_attention, Algo, AttnShard, CostModel, Layout, OverlapMode, Ring};
+    pub use burst_comm::{
+        CommError, CommStats, Communicator, CrashAt, FaultPlan, Link, Topology, World,
+    };
+    pub use burst_dattn::{
+        run_attention, try_run_attention, Algo, AttnFailure, AttnShard, CostModel, DattnError,
+        Layout, OverlapMode, Phase, Ring,
+    };
     pub use burst_kernels::{
         flash_backward, flash_forward, fused_lm_loss, AttnMask, BlockSparseMask, OnlineState,
     };
     pub use burst_model::engine::{train, Backend, EngineConfig};
-    pub use burst_model::{AdamCfg, LocalExec, Model, ModelConfig, MultiHeadAttention, Strategy};
+    pub use burst_model::{
+        train_with_recovery, AdamCfg, LocalExec, Model, ModelConfig, MultiHeadAttention,
+        RecoveryCfg, RecoveryReport, Strategy, TrainCheckpoint,
+    };
     pub use burst_perf::endtoend::{evaluate, BurstOpts, Method};
     pub use burst_perf::machine::{Cluster, PaperModel};
     pub use burst_tensor::{randn_mat, Mat, SeedStream};

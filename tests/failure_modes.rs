@@ -141,3 +141,193 @@ fn oom_and_head_failures_are_reported_not_panicked() {
         other => panic!("expected OOM, got {other:?}"),
     }
 }
+
+/// Fault-injection seed for the plans below; the CI matrix overrides it via
+/// the `FAULT_SEED` environment variable to prove determinism holds for any
+/// seed, not just the default.
+fn fault_seed() -> u64 {
+    std::env::var("FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+#[test]
+fn straggler_link_times_out_with_typed_error() {
+    // Link 0→1 is a 10-virtual-second straggler; the receiver only waits 1s.
+    let plan = FaultPlan::new(fault_seed())
+        .delay_link(0, 1, 10.0, 0.0)
+        .recv_deadline(1.0);
+    let world = World::with_faults(Topology::single_node(2), plan);
+    let outs = world.run_faulty::<_, CommError, _>(|comm| {
+        if comm.rank() == 0 {
+            comm.try_send_vec(1, &[1.0, 2.0])
+        } else {
+            comm.try_recv_vec(0).map(|_| ())
+        }
+    });
+    assert!(outs[0].result.is_ok(), "sender is unaffected");
+    match &outs[1].result {
+        Err(CommError::Timeout { rank, src, .. }) => {
+            assert_eq!((*rank, *src), (1, 0), "timeout must name both ends");
+        }
+        other => panic!("expected a typed timeout, got {other:?}"),
+    }
+}
+
+#[test]
+fn dropped_message_surfaces_as_timeout_not_deadlock() {
+    let plan = FaultPlan::new(fault_seed())
+        .drop_msg(0, 1, 0)
+        .recv_deadline(1.0);
+    let world = World::with_faults(Topology::single_node(2), plan);
+    let outs = world.run_faulty::<_, CommError, _>(|comm| {
+        if comm.rank() == 0 {
+            comm.try_send_vec(1, &[3.0])
+        } else {
+            comm.try_recv_vec(0).map(|_| ())
+        }
+    });
+    assert!(
+        matches!(
+            outs[1].result,
+            Err(CommError::Timeout {
+                rank: 1,
+                src: 0,
+                ..
+            })
+        ),
+        "dropped message must become a deadline timeout: {:?}",
+        outs[1].result
+    );
+}
+
+#[test]
+fn corrupted_message_is_detected_by_checksum() {
+    let plan = FaultPlan::new(fault_seed()).corrupt_msg(0, 1, 0);
+    let world = World::with_faults(Topology::single_node(2), plan);
+    let outs = world.run_faulty::<_, CommError, _>(|comm| {
+        if comm.rank() == 0 {
+            comm.try_send_vec(1, &[1.0, -2.0, 3.0])
+        } else {
+            comm.try_recv_vec(0).map(|_| ())
+        }
+    });
+    match &outs[1].result {
+        Err(CommError::Corrupt { rank, src, detail }) => {
+            assert_eq!((*rank, *src), (1, 0));
+            assert!(detail.contains("checksum"), "detail must explain: {detail}");
+        }
+        other => panic!("expected a corruption error, got {other:?}"),
+    }
+}
+
+#[test]
+fn crash_mid_ring_attention_names_rank_and_round() {
+    let n = 32;
+    let d = 8;
+    let g = 4;
+    let crashed = 2usize;
+    // Rank 2 dies after a handful of communication ops — mid-ring.
+    let plan = FaultPlan::new(fault_seed())
+        .crash_at_op(crashed, 4)
+        .recv_deadline(60.0);
+    let world = World::with_faults(Topology::single_node(g), plan);
+    let q = randn_mat(n, d, 0.7, 1);
+    let k = randn_mat(n, d, 0.7, 2);
+    let v = randn_mat(n, d, 0.7, 3);
+    let go = randn_mat(n, d, 0.8, 4);
+    let outs = world.run_faulty::<_, AttnFailure, _>(|comm| {
+        let idx = Layout::Zigzag.indices(n, g, comm.rank());
+        try_run_attention(
+            Algo::BurstFlat,
+            comm,
+            &q.gather_rows(&idx),
+            &k.gather_rows(&idx),
+            &v.gather_rows(&idx),
+            &go.gather_rows(&idx),
+            1.0 / (d as f32).sqrt(),
+            &AttnMask::Causal,
+            Layout::Zigzag,
+            n,
+            &CostModel::free(),
+        )
+    });
+    for out in &outs {
+        assert!(
+            out.result.is_err(),
+            "rank {}: a mid-ring crash must fail every rank",
+            out.rank
+        );
+    }
+    let failures: Vec<&AttnFailure> = outs
+        .iter()
+        .map(|o| o.result.as_ref().unwrap_err())
+        .collect();
+    assert!(
+        matches!(failures[crashed].source, CommError::Crashed { rank, .. } if rank == crashed),
+        "the crashed rank reports its own crash: {:?}",
+        failures[crashed]
+    );
+    assert!(
+        failures
+            .iter()
+            .enumerate()
+            .any(|(r, e)| r != crashed && e.source.peer() == Some(crashed)),
+        "some survivor must name rank {crashed} as the failed peer: {failures:?}"
+    );
+    let located = failures
+        .iter()
+        .find(|e| e.context.is_some())
+        .expect("at least one failure carries (phase, round) context");
+    let msg = located.to_string();
+    assert!(
+        msg.contains("round") && (msg.contains("forward") || msg.contains("backward")),
+        "failure must name the phase and ring round: {msg}"
+    );
+}
+
+#[test]
+fn fault_injection_is_deterministic_for_a_fixed_seed() {
+    let run = || {
+        let plan = FaultPlan::new(fault_seed())
+            .delay_link(0, 1, 0.9, 0.3)
+            .drop_msg(1, 0, 1)
+            .recv_deadline(1.0);
+        let world = World::with_faults(Topology::single_node(2), plan);
+        let outs = world.run_faulty::<_, CommError, _>(|comm| {
+            let peer = 1 - comm.rank();
+            for _ in 0..3 {
+                comm.try_send_vec(peer, &[comm.rank() as f32])?;
+                comm.try_recv_vec(peer)?;
+            }
+            Ok(())
+        });
+        outs.iter()
+            .map(|o| (o.rank, format!("{:?}", o.result), o.time.to_bits()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run(), "same seed must reproduce the same failures");
+}
+
+#[test]
+fn corrupted_checkpoint_is_rejected_on_load() {
+    let cfg = ModelConfig::tiny();
+    let m = Model::new(cfg, 99);
+    let dir = std::env::temp_dir().join(format!("burstengine-corrupt-ckpt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.ckpt");
+    m.save(&path).unwrap();
+    // Flip one payload byte — a single bit of rot anywhere in the file.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+    let err = Model::load(&path).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(
+        err.to_string().contains("checksum"),
+        "rejection must name the checksum: {err}"
+    );
+    std::fs::remove_file(&path).ok();
+}
