@@ -16,6 +16,34 @@ use std::time::Duration;
 /// converts the would-be deadlock into a typed error instead of a hang.
 const WALL_BACKSTOP: Duration = Duration::from_secs(30);
 
+/// Kind of an elastic-layer control message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtrlKind {
+    /// "I am abandoning the current collective" — sent by a rank that hit a
+    /// failure mid-collective so its healthy neighbors stop waiting for data.
+    Abort,
+    /// A follower's eviction proposal to the agreement leader.
+    Propose,
+    /// The leader's eviction decision (new epoch + evicted set).
+    Decide,
+    /// A follower acknowledging the decision (its stale-message drain is
+    /// complete).
+    Ack,
+    /// The leader's release: every survivor drained, safe to resume.
+    Go,
+}
+
+/// An elastic-layer control message: abort pills and the eviction-agreement
+/// protocol ride the same deterministic channels as data, so a control
+/// message arriving where data was expected is itself a typed signal
+/// ([`CommError::Aborted`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CtrlMsg {
+    pub kind: CtrlKind,
+    pub epoch: u64,
+    pub suspects: Vec<usize>,
+}
+
 /// A message payload. Real data moves between ranks so distributed
 /// algorithms are numerically exact end-to-end.
 #[derive(Debug, Clone)]
@@ -24,6 +52,8 @@ pub enum MsgData {
     Vec(Vec<f32>),
     Scalar(f64),
     Empty,
+    /// Elastic-layer control traffic (see [`CtrlMsg`]).
+    Ctrl(CtrlMsg),
 }
 
 impl MsgData {
@@ -34,6 +64,7 @@ impl MsgData {
             MsgData::Vec(v) => v.len(),
             MsgData::Scalar(_) => 1,
             MsgData::Empty => 0,
+            MsgData::Ctrl(c) => c.suspects.len() + 2,
         }
     }
 
@@ -44,6 +75,7 @@ impl MsgData {
             MsgData::Vec(v) => format!("Vec[{}]", v.len()),
             MsgData::Scalar(_) => "Scalar".to_string(),
             MsgData::Empty => "Empty".to_string(),
+            MsgData::Ctrl(c) => format!("Ctrl {:?} epoch={}", c.kind, c.epoch),
         }
     }
 
@@ -71,6 +103,13 @@ impl MsgData {
             }
             MsgData::Scalar(s) => eat(s.to_bits()),
             MsgData::Empty => eat(0),
+            MsgData::Ctrl(c) => {
+                eat(c.kind as u64);
+                eat(c.epoch);
+                for &s in &c.suspects {
+                    eat(s as u64);
+                }
+            }
         }
         h
     }
@@ -91,6 +130,7 @@ impl MsgData {
             }
             MsgData::Scalar(s) => *s = f64::from_bits(s.to_bits() ^ (1 << 63)),
             MsgData::Empty => {}
+            MsgData::Ctrl(c) => c.epoch ^= 1,
         }
     }
 }
@@ -136,6 +176,25 @@ pub struct Communicator {
     ops: u64,
     /// Per-destination sent-message counters (fault trigger indexing).
     sent: Vec<u64>,
+    /// Slow-kernel straggler factor from the fault plan (1.0 = healthy).
+    compute_factor: f64,
+}
+
+/// Absolute virtual-clock deadline for a receive posted at `posted` with a
+/// timeout budget of `budget` seconds, saturating instead of overflowing to
+/// infinity when the clock sits near `f64::MAX`. An *unset* budget
+/// (infinite) stays infinite — only finite budgets are clamped, so a
+/// configured deadline can never silently become "no deadline".
+pub fn saturating_deadline(posted: f64, budget: f64) -> f64 {
+    if !budget.is_finite() {
+        return f64::INFINITY;
+    }
+    let d = posted + budget;
+    if d.is_finite() {
+        d
+    } else {
+        f64::MAX
+    }
 }
 
 impl Communicator {
@@ -147,6 +206,10 @@ impl Communicator {
         fault: Option<FaultPlan>,
     ) -> Self {
         let world = topo.world_size();
+        let compute_factor = fault
+            .as_ref()
+            .map(|p| p.compute_slowdown(rank))
+            .unwrap_or(1.0);
         Communicator {
             rank,
             topo,
@@ -160,6 +223,7 @@ impl Communicator {
             fault,
             ops: 0,
             sent: vec![0; world],
+            compute_factor,
         }
     }
 
@@ -223,6 +287,21 @@ impl Communicator {
         self.fault.is_some()
     }
 
+    /// The installed fault plan, if any.
+    #[inline]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
+    }
+
+    /// The gradient poison scheduled for this rank at (`step`, `micro`),
+    /// if any (compute-side fault injection).
+    #[inline]
+    pub fn grad_poison(&self, step: u64, micro: u64) -> Option<f32> {
+        self.fault
+            .as_ref()
+            .and_then(|p| p.grad_poison(self.rank, step, micro))
+    }
+
     /// Escalate a typed error through the infallible API: under a fault
     /// plan the panic payload is the [`CommError`] itself (recoverable by
     /// [`crate::World::run_faulty`]); otherwise a readable message.
@@ -235,9 +314,12 @@ impl Communicator {
         }
     }
 
-    /// Model `seconds` of local compute (advances the virtual clock).
+    /// Model `seconds` of local compute (advances the virtual clock). A
+    /// slow-kernel straggler factor from the fault plan stretches the
+    /// advance deterministically.
     pub fn advance_compute(&mut self, seconds: f64) {
         debug_assert!(seconds >= 0.0, "negative compute time");
+        let seconds = seconds * self.compute_factor;
         if seconds > 0.0 {
             if let Some(trace) = &mut self.trace {
                 trace.push(TraceEvent::Compute {
@@ -271,14 +353,16 @@ impl Communicator {
                 _ => {}
             }
         }
-        self.ops += 1;
+        self.ops = self.ops.saturating_add(1);
         Ok(())
     }
 
-    /// The virtual-clock deadline for a receive posted now.
+    /// The virtual-clock deadline for a receive posted now (saturating:
+    /// a clock near `f64::MAX` must not overflow a finite budget into
+    /// "no deadline").
     fn recv_deadline_abs(&self) -> f64 {
         match &self.fault {
-            Some(plan) => self.clock + plan.deadline_secs(),
+            Some(plan) => saturating_deadline(self.clock, plan.deadline_secs()),
             None => f64::INFINITY,
         }
     }
@@ -302,7 +386,7 @@ impl Communicator {
         let bytes = self.topo.wire_bytes(elems);
         let link = self.topo.link(self.rank, dst);
         let msg_index = self.sent[dst];
-        self.sent[dst] += 1;
+        self.sent[dst] = self.sent[dst].saturating_add(1);
         // Injected link faults: deterministic extra latency/jitter, drops
         // and corruption, all keyed off the plan seed and message index.
         let (extra, dropped, checksum) = match &self.fault {
@@ -354,6 +438,7 @@ impl Communicator {
             .map_err(|_| CommError::PeerLost {
                 rank: self.rank,
                 src: dst,
+                at: self.clock,
             })
     }
 
@@ -393,6 +478,7 @@ impl Communicator {
                     return Err(CommError::PeerLost {
                         rank: self.rank,
                         src,
+                        at: self.clock,
                     });
                 }
                 Err(RecvTimeoutError::Timeout) => {
@@ -400,6 +486,7 @@ impl Communicator {
                         rank: self.rank,
                         src,
                         deadline,
+                        at: self.clock,
                     });
                 }
             }
@@ -410,6 +497,7 @@ impl Communicator {
                     return Err(CommError::PeerLost {
                         rank: self.rank,
                         src,
+                        at: self.clock,
                     });
                 }
             }
@@ -425,6 +513,7 @@ impl Communicator {
                 rank: self.rank,
                 src,
                 deadline,
+                at: self.clock,
             });
         }
         if msg.arrival > self.clock {
@@ -464,6 +553,35 @@ impl Communicator {
         }
     }
 
+    /// A control message arrived where data was expected: the sender
+    /// abandoned the collective. Convert it to the typed signal.
+    fn aborted_by(&self, src: usize, c: CtrlMsg) -> CommError {
+        CommError::Aborted {
+            rank: self.rank,
+            src,
+            epoch: c.epoch,
+            suspects: c.suspects,
+            at: self.clock,
+        }
+    }
+
+    /// Discard every message currently queued on this rank's inbound
+    /// channels without advancing the virtual clock — used between
+    /// membership epochs to clear stale in-flight data from an aborted
+    /// collective. Returns the number of messages discarded.
+    pub fn drain_all(&mut self) -> usize {
+        let mut n = 0;
+        for src in 0..self.world_size() {
+            if src == self.rank {
+                continue;
+            }
+            while self.rx[src].try_recv().is_ok() {
+                n += 1;
+            }
+        }
+        n
+    }
+
     // ----- typed helpers ---------------------------------------------------
 
     pub fn send_mat(&mut self, dst: usize, m: &Mat) {
@@ -477,6 +595,7 @@ impl Communicator {
     pub fn try_recv_mat(&mut self, src: usize) -> Result<Mat, CommError> {
         match self.try_recv(src)? {
             MsgData::Mat(m) => Ok(m),
+            MsgData::Ctrl(c) => Err(self.aborted_by(src, c)),
             other => Err(CommError::ShapeMismatch {
                 rank: self.rank,
                 src,
@@ -505,6 +624,7 @@ impl Communicator {
     pub fn try_recv_vec(&mut self, src: usize) -> Result<Vec<f32>, CommError> {
         match self.try_recv(src)? {
             MsgData::Vec(v) => Ok(v),
+            MsgData::Ctrl(c) => Err(self.aborted_by(src, c)),
             other => Err(CommError::ShapeMismatch {
                 rank: self.rank,
                 src,
@@ -529,6 +649,7 @@ impl Communicator {
     pub fn try_recv_scalar(&mut self, src: usize) -> Result<f64, CommError> {
         match self.try_recv(src)? {
             MsgData::Scalar(s) => Ok(s),
+            MsgData::Ctrl(c) => Err(self.aborted_by(src, c)),
             other => Err(CommError::ShapeMismatch {
                 rank: self.rank,
                 src,
@@ -869,5 +990,39 @@ impl Communicator {
             self.try_send_vec(0, v)?;
             self.try_recv_vec(0)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_math_saturates_near_clock_max() {
+        // A virtual clock parked near f64::MAX plus a large-but-finite
+        // timeout budget must clamp to f64::MAX, not overflow to infinity
+        // (which would silently disable the deadline).
+        let d = saturating_deadline(f64::MAX, 1e307);
+        assert!(d.is_finite(), "finite budget must yield a finite deadline");
+        assert_eq!(d, f64::MAX);
+        // Ordinary arithmetic is untouched.
+        assert_eq!(saturating_deadline(1.5, 2.0), 3.5);
+        // An unset (infinite) budget genuinely means "no deadline".
+        assert_eq!(saturating_deadline(1e100, f64::INFINITY), f64::INFINITY);
+        assert_eq!(saturating_deadline(f64::MAX, f64::INFINITY), f64::INFINITY);
+    }
+
+    #[test]
+    fn ctrl_messages_have_checksums_and_describe() {
+        let c = MsgData::Ctrl(CtrlMsg {
+            kind: CtrlKind::Abort,
+            epoch: 3,
+            suspects: vec![1, 2],
+        });
+        assert_eq!(c.elems(), 4);
+        assert!(c.describe().contains("Abort"));
+        let mut tampered = c.clone();
+        tampered.corrupt_in_place();
+        assert_ne!(c.checksum(), tampered.checksum());
     }
 }

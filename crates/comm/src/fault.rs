@@ -23,14 +23,17 @@
 #[derive(Debug, Clone, PartialEq)]
 pub enum CommError {
     /// The peer's rank thread terminated (crashed or returned early) while
-    /// `rank` was exchanging data with it.
-    PeerLost { rank: usize, src: usize },
+    /// `rank` was exchanging data with it. `at` is the observer's virtual
+    /// clock when the loss was detected.
+    PeerLost { rank: usize, src: usize, at: f64 },
     /// A message from `src` did not arrive by the virtual-clock deadline
-    /// (straggler link or dropped packet).
+    /// (straggler link or dropped packet). `at` is the observer's virtual
+    /// clock when the timeout fired.
     Timeout {
         rank: usize,
         src: usize,
         deadline: f64,
+        at: f64,
     },
     /// The payload kind or shape did not match what the receiver expected.
     ShapeMismatch {
@@ -50,6 +53,27 @@ pub enum CommError {
     /// A rank panicked with a payload that was not a [`CommError`]
     /// (collected by [`crate::World::run_faulty`] instead of unwinding).
     Panicked { rank: usize, detail: String },
+    /// A control message (abort/eviction traffic from the elastic layer)
+    /// arrived where a data payload was expected: peer `src` abandoned the
+    /// collective in flight, naming `suspects` as the ranks it believes
+    /// dead. The receiver should stop the collective and join the eviction
+    /// agreement (see `membership`).
+    Aborted {
+        rank: usize,
+        src: usize,
+        epoch: u64,
+        suspects: Vec<usize>,
+        at: f64,
+    },
+    /// The alive set changed underneath a shrinking collective: `evicted`
+    /// ranks were removed at membership epoch `epoch`. The caller must
+    /// re-derive its ring neighbors from the updated membership and re-run.
+    Evicted {
+        rank: usize,
+        epoch: u64,
+        evicted: Vec<usize>,
+        at: f64,
+    },
 }
 
 impl CommError {
@@ -61,7 +85,9 @@ impl CommError {
             | CommError::ShapeMismatch { rank, .. }
             | CommError::Corrupt { rank, .. }
             | CommError::Crashed { rank, .. }
-            | CommError::Panicked { rank, .. } => *rank,
+            | CommError::Panicked { rank, .. }
+            | CommError::Aborted { rank, .. }
+            | CommError::Evicted { rank, .. } => *rank,
         }
     }
 
@@ -71,8 +97,28 @@ impl CommError {
             CommError::PeerLost { src, .. }
             | CommError::Timeout { src, .. }
             | CommError::ShapeMismatch { src, .. }
-            | CommError::Corrupt { src, .. } => Some(*src),
-            CommError::Crashed { .. } | CommError::Panicked { .. } => None,
+            | CommError::Corrupt { src, .. }
+            | CommError::Aborted { src, .. } => Some(*src),
+            CommError::Crashed { .. } | CommError::Panicked { .. } | CommError::Evicted { .. } => {
+                None
+            }
+        }
+    }
+
+    /// The virtual time at which the failure was observed, when known —
+    /// pins each rank's failure to the deterministic virtual clock so
+    /// eviction decisions and test assertions can reason about *when*, not
+    /// just where, a rank died.
+    pub fn at_time(&self) -> Option<f64> {
+        match self {
+            CommError::PeerLost { at, .. }
+            | CommError::Timeout { at, .. }
+            | CommError::Crashed { at, .. }
+            | CommError::Aborted { at, .. }
+            | CommError::Evicted { at, .. } => Some(*at),
+            CommError::ShapeMismatch { .. }
+            | CommError::Corrupt { .. }
+            | CommError::Panicked { .. } => None,
         }
     }
 }
@@ -80,17 +126,21 @@ impl CommError {
 impl std::fmt::Display for CommError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CommError::PeerLost { rank, src } => {
-                write!(f, "rank {rank}: peer rank {src} terminated")
+            CommError::PeerLost { rank, src, at } => {
+                write!(
+                    f,
+                    "rank {rank}: peer rank {src} terminated (observed at virtual time {at:.6}s)"
+                )
             }
             CommError::Timeout {
                 rank,
                 src,
                 deadline,
+                at,
             } => write!(
                 f,
                 "rank {rank}: message from rank {src} missed its virtual deadline \
-                 ({deadline:.6}s)"
+                 ({deadline:.6}s, observed at {at:.6}s)"
             ),
             CommError::ShapeMismatch {
                 rank,
@@ -111,6 +161,27 @@ impl std::fmt::Display for CommError {
             CommError::Panicked { rank, detail } => {
                 write!(f, "rank {rank}: panicked: {detail}")
             }
+            CommError::Aborted {
+                rank,
+                src,
+                epoch,
+                suspects,
+                at,
+            } => write!(
+                f,
+                "rank {rank}: peer rank {src} aborted the collective at epoch {epoch} \
+                 suspecting ranks {suspects:?} (observed at {at:.6}s)"
+            ),
+            CommError::Evicted {
+                rank,
+                epoch,
+                evicted,
+                at,
+            } => write!(
+                f,
+                "rank {rank}: membership shrank to epoch {epoch} (evicted ranks \
+                 {evicted:?} at virtual time {at:.6}s); re-derive neighbors and re-run"
+            ),
         }
     }
 }
@@ -141,7 +212,7 @@ struct LinkFault {
 
 /// SplitMix64: a tiny, high-quality deterministic mixer — all jitter
 /// randomness derives from it so a plan's seed fully determines the run.
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     let mut z = x;
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -171,6 +242,13 @@ pub struct FaultPlan {
     drops: Vec<(usize, usize, u64)>,
     corrupts: Vec<(usize, usize, u64)>,
     recv_deadline: Option<f64>,
+    /// Compute-side gradient poisoning: (rank, step, micro-batch, value)
+    /// overwrites one gradient entry with `value` (NaN/Inf) after that
+    /// micro-batch's backward pass.
+    poisons: Vec<(usize, u64, u64, f32)>,
+    /// Compute-side stragglers: (rank, factor) multiplies every
+    /// `advance_compute` on that rank by `factor` (slow kernel).
+    slowdowns: Vec<(usize, f64)>,
 }
 
 impl FaultPlan {
@@ -224,6 +302,57 @@ impl FaultPlan {
     pub fn corrupt_msg(mut self, src: usize, dst: usize, index: u64) -> Self {
         self.corrupts.push((src, dst, index));
         self
+    }
+
+    /// Overwrite one gradient entry on `rank` with `value` (typically NaN
+    /// or Inf) after the backward pass of micro-batch 0 of step `step` — a
+    /// compute-side fault: the communication layer stays healthy but the
+    /// numerics go bad.
+    pub fn poison_grad(self, rank: usize, step: u64, value: f32) -> Self {
+        self.poison_grad_micro(rank, step, 0, value)
+    }
+
+    /// Like [`FaultPlan::poison_grad`], but targets a specific micro-batch
+    /// within the step (for gradient-accumulation runs).
+    pub fn poison_grad_micro(mut self, rank: usize, step: u64, micro: u64, value: f32) -> Self {
+        self.poisons.push((rank, step, micro, value));
+        self
+    }
+
+    /// Multiply every compute advance on `rank` by `factor` — a slow-kernel
+    /// straggler that stretches the rank's virtual compute time without
+    /// touching any link.
+    pub fn slow_compute(mut self, rank: usize, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "slowdown factor must be a finite value >= 1, got {factor}"
+        );
+        self.slowdowns.push((rank, factor));
+        self
+    }
+
+    /// The poison value scheduled for (`rank`, `step`, `micro`), if any.
+    pub fn grad_poison(&self, rank: usize, step: u64, micro: u64) -> Option<f32> {
+        self.poisons
+            .iter()
+            .find(|&&(r, s, m, _)| (r, s, m) == (rank, step, micro))
+            .map(|&(_, _, _, v)| v)
+    }
+
+    /// Whether any gradient poison is scheduled for `rank` at all — lets
+    /// the training loop skip per-micro gradient snapshots on clean runs.
+    pub fn has_poisons(&self, rank: usize) -> bool {
+        self.poisons.iter().any(|&(r, ..)| r == rank)
+    }
+
+    /// The compute-slowdown factor for `rank` (1.0 when unaffected).
+    pub fn compute_slowdown(&self, rank: usize) -> f64 {
+        self.slowdowns
+            .iter()
+            .filter(|&&(r, _)| r == rank)
+            .map(|&(_, f)| f)
+            .product::<f64>()
+            .max(1.0)
     }
 
     /// Set the virtual-clock receive deadline: a `try_recv` whose message
@@ -323,12 +452,46 @@ mod tests {
             rank: 3,
             src: 1,
             deadline: 0.5,
+            at: 0.75,
         };
         assert_eq!(e.rank(), 3);
         assert_eq!(e.peer(), Some(1));
+        assert_eq!(e.at_time(), Some(0.75));
         assert!(format!("{e}").contains("rank 3"));
         assert!(format!("{e}").contains("rank 1"));
         let c = CommError::Crashed { rank: 2, at: 1.0 };
         assert_eq!(c.peer(), None);
+        assert_eq!(c.at_time(), Some(1.0));
+        let a = CommError::Aborted {
+            rank: 0,
+            src: 2,
+            epoch: 1,
+            suspects: vec![3],
+            at: 2.5,
+        };
+        assert_eq!(a.peer(), Some(2));
+        assert_eq!(a.at_time(), Some(2.5));
+        let v = CommError::Evicted {
+            rank: 0,
+            epoch: 2,
+            evicted: vec![1, 3],
+            at: 3.0,
+        };
+        assert_eq!(v.peer(), None);
+        assert!(format!("{v}").contains("epoch 2"));
+    }
+
+    #[test]
+    fn compute_faults_are_queried_per_rank_and_step() {
+        let plan = FaultPlan::new(9)
+            .poison_grad(1, 4, f32::NAN)
+            .poison_grad_micro(2, 0, 1, f32::INFINITY)
+            .slow_compute(3, 2.5);
+        assert!(plan.grad_poison(1, 4, 0).unwrap().is_nan());
+        assert_eq!(plan.grad_poison(2, 0, 1), Some(f32::INFINITY));
+        assert_eq!(plan.grad_poison(0, 4, 0), None);
+        assert_eq!(plan.grad_poison(1, 3, 0), None);
+        assert_eq!(plan.compute_slowdown(3), 2.5);
+        assert_eq!(plan.compute_slowdown(0), 1.0);
     }
 }

@@ -30,13 +30,18 @@
 
 pub mod comm;
 pub mod fault;
+pub mod membership;
 pub mod stats;
 pub mod topology;
 pub mod trace;
 pub mod world;
 
-pub use comm::{Communicator, Msg, MsgData};
+pub use comm::{saturating_deadline, Communicator, CtrlKind, CtrlMsg, Msg, MsgData};
 pub use fault::{CommError, CrashAt, FaultPlan};
+pub use membership::{
+    agree_on_eviction, send_abort, shrink_all_gather_mat, shrink_reduce_scatter_mat,
+    shrink_ring_shift, AgreeOutcome, Membership, RetryPolicy,
+};
 pub use stats::CommStats;
 pub use topology::{Link, Topology};
 pub use trace::{ascii_lane, summarize, TraceEvent, TraceSummary};

@@ -1,0 +1,667 @@
+//! Elastic membership: an epoch-numbered alive set per world, gossip-style
+//! failure detection, and *shrinking* ring collectives that re-derive their
+//! neighbors from the current alive set.
+//!
+//! The failure model is **fail-stop**: a rank that dies stays dead, and a
+//! suspicion raised after bounded retries is trusted (no healthy rank is
+//! falsely evicted under crash faults, because suspicion is driven by
+//! channel disconnection — [`CommError::PeerLost`] — which only a dead
+//! rank's dropped endpoints can produce).
+//!
+//! ## Protocol
+//!
+//! A rank that hits `PeerLost` (or exhausts its deterministic retry budget
+//! on `Timeout`) mid-collective does three things, in order:
+//!
+//! 1. **abort pill** — sends a [`CtrlMsg`] with [`CtrlKind::Abort`] to its
+//!    alive non-suspect ring neighbors so they stop blocking on data that
+//!    will never come (they observe [`CommError::Aborted`] and join in);
+//! 2. **agreement** — enters [`agree_on_eviction`], a leader-based round
+//!    (lowest alive non-suspect rank leads): followers send `Propose`, the
+//!    leader merges every proposal, bumps the epoch iff the union is
+//!    non-empty, and distributes `Decide`; a drain barrier (`Ack`/`Go`)
+//!    guarantees every stale in-flight message from the aborted collective
+//!    is discarded on every survivor before anyone resumes sending;
+//! 3. **re-derive and re-run** — the collective returns
+//!    [`CommError::Evicted`] and the caller re-runs it on the shrunken
+//!    ring.
+//!
+//! Ranks whose collective attempt *succeeded* still join the agreement with
+//! an empty proposal — the agreement doubles as a commit barrier, so a
+//! survivor can never run ahead into the next collective while its peers
+//! are still deciding who died.
+//!
+//! The drain barrier is correct because channel sends enqueue immediately:
+//! every data send precedes its sender's `Propose` (program order), every
+//! `Propose` precedes the leader's `Decide`, and every `Decide` precedes
+//! the receiver's drain — so by the time a survivor drains, all stale
+//! messages addressed to it are already in its queues.
+
+use crate::comm::{Communicator, CtrlKind, CtrlMsg, MsgData};
+use crate::fault::{splitmix64, CommError};
+use burst_tensor::Mat;
+
+/// Epoch-numbered view of which ranks are alive. Every rank keeps its own
+/// copy; the eviction agreement keeps the copies consistent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Membership {
+    epoch: u64,
+    alive: Vec<bool>,
+}
+
+impl Membership {
+    /// A fresh view: every rank of an `n`-rank world alive, epoch 0.
+    pub fn new(world_size: usize) -> Self {
+        assert!(world_size > 0, "membership needs at least one rank");
+        Membership {
+            epoch: 0,
+            alive: vec![true; world_size],
+        }
+    }
+
+    /// Total ranks the world started with (alive or not).
+    pub fn world_size(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Current membership epoch (bumped once per eviction round).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Force the epoch (applied from a leader's `Decide`).
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    pub fn is_alive(&self, rank: usize) -> bool {
+        self.alive.get(rank).copied().unwrap_or(false)
+    }
+
+    /// The alive ranks in ascending order — the member list of every
+    /// shrinking collective.
+    pub fn alive_ranks(&self) -> Vec<usize> {
+        (0..self.alive.len()).filter(|&r| self.alive[r]).collect()
+    }
+
+    pub fn num_alive(&self) -> usize {
+        self.alive.iter().filter(|a| **a).count()
+    }
+
+    /// Position of `rank` within the alive list (its ring slot), if alive.
+    pub fn pos_of(&self, rank: usize) -> Option<usize> {
+        if !self.is_alive(rank) {
+            return None;
+        }
+        Some((0..rank).filter(|&r| self.alive[r]).count())
+    }
+
+    /// Mark `rank` dead. Returns whether the view changed. Does **not**
+    /// bump the epoch — only the agreement does that, once per round.
+    pub fn evict(&mut self, rank: usize) -> bool {
+        if rank < self.alive.len() && self.alive[rank] {
+            self.alive[rank] = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Cyclic next alive rank after `rank` (returns `rank` when alone).
+    pub fn next_alive(&self, rank: usize) -> usize {
+        let n = self.alive.len();
+        for step in 1..=n {
+            let r = (rank + step) % n;
+            if self.alive[r] {
+                return r;
+            }
+        }
+        rank
+    }
+
+    /// Cyclic previous alive rank before `rank` (returns `rank` when alone).
+    pub fn prev_alive(&self, rank: usize) -> usize {
+        let n = self.alive.len();
+        for step in 1..=n {
+            let r = (rank + n - step) % n;
+            if self.alive[r] {
+                return r;
+            }
+        }
+        rank
+    }
+}
+
+/// Bounded, virtual-clock-aware, seed-deterministic retry schedule applied
+/// before a timed-out peer is declared dead. Backoff is exponential with
+/// seeded jitter in `[0.5, 1.0]·cap`, burned as virtual compute time so
+/// the schedule is bit-reproducible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Receive attempts before the peer is suspected (>= 1).
+    pub max_attempts: u32,
+    /// First backoff, in virtual seconds.
+    pub base_backoff: f64,
+    /// Backoff cap, in virtual seconds.
+    pub max_backoff: f64,
+    /// Jitter seed (mixes with rank and attempt index).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: 1e-4,
+            max_backoff: 1e-2,
+            seed: 0x9e37_79b9,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The virtual-time backoff before retry `attempt` (0-based) on `rank`.
+    /// Deterministic in (seed, rank, attempt).
+    pub fn backoff(&self, attempt: u32, rank: usize) -> f64 {
+        let raw = (self.base_backoff * f64::from(1u32 << attempt.min(20))).min(self.max_backoff);
+        let h = splitmix64(self.seed ^ ((rank as u64) << 32) ^ u64::from(attempt));
+        let frac = (h >> 11) as f64 / (1u64 << 53) as f64;
+        raw * (0.5 + 0.5 * frac)
+    }
+}
+
+/// The outcome of one eviction agreement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AgreeOutcome {
+    /// Ranks evicted this round (empty = nothing changed, commit).
+    pub evicted: Vec<usize>,
+    /// The membership epoch after the round.
+    pub epoch: u64,
+}
+
+fn ctrl(kind: CtrlKind, epoch: u64, suspects: Vec<usize>) -> MsgData {
+    MsgData::Ctrl(CtrlMsg {
+        kind,
+        epoch,
+        suspects,
+    })
+}
+
+/// Ranks a failure implicates, for gossip: the lost/late peer, or the
+/// suspect list an abort pill carried.
+fn suspects_of(e: &CommError) -> Vec<usize> {
+    match e {
+        CommError::PeerLost { src, .. } | CommError::Timeout { src, .. } => vec![*src],
+        CommError::Aborted { suspects, .. } => suspects.clone(),
+        _ => Vec::new(),
+    }
+}
+
+/// Best-effort abort pills to both alive non-suspect ring neighbors, so a
+/// peer blocked on this rank's data observes [`CommError::Aborted`] instead
+/// of hanging until the wall backstop. Send failures are ignored — a dead
+/// neighbor needs no pill.
+pub fn send_abort(comm: &mut Communicator, m: &Membership, suspects: &[usize]) {
+    let me = comm.rank();
+    let healthy: Vec<usize> = m
+        .alive_ranks()
+        .into_iter()
+        .filter(|r| !suspects.contains(r))
+        .collect();
+    let Some(pos) = healthy.iter().position(|&r| r == me) else {
+        return;
+    };
+    if healthy.len() < 2 {
+        return;
+    }
+    let g = healthy.len();
+    let mut targets = vec![healthy[(pos + 1) % g]];
+    let prev = healthy[(pos + g - 1) % g];
+    if prev != targets[0] {
+        targets.push(prev);
+    }
+    for t in targets {
+        let _ = comm.try_send(t, ctrl(CtrlKind::Abort, m.epoch(), suspects.to_vec()));
+    }
+}
+
+/// Receive from `src` until a control message of kind `want` arrives.
+/// Stale data payloads from the aborted collective are discarded; abort
+/// pills fold their suspect lists into `gossip`. Timeouts retry on the
+/// policy's schedule before giving up.
+fn wait_for_ctrl(
+    comm: &mut Communicator,
+    src: usize,
+    want: CtrlKind,
+    policy: &RetryPolicy,
+    gossip: &mut Vec<usize>,
+) -> Result<CtrlMsg, CommError> {
+    let mut attempt = 0u32;
+    loop {
+        match comm.try_recv(src) {
+            Ok(MsgData::Ctrl(c)) if c.kind == want => return Ok(c),
+            Ok(MsgData::Ctrl(c)) if c.kind == CtrlKind::Abort => {
+                gossip.extend(c.suspects);
+            }
+            Ok(_) => {} // stale data from the aborted collective
+            Err(CommError::Timeout { .. }) if attempt + 1 < policy.max_attempts.max(1) => {
+                comm.advance_compute(policy.backoff(attempt, comm.rank()));
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Leader-based eviction agreement; see the module docs for the protocol.
+///
+/// Every alive rank must call this with its current suspect list (empty if
+/// its collective attempt succeeded). Returns the agreed eviction set and
+/// the updated epoch; `m` is updated in place. The call is also a barrier:
+/// when it returns, every survivor has applied the same decision and
+/// drained every stale message addressed to it.
+pub fn agree_on_eviction(
+    comm: &mut Communicator,
+    m: &mut Membership,
+    suspects: &[usize],
+    policy: &RetryPolicy,
+) -> Result<AgreeOutcome, CommError> {
+    let me = comm.rank();
+    let mut suspects: Vec<usize> = suspects
+        .iter()
+        .copied()
+        .filter(|&s| s != me && m.is_alive(s))
+        .collect();
+    loop {
+        suspects.sort_unstable();
+        suspects.dedup();
+        let healthy: Vec<usize> = m
+            .alive_ranks()
+            .into_iter()
+            .filter(|r| !suspects.contains(r))
+            .collect();
+        let leader = healthy.first().copied().unwrap_or(me);
+        if leader == me {
+            // Leader: gather proposals from every healthy peer, merge,
+            // decide, then run the drain barrier.
+            let mut union = suspects.clone();
+            for &p in healthy.iter().filter(|&&p| p != me) {
+                let mut gossip = Vec::new();
+                match wait_for_ctrl(comm, p, CtrlKind::Propose, policy, &mut gossip) {
+                    Ok(c) => union.extend(c.suspects),
+                    // A peer that dies while proposing is itself evicted.
+                    Err(_) => union.push(p),
+                }
+                union.extend(gossip);
+            }
+            union.sort_unstable();
+            union.dedup();
+            union.retain(|&r| r != me && m.is_alive(r));
+            let evicted = union;
+            let epoch = if evicted.is_empty() {
+                m.epoch()
+            } else {
+                m.epoch() + 1
+            };
+            for &r in &evicted {
+                m.evict(r);
+            }
+            m.set_epoch(epoch);
+            let survivors: Vec<usize> = m.alive_ranks().into_iter().filter(|&r| r != me).collect();
+            for &p in &survivors {
+                let _ = comm.try_send(p, ctrl(CtrlKind::Decide, epoch, evicted.clone()));
+            }
+            for &p in &survivors {
+                // Tolerant: a follower dying mid-barrier is caught on the
+                // next collective attempt.
+                let _ = wait_for_ctrl(comm, p, CtrlKind::Ack, policy, &mut Vec::new());
+            }
+            comm.drain_all();
+            for &p in &survivors {
+                let _ = comm.try_send(p, ctrl(CtrlKind::Go, epoch, Vec::new()));
+            }
+            return Ok(AgreeOutcome { evicted, epoch });
+        }
+        // Follower: propose to the leader, wait for its decision. A dead
+        // leader becomes a suspect and the loop re-elects.
+        if comm
+            .try_send(leader, ctrl(CtrlKind::Propose, m.epoch(), suspects.clone()))
+            .is_err()
+        {
+            suspects.push(leader);
+            continue;
+        }
+        let mut gossip = Vec::new();
+        match wait_for_ctrl(comm, leader, CtrlKind::Decide, policy, &mut gossip) {
+            Ok(decide) => {
+                for &r in &decide.suspects {
+                    m.evict(r);
+                }
+                m.set_epoch(decide.epoch);
+                comm.drain_all();
+                let _ = comm.try_send(leader, ctrl(CtrlKind::Ack, decide.epoch, Vec::new()));
+                let _ = wait_for_ctrl(comm, leader, CtrlKind::Go, policy, &mut Vec::new());
+                return Ok(AgreeOutcome {
+                    evicted: decide.suspects,
+                    epoch: decide.epoch,
+                });
+            }
+            Err(_) => {
+                suspects.push(leader);
+                suspects.extend(gossip);
+            }
+        }
+    }
+}
+
+/// Receive a matrix from `src`, retrying timeouts on the policy schedule.
+fn recv_mat_retry(
+    comm: &mut Communicator,
+    src: usize,
+    policy: &RetryPolicy,
+) -> Result<Mat, CommError> {
+    let mut attempt = 0u32;
+    loop {
+        match comm.try_recv_mat(src) {
+            Err(CommError::Timeout { .. }) if attempt + 1 < policy.max_attempts.max(1) => {
+                comm.advance_compute(policy.backoff(attempt, comm.rank()));
+                attempt += 1;
+            }
+            other => return other,
+        }
+    }
+}
+
+/// Shared epilogue of every shrinking collective: on failure, pill the
+/// neighbors; always join the agreement (commit barrier); convert an
+/// agreed eviction into [`CommError::Evicted`] so the caller re-derives
+/// its ring and re-runs. A rank observing its *own* crash reports it
+/// directly — the dead must not participate in the agreement.
+fn finish_collective<T>(
+    comm: &mut Communicator,
+    m: &mut Membership,
+    result: Result<T, CommError>,
+    policy: &RetryPolicy,
+) -> Result<T, CommError> {
+    if matches!(result, Err(CommError::Crashed { .. })) {
+        return result;
+    }
+    let my_suspects = match &result {
+        Err(e) => {
+            let s = suspects_of(e);
+            send_abort(comm, m, &s);
+            s
+        }
+        Ok(_) => Vec::new(),
+    };
+    let out = agree_on_eviction(comm, m, &my_suspects, policy)?;
+    if !out.evicted.is_empty() {
+        return Err(CommError::Evicted {
+            rank: comm.rank(),
+            epoch: out.epoch,
+            evicted: out.evicted,
+            at: comm.time(),
+        });
+    }
+    result
+}
+
+fn ring_neighbors(comm: &Communicator, m: &Membership) -> (Vec<usize>, usize) {
+    let me = comm.rank();
+    assert!(
+        m.is_alive(me),
+        "rank {me}: shrinking collective on an evicted rank"
+    );
+    let members = m.alive_ranks();
+    let pos = m.pos_of(me).expect("alive rank has a position");
+    (members, pos)
+}
+
+/// One step of the shrinking ring: send `data` to the next alive rank,
+/// receive from the previous alive rank. On failure the membership
+/// agreement runs and [`CommError::Evicted`] tells the caller to re-derive
+/// and re-run.
+pub fn shrink_ring_shift(
+    comm: &mut Communicator,
+    m: &mut Membership,
+    data: MsgData,
+    policy: &RetryPolicy,
+) -> Result<MsgData, CommError> {
+    let (members, pos) = ring_neighbors(comm, m);
+    let g = members.len();
+    let attempt = (|| {
+        if g == 1 {
+            return Ok(data.clone());
+        }
+        comm.try_send(members[(pos + 1) % g], data.clone())?;
+        let prev = members[(pos + g - 1) % g];
+        let mut tries = 0u32;
+        loop {
+            match comm.try_recv(prev) {
+                Ok(MsgData::Ctrl(c)) => {
+                    return Err(CommError::Aborted {
+                        rank: comm.rank(),
+                        src: prev,
+                        epoch: c.epoch,
+                        suspects: c.suspects,
+                        at: comm.time(),
+                    });
+                }
+                Err(CommError::Timeout { .. }) if tries + 1 < policy.max_attempts.max(1) => {
+                    comm.advance_compute(policy.backoff(tries, comm.rank()));
+                    tries += 1;
+                }
+                other => return other,
+            }
+        }
+    })();
+    finish_collective(comm, m, attempt, policy)
+}
+
+/// Shrinking ring all-gather over the alive set: returns one block per
+/// alive rank, indexed by ring position (ascending rank order).
+pub fn shrink_all_gather_mat(
+    comm: &mut Communicator,
+    m: &mut Membership,
+    mine: &Mat,
+    policy: &RetryPolicy,
+) -> Result<Vec<Mat>, CommError> {
+    let (members, pos) = ring_neighbors(comm, m);
+    let g = members.len();
+    let attempt = (|| {
+        let mut parts: Vec<Option<Mat>> = vec![None; g];
+        parts[pos] = Some(mine.clone());
+        let next = members[(pos + 1) % g];
+        let prev = members[(pos + g - 1) % g];
+        let mut cursor = pos;
+        for _ in 0..g.saturating_sub(1) {
+            let outgoing = parts[cursor].clone().expect("shrink all-gather invariant");
+            comm.try_send(next, MsgData::Mat(outgoing))?;
+            let incoming = recv_mat_retry(comm, prev, policy)?;
+            cursor = (cursor + g - 1) % g;
+            parts[cursor] = Some(incoming);
+        }
+        Ok(parts
+            .into_iter()
+            .map(|p| p.expect("shrink all-gather missed a block"))
+            .collect())
+    })();
+    finish_collective(comm, m, attempt, policy)
+}
+
+/// Shrinking ring reduce-scatter (sum): `parts[p]` is this rank's
+/// contribution to the alive rank at ring position `p` (`parts.len()` must
+/// equal the alive count); returns the reduced block this rank owns.
+pub fn shrink_reduce_scatter_mat(
+    comm: &mut Communicator,
+    m: &mut Membership,
+    parts: &[Mat],
+    policy: &RetryPolicy,
+) -> Result<Mat, CommError> {
+    let (members, pos) = ring_neighbors(comm, m);
+    let g = members.len();
+    assert_eq!(
+        parts.len(),
+        g,
+        "rank {}: shrink reduce-scatter: need one part per alive rank \
+         ({} given, {g} alive)",
+        comm.rank(),
+        parts.len()
+    );
+    let attempt = (|acc: &mut Vec<Mat>| {
+        if g == 1 {
+            return Ok(acc[0].clone());
+        }
+        let next = members[(pos + 1) % g];
+        let prev = members[(pos + g - 1) % g];
+        let mut cursor = (pos + 1) % g;
+        for _ in 0..g - 1 {
+            let outgoing = acc[cursor].clone();
+            comm.try_send(prev, MsgData::Mat(outgoing))?;
+            let incoming = recv_mat_retry(comm, next, policy)?;
+            cursor = (cursor + 1) % g;
+            if incoming.shape() != acc[cursor].shape() {
+                return Err(CommError::ShapeMismatch {
+                    rank: comm.rank(),
+                    src: next,
+                    expected: "shrink reduce-scatter block of matching shape",
+                    got: format!("Mat {}x{}", incoming.rows(), incoming.cols()),
+                });
+            }
+            acc[cursor].add_assign(&incoming);
+        }
+        debug_assert_eq!(cursor, pos);
+        Ok(acc[pos].clone())
+    })(&mut parts.to_vec());
+    finish_collective(comm, m, attempt, policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+    use crate::topology::Topology;
+    use crate::world::World;
+
+    #[test]
+    fn membership_bookkeeping() {
+        let mut m = Membership::new(4);
+        assert_eq!(m.alive_ranks(), vec![0, 1, 2, 3]);
+        assert_eq!(m.pos_of(2), Some(2));
+        assert!(m.evict(2));
+        assert!(!m.evict(2), "double eviction is a no-op");
+        assert_eq!(m.alive_ranks(), vec![0, 1, 3]);
+        assert_eq!(m.pos_of(3), Some(2));
+        assert_eq!(m.pos_of(2), None);
+        assert_eq!(m.next_alive(1), 3);
+        assert_eq!(m.prev_alive(3), 1);
+        assert_eq!(m.next_alive(3), 0);
+        assert_eq!(m.num_alive(), 3);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_growing() {
+        let p = RetryPolicy::default();
+        for attempt in 0..8 {
+            let a = p.backoff(attempt, 3);
+            assert_eq!(a, p.backoff(attempt, 3), "backoff must be reproducible");
+            assert!(a > 0.0 && a <= p.max_backoff);
+        }
+        assert!(
+            p.backoff(5, 0) >= p.backoff(0, 0),
+            "later attempts back off at least as long"
+        );
+        assert_ne!(p.backoff(0, 0), p.backoff(0, 1), "per-rank jitter");
+    }
+
+    #[test]
+    fn shrinking_all_gather_survives_a_crashed_rank() {
+        // Rank 2 dies on its second comm op; ranks 0 and 1 must agree to
+        // evict it and complete the all-gather on the two-rank ring.
+        let plan = FaultPlan::new(5).crash_at_op(2, 1).recv_deadline(60.0);
+        let world = World::with_faults(Topology::single_node(3), plan);
+        let outs = world.run_faulty::<_, CommError, _>(|comm| {
+            let mut m = Membership::new(comm.world_size());
+            let policy = RetryPolicy::default();
+            let mine = Mat::from_vec(1, 2, vec![comm.rank() as f32, 10.0 + comm.rank() as f32]);
+            loop {
+                match shrink_all_gather_mat(comm, &mut m, &mine, &policy) {
+                    Ok(blocks) => return Ok((blocks, m.alive_ranks(), m.epoch())),
+                    Err(CommError::Evicted { .. }) => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+        });
+        assert!(
+            matches!(outs[2].result, Err(CommError::Crashed { rank: 2, .. })),
+            "the dead rank reports its own crash: {:?}",
+            outs[2].result
+        );
+        for (r, out) in outs.iter().enumerate().take(2) {
+            let (blocks, alive, epoch) = out.result.as_ref().expect("survivor completes");
+            assert_eq!(*alive, vec![0, 1], "rank {r} must see rank 2 evicted");
+            assert_eq!(*epoch, 1, "one eviction round bumps the epoch once");
+            assert_eq!(blocks.len(), 2);
+            for (pos, b) in blocks.iter().enumerate() {
+                assert_eq!(
+                    b.as_slice(),
+                    &[pos as f32, 10.0 + pos as f32],
+                    "rank {r}: block {pos} must come from alive rank {pos}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shrinking_reduce_scatter_matches_manual_sum_after_eviction() {
+        let plan = FaultPlan::new(11).crash_at_op(1, 0).recv_deadline(60.0);
+        let world = World::with_faults(Topology::single_node(3), plan);
+        let outs = world.run_faulty::<_, CommError, _>(|comm| {
+            let mut m = Membership::new(comm.world_size());
+            let policy = RetryPolicy::default();
+            loop {
+                let g = m.num_alive();
+                // parts[p] = rank-tagged contribution for position p.
+                let parts: Vec<Mat> = (0..g)
+                    .map(|p| Mat::from_vec(1, 1, vec![(comm.rank() * 10 + p) as f32]))
+                    .collect();
+                match shrink_reduce_scatter_mat(comm, &mut m, &parts, &policy) {
+                    Ok(mine) => return Ok((mine, m.alive_ranks())),
+                    Err(CommError::Evicted { .. }) => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+        });
+        assert!(outs[1].result.is_err(), "rank 1 dies before its first op");
+        for (r, expect) in [(0usize, 0.0f32 + 20.0), (2usize, 1.0 + 21.0)] {
+            let (mine, alive) = outs[r].result.as_ref().expect("survivor completes");
+            assert_eq!(*alive, vec![0, 2]);
+            assert_eq!(mine.as_slice(), &[expect], "rank {r} owns the summed block");
+        }
+    }
+
+    #[test]
+    fn clean_shrink_collectives_run_without_faults() {
+        // No fault plan installed: the agreement still runs (commit
+        // barrier) and must be a no-op.
+        let world = World::new(Topology::single_node(4));
+        let outs = world.run_results(|comm| {
+            let mut m = Membership::new(comm.world_size());
+            let policy = RetryPolicy::default();
+            let mine = Mat::from_vec(1, 1, vec![comm.rank() as f32]);
+            let blocks = shrink_all_gather_mat(comm, &mut m, &mine, &policy).unwrap();
+            let shifted =
+                shrink_ring_shift(comm, &mut m, MsgData::Scalar(comm.rank() as f64), &policy)
+                    .unwrap();
+            (blocks.len(), shifted, m.epoch())
+        });
+        for (r, (n, shifted, epoch)) in outs.into_iter().enumerate() {
+            assert_eq!(n, 4);
+            assert_eq!(epoch, 0, "clean run must not bump the epoch");
+            match shifted {
+                MsgData::Scalar(s) => assert_eq!(s as usize, (r + 3) % 4),
+                other => panic!("rank {r}: expected scalar, got {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Elastic ring attention: when a rank dies mid-ring, the survivors agree
+//! to evict it, re-partition the sequence over the shrunken ring —
+//! recovering the dead rank's tokens from its checkpoint shard — and re-run
+//! the step, producing output **bit-identical** to a run that started with
+//! the smaller world.
+//!
+//! The full re-run (rather than patching only the affected rounds) is what
+//! makes bit-identity possible: re-partitioning changes every survivor's
+//! `Q` ownership, so the online-softmax merge order of a patched run could
+//! never match a fresh small-world run. Because the kernels and the virtual
+//! clock are deterministic, re-running on identically assembled shards is
+//! exactly a fresh run.
+//!
+//! Failure detection, eviction agreement and the stale-message drain
+//! barrier come from `burst_comm::membership`; this module adds the
+//! attention-specific pieces: suspect extraction from [`AttnFailure`],
+//! shard re-assembly from per-rank checkpoint data, and the re-run loop.
+
+use crate::cost::CostModel;
+use crate::layout::Layout;
+use crate::ring::{
+    try_burst_backward, try_ring_forward, AttnFailure, AttnShard, BackwardInputs, OverlapMode, Ring,
+};
+use burst_comm::{agree_on_eviction, send_abort, CommError, Communicator, Membership, RetryPolicy};
+use burst_kernels::AttnMask;
+use burst_tensor::Mat;
+use std::collections::HashMap;
+
+/// A rank's original `(Q, K, V, ∇O)` shard, as a checkpoint loader returns
+/// it (rows in that rank's original layout order).
+pub type ShardData = (Mat, Mat, Mat, Mat);
+
+/// Result of an elastic attention step on one survivor.
+#[derive(Debug, Clone)]
+pub struct ElasticAttnOut {
+    pub o: Mat,
+    pub lse: Vec<f32>,
+    pub dq: Mat,
+    pub dk: Mat,
+    pub dv: Mat,
+    /// Global token indices this rank owns after any re-partitioning.
+    pub idx: Vec<usize>,
+    /// Every rank evicted over the course of the call.
+    pub evicted: Vec<usize>,
+    /// Final membership epoch.
+    pub epoch: u64,
+    /// Checkpoint shards loaded to rebuild this rank's partition (IO
+    /// accounting: restore-after-shrink must only load what it needs).
+    pub shards_loaded: usize,
+    /// Ring attempts run (1 = no failure).
+    pub attempts: usize,
+}
+
+/// Ranks an attention failure implicates, for the eviction proposal.
+fn suspects_of(e: &AttnFailure) -> Vec<usize> {
+    match &e.source {
+        CommError::PeerLost { src, .. } | CommError::Timeout { src, .. } => vec![*src],
+        CommError::Aborted { suspects, .. } => suspects.clone(),
+        _ => Vec::new(),
+    }
+}
+
+/// Assemble this rank's `(Q, K, V, ∇O)` partition for the current alive
+/// set: rows it already owns are copied locally, rows owned by other
+/// *original* ranks come from `load_shard` (cached across attempts,
+/// counted in `loads`). Returns the rebuilt shard and its global indices.
+#[allow(clippy::too_many_arguments)]
+fn rebuild_partition(
+    layout: Layout,
+    seq_len: usize,
+    orig_world: usize,
+    me: usize,
+    ring_size: usize,
+    pos: usize,
+    local: &ShardData,
+    cache: &mut HashMap<usize, ShardData>,
+    loads: &mut usize,
+    load_shard: &mut dyn FnMut(usize) -> ShardData,
+) -> (ShardData, Vec<usize>) {
+    let new_idx = layout.indices(seq_len, ring_size, pos);
+    // token → (original owner, row within that owner's shard).
+    let mut home = vec![(usize::MAX, usize::MAX); seq_len];
+    for r in 0..orig_world {
+        for (row, t) in layout
+            .indices(seq_len, orig_world, r)
+            .into_iter()
+            .enumerate()
+        {
+            home[t] = (r, row);
+        }
+    }
+    let cols = [
+        local.0.cols(),
+        local.1.cols(),
+        local.2.cols(),
+        local.3.cols(),
+    ];
+    let mut out = (
+        Mat::zeros(new_idx.len(), cols[0]),
+        Mat::zeros(new_idx.len(), cols[1]),
+        Mat::zeros(new_idx.len(), cols[2]),
+        Mat::zeros(new_idx.len(), cols[3]),
+    );
+    for (row_out, &t) in new_idx.iter().enumerate() {
+        let (owner, row_in) = home[t];
+        let src: &ShardData = if owner == me {
+            local
+        } else {
+            cache.entry(owner).or_insert_with(|| {
+                *loads += 1;
+                load_shard(owner)
+            })
+        };
+        let copy = |dst: &mut Mat, s: &Mat, c: usize| {
+            dst.as_mut_slice()[row_out * c..(row_out + 1) * c]
+                .copy_from_slice(&s.as_slice()[row_in * c..(row_in + 1) * c]);
+        };
+        copy(&mut out.0, &src.0, cols[0]);
+        copy(&mut out.1, &src.1, cols[1]);
+        copy(&mut out.2, &src.2, cols[2]);
+        copy(&mut out.3, &src.3, cols[3]);
+    }
+    (out, new_idx)
+}
+
+/// One elastic forward+backward (BurstAttention Algorithm 2, fine overlap)
+/// on this rank's shard.
+///
+/// `q/k/v/grad_o` are the rank's shard under `layout` over the *original*
+/// world; `load_shard(r)` returns original rank `r`'s shard from its
+/// checkpoint (only called for rows this rank does not hold locally, and
+/// at most once per `r`). On a mid-ring failure the survivors evict the
+/// dead rank(s), re-partition over the shrunken ring and re-run; the
+/// output is bit-identical to a run that started with the smaller world.
+///
+/// A rank observing its own scheduled crash returns the failure without
+/// joining the agreement — the dead stay silent.
+#[allow(clippy::too_many_arguments)]
+pub fn try_elastic_attention(
+    comm: &mut Communicator,
+    m: &mut Membership,
+    q: &Mat,
+    k: &Mat,
+    v: &Mat,
+    grad_o: &Mat,
+    scale: f32,
+    mask: &AttnMask,
+    layout: Layout,
+    seq_len: usize,
+    cost: &CostModel,
+    load_shard: &mut dyn FnMut(usize) -> ShardData,
+    policy: &RetryPolicy,
+) -> Result<ElasticAttnOut, AttnFailure> {
+    let me = comm.rank();
+    let orig_world = comm.world_size();
+    assert!(
+        m.is_alive(me),
+        "rank {me}: elastic attention on an evicted rank"
+    );
+    let local: ShardData = (q.clone(), k.clone(), v.clone(), grad_o.clone());
+    let my_orig_idx = layout.indices(seq_len, orig_world, me);
+    let mut cache: HashMap<usize, ShardData> = HashMap::new();
+    let mut loads = 0usize;
+    let mut evicted_all: Vec<usize> = Vec::new();
+    let mut attempts = 0usize;
+    let mut last_err: Option<AttnFailure> = None;
+    while attempts <= orig_world {
+        attempts += 1;
+        let members = m.alive_ranks();
+        let pos = m.pos_of(me).expect("alive rank has a ring position");
+        // First attempt on the full world runs straight off the caller's
+        // borrowed shard; any shrunken ring re-assembles its partition.
+        let (shard_data, idx) = if members.len() == orig_world {
+            (None, my_orig_idx.clone())
+        } else {
+            let (data, idx) = rebuild_partition(
+                layout,
+                seq_len,
+                orig_world,
+                me,
+                members.len(),
+                pos,
+                &local,
+                &mut cache,
+                &mut loads,
+                load_shard,
+            );
+            (Some(data), idx)
+        };
+        let (sq, sk, sv, sgo): (&Mat, &Mat, &Mat, &Mat) = match &shard_data {
+            Some((a, b, c, d)) => (a, b, c, d),
+            None => (q, k, v, grad_o),
+        };
+        let shard = AttnShard {
+            q: sq,
+            k: sk,
+            v: sv,
+            scale,
+            mask,
+            layout,
+            seq_len,
+            cost: *cost,
+            max_token: None,
+        };
+        let ring = Ring {
+            members: members.clone(),
+            pos,
+        };
+        let result = try_ring_forward(comm, &ring, &shard).and_then(|fwd| {
+            let back = BackwardInputs {
+                o: &fwd.o,
+                lse: &fwd.lse,
+                grad_o: sgo,
+            };
+            try_burst_backward(comm, &ring, &shard, &back, OverlapMode::Fine)
+                .map(|(dq, dk, dv)| (fwd, dq, dk, dv))
+        });
+        let my_suspects = match &result {
+            Ok(_) => Vec::new(),
+            Err(e) => {
+                if matches!(e.source, CommError::Crashed { rank, .. } if rank == me) {
+                    return Err(result.unwrap_err());
+                }
+                let s = suspects_of(e);
+                send_abort(comm, m, &s);
+                s
+            }
+        };
+        // Commit barrier: every survivor agrees before anyone moves on —
+        // this also catches a rank that died so late that no data
+        // operation failed (the leader's gather sees its channels drop).
+        let outcome =
+            agree_on_eviction(comm, m, &my_suspects, policy).map_err(AttnFailure::from)?;
+        if outcome.evicted.is_empty() {
+            match result {
+                Ok((fwd, dq, dk, dv)) => {
+                    return Ok(ElasticAttnOut {
+                        o: fwd.o,
+                        lse: fwd.lse,
+                        dq,
+                        dk,
+                        dv,
+                        idx,
+                        evicted: evicted_all,
+                        epoch: outcome.epoch,
+                        shards_loaded: loads,
+                        attempts,
+                    });
+                }
+                // Nothing evicted yet the ring failed: a non-membership
+                // fault (corruption, shape) — not recoverable by shrinking.
+                Err(e) => return Err(e),
+            }
+        }
+        evicted_all.extend(outcome.evicted);
+        last_err = result.err();
+    }
+    Err(last_err.unwrap_or_else(|| {
+        AttnFailure::from(CommError::Panicked {
+            rank: me,
+            detail: "elastic attention did not converge within the eviction budget".to_string(),
+        })
+    }))
+}

@@ -29,12 +29,14 @@
 
 pub mod cost;
 pub mod double_ring;
+pub mod elastic;
 pub mod layout;
 pub mod ring;
 pub mod ulysses;
 pub mod usp;
 
 pub use cost::CostModel;
+pub use elastic::{try_elastic_attention, ElasticAttnOut, ShardData};
 pub use layout::Layout;
 pub use ring::{
     burst_backward, ring_backward, ring_forward, try_burst_backward, try_ring_backward,

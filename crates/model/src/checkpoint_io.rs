@@ -20,8 +20,13 @@ use std::path::{Path, PathBuf};
 
 /// Magic + format version written at the front of every checkpoint file.
 pub const CKPT_MAGIC: &str = "BURSTCKPT";
-/// Current checkpoint format version.
-pub const CKPT_VERSION: u32 = 1;
+/// Current checkpoint format version. v2 adds sharded checkpoints (one
+/// payload per rank plus a checksummed manifest — see
+/// [`crate::checkpoint_shard`]); the framing itself is unchanged, and v1
+/// files remain readable.
+pub const CKPT_VERSION: u32 = 2;
+/// Oldest checkpoint format version this build still reads.
+pub const CKPT_MIN_VERSION: u32 = 1;
 
 /// FNV-1a over the payload bytes — the same cheap, dependency-free checksum
 /// the communication layer uses to detect corrupted messages.
@@ -54,8 +59,9 @@ pub fn encode_checkpoint(payload: &[u8]) -> Vec<u8> {
 /// Validate the header of an encoded checkpoint and return the payload.
 ///
 /// Rejects (with `io::ErrorKind::InvalidData`) anything that is not a
-/// complete, uncorrupted v1 checkpoint: wrong magic, unknown version,
-/// truncated payload, or a checksum mismatch.
+/// complete, uncorrupted checkpoint in a supported version
+/// (v1–v2; the reader is backward-compatible): wrong magic, unknown
+/// version, truncated payload, or a checksum mismatch.
 pub fn decode_checkpoint(bytes: &[u8]) -> io::Result<&[u8]> {
     let nl = bytes
         .iter()
@@ -71,9 +77,14 @@ pub fn decode_checkpoint(bytes: &[u8]) -> io::Result<&[u8]> {
         )));
     }
     let version = fields.next().unwrap_or("");
-    if version != format!("v{CKPT_VERSION}") {
+    let vnum: u32 = version
+        .strip_prefix('v')
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    if !(CKPT_MIN_VERSION..=CKPT_VERSION).contains(&vnum) {
         return Err(invalid(format!(
-            "unsupported checkpoint version {version:?} (this build reads v{CKPT_VERSION})"
+            "unsupported checkpoint version {version:?} \
+             (this build reads v{CKPT_MIN_VERSION}..v{CKPT_VERSION})"
         )));
     }
     let len: usize = fields
@@ -239,7 +250,22 @@ mod tests {
     fn header_roundtrip_and_checksum() {
         let payload = b"hello checkpoint".to_vec();
         let framed = encode_checkpoint(&payload);
-        assert!(framed.starts_with(b"BURSTCKPT v1 len=16 fnv=0x"));
+        assert!(framed.starts_with(b"BURSTCKPT v2 len=16 fnv=0x"));
+        assert_eq!(decode_checkpoint(&framed).unwrap(), &payload[..]);
+    }
+
+    #[test]
+    fn v1_checkpoints_remain_readable() {
+        // A frame written by the v1 code path (same framing, old version
+        // tag) must still decode — restore-after-upgrade compatibility.
+        let payload = b"legacy payload";
+        let header = format!(
+            "BURSTCKPT v1 len={} fnv={:#018x}\n",
+            payload.len(),
+            fnv1a(payload)
+        );
+        let mut framed = header.into_bytes();
+        framed.extend_from_slice(payload);
         assert_eq!(decode_checkpoint(&framed).unwrap(), &payload[..]);
     }
 

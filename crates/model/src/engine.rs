@@ -7,14 +7,18 @@
 use crate::attention::{AttnExec, DistExec, LocalExec, UlyssesExec, UspExec};
 use crate::checkpoint::Strategy;
 use crate::checkpoint_io::{atomic_write, decode_checkpoint, encode_checkpoint};
+use crate::checkpoint_shard::{load_sharded, save_sharded};
 use crate::fsdp;
 use crate::model::{Model, ModelConfig, StepOutput};
 use crate::param::AdamCfg;
 use burst_comm::{CommError, CommStats, Communicator, World};
 use burst_dattn::{Algo, CostModel, Layout, OverlapMode};
 use burst_kernels::AttnMask;
+use burst_tensor::Mat;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Which attention parallelism the engine runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,6 +135,24 @@ fn useful_flops(cfg: &ModelConfig, mask: &AttnMask) -> f64 {
     6.0 * dense as f64 * cfg.seq_len as f64 + pairs * 14.0 * dh as f64
 }
 
+/// What a [`run_span`] call observed, beyond the losses themselves.
+#[derive(Debug, Clone)]
+pub struct SpanOutcome {
+    /// Global mean loss of every step in the span (skipped steps included —
+    /// gradient poison does not touch the forward loss).
+    pub losses: Vec<f32>,
+    /// The final rank-local step output (None for an empty span).
+    pub last: Option<StepOutput>,
+    /// Optimizer steps skipped because some rank's gradients went
+    /// non-finite and could not be salvaged (all ranks agree via the loss
+    /// reduction, so the count is identical across ranks).
+    pub skipped_steps: usize,
+    /// Poisoned micro-batches this rank rolled back individually (gradient
+    /// accumulation lets a single bad micro be dropped without losing the
+    /// step).
+    pub dropped_micros: usize,
+}
+
 /// Run `steps` training steps on one rank. Returns per-step global losses
 /// and the final rank-local `StepOutput`.
 pub fn run_rank(
@@ -140,7 +162,7 @@ pub fn run_rank(
 ) -> (Vec<f32>, StepOutput) {
     let mut model = Model::new(cfg.model, cfg.seed);
     match run_span(comm, cfg, &mut model, 0, steps, |_, _, _| {}) {
-        Ok((losses, last)) => (losses, last.expect("steps > 0")),
+        Ok(out) => (out.losses, out.last.expect("steps > 0")),
         Err(e) => comm.escalate(e),
     }
 }
@@ -157,9 +179,20 @@ pub fn run_rank(
 /// losses so far; [`train_with_recovery`] uses it to write checkpoints.
 ///
 /// Fails with a typed [`CommError`] instead of aborting: a non-finite
-/// reduced loss (a poisoned step — some rank contributed NaN/Inf) is
-/// reported as [`CommError::Corrupt`], and communication faults injected by
-/// a [`burst_comm::FaultPlan`] surface through the fallible collectives.
+/// reduced loss is reported as [`CommError::Corrupt`], and communication
+/// faults injected by a [`burst_comm::FaultPlan`] surface through the
+/// fallible collectives.
+///
+/// Compute-side faults from the plan are honored here: scheduled gradient
+/// poison ([`burst_comm::FaultPlan::poison_grad`]) is injected after the
+/// affected micro-batch's backward. With gradient accumulation the poisoned
+/// micro is rolled back from a snapshot and the surviving micros are
+/// rescaled to an unbiased estimate (**skip-and-rescale**); without it the
+/// rank raises a flag in the loss reduction and every rank skips the
+/// optimizer update for that step in lockstep — the job keeps training
+/// instead of restarting. Slow-kernel stragglers
+/// ([`burst_comm::FaultPlan::slow_compute`]) are charged inside
+/// [`Communicator::advance_compute`].
 pub fn run_span(
     comm: &mut Communicator,
     cfg: &EngineConfig,
@@ -167,11 +200,20 @@ pub fn run_span(
     start_step: usize,
     end_step: usize,
     mut on_step: impl FnMut(usize, &Model, &[f32]),
-) -> Result<(Vec<f32>, Option<StepOutput>), CommError> {
+) -> Result<SpanOutcome, CommError> {
     let n = cfg.model.seq_len;
     let mut losses = Vec::with_capacity(end_step.saturating_sub(start_step));
     let mut last = None;
+    let mut skipped_steps = 0usize;
+    let mut dropped_micros = 0usize;
     let accum = cfg.grad_accum.max(1);
+    // Per-micro gradient snapshots cost a full state clone, so only arm
+    // them when this rank actually has poison scheduled and accumulation
+    // gives a finer granularity than the whole step.
+    let can_rollback = accum > 1
+        && comm
+            .fault_plan()
+            .is_some_and(|p| p.has_poisons(comm.rank()));
     for step in start_step..end_step {
         model.zero_grads();
         if cfg.fsdp {
@@ -186,7 +228,14 @@ pub fn run_span(
         }
         let mut step_loss_sum = 0.0f32;
         let mut out = None;
+        let mut local_bad = 0.0f32;
+        let mut dropped_this_step = 0usize;
         for micro in 0..accum {
+            let snapshot: Option<Vec<Mat>> = if can_rollback {
+                Some(model.params().iter().map(|p| p.grad.clone()).collect())
+            } else {
+                None
+            };
             let (tokens, targets) = synthetic_batch(&cfg.model, step * accum + micro);
             let micro_out = {
                 // Backend-specific exec and local row indices.
@@ -232,15 +281,48 @@ pub fn run_span(
             }
             step_loss_sum += micro_out.loss_sum;
             out = Some(micro_out);
+            // Scheduled compute-side fault: the backward "produced" a bad
+            // gradient. The forward loss above is untouched.
+            if let Some(v) = comm.grad_poison(step as u64, micro as u64) {
+                model.params_mut()[0].grad.as_mut_slice()[0] = v;
+                if !v.is_finite() {
+                    match snapshot {
+                        Some(snap) => {
+                            // Roll the whole micro back and keep going —
+                            // the other micros' work is not lost.
+                            for (p, s) in model.params_mut().into_iter().zip(snap) {
+                                p.grad = s;
+                            }
+                            dropped_this_step += 1;
+                        }
+                        None => local_bad = 1.0,
+                    }
+                }
+            }
         }
         let out = out.expect("grad_accum >= 1");
-        // Global mean loss (over all micro-batches) + gradient sync.
-        let reduced = comm.try_all_reduce_vec(&[step_loss_sum])?;
+        if dropped_this_step == accum {
+            // Every micro was poisoned: nothing usable survived.
+            local_bad = 1.0;
+        } else if dropped_this_step > 0 {
+            // Rescale the surviving micros' contribution to an unbiased
+            // estimate of this rank's full-step gradient.
+            let scale = accum as f32 / (accum - dropped_this_step) as f32;
+            for p in model.params_mut() {
+                for g in p.grad.as_mut_slice() {
+                    *g *= scale;
+                }
+            }
+        }
+        dropped_micros += dropped_this_step;
+        // Global mean loss + the poison flag, reduced together so every
+        // rank takes the same skip decision without an extra collective.
+        let reduced = comm.try_all_reduce_vec(&[step_loss_sum, local_bad])?;
         let mean_loss = reduced[0] / (n * accum) as f32;
         if !mean_loss.is_finite() {
-            // A poisoned step: some rank fed NaN/Inf into the reduction.
-            // Surface it as a typed error so the recovery loop can roll
-            // back to the last good checkpoint instead of training on.
+            // A poisoned reduction: some rank fed NaN/Inf into the loss
+            // itself. Surface it as a typed error so the recovery loop can
+            // roll back to the last good checkpoint instead of training on.
             return Err(CommError::Corrupt {
                 rank: comm.rank(),
                 src: comm.rank(),
@@ -248,6 +330,16 @@ pub fn run_span(
             });
         }
         losses.push(mean_loss);
+        if reduced[1] > 0.0 {
+            // Some rank's gradients went non-finite beyond repair: skip the
+            // optimizer update in lockstep (grads are discarded, weights
+            // and Adam state stay at the last good step) and train on.
+            skipped_steps += 1;
+            model.zero_grads();
+            last = Some(out);
+            on_step(step + 1, model, &losses);
+            continue;
+        }
         if cfg.fsdp {
             fsdp::sync_grads(comm, &mut model.params_mut());
         }
@@ -261,7 +353,12 @@ pub fn run_span(
         last = Some(out);
         on_step(step + 1, model, &losses);
     }
-    Ok((losses, last))
+    Ok(SpanOutcome {
+        losses,
+        last,
+        skipped_steps,
+        dropped_micros,
+    })
 }
 
 fn step_with<E: AttnExec>(
@@ -369,10 +466,21 @@ impl TrainCheckpoint {
 pub struct RecoveryCfg {
     /// Checkpoint every `every` optimizer steps (rank 0 writes).
     pub every: usize,
-    /// Checkpoint file path.
+    /// Checkpoint location: a file for monolithic checkpoints, a directory
+    /// when `sharded` is set.
     pub path: PathBuf,
     /// Give up after this many restarts.
     pub max_restarts: usize,
+    /// Persist checkpoints as per-rank shard files plus a checksummed
+    /// manifest (`BURSTCKPT v2`, see [`crate::checkpoint_shard`]) instead
+    /// of one monolithic file; `path` then names a directory.
+    pub sharded: bool,
+    /// When a restart is caused by a failure that names dead ranks,
+    /// continue on a world shrunk by those ranks instead of a same-size
+    /// replacement cluster.
+    pub shrink: bool,
+    /// Suppress the one-line recovery summary printed on completion.
+    pub quiet: bool,
 }
 
 /// What [`train_with_recovery`] observed: the full loss history (bit-exact
@@ -388,6 +496,20 @@ pub struct RecoveryReport {
     pub failures: Vec<CommError>,
     /// The final model state after all `steps` completed.
     pub final_model: Model,
+    /// Optimizer steps the skip-and-rescale path dropped in the final
+    /// (successful) attempt.
+    pub skipped_steps: usize,
+    /// Poisoned micro-batches rolled back across all ranks of the final
+    /// attempt.
+    pub dropped_micros: usize,
+    /// Ranks evicted by the shrink path, in eviction order (rank ids are
+    /// relative to the world they were evicted from).
+    pub evicted_ranks: Vec<usize>,
+    /// Shard files read across every sharded restore.
+    pub shards_reloaded: usize,
+    /// Completed-then-lost steps re-run after restarts (work between the
+    /// last checkpoint and each failure).
+    pub steps_replayed: usize,
 }
 
 /// Elastic training: run `steps` optimizer steps, checkpointing every
@@ -395,13 +517,17 @@ pub struct RecoveryReport {
 /// peer, corrupted message or poisoned loss — restore the last good
 /// checkpoint and replay from there on a fresh world.
 ///
-/// `make_world` builds the cluster for each attempt (attempt 0 first); a
-/// fault-injection test hands back a faulty world first and clean worlds
-/// after, modelling a failed node being replaced. Because every quantity in
-/// [`run_span`] depends only on the restored model state and the absolute
-/// step index, the recovered run is bit-identical to one that never failed.
+/// `make_world(attempt, shrink_to)` builds the cluster for each attempt
+/// (attempt 0 first); a fault-injection test hands back a faulty world
+/// first and clean worlds after, modelling a failed node being replaced.
+/// `shrink_to` is `Some(n)` only when [`RecoveryCfg::shrink`] decided to
+/// continue on `n` ranks after an eviction — the closure must then return a
+/// world of that size; `None` means "your configured size". Because every
+/// quantity in [`run_span`] depends only on the restored model state and
+/// the absolute step index, a same-size recovered run is bit-identical to
+/// one that never failed.
 pub fn train_with_recovery(
-    make_world: impl Fn(usize) -> World,
+    make_world: impl Fn(usize, Option<usize>) -> World,
     cfg: &EngineConfig,
     steps: usize,
     recovery: &RecoveryCfg,
@@ -409,50 +535,94 @@ pub fn train_with_recovery(
     let every = recovery.every.max(1);
     let mut restarts = 0usize;
     let mut failures: Vec<CommError> = Vec::new();
+    let mut evicted_ranks: Vec<usize> = Vec::new();
+    let mut shards_reloaded = 0usize;
+    let mut steps_replayed = 0usize;
+    let mut shrink_to: Option<usize> = None;
+    // Highest step any rank completed in the current attempt; what was done
+    // past the checkpoint at failure time gets replayed.
+    let completed = Arc::new(AtomicUsize::new(0));
+    // Set after a failed attempt to the step work had reached, so the next
+    // restore can account the replay.
+    let mut lost_from: Option<usize> = None;
     loop {
         // Resume from the last good checkpoint, or start fresh when none
         // has been written yet. A present-but-invalid file is a hard error:
         // silently restarting a long job from step 0 would be worse.
-        let (start_model, start_step, prior_losses) = match TrainCheckpoint::load(&recovery.path) {
-            Ok(ck) => (ck.model, ck.step, ck.losses),
-            Err(e) if e.kind() == io::ErrorKind::NotFound => {
-                (Model::new(cfg.model, cfg.seed), 0, Vec::new())
+        let (start_model, start_step, prior_losses) = if recovery.sharded {
+            match load_sharded(&recovery.path) {
+                Ok((model, man, files)) => {
+                    shards_reloaded += files;
+                    (model, man.step as usize, man.losses)
+                }
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                    (Model::new(cfg.model, cfg.seed), 0, Vec::new())
+                }
+                Err(e) => return Err(e),
             }
-            Err(e) => return Err(e),
+        } else {
+            match TrainCheckpoint::load(&recovery.path) {
+                Ok(ck) => (ck.model, ck.step, ck.losses),
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                    (Model::new(cfg.model, cfg.seed), 0, Vec::new())
+                }
+                Err(e) => return Err(e),
+            }
         };
-        let world = make_world(restarts);
+        if let Some(reached) = lost_from.take() {
+            steps_replayed += reached.saturating_sub(start_step);
+        }
+        completed.store(start_step, Ordering::Relaxed);
+        let world = make_world(restarts, shrink_to);
+        let world_size = world.topology().world_size();
+        let epoch = evicted_ranks.len() as u64;
         let ckpt_path = recovery.path.clone();
         let outs = world.run_faulty::<_, CommError, _>(|comm| {
             let rank = comm.rank();
             let mut model = start_model.clone();
-            let (span_losses, _) = run_span(
+            let completed = Arc::clone(&completed);
+            let out = run_span(
                 comm,
                 cfg,
                 &mut model,
                 start_step,
                 steps,
                 |done, m, sofar| {
+                    completed.fetch_max(done, Ordering::Relaxed);
                     if rank == 0 && (done % every == 0 || done == steps) {
                         let mut losses = prior_losses.clone();
                         losses.extend_from_slice(sofar);
-                        let ck = TrainCheckpoint {
-                            step: done,
-                            losses,
-                            model: m.clone(),
-                        };
-                        ck.save(&ckpt_path)
-                            .unwrap_or_else(|e| panic!("rank 0: checkpoint write failed: {e}"));
+                        if recovery.sharded {
+                            save_sharded(m, &ckpt_path, world_size, done as u64, epoch, &losses)
+                                .unwrap_or_else(|e| {
+                                    panic!("rank 0: sharded checkpoint write failed: {e}")
+                                });
+                        } else {
+                            let ck = TrainCheckpoint {
+                                step: done,
+                                losses,
+                                model: m.clone(),
+                            };
+                            ck.save(&ckpt_path)
+                                .unwrap_or_else(|e| panic!("rank 0: checkpoint write failed: {e}"));
+                        }
                     }
                 },
             )?;
-            Ok((span_losses, model))
+            Ok((out, model))
         });
         let mut first_err: Option<CommError> = None;
-        let mut ok: Option<(Vec<f32>, Model)> = None;
+        let mut ok: Option<(SpanOutcome, Model)> = None;
+        let mut dead: Vec<usize> = Vec::new();
+        let mut attempt_dropped = 0usize;
         for out in outs {
             match out.result {
-                Ok(r) => ok = Some(r),
+                Ok(r) => {
+                    attempt_dropped += r.0.dropped_micros;
+                    ok = Some(r);
+                }
                 Err(e) => {
+                    dead.extend(dead_ranks(&e));
                     if first_err.is_none() {
                         first_err = Some(e);
                     }
@@ -461,14 +631,27 @@ pub fn train_with_recovery(
         }
         match first_err {
             None => {
-                let (span_losses, final_model) = ok.expect("run_faulty returned no rank outputs");
+                let (span, final_model) = ok.expect("run_faulty returned no rank outputs");
                 let mut losses = prior_losses;
-                losses.extend(span_losses);
+                losses.extend(span.losses);
+                if !recovery.quiet {
+                    eprintln!(
+                        "[recovery] steps={steps} restarts={restarts} replayed={steps_replayed} \
+                         skipped={} dropped_micros={attempt_dropped} evicted={evicted_ranks:?} \
+                         shards_reloaded={shards_reloaded}",
+                        span.skipped_steps
+                    );
+                }
                 return Ok(RecoveryReport {
                     losses,
                     restarts,
                     failures,
                     final_model,
+                    skipped_steps: span.skipped_steps,
+                    dropped_micros: attempt_dropped,
+                    evicted_ranks,
+                    shards_reloaded,
+                    steps_replayed,
                 });
             }
             Some(e) => {
@@ -481,7 +664,28 @@ pub fn train_with_recovery(
                         recovery.max_restarts
                     )));
                 }
+                lost_from = Some(completed.load(Ordering::Relaxed));
+                dead.sort_unstable();
+                dead.dedup();
+                dead.retain(|&r| r < world_size);
+                if recovery.shrink && !dead.is_empty() && dead.len() < world_size {
+                    shrink_to = Some(world_size - dead.len());
+                    evicted_ranks.extend(dead);
+                } else {
+                    shrink_to = None;
+                }
             }
         }
+    }
+}
+
+/// Which ranks a failure implicates as dead, for the shrink path.
+fn dead_ranks(e: &CommError) -> Vec<usize> {
+    match e {
+        CommError::Crashed { rank, .. } | CommError::Panicked { rank, .. } => vec![*rank],
+        CommError::PeerLost { src, .. } | CommError::Timeout { src, .. } => vec![*src],
+        CommError::Aborted { suspects, .. } => suspects.clone(),
+        CommError::Evicted { evicted, .. } => evicted.clone(),
+        _ => Vec::new(),
     }
 }

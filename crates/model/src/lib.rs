@@ -32,6 +32,7 @@ pub mod attention;
 pub mod block;
 pub mod checkpoint;
 pub mod checkpoint_io;
+pub mod checkpoint_shard;
 pub mod embedding;
 pub mod engine;
 pub mod ffn;
@@ -46,8 +47,10 @@ pub mod rope;
 pub use attention::{AttnExec, DistExec, LocalExec, MultiHeadAttention};
 pub use block::TransformerBlock;
 pub use checkpoint::Strategy;
+pub use checkpoint_shard::{load_sharded, save_sharded, ShardManifest, ShardMeta};
 pub use engine::{
-    train_with_recovery, EngineConfig, RecoveryCfg, RecoveryReport, TrainCheckpoint, TrainMetrics,
+    train_with_recovery, EngineConfig, RecoveryCfg, RecoveryReport, SpanOutcome, TrainCheckpoint,
+    TrainMetrics,
 };
 pub use memory::MemoryTracker;
 pub use model::{Model, ModelConfig};

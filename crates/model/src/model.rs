@@ -118,6 +118,55 @@ impl Model {
         ps
     }
 
+    /// Read-only view of every parameter, in the same stable order as
+    /// [`Model::params_mut`].
+    pub fn params(&self) -> Vec<&Param> {
+        let mut ps: Vec<&Param> = vec![&self.embed.table];
+        for b in &self.blocks {
+            ps.push(&b.norm1.weight);
+            ps.push(&b.attn.wq.weight);
+            ps.push(&b.attn.wk.weight);
+            ps.push(&b.attn.wv.weight);
+            ps.push(&b.attn.wo.weight);
+            ps.push(&b.norm2.weight);
+            ps.push(&b.ffn.w_gate.weight);
+            ps.push(&b.ffn.w_up.weight);
+            ps.push(&b.ffn.w_down.weight);
+        }
+        ps.push(&self.final_norm.weight);
+        ps.push(&self.head);
+        ps
+    }
+
+    /// Total scalars in the flat training state ([`Model::flat_state`]).
+    pub fn flat_state_len(&self) -> usize {
+        self.params().iter().map(|p| p.state_len()).sum()
+    }
+
+    /// The entire training state — weights, gradients and Adam moments of
+    /// every parameter, in [`Model::params`] order — as one flat vector.
+    /// This is the layout sharded checkpoints split across ranks.
+    pub fn flat_state(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.flat_state_len());
+        for p in self.params() {
+            p.append_state(&mut out);
+        }
+        out
+    }
+
+    /// Restore the entire training state from a flat vector written by
+    /// [`Model::flat_state`]. Panics on length mismatch.
+    pub fn load_flat_state(&mut self, src: &[f32]) {
+        let want: usize = self.flat_state_len();
+        assert_eq!(src.len(), want, "Model::load_flat_state: length mismatch");
+        let mut off = 0;
+        for p in self.params_mut() {
+            let n = p.state_len();
+            p.load_state(&src[off..off + n]);
+            off += n;
+        }
+    }
+
     pub fn zero_grads(&mut self) {
         for p in self.params_mut() {
             p.zero_grad();

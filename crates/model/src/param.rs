@@ -61,6 +61,32 @@ impl Param {
         self.w.is_empty()
     }
 
+    /// Scalars in this parameter's full training state: weights, gradient
+    /// accumulator and both Adam moments.
+    pub fn state_len(&self) -> usize {
+        4 * self.w.len()
+    }
+
+    /// Append the full training state (`w`, `grad`, `m`, `v` in that order)
+    /// to `out` — the flat layout sharded checkpoints serialize.
+    pub fn append_state(&self, out: &mut Vec<f32>) {
+        out.extend_from_slice(self.w.as_slice());
+        out.extend_from_slice(self.grad.as_slice());
+        out.extend_from_slice(self.m.as_slice());
+        out.extend_from_slice(self.v.as_slice());
+    }
+
+    /// Restore the full training state from a flat slice written by
+    /// [`Param::append_state`]. Panics on length mismatch.
+    pub fn load_state(&mut self, src: &[f32]) {
+        let n = self.w.len();
+        assert_eq!(src.len(), 4 * n, "Param::load_state: length mismatch");
+        self.w.as_mut_slice().copy_from_slice(&src[..n]);
+        self.grad.as_mut_slice().copy_from_slice(&src[n..2 * n]);
+        self.m.as_mut_slice().copy_from_slice(&src[2 * n..3 * n]);
+        self.v.as_mut_slice().copy_from_slice(&src[3 * n..]);
+    }
+
     /// One Adam update; `t` is the 1-based global step (bias correction).
     pub fn adam_step(&mut self, cfg: &AdamCfg, t: u64) {
         debug_assert!(t >= 1, "adam_step: t is 1-based");

@@ -65,19 +65,20 @@ pub use burst_tensor as tensor;
 /// The most commonly used items across the workspace.
 pub mod prelude {
     pub use burst_comm::{
-        CommError, CommStats, Communicator, CrashAt, FaultPlan, Link, Topology, World,
+        agree_on_eviction, CommError, CommStats, Communicator, CrashAt, FaultPlan, Link,
+        Membership, RetryPolicy, Topology, World,
     };
     pub use burst_dattn::{
-        run_attention, try_run_attention, Algo, AttnFailure, AttnShard, CostModel, DattnError,
-        Layout, OverlapMode, Phase, Ring,
+        run_attention, try_elastic_attention, try_run_attention, Algo, AttnFailure, AttnShard,
+        CostModel, DattnError, ElasticAttnOut, Layout, OverlapMode, Phase, Ring,
     };
     pub use burst_kernels::{
         flash_backward, flash_forward, fused_lm_loss, AttnMask, BlockSparseMask, OnlineState,
     };
     pub use burst_model::engine::{train, Backend, EngineConfig};
     pub use burst_model::{
-        train_with_recovery, AdamCfg, LocalExec, Model, ModelConfig, MultiHeadAttention,
-        RecoveryCfg, RecoveryReport, Strategy, TrainCheckpoint,
+        load_sharded, save_sharded, train_with_recovery, AdamCfg, LocalExec, Model, ModelConfig,
+        MultiHeadAttention, RecoveryCfg, RecoveryReport, ShardManifest, Strategy, TrainCheckpoint,
     };
     pub use burst_perf::endtoend::{evaluate, BurstOpts, Method};
     pub use burst_perf::machine::{Cluster, PaperModel};

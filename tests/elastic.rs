@@ -1,0 +1,404 @@
+//! Elastic shrink-recovery integration tests: a rank that dies mid-ring is
+//! evicted by the survivors, its sequence shard is recovered from
+//! checkpoint data, and the re-run on the shrunken ring must be
+//! **bit-identical** to a run that started with the smaller world — the
+//! paper's fine-grained ring schedules made fault-tolerant without losing
+//! numerical exactness.
+
+use burstengine::dattn::ring::{try_burst_backward, try_ring_forward, AttnShard, BackwardInputs};
+use burstengine::prelude::*;
+use std::path::PathBuf;
+
+const N: usize = 24;
+const D: usize = 8;
+
+fn globals() -> (Mat, Mat, Mat, Mat) {
+    (
+        randn_mat(N, D, 0.7, 1),
+        randn_mat(N, D, 0.7, 2),
+        randn_mat(N, D, 0.7, 3),
+        randn_mat(N, D, 0.8, 4),
+    )
+}
+
+fn scale() -> f32 {
+    1.0 / (D as f32).sqrt()
+}
+
+/// Rank `r`'s zigzag shard of the globals under a `world`-rank partition.
+fn shard_of(world: usize, r: usize) -> (Mat, Mat, Mat, Mat) {
+    let (q, k, v, go) = globals();
+    let idx = Layout::Zigzag.indices(N, world, r);
+    (
+        q.gather_rows(&idx),
+        k.gather_rows(&idx),
+        v.gather_rows(&idx),
+        go.gather_rows(&idx),
+    )
+}
+
+/// Reference: BurstAttention forward+backward on a fresh `world`-rank
+/// cluster that never saw a fault. Returns per-position `(O, Lse, dQ, dK,
+/// dV)`.
+fn fresh_small_world(world: usize) -> Vec<(Mat, Vec<f32>, Mat, Mat, Mat)> {
+    let w = World::new(Topology::single_node(world));
+    w.run_results(|comm| {
+        let (q, k, v, go) = shard_of(world, comm.rank());
+        let shard = AttnShard {
+            q: &q,
+            k: &k,
+            v: &v,
+            scale: scale(),
+            mask: &AttnMask::Causal,
+            layout: Layout::Zigzag,
+            seq_len: N,
+            cost: CostModel::free(),
+            max_token: None,
+        };
+        let ring = Ring::global(comm);
+        let fwd = try_ring_forward(comm, &ring, &shard).expect("clean forward");
+        let back = BackwardInputs {
+            o: &fwd.o,
+            lse: &fwd.lse,
+            grad_o: &go,
+        };
+        let (dq, dk, dv) =
+            try_burst_backward(comm, &ring, &shard, &back, OverlapMode::Fine).expect("clean bwd");
+        (fwd.o, fwd.lse, dq, dk, dv)
+    })
+}
+
+/// Run elastic attention on a possibly-faulty `world`-rank cluster. Each
+/// rank returns its output plus the list of original-owner shards its
+/// checkpoint loader was asked for.
+#[allow(clippy::type_complexity)]
+fn elastic_run(
+    world: &World,
+    orig_world: usize,
+) -> Vec<burstengine::comm::RankOutput<Result<(ElasticAttnOut, Vec<usize>), AttnFailure>>> {
+    world.run_faulty::<_, AttnFailure, _>(|comm| {
+        let mut m = Membership::new(comm.world_size());
+        let policy = RetryPolicy::default();
+        let (q, k, v, go) = shard_of(orig_world, comm.rank());
+        let mut loaded: Vec<usize> = Vec::new();
+        let out = {
+            let mut load = |r: usize| {
+                loaded.push(r);
+                shard_of(orig_world, r)
+            };
+            try_elastic_attention(
+                comm,
+                &mut m,
+                &q,
+                &k,
+                &v,
+                &go,
+                scale(),
+                &AttnMask::Causal,
+                Layout::Zigzag,
+                N,
+                &CostModel::free(),
+                &mut load,
+                &policy,
+            )?
+        };
+        Ok((out, loaded))
+    })
+}
+
+/// Original owners (under the `orig`-rank partition) of the tokens rank
+/// `me` holds at ring position `pos` of a `now`-rank partition — what an
+/// exact loader must fetch, and nothing more.
+fn needed_owners(orig: usize, now: usize, pos: usize, me: usize) -> Vec<usize> {
+    let mut home = [usize::MAX; N];
+    for r in 0..orig {
+        for t in Layout::Zigzag.indices(N, orig, r) {
+            home[t] = r;
+        }
+    }
+    let mut owners: Vec<usize> = Layout::Zigzag
+        .indices(N, now, pos)
+        .into_iter()
+        .map(|t| home[t])
+        .filter(|&o| o != me)
+        .collect();
+    owners.sort_unstable();
+    owners.dedup();
+    owners
+}
+
+#[test]
+fn mid_ring_crash_shrinks_to_a_bit_identical_small_world_run() {
+    // Rank 2 of 4 dies mid-ring. The three survivors must evict it,
+    // re-partition (pulling missing rows from checkpoint shards), and
+    // produce output bit-identical to a fresh 3-rank run.
+    let plan = FaultPlan::new(7).crash_at_op(2, 5).recv_deadline(60.0);
+    let world = World::with_faults(Topology::single_node(4), plan);
+    let outs = elastic_run(&world, 4);
+
+    match &outs[2].result {
+        Err(f) => {
+            assert!(
+                matches!(f.source, CommError::Crashed { rank: 2, .. }),
+                "dead rank reports its own crash: {f:?}"
+            );
+            assert!(
+                f.source.at_time().is_some(),
+                "the failure must carry its virtual time"
+            );
+        }
+        Ok(_) => panic!("rank 2 was scheduled to die"),
+    }
+
+    let reference = fresh_small_world(3);
+    for (pos, &r) in [0usize, 1, 3].iter().enumerate() {
+        let (out, loaded) = outs[r].result.as_ref().expect("survivor completes");
+        assert_eq!(out.evicted, vec![2], "rank {r}");
+        assert_eq!(out.epoch, 1, "one eviction bumps the epoch once");
+        assert_eq!(out.attempts, 2, "full-world try, then the shrunken ring");
+        assert_eq!(out.idx, Layout::Zigzag.indices(N, 3, pos));
+
+        // Bit-identity against the never-failed 3-rank run.
+        let (o, lse, dq, dk, dv) = &reference[pos];
+        assert_eq!(&out.o, o, "rank {r}: O");
+        assert_eq!(&out.lse, lse, "rank {r}: Lse");
+        assert_eq!(&out.dq, dq, "rank {r}: dQ");
+        assert_eq!(&out.dk, dk, "rank {r}: dK");
+        assert_eq!(&out.dv, dv, "rank {r}: dV");
+
+        // IO accounting: the loader is asked for exactly the shards whose
+        // rows this rank's new partition needs — no full-state broadcast.
+        let expect = needed_owners(4, 3, pos, r);
+        let mut got = loaded.clone();
+        got.sort_unstable();
+        assert_eq!(got, expect, "rank {r} must load only the shards it needs");
+        assert_eq!(out.shards_loaded, expect.len(), "rank {r}");
+        assert!(
+            !loaded.contains(&r),
+            "rank {r} must never reload its own shard"
+        );
+    }
+}
+
+#[test]
+fn two_ranks_dying_in_the_same_round_still_converge() {
+    let plan = FaultPlan::new(13)
+        .crash_at_op(1, 5)
+        .crash_at_op(3, 5)
+        .recv_deadline(60.0);
+    let world = World::with_faults(Topology::single_node(4), plan);
+    let outs = elastic_run(&world, 4);
+
+    for dead in [1usize, 3] {
+        assert!(
+            matches!(
+                &outs[dead].result,
+                Err(f) if matches!(f.source, CommError::Crashed { .. })
+            ),
+            "rank {dead} was scheduled to die: {:?}",
+            outs[dead].result
+        );
+    }
+    let reference = fresh_small_world(2);
+    for (pos, &r) in [0usize, 2].iter().enumerate() {
+        let (out, _) = outs[r].result.as_ref().expect("survivor completes");
+        let mut evicted = out.evicted.clone();
+        evicted.sort_unstable();
+        assert_eq!(evicted, vec![1, 3], "rank {r}");
+        assert!(
+            out.attempts <= 3,
+            "both deaths must be absorbed within two shrink rounds, took {}",
+            out.attempts
+        );
+        let (o, lse, dq, dk, dv) = &reference[pos];
+        assert_eq!(&out.o, o, "rank {r}: O");
+        assert_eq!(&out.lse, lse, "rank {r}: Lse");
+        assert_eq!(&out.dq, dq, "rank {r}: dQ");
+        assert_eq!(&out.dk, dk, "rank {r}: dK");
+        assert_eq!(&out.dv, dv, "rank {r}: dV");
+    }
+}
+
+#[test]
+fn crash_on_the_very_first_ring_op_is_recovered() {
+    let plan = FaultPlan::new(17).crash_at_op(1, 0).recv_deadline(60.0);
+    let world = World::with_faults(Topology::single_node(3), plan);
+    let outs = elastic_run(&world, 3);
+
+    let reference = fresh_small_world(2);
+    for (pos, &r) in [0usize, 2].iter().enumerate() {
+        let (out, _) = outs[r].result.as_ref().expect("survivor completes");
+        assert_eq!(out.evicted, vec![1], "rank {r}");
+        let (o, lse, dq, dk, dv) = &reference[pos];
+        assert_eq!(&out.o, o, "rank {r}: O");
+        assert_eq!(&out.lse, lse, "rank {r}: Lse");
+        assert_eq!(&out.dq, dq, "rank {r}: dQ");
+        assert_eq!(&out.dk, dk, "rank {r}: dK");
+        assert_eq!(&out.dv, dv, "rank {r}: dV");
+    }
+}
+
+#[test]
+fn clean_elastic_run_loads_nothing_and_matches_plain_burst_attention() {
+    let world = World::new(Topology::single_node(4));
+    let outs = elastic_run(&world, 4);
+    let reference = fresh_small_world(4);
+    for r in 0..4 {
+        let (out, loaded) = outs[r].result.as_ref().expect("no faults");
+        assert_eq!(out.attempts, 1);
+        assert_eq!(out.epoch, 0);
+        assert!(out.evicted.is_empty());
+        assert_eq!(out.shards_loaded, 0, "a clean run must not touch storage");
+        assert!(loaded.is_empty());
+        let (o, lse, dq, dk, dv) = &reference[r];
+        assert_eq!(&out.o, o);
+        assert_eq!(&out.lse, lse);
+        assert_eq!(&out.dq, dq);
+        assert_eq!(&out.dk, dk);
+        assert_eq!(&out.dv, dv);
+    }
+}
+
+#[test]
+fn slow_compute_straggler_stretches_only_the_afflicted_ranks_clock() {
+    let plan = FaultPlan::new(1).slow_compute(1, 4.0);
+    let world = World::with_faults(Topology::single_node(2), plan);
+    let outs = world.run(|comm| {
+        comm.advance_compute(1.0);
+        comm.time()
+    });
+    assert_eq!(outs[0].result, 1.0, "healthy rank pays nominal time");
+    assert_eq!(outs[1].result, 4.0, "straggler pays the slowdown factor");
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("burstengine-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn poisoned_gradient_is_skipped_in_lockstep_without_a_restart() {
+    let cfg = EngineConfig::tiny(Backend::Ring(Algo::BurstFlat));
+    let steps = 4;
+    let dir = scratch("poison-skip");
+    let rcfg = RecoveryCfg {
+        every: 2,
+        path: dir.join("train.ckpt"),
+        max_restarts: 0,
+        sharded: false,
+        shrink: false,
+        quiet: true,
+    };
+    let report = train_with_recovery(
+        |_, _| {
+            let plan = FaultPlan::new(3).poison_grad(1, 1, f32::NAN);
+            World::with_faults(Topology::single_node(2), plan)
+        },
+        &cfg,
+        steps,
+        &rcfg,
+    )
+    .expect("a poisoned gradient must not kill the job");
+    assert_eq!(report.restarts, 0, "skip-and-rescale needs no restart");
+    assert_eq!(report.skipped_steps, 1, "exactly the poisoned step skipped");
+    assert_eq!(report.losses.len(), steps);
+    assert!(
+        report.losses.iter().all(|l| l.is_finite()),
+        "gradient poison never reaches the loss history: {:?}",
+        report.losses
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn poisoned_micro_batch_is_rolled_back_and_rescaled() {
+    let mut cfg = EngineConfig::tiny(Backend::Ring(Algo::BurstFlat));
+    cfg.grad_accum = 2;
+    let steps = 3;
+    let dir = scratch("poison-micro");
+    let rcfg = RecoveryCfg {
+        every: 2,
+        path: dir.join("train.ckpt"),
+        max_restarts: 0,
+        sharded: false,
+        shrink: false,
+        quiet: true,
+    };
+    let report = train_with_recovery(
+        |_, _| {
+            let plan = FaultPlan::new(5).poison_grad_micro(0, 1, 0, f32::INFINITY);
+            World::with_faults(Topology::single_node(2), plan)
+        },
+        &cfg,
+        steps,
+        &rcfg,
+    )
+    .expect("a poisoned micro-batch must not kill the job");
+    assert_eq!(report.restarts, 0);
+    assert_eq!(
+        report.skipped_steps, 0,
+        "gradient accumulation salvages the step"
+    );
+    assert_eq!(report.dropped_micros, 1, "one micro rolled back");
+    assert_eq!(report.losses.len(), steps);
+    assert!(report.losses.iter().all(|l| l.is_finite()));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sharded_checkpoints_and_shrink_recover_a_dead_rank() {
+    let cfg = EngineConfig::tiny(Backend::Ring(Algo::BurstFlat));
+    let steps = 6;
+    // Probe a clean 2-rank run for its op count so the crash lands at ~2/3
+    // of the job — safely after the step-2 checkpoint.
+    let probe = World::new(Topology::single_node(2)).run_results(|comm| {
+        let (losses, _) = burstengine::model::engine::run_rank(comm, &cfg, steps);
+        (losses, comm.op_count())
+    });
+    let crash_op = probe[1].1 * 2 / 3;
+    assert!(crash_op > 0);
+
+    let dir = scratch("sharded-shrink");
+    let rcfg = RecoveryCfg {
+        every: 2,
+        path: dir.clone(),
+        max_restarts: 2,
+        sharded: true,
+        shrink: true,
+        quiet: true,
+    };
+    let report = train_with_recovery(
+        |attempt, shrink_to| {
+            let size = shrink_to.unwrap_or(2);
+            if attempt == 0 {
+                let plan = FaultPlan::new(7)
+                    .crash_at_op(1, crash_op)
+                    .recv_deadline(60.0);
+                World::with_faults(Topology::single_node(size), plan)
+            } else {
+                World::new(Topology::single_node(size))
+            }
+        },
+        &cfg,
+        steps,
+        &rcfg,
+    )
+    .expect("shrink recovery must finish the job");
+
+    assert_eq!(report.restarts, 1);
+    assert_eq!(report.evicted_ranks, vec![1], "the dead rank is evicted");
+    assert_eq!(
+        report.shards_reloaded, 2,
+        "the restart restores exactly the two shards of the 2-rank manifest"
+    );
+    assert_eq!(report.losses.len(), steps);
+    assert!(report.losses.iter().all(|l| l.is_finite()));
+    // The manifest left on disk describes the final, shrunken world.
+    let man = burstengine::model::checkpoint_shard::read_manifest(&dir).unwrap();
+    assert_eq!(man.world_size, 1, "final checkpoint is sharded for 1 rank");
+    assert_eq!(man.step as usize, steps);
+    assert_eq!(man.epoch, 1, "one eviction recorded");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -35,11 +35,14 @@ fn recovered_run_is_bit_identical_to_uninterrupted() {
         every: 2,
         path: dir.join("train.ckpt"),
         max_restarts: 3,
+        sharded: false,
+        shrink: false,
+        quiet: true,
     };
     // Attempt 0 runs on a cluster where rank 1 dies mid-job; every later
     // attempt gets a healthy replacement cluster.
     let report = train_with_recovery(
-        |attempt| {
+        |attempt, _| {
             if attempt == 0 {
                 let plan = FaultPlan::new(7)
                     .crash_at_op(1, crash_op)
@@ -79,8 +82,11 @@ fn recovered_run_is_bit_identical_to_uninterrupted() {
         every: 2,
         path: dir.join("clean.ckpt"),
         max_restarts: 0,
+        sharded: false,
+        shrink: false,
+        quiet: true,
     };
-    let clean = train_with_recovery(|_| World::new(topo()), &cfg, steps, &clean_rcfg)
+    let clean = train_with_recovery(|_, _| World::new(topo()), &cfg, steps, &clean_rcfg)
         .expect("clean run cannot fail");
     assert_eq!(clean.restarts, 0);
     assert_eq!(clean.losses, ref_losses);
@@ -142,8 +148,11 @@ fn corrupt_train_checkpoint_fails_recovery_loudly() {
         every: 2,
         path: path.clone(),
         max_restarts: 1,
+        sharded: false,
+        shrink: false,
+        quiet: true,
     };
-    let err = train_with_recovery(|_| World::new(Topology::single_node(2)), &cfg, 4, &rcfg)
+    let err = train_with_recovery(|_, _| World::new(Topology::single_node(2)), &cfg, 4, &rcfg)
         .expect_err("resuming from a rotten checkpoint must not silently restart from step 0");
     assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     std::fs::remove_dir_all(&dir).ok();
