@@ -1,0 +1,388 @@
+//! `burst-trace`: run the three ring disciplines on the simulated cluster
+//! and export the full observability stack — a Chrome/Perfetto timeline,
+//! the plain-text flame summary, the merged metrics registry and the
+//! machine-readable `BENCH_e2e.json` report.
+//!
+//! The harness self-validates everything it emits: every per-rank trace
+//! passes the structural span checks, the Perfetto JSON round-trips
+//! through serde, the metrics merge is order-independent, and on the
+//! fault-free path the measured wire time must match the exact-count
+//! analytic prediction from `crates/perf` within 1 % — any violation exits
+//! non-zero, which is what the CI observability job keys on.
+//!
+//! ```text
+//! cargo run -p burst-bench --bin burst-trace -- \
+//!     --seq 2048 --d 64 --nodes 2 --gpn 4 --out target/burst-trace [--fault]
+//! ```
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use burst_comm::obs::{
+    self, flame_text, to_perfetto_grouped, E2eReport, MethodReport, PerfettoTrace, RankTrace,
+    Registry, SpanKind,
+};
+use burst_comm::{CommStats, FaultCounters, FaultPlan, Topology, World};
+use burst_dattn::{run_attention, try_run_attention, Algo, CostModel, Layout};
+use burst_kernels::AttnMask;
+use burst_perf::commtime::{exact_wire_counts, layer_comm_times, RingMethod};
+use burst_perf::Cluster;
+use burst_tensor::randn_mat;
+
+/// Measured wire time may diverge from the exact-count prediction by at
+/// most this relative error on the fault-free path.
+const MAX_COMM_REL_ERR: f64 = 0.01;
+
+struct Args {
+    seq: usize,
+    d: usize,
+    nodes: usize,
+    gpn: usize,
+    out: String,
+    fault: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seq: 2048,
+        d: 64,
+        nodes: 2,
+        gpn: 4,
+        out: "target/burst-trace".to_string(),
+        fault: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let mut value = |name: &str| -> Result<String, String> {
+            i += 1;
+            argv.get(i)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag {
+            "--seq" => args.seq = value("--seq")?.parse().map_err(|e| format!("--seq: {e}"))?,
+            "--d" => args.d = value("--d")?.parse().map_err(|e| format!("--d: {e}"))?,
+            "--nodes" => {
+                args.nodes = value("--nodes")?
+                    .parse()
+                    .map_err(|e| format!("--nodes: {e}"))?
+            }
+            "--gpn" => args.gpn = value("--gpn")?.parse().map_err(|e| format!("--gpn: {e}"))?,
+            "--out" => args.out = value("--out")?,
+            "--fault" => args.fault = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+    let world = args.nodes * args.gpn;
+    if world == 0 || args.seq == 0 || args.d == 0 {
+        return Err("--seq, --d, --nodes and --gpn must be positive".to_string());
+    }
+    if !args.seq.is_multiple_of(world) {
+        return Err(format!("--seq {} must divide by world {world}", args.seq));
+    }
+    Ok(args)
+}
+
+/// One method's run: per-rank traces plus the per-rank comm/fault counters.
+struct MethodRun {
+    traces: Vec<RankTrace>,
+    stats: Vec<CommStats>,
+    faults: Vec<FaultCounters>,
+}
+
+fn run_method(algo: Algo, topo: &Topology, seq: usize, d: usize) -> MethodRun {
+    let g = topo.world_size();
+    let q = randn_mat(seq, d, 0.7, 41);
+    let k = randn_mat(seq, d, 0.7, 42);
+    let v = randn_mat(seq, d, 0.7, 43);
+    let grad_o = randn_mat(seq, d, 0.8, 44);
+    let scale = 1.0 / (d as f32).sqrt();
+    let mask = AttnMask::Causal;
+    let cost = CostModel::a800();
+    let layout = Layout::Zigzag;
+    let world = World::new(topo.clone());
+    let outs = world.run(|comm| {
+        let idx = layout.indices(seq, g, comm.rank());
+        let (ql, kl, vl, dol) = (
+            q.gather_rows(&idx),
+            k.gather_rows(&idx),
+            v.gather_rows(&idx),
+            grad_o.gather_rows(&idx),
+        );
+        comm.start_trace();
+        run_attention(
+            algo, comm, &ql, &kl, &vl, &dol, scale, &mask, layout, seq, &cost,
+        );
+    });
+    let mut run = MethodRun {
+        traces: Vec::with_capacity(g),
+        stats: Vec::with_capacity(g),
+        faults: Vec::with_capacity(g),
+    };
+    for o in outs {
+        run.stats.push(o.stats);
+        run.faults.push(o.faults);
+        run.traces
+            .push(o.trace.expect("tracing was on; world must return a trace"));
+    }
+    run
+}
+
+/// Fold one rank's counters and span aggregates into a fresh registry.
+fn rank_registry(trace: &RankTrace, stats: &CommStats, faults: &FaultCounters) -> Registry {
+    let mut reg = Registry::new();
+    reg.add_counter("comm/intra_msgs", stats.intra_msgs);
+    reg.add_counter("comm/inter_msgs", stats.inter_msgs);
+    reg.add_counter("comm/intra_bytes", stats.intra_bytes as u64);
+    reg.add_counter("comm/inter_bytes", stats.inter_bytes as u64);
+    reg.add_secs("time/wait", trace.total_secs(SpanKind::Wait));
+    reg.add_secs("time/compute", trace.total_secs(SpanKind::Kernel));
+    let recompute: f64 = trace
+        .spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::Kernel && s.name == "recompute")
+        .map(|s| s.duration())
+        .sum();
+    reg.add_secs("time/recompute", recompute);
+    reg.gauge_max("time/makespan", trace.end_time);
+    reg.add_counter("faults/delays", faults.delays);
+    reg.add_counter("faults/drops", faults.drops);
+    reg.add_counter("faults/corruptions", faults.corruptions);
+    reg.add_counter("faults/crashes", faults.crashes);
+    reg.add_counter("faults/timeouts", faults.timeouts);
+    reg.add_counter("faults/retries", faults.retries);
+    let bounds = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2];
+    for s in trace.spans.iter().filter(|s| s.kind == SpanKind::Send) {
+        reg.observe("comm/send_secs", &bounds, s.duration());
+    }
+    reg
+}
+
+/// Merge per-rank registries in forward and reverse rank order and check
+/// both orders agree — the determinism contract CI relies on.
+fn merged_metrics(run: &MethodRun) -> Result<Registry, String> {
+    let per_rank: Vec<Registry> = run
+        .traces
+        .iter()
+        .zip(&run.stats)
+        .zip(&run.faults)
+        .map(|((t, s), f)| rank_registry(t, s, f))
+        .collect();
+    let mut fwd = Registry::new();
+    for r in &per_rank {
+        fwd.merge_from(r);
+    }
+    let mut rev = Registry::new();
+    for r in per_rank.iter().rev() {
+        rev.merge_from(r);
+    }
+    if fwd.to_json() != rev.to_json() {
+        return Err("metrics merge is rank-order dependent".to_string());
+    }
+    Ok(fwd)
+}
+
+/// Crash one rank mid-ring and report how the trace layer copes: every
+/// surviving timeline must still validate, with open spans force-closed
+/// (and warned about) at crash time.
+fn fault_demo(topo: &Topology, seq: usize, d: usize) -> Result<(), String> {
+    let g = topo.world_size();
+    let q = randn_mat(seq, d, 0.7, 51);
+    let k = randn_mat(seq, d, 0.7, 52);
+    let v = randn_mat(seq, d, 0.7, 53);
+    let grad_o = randn_mat(seq, d, 0.8, 54);
+    let scale = 1.0 / (d as f32).sqrt();
+    let mask = AttnMask::Causal;
+    let cost = CostModel::a800();
+    let layout = Layout::Zigzag;
+    let plan = FaultPlan::new(9).crash_at_op(1, 6);
+    let world = World::with_faults(topo.clone(), plan);
+    let outs = world.run_faulty(|comm| {
+        let idx = layout.indices(seq, g, comm.rank());
+        let (ql, kl, vl, dol) = (
+            q.gather_rows(&idx),
+            k.gather_rows(&idx),
+            v.gather_rows(&idx),
+            grad_o.gather_rows(&idx),
+        );
+        comm.start_trace();
+        try_run_attention(
+            Algo::BurstTopo,
+            comm,
+            &ql,
+            &kl,
+            &vl,
+            &dol,
+            scale,
+            &mask,
+            layout,
+            seq,
+            &cost,
+        )
+        .map(|_| ())
+    });
+    let mut failed = 0usize;
+    let mut warnings = 0usize;
+    for o in &outs {
+        if o.result.is_err() {
+            failed += 1;
+        }
+        let trace = o
+            .trace
+            .as_ref()
+            .ok_or_else(|| format!("rank {} lost its trace across the crash", o.rank))?;
+        warnings += trace.warnings.len();
+        obs::validate(trace).map_err(|e| format!("faulty rank {} trace: {e}", o.rank))?;
+    }
+    if failed == 0 || warnings == 0 {
+        return Err(format!(
+            "fault demo expected failing ranks with force-closed spans, \
+             got {failed} failures / {warnings} warnings"
+        ));
+    }
+    println!(
+        "fault demo: {failed}/{g} ranks failed, {warnings} spans force-closed \
+         with warnings, all timelines still validate"
+    );
+    Ok(())
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let topo = Topology::a800(args.nodes, args.gpn);
+    let cluster = Cluster::a800(args.nodes, args.gpn);
+    // The analytic predictions only mean something if both models describe
+    // the same machine.
+    assert_eq!(topo.intra.latency, cluster.nvlink.latency);
+    assert_eq!(topo.intra.bandwidth, cluster.nvlink.bandwidth);
+    assert_eq!(topo.inter.latency, cluster.nic.latency);
+    assert_eq!(topo.inter.bandwidth, cluster.nic.bandwidth);
+
+    let table1 = layer_comm_times(&cluster, args.seq, args.d);
+    let methods = [
+        ("ring", Algo::RingFlat, RingMethod::Ring, table1.ring),
+        (
+            "double_ring",
+            Algo::DoubleRing,
+            RingMethod::DoubleRing,
+            table1.double_ring,
+        ),
+        ("burst", Algo::BurstTopo, RingMethod::Burst, table1.burst),
+    ];
+
+    std::fs::create_dir_all(&args.out).map_err(|e| format!("mkdir {}: {e}", args.out))?;
+    let mut report = E2eReport::new(args.nodes, args.gpn, args.seq, args.d);
+    let mut groups: Vec<(String, Vec<RankTrace>)> = Vec::new();
+    let mut flame = String::new();
+    let mut metrics = Registry::new();
+
+    for (name, algo, ring_method, table1_secs) in methods {
+        let run = run_method(algo, &topo, args.seq, args.d);
+        for t in &run.traces {
+            obs::validate(t).map_err(|e| format!("{name} rank {} trace: {e}", t.rank))?;
+            if !t.warnings.is_empty() {
+                return Err(format!(
+                    "{name} rank {} left spans unclosed on a healthy run: {:?}",
+                    t.rank, t.warnings
+                ));
+            }
+        }
+        let predicted = exact_wire_counts(&cluster, args.seq, args.d, ring_method).secs(&cluster);
+        let m = MethodReport::from_traces(
+            name,
+            &run.traces,
+            args.seq,
+            args.d,
+            cluster.peak_flops,
+            predicted,
+            table1_secs,
+        );
+        println!(
+            "{name:>12}: makespan {:.6}s  overlap {:.3}  mfu {:.4}  \
+             comm {:.6}s (predicted {:.6}s, rel err {:.5})",
+            m.makespan_secs,
+            m.overlap_efficiency,
+            m.mfu,
+            m.comm_measured_secs,
+            m.comm_predicted_secs,
+            m.comm_rel_err
+        );
+        if m.comm_rel_err > MAX_COMM_REL_ERR {
+            return Err(format!(
+                "{name}: measured comm {}s diverges from exact prediction {}s \
+                 by {:.3}% (> {:.0}%)",
+                m.comm_measured_secs,
+                m.comm_predicted_secs,
+                100.0 * m.comm_rel_err,
+                100.0 * MAX_COMM_REL_ERR
+            ));
+        }
+        report.methods.push(m);
+        metrics.merge_from(&merged_metrics(&run)?);
+        flame.push_str(&format!("== {name} ==\n"));
+        flame.push_str(&flame_text(&run.traces));
+        flame.push('\n');
+        groups.push((name.to_string(), run.traces));
+    }
+
+    report
+        .validate_schema()
+        .map_err(|e| format!("BENCH_e2e.json schema: {e}"))?;
+
+    let perfetto = to_perfetto_grouped(&groups);
+    let perfetto_json =
+        serde_json::to_string_pretty(&perfetto).map_err(|e| format!("perfetto serde: {e}"))?;
+    let back: PerfettoTrace =
+        serde_json::from_str(&perfetto_json).map_err(|e| format!("perfetto re-parse: {e}"))?;
+    if back != perfetto {
+        return Err("perfetto trace does not round-trip through serde".to_string());
+    }
+
+    write_file(&args.out, "trace.perfetto.json", &perfetto_json)?;
+    let report_json =
+        serde_json::to_string_pretty(&report).map_err(|e| format!("report serde: {e}"))?;
+    write_file(&args.out, "BENCH_e2e.json", &report_json)?;
+    let metrics_json = serde_json::to_string_pretty(&metrics.to_json())
+        .map_err(|e| format!("metrics serde: {e}"))?;
+    write_file(&args.out, "metrics.json", &metrics_json)?;
+    write_file(&args.out, "flame.txt", &flame)?;
+    print!("{flame}");
+    println!(
+        "wrote trace.perfetto.json, BENCH_e2e.json, metrics.json, flame.txt to {}",
+        args.out
+    );
+
+    if args.fault {
+        fault_demo(&topo, args.seq, args.d)?;
+    }
+    Ok(())
+}
+
+fn write_file(dir: &str, name: &str, content: &str) -> Result<(), String> {
+    let path = std::path::Path::new(dir).join(name);
+    let mut f = std::fs::File::create(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    f.write_all(content.as_bytes())
+        .map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!(
+                "burst-trace: {e}\nusage: burst-trace [--seq N] [--d D] \
+                 [--nodes N] [--gpn G] [--out DIR] [--fault]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("burst-trace: FAIL: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

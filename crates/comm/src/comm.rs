@@ -3,9 +3,10 @@
 //! [`CommError`]s instead of panics.
 
 use crate::fault::{CommError, CrashAt, FaultPlan};
-use crate::stats::CommStats;
+use crate::stats::{CommStats, FaultCounters};
 use crate::topology::Topology;
 use crate::trace::TraceEvent;
+use burst_obs::{RankSink, RankTrace, SpanKind, DEFAULT_SPAN_CAPACITY};
 use burst_tensor::Mat;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use std::time::Duration;
@@ -170,14 +171,25 @@ pub struct Communicator {
     intra_port_free: f64,
     nic_free: f64,
     stats: CommStats,
-    trace: Option<Vec<TraceEvent>>,
+    /// Span sink for the observability layer (`None` = tracing off; the
+    /// sink never touches the virtual clock, so enabling it is
+    /// bit-identical to running without it).
+    obs: Option<RankSink>,
     fault: Option<FaultPlan>,
+    /// Injected-fault firing counters (always on; zero on a healthy run).
+    pub(crate) faults: FaultCounters,
+    /// The crash trigger fired (counted once; the rank stays crashed).
+    crash_fired: bool,
     /// Communication operations performed so far (sends + receives).
     ops: u64,
     /// Per-destination sent-message counters (fault trigger indexing).
     sent: Vec<u64>,
     /// Slow-kernel straggler factor from the fault plan (1.0 = healthy).
     compute_factor: f64,
+    /// Depth of open recompute scopes: while nonzero, `advance_compute`
+    /// tags its kernel spans `"recompute"` (gradient-checkpointing re-runs
+    /// of forward code). Never touches the clock math.
+    recompute_depth: u32,
 }
 
 /// Absolute virtual-clock deadline for a receive posted at `posted` with a
@@ -219,22 +231,125 @@ impl Communicator {
             intra_port_free: 0.0,
             nic_free: 0.0,
             stats: CommStats::default(),
-            trace: None,
+            obs: None,
             fault,
+            faults: FaultCounters::default(),
+            crash_fired: false,
             ops: 0,
             sent: vec![0; world],
             compute_factor,
+            recompute_depth: 0,
         }
     }
 
-    /// Start recording a virtual-time event trace (see [`crate::trace`]).
+    /// Start recording hierarchical spans on the virtual clock into a
+    /// pre-sized per-rank [`RankSink`] (see [`burst_obs`]). Off by default.
     pub fn start_trace(&mut self) {
-        self.trace = Some(Vec::new());
+        self.obs = Some(RankSink::with_capacity(self.rank, DEFAULT_SPAN_CAPACITY));
     }
 
-    /// Stop tracing and return the recorded events.
+    /// Start tracing with an explicit span capacity (tests use small sinks
+    /// to probe the growth path).
+    pub fn start_trace_with_capacity(&mut self, cap: usize) {
+        self.obs = Some(RankSink::with_capacity(self.rank, cap));
+    }
+
+    /// Whether span recording is active.
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// Stop tracing and return the recorded events, flattened to the legacy
+    /// [`TraceEvent`] form (kernel, send and recv leaves in record order;
+    /// structural and wait spans are dropped). Prefer
+    /// [`Communicator::take_rank_trace`] for the full span tree.
     pub fn take_trace(&mut self) -> Vec<TraceEvent> {
-        self.trace.take().unwrap_or_default()
+        let Some(sink) = self.obs.take() else {
+            return Vec::new();
+        };
+        let trace = sink.finish(self.clock);
+        trace
+            .spans
+            .iter()
+            .filter_map(|s| match s.kind {
+                SpanKind::Kernel => Some(TraceEvent::Compute {
+                    start: s.start,
+                    end: s.end,
+                }),
+                SpanKind::Send => Some(TraceEvent::Send {
+                    dst: s.peer as usize,
+                    elems: s.elems as usize,
+                    depart: s.start,
+                    arrival: s.end,
+                    inter_node: s.inter,
+                }),
+                SpanKind::Recv => Some(TraceEvent::Recv {
+                    src: s.peer as usize,
+                    elems: s.elems as usize,
+                    posted: s.start,
+                    completed: s.end,
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Stop tracing and return the full per-rank span tree, force-closing
+    /// (with warnings) anything left open. `None` if tracing was off.
+    pub fn take_rank_trace(&mut self) -> Option<RankTrace> {
+        let clock = self.clock;
+        self.obs.take().map(|s| s.finish(clock))
+    }
+
+    /// Open a structural span (step, layer, attention round, …) at the
+    /// current virtual time. No-op when tracing is off; never advances the
+    /// clock.
+    #[inline]
+    pub fn span_begin(&mut self, kind: SpanKind, name: &'static str) {
+        if let Some(obs) = &mut self.obs {
+            obs.begin(kind, name, self.clock);
+        }
+    }
+
+    /// Close the innermost open span at the current virtual time.
+    #[inline]
+    pub fn span_end(&mut self) {
+        if let Some(obs) = &mut self.obs {
+            obs.end(self.clock);
+        }
+    }
+
+    /// Number of spans currently open (0 when tracing is off). Capture this
+    /// before fallible work and hand it to [`Communicator::span_unwind`] on
+    /// the error path.
+    #[inline]
+    pub fn span_depth(&self) -> usize {
+        self.obs.as_ref().map_or(0, RankSink::open_count)
+    }
+
+    /// Close open spans at the current virtual time until at most `depth`
+    /// remain — settles the stack after a `?` skipped the matching
+    /// `span_end` calls (e.g. a ring round that failed mid-flight).
+    #[inline]
+    pub fn span_unwind(&mut self, depth: usize) {
+        if let Some(obs) = &mut self.obs {
+            obs.unwind_to(depth, self.clock);
+        }
+    }
+
+    /// Record an instantaneous event (epoch bump, fault firing, …).
+    #[inline]
+    pub fn span_instant(&mut self, kind: SpanKind, name: &'static str) {
+        if let Some(obs) = &mut self.obs {
+            obs.instant(kind, name, self.clock);
+        }
+    }
+
+    /// `(buffer address, capacity)` of the active span sink — lets tests
+    /// assert the steady-state ring round records without reallocating.
+    pub fn trace_fingerprint(&self) -> Option<(usize, usize)> {
+        self.obs.as_ref().map(RankSink::buffer_fingerprint)
     }
 
     #[inline]
@@ -272,6 +387,13 @@ impl Communicator {
     #[inline]
     pub fn stats(&self) -> CommStats {
         self.stats
+    }
+
+    /// Injected-fault firing counters accumulated so far (all zero on a
+    /// healthy run).
+    #[inline]
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.faults
     }
 
     /// Communication operations (sends + receives) performed so far — the
@@ -318,14 +440,51 @@ impl Communicator {
     /// slow-kernel straggler factor from the fault plan stretches the
     /// advance deterministically.
     pub fn advance_compute(&mut self, seconds: f64) {
+        let name = if self.recompute_depth > 0 {
+            "recompute"
+        } else {
+            "compute"
+        };
+        self.advance_compute_named(name, seconds);
+    }
+
+    /// Enter (`true`) or leave (`false`) a recompute scope: while inside,
+    /// [`Communicator::advance_compute`] tags kernel spans `"recompute"`.
+    /// Depth-counted so nested scopes compose. Affects only span names —
+    /// the clock and stats are byte-for-byte unchanged.
+    pub fn recompute_scope(&mut self, enter: bool) {
+        if enter {
+            self.recompute_depth += 1;
+        } else {
+            debug_assert!(self.recompute_depth > 0, "recompute_scope underflow");
+            self.recompute_depth = self.recompute_depth.saturating_sub(1);
+        }
+    }
+
+    /// [`Communicator::advance_compute`] for gradient-checkpointing
+    /// recomputation: identical clock math, but the kernel span is named
+    /// `"recompute"` so the metrics layer can split recompute time out.
+    pub fn advance_recompute(&mut self, seconds: f64) {
+        self.advance_compute_named("recompute", seconds);
+    }
+
+    /// Named form of [`Communicator::advance_compute`] — the name tags the
+    /// recorded kernel span; the clock math is byte-for-byte the same for
+    /// every name, so instrumentation choices cannot change numerics.
+    pub fn advance_compute_named(&mut self, name: &'static str, seconds: f64) {
         debug_assert!(seconds >= 0.0, "negative compute time");
         let seconds = seconds * self.compute_factor;
         if seconds > 0.0 {
-            if let Some(trace) = &mut self.trace {
-                trace.push(TraceEvent::Compute {
-                    start: self.clock,
-                    end: self.clock + seconds,
-                });
+            if let Some(obs) = &mut self.obs {
+                obs.leaf(
+                    SpanKind::Kernel,
+                    name,
+                    self.clock,
+                    self.clock + seconds,
+                    u32::MAX,
+                    0,
+                    false,
+                );
             }
         }
         self.clock += seconds;
@@ -337,20 +496,23 @@ impl Communicator {
     /// crashed rank stays crashed.
     fn check_crash(&mut self) -> Result<(), CommError> {
         if let Some(plan) = &self.fault {
-            match plan.crash_trigger(self.rank) {
-                Some(CrashAt::Time(t)) if self.clock >= t => {
-                    return Err(CommError::Crashed {
-                        rank: self.rank,
-                        at: self.clock,
-                    });
+            let fired = match plan.crash_trigger(self.rank) {
+                Some(CrashAt::Time(t)) => self.clock >= t,
+                Some(CrashAt::Op(n)) => self.ops >= n,
+                None => false,
+            };
+            if fired {
+                if !self.crash_fired {
+                    self.crash_fired = true;
+                    self.faults.crashes += 1;
+                    if let Some(obs) = &mut self.obs {
+                        obs.instant(SpanKind::Fault, "crash", self.clock);
+                    }
                 }
-                Some(CrashAt::Op(n)) if self.ops >= n => {
-                    return Err(CommError::Crashed {
-                        rank: self.rank,
-                        at: self.clock,
-                    });
-                }
-                _ => {}
+                return Err(CommError::Crashed {
+                    rank: self.rank,
+                    at: self.clock,
+                });
             }
         }
         self.ops = self.ops.saturating_add(1);
@@ -389,18 +551,31 @@ impl Communicator {
         self.sent[dst] = self.sent[dst].saturating_add(1);
         // Injected link faults: deterministic extra latency/jitter, drops
         // and corruption, all keyed off the plan seed and message index.
-        let (extra, dropped, checksum) = match &self.fault {
+        let (extra, dropped, checksum, corrupted) = match &self.fault {
             Some(plan) => {
                 let extra = plan.extra_latency(self.rank, dst, msg_index);
                 let dropped = plan.should_drop(self.rank, dst, msg_index);
                 let checksum = data.checksum();
-                if plan.should_corrupt(self.rank, dst, msg_index) {
+                let corrupted = plan.should_corrupt(self.rank, dst, msg_index);
+                if corrupted {
                     data.corrupt_in_place();
                 }
-                (extra, dropped, checksum)
+                (extra, dropped, checksum, corrupted)
             }
-            None => (0.0, false, 0),
+            None => (0.0, false, 0, false),
         };
+        if extra > 0.0 {
+            self.faults.delays += 1;
+            self.span_instant(SpanKind::Fault, "delay");
+        }
+        if dropped {
+            self.faults.drops += 1;
+            self.span_instant(SpanKind::Fault, "drop");
+        }
+        if corrupted {
+            self.faults.corruptions += 1;
+            self.span_instant(SpanKind::Fault, "corrupt");
+        }
         let port_free = if self.topo.same_node(self.rank, dst) {
             &mut self.intra_port_free
         } else {
@@ -419,14 +594,16 @@ impl Communicator {
             self.stats.inter_elems += elems as u64;
             self.stats.inter_bytes += bytes;
         }
-        if let Some(trace) = &mut self.trace {
-            trace.push(TraceEvent::Send {
-                dst,
-                elems,
+        if let Some(obs) = &mut self.obs {
+            obs.leaf(
+                SpanKind::Send,
+                "send",
                 depart,
                 arrival,
-                inter_node: !self.topo.same_node(self.rank, dst),
-            });
+                dst as u32,
+                elems as u64,
+                !self.topo.same_node(self.rank, dst),
+            );
         }
         self.tx[dst]
             .send(Msg {
@@ -482,6 +659,8 @@ impl Communicator {
                     });
                 }
                 Err(RecvTimeoutError::Timeout) => {
+                    self.faults.timeouts += 1;
+                    self.span_instant(SpanKind::Fault, "timeout");
                     return Err(CommError::Timeout {
                         rank: self.rank,
                         src,
@@ -507,8 +686,21 @@ impl Communicator {
             // itself is gone (dropped) or too late to use.
             if deadline.is_finite() && deadline > self.clock {
                 self.stats.wait_time += deadline - self.clock;
+                if let Some(obs) = &mut self.obs {
+                    obs.leaf(
+                        SpanKind::Wait,
+                        "deadline",
+                        self.clock,
+                        deadline,
+                        src as u32,
+                        0,
+                        false,
+                    );
+                }
                 self.clock = deadline;
             }
+            self.faults.timeouts += 1;
+            self.span_instant(SpanKind::Fault, "timeout");
             return Err(CommError::Timeout {
                 rank: self.rank,
                 src,
@@ -518,6 +710,17 @@ impl Communicator {
         }
         if msg.arrival > self.clock {
             self.stats.wait_time += msg.arrival - self.clock;
+            if let Some(obs) = &mut self.obs {
+                obs.leaf(
+                    SpanKind::Wait,
+                    "wait",
+                    self.clock,
+                    msg.arrival,
+                    src as u32,
+                    0,
+                    false,
+                );
+            }
             self.clock = msg.arrival;
         }
         if self.fault.is_some() && msg.data.checksum() != msg.checksum {
@@ -532,13 +735,16 @@ impl Communicator {
                 ),
             });
         }
-        if let Some(trace) = &mut self.trace {
-            trace.push(TraceEvent::Recv {
-                src,
-                elems: msg.data.elems(),
+        if let Some(obs) = &mut self.obs {
+            obs.leaf(
+                SpanKind::Recv,
+                "recv",
                 posted,
-                completed: self.clock,
-            });
+                self.clock,
+                src as u32,
+                msg.data.elems() as u64,
+                false,
+            );
         }
         Ok(msg.data)
     }

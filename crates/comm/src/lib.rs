@@ -42,7 +42,12 @@ pub use membership::{
     agree_on_eviction, send_abort, shrink_all_gather_mat, shrink_reduce_scatter_mat,
     shrink_ring_shift, AgreeOutcome, Membership, RetryPolicy,
 };
-pub use stats::CommStats;
+pub use stats::{CommStats, FaultCounters};
 pub use topology::{Link, Topology};
 pub use trace::{ascii_lane, summarize, TraceEvent, TraceSummary};
 pub use world::{RankOutput, World};
+
+/// The observability layer the communicator records into (re-exported so
+/// downstream crates can name span kinds without a direct `burst-obs` dep).
+pub use burst_obs as obs;
+pub use burst_obs::{RankSink, RankTrace, SpanKind};

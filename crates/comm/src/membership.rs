@@ -39,7 +39,15 @@
 
 use crate::comm::{Communicator, CtrlKind, CtrlMsg, MsgData};
 use crate::fault::{splitmix64, CommError};
+use burst_obs::SpanKind;
 use burst_tensor::Mat;
+
+/// Burn one retry backoff as virtual compute and count it (the metrics
+/// layer reports control-plane retries as a fault-survival signal).
+fn backoff_retry(comm: &mut Communicator, policy: &RetryPolicy, attempt: u32) {
+    comm.faults.retries += 1;
+    comm.advance_compute_named("retry_backoff", policy.backoff(attempt, comm.rank()));
+}
 
 /// Epoch-numbered view of which ranks are alive. Every rank keeps its own
 /// copy; the eviction agreement keeps the copies consistent.
@@ -245,7 +253,7 @@ fn wait_for_ctrl(
             }
             Ok(_) => {} // stale data from the aborted collective
             Err(CommError::Timeout { .. }) if attempt + 1 < policy.max_attempts.max(1) => {
-                comm.advance_compute(policy.backoff(attempt, comm.rank()));
+                backoff_retry(comm, policy, attempt);
                 attempt += 1;
             }
             Err(e) => return Err(e),
@@ -267,6 +275,7 @@ pub fn agree_on_eviction(
     policy: &RetryPolicy,
 ) -> Result<AgreeOutcome, CommError> {
     let me = comm.rank();
+    comm.span_begin(SpanKind::Eviction, "agree_on_eviction");
     let mut suspects: Vec<usize> = suspects
         .iter()
         .copied()
@@ -320,6 +329,10 @@ pub fn agree_on_eviction(
             for &p in &survivors {
                 let _ = comm.try_send(p, ctrl(CtrlKind::Go, epoch, Vec::new()));
             }
+            if !evicted.is_empty() {
+                comm.span_instant(SpanKind::Epoch, "epoch_bump");
+            }
+            comm.span_end();
             return Ok(AgreeOutcome { evicted, epoch });
         }
         // Follower: propose to the leader, wait for its decision. A dead
@@ -341,6 +354,10 @@ pub fn agree_on_eviction(
                 comm.drain_all();
                 let _ = comm.try_send(leader, ctrl(CtrlKind::Ack, decide.epoch, Vec::new()));
                 let _ = wait_for_ctrl(comm, leader, CtrlKind::Go, policy, &mut Vec::new());
+                if !decide.suspects.is_empty() {
+                    comm.span_instant(SpanKind::Epoch, "epoch_bump");
+                }
+                comm.span_end();
                 return Ok(AgreeOutcome {
                     evicted: decide.suspects,
                     epoch: decide.epoch,
@@ -364,7 +381,7 @@ fn recv_mat_retry(
     loop {
         match comm.try_recv_mat(src) {
             Err(CommError::Timeout { .. }) if attempt + 1 < policy.max_attempts.max(1) => {
-                comm.advance_compute(policy.backoff(attempt, comm.rank()));
+                backoff_retry(comm, policy, attempt);
                 attempt += 1;
             }
             other => return other,
@@ -448,7 +465,7 @@ pub fn shrink_ring_shift(
                     });
                 }
                 Err(CommError::Timeout { .. }) if tries + 1 < policy.max_attempts.max(1) => {
-                    comm.advance_compute(policy.backoff(tries, comm.rank()));
+                    backoff_retry(comm, policy, tries);
                     tries += 1;
                 }
                 other => return other,

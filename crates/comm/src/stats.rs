@@ -54,9 +54,64 @@ impl CommStats {
     }
 }
 
+/// Per-rank counters of injected-fault firings and their consequences,
+/// kept separate from [`CommStats`] (which counts healthy traffic). All
+/// fields are event counts, so cross-rank aggregation is an exact sum.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCounters {
+    /// Messages that left with plan-injected extra latency.
+    pub delays: u64,
+    /// Messages the plan discarded on the wire.
+    pub drops: u64,
+    /// Payloads corrupted in flight (checksum catches them on receive).
+    pub corruptions: u64,
+    /// Crash triggers fired on this rank (0 or 1 — a rank crashes once).
+    pub crashes: u64,
+    /// Receives that failed on the virtual-clock deadline or wall backstop.
+    pub timeouts: u64,
+    /// Control-plane retry attempts (membership layer backoffs).
+    pub retries: u64,
+}
+
+impl FaultCounters {
+    /// Element-wise sum, for aggregating across ranks.
+    pub fn merge(&self, other: &FaultCounters) -> FaultCounters {
+        FaultCounters {
+            delays: self.delays + other.delays,
+            drops: self.drops + other.drops,
+            corruptions: self.corruptions + other.corruptions,
+            crashes: self.crashes + other.crashes,
+            timeouts: self.timeouts + other.timeouts,
+            retries: self.retries + other.retries,
+        }
+    }
+
+    /// Total fault firings of any kind on the wire or the clock.
+    pub fn total(&self) -> u64 {
+        self.delays + self.drops + self.corruptions + self.crashes + self.timeouts
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fault_counters_merge_and_total() {
+        let a = FaultCounters {
+            delays: 1,
+            drops: 2,
+            corruptions: 3,
+            crashes: 1,
+            timeouts: 4,
+            retries: 5,
+        };
+        let m = a.merge(&a);
+        assert_eq!(m.drops, 4);
+        assert_eq!(m.retries, 10);
+        assert_eq!(m.total(), 22);
+        assert_eq!(FaultCounters::default().total(), 0);
+    }
 
     #[test]
     fn merge_adds_fields() {

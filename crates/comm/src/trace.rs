@@ -63,11 +63,14 @@ impl TraceEvent {
 }
 
 /// Summarise a rank's trace: `(compute, wait, send_count, bytes_modeled)`.
+/// Robust to arbitrary event order and zero-length spans (all fields are
+/// order-independent sums, clamped so a degenerate interval cannot go
+/// negative).
 pub fn summarize(trace: &[TraceEvent]) -> TraceSummary {
     let mut s = TraceSummary::default();
     for e in trace {
         match e {
-            TraceEvent::Compute { start, end } => s.compute_secs += end - start,
+            TraceEvent::Compute { start, end } => s.compute_secs += (end - start).max(0.0),
             TraceEvent::Recv {
                 posted, completed, ..
             } => {
@@ -101,19 +104,41 @@ pub struct TraceSummary {
 
 /// Render a fixed-width ASCII Gantt row for a rank's timeline:
 /// `#` = compute, `.` = blocked waiting, ` ` = idle/overlapped comm.
+///
+/// Events are sorted by interval start before painting (the recorder emits
+/// them in *completion* order), zero-length spans paint a single cell, and
+/// a degenerate timeline (`t_end <= 0` — e.g. 1 rank, 0 compute) collapses
+/// everything onto the first cell instead of dividing by zero.
 pub fn ascii_lane(trace: &[TraceEvent], t_end: f64, width: usize) -> String {
     let mut lane = vec![' '; width];
-    let scale = width as f64 / t_end.max(f64::MIN_POSITIVE);
+    if width == 0 {
+        return String::new();
+    }
+    let mut events: Vec<&TraceEvent> = trace.iter().collect();
+    events.sort_by(|a, b| {
+        a.interval()
+            .0
+            .partial_cmp(&b.interval().0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let scale = if t_end > 0.0 {
+        width as f64 / t_end
+    } else {
+        0.0
+    };
     let mut paint = |a: f64, b: f64, ch: char| {
-        let lo = (a * scale).floor() as usize;
-        let hi = ((b * scale).ceil() as usize).min(width);
-        for c in lane.iter_mut().take(hi).skip(lo.min(width)) {
+        if !a.is_finite() || !b.is_finite() || b < a {
+            return;
+        }
+        let lo = ((a * scale).floor() as usize).min(width - 1);
+        let hi = ((b * scale).ceil() as usize).clamp(lo + 1, width);
+        for c in lane.iter_mut().take(hi).skip(lo) {
             if *c == ' ' || (ch == '#' && *c == '.') {
                 *c = ch;
             }
         }
     };
-    for e in trace {
+    for e in events {
         match e {
             TraceEvent::Compute { start, end } => paint(*start, *end, '#'),
             TraceEvent::Recv {
@@ -177,6 +202,55 @@ mod tests {
         assert_eq!(lane.len(), 8);
         assert!(lane.starts_with("...."), "{lane:?}");
         assert!(lane.ends_with("####"), "{lane:?}");
+    }
+
+    #[test]
+    fn ascii_lane_handles_degenerate_timelines() {
+        // Zero-length span on a zero-length timeline: 1 rank, 0 compute.
+        let trace = vec![TraceEvent::Compute {
+            start: 0.0,
+            end: 0.0,
+        }];
+        let lane = ascii_lane(&trace, 0.0, 8);
+        assert_eq!(lane.len(), 8);
+        assert_eq!(&lane[..1], "#", "zero-length span paints one cell");
+        // Empty trace, zero width: no panic, no cells.
+        assert_eq!(ascii_lane(&[], 1.0, 0), "");
+        // Zero-length wait at the very end of the timeline stays in range.
+        let trace = vec![TraceEvent::Recv {
+            src: 0,
+            elems: 0,
+            posted: 1.0,
+            completed: 1.0,
+        }];
+        let lane = ascii_lane(&trace, 1.0, 4);
+        assert_eq!(lane, "   .");
+    }
+
+    #[test]
+    fn ascii_lane_sorts_events_before_painting() {
+        // Recorded in completion order (recv completes after the compute
+        // that preceded it started): painting must not depend on order.
+        let shuffled = vec![
+            TraceEvent::Compute {
+                start: 0.5,
+                end: 1.0,
+            },
+            TraceEvent::Recv {
+                src: 0,
+                elems: 1,
+                posted: 0.0,
+                completed: 1.0,
+            },
+        ];
+        let sorted = vec![shuffled[1].clone(), shuffled[0].clone()];
+        assert_eq!(ascii_lane(&shuffled, 1.0, 8), ascii_lane(&sorted, 1.0, 8));
+        // summarize tolerates inverted intervals without going negative.
+        let s = summarize(&[TraceEvent::Compute {
+            start: 2.0,
+            end: 1.0,
+        }]);
+        assert_eq!(s.compute_secs, 0.0);
     }
 
     #[test]

@@ -2,8 +2,9 @@
 
 use crate::comm::{Communicator, Msg};
 use crate::fault::{CommError, FaultPlan};
-use crate::stats::CommStats;
+use crate::stats::{CommStats, FaultCounters};
 use crate::topology::Topology;
+use burst_obs::RankTrace;
 use crossbeam::channel::unbounded;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -14,8 +15,15 @@ pub struct RankOutput<R> {
     pub rank: usize,
     pub result: R,
     pub stats: CommStats,
+    /// Injected-fault firings observed by this rank (zero on healthy runs).
+    pub faults: FaultCounters,
     /// Final virtual time of this rank in seconds.
     pub time: f64,
+    /// The rank's span timeline, if the closure called
+    /// [`Communicator::start_trace`] and did not consume it itself. On a
+    /// crashed rank any spans left open are force-closed at crash time
+    /// (with warnings), so faulty timelines stay renderable.
+    pub trace: Option<RankTrace>,
 }
 
 /// A simulated cluster described by a [`Topology`], optionally carrying a
@@ -114,7 +122,9 @@ impl World {
                             rank,
                             result,
                             stats: comm.stats(),
+                            faults: comm.fault_counters(),
                             time: comm.time(),
+                            trace: comm.take_rank_trace(),
                         }
                     })
                 })
@@ -168,7 +178,9 @@ impl World {
                                 rank,
                                 result,
                                 stats: comm.stats(),
+                                faults: comm.fault_counters(),
                                 time: comm.time(),
+                                trace: comm.take_rank_trace(),
                             },
                             Err(payload) => {
                                 let err = match payload.downcast::<E>() {
@@ -192,12 +204,17 @@ impl World {
                                 // The communicator survived the unwind (we
                                 // still own it here), so report its state
                                 // and only then drop it to release the
-                                // channels for the surviving peers.
+                                // channels for the surviving peers. Spans
+                                // the crashed rank never closed are force-
+                                // closed at its final clock inside
+                                // `take_rank_trace`, with one warning each.
                                 RankOutput {
                                     rank,
                                     result: Err(err),
                                     stats: comm.stats(),
+                                    faults: comm.fault_counters(),
                                     time: comm.time(),
+                                    trace: comm.take_rank_trace(),
                                 }
                             }
                         }

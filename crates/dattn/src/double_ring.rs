@@ -30,7 +30,7 @@
 //! heap allocations in the tile-compute path.
 
 use crate::ring::{escalate_attn, AttnFailure, AttnShard, BackwardInputs, DistAttnOut, Phase};
-use burst_comm::Communicator;
+use burst_comm::{Communicator, SpanKind};
 use burst_kernels::{attn_tile_backward, attn_tile_backward_acc, flash_forward_acc, KernelWork};
 use burst_tensor::{Mat, Scratch};
 
@@ -80,6 +80,7 @@ pub fn try_double_ring_forward(
         let mut src = start_src;
         for inner in 0..gpn {
             let at = AttnFailure::at(Phase::Forward, outer * gpn + inner);
+            comm.span_begin(SpanKind::AttnRound, "dr_fwd_slot");
             let (cur_k, cur_v) = match &cur_owned {
                 Some((k, v)) => (k, v),
                 None => (start_k, start_v),
@@ -109,6 +110,7 @@ pub fn try_double_ring_forward(
                 ));
                 src = topo.prev_in_node(src);
             }
+            comm.span_end();
         }
         if outer < nodes - 1 {
             let at = AttnFailure::at(Phase::Forward, (outer + 1) * gpn - 1);
@@ -168,6 +170,7 @@ pub fn try_double_ring_backward_alg1(
     for outer in 0..nodes {
         for inner in 0..gpn {
             let at = AttnFailure::at(Phase::Backward, outer * gpn + inner);
+            comm.span_begin(SpanKind::AttnRound, "dr_bwd_slot");
             let (cur_k, cur_v) = match &owned_kv {
                 Some((k, v)) => (k, v),
                 None => (shard.k, shard.v),
@@ -193,6 +196,7 @@ pub fn try_double_ring_backward_alg1(
             let last_inner = inner == gpn - 1;
             let dst = if last_inner {
                 if outer == nodes - 1 {
+                    comm.span_end();
                     break; // sweep done; completion hops below
                 }
                 comm.peer_next_node()
@@ -219,12 +223,14 @@ pub fn try_double_ring_backward_alg1(
             } else {
                 topo.prev_in_node(src)
             };
+            comm.span_end();
         }
     }
     // Completion: deliver (∇K, ∇V) home — one inter hop (the sweep ends one
     // node early) plus `nodes mod gpn` intra hops (local drift of the
     // nested rotation).
     let at = AttnFailure::at(Phase::Backward, nodes * gpn - 1);
+    comm.span_begin(SpanKind::AttnRound, "dr_bwd_completion");
     if nodes > 1 {
         comm.try_send_mat(comm.peer_next_node(), &cur_dk)
             .map_err(&at)?;
@@ -245,6 +251,7 @@ pub fn try_double_ring_backward_alg1(
         // owner sits one local slot earlier than our previous buffer's.
         src = topo.prev_in_node(src);
     }
+    comm.span_end();
     debug_assert_eq!(src, comm.rank(), "alg1 completion must deliver home");
     Ok((grad_q, cur_dk, cur_dv))
 }
@@ -332,6 +339,7 @@ pub fn try_double_ring_backward_alg2(
         let mut src = start_src;
         for inner in 0..gpn {
             let at = AttnFailure::at(Phase::Backward, outer * gpn + inner);
+            comm.span_begin(SpanKind::AttnRound, "dr_bwd_slot");
             let (cur_q, cur_do, cur_lse, cur_d): (&Mat, &Mat, &[f32], &[f32]) = match &cur_owned {
                 Some((q, o, l, dd)) => (q, o, l, dd),
                 None => (start_q, start_do, start_lse, start_d),
@@ -392,6 +400,7 @@ pub fn try_double_ring_backward_alg2(
                 ));
                 src = topo.prev_in_node(src);
             }
+            comm.span_end();
         }
         if outer < nodes - 1 {
             let at = AttnFailure::at(Phase::Backward, (outer + 1) * gpn - 1);
@@ -408,8 +417,10 @@ pub fn try_double_ring_backward_alg2(
     // The very last ∇Q send above (slot (nodes−1, gpn−1)) delivered that
     // bundle's gradient home via the diagonal; symmetrically, our own ∇Q
     // arrives from our diagonal predecessor.
+    comm.span_begin(SpanKind::AttnRound, "dr_dq_final");
     let grad_q = comm
         .try_recv_mat(diag_prev)
         .map_err(AttnFailure::at(Phase::Backward, nodes * gpn - 1))?;
+    comm.span_end();
     Ok((grad_q, grad_k, grad_v))
 }

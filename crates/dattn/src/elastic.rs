@@ -21,7 +21,9 @@ use crate::layout::Layout;
 use crate::ring::{
     try_burst_backward, try_ring_forward, AttnFailure, AttnShard, BackwardInputs, OverlapMode, Ring,
 };
-use burst_comm::{agree_on_eviction, send_abort, CommError, Communicator, Membership, RetryPolicy};
+use burst_comm::{
+    agree_on_eviction, send_abort, CommError, Communicator, Membership, RetryPolicy, SpanKind,
+};
 use burst_kernels::AttnMask;
 use burst_tensor::Mat;
 use std::collections::HashMap;
@@ -206,6 +208,13 @@ pub fn try_elastic_attention(
             members: members.clone(),
             pos,
         };
+        // Attempts past the first re-run the step on the shrunken ring:
+        // mark them as replay time so the trace separates productive work
+        // from recovery.
+        let span_depth = comm.span_depth();
+        if attempts > 1 {
+            comm.span_begin(SpanKind::Replay, "replay_attempt");
+        }
         let result = try_ring_forward(comm, &ring, &shard).and_then(|fwd| {
             let back = BackwardInputs {
                 o: &fwd.o,
@@ -215,6 +224,9 @@ pub fn try_elastic_attention(
             try_burst_backward(comm, &ring, &shard, &back, OverlapMode::Fine)
                 .map(|(dq, dk, dv)| (fwd, dq, dk, dv))
         });
+        // Settle the span stack: closes the replay span and any round span
+        // a failure left open via `?`.
+        comm.span_unwind(span_depth);
         let my_suspects = match &result {
             Ok(_) => Vec::new(),
             Err(e) => {

@@ -27,7 +27,7 @@
 
 use crate::cost::CostModel;
 use crate::layout::Layout;
-use burst_comm::{CommError, Communicator};
+use burst_comm::{CommError, Communicator, SpanKind};
 use burst_kernels::{
     attn_tile_backward, attn_tile_backward_acc, flash_forward_acc, AttnMask, KernelWork,
 };
@@ -277,6 +277,9 @@ pub fn try_ring_forward(
     let mut src = ring.pos;
     for step in 0..g {
         let at = AttnFailure::at(Phase::Forward, step);
+        // A rank that dies mid-round leaves this span open; the trace
+        // collector force-closes it at crash time (with a warning).
+        comm.span_begin(SpanKind::AttnRound, "fwd_round");
         let (cur_k, cur_v) = match &owned_kv {
             Some((k, v)) => (k, v),
             None => (shard.k, shard.v),
@@ -308,6 +311,7 @@ pub fn try_ring_forward(
             ));
             src = (src + g - 1) % g;
         }
+        comm.span_end();
     }
     Ok(DistAttnOut {
         o: acc_o,
@@ -377,6 +381,7 @@ pub fn try_ring_backward(
     let mut src = ring.pos;
     for step in 0..g {
         let at = AttnFailure::at(Phase::Backward, step);
+        comm.span_begin(SpanKind::AttnRound, "bwd_round");
         let (cur_k, cur_v) = match &owned_kv {
             Some((k, v)) => (k, v),
             None => (shard.k, shard.v),
@@ -423,6 +428,7 @@ pub fn try_ring_backward(
         cur_dk = comm.try_recv_mat(ring.prev()).map_err(&at)?;
         cur_dv = comm.try_recv_mat(ring.prev()).map_err(&at)?;
         src = (src + g - 1) % g;
+        comm.span_end();
     }
     // After G hops everything is home: src wrapped to our own position and
     // the circulating buffers carry the fully reduced gradients of our K, V.
@@ -503,6 +509,7 @@ pub fn try_burst_backward(
             // Read-only parts depart before the warm-up compute; ∇Q follows
             // one round behind it.
             let at = AttnFailure::at(Phase::Backward, 0);
+            comm.span_begin(SpanKind::AttnRound, "burst_warmup");
             comm.try_send_mat(next, shard.q).map_err(&at)?;
             comm.try_send_mat(next, back.grad_o).map_err(&at)?;
             comm.try_send_vec(next, back.lse).map_err(&at)?;
@@ -526,8 +533,10 @@ pub fn try_burst_backward(
             );
             comm.advance_compute(shard.cost.attn_bwd_secs(w.pairs, d));
             comm.try_send_mat(next, &dq_buf).map_err(&at)?;
+            comm.span_end();
             for s in 1..g {
                 let at = AttnFailure::at(Phase::Backward, s);
+                comm.span_begin(SpanKind::AttnRound, "burst_round");
                 let src = (me + g - s) % g;
                 let q_j = comm.try_recv_mat(prev).map_err(&at)?;
                 let do_j = comm.try_recv_mat(prev).map_err(&at)?;
@@ -562,10 +571,13 @@ pub fn try_burst_backward(
                 let mut dq_j = comm.try_recv_mat(prev).map_err(&at)?;
                 dq_j.add_assign(&dq_buf);
                 comm.try_send_mat(next, &dq_j).map_err(&at)?;
+                comm.span_end();
             }
+            comm.span_begin(SpanKind::AttnRound, "burst_final");
             let grad_q = comm
                 .try_recv_mat(prev)
                 .map_err(AttnFailure::at(Phase::Backward, g - 1))?;
+            comm.span_end();
             Ok((grad_q, grad_k, grad_v))
         }
         OverlapMode::None => {
@@ -577,6 +589,7 @@ pub fn try_burst_backward(
             let mut src = ring.pos;
             for step in 0..g {
                 let at = AttnFailure::at(Phase::Backward, step);
+                comm.span_begin(SpanKind::AttnRound, "burst_round");
                 let (q_j, do_j, lse_j, d_j): (&Mat, &Mat, &[f32], &[f32]) = match &owned {
                     Some((q, o, l, dd)) => (q, o, l, dd),
                     None => (shard.q, back.grad_o, back.lse, &d_vec),
@@ -617,6 +630,7 @@ pub fn try_burst_backward(
                     comm.try_send_mat(ring.next(), &cur_dq).map_err(&at)?;
                     cur_dq = comm.try_recv_mat(ring.prev()).map_err(&at)?;
                 }
+                comm.span_end();
             }
             Ok((cur_dq, grad_k, grad_v))
         }

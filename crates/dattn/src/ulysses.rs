@@ -12,7 +12,7 @@
 use crate::cost::CostModel;
 use crate::ring::{escalate_attn, AttnFailure, Phase};
 use crate::DattnError;
-use burst_comm::{CommError, Communicator};
+use burst_comm::{CommError, Communicator, SpanKind};
 use burst_kernels::{flash_backward, flash_forward, AttnMask};
 use burst_tensor::Mat;
 
@@ -49,8 +49,21 @@ pub(crate) fn group_all_to_all(
     }
 }
 
-/// Fallible [`group_all_to_all`].
+/// Fallible [`group_all_to_all`]. Each call is one `a2a` round in the
+/// trace; a failure mid-exchange settles the span before propagating.
 pub(crate) fn try_group_all_to_all(
+    comm: &mut Communicator,
+    members: &[usize],
+    outgoing: Vec<Mat>,
+) -> Result<Vec<Mat>, CommError> {
+    let depth = comm.span_depth();
+    comm.span_begin(SpanKind::AttnRound, "a2a");
+    let res = a2a_inner(comm, members, outgoing);
+    comm.span_unwind(depth);
+    res
+}
+
+fn a2a_inner(
     comm: &mut Communicator,
     members: &[usize],
     outgoing: Vec<Mat>,

@@ -17,7 +17,7 @@
 
 use crate::linear::{Linear, LinearSaved};
 use crate::rope::{rope_apply, rope_backward, ROPE_THETA};
-use burst_comm::Communicator;
+use burst_comm::{Communicator, SpanKind};
 use burst_dattn::ulysses::{ulysses_backward, ulysses_forward};
 use burst_dattn::usp::{usp_backward, usp_forward, UspTopo};
 use burst_dattn::{
@@ -65,6 +65,18 @@ pub trait AttnExec {
 
     /// Global token indices of this rank's local rows, in storage order.
     fn local_indices(&self) -> Vec<usize>;
+
+    /// Open a structural span on the rank's timeline (no-op for backends
+    /// without a communicator). Layer-level instrumentation goes through
+    /// these so `checkpoint.rs` stays backend-agnostic.
+    fn span_begin(&mut self, _kind: SpanKind, _name: &'static str) {}
+
+    /// Close the innermost open span (no-op without a communicator).
+    fn span_end(&mut self) {}
+
+    /// Enter/leave a recompute scope: compute charged inside is tagged
+    /// `"recompute"` in the trace (no-op without a communicator).
+    fn recompute_scope(&mut self, _enter: bool) {}
 }
 
 /// Single-device blocked flash attention.
@@ -310,6 +322,18 @@ impl AttnExec for DistExec<'_> {
         self.layout
             .indices(self.seq_len, self.comm.world_size(), self.comm.rank())
     }
+
+    fn span_begin(&mut self, kind: SpanKind, name: &'static str) {
+        self.comm.span_begin(kind, name);
+    }
+
+    fn span_end(&mut self) {
+        self.comm.span_end();
+    }
+
+    fn recompute_scope(&mut self, enter: bool) {
+        self.comm.recompute_scope(enter);
+    }
 }
 
 /// DeepSpeed-Ulysses backend (global group, contiguous sequence chunks).
@@ -366,10 +390,13 @@ impl AttnExec for UlyssesExec<'_> {
         let _ = o;
         // Rebuild the head-sharded state (including a fresh forward for the
         // Lse — Ulysses under gradient checkpointing recomputes attention).
-        let (_, saved) = ulysses_forward(
+        self.comm.recompute_scope(true);
+        let saved = ulysses_forward(
             self.comm, &members, &idx, q, k, v, scale, &self.mask, &self.cost,
         )
-        .expect("Ulysses infeasible");
+        .map(|(_, s)| s);
+        self.comm.recompute_scope(false);
+        let saved = saved.expect("Ulysses infeasible");
         let (dq, dk, dv) = ulysses_backward(
             self.comm, &members, &idx, &saved, grad_o, scale, &self.mask, &self.cost,
         )
@@ -379,6 +406,18 @@ impl AttnExec for UlyssesExec<'_> {
 
     fn local_indices(&self) -> Vec<usize> {
         Layout::Contiguous.indices(self.seq_len, self.comm.world_size(), self.comm.rank())
+    }
+
+    fn span_begin(&mut self, kind: SpanKind, name: &'static str) {
+        self.comm.span_begin(kind, name);
+    }
+
+    fn span_end(&mut self) {
+        self.comm.span_end();
+    }
+
+    fn recompute_scope(&mut self, enter: bool) {
+        self.comm.recompute_scope(enter);
     }
 }
 
@@ -425,7 +464,8 @@ impl AttnExec for UspExec<'_> {
         let topo = UspTopo::new(self.comm, self.ulysses_size);
         let scale = head_scale(&q[0]);
         let _ = o;
-        let (_, saved) = usp_forward(
+        self.comm.recompute_scope(true);
+        let saved = usp_forward(
             self.comm,
             &topo,
             q,
@@ -436,7 +476,9 @@ impl AttnExec for UspExec<'_> {
             self.seq_len,
             &self.cost,
         )
-        .expect("USP infeasible");
+        .map(|(_, s)| s);
+        self.comm.recompute_scope(false);
+        let saved = saved.expect("USP infeasible");
         let (dq, dk, dv) = usp_backward(
             self.comm,
             &topo,
@@ -454,6 +496,18 @@ impl AttnExec for UspExec<'_> {
     fn local_indices(&self) -> Vec<usize> {
         let topo = UspTopo::new(self.comm, self.ulysses_size);
         topo.local_idx(self.seq_len)
+    }
+
+    fn span_begin(&mut self, kind: SpanKind, name: &'static str) {
+        self.comm.span_begin(kind, name);
+    }
+
+    fn span_end(&mut self) {
+        self.comm.span_end();
+    }
+
+    fn recompute_scope(&mut self, enter: bool) {
+        self.comm.recompute_scope(enter);
     }
 }
 

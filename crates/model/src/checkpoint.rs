@@ -16,6 +16,7 @@
 use crate::attention::AttnExec;
 use crate::block::{BlockSaved, TransformerBlock};
 use crate::memory::MemoryTracker;
+use burst_comm::SpanKind;
 use burst_tensor::Mat;
 
 /// Cached attention outputs a strategy chose to keep.
@@ -94,6 +95,7 @@ pub fn forward_blocks<E: AttnExec>(
     let mut cur = x.clone();
     let mut stored = Vec::with_capacity(blocks.len());
     for block in blocks {
+        exec.span_begin(SpanKind::Layer, "layer_fwd");
         let input = cur.clone();
         let (y, saved) = block.forward(&cur, exec);
         let keep = match strategy {
@@ -140,6 +142,7 @@ pub fn forward_blocks<E: AttnExec>(
         tracker.alloc(keep.nbytes());
         stored.push(keep);
         cur = y;
+        exec.span_end();
     }
     (cur, stored)
 }
@@ -166,17 +169,31 @@ pub fn backward_blocks<E: AttnExec>(
     );
     let mut grad = grad_y.clone();
     for (block, keep) in blocks.iter_mut().zip(stored).rev() {
+        exec.span_begin(SpanKind::Layer, "layer_bwd");
         let kept_bytes = keep.nbytes();
+        // Rebuilding discarded activations is recomputation: tag the time
+        // so the trace splits it from first-run compute.
         let saved = match keep {
             Stored::Everything(saved) => *saved,
-            Stored::InputOnly { x } => block.forward(&x, exec).1,
-            Stored::WithCache { x, cache } => block.forward_with_cache(&x, exec, &cache).1,
+            Stored::InputOnly { x } => {
+                exec.recompute_scope(true);
+                let s = block.forward(&x, exec).1;
+                exec.recompute_scope(false);
+                s
+            }
+            Stored::WithCache { x, cache } => {
+                exec.recompute_scope(true);
+                let s = block.forward_with_cache(&x, exec, &cache).1;
+                exec.recompute_scope(false);
+                s
+            }
         };
         // The rebuilt full context is transient: live only during this
         // block's backward.
         let transient = saved.nbytes().saturating_sub(kept_bytes);
         grad = tracker.with_transient(transient, |_t| block.backward(&saved, &grad, exec));
         tracker.free(kept_bytes);
+        exec.span_end();
     }
     grad
 }

@@ -93,6 +93,21 @@ fn invalid(detail: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, detail)
 }
 
+/// The manifest entry shard `s` would get — computed from the flat state
+/// alone, without touching disk. Because training replicas are
+/// bit-identical, the manifest writer can derive **every** shard's metadata
+/// from its own state while the other ranks write their shard files in
+/// parallel.
+pub fn shard_meta(flat: &[f32], world: usize, s: usize) -> io::Result<ShardMeta> {
+    let (lo, hi) = shard_range(flat.len(), world, s);
+    let payload = serde_json::to_vec(&flat[lo..hi])
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    Ok(ShardMeta {
+        elems: hi - lo,
+        fnv: fnv_hex(fnv1a(&payload)),
+    })
+}
+
 /// Write shard `s`'s slice of the flat state atomically. Returns the
 /// metadata the manifest must record for this shard.
 pub fn write_shard(dir: &Path, s: usize, world: usize, flat: &[f32]) -> io::Result<ShardMeta> {

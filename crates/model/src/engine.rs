@@ -7,11 +7,13 @@
 use crate::attention::{AttnExec, DistExec, LocalExec, UlyssesExec, UspExec};
 use crate::checkpoint::Strategy;
 use crate::checkpoint_io::{atomic_write, decode_checkpoint, encode_checkpoint};
-use crate::checkpoint_shard::{load_sharded, save_sharded};
+use crate::checkpoint_shard::{
+    load_sharded, shard_meta, write_manifest, write_shard, ShardManifest,
+};
 use crate::fsdp;
 use crate::model::{Model, ModelConfig, StepOutput};
 use crate::param::AdamCfg;
-use burst_comm::{CommError, CommStats, Communicator, World};
+use burst_comm::{CommError, CommStats, Communicator, SpanKind, World};
 use burst_dattn::{Algo, CostModel, Layout, OverlapMode};
 use burst_kernels::AttnMask;
 use burst_tensor::Mat;
@@ -161,7 +163,7 @@ pub fn run_rank(
     steps: usize,
 ) -> (Vec<f32>, StepOutput) {
     let mut model = Model::new(cfg.model, cfg.seed);
-    match run_span(comm, cfg, &mut model, 0, steps, |_, _, _| {}) {
+    match run_span(comm, cfg, &mut model, 0, steps, |_, _, _, _| {}) {
         Ok(out) => (out.losses, out.last.expect("steps > 0")),
         Err(e) => comm.escalate(e),
     }
@@ -174,9 +176,11 @@ pub fn run_rank(
 /// run that never stopped — the invariant the recovery loop and its tests
 /// rely on.
 ///
-/// `on_step(completed, model, losses)` fires after every optimizer step
-/// with the number of completed steps, the post-update model and the span's
-/// losses so far; [`train_with_recovery`] uses it to write checkpoints.
+/// `on_step(comm, completed, model, losses)` fires after every optimizer
+/// step with the rank's communicator, the number of completed steps, the
+/// post-update model and the span's losses so far; [`train_with_recovery`]
+/// uses it to write checkpoints (the communicator lets every rank write its
+/// own shard and synchronise on a barrier before the manifest commits).
 ///
 /// Fails with a typed [`CommError`] instead of aborting: a non-finite
 /// reduced loss is reported as [`CommError::Corrupt`], and communication
@@ -199,7 +203,7 @@ pub fn run_span(
     model: &mut Model,
     start_step: usize,
     end_step: usize,
-    mut on_step: impl FnMut(usize, &Model, &[f32]),
+    mut on_step: impl FnMut(&mut Communicator, usize, &Model, &[f32]),
 ) -> Result<SpanOutcome, CommError> {
     let n = cfg.model.seq_len;
     let mut losses = Vec::with_capacity(end_step.saturating_sub(start_step));
@@ -215,6 +219,10 @@ pub fn run_span(
             .fault_plan()
             .is_some_and(|p| p.has_poisons(comm.rank()));
     for step in start_step..end_step {
+        // The step span also covers the checkpoint `on_step` may write. A
+        // step that fails out via `?` leaves it open; the trace collector
+        // force-closes it at the failure clock with a warning.
+        comm.span_begin(SpanKind::Step, "step");
         model.zero_grads();
         if cfg.fsdp {
             fsdp::gather_weights(comm, &mut model.params_mut());
@@ -231,6 +239,7 @@ pub fn run_span(
         let mut local_bad = 0.0f32;
         let mut dropped_this_step = 0usize;
         for micro in 0..accum {
+            comm.span_begin(SpanKind::Micro, "micro");
             let snapshot: Option<Vec<Mat>> = if can_rollback {
                 Some(model.params().iter().map(|p| p.grad.clone()).collect())
             } else {
@@ -284,6 +293,7 @@ pub fn run_span(
             // Scheduled compute-side fault: the backward "produced" a bad
             // gradient. The forward loss above is untouched.
             if let Some(v) = comm.grad_poison(step as u64, micro as u64) {
+                comm.span_instant(SpanKind::Fault, "grad_poison");
                 model.params_mut()[0].grad.as_mut_slice()[0] = v;
                 if !v.is_finite() {
                     match snapshot {
@@ -294,11 +304,13 @@ pub fn run_span(
                                 p.grad = s;
                             }
                             dropped_this_step += 1;
+                            comm.span_instant(SpanKind::Fault, "micro_rollback");
                         }
                         None => local_bad = 1.0,
                     }
                 }
             }
+            comm.span_end();
         }
         let out = out.expect("grad_accum >= 1");
         if dropped_this_step == accum {
@@ -335,9 +347,11 @@ pub fn run_span(
             // optimizer update in lockstep (grads are discarded, weights
             // and Adam state stay at the last good step) and train on.
             skipped_steps += 1;
+            comm.span_instant(SpanKind::Fault, "skip_step");
             model.zero_grads();
             last = Some(out);
-            on_step(step + 1, model, &losses);
+            on_step(comm, step + 1, model, &losses);
+            comm.span_end();
             continue;
         }
         if cfg.fsdp {
@@ -351,7 +365,8 @@ pub fn run_span(
             comm.advance_compute(fsdp::offload_step_seconds(cfg.model.param_count(), shard));
         }
         last = Some(out);
-        on_step(step + 1, model, &losses);
+        on_step(comm, step + 1, model, &losses);
+        comm.span_end();
     }
     Ok(SpanOutcome {
         losses,
@@ -578,7 +593,6 @@ pub fn train_with_recovery(
         let epoch = evicted_ranks.len() as u64;
         let ckpt_path = recovery.path.clone();
         let outs = world.run_faulty::<_, CommError, _>(|comm| {
-            let rank = comm.rank();
             let mut model = start_model.clone();
             let completed = Arc::clone(&completed);
             let out = run_span(
@@ -587,26 +601,63 @@ pub fn train_with_recovery(
                 &mut model,
                 start_step,
                 steps,
-                |done, m, sofar| {
+                |comm, done, m, sofar| {
                     completed.fetch_max(done, Ordering::Relaxed);
-                    if rank == 0 && (done % every == 0 || done == steps) {
+                    if done % every != 0 && done != steps {
+                        return;
+                    }
+                    let rank = comm.rank();
+                    comm.span_begin(SpanKind::Checkpoint, "checkpoint");
+                    if recovery.sharded {
+                        // Parallel per-rank write: every rank persists its
+                        // own shard, a barrier confirms all shards landed,
+                        // then rank 0 commits the manifest. Replicas are
+                        // bit-identical, so rank 0 derives every shard's
+                        // metadata from its own state without re-reading
+                        // the files.
+                        std::fs::create_dir_all(&ckpt_path).unwrap_or_else(|e| {
+                            panic!("rank {rank}: checkpoint dir creation failed: {e}")
+                        });
+                        let flat = m.flat_state();
+                        write_shard(&ckpt_path, rank, world_size, &flat)
+                            .unwrap_or_else(|e| panic!("rank {rank}: shard write failed: {e}"));
+                        comm.barrier();
+                        if rank == 0 {
+                            let mut losses = prior_losses.clone();
+                            losses.extend_from_slice(sofar);
+                            let shards = (0..world_size)
+                                .map(|s| {
+                                    shard_meta(&flat, world_size, s).unwrap_or_else(|e| {
+                                        panic!("rank 0: shard meta failed: {e}")
+                                    })
+                                })
+                                .collect();
+                            let man = ShardManifest {
+                                step: done as u64,
+                                epoch,
+                                world_size,
+                                flat_len: flat.len(),
+                                cfg: m.cfg,
+                                losses,
+                                shards,
+                            };
+                            write_manifest(&ckpt_path, &man)
+                                .unwrap_or_else(|e| panic!("rank 0: manifest commit failed: {e}"));
+                        }
+                        // No rank trains past an uncommitted checkpoint.
+                        comm.barrier();
+                    } else if rank == 0 {
                         let mut losses = prior_losses.clone();
                         losses.extend_from_slice(sofar);
-                        if recovery.sharded {
-                            save_sharded(m, &ckpt_path, world_size, done as u64, epoch, &losses)
-                                .unwrap_or_else(|e| {
-                                    panic!("rank 0: sharded checkpoint write failed: {e}")
-                                });
-                        } else {
-                            let ck = TrainCheckpoint {
-                                step: done,
-                                losses,
-                                model: m.clone(),
-                            };
-                            ck.save(&ckpt_path)
-                                .unwrap_or_else(|e| panic!("rank 0: checkpoint write failed: {e}"));
-                        }
+                        let ck = TrainCheckpoint {
+                            step: done,
+                            losses,
+                            model: m.clone(),
+                        };
+                        ck.save(&ckpt_path)
+                            .unwrap_or_else(|e| panic!("rank 0: checkpoint write failed: {e}"));
                     }
+                    comm.span_end();
                 },
             )?;
             Ok((out, model))

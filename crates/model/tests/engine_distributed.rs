@@ -272,3 +272,60 @@ fn tgs_accounts_compute_and_comm() {
     );
     assert!(m.comm.total_elems() > 0);
 }
+
+#[test]
+fn engine_step_spans_validate_and_tracing_is_bit_identical() {
+    use burst_comm::obs::{self, SpanKind};
+    use burst_model::engine::run_span;
+    use burst_model::Model;
+
+    let topo = Topology::a800(2, 2);
+    let steps = 2usize;
+    let mut c = cfg(Backend::Ring(Algo::BurstTopo));
+    c.grad_accum = 2;
+    // Zero-cost kernels emit no spans; use the real cost model so compute
+    // and recompute show up on the timeline.
+    c.cost = CostModel::a800();
+    let run = |trace: bool| {
+        let world = World::new(topo.clone());
+        world.run(|comm| {
+            if trace {
+                comm.start_trace();
+            }
+            let mut model = Model::new(c.model, c.seed);
+            run_span(comm, &c, &mut model, 0, steps, |_, _, _, _| {})
+                .expect("healthy run")
+                .losses
+        })
+    };
+    let plain = run(false);
+    let traced = run(true);
+    for (p, t) in plain.iter().zip(&traced) {
+        assert_eq!(p.result, t.result, "losses differ under tracing");
+        assert_eq!(
+            p.time.to_bits(),
+            t.time.to_bits(),
+            "virtual clock differs under tracing"
+        );
+        let trace = t.trace.as_ref().expect("tracing was on");
+        obs::validate(trace).unwrap_or_else(|e| panic!("rank {}: {e}", t.rank));
+        assert!(trace.warnings.is_empty(), "healthy run warned");
+        assert_eq!(trace.count(SpanKind::Step), steps, "one span per step");
+        assert_eq!(
+            trace.count(SpanKind::Micro),
+            steps * c.grad_accum,
+            "one span per micro-batch"
+        );
+        assert!(trace.count(SpanKind::Layer) > 0, "no layer spans");
+        assert!(trace.count(SpanKind::AttnRound) > 0, "no attention rounds");
+        // Strategy::Full rebuilds every block in the backward; the rebuilt
+        // kernels must be tagged as recomputation.
+        assert!(
+            trace
+                .spans
+                .iter()
+                .any(|s| s.kind == SpanKind::Kernel && s.name == "recompute"),
+            "full checkpointing produced no recompute spans"
+        );
+    }
+}

@@ -1,0 +1,321 @@
+//! A deterministic metrics registry: named counters, time accumulators,
+//! gauges and histograms that merge **exactly** across ranks.
+//!
+//! Per-rank registries are built independently (usually from a rank's
+//! [`crate::RankTrace`] plus `burst-comm`'s counters) and then folded into
+//! one cluster view. Floating-point addition is not associative, so time
+//! is stored in integer nanoseconds (each observation rounded once at
+//! record time), counters and histogram buckets are integer sums, and
+//! gauges merge by `max` — every merge is therefore associative and
+//! commutative, and any rank order folds to the identical registry.
+
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+/// Fixed-point scale for time metrics: virtual seconds × 1e9.
+const NANOS: f64 = 1e9;
+
+/// A histogram with explicit bucket bounds: `counts[i]` holds observations
+/// `<= bounds[i]`, the last bucket is the overflow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Upper bounds, strictly increasing. `counts.len() == bounds.len() + 1`.
+    pub bounds: Vec<f64>,
+    pub counts: Vec<u64>,
+    /// Smallest / largest observation (min/max merge exactly).
+    pub min: f64,
+    pub max: f64,
+    pub total: u64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            total: 0,
+        }
+    }
+
+    fn observe(&mut self, v: f64) {
+        let i = self.bounds.partition_point(|&b| b < v);
+        self.counts[i] += 1;
+        self.total += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "histogram merge with mismatched bucket bounds"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// One named metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Monotone event count; merges by integer sum.
+    Counter(u64),
+    /// Accumulated virtual time in integer nanoseconds; merges by sum.
+    Secs(i64),
+    /// A level; merges by `max` (e.g. peak bytes, final epoch).
+    Gauge(f64),
+    /// Distribution; merges bucket-wise.
+    Hist(Histogram),
+}
+
+impl Metric {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Secs(_) => "secs",
+            Metric::Gauge(_) => "gauge",
+            Metric::Hist(_) => "histogram",
+        }
+    }
+}
+
+/// A named collection of metrics. `BTreeMap` keys give a deterministic
+/// iteration/export order regardless of insertion order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    metrics: BTreeMap<String, Metric>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn slot(&mut self, name: &str, fresh: Metric) -> &mut Metric {
+        let entry = self
+            .metrics
+            .entry(name.to_string())
+            .or_insert_with(|| fresh.clone());
+        assert_eq!(
+            entry.type_name(),
+            fresh.type_name(),
+            "metric `{name}` recorded as {} but already registered as {}",
+            fresh.type_name(),
+            entry.type_name()
+        );
+        entry
+    }
+
+    /// Add `v` to counter `name` (creating it at zero).
+    pub fn add_counter(&mut self, name: &str, v: u64) {
+        if let Metric::Counter(c) = self.slot(name, Metric::Counter(0)) {
+            *c += v;
+        }
+    }
+
+    /// Add `secs` of virtual time to accumulator `name`. The value is
+    /// rounded to nanoseconds once, here; merges are then exact.
+    pub fn add_secs(&mut self, name: &str, secs: f64) {
+        let nanos = (secs * NANOS).round() as i64;
+        if let Metric::Secs(n) = self.slot(name, Metric::Secs(0)) {
+            *n += nanos;
+        }
+    }
+
+    /// Raise gauge `name` to at least `v`.
+    pub fn gauge_max(&mut self, name: &str, v: f64) {
+        if let Metric::Gauge(g) = self.slot(name, Metric::Gauge(f64::NEG_INFINITY)) {
+            *g = g.max(v);
+        }
+    }
+
+    /// Record `v` into histogram `name` with the given bucket bounds (the
+    /// bounds must match on every call and every rank).
+    pub fn observe(&mut self, name: &str, bounds: &[f64], v: f64) {
+        if let Metric::Hist(h) = self.slot(name, Metric::Hist(Histogram::new(bounds))) {
+            h.observe(v);
+        }
+    }
+
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.metrics.get(name)
+    }
+
+    /// Counter value (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.metrics.get(name) {
+            Some(Metric::Counter(c)) => *c,
+            _ => 0,
+        }
+    }
+
+    /// Time accumulator in seconds (0.0 if absent).
+    pub fn secs(&self, name: &str) -> f64 {
+        match self.metrics.get(name) {
+            Some(Metric::Secs(n)) => *n as f64 / NANOS,
+            _ => 0.0,
+        }
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
+        self.metrics.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Fold `other` into `self`. Exact (integer sums, min/max), hence
+    /// associative and commutative: any rank order yields the same result.
+    pub fn merge_from(&mut self, other: &Registry) {
+        for (name, m) in &other.metrics {
+            match self.metrics.get_mut(name) {
+                None => {
+                    self.metrics.insert(name.clone(), m.clone());
+                }
+                Some(mine) => match (mine, m) {
+                    (Metric::Counter(a), Metric::Counter(b)) => *a += b,
+                    (Metric::Secs(a), Metric::Secs(b)) => *a += b,
+                    (Metric::Gauge(a), Metric::Gauge(b)) => *a = a.max(*b),
+                    (Metric::Hist(a), Metric::Hist(b)) => a.merge(b),
+                    (mine, m) => panic!(
+                        "metric `{name}` merge across types: {} vs {}",
+                        mine.type_name(),
+                        m.type_name()
+                    ),
+                },
+            }
+        }
+    }
+
+    /// Deterministic JSON export (object keyed by metric name).
+    pub fn to_json(&self) -> Value {
+        let mut fields = Vec::with_capacity(self.metrics.len());
+        for (name, m) in &self.metrics {
+            let v = match m {
+                Metric::Counter(c) => Value::Object(vec![
+                    ("type".into(), Value::String("counter".into())),
+                    ("value".into(), Value::Number(*c as f64)),
+                ]),
+                Metric::Secs(n) => Value::Object(vec![
+                    ("type".into(), Value::String("secs".into())),
+                    ("value".into(), Value::Number(*n as f64 / NANOS)),
+                ]),
+                Metric::Gauge(g) => Value::Object(vec![
+                    ("type".into(), Value::String("gauge".into())),
+                    ("value".into(), Value::Number(*g)),
+                ]),
+                Metric::Hist(h) => Value::Object(vec![
+                    ("type".into(), Value::String("histogram".into())),
+                    (
+                        "bounds".into(),
+                        Value::Array(h.bounds.iter().map(|&b| Value::Number(b)).collect()),
+                    ),
+                    (
+                        "counts".into(),
+                        Value::Array(h.counts.iter().map(|&c| Value::Number(c as f64)).collect()),
+                    ),
+                    ("total".into(), Value::Number(h.total as f64)),
+                ]),
+            };
+            fields.push((name.clone(), v));
+        }
+        Value::Object(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A quasi-random per-rank registry exercising every metric type.
+    fn rank_registry(rank: u64) -> Registry {
+        let mut r = Registry::new();
+        let mut x = rank.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        let mut next = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..20 {
+            let n = next();
+            r.add_counter("sends", n % 7);
+            // Deliberately awkward floats: exercises the fixed-point path.
+            r.add_secs("wait", (n % 1000) as f64 * 1.0e-4 + 0.1 / 3.0);
+            r.gauge_max("peak", (n % 1_000_000) as f64 * 1.3e-3);
+            r.observe("lat", &[1e-5, 1e-4, 1e-3], (n % 100) as f64 * 3.3e-5);
+        }
+        r
+    }
+
+    fn fold(order: &[u64]) -> Registry {
+        let mut acc = Registry::new();
+        for &r in order {
+            acc.merge_from(&rank_registry(r));
+        }
+        acc
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative_across_rank_orders() {
+        let forward = fold(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let reverse = fold(&[7, 6, 5, 4, 3, 2, 1, 0]);
+        let shuffled = fold(&[3, 0, 7, 1, 6, 2, 5, 4]);
+        assert_eq!(forward, reverse);
+        assert_eq!(forward, shuffled);
+        // Associativity: ((a+b)+(c+d)) == (a+(b+(c+d))).
+        let mut left = fold(&[0, 1]);
+        left.merge_from(&fold(&[2, 3]));
+        let mut right = rank_registry(0);
+        let mut tail = rank_registry(1);
+        tail.merge_from(&fold(&[2, 3]));
+        right.merge_from(&tail);
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn accessors_and_json_export() {
+        let mut r = Registry::new();
+        r.add_counter("faults_injected", 3);
+        r.add_secs("wait", 0.25);
+        r.add_secs("wait", 0.5);
+        r.gauge_max("epoch", 2.0);
+        r.observe("msg_secs", &[0.1, 1.0], 0.05);
+        r.observe("msg_secs", &[0.1, 1.0], 5.0);
+        assert_eq!(r.counter("faults_injected"), 3);
+        assert!((r.secs("wait") - 0.75).abs() < 1e-12);
+        assert_eq!(r.counter("missing"), 0);
+        let json = r.to_json();
+        let text = serde_json::to_string(&json).unwrap();
+        assert!(text.contains("faults_injected"), "{text}");
+        let back: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, json);
+        match r.get("msg_secs") {
+            Some(Metric::Hist(h)) => {
+                assert_eq!(h.counts, vec![1, 0, 1]);
+                assert_eq!(h.total, 2);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_confusion_panics() {
+        let mut r = Registry::new();
+        r.add_counter("x", 1);
+        r.add_secs("x", 1.0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Chrome/Perfetto `trace_events` JSON export.
+//!
+//! The emitted object loads directly in `ui.perfetto.dev` (or
+//! `chrome://tracing`): one *process* per rank, one *thread* per span lane
+//! (`0 control`, `1 compute`, `2 recv/wait`, `3 wire`), complete (`ph:"X"`)
+//! events in microseconds. Virtual seconds are scaled by 1e6 so a
+//! millisecond-scale attention round renders at a comfortable zoom level.
+//!
+//! All structs round-trip through the workspace serde shim (`PartialEq` +
+//! derive), which the test below locks in.
+
+use crate::span::{RankTrace, SpanKind};
+use serde::{Deserialize, Serialize};
+
+/// Microseconds per virtual second.
+const US: f64 = 1e6;
+
+/// Free-form event arguments (Perfetto shows these in the detail pane).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfettoArgs {
+    /// `kind` label, peer and payload summary: e.g. `"send -> r3, 2048 elems, inter"`.
+    pub detail: String,
+}
+
+/// One `trace_events` entry. Field names are part of the Chrome trace
+/// format, hence the non-snake-case allowances.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfettoEvent {
+    pub name: String,
+    pub cat: String,
+    /// `"X"` (complete, has `dur`), `"i"` (instant) or `"M"` (metadata).
+    pub ph: String,
+    /// Start timestamp in microseconds.
+    pub ts: f64,
+    /// Duration in microseconds (0 for instants/metadata).
+    pub dur: f64,
+    pub pid: u64,
+    pub tid: u64,
+    pub args: PerfettoArgs,
+}
+
+/// A whole trace: the JSON object Perfetto ingests.
+#[allow(non_snake_case)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfettoTrace {
+    pub traceEvents: Vec<PerfettoEvent>,
+    pub displayTimeUnit: String,
+}
+
+fn metadata(name: &str, pid: u64, tid: u64, label: String) -> PerfettoEvent {
+    PerfettoEvent {
+        name: name.to_string(),
+        cat: "__metadata".to_string(),
+        ph: "M".to_string(),
+        ts: 0.0,
+        dur: 0.0,
+        pid,
+        tid,
+        args: PerfettoArgs { detail: label },
+    }
+}
+
+fn lane_name(lane: u64) -> &'static str {
+    match lane {
+        1 => "compute",
+        2 => "recv/wait",
+        3 => "wire",
+        _ => "control",
+    }
+}
+
+fn push_rank(events: &mut Vec<PerfettoEvent>, trace: &RankTrace, pid: u64, rank_label: &str) {
+    events.push(metadata("process_name", pid, 0, rank_label.to_string()));
+    let mut lanes_seen = [false; 4];
+    for s in &trace.spans {
+        lanes_seen[s.kind.lane() as usize] = true;
+    }
+    for (lane, seen) in lanes_seen.iter().enumerate() {
+        if *seen {
+            events.push(metadata(
+                "thread_name",
+                pid,
+                lane as u64,
+                lane_name(lane as u64).to_string(),
+            ));
+        }
+    }
+    for s in &trace.spans {
+        let mut detail = s.kind.label().to_string();
+        if s.peer != u32::MAX {
+            detail.push_str(&format!(" peer r{}", s.peer));
+        }
+        if s.elems > 0 {
+            detail.push_str(&format!(", {} elems", s.elems));
+        }
+        if s.kind == SpanKind::Send {
+            detail.push_str(if s.inter { ", inter" } else { ", intra" });
+        }
+        let instant = s.duration() == 0.0;
+        events.push(PerfettoEvent {
+            name: s.name.to_string(),
+            cat: s.kind.label().to_string(),
+            ph: if instant { "i" } else { "X" }.to_string(),
+            ts: s.start * US,
+            dur: s.duration() * US,
+            pid,
+            tid: s.kind.lane(),
+            args: PerfettoArgs { detail },
+        });
+    }
+}
+
+/// Export one cluster run: `pid == rank`, `tid == lane`.
+pub fn to_perfetto(traces: &[RankTrace]) -> PerfettoTrace {
+    let mut events = Vec::new();
+    for t in traces {
+        push_rank(&mut events, t, t.rank as u64, &format!("rank {}", t.rank));
+    }
+    PerfettoTrace {
+        traceEvents: events,
+        displayTimeUnit: "ns".to_string(),
+    }
+}
+
+/// Export several runs (e.g. one per attention method) side by side in a
+/// single trace: group `g`, rank `r` becomes `pid = g * 100 + r` and the
+/// process name carries the group label.
+pub fn to_perfetto_grouped(groups: &[(String, Vec<RankTrace>)]) -> PerfettoTrace {
+    let mut events = Vec::new();
+    for (g, (label, traces)) in groups.iter().enumerate() {
+        for t in traces {
+            let pid = (g as u64) * 100 + t.rank as u64;
+            push_rank(&mut events, t, pid, &format!("{label} / rank {}", t.rank));
+        }
+    }
+    PerfettoTrace {
+        traceEvents: events,
+        displayTimeUnit: "ns".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::RankSink;
+
+    fn sample_trace() -> RankTrace {
+        let mut sink = RankSink::with_capacity(2, 32);
+        sink.begin(SpanKind::Step, "step0", 0.0);
+        sink.begin(SpanKind::AttnRound, "round0", 0.0);
+        sink.leaf(SpanKind::Send, "kv", 0.0, 1.5e-3, 3, 4096, true);
+        sink.leaf(
+            SpanKind::Kernel,
+            "attn_tile",
+            0.0,
+            1.0e-3,
+            u32::MAX,
+            0,
+            false,
+        );
+        sink.leaf(SpanKind::Wait, "kv", 1.0e-3, 1.5e-3, u32::MAX, 0, false);
+        sink.leaf(SpanKind::Recv, "kv", 1.0e-3, 1.5e-3, 1, 4096, false);
+        sink.end(1.5e-3);
+        sink.instant(SpanKind::Fault, "grad_poison", 1.5e-3);
+        sink.end(2.0e-3);
+        sink.finish(2.0e-3)
+    }
+
+    #[test]
+    fn serde_round_trip_is_lossless() {
+        let trace = to_perfetto(&[sample_trace()]);
+        let text = serde_json::to_string_pretty(&trace).unwrap();
+        let back: PerfettoTrace = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, trace);
+        assert!(text.contains("traceEvents"));
+        assert!(text.contains("displayTimeUnit"));
+    }
+
+    #[test]
+    fn lanes_pids_and_instants_are_mapped() {
+        let trace = to_perfetto(&[sample_trace()]);
+        // All non-metadata events carry the rank as pid.
+        let spans: Vec<_> = trace
+            .traceEvents
+            .iter()
+            .filter(|e| e.cat != "__metadata")
+            .collect();
+        assert!(spans.iter().all(|e| e.pid == 2));
+        // The send sits on the wire lane, the kernel on the compute lane.
+        let send = spans.iter().find(|e| e.cat == "send").unwrap();
+        assert_eq!(send.tid, 3);
+        assert!(send.args.detail.contains("inter"), "{}", send.args.detail);
+        let kernel = spans.iter().find(|e| e.cat == "kernel").unwrap();
+        assert_eq!(kernel.tid, 1);
+        // The fault instant uses ph:"i".
+        let fault = spans.iter().find(|e| e.cat == "fault").unwrap();
+        assert_eq!(fault.ph, "i");
+        // Metadata names every lane that appears.
+        let threads: Vec<_> = trace
+            .traceEvents
+            .iter()
+            .filter(|e| e.name == "thread_name")
+            .collect();
+        assert_eq!(threads.len(), 4);
+    }
+
+    #[test]
+    fn grouped_export_separates_pids() {
+        let grouped = to_perfetto_grouped(&[
+            ("ring".to_string(), vec![sample_trace()]),
+            ("burst".to_string(), vec![sample_trace()]),
+        ]);
+        let pids: Vec<u64> = grouped
+            .traceEvents
+            .iter()
+            .filter(|e| e.name == "process_name")
+            .map(|e| e.pid)
+            .collect();
+        assert_eq!(pids, vec![2, 102]);
+        let burst_proc = grouped
+            .traceEvents
+            .iter()
+            .find(|e| e.name == "process_name" && e.pid == 102)
+            .unwrap();
+        assert!(burst_proc.args.detail.contains("burst"));
+    }
+}

@@ -1,0 +1,250 @@
+//! The machine-readable end-to-end report (`BENCH_e2e.json`).
+//!
+//! One [`MethodReport`] per attention method compares three views of the
+//! same run: the *measured* wire time summed from `Send` spans, the
+//! *exact-count* analytic prediction, and the paper's Table 1 closed form
+//! from `crates/perf` — so the simulator and the analytic model cross-check
+//! each other in CI. Overlap efficiency and modeled MFU summarise where
+//! the virtual time went.
+
+use crate::span::{wait_compute_secs, wire_secs, RankTrace};
+use serde::{Deserialize, Serialize};
+
+/// `1 − wait/(wait+compute)`: the fraction of busy time not spent blocked
+/// on the network. Defined as `1.0` for the degenerate cluster with no
+/// busy time at all (1 rank, 0 compute) — there is nothing to overlap.
+pub fn overlap_efficiency(wait_secs: f64, compute_secs: f64) -> f64 {
+    let busy = wait_secs + compute_secs;
+    if busy <= 0.0 {
+        1.0
+    } else {
+        1.0 - wait_secs / busy
+    }
+}
+
+/// Model FLOPs utilisation: useful FLOPs divided by what `world` devices
+/// of `peak_flops` each could have done in `makespan_secs`. Zero for a
+/// degenerate (zero-time or zero-device) run.
+pub fn mfu(useful_flops: f64, makespan_secs: f64, world: usize, peak_flops: f64) -> f64 {
+    let budget = makespan_secs * peak_flops * world as f64;
+    if budget <= 0.0 {
+        0.0
+    } else {
+        useful_flops / budget
+    }
+}
+
+/// Useful FLOPs of one causal attention layer pass (forward + backward):
+/// 4 matmul-FLOPs per allowed (query, key) pair forward and 10 backward,
+/// with `n (n + 1) / 2` causally allowed pairs, each of width `d`.
+pub fn causal_attn_flops(seq_len: usize, head_dim: usize) -> f64 {
+    let n = seq_len as f64;
+    let pairs = n * (n + 1.0) / 2.0;
+    14.0 * head_dim as f64 * pairs
+}
+
+/// Everything we know about one method's run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MethodReport {
+    /// Method name: `"ring"`, `"double_ring"`, `"burst"`, `"burst_topo"`.
+    pub method: String,
+    pub world: usize,
+    /// Max final clock across ranks.
+    pub makespan_secs: f64,
+    /// Kernel seconds summed over ranks.
+    pub compute_secs: f64,
+    /// Wait seconds summed over ranks.
+    pub wait_secs: f64,
+    pub overlap_efficiency: f64,
+    pub mfu: f64,
+    pub tokens_per_gpu_per_sec: f64,
+    /// Wire seconds measured from `Send` spans (latency + serialization).
+    pub comm_measured_secs: f64,
+    pub comm_measured_intra_secs: f64,
+    pub comm_measured_inter_secs: f64,
+    /// Exact-count analytic prediction from `crates/perf`.
+    pub comm_predicted_secs: f64,
+    /// The paper's Table 1 closed form (coarse; reported for reference).
+    pub comm_table1_secs: f64,
+    /// `|measured − predicted| / predicted` (0 when predicted is 0).
+    pub comm_rel_err: f64,
+}
+
+impl MethodReport {
+    /// Assemble a report from the per-rank traces of one run plus the two
+    /// analytic comm-time predictions.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_traces(
+        method: &str,
+        traces: &[RankTrace],
+        seq_len: usize,
+        head_dim: usize,
+        peak_flops: f64,
+        comm_predicted_secs: f64,
+        comm_table1_secs: f64,
+    ) -> MethodReport {
+        let world = traces.len();
+        let makespan = traces.iter().map(|t| t.end_time).fold(0.0, f64::max);
+        let (wait, compute) = wait_compute_secs(traces);
+        let (intra, inter) = wire_secs(traces);
+        let measured = intra + inter;
+        let rel_err = if comm_predicted_secs > 0.0 {
+            (measured - comm_predicted_secs).abs() / comm_predicted_secs
+        } else {
+            0.0
+        };
+        let denom = makespan * world as f64;
+        MethodReport {
+            method: method.to_string(),
+            world,
+            makespan_secs: makespan,
+            compute_secs: compute,
+            wait_secs: wait,
+            overlap_efficiency: overlap_efficiency(wait, compute),
+            mfu: mfu(
+                causal_attn_flops(seq_len, head_dim),
+                makespan,
+                world,
+                peak_flops,
+            ),
+            tokens_per_gpu_per_sec: if denom > 0.0 {
+                seq_len as f64 / denom
+            } else {
+                0.0
+            },
+            comm_measured_secs: measured,
+            comm_measured_intra_secs: intra,
+            comm_measured_inter_secs: inter,
+            comm_predicted_secs,
+            comm_table1_secs,
+            comm_rel_err: rel_err,
+        }
+    }
+}
+
+/// The `BENCH_e2e.json` document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct E2eReport {
+    /// Schema tag, currently `"burst-e2e/v1"`; CI checks it.
+    pub schema: String,
+    pub nodes: usize,
+    pub gpus_per_node: usize,
+    pub seq_len: usize,
+    pub head_dim: usize,
+    pub methods: Vec<MethodReport>,
+}
+
+impl E2eReport {
+    pub const SCHEMA: &'static str = "burst-e2e/v1";
+
+    pub fn new(nodes: usize, gpus_per_node: usize, seq_len: usize, head_dim: usize) -> Self {
+        E2eReport {
+            schema: Self::SCHEMA.to_string(),
+            nodes,
+            gpus_per_node,
+            seq_len,
+            head_dim,
+            methods: Vec::new(),
+        }
+    }
+
+    /// Structural checks CI runs on the emitted JSON: schema tag, all
+    /// methods populated with positive makespan, finite efficiency/MFU.
+    pub fn validate_schema(&self) -> Result<(), String> {
+        if self.schema != Self::SCHEMA {
+            return Err(format!(
+                "schema is `{}`, want `{}`",
+                self.schema,
+                Self::SCHEMA
+            ));
+        }
+        if self.methods.is_empty() {
+            return Err("no methods in report".to_string());
+        }
+        for m in &self.methods {
+            if m.makespan_secs <= 0.0 {
+                return Err(format!("method `{}` has non-positive makespan", m.method));
+            }
+            if !(0.0..=1.0).contains(&m.overlap_efficiency) {
+                return Err(format!(
+                    "method `{}` overlap efficiency {} outside [0, 1]",
+                    m.method, m.overlap_efficiency
+                ));
+            }
+            if !m.mfu.is_finite() || m.mfu < 0.0 {
+                return Err(format!(
+                    "method `{}` MFU {} not finite/non-negative",
+                    m.method, m.mfu
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{RankSink, SpanKind};
+
+    #[test]
+    fn overlap_efficiency_edges() {
+        assert_eq!(overlap_efficiency(0.0, 0.0), 1.0); // degenerate: nothing to hide
+        assert_eq!(overlap_efficiency(0.0, 2.0), 1.0); // perfectly overlapped
+        assert_eq!(overlap_efficiency(1.0, 1.0), 0.5);
+        assert_eq!(overlap_efficiency(3.0, 0.0), 0.0); // pure blocking
+    }
+
+    #[test]
+    fn mfu_edges() {
+        assert_eq!(mfu(100.0, 0.0, 8, 1e12), 0.0);
+        let v = mfu(1e12, 1.0, 1, 1e12);
+        assert!((v - 1.0).abs() < 1e-12);
+    }
+
+    fn busy_trace(rank: usize, compute: f64, wait: f64) -> RankTrace {
+        let mut sink = RankSink::with_capacity(rank, 8);
+        sink.leaf(SpanKind::Kernel, "k", 0.0, compute, u32::MAX, 0, false);
+        sink.leaf(
+            SpanKind::Wait,
+            "w",
+            compute,
+            compute + wait,
+            u32::MAX,
+            0,
+            false,
+        );
+        sink.leaf(SpanKind::Send, "s", 0.0, 0.25, 1, 128, true);
+        sink.finish(compute + wait)
+    }
+
+    #[test]
+    fn method_report_from_traces() {
+        let traces = vec![busy_trace(0, 0.6, 0.2), busy_trace(1, 0.7, 0.1)];
+        let r = MethodReport::from_traces("ring", &traces, 1024, 64, 312e12, 0.5, 0.6);
+        assert_eq!(r.world, 2);
+        assert!((r.makespan_secs - 0.8).abs() < 1e-12);
+        assert!((r.compute_secs - 1.3).abs() < 1e-12);
+        assert!((r.wait_secs - 0.3).abs() < 1e-12);
+        assert!((r.overlap_efficiency - (1.0 - 0.3 / 1.6)).abs() < 1e-12);
+        assert!((r.comm_measured_secs - 0.5).abs() < 1e-12);
+        assert!(r.comm_rel_err < 1e-9, "measured matches prediction exactly");
+        assert!(r.mfu > 0.0 && r.mfu < 1.0);
+        assert!(r.tokens_per_gpu_per_sec > 0.0);
+    }
+
+    #[test]
+    fn e2e_report_schema_and_serde() {
+        let mut report = E2eReport::new(2, 4, 2048, 64);
+        assert!(report.validate_schema().is_err(), "empty methods rejected");
+        let traces = vec![busy_trace(0, 0.6, 0.2)];
+        report.methods.push(MethodReport::from_traces(
+            "burst", &traces, 2048, 64, 312e12, 0.5, 0.5,
+        ));
+        report.validate_schema().unwrap();
+        let text = serde_json::to_string_pretty(&report).unwrap();
+        let back: E2eReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, report);
+        assert!(text.contains("burst-e2e/v1"));
+    }
+}

@@ -71,6 +71,137 @@ pub fn layer_comm_times(cluster: &Cluster, seq_len: usize, d_model: usize) -> Co
     comm_times(cluster, partition_bytes(seq_len, d_model, cluster.world()))
 }
 
+/// One of the three ring disciplines of Table 1, for the exact census.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RingMethod {
+    /// Flat-ring forward + Algorithm 1 backward (RingAttention).
+    Ring,
+    /// Two-level forward + Algorithm 1 backward (LoongTrain DoubleRing).
+    DoubleRing,
+    /// Two-level forward + Algorithm 2 backward (full BurstAttention).
+    Burst,
+}
+
+/// Exact wire-message census of one attention layer (forward + backward),
+/// aggregated over every rank and split by link class.
+///
+/// Unlike the Table 1 closed forms above — which approximate the
+/// *critical-path* communication time of a ring pass — this census counts
+/// each point-to-point message the schedules actually post, so
+/// `secs = msgs · latency + bytes / bandwidth` per link class reproduces
+/// the simulator's per-message wire occupancy (the sum over `Send` spans
+/// of `arrival − depart`) exactly on the fault-free path. The observability
+/// report gates measured-vs-predicted divergence on this quantity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct WireCounts {
+    pub intra_msgs: u64,
+    pub inter_msgs: u64,
+    pub intra_bytes: f64,
+    pub inter_bytes: f64,
+}
+
+impl WireCounts {
+    fn add(&mut self, inter: bool, msgs: u64, bytes_each: f64) {
+        if inter {
+            self.inter_msgs += msgs;
+            self.inter_bytes += msgs as f64 * bytes_each;
+        } else {
+            self.intra_msgs += msgs;
+            self.intra_bytes += msgs as f64 * bytes_each;
+        }
+    }
+
+    pub fn msgs(&self) -> u64 {
+        self.intra_msgs + self.inter_msgs
+    }
+
+    pub fn bytes(&self) -> f64 {
+        self.intra_bytes + self.inter_bytes
+    }
+
+    /// Total wire occupancy: every message pays its link's latency plus
+    /// serialization, summed over both link classes.
+    pub fn secs(&self, cluster: &Cluster) -> f64 {
+        self.intra_msgs as f64 * cluster.nvlink.latency
+            + self.intra_bytes / cluster.nvlink.bandwidth
+            + self.inter_msgs as f64 * cluster.nic.latency
+            + self.inter_bytes / cluster.nic.bandwidth
+    }
+}
+
+/// Count every message the schedule for `method` posts, over all ranks,
+/// for per-rank partitions of `seq_len / world` rows of width `d` (bf16 on
+/// the wire). The per-rank counts mirror the send sites in `burst-dattn`:
+///
+/// * flat ring: `2(G−1)` forward + `4G` Algorithm 1 backward `Mat` hops on
+///   each rank's single outgoing edge; `nodes` of the `G` edges cross a
+///   node boundary when `nodes > 1`;
+/// * two-level forward: `2(n−1)` inter + `2n(p−1)` intra `Mat` hops;
+/// * Algorithm 1 over the two-level ring adds `4(n−1)` inter +
+///   `4n(p−1)` intra hops plus the completion hops (`2` inter when
+///   `n > 1`, `2·(n mod p)` intra);
+/// * Algorithm 2 over the two-level ring moves the read-only bundle
+///   (2 `Mat` + 2 `Vec`) along the forward traversal and streams one `∇Q`
+///   `Mat` per slot, `n` of them on the inter diagonal when `n > 1`.
+pub fn exact_wire_counts(
+    cluster: &Cluster,
+    seq_len: usize,
+    d: usize,
+    method: RingMethod,
+) -> WireCounts {
+    let g = cluster.world();
+    let (n, p) = (cluster.nodes as u64, cluster.gpus_per_node as u64);
+    let m = seq_len as f64 / g as f64;
+    let mat = m * d as f64 * 2.0;
+    let vec = m * 2.0;
+    let mut w = WireCounts::default();
+    if g == 1 {
+        return w; // single rank: both backwards early-return, no sends
+    }
+    let gr = g as u64;
+    match method {
+        RingMethod::Ring => {
+            let per_rank = 2 * (gr - 1) + 4 * gr;
+            let inter_ranks = if n > 1 { n } else { 0 };
+            w.add(true, inter_ranks * per_rank, mat);
+            w.add(false, (gr - inter_ranks) * per_rank, mat);
+        }
+        RingMethod::DoubleRing => {
+            let inter_per = 6 * (n - 1) + if n > 1 { 2 } else { 0 };
+            let intra_per = 6 * n * (p - 1) + 2 * (n % p);
+            w.add(true, gr * inter_per, mat);
+            w.add(false, gr * intra_per, mat);
+        }
+        RingMethod::Burst => {
+            // Forward K/V and the backward read-only Q/∇O share the
+            // two-level traversal: 2 Mat hops each way per boundary.
+            let ro_inter = n - 1;
+            let ro_intra = n * (p - 1);
+            w.add(true, gr * 4 * ro_inter, mat);
+            w.add(true, gr * 2 * ro_inter, vec);
+            w.add(false, gr * 4 * ro_intra, mat);
+            w.add(false, gr * 2 * ro_intra, vec);
+            // ∇Q stream: one Mat per slot; the `n` diagonal hops cross
+            // nodes when there is more than one.
+            let dq_inter = if n > 1 { n } else { 0 };
+            w.add(true, gr * dq_inter, mat);
+            w.add(false, gr * (n * p - dq_inter), mat);
+        }
+    }
+    w
+}
+
+/// The exact-census counterpart of [`layer_comm_times`]: total wire
+/// occupancy per method for one layer, summed over all ranks.
+pub fn exact_comm_times(cluster: &Cluster, seq_len: usize, d_model: usize) -> CommTimes {
+    CommTimes {
+        ring: exact_wire_counts(cluster, seq_len, d_model, RingMethod::Ring).secs(cluster),
+        double_ring: exact_wire_counts(cluster, seq_len, d_model, RingMethod::DoubleRing)
+            .secs(cluster),
+        burst: exact_wire_counts(cluster, seq_len, d_model, RingMethod::Burst).secs(cluster),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,6 +268,60 @@ mod tests {
             r8 >= r2,
             "advantage should not shrink: 2 nodes {r2}, 8 nodes {r8}"
         );
+    }
+
+    #[test]
+    fn exact_census_matches_hand_count() {
+        // 2 nodes × 2 GPUs, 8 tokens, d = 4: m = 2 rows, Mat = 16 bytes.
+        let c = Cluster::a800(2, 2);
+        let w = exact_wire_counts(&c, 8, 4, RingMethod::Ring);
+        // Per rank 2·3 fwd + 4·4 bwd = 22 Mat hops; 2 of 4 edges are inter.
+        assert_eq!(w.inter_msgs, 2 * 22);
+        assert_eq!(w.intra_msgs, 2 * 22);
+        assert_eq!(w.inter_bytes, 44.0 * 16.0);
+
+        let w = exact_wire_counts(&c, 8, 4, RingMethod::DoubleRing);
+        // Per rank inter: 6·1 + 2 completion = 8; intra: 6·2·1 + 2·(2%2) = 12.
+        assert_eq!(w.inter_msgs, 4 * 8);
+        assert_eq!(w.intra_msgs, 4 * 12);
+
+        let w = exact_wire_counts(&c, 8, 4, RingMethod::Burst);
+        // Per rank inter: 4 Mat read-only + 2 Vec + 2 ∇Q; intra: 8 Mat
+        // read-only + 4 Vec + 2 ∇Q.
+        assert_eq!(w.inter_msgs, 4 * 8);
+        assert_eq!(w.intra_msgs, 4 * 14);
+        assert_eq!(w.inter_bytes, 4.0 * (6.0 * 16.0 + 2.0 * 4.0));
+    }
+
+    #[test]
+    fn exact_burst_moves_fewest_bytes() {
+        let c = cluster();
+        let ring = exact_wire_counts(&c, 1 << 16, 128, RingMethod::Ring);
+        let double = exact_wire_counts(&c, 1 << 16, 128, RingMethod::DoubleRing);
+        let burst = exact_wire_counts(&c, 1 << 16, 128, RingMethod::Burst);
+        assert!(burst.bytes() < double.bytes());
+        assert!(burst.bytes() < ring.bytes());
+        let t = exact_comm_times(&c, 1 << 16, 128);
+        assert!(t.burst < t.double_ring);
+    }
+
+    #[test]
+    fn exact_census_single_node_has_no_inter_traffic() {
+        let c = Cluster::a800(1, 8);
+        for method in [RingMethod::Ring, RingMethod::DoubleRing, RingMethod::Burst] {
+            let w = exact_wire_counts(&c, 1 << 12, 64, method);
+            assert_eq!(w.inter_msgs, 0, "{method:?}");
+            assert_eq!(w.inter_bytes, 0.0, "{method:?}");
+            assert!(w.intra_msgs > 0, "{method:?}");
+        }
+    }
+
+    #[test]
+    fn exact_census_single_rank_is_silent() {
+        let c = Cluster::a800(1, 1);
+        for method in [RingMethod::Ring, RingMethod::DoubleRing, RingMethod::Burst] {
+            assert_eq!(exact_wire_counts(&c, 64, 8, method).msgs(), 0);
+        }
     }
 
     #[test]
