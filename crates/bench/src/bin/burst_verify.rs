@@ -1,0 +1,409 @@
+//! `burst-verify`: the self-validating differential gate, as a binary.
+//!
+//! Runs a seeded matrix of every distributed attention schedule (flat ring,
+//! BurstAttention, double-ring, topology-aware Burst, Ulysses, USP, and the
+//! elastic shrunken ring) plus full engine train steps against the serial
+//! `f64` oracle from `crates/verify`, including one fault + recovery case
+//! per schedule. Prints one line per cell and exits non-zero on the first
+//! divergence — which is what the CI `verify` job keys on.
+//!
+//! ```text
+//! cargo run --release -p burst-bench --bin burst-verify -- \
+//!     [--seeds 3] [--seed-base 100] [--steps 3] [--out target/burst-verify]
+//! ```
+//!
+//! The report (`VERIFY.json`) records every cell with its worst observed
+//! deviation, so a red CI run ships the exact failing configuration.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use burst_comm::{FaultPlan, Topology};
+use burst_dattn::{Algo, Layout};
+use burst_kernels::AttnMask;
+use burst_model::engine::{Backend, EngineConfig};
+use burst_verify::diff::{
+    attn_inputs, engine_resume, engine_run, run_elastic, run_ring_family, run_ulysses, run_usp,
+    GlobalAttn,
+};
+use burst_verify::oracle::{oracle_attention, oracle_train, OracleAttn};
+use burst_verify::{
+    compare_slice, Divergence, ORACLE_ATTN_ATOL, ORACLE_ATTN_RTOL, ORACLE_GRAD_ATOL,
+    ORACLE_GRAD_RTOL, ORACLE_TRAIN_ATOL, ORACLE_TRAIN_RTOL,
+};
+
+struct Args {
+    seeds: u64,
+    seed_base: u64,
+    steps: usize,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seeds: 3,
+        seed_base: 100,
+        steps: 3,
+        out: "target/burst-verify".to_string(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let mut value = |name: &str| -> Result<String, String> {
+            i += 1;
+            argv.get(i)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag {
+            "--seeds" => {
+                args.seeds = value("--seeds")?
+                    .parse()
+                    .map_err(|e| format!("--seeds: {e}"))?
+            }
+            "--seed-base" => {
+                args.seed_base = value("--seed-base")?
+                    .parse()
+                    .map_err(|e| format!("--seed-base: {e}"))?
+            }
+            "--steps" => {
+                args.steps = value("--steps")?
+                    .parse()
+                    .map_err(|e| format!("--steps: {e}"))?
+            }
+            "--out" => args.out = value("--out")?,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+    if args.seeds == 0 || args.steps == 0 {
+        return Err("--seeds and --steps must be positive".to_string());
+    }
+    Ok(args)
+}
+
+/// One matrix cell's outcome, for the JSON report.
+struct Cell {
+    name: String,
+    seed: u64,
+    ok: bool,
+    detail: String,
+}
+
+fn check_attn(
+    label: &str,
+    got: &GlobalAttn,
+    want: &OracleAttn,
+    with_lse: bool,
+) -> Result<(), Divergence> {
+    compare_slice(
+        &format!("{label}/o"),
+        got.o.as_slice(),
+        want.o.as_slice(),
+        ORACLE_ATTN_ATOL,
+        ORACLE_ATTN_RTOL,
+    )?;
+    if with_lse {
+        compare_slice(
+            &format!("{label}/lse"),
+            &got.lse,
+            &want.lse,
+            ORACLE_ATTN_ATOL,
+            ORACLE_ATTN_RTOL,
+        )?;
+    }
+    for (what, g, w) in [
+        ("dq", &got.dq, &want.dq),
+        ("dk", &got.dk, &want.dk),
+        ("dv", &got.dv, &want.dv),
+    ] {
+        compare_slice(
+            &format!("{label}/{what}"),
+            g.as_slice(),
+            w.as_slice(),
+            ORACLE_GRAD_ATOL,
+            ORACLE_GRAD_RTOL,
+        )?;
+    }
+    Ok(())
+}
+
+fn oracle_for(n: usize, d: usize, seed: u64, mask: &AttnMask) -> OracleAttn {
+    let (q, k, v, go) = attn_inputs(n, d, seed);
+    oracle_attention(&q, &k, &v, &go, 1.0 / (d as f32).sqrt(), mask)
+}
+
+/// The attention half of the matrix: every schedule, clean and faulted.
+fn attention_cells(seed: u64, cells: &mut Vec<Cell>) {
+    let g = 4usize;
+    let (n, d, heads) = (8 * g, 8usize, 4usize);
+    let topo = Topology::single_node(g);
+    let multi = Topology::a800(2, 2);
+    let delay = FaultPlan::new(seed)
+        .delay_link(0, 1, 3e-3, 1e-3)
+        .slow_compute((seed % g as u64) as usize, 2.0);
+
+    let ring_algos = [
+        ("ring-flat", Algo::RingFlat),
+        ("burst-flat", Algo::BurstFlat),
+        ("double-ring", Algo::DoubleRing),
+        ("burst-topo", Algo::BurstTopo),
+    ];
+    let want = oracle_for(n, d, seed, &AttnMask::Causal);
+    for (name, algo) in ring_algos {
+        for (variant, topo, plan) in [
+            ("clean", &topo, None),
+            ("multinode", &multi, None),
+            ("delay-fault", &topo, Some(&delay)),
+        ] {
+            let label = format!("attn/{name}/{variant}");
+            let outcome = run_ring_family(
+                algo,
+                Layout::Zigzag,
+                topo,
+                n,
+                d,
+                seed,
+                &AttnMask::Causal,
+                plan,
+            )
+            .map_err(|e| e.to_string())
+            .and_then(|got| check_attn(&label, &got, &want, true).map_err(|d| d.to_string()));
+            push(cells, &label, seed, outcome);
+        }
+    }
+
+    for (variant, plan) in [("clean", None), ("delay-fault", Some(&delay))] {
+        let label = format!("attn/ulysses/{variant}");
+        let outcome = run_ulysses(&topo, n, d, heads, seed, &AttnMask::Causal, plan)
+            .map_err(|e| e.to_string())
+            .and_then(|got| {
+                for (h, got_h) in got.iter().enumerate() {
+                    let want =
+                        oracle_for(n, d, seed.wrapping_mul(64) + h as u64, &AttnMask::Causal);
+                    check_attn(&format!("{label}/head{h}"), got_h, &want, false)
+                        .map_err(|d| d.to_string())?;
+                }
+                Ok(())
+            });
+        push(cells, &label, seed, outcome);
+
+        let label = format!("attn/usp-u2/{variant}");
+        let outcome = run_usp(&topo, n, d, heads, 2, seed, &AttnMask::Causal, plan)
+            .map_err(|e| e.to_string())
+            .and_then(|got| {
+                for (h, got_h) in got.iter().enumerate() {
+                    let want =
+                        oracle_for(n, d, seed.wrapping_mul(64) + h as u64, &AttnMask::Causal);
+                    check_attn(&format!("{label}/head{h}"), got_h, &want, false)
+                        .map_err(|d| d.to_string())?;
+                }
+                Ok(())
+            });
+        push(cells, &label, seed, outcome);
+    }
+
+    // Elastic: crash one rank mid-ring, survivors evict + re-run. The
+    // fault+recovery cell of the ring family.
+    let dead = (seed % g as u64) as usize;
+    let crash = FaultPlan::new(seed).crash_at_op(dead, 3 + seed % 6);
+    let label = "attn/elastic/crash-recover".to_string();
+    let outcome = run_elastic(g, 24, d, seed, Some(&crash))
+        .map_err(|e| e.to_string())
+        .and_then(|out| {
+            if out.evicted != vec![dead] {
+                return Err(format!("evicted {:?}, expected [{dead}]", out.evicted));
+            }
+            let want = oracle_for(24, d, seed, &AttnMask::Causal);
+            check_attn(&label, &out.attn, &want, true).map_err(|d| d.to_string())
+        });
+    push(cells, &label, seed, outcome);
+}
+
+/// The engine half: every backend trains against the oracle train-step,
+/// with a poisoned-gradient skip + resume case per backend.
+fn engine_cells(seed: u64, steps: usize, cells: &mut Vec<Cell>) {
+    let backends = [
+        ("local", Backend::Local),
+        ("ring-flat", Backend::Ring(Algo::RingFlat)),
+        ("burst-flat", Backend::Ring(Algo::BurstFlat)),
+        ("double-ring", Backend::Ring(Algo::DoubleRing)),
+        ("burst-topo", Backend::Ring(Algo::BurstTopo)),
+        ("ulysses", Backend::Ulysses),
+        ("usp-u2", Backend::Usp { ulysses_size: 2 }),
+    ];
+    for (name, backend) in backends {
+        let g = match backend {
+            Backend::Local => 1,
+            Backend::Ulysses => 2,
+            _ => 4,
+        };
+        let mut cfg = EngineConfig::tiny(backend);
+        cfg.seed = seed;
+        let topo = Topology::single_node(g);
+
+        let label = format!("engine/{name}/clean");
+        let want = oracle_train(&cfg, steps, &[]);
+        let outcome = engine_run(&cfg, &topo, steps, None)
+            .map_err(|e| e.to_string())
+            .and_then(|run| {
+                compare_slice(
+                    &format!("{label}/losses"),
+                    &run.losses,
+                    &want.losses,
+                    ORACLE_TRAIN_ATOL,
+                    ORACLE_TRAIN_RTOL,
+                )
+                .and_then(|()| {
+                    compare_slice(
+                        &format!("{label}/flat"),
+                        &run.flat,
+                        &want.flat,
+                        ORACLE_TRAIN_ATOL,
+                        ORACLE_TRAIN_RTOL,
+                    )
+                })
+                .map_err(|d| d.to_string())
+            });
+        push(cells, &label, seed, outcome);
+
+        // Fault + resume: poison a gradient at step 1, expect a lockstep
+        // skip matching the skipping oracle, then resume past the cut and
+        // demand bit-identical state with the uninterrupted faulty run.
+        let label = format!("engine/{name}/poison-skip-resume");
+        let bad_rank = (seed % g as u64) as usize;
+        let plan = FaultPlan::new(seed).poison_grad(bad_rank, 1, f32::NAN);
+        let want = oracle_train(&cfg, steps, &[1]);
+        let outcome = engine_run(&cfg, &topo, steps, Some(&plan))
+            .map_err(|e| e.to_string())
+            .and_then(|run| {
+                if run.skipped != 1 {
+                    return Err(format!("expected 1 skipped step, saw {}", run.skipped));
+                }
+                compare_slice(
+                    &format!("{label}/flat"),
+                    &run.flat,
+                    &want.flat,
+                    ORACLE_TRAIN_ATOL,
+                    ORACLE_TRAIN_RTOL,
+                )
+                .map_err(|d| d.to_string())?;
+                let resumed =
+                    engine_resume(&cfg, &topo, 2, steps, Some(&plan)).map_err(|e| e.to_string())?;
+                if resumed
+                    .flat
+                    .iter()
+                    .zip(&run.flat)
+                    .any(|(a, b)| a.to_bits() != b.to_bits())
+                {
+                    return Err("resume after poisoned step is not bit-exact".to_string());
+                }
+                Ok(())
+            });
+        push(cells, &label, seed, outcome);
+    }
+}
+
+fn push(cells: &mut Vec<Cell>, label: &str, seed: u64, outcome: Result<(), String>) {
+    let (ok, detail) = match outcome {
+        Ok(()) => (true, "ok".to_string()),
+        Err(e) => (false, e),
+    };
+    println!(
+        "{} {label} [seed {seed}]{}",
+        if ok { "PASS" } else { "FAIL" },
+        if ok {
+            String::new()
+        } else {
+            format!(": {detail}")
+        }
+    );
+    cells.push(Cell {
+        name: label.to_string(),
+        seed,
+        ok,
+        detail,
+    });
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let mut cells = Vec::new();
+    for s in 0..args.seeds {
+        let seed = args.seed_base + s;
+        attention_cells(seed, &mut cells);
+        engine_cells(seed, args.steps, &mut cells);
+    }
+    let failed: Vec<&Cell> = cells.iter().filter(|c| !c.ok).collect();
+
+    std::fs::create_dir_all(&args.out).map_err(|e| format!("mkdir {}: {e}", args.out))?;
+    let path = format!("{}/VERIFY.json", args.out);
+    let mut f = std::fs::File::create(&path).map_err(|e| format!("create {path}: {e}"))?;
+    writeln!(f, "{{").map_err(|e| e.to_string())?;
+    writeln!(
+        f,
+        "  \"cells\": {}, \"failed\": {}, \"seeds\": {},",
+        cells.len(),
+        failed.len(),
+        args.seeds
+    )
+    .map_err(|e| e.to_string())?;
+    writeln!(f, "  \"results\": [").map_err(|e| e.to_string())?;
+    for (i, c) in cells.iter().enumerate() {
+        writeln!(
+            f,
+            "    {{\"name\": \"{}\", \"seed\": {}, \"ok\": {}, \"detail\": \"{}\"}}{}",
+            json_escape(&c.name),
+            c.seed,
+            c.ok,
+            json_escape(&c.detail),
+            if i + 1 == cells.len() { "" } else { "," }
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    writeln!(f, "  ]").map_err(|e| e.to_string())?;
+    writeln!(f, "}}").map_err(|e| e.to_string())?;
+
+    println!(
+        "burst-verify: {}/{} cells passed; report at {path}",
+        cells.len() - failed.len(),
+        cells.len()
+    );
+    if failed.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} cell(s) diverged: {}",
+            failed.len(),
+            failed
+                .iter()
+                .map(|c| c.name.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ))
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!(
+                "burst-verify: {e}\nusage: burst-verify [--seeds N] [--seed-base B] \
+                 [--steps S] [--out DIR]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("burst-verify: FAIL: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -112,6 +112,81 @@ proptest! {
         prop_assert_eq!(run(), run());
     }
 
+    /// all-to-all with *heterogeneous* block shapes: each (src, dst) pair
+    /// carries its own row count, so misrouting or reordering cannot hide
+    /// behind uniform shapes. Running it twice (sending back what arrived)
+    /// must restore every original payload bit-for-bit — including on
+    /// single-rank and non-power-of-two worlds.
+    #[test]
+    fn all_to_all_roundtrip_restores_ragged_payloads(
+        g in prop_oneof![Just(1usize), Just(2), Just(3), Just(5)],
+        cols in 1usize..4,
+        salt in 0u64..1000,
+    ) {
+        let world = World::new(Topology::single_node(g));
+        let outs = world.run_results(move |comm| {
+            let me = comm.rank();
+            let original: Vec<Mat> = (0..g)
+                .map(|d| rank_mat(me * 31 + d, 1 + (me + d) % 3, cols, salt))
+                .collect();
+            let received = comm.all_to_all_mat(original.clone());
+            let returned = comm.all_to_all_mat(received);
+            (original, returned)
+        });
+        for (original, returned) in &outs {
+            for (a, b) in original.iter().zip(returned) {
+                prop_assert_eq!(a.rows(), b.rows());
+                prop_assert!(a.as_slice().iter().zip(b.as_slice())
+                    .all(|(x, y)| x.to_bits() == y.to_bits()));
+            }
+        }
+    }
+
+    /// reduce-scatter on a single-rank world is the identity on the one
+    /// part — bitwise, no wire traffic.
+    #[test]
+    fn reduce_scatter_single_rank_is_identity(
+        rows in 1usize..6,
+        cols in 1usize..5,
+        salt in 0u64..1000,
+    ) {
+        let world = World::new(Topology::single_node(1));
+        let outs = world.run(move |comm| {
+            let part = rank_mat(0, rows, cols, salt);
+            let got = comm.reduce_scatter_mat(std::slice::from_ref(&part));
+            (part, got)
+        });
+        let (part, got) = &outs[0].result;
+        prop_assert!(part.as_slice().iter().zip(got.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+        prop_assert_eq!(outs[0].stats.total_msgs(), 0);
+    }
+
+    /// reduce-scatter on awkward world sizes (3, 5, 6 — never a power of
+    /// two) with per-destination column widths still sums exactly the
+    /// right parts for exactly the right destination.
+    #[test]
+    fn reduce_scatter_non_power_of_two_worlds(
+        g in prop_oneof![Just(3usize), Just(5), Just(6)],
+        rows in 1usize..4,
+        salt in 0u64..1000,
+    ) {
+        let world = World::new(Topology::single_node(g));
+        let outs = world.run_results(move |comm| {
+            let parts: Vec<Mat> = (0..g)
+                .map(|d| rank_mat(comm.rank() * 17 + d, rows, 3, salt))
+                .collect();
+            comm.reduce_scatter_mat(&parts)
+        });
+        for (dst, got) in outs.iter().enumerate() {
+            let mut expect = rank_mat(dst, rows, 3, salt);
+            for src in 1..g {
+                expect.add_assign(&rank_mat(src * 17 + dst, rows, 3, salt));
+            }
+            prop_assert!(burst_tensor::testutil::allclose(got, &expect, 1e-4, 1e-4));
+        }
+    }
+
     #[test]
     fn broadcast_reaches_everyone(
         g in 2usize..6,

@@ -1,0 +1,430 @@
+//! The differential harness: run a distributed schedule on the simulated
+//! cluster, reassemble the sharded outputs into **global row order**, and
+//! hand back something directly comparable to the serial oracle.
+//!
+//! Every runner here returns per-token tensors indexed by global position,
+//! regardless of how the schedule sharded the sequence (contiguous, zigzag,
+//! striped, head-parallel, or an elastic re-partition after an eviction) —
+//! reassembly is the harness's job so the comparisons stay one-liners.
+
+use burst_comm::{CommError, FaultPlan, Membership, RetryPolicy, Topology, World};
+use burst_dattn::ring::AttnFailure;
+use burst_dattn::ulysses::{try_ulysses_backward, try_ulysses_forward};
+use burst_dattn::usp::{try_usp_backward, try_usp_forward, UspTopo};
+use burst_dattn::{
+    try_elastic_attention, try_run_attention, Algo, CostModel, DattnError, Layout, ShardData,
+};
+use burst_kernels::AttnMask;
+use burst_model::engine::{run_span, EngineConfig};
+use burst_model::Model;
+use burst_tensor::{randn_mat, Mat};
+
+/// A schedule's attention outputs reassembled into global row order.
+#[derive(Debug, Clone)]
+pub struct GlobalAttn {
+    pub o: Mat,
+    pub lse: Vec<f32>,
+    pub dq: Mat,
+    pub dk: Mat,
+    pub dv: Mat,
+}
+
+impl GlobalAttn {
+    fn empty(n: usize, d: usize) -> Self {
+        GlobalAttn {
+            o: Mat::zeros(n, d),
+            lse: vec![0.0; n],
+            dq: Mat::zeros(n, d),
+            dk: Mat::zeros(n, d),
+            dv: Mat::zeros(n, d),
+        }
+    }
+
+    fn scatter(&mut self, idx: &[usize], o: &Mat, lse: &[f32], dq: &Mat, dk: &Mat, dv: &Mat) {
+        for (r, &g) in idx.iter().enumerate() {
+            self.o.row_mut(g).copy_from_slice(o.row(r));
+            self.lse[g] = lse[r];
+            self.dq.row_mut(g).copy_from_slice(dq.row(r));
+            self.dk.row_mut(g).copy_from_slice(dk.row(r));
+            self.dv.row_mut(g).copy_from_slice(dv.row(r));
+        }
+    }
+}
+
+/// Deterministic global Q/K/V/∇O for a differential case.
+pub fn attn_inputs(n: usize, d: usize, seed: u64) -> (Mat, Mat, Mat, Mat) {
+    (
+        randn_mat(n, d, 0.7, seed.wrapping_mul(4) + 1),
+        randn_mat(n, d, 0.7, seed.wrapping_mul(4) + 2),
+        randn_mat(n, d, 0.7, seed.wrapping_mul(4) + 3),
+        randn_mat(n, d, 0.8, seed.wrapping_mul(4) + 4),
+    )
+}
+
+fn head_scale(d: usize) -> f32 {
+    1.0 / (d as f32).sqrt()
+}
+
+fn world_for(topo: &Topology, plan: Option<&FaultPlan>) -> World {
+    match plan {
+        Some(p) => World::with_faults(topo.clone(), p.clone()),
+        None => World::new(topo.clone()),
+    }
+}
+
+/// Run a ring-family schedule (flat ring, BurstAttention backward,
+/// double-ring, or topology-aware Burst) and reassemble.
+#[allow(clippy::too_many_arguments)]
+pub fn run_ring_family(
+    algo: Algo,
+    layout: Layout,
+    topo: &Topology,
+    n: usize,
+    d: usize,
+    seed: u64,
+    mask: &AttnMask,
+    plan: Option<&FaultPlan>,
+) -> Result<GlobalAttn, AttnFailure> {
+    let g = topo.world_size();
+    let (q, k, v, go) = attn_inputs(n, d, seed);
+    let world = world_for(topo, plan);
+    let mask = mask.clone();
+    let outs = world.run_faulty::<_, AttnFailure, _>(move |comm| {
+        let idx = layout.indices(n, g, comm.rank());
+        let (o, lse, dq, dk, dv) = try_run_attention(
+            algo,
+            comm,
+            &q.gather_rows(&idx),
+            &k.gather_rows(&idx),
+            &v.gather_rows(&idx),
+            &go.gather_rows(&idx),
+            head_scale(d),
+            &mask,
+            layout,
+            n,
+            &CostModel::free(),
+        )?;
+        Ok((idx, o, lse, dq, dk, dv))
+    });
+    let mut global = GlobalAttn::empty(n, d);
+    for out in outs {
+        let (idx, o, lse, dq, dk, dv) = out.result?;
+        global.scatter(&idx, &o, &lse, &dq, &dk, &dv);
+    }
+    Ok(global)
+}
+
+/// Run pure Ulysses head parallelism (one all-to-all each way) over
+/// `heads` heads and reassemble each head separately.
+#[allow(clippy::too_many_arguments)]
+pub fn run_ulysses(
+    topo: &Topology,
+    n: usize,
+    d: usize,
+    heads: usize,
+    seed: u64,
+    mask: &AttnMask,
+    plan: Option<&FaultPlan>,
+) -> Result<Vec<GlobalAttn>, DattnError> {
+    let g = topo.world_size();
+    let per_head: Vec<(Mat, Mat, Mat, Mat)> = (0..heads)
+        .map(|h| attn_inputs(n, d, seed.wrapping_mul(64) + h as u64))
+        .collect();
+    let world = world_for(topo, plan);
+    let mask = mask.clone();
+    let inputs = per_head.clone();
+    let outs = world.run_faulty::<_, DattnError, _>(move |comm| {
+        let members: Vec<usize> = (0..g).collect();
+        let member_idx: Vec<Vec<usize>> = (0..g)
+            .map(|r| Layout::Contiguous.indices(n, g, r))
+            .collect();
+        let idx = member_idx[comm.rank()].clone();
+        let gather = |sel: fn(&(Mat, Mat, Mat, Mat)) -> &Mat| -> Vec<Mat> {
+            inputs.iter().map(|t| sel(t).gather_rows(&idx)).collect()
+        };
+        let q_heads = gather(|t| &t.0);
+        let k_heads = gather(|t| &t.1);
+        let v_heads = gather(|t| &t.2);
+        let go_heads = gather(|t| &t.3);
+        let (o_heads, saved) = try_ulysses_forward(
+            comm,
+            &members,
+            &member_idx,
+            &q_heads,
+            &k_heads,
+            &v_heads,
+            head_scale(d),
+            &mask,
+            &CostModel::free(),
+        )?;
+        let (dq, dk, dv) = try_ulysses_backward(
+            comm,
+            &members,
+            &member_idx,
+            &saved,
+            &go_heads,
+            head_scale(d),
+            &mask,
+            &CostModel::free(),
+        )?;
+        Ok((idx, o_heads, dq, dk, dv))
+    });
+    let mut global: Vec<GlobalAttn> = (0..heads).map(|_| GlobalAttn::empty(n, d)).collect();
+    for out in outs {
+        let (idx, o_heads, dq, dk, dv) = out.result?;
+        for h in 0..heads {
+            let lse = vec![0.0f32; idx.len()]; // Ulysses returns no per-rank lse
+            global[h].scatter(&idx, &o_heads[h], &lse, &dq[h], &dk[h], &dv[h]);
+        }
+    }
+    Ok(global)
+}
+
+/// Run USP (Ulysses groups of size `ulysses_size` nested in zigzag rings)
+/// and reassemble each head separately.
+#[allow(clippy::too_many_arguments)]
+pub fn run_usp(
+    topo: &Topology,
+    n: usize,
+    d: usize,
+    heads: usize,
+    ulysses_size: usize,
+    seed: u64,
+    mask: &AttnMask,
+    plan: Option<&FaultPlan>,
+) -> Result<Vec<GlobalAttn>, DattnError> {
+    let per_head: Vec<(Mat, Mat, Mat, Mat)> = (0..heads)
+        .map(|h| attn_inputs(n, d, seed.wrapping_mul(64) + h as u64))
+        .collect();
+    let world = world_for(topo, plan);
+    let mask = mask.clone();
+    let inputs = per_head.clone();
+    let outs = world.run_faulty::<_, DattnError, _>(move |comm| {
+        let utopo = UspTopo::new(comm, ulysses_size);
+        let idx = utopo.local_idx(n);
+        let gather = |sel: fn(&(Mat, Mat, Mat, Mat)) -> &Mat| -> Vec<Mat> {
+            inputs.iter().map(|t| sel(t).gather_rows(&idx)).collect()
+        };
+        let q_heads = gather(|t| &t.0);
+        let k_heads = gather(|t| &t.1);
+        let v_heads = gather(|t| &t.2);
+        let go_heads = gather(|t| &t.3);
+        let (o_heads, saved) = try_usp_forward(
+            comm,
+            &utopo,
+            &q_heads,
+            &k_heads,
+            &v_heads,
+            head_scale(d),
+            &mask,
+            n,
+            &CostModel::free(),
+        )?;
+        let (dq, dk, dv) = try_usp_backward(
+            comm,
+            &utopo,
+            &saved,
+            &go_heads,
+            head_scale(d),
+            &mask,
+            n,
+            &CostModel::free(),
+        )?;
+        Ok((idx, o_heads, dq, dk, dv))
+    });
+    let mut global: Vec<GlobalAttn> = (0..heads).map(|_| GlobalAttn::empty(n, d)).collect();
+    for out in outs {
+        let (idx, o_heads, dq, dk, dv) = out.result?;
+        for h in 0..heads {
+            let lse = vec![0.0f32; idx.len()];
+            global[h].scatter(&idx, &o_heads[h], &lse, &dq[h], &dk[h], &dv[h]);
+        }
+    }
+    Ok(global)
+}
+
+/// What an elastic run produced beyond the tensors: who was evicted, and
+/// how many ring attempts it took.
+#[derive(Debug, Clone)]
+pub struct ElasticOutcome {
+    pub attn: GlobalAttn,
+    pub evicted: Vec<usize>,
+    pub attempts: usize,
+}
+
+/// Run elastic attention on an `orig_world`-rank zigzag ring with a fault
+/// plan (typically a mid-ring crash). Survivors evict the dead, re-partition
+/// from "checkpoint" shards (served straight from the global tensors) and
+/// re-run; the reassembled result covers **all** `n` rows.
+pub fn run_elastic(
+    orig_world: usize,
+    n: usize,
+    d: usize,
+    seed: u64,
+    plan: Option<&FaultPlan>,
+) -> Result<ElasticOutcome, AttnFailure> {
+    let (q, k, v, go) = attn_inputs(n, d, seed);
+    let topo = Topology::single_node(orig_world);
+    let world = world_for(&topo, plan);
+    let (qc, kc, vc, goc) = (q.clone(), k.clone(), v.clone(), go.clone());
+    let outs = world.run_faulty::<_, AttnFailure, _>(move |comm| {
+        let mut m = Membership::new(comm.world_size());
+        let policy = RetryPolicy::default();
+        let shard_of = |r: usize| -> ShardData {
+            let idx = Layout::Zigzag.indices(n, orig_world, r);
+            (
+                qc.gather_rows(&idx),
+                kc.gather_rows(&idx),
+                vc.gather_rows(&idx),
+                goc.gather_rows(&idx),
+            )
+        };
+        let (sq, sk, sv, sgo) = shard_of(comm.rank());
+        let mut load = |r: usize| shard_of(r);
+        let out = try_elastic_attention(
+            comm,
+            &mut m,
+            &sq,
+            &sk,
+            &sv,
+            &sgo,
+            head_scale(d),
+            &AttnMask::Causal,
+            Layout::Zigzag,
+            n,
+            &CostModel::free(),
+            &mut load,
+            &policy,
+        )?;
+        Ok(out)
+    });
+    let mut global = GlobalAttn::empty(n, d);
+    let mut evicted: Vec<usize> = Vec::new();
+    let mut attempts = 1usize;
+    let mut survivors = 0usize;
+    for out in outs {
+        match out.result {
+            Ok(e) => {
+                global.scatter(&e.idx, &e.o, &e.lse, &e.dq, &e.dk, &e.dv);
+                for r in e.evicted {
+                    if !evicted.contains(&r) {
+                        evicted.push(r);
+                    }
+                }
+                attempts = attempts.max(e.attempts);
+                survivors += 1;
+            }
+            Err(e) => {
+                // The dead rank reports its own crash; anything else is a
+                // real failure the caller must see.
+                if !matches!(e.source, CommError::Crashed { .. }) {
+                    return Err(e);
+                }
+            }
+        }
+    }
+    assert!(survivors > 0, "elastic run lost every rank");
+    evicted.sort_unstable();
+    Ok(ElasticOutcome {
+        attn: global,
+        evicted,
+        attempts,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level differential runs.
+// ---------------------------------------------------------------------------
+
+/// What one engine training run produced, reduced to the comparable facts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineRun {
+    /// Global mean loss of every step.
+    pub losses: Vec<f32>,
+    /// Final flattened training state (identical across FSDP replicas —
+    /// asserted bit-exactly before this struct is built).
+    pub flat: Vec<f32>,
+    /// How many optimizer steps were skipped in lockstep
+    /// (gradient-poison recovery).
+    pub skipped: usize,
+}
+
+/// Train `steps` steps on a fresh cluster and return the run's facts.
+/// Every rank's parameter replica is asserted **bit-identical** (the FSDP
+/// invariant) before rank 0's copy is returned.
+pub fn engine_run(
+    cfg: &EngineConfig,
+    topo: &Topology,
+    steps: usize,
+    plan: Option<&FaultPlan>,
+) -> Result<EngineRun, CommError> {
+    engine_span(cfg, topo, 0, steps, None, plan)
+}
+
+/// Train steps `start..end`, optionally resuming from a flattened state
+/// (`init`, as produced by a previous [`EngineRun::flat] at `start`).
+pub fn engine_span(
+    cfg: &EngineConfig,
+    topo: &Topology,
+    start: usize,
+    end: usize,
+    init: Option<&[f32]>,
+    plan: Option<&FaultPlan>,
+) -> Result<EngineRun, CommError> {
+    let world = world_for(topo, plan);
+    let cfg = cfg.clone();
+    let init: Option<Vec<f32>> = init.map(|s| s.to_vec());
+    let outs = world.run_faulty::<_, CommError, _>(move |comm| {
+        let mut model = Model::new(cfg.model, cfg.seed);
+        if let Some(flat) = &init {
+            model.load_flat_state(flat);
+        }
+        let span = run_span(comm, &cfg, &mut model, start, end, |_, _, _, _| {})?;
+        Ok((span.losses, model.flat_state(), span.skipped_steps))
+    });
+    let mut first: Option<EngineRun> = None;
+    for out in outs {
+        let (losses, flat, skipped) = out.result?;
+        match &first {
+            None => {
+                first = Some(EngineRun {
+                    losses,
+                    flat,
+                    skipped,
+                })
+            }
+            Some(f) => {
+                assert_eq!(f.losses, losses, "ranks disagree on the global loss");
+                assert_eq!(f.skipped, skipped, "ranks disagree on skipped steps");
+                crate::assert_bits_eq("fsdp replica", &f.flat, &flat);
+            }
+        }
+    }
+    Ok(first.expect("world has at least one rank"))
+}
+
+/// Train to `cut`, drop the world, then resume `cut..steps` on a fresh
+/// cluster from the flattened state — the checkpoint/resume differential.
+/// The fault plan applies to the **first** phase only (the resumed phase
+/// runs clean, as after a real recovery).
+pub fn engine_resume(
+    cfg: &EngineConfig,
+    topo: &Topology,
+    cut: usize,
+    steps: usize,
+    plan: Option<&FaultPlan>,
+) -> Result<EngineRun, CommError> {
+    assert!(cut <= steps, "resume cut {cut} beyond {steps} steps");
+    let phase1 = engine_span(cfg, topo, 0, cut, None, plan)?;
+    if cut == steps {
+        return Ok(phase1);
+    }
+    let phase2 = engine_span(cfg, topo, cut, steps, Some(&phase1.flat), None)?;
+    let mut losses = phase1.losses;
+    losses.extend(phase2.losses);
+    Ok(EngineRun {
+        losses,
+        flat: phase2.flat,
+        skipped: phase1.skipped + phase2.skipped,
+    })
+}

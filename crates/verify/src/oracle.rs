@@ -1,0 +1,418 @@
+//! The serial oracle: ground-truth attention and train-step with no
+//! communication, no tiling, and no online softmax.
+//!
+//! Scores are materialised as an explicit `n × n` matrix and every
+//! reduction (row max, softmax normaliser, matmuls, loss) accumulates in
+//! `f64`, rounding to `f32` exactly once at the output boundary. Against
+//! this reference, any `f32` schedule's deviation is pure rounding noise —
+//! a real algorithmic divergence (wrong LSE merge, dropped tile, stale
+//! gradient) exceeds the documented bounds by orders of magnitude.
+
+use burst_kernels::AttnMask;
+use burst_model::attention::{AttnExec, AttnOut};
+use burst_model::engine::{synthetic_batch, EngineConfig};
+use burst_model::{Model, Strategy};
+use burst_tensor::Mat;
+
+/// Ground-truth attention outputs for one head over global rows `0..n`.
+#[derive(Debug, Clone)]
+pub struct OracleAttn {
+    pub o: Mat,
+    pub lse: Vec<f32>,
+    pub dq: Mat,
+    pub dk: Mat,
+    pub dv: Mat,
+}
+
+fn f64_rows(m: &Mat) -> Vec<Vec<f64>> {
+    (0..m.rows())
+        .map(|r| m.row(r).iter().map(|&x| x as f64).collect())
+        .collect()
+}
+
+fn to_mat(rows: &[Vec<f64>]) -> Mat {
+    let r = rows.len();
+    let c = rows.first().map(|v| v.len()).unwrap_or(0);
+    Mat::from_fn(r, c, |i, j| rows[i][j] as f32)
+}
+
+/// Naive softmax attention forward in `f64`: explicit scores, two-pass
+/// softmax (max, then exp-sum). `q_idx`/`k_idx` are the *global* token
+/// indices of the rows, consulted by the mask exactly as the kernels do.
+pub fn oracle_forward(
+    q: &Mat,
+    k: &Mat,
+    v: &Mat,
+    scale: f32,
+    mask: &AttnMask,
+    q_idx: &[usize],
+    k_idx: &[usize],
+) -> (Mat, Vec<f32>) {
+    let (qf, kf, vf) = (f64_rows(q), f64_rows(k), f64_rows(v));
+    let d = q.cols();
+    let dv = v.cols();
+    let scale = scale as f64;
+    let mut o = vec![vec![0.0f64; dv]; q.rows()];
+    let mut lse = vec![0.0f32; q.rows()];
+    for (i, &qi) in q_idx.iter().enumerate() {
+        let mut s = vec![f64::NEG_INFINITY; k.rows()];
+        let mut m = f64::NEG_INFINITY;
+        for (j, &kj) in k_idx.iter().enumerate() {
+            if !mask.allowed(qi, kj) {
+                continue;
+            }
+            let mut dot = 0.0f64;
+            for c in 0..d {
+                dot += qf[i][c] * kf[j][c];
+            }
+            s[j] = dot * scale;
+            m = m.max(s[j]);
+        }
+        assert!(
+            m.is_finite(),
+            "oracle_forward: query {qi} attends to nothing"
+        );
+        let mut l = 0.0f64;
+        let mut acc = vec![0.0f64; dv];
+        for j in 0..k.rows() {
+            if s[j] == f64::NEG_INFINITY {
+                continue;
+            }
+            let p = (s[j] - m).exp();
+            l += p;
+            for c in 0..dv {
+                acc[c] += p * vf[j][c];
+            }
+        }
+        for c in 0..dv {
+            o[i][c] = acc[c] / l;
+        }
+        lse[i] = (m + l.ln()) as f32;
+    }
+    (to_mat(&o), lse)
+}
+
+/// Naive attention backward in `f64` (recomputes the probability matrix
+/// from scratch — the oracle never trusts saved state).
+#[allow(clippy::too_many_arguments)]
+pub fn oracle_backward(
+    q: &Mat,
+    k: &Mat,
+    v: &Mat,
+    grad_o: &Mat,
+    scale: f32,
+    mask: &AttnMask,
+    q_idx: &[usize],
+    k_idx: &[usize],
+) -> (Mat, Mat, Mat) {
+    let (qf, kf, vf, gof) = (f64_rows(q), f64_rows(k), f64_rows(v), f64_rows(grad_o));
+    let d = q.cols();
+    let dvc = v.cols();
+    let scale = scale as f64;
+    let mut dq = vec![vec![0.0f64; d]; q.rows()];
+    let mut dk = vec![vec![0.0f64; d]; k.rows()];
+    let mut dv = vec![vec![0.0f64; dvc]; v.rows()];
+    for (i, &qi) in q_idx.iter().enumerate() {
+        // Recompute row i of P = softmax(S).
+        let mut s = vec![f64::NEG_INFINITY; k.rows()];
+        let mut m = f64::NEG_INFINITY;
+        for (j, &kj) in k_idx.iter().enumerate() {
+            if !mask.allowed(qi, kj) {
+                continue;
+            }
+            let mut dot = 0.0f64;
+            for c in 0..d {
+                dot += qf[i][c] * kf[j][c];
+            }
+            s[j] = dot * scale;
+            m = m.max(s[j]);
+        }
+        let mut l = 0.0f64;
+        for &sj in &s {
+            if sj != f64::NEG_INFINITY {
+                l += (sj - m).exp();
+            }
+        }
+        let p: Vec<f64> = s
+            .iter()
+            .map(|&sj| {
+                if sj == f64::NEG_INFINITY {
+                    0.0
+                } else {
+                    (sj - m).exp() / l
+                }
+            })
+            .collect();
+        // dP_ij = dO_i · V_j ;  δ_i = Σ_j P_ij dP_ij ;  dS = P ∘ (dP − δ).
+        let mut dp = vec![0.0f64; k.rows()];
+        let mut delta = 0.0f64;
+        for j in 0..k.rows() {
+            if p[j] == 0.0 {
+                continue;
+            }
+            let mut dot = 0.0f64;
+            for c in 0..dvc {
+                dot += gof[i][c] * vf[j][c];
+            }
+            dp[j] = dot;
+            delta += p[j] * dot;
+        }
+        for j in 0..k.rows() {
+            if p[j] == 0.0 {
+                continue;
+            }
+            let ds = p[j] * (dp[j] - delta) * scale;
+            for c in 0..d {
+                dq[i][c] += ds * kf[j][c];
+                dk[j][c] += ds * qf[i][c];
+            }
+            for c in 0..dvc {
+                dv[j][c] += p[j] * gof[i][c];
+            }
+        }
+    }
+    (to_mat(&dq), to_mat(&dk), to_mat(&dv))
+}
+
+/// Forward + backward in one call (the attention-level differential target).
+pub fn oracle_attention(
+    q: &Mat,
+    k: &Mat,
+    v: &Mat,
+    grad_o: &Mat,
+    scale: f32,
+    mask: &AttnMask,
+) -> OracleAttn {
+    let n = q.rows();
+    let idx: Vec<usize> = (0..n).collect();
+    let (o, lse) = oracle_forward(q, k, v, scale, mask, &idx, &idx);
+    let (dq, dk, dv) = oracle_backward(q, k, v, grad_o, scale, mask, &idx, &idx);
+    OracleAttn { o, lse, dq, dk, dv }
+}
+
+/// The oracle's [`AttnExec`]: plugs the `f64` naive kernels into the full
+/// model so [`oracle_train`] exercises embeddings, RoPE, norms, FFNs and
+/// the LM head on the identical code path the engine uses — only the
+/// attention itself (and, via `lm_tiles: None`, the LM-head fusion) is
+/// swapped for the reference computation.
+pub struct OracleExec {
+    pub mask: AttnMask,
+    pub seq_len: usize,
+}
+
+impl OracleExec {
+    pub fn new(mask: AttnMask, seq_len: usize) -> Self {
+        OracleExec { mask, seq_len }
+    }
+}
+
+impl AttnExec for OracleExec {
+    fn forward(&mut self, q: &[Mat], k: &[Mat], v: &[Mat]) -> AttnOut {
+        let idx = self.local_indices();
+        let mut o = Vec::with_capacity(q.len());
+        let mut lse = Vec::with_capacity(q.len());
+        for h in 0..q.len() {
+            let scale = 1.0 / (q[h].cols() as f32).sqrt();
+            let (oh, lh) = oracle_forward(&q[h], &k[h], &v[h], scale, &self.mask, &idx, &idx);
+            o.push(oh);
+            lse.push(lh);
+        }
+        (o, lse)
+    }
+
+    fn backward(
+        &mut self,
+        q: &[Mat],
+        k: &[Mat],
+        v: &[Mat],
+        _o: &[Mat],
+        _lse: &[Vec<f32>],
+        grad_o: &[Mat],
+    ) -> (Vec<Mat>, Vec<Mat>, Vec<Mat>) {
+        let idx = self.local_indices();
+        let mut dq = Vec::with_capacity(q.len());
+        let mut dk = Vec::with_capacity(q.len());
+        let mut dv = Vec::with_capacity(q.len());
+        for h in 0..q.len() {
+            let scale = 1.0 / (q[h].cols() as f32).sqrt();
+            let (a, b, c) = oracle_backward(
+                &q[h], &k[h], &v[h], &grad_o[h], scale, &self.mask, &idx, &idx,
+            );
+            dq.push(a);
+            dk.push(b);
+            dv.push(c);
+        }
+        (dq, dk, dv)
+    }
+
+    fn local_indices(&self) -> Vec<usize> {
+        (0..self.seq_len).collect()
+    }
+}
+
+/// What one oracle training run produced.
+#[derive(Debug, Clone)]
+pub struct OracleTrain {
+    /// Global mean loss of every step (skipped steps included).
+    pub losses: Vec<f32>,
+    /// Final training state (weights, gradients, Adam moments), flattened
+    /// in the model's stable parameter order.
+    pub flat: Vec<f32>,
+}
+
+/// The serial oracle train-step: single rank, no communication, naive `f64`
+/// attention, unfused LM head. Mirrors [`burst_model::engine::run_span`]'s
+/// step structure exactly — synthetic batch and Adam bias correction are
+/// keyed by the *absolute* step index, micro-batches accumulate, and
+/// `skip_steps` reproduces the engine's lockstep skip decision (gradients
+/// discarded, optimizer untouched) so faulty runs stay comparable.
+pub fn oracle_train(cfg: &EngineConfig, steps: usize, skip_steps: &[usize]) -> OracleTrain {
+    let n = cfg.model.seq_len;
+    let accum = cfg.grad_accum.max(1);
+    let mut model = Model::new(cfg.model, cfg.seed);
+    // The unfused reference LM head: `lm_tiles: None` selects
+    // `naive_lm_loss`, the materialised-logits path.
+    model.lm_tiles = None;
+    let mut losses = Vec::with_capacity(steps);
+    for step in 0..steps {
+        model.zero_grads();
+        if cfg.emulate_bf16 {
+            for p in model.params_mut() {
+                p.w.round_bf16_inplace();
+            }
+        }
+        let mut step_loss_sum = 0.0f64;
+        for micro in 0..accum {
+            let (tokens, targets) = synthetic_batch(&cfg.model, step * accum + micro);
+            let mut exec = OracleExec::new(cfg.mask.clone(), n);
+            let out = model.train_step(&tokens, &targets, &mut exec, Strategy::None, n * accum);
+            step_loss_sum += out.loss_sum as f64;
+        }
+        losses.push((step_loss_sum / (n * accum) as f64) as f32);
+        if skip_steps.contains(&step) {
+            // The engine's skip-in-lockstep path: the step's gradients are
+            // discarded, weights and Adam state stay at the last good step.
+            model.zero_grads();
+            continue;
+        }
+        model.adam_step(&cfg.adam, step as u64 + 1);
+    }
+    OracleTrain {
+        losses,
+        flat: model.flat_state(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use burst_model::engine::Backend;
+    use burst_tensor::randn_mat;
+
+    #[test]
+    fn oracle_matches_itself_bitwise() {
+        let (q, k, v, go) = (
+            randn_mat(16, 8, 0.7, 1),
+            randn_mat(16, 8, 0.7, 2),
+            randn_mat(16, 8, 0.7, 3),
+            randn_mat(16, 8, 0.8, 4),
+        );
+        let a = oracle_attention(&q, &k, &v, &go, 0.35, &AttnMask::Causal);
+        let b = oracle_attention(&q, &k, &v, &go, 0.35, &AttnMask::Causal);
+        crate::assert_bits_eq("o", a.o.as_slice(), b.o.as_slice());
+        crate::assert_bits_eq("dq", a.dq.as_slice(), b.dq.as_slice());
+    }
+
+    #[test]
+    fn causal_first_row_attends_only_to_itself() {
+        let (q, k, v, go) = (
+            randn_mat(8, 4, 0.7, 5),
+            randn_mat(8, 4, 0.7, 6),
+            randn_mat(8, 4, 0.7, 7),
+            randn_mat(8, 4, 0.8, 8),
+        );
+        let a = oracle_attention(&q, &k, &v, &go, 0.5, &AttnMask::Causal);
+        // Row 0 of a causal attention is exactly V[0] (softmax over one key).
+        for c in 0..4 {
+            assert!((a.o.get(0, c) - v.get(0, c)).abs() < 1e-6);
+        }
+        assert_eq!(a.o.rows(), 8);
+        assert_eq!(a.dk.rows(), 8);
+    }
+
+    #[test]
+    fn gradcheck_against_finite_differences() {
+        // f64 central differences on a scalar objective sum(O ∘ G) must
+        // match the analytic dQ/dK/dV to ~sqrt(eps_f32) — the classic
+        // gradient check, run on the oracle itself.
+        let n = 6;
+        let d = 3;
+        let (q, k, v, go) = (
+            randn_mat(n, d, 0.6, 11),
+            randn_mat(n, d, 0.6, 12),
+            randn_mat(n, d, 0.6, 13),
+            randn_mat(n, d, 0.5, 14),
+        );
+        let scale = 0.7f32;
+        let mask = AttnMask::Causal;
+        let base = oracle_attention(&q, &k, &v, &go, scale, &mask);
+        let objective = |q: &Mat, k: &Mat, v: &Mat| -> f64 {
+            let idx: Vec<usize> = (0..n).collect();
+            let (o, _) = oracle_forward(q, k, v, scale, &mask, &idx, &idx);
+            o.as_slice()
+                .iter()
+                .zip(go.as_slice())
+                .map(|(&a, &b)| a as f64 * b as f64)
+                .sum()
+        };
+        let eps = 1e-3f32;
+        let check = |which: &str, m: &Mat, grad: &Mat, sel: usize| {
+            let (r, c) = (sel / d, sel % d);
+            let mut plus = m.clone();
+            plus.set(r, c, m.get(r, c) + eps);
+            let mut minus = m.clone();
+            minus.set(r, c, m.get(r, c) - eps);
+            let (fp, fm) = match which {
+                "q" => (objective(&plus, &k, &v), objective(&minus, &k, &v)),
+                "k" => (objective(&q, &plus, &v), objective(&q, &minus, &v)),
+                _ => (objective(&q, &k, &plus), objective(&q, &k, &minus)),
+            };
+            let fd = ((fp - fm) / (2.0 * eps as f64)) as f32;
+            let an = grad.get(r, c);
+            assert!(
+                (fd - an).abs() < 2e-3 + 2e-2 * an.abs(),
+                "{which}[{r},{c}]: finite-diff {fd} vs analytic {an}"
+            );
+        };
+        for sel in [0, 7, n * d - 1] {
+            check("q", &q, &base.dq, sel);
+            check("k", &k, &base.dk, sel);
+            check("v", &v, &base.dv, sel);
+        }
+    }
+
+    #[test]
+    fn oracle_train_is_deterministic_and_learns() {
+        let cfg = EngineConfig::tiny(Backend::Local);
+        let a = oracle_train(&cfg, 3, &[]);
+        let b = oracle_train(&cfg, 3, &[]);
+        crate::assert_bits_eq("flat", &a.flat, &b.flat);
+        assert_eq!(a.losses, b.losses);
+        assert!(
+            a.losses[2] < a.losses[0],
+            "loss must fall on the synthetic stream: {:?}",
+            a.losses
+        );
+    }
+
+    #[test]
+    fn oracle_train_skip_freezes_the_optimizer() {
+        let cfg = EngineConfig::tiny(Backend::Local);
+        let skipped = oracle_train(&cfg, 1, &[0]);
+        // A skipped step discards its gradients and never touches Adam, so
+        // the full state equals a freshly initialised model's bit-for-bit
+        // (`lm_tiles` changes the compute path, not the parameters).
+        let reference = Model::new(cfg.model, cfg.seed).flat_state();
+        crate::assert_bits_eq("skipped step leaves state", &skipped.flat, &reference);
+    }
+}

@@ -4,82 +4,156 @@
 use burstengine::prelude::*;
 
 #[test]
-fn mismatched_recv_type_panics_with_context() {
-    let result = std::panic::catch_unwind(|| {
-        let world = World::new(Topology::single_node(2));
-        world.run_results(|comm| {
-            if comm.rank() == 0 {
-                comm.send_vec(1, &[1.0, 2.0]);
-            } else {
-                // Expecting a matrix where a vector was sent.
-                let _ = comm.recv_mat(0);
-            }
-        });
+fn mismatched_recv_type_is_a_typed_shape_mismatch() {
+    let world = World::new(Topology::single_node(2));
+    let outs = world.run_faulty::<_, CommError, _>(|comm| {
+        if comm.rank() == 0 {
+            comm.try_send_vec(1, &[1.0, 2.0])?;
+            Ok(())
+        } else {
+            // Expecting a matrix where a vector was sent.
+            comm.try_recv_mat(0).map(|_| ())
+        }
     });
-    assert!(result.is_err(), "type-confused receive must panic");
+    assert!(outs[0].result.is_ok(), "sender is unaffected");
+    match &outs[1].result {
+        Err(CommError::ShapeMismatch {
+            rank,
+            src,
+            expected,
+            got,
+        }) => {
+            assert_eq!((*rank, *src), (1, 0), "error must name both ends");
+            assert_eq!(*expected, "Mat");
+            assert!(got.contains("Vec"), "got must describe the payload: {got}");
+        }
+        other => panic!("expected a typed ShapeMismatch, got {other:?}"),
+    }
 }
 
 #[test]
-fn rank_panic_propagates_to_the_caller() {
-    let result = std::panic::catch_unwind(|| {
-        let world = World::new(Topology::single_node(2));
-        world.run_results(|comm| {
-            if comm.rank() == 1 {
-                panic!("injected rank failure");
-            }
-            // Rank 0 performs no communication with rank 1, so it completes.
-            comm.rank()
-        });
+fn rank_panic_surfaces_as_typed_panicked_error() {
+    let world = World::new(Topology::single_node(2));
+    let outs = world.run_faulty::<_, CommError, _>(|comm| {
+        if comm.rank() == 1 {
+            panic!("injected rank failure");
+        }
+        // Rank 0 performs no communication with rank 1, so it completes.
+        Ok(comm.rank())
     });
-    assert!(result.is_err(), "a dead rank must abort the job");
+    assert_eq!(outs[0].result, Ok(0), "healthy rank completes");
+    match &outs[1].result {
+        Err(CommError::Panicked { rank, detail }) => {
+            assert_eq!(*rank, 1, "error must name the dead rank");
+            assert!(
+                detail.contains("injected rank failure"),
+                "detail must carry the panic message: {detail}"
+            );
+        }
+        other => panic!("expected a typed Panicked error, got {other:?}"),
+    }
 }
 
 #[test]
-fn shape_mismatched_collective_is_rejected() {
-    let result = std::panic::catch_unwind(|| {
-        let world = World::new(Topology::single_node(2));
-        world.run_results(|comm| {
-            // Ranks contribute different lengths to an all-reduce.
-            let v = vec![0.0f32; 2 + comm.rank()];
-            comm.all_reduce_vec(&v)
-        });
+fn shape_mismatched_collective_is_a_typed_rejection() {
+    let world = World::new(Topology::single_node(2));
+    let outs = world.run_faulty::<_, CommError, _>(|comm| {
+        // Ranks contribute different lengths to an all-reduce.
+        let v = vec![0.0f32; 2 + comm.rank()];
+        comm.try_all_reduce_vec(&v).map(|_| ())
     });
-    assert!(result.is_err(), "length mismatch must be detected");
+    // Rank 0 (the reducer) detects the mismatch; rank 1 then loses its peer.
+    match &outs[0].result {
+        Err(CommError::ShapeMismatch { rank, src, got, .. }) => {
+            assert_eq!((*rank, *src), (0, 1));
+            assert!(
+                got.contains("Vec[3]") && got.contains("Vec[2]"),
+                "mismatch must report both lengths: {got}"
+            );
+        }
+        other => panic!("expected a typed ShapeMismatch, got {other:?}"),
+    }
+    assert!(
+        matches!(
+            outs[1].result,
+            Err(CommError::PeerLost {
+                rank: 1,
+                src: 0,
+                ..
+            })
+        ),
+        "the other rank must observe the aborted reducer: {:?}",
+        outs[1].result
+    );
 }
 
 #[test]
 fn layout_rejects_indivisible_sequences() {
-    let result = std::panic::catch_unwind(|| Layout::Zigzag.indices(30, 4, 0));
-    assert!(result.is_err(), "zigzag needs 2G-divisible sequences");
+    let panic_message = |f: Box<dyn FnOnce() -> Vec<usize>>| -> String {
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+            .expect_err("indivisible layout must be rejected");
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload must be a message")
+    };
+    // 30 tokens on 4 ranks trips the general divisibility check …
+    let msg = panic_message(Box::new(|| Layout::Zigzag.indices(30, 4, 0)));
+    assert!(
+        msg.contains("sequence 30 not divisible by 4 ranks"),
+        "rejection must name the sequence and rank count: {msg}"
+    );
+    // … while 12 tokens divide by 4 ranks but not into 2G = 8 zigzag
+    // chunks, tripping the zigzag-specific check with its own message.
+    let msg = panic_message(Box::new(|| Layout::Zigzag.indices(12, 4, 0)));
+    assert!(
+        msg.contains("zigzag: sequence 12 must divide into 2G = 8 chunks"),
+        "rejection must name the zigzag chunk requirement: {msg}"
+    );
 }
 
 #[test]
 fn attention_rejects_inconsistent_shard_shapes() {
-    let result = std::panic::catch_unwind(|| {
-        let world = World::new(Topology::single_node(2));
-        let n = 16;
-        world.run_results(|comm| {
-            // K shard deliberately has the wrong row count.
-            let q = randn_mat(n / 2, 4, 1.0, 1);
-            let k = randn_mat(n / 2 + 1, 4, 1.0, 2);
-            let v = randn_mat(n / 2 + 1, 4, 1.0, 3);
-            let go = randn_mat(n / 2, 4, 1.0, 4);
-            run_attention(
-                Algo::BurstFlat,
-                comm,
-                &q,
-                &k,
-                &v,
-                &go,
-                0.5,
-                &AttnMask::Causal,
-                Layout::Contiguous,
-                n,
-                &CostModel::free(),
-            )
-        });
+    let world = World::new(Topology::single_node(2));
+    let n = 16;
+    let outs = world.run_faulty::<_, AttnFailure, _>(|comm| {
+        // K shard deliberately has the wrong row count.
+        let q = randn_mat(n / 2, 4, 1.0, 1);
+        let k = randn_mat(n / 2 + 1, 4, 1.0, 2);
+        let v = randn_mat(n / 2 + 1, 4, 1.0, 3);
+        let go = randn_mat(n / 2, 4, 1.0, 4);
+        try_run_attention(
+            Algo::BurstFlat,
+            comm,
+            &q,
+            &k,
+            &v,
+            &go,
+            0.5,
+            &AttnMask::Causal,
+            Layout::Contiguous,
+            n,
+            &CostModel::free(),
+        )
     });
-    assert!(result.is_err(), "inconsistent shard shapes must panic");
+    for out in &outs {
+        assert!(
+            out.result.is_err(),
+            "rank {}: inconsistent shard shapes must fail",
+            out.rank
+        );
+    }
+    // The failure is typed, not an unwinding panic: whichever rank tripped
+    // the internal shape check reports Panicked with its rank attached,
+    // and any peer mid-exchange observes the loss as a comm error.
+    assert!(
+        outs.iter().any(|o| matches!(
+            o.result.as_ref().unwrap_err().source,
+            CommError::Panicked { rank, .. } if rank == o.rank
+        )),
+        "some rank must report the shape check it tripped: {outs:?}"
+    );
 }
 
 #[test]
