@@ -44,6 +44,7 @@ fn cfg(strategy: Strategy) -> EngineConfig {
         offload_optimizer: false,
         grad_accum: 1,
         emulate_bf16: false,
+        bf16_activations: false,
         overlap: burst_dattn::OverlapMode::Fine,
         adam: AdamCfg::default(),
         seed: 13,

@@ -2,7 +2,7 @@
 //! wall time of complete distributed steps (forward, backward, FSDP sync,
 //! Adam) per backend.
 
-use burst_comm::{Topology, World};
+use burst_comm::{Topology, WireDtype, World};
 use burst_dattn::{Algo, CostModel, Layout, OverlapMode};
 use burst_kernels::AttnMask;
 use burst_model::engine::{run_rank, Backend, EngineConfig};
@@ -30,6 +30,7 @@ fn cfg(backend: Backend) -> EngineConfig {
         offload_optimizer: false,
         grad_accum: 1,
         emulate_bf16: false,
+        bf16_activations: false,
         overlap: OverlapMode::Fine,
         adam: AdamCfg::default(),
         seed: 17,
@@ -63,6 +64,33 @@ fn bench_backends(c: &mut Criterion) {
         if matches!(backend, Backend::Ulysses) {
             engine.layout = Layout::Contiguous;
         }
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| {
+                let world = World::new(topo.clone());
+                world.run_results(|comm| run_rank(comm, &engine, 1).0)
+            })
+        });
+    }
+
+    // The paper's half-width configuration: bf16 weights + bf16 activation
+    // stashes + bf16 wire payloads. Encode/decode cost rides on top of the
+    // f32-accumulated kernels, so this measures the end-to-end price of
+    // halving memory and wire traffic.
+    for (name, backend, topo) in [
+        (
+            "ring_flat_bf16",
+            Backend::Ring(Algo::RingFlat),
+            Topology::a800(2, 2).with_wire_dtype(WireDtype::Bf16),
+        ),
+        (
+            "burst_topo_bf16",
+            Backend::Ring(Algo::BurstTopo),
+            Topology::a800(2, 2).with_wire_dtype(WireDtype::Bf16),
+        ),
+    ] {
+        let mut engine = cfg(backend);
+        engine.emulate_bf16 = true;
+        engine.bf16_activations = true;
         group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
             b.iter(|| {
                 let world = World::new(topo.clone());

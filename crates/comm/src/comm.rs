@@ -4,10 +4,10 @@
 
 use crate::fault::{CommError, CrashAt, FaultPlan};
 use crate::stats::{CommStats, FaultCounters};
-use crate::topology::Topology;
+use crate::topology::{Topology, WireDtype};
 use crate::trace::TraceEvent;
 use burst_obs::{RankSink, RankTrace, SpanKind, DEFAULT_SPAN_CAPACITY};
-use burst_tensor::Mat;
+use burst_tensor::{Bf16Mat, Mat};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use std::time::Duration;
 
@@ -50,6 +50,9 @@ pub struct CtrlMsg {
 #[derive(Debug, Clone)]
 pub enum MsgData {
     Mat(Mat),
+    /// A matrix rounded to bfloat16 at the sender (half-width wire format;
+    /// see [`crate::topology::WireDtype`]). Decoded back to `f32` on receive.
+    Bf16Mat(Bf16Mat),
     Vec(Vec<f32>),
     Scalar(f64),
     Empty,
@@ -62,6 +65,7 @@ impl MsgData {
     pub fn elems(&self) -> usize {
         match self {
             MsgData::Mat(m) => m.len(),
+            MsgData::Bf16Mat(m) => m.len(),
             MsgData::Vec(v) => v.len(),
             MsgData::Scalar(_) => 1,
             MsgData::Empty => 0,
@@ -69,10 +73,26 @@ impl MsgData {
         }
     }
 
+    /// Bytes this payload occupies on the wire. Unlike [`MsgData::elems`],
+    /// this is per-variant: an f32 matrix or statistics vector is 4 bytes
+    /// per element, a bf16 matrix 2, a scalar 8, and control traffic is
+    /// billed at 8 bytes per logical element (small either way).
+    pub fn wire_bytes(&self) -> f64 {
+        match self {
+            MsgData::Mat(m) => m.len() as f64 * 4.0,
+            MsgData::Bf16Mat(m) => m.len() as f64 * 2.0,
+            MsgData::Vec(v) => v.len() as f64 * 4.0,
+            MsgData::Scalar(_) => 8.0,
+            MsgData::Empty => 0.0,
+            MsgData::Ctrl(c) => (c.suspects.len() + 2) as f64 * 8.0,
+        }
+    }
+
     /// Human-readable payload kind + shape, for error messages.
     pub fn describe(&self) -> String {
         match self {
             MsgData::Mat(m) => format!("Mat {}x{}", m.rows(), m.cols()),
+            MsgData::Bf16Mat(m) => format!("Bf16Mat {}x{}", m.rows(), m.cols()),
             MsgData::Vec(v) => format!("Vec[{}]", v.len()),
             MsgData::Scalar(_) => "Scalar".to_string(),
             MsgData::Empty => "Empty".to_string(),
@@ -94,6 +114,13 @@ impl MsgData {
                 eat(m.cols() as u64);
                 for v in m.as_slice() {
                     eat(v.to_bits() as u64);
+                }
+            }
+            MsgData::Bf16Mat(m) => {
+                eat(m.rows() as u64);
+                eat(m.cols() as u64);
+                for &b in m.as_bits() {
+                    eat(b as u64);
                 }
             }
             MsgData::Vec(v) => {
@@ -122,6 +149,11 @@ impl MsgData {
             MsgData::Mat(m) => {
                 if let Some(x) = m.as_mut_slice().first_mut() {
                     *x = f32::from_bits(x.to_bits() ^ 0x8000_0000);
+                }
+            }
+            MsgData::Bf16Mat(m) => {
+                if let Some(b) = m.as_bits_mut().first_mut() {
+                    *b ^= 0x8000;
                 }
             }
             MsgData::Vec(v) => {
@@ -545,7 +577,7 @@ impl Communicator {
         self.check_crash()?;
         let mut data = data;
         let elems = data.elems();
-        let bytes = self.topo.wire_bytes(elems);
+        let bytes = data.wire_bytes();
         let link = self.topo.link(self.rank, dst);
         let msg_index = self.sent[dst];
         self.sent[dst] = self.sent[dst].saturating_add(1);
@@ -790,17 +822,36 @@ impl Communicator {
 
     // ----- typed helpers ---------------------------------------------------
 
+    /// Wrap a matrix in the wire payload selected by the topology's
+    /// [`WireDtype`]: under [`WireDtype::F32`] the matrix travels as-is;
+    /// under [`WireDtype::Bf16`] it is rounded (nearest-even) at the sender
+    /// and occupies 2 bytes per element on the wire. Because decoding is
+    /// exact and re-encoding a decoded matrix is lossless, a shard that
+    /// circulates a ring is rounded exactly once.
+    pub fn mat_payload(&self, m: Mat) -> MsgData {
+        match self.topo.wire_dtype {
+            WireDtype::F32 => MsgData::Mat(m),
+            WireDtype::Bf16 => MsgData::Bf16Mat(Bf16Mat::from_mat(&m)),
+        }
+    }
+
     pub fn send_mat(&mut self, dst: usize, m: &Mat) {
-        self.send(dst, MsgData::Mat(m.clone()));
+        let payload = self.mat_payload(m.clone());
+        self.send(dst, payload);
     }
 
     pub fn try_send_mat(&mut self, dst: usize, m: &Mat) -> Result<(), CommError> {
-        self.try_send(dst, MsgData::Mat(m.clone()))
+        let payload = self.mat_payload(m.clone());
+        self.try_send(dst, payload)
     }
 
+    /// Receive a matrix from `src`. Accepts either wire dtype — an f32
+    /// payload is returned untouched, a bf16 payload is decoded (exactly)
+    /// back to `f32`.
     pub fn try_recv_mat(&mut self, src: usize) -> Result<Mat, CommError> {
         match self.try_recv(src)? {
             MsgData::Mat(m) => Ok(m),
+            MsgData::Bf16Mat(m) => Ok(m.to_mat()),
             MsgData::Ctrl(c) => Err(self.aborted_by(src, c)),
             other => Err(CommError::ShapeMismatch {
                 rank: self.rank,
@@ -969,7 +1020,8 @@ impl Communicator {
         let mut cursor = self.rank; // index of the block we forward next
         for _ in 0..g.saturating_sub(1) {
             let outgoing = parts[cursor].clone().expect("ring all-gather invariant");
-            self.try_send(self.next_rank(), MsgData::Mat(outgoing))?;
+            let payload = self.mat_payload(outgoing);
+            self.try_send(self.next_rank(), payload)?;
             let incoming = self.try_recv_mat(self.prev_rank())?;
             cursor = (cursor + g - 1) % g;
             parts[cursor] = Some(incoming);
@@ -1011,7 +1063,8 @@ impl Communicator {
         let mut cursor = (self.rank + 1) % g; // block we send first
         for _ in 0..g - 1 {
             let outgoing = acc[cursor].clone();
-            self.try_send(self.prev_rank(), MsgData::Mat(outgoing))?;
+            let payload = self.mat_payload(outgoing);
+            self.try_send(self.prev_rank(), payload)?;
             let incoming = self.try_recv_mat(self.next_rank())?;
             cursor = (cursor + 1) % g;
             if incoming.shape() != acc[cursor].shape() {
@@ -1116,7 +1169,8 @@ impl Communicator {
             if d == self.rank {
                 keep = Some(block);
             } else {
-                self.try_send(d, MsgData::Mat(block))?;
+                let payload = self.mat_payload(block);
+                self.try_send(d, payload)?;
             }
         }
         incoming[self.rank] = keep;

@@ -43,7 +43,7 @@ pub use membership::{
     shrink_ring_shift, AgreeOutcome, Membership, RetryPolicy,
 };
 pub use stats::{CommStats, FaultCounters};
-pub use topology::{Link, Topology};
+pub use topology::{Link, Topology, WireDtype};
 pub use trace::{ascii_lane, summarize, TraceEvent, TraceSummary};
 pub use world::{RankOutput, World};
 

@@ -493,7 +493,8 @@ pub fn shrink_all_gather_mat(
         let mut cursor = pos;
         for _ in 0..g.saturating_sub(1) {
             let outgoing = parts[cursor].clone().expect("shrink all-gather invariant");
-            comm.try_send(next, MsgData::Mat(outgoing))?;
+            let payload = comm.mat_payload(outgoing);
+            comm.try_send(next, payload)?;
             let incoming = recv_mat_retry(comm, prev, policy)?;
             cursor = (cursor + g - 1) % g;
             parts[cursor] = Some(incoming);
@@ -534,7 +535,8 @@ pub fn shrink_reduce_scatter_mat(
         let mut cursor = (pos + 1) % g;
         for _ in 0..g - 1 {
             let outgoing = acc[cursor].clone();
-            comm.try_send(prev, MsgData::Mat(outgoing))?;
+            let payload = comm.mat_payload(outgoing);
+            comm.try_send(prev, payload)?;
             let incoming = recv_mat_retry(comm, next, policy)?;
             cursor = (cursor + 1) % g;
             if incoming.shape() != acc[cursor].shape() {

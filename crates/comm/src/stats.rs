@@ -5,8 +5,9 @@ use serde::{Deserialize, Serialize};
 /// Byte/message counters for one rank, split by link class.
 ///
 /// `*_elems` counts logical tensor elements (what Algorithms 1–2 count as
-/// `Nd` words); `*_bytes` is the modeled wire volume (elements ×
-/// `wire_bytes_per_elem`). The BurstAttention backward claim — `3Nd + 2N`
+/// `Nd` words); `*_bytes` is the modeled wire volume (per-payload width:
+/// 4 bytes per f32 element, 2 per bf16 element — see
+/// [`crate::topology::WireDtype`]). The BurstAttention backward claim — `3Nd + 2N`
 /// words vs RingAttention's `4Nd` — is asserted directly on these counters
 /// in the dattn tests.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]

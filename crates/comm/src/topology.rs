@@ -1,6 +1,46 @@
-//! Cluster topology: node layout and link performance parameters.
+//! Cluster topology: node layout, link performance parameters, and the
+//! wire dtype for tensor payloads.
 
 use serde::{Deserialize, Serialize};
+
+/// Element dtype used for matrix payloads on the wire.
+///
+/// Selecting [`WireDtype::Bf16`] makes the typed send helpers and the
+/// `*_mat` collectives encode matrices through
+/// [`Bf16Mat`](burst_tensor::Bf16Mat) before enqueueing: the payload
+/// genuinely occupies (and is billed at) 2 bytes per element, and the
+/// receiver decodes back to `f32`, observing bf16-rounded values. Softmax
+/// statistics (LSE/D vectors) always travel as `f32` — they are `O(m)`
+/// against the `O(m·d)` matrices and their precision anchors the online
+/// merges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum WireDtype {
+    /// Full-precision payloads: 4 bytes per element, values untouched.
+    #[default]
+    F32,
+    /// bfloat16 payloads: 2 bytes per element, values rounded to nearest
+    /// even at the sender.
+    Bf16,
+}
+
+impl WireDtype {
+    /// Wire width in bytes per element.
+    #[inline]
+    pub fn width(self) -> f64 {
+        match self {
+            WireDtype::F32 => 4.0,
+            WireDtype::Bf16 => 2.0,
+        }
+    }
+
+    /// Short label for reports and traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            WireDtype::F32 => "f32",
+            WireDtype::Bf16 => "bf16",
+        }
+    }
+}
 
 /// A point-to-point link model: `time(bytes) = latency + bytes / bandwidth`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -44,8 +84,8 @@ pub struct Topology {
     pub intra: Link,
     /// Per-GPU InfiniBand NIC (inter-node) link model.
     pub inter: Link,
-    /// Modeled wire bytes per tensor element (2.0 for bf16 training).
-    pub wire_bytes_per_elem: f64,
+    /// Dtype for matrix payloads on the wire (see [`WireDtype`]).
+    pub wire_dtype: WireDtype,
 }
 
 impl Topology {
@@ -56,8 +96,14 @@ impl Topology {
             gpus_per_node,
             intra,
             inter,
-            wire_bytes_per_elem: 2.0,
+            wire_dtype: WireDtype::default(),
         }
+    }
+
+    /// The same topology with bf16 matrix payloads on the wire.
+    pub fn with_wire_dtype(mut self, dtype: WireDtype) -> Self {
+        self.wire_dtype = dtype;
+        self
     }
 
     /// The paper's testbed: A800 nodes with 400 GB/s NVLink and one
@@ -114,10 +160,12 @@ impl Topology {
         }
     }
 
-    /// Wire bytes for `elems` tensor elements.
+    /// Wire bytes for `elems` tensor elements at the configured matrix
+    /// payload dtype. Payload-specific accounting (f32 vectors, control
+    /// messages) happens in the mailbox; this is the matrix-payload rate.
     #[inline]
     pub fn wire_bytes(&self, elems: usize) -> f64 {
-        elems as f64 * self.wire_bytes_per_elem
+        elems as f64 * self.wire_dtype.width()
     }
 
     /// Successor on the flat global ring.
@@ -223,8 +271,14 @@ mod tests {
     }
 
     #[test]
-    fn wire_bytes_uses_bf16() {
+    fn wire_bytes_follow_the_wire_dtype() {
         let t = Topology::a800(1, 2);
-        assert_eq!(t.wire_bytes(100), 200.0);
+        assert_eq!(t.wire_dtype, WireDtype::F32);
+        assert_eq!(t.wire_bytes(100), 400.0);
+        let b = t.with_wire_dtype(WireDtype::Bf16);
+        assert_eq!(b.wire_bytes(100), 200.0, "bf16 halves the wire");
+        assert_eq!(WireDtype::F32.width(), 4.0);
+        assert_eq!(WireDtype::Bf16.width(), 2.0);
+        assert_eq!(WireDtype::Bf16.label(), "bf16");
     }
 }

@@ -28,13 +28,13 @@ fn p2p_roundtrip_delivers_data() {
 
 #[test]
 fn clock_respects_latency_and_bandwidth() {
-    // 1 KB over a 1 GB/s link with 1 ms latency: arrival >= 1e-3 + 1e-6·2
-    // (2 wire bytes per element).
+    // 2 KB over a 1 GB/s link with 1 ms latency: arrival >= 1e-3 + 2e-6
+    // (f32 wire: 4 bytes per element).
     let topo = Topology::uniform(2, Link::new(1e-3, 1e9));
     let world = World::new(topo);
     let outs = world.run(|comm| {
         if comm.rank() == 0 {
-            comm.send_vec(1, &vec![0.0; 500]); // 500 elems = 1000 wire bytes
+            comm.send_vec(1, &vec![0.0; 500]); // 500 elems = 2000 wire bytes
         } else {
             let _ = comm.recv_vec(0);
         }
@@ -44,7 +44,7 @@ fn clock_respects_latency_and_bandwidth() {
         outs[0].result, 0.0,
         "sends are non-blocking in virtual time"
     );
-    let expect = 1e-3 + 1000.0 / 1e9;
+    let expect = 1e-3 + 2000.0 / 1e9;
     assert!(
         (outs[1].result - expect).abs() < 1e-12,
         "arrival {} != {}",
@@ -59,7 +59,7 @@ fn egress_port_serialises_back_to_back_sends() {
     // first's serialisation time even though both are posted at t=0.
     let topo = Topology::new(2, 1, Link::new(0.0, 1e9), Link::new(1e-6, 1e8));
     let world = World::new(topo);
-    let bytes = 2.0 * 1000.0;
+    let bytes = 4.0 * 1000.0;
     let outs = world.run_results(|comm| {
         if comm.rank() == 0 {
             comm.send_vec(1, &vec![0.0; 1000]);
@@ -104,15 +104,15 @@ fn intra_and_inter_ports_are_independent() {
         }
         _ => 0.0,
     });
-    assert!((outs[1] - 2000.0 / 1e9).abs() < 1e-12, "intra {}", outs[1]);
+    assert!((outs[1] - 4000.0 / 1e9).abs() < 1e-12, "intra {}", outs[1]);
     // Inter send departs at t=0 too (separate port), so it is NOT delayed
     // behind the intra transfer.
-    assert!((outs[2] - 2000.0 / 1e8).abs() < 1e-12, "inter {}", outs[2]);
+    assert!((outs[2] - 4000.0 / 1e8).abs() < 1e-12, "inter {}", outs[2]);
 }
 
 #[test]
 fn overlap_is_max_of_compute_and_comm() {
-    let topo = Topology::uniform(2, Link::new(0.0, 1e6)); // slow: 2 KB = 2 ms
+    let topo = Topology::uniform(2, Link::new(0.0, 1e6)); // slow: 4 KB = 4 ms
     let world = World::new(topo);
     let outs = world.run_results(|comm| {
         if comm.rank() == 0 {
@@ -124,9 +124,9 @@ fn overlap_is_max_of_compute_and_comm() {
             comm.time()
         }
     });
-    // Transfer takes 2 ms; 1 ms of compute hides inside it: total 2 ms, not 3.
+    // Transfer takes 4 ms; 1 ms of compute hides inside it: total 4 ms, not 5.
     assert!(
-        (outs[1] - 2e-3).abs() < 1e-9,
+        (outs[1] - 4e-3).abs() < 1e-9,
         "overlapped total {}",
         outs[1]
     );
@@ -146,7 +146,7 @@ fn serial_compute_then_recv_adds_up() {
             comm.time()
         }
     });
-    assert!((outs[1] - 7e-3).abs() < 1e-9, "serial total {}", outs[1]);
+    assert!((outs[1] - 9e-3).abs() < 1e-9, "serial total {}", outs[1]);
 }
 
 #[test]
@@ -297,8 +297,8 @@ fn stats_split_intra_vs_inter() {
     assert_eq!(s.inter_msgs, 1);
     assert_eq!(s.intra_elems, 10);
     assert_eq!(s.inter_elems, 20);
-    assert_eq!(s.intra_bytes, 20.0);
-    assert_eq!(s.inter_bytes, 40.0);
+    assert_eq!(s.intra_bytes, 40.0);
+    assert_eq!(s.inter_bytes, 80.0);
 }
 
 #[test]
@@ -346,4 +346,63 @@ fn flat_ring_crossing_nodes_is_gated_by_nic() {
         multi > 2.0 * single,
         "inter-node ring ({multi}) should be much slower than NVLink ring ({single})"
     );
+}
+
+#[test]
+fn bf16_wire_dtype_halves_bytes_and_rounds_payloads() {
+    use burst_comm::WireDtype;
+    let run = |dtype: WireDtype| {
+        let topo = Topology::single_node(2).with_wire_dtype(dtype);
+        let world = World::new(topo);
+        world.run(|comm| {
+            if comm.rank() == 0 {
+                comm.send_mat(1, &Mat::from_fn(8, 8, |r, c| 0.1 + (r * 8 + c) as f32));
+                (Mat::default(), comm.stats().total_bytes())
+            } else {
+                let got = comm.recv_mat(0);
+                (got, 0.0)
+            }
+        })
+    };
+    let f32_run = run(WireDtype::F32);
+    let bf16_run = run(WireDtype::Bf16);
+    let (sent_f32, sent_bf16) = (f32_run[0].result.1, bf16_run[0].result.1);
+    assert_eq!(sent_f32, 64.0 * 4.0, "f32 wire bills 4 bytes per element");
+    assert_eq!(sent_bf16, 64.0 * 2.0, "bf16 wire bills 2 bytes per element");
+    let exact = Mat::from_fn(8, 8, |r, c| 0.1 + (r * 8 + c) as f32);
+    assert_eq!(f32_run[1].result.0, exact, "f32 wire is exact");
+    assert_eq!(
+        bf16_run[1].result.0,
+        exact.to_bf16(),
+        "bf16 wire rounds to nearest-even at the sender"
+    );
+}
+
+#[test]
+fn bf16_collectives_round_once_and_agree_across_ranks() {
+    use burst_comm::WireDtype;
+    // All-gather under bf16: every rank must see the same rounded blocks,
+    // and a block that traversed multiple hops must equal the one-hop
+    // rounding (re-encoding a decoded matrix is lossless).
+    let topo = Topology::single_node(4).with_wire_dtype(WireDtype::Bf16);
+    let world = World::new(topo);
+    let outs = world.run_results(|comm| {
+        let mine = Mat::from_fn(3, 5, |r, c| {
+            0.123 + (comm.rank() * 100 + r * 5 + c) as f32 * 0.017
+        });
+        comm.all_gather_mat(&mine)
+    });
+    for rank in 0..4 {
+        let expect =
+            Mat::from_fn(3, 5, |r, c| 0.123 + (rank * 100 + r * 5 + c) as f32 * 0.017).to_bf16();
+        for (viewer, out) in outs.iter().enumerate() {
+            if viewer == rank {
+                continue; // own block never crossed the wire
+            }
+            assert_eq!(
+                out[rank], expect,
+                "viewer {viewer} sees rank {rank}'s block rounded exactly once"
+            );
+        }
+    }
 }

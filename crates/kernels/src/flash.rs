@@ -29,7 +29,7 @@
 use crate::mask::{AttnMask, TileState};
 use crate::online::OnlineState;
 use burst_tensor::{
-    axpy_rows_slice, matmul_into, matmul_nt_into, matmul_tn_into, Mat, MatRef, Scratch,
+    axpy_rows_slice, matmul_into, matmul_nt_into, matmul_tn_into, simd, Mat, MatRef, Scratch,
 };
 
 /// Default square tile edge. Correctness never depends on it.
@@ -180,11 +180,7 @@ fn forward_rows(
                 tile_lse.push(f32::NEG_INFINITY);
                 continue;
             }
-            let mut sum = 0.0f32;
-            for x in row.iter_mut() {
-                *x = (*x - m).exp();
-                sum += *x;
-            }
+            let sum = simd::exp_shift_sum_inplace(row, m);
             tile_max.push(m);
             tile_lse.push(m + sum.ln());
         }
@@ -204,9 +200,7 @@ fn forward_rows(
             };
             let wt = (tile_max[r] - lnew).exp();
             let orow = &mut o_rows[r * dv..(r + 1) * dv];
-            for (o, &t) in orow.iter_mut().zip(gtmp.row(r)) {
-                *o = wa * *o + wt * t;
-            }
+            simd::weighted_merge(orow, gtmp.row(r), wa, wt);
             lse_rows[r] = lnew;
         }
         work.tiles_computed += 1;
@@ -391,13 +385,10 @@ fn recompute_p(
     score.exp_sub_rowwise_inplace(&ctx.lse[r0..r1]);
 }
 
-/// `∇S = P ∘ (∇P − D)`, overwriting `P` in `score`.
+/// `∇S = P ∘ (∇P − D)`, overwriting `P` in `score` (vectorized per row).
 fn ds_in_place(score: &mut Mat, gp: &Mat, d_b: &[f32]) {
     for (r, &drow) in d_b.iter().enumerate().take(score.rows()) {
-        let gpr = gp.row(r);
-        for (gs, &g) in score.row_mut(r).iter_mut().zip(gpr) {
-            *gs *= g - drow;
-        }
+        simd::mul_by_diff(score.row_mut(r), gp.row(r), drow);
     }
 }
 

@@ -28,7 +28,8 @@
 use crate::flash::row_blocks;
 use crate::online::OnlineState;
 use burst_tensor::{
-    axpy_rows_slice, matmul_into, matmul_nt_into, matmul_tn_into, tree_sum, Mat, MatRef, Scratch,
+    axpy_rows_slice, matmul_into, matmul_nt_into, matmul_tn_into, simd, tree_sum, Mat, MatRef,
+    Scratch,
 };
 
 /// Default sequence-tile rows.
@@ -139,11 +140,7 @@ fn lm_forward_rows(
                 maxes[r] = f32::NEG_INFINITY;
                 continue;
             }
-            let mut sum = 0.0f32;
-            for x in row.iter_mut() {
-                *x = (*x - m).exp();
-                sum += *x;
-            }
+            let sum = simd::exp_shift_sum_inplace(row, m);
             maxes[r] = m;
             lse_rows[r] = OnlineState::merge_lse(lse_rows[r], m + sum.ln());
         }
@@ -172,9 +169,7 @@ fn scale_to_grad_logits(
     for r in 0..pt.rows() {
         let sr = (maxes[r] - lse_rows[r]).exp() * inv_n;
         let row = pt.row_mut(r);
-        for x in row.iter_mut() {
-            *x *= sr;
-        }
+        simd::scale_slice(row, sr);
         let y = targets[r0 + r];
         if (c0..c1).contains(&y) {
             row[y - c0] -= inv_n;
@@ -281,9 +276,7 @@ fn lm_pass_w_tile(
                 tile_max.push(f32::NEG_INFINITY);
                 continue;
             }
-            for x in row.iter_mut() {
-                *x = (*x - m).exp();
-            }
+            simd::exp_shift_inplace(row, m);
             tile_max.push(m);
         }
         scale_to_grad_logits(

@@ -14,8 +14,13 @@
 
 use burst_kernels::{attn_tile_backward, flash_forward, fused_lm_loss, AttnMask, BlockSparseMask};
 use burst_tensor::randn_mat;
+use std::sync::Mutex;
 
 const THREADS: [usize; 3] = [1, 2, 8];
+
+/// Both tests in this file mutate process-global state (env vars, the SIMD
+/// dispatch atom), so they serialise on one lock.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
 
 fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
     std::env::set_var("RAYON_NUM_THREADS", n.to_string());
@@ -56,6 +61,7 @@ fn mask_kinds(n: usize) -> Vec<(&'static str, AttnMask)> {
 
 #[test]
 fn parallel_kernels_bit_identical_across_thread_counts() {
+    let _env = ENV_LOCK.lock().unwrap();
     // n and d chosen so n·n·d clears the PAR_VOLUME gate (96·96·16 = 147456)
     // and n is not a multiple of the 32-row block, exercising the ragged
     // final block under every thread count.
@@ -109,5 +115,71 @@ fn parallel_kernels_bit_identical_across_thread_counts() {
         assert_bits_eq(&out.lse, &reference.lse, &tag);
         assert_bits_eq(out.grad_h.as_slice(), reference.grad_h.as_slice(), &tag);
         assert_bits_eq(out.grad_w.as_slice(), reference.grad_w.as_slice(), &tag);
+    }
+}
+
+/// The AVX2+FMA microkernels and the scalar fallback are bound to each
+/// other bit for bit: both contract multiply–add to a single rounding
+/// (`f32::mul_add` ⟷ `vfmadd`), share one polynomial `exp`, and reduce in
+/// the same lane order. `BURST_NO_SIMD=1` must therefore reproduce the
+/// vector path exactly — this is the contract that makes the CI fallback
+/// leg and the vectorised leg interchangeable witnesses.
+#[test]
+fn simd_and_scalar_dispatch_bit_identical() {
+    let _env = ENV_LOCK.lock().unwrap();
+    // d = 20 is not a multiple of the 8-lane AVX2 width, so every inner
+    // loop exercises its ragged remainder; n·n·d clears the volume gates.
+    let (n, d) = (97usize, 20usize);
+    let q = randn_mat(n, d, 0.6, 21);
+    let k = randn_mat(n, d, 0.6, 22);
+    let v = randn_mat(n, d, 0.6, 23);
+    let grad_o = randn_mat(n, d, 0.4, 24);
+    let idx: Vec<usize> = (0..n).collect();
+    let scale = 1.0 / (d as f32).sqrt();
+    let vocab = 509usize; // prime: ragged vocab tiles too
+    let h = randn_mat(n, d, 0.7, 25);
+    let w = randn_mat(vocab, d, 0.7, 26);
+    let y: Vec<usize> = (0..n).map(|i| (i * 131) % vocab).collect();
+
+    let run_all = |mask: &AttnMask| {
+        let fwd = flash_forward(&q, &k, &v, scale, mask, &idx, &idx);
+        let d_vec = grad_o.rowsum_hadamard(&fwd.o);
+        let (dq, dk, dv, _) = attn_tile_backward(
+            &q, &k, &v, &grad_o, &fwd.lse, &d_vec, scale, mask, &idx, &idx,
+        );
+        let lm = fused_lm_loss(&h, &w, &y);
+        (fwd, dq, dk, dv, lm)
+    };
+
+    for (name, mask) in mask_kinds(n) {
+        burst_tensor::simd::refresh();
+        let native = run_all(&mask);
+        let native_label = burst_tensor::simd::dispatch_label();
+
+        std::env::set_var("BURST_NO_SIMD", "1");
+        burst_tensor::simd::refresh();
+        assert!(
+            !burst_tensor::simd::avx2_active(),
+            "BURST_NO_SIMD=1 must force the scalar fallback"
+        );
+        let scalar = run_all(&mask);
+        std::env::remove_var("BURST_NO_SIMD");
+        burst_tensor::simd::refresh();
+
+        let tag = format!("simd-vs-scalar/{name} (native dispatch: {native_label})");
+        assert_bits_eq(scalar.0.o.as_slice(), native.0.o.as_slice(), &tag);
+        assert_bits_eq(&scalar.0.lse, &native.0.lse, &tag);
+        assert_bits_eq(scalar.1.as_slice(), native.1.as_slice(), &tag);
+        assert_bits_eq(scalar.2.as_slice(), native.2.as_slice(), &tag);
+        assert_bits_eq(scalar.3.as_slice(), native.3.as_slice(), &tag);
+        assert_eq!(
+            scalar.4.loss.to_bits(),
+            native.4.loss.to_bits(),
+            "{tag}: loss"
+        );
+        assert_bits_eq(&scalar.4.losses, &native.4.losses, &tag);
+        assert_bits_eq(&scalar.4.lse, &native.4.lse, &tag);
+        assert_bits_eq(scalar.4.grad_h.as_slice(), native.4.grad_h.as_slice(), &tag);
+        assert_bits_eq(scalar.4.grad_w.as_slice(), native.4.grad_w.as_slice(), &tag);
     }
 }

@@ -680,7 +680,10 @@ impl MultiHeadAttention {
         let k_heads = self.expand_kv(kv_k);
         let v_heads = self.expand_kv(kv_v);
         let (o_heads, lse) = match cache {
-            AttnCache::Full { o, lse } => (o.clone(), lse.clone()),
+            AttnCache::Full { o, lse } => (
+                o.iter().map(|m| m.load()).collect::<Vec<Mat>>(),
+                lse.clone(),
+            ),
             AttnCache::Tail {
                 o_tail,
                 lse_tail,
@@ -733,8 +736,9 @@ impl MultiHeadAttention {
                         oh.row_mut(r).copy_from_slice(o_front[h].row(sub));
                         lh[r] = lse_front[h][sub];
                     }
+                    let ot = o_tail[h].load();
                     for (sub, &r) in tail_rows.iter().enumerate() {
-                        oh.row_mut(r).copy_from_slice(o_tail[h].row(sub));
+                        oh.row_mut(r).copy_from_slice(ot.row(sub));
                         lh[r] = lse_tail[h][sub];
                     }
                     o.push(oh);

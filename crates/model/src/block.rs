@@ -170,7 +170,12 @@ mod tests {
         let mut exec = LocalExec::new(AttnMask::Causal, n);
         let (y1, saved) = block.forward(&x, &mut exec);
         let cache = AttnCache::Full {
-            o: saved.mha.o_heads.clone(),
+            o: saved
+                .mha
+                .o_heads
+                .iter()
+                .map(|m| crate::checkpoint::StoredMat::F32(m.clone()))
+                .collect(),
             lse: saved.mha.lse.clone(),
         };
         let (y2, saved2) = block.forward_with_cache(&x, &mut exec, &cache);

@@ -17,17 +17,66 @@ use crate::attention::AttnExec;
 use crate::block::{BlockSaved, TransformerBlock};
 use crate::memory::MemoryTracker;
 use burst_comm::SpanKind;
-use burst_tensor::Mat;
+use burst_tensor::{Bf16Mat, Mat};
+
+/// Precision of stashed activations (block inputs and cached attention
+/// outputs). Softmax statistics (`Lse`) always stay f32 — they anchor the
+/// online merges and are `O(m)` against the `O(m·d)` matrices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ActPrecision {
+    /// Full-width stashes: recompute starts from exact inputs.
+    #[default]
+    F32,
+    /// Genuine 2-byte stashes ([`Bf16Mat`]): halves stored activation
+    /// bytes; recompute starts from bf16-rounded inputs (the paper's
+    /// training precision).
+    Bf16,
+}
+
+/// One stashed activation matrix, stored at the configured precision.
+#[derive(Debug, Clone)]
+pub enum StoredMat {
+    F32(Mat),
+    Bf16(Bf16Mat),
+}
+
+impl StoredMat {
+    pub fn store(m: Mat, precision: ActPrecision) -> Self {
+        match precision {
+            ActPrecision::F32 => StoredMat::F32(m),
+            ActPrecision::Bf16 => StoredMat::Bf16(Bf16Mat::from_mat(&m)),
+        }
+    }
+
+    /// Materialise the full-width matrix (decodes exactly for bf16).
+    pub fn load(&self) -> Mat {
+        match self {
+            StoredMat::F32(m) => m.clone(),
+            StoredMat::Bf16(h) => h.to_mat(),
+        }
+    }
+
+    /// True storage footprint: 4 bytes per element for f32, 2 for bf16.
+    pub fn nbytes(&self) -> usize {
+        match self {
+            StoredMat::F32(m) => m.nbytes(),
+            StoredMat::Bf16(h) => h.nbytes(),
+        }
+    }
+}
 
 /// Cached attention outputs a strategy chose to keep.
 #[derive(Debug, Clone)]
 pub enum AttnCache {
     /// Per-head `(O, Lse)` for all local rows (selective checkpointing++).
-    Full { o: Vec<Mat>, lse: Vec<Vec<f32>> },
+    Full {
+        o: Vec<StoredMat>,
+        lse: Vec<Vec<f32>>,
+    },
     /// Per-head `(O, Lse)` for local rows with global index `>= cutoff`
     /// only (sequence-level selective checkpointing).
     Tail {
-        o_tail: Vec<Mat>,
+        o_tail: Vec<StoredMat>,
         lse_tail: Vec<Vec<f32>>,
         cutoff: usize,
     },
@@ -68,8 +117,8 @@ pub enum Strategy {
 /// What the forward kept for one block.
 pub enum Stored {
     Everything(Box<BlockSaved>),
-    InputOnly { x: Mat },
-    WithCache { x: Mat, cache: AttnCache },
+    InputOnly { x: StoredMat },
+    WithCache { x: StoredMat, cache: AttnCache },
 }
 
 impl Stored {
@@ -92,6 +141,30 @@ pub fn forward_blocks<E: AttnExec>(
     seq_len: usize,
     tracker: &mut MemoryTracker,
 ) -> (Mat, Vec<Stored>) {
+    forward_blocks_prec(
+        blocks,
+        x,
+        exec,
+        strategy,
+        seq_len,
+        tracker,
+        ActPrecision::F32,
+    )
+}
+
+/// [`forward_blocks`] at an explicit stash precision: under
+/// [`ActPrecision::Bf16`] every kept block input and cached attention
+/// output occupies 2 bytes per element, halving the tracked stash.
+#[allow(clippy::too_many_arguments)]
+pub fn forward_blocks_prec<E: AttnExec>(
+    blocks: &[TransformerBlock],
+    x: &Mat,
+    exec: &mut E,
+    strategy: Strategy,
+    seq_len: usize,
+    tracker: &mut MemoryTracker,
+    precision: ActPrecision,
+) -> (Mat, Vec<Stored>) {
     let mut cur = x.clone();
     let mut stored = Vec::with_capacity(blocks.len());
     for block in blocks {
@@ -100,11 +173,18 @@ pub fn forward_blocks<E: AttnExec>(
         let (y, saved) = block.forward(&cur, exec);
         let keep = match strategy {
             Strategy::None => Stored::Everything(Box::new(saved)),
-            Strategy::Full => Stored::InputOnly { x: input },
+            Strategy::Full => Stored::InputOnly {
+                x: StoredMat::store(input, precision),
+            },
             Strategy::SelectivePlusPlus => Stored::WithCache {
-                x: input,
+                x: StoredMat::store(input, precision),
                 cache: AttnCache::Full {
-                    o: saved.mha.o_heads.clone(),
+                    o: saved
+                        .mha
+                        .o_heads
+                        .iter()
+                        .map(|m| StoredMat::store(m.clone(), precision))
+                        .collect(),
                     lse: saved.mha.lse.clone(),
                 },
             },
@@ -117,11 +197,11 @@ pub fn forward_blocks<E: AttnExec>(
                     .filter(|(_, &g)| g >= cutoff)
                     .map(|(r, _)| r)
                     .collect();
-                let o_tail: Vec<Mat> = saved
+                let o_tail: Vec<StoredMat> = saved
                     .mha
                     .o_heads
                     .iter()
-                    .map(|m| m.gather_rows(&tail_rows))
+                    .map(|m| StoredMat::store(m.gather_rows(&tail_rows), precision))
                     .collect();
                 let lse_tail: Vec<Vec<f32>> = saved
                     .mha
@@ -130,7 +210,7 @@ pub fn forward_blocks<E: AttnExec>(
                     .map(|l| tail_rows.iter().map(|&r| l[r]).collect())
                     .collect();
                 Stored::WithCache {
-                    x: input,
+                    x: StoredMat::store(input, precision),
                     cache: AttnCache::Tail {
                         o_tail,
                         lse_tail,
@@ -177,13 +257,13 @@ pub fn backward_blocks<E: AttnExec>(
             Stored::Everything(saved) => *saved,
             Stored::InputOnly { x } => {
                 exec.recompute_scope(true);
-                let s = block.forward(&x, exec).1;
+                let s = block.forward(&x.load(), exec).1;
                 exec.recompute_scope(false);
                 s
             }
             Stored::WithCache { x, cache } => {
                 exec.recompute_scope(true);
-                let s = block.forward_with_cache(&x, exec, &cache).1;
+                let s = block.forward_with_cache(&x.load(), exec, &cache).1;
                 exec.recompute_scope(false);
                 s
             }
@@ -213,13 +293,18 @@ mod tests {
     }
 
     fn run(strategy: Strategy) -> (Mat, Vec<Mat>, usize) {
+        run_prec(strategy, ActPrecision::F32)
+    }
+
+    fn run_prec(strategy: Strategy, precision: ActPrecision) -> (Mat, Vec<Mat>, usize) {
         let (n, d, heads, dff, layers) = (16usize, 4usize, 2usize, 8usize, 3usize);
         let mut bs = blocks(d, heads, dff, layers);
         let x = randn_mat(n, d, 0.8, 600);
         let gy = randn_mat(n, d, 1.0, 601);
         let mut exec = LocalExec::new(AttnMask::Causal, n);
         let mut tracker = MemoryTracker::new();
-        let (y, stored) = forward_blocks(&bs, &x, &mut exec, strategy, n, &mut tracker);
+        let (y, stored) =
+            forward_blocks_prec(&bs, &x, &mut exec, strategy, n, &mut tracker, precision);
         let stored_peak = tracker.current();
         let gx = backward_blocks(&mut bs, stored, &gy, &mut exec, &mut tracker);
         let grads: Vec<Mat> = bs
@@ -293,5 +378,41 @@ mod tests {
         let (_, _, m_full) = run(Strategy::Full);
         let (_, _, m_seq1) = run(Strategy::SeqSelective { rho: 1.0 });
         assert_eq!(m_full, m_seq1);
+    }
+
+    #[test]
+    fn bf16_stash_halves_stored_peak() {
+        // Strategy::Full stores only block-input matrices, so the bf16
+        // stash is exactly half the f32 stash.
+        let (_, _, f32_peak) = run_prec(Strategy::Full, ActPrecision::F32);
+        let (_, _, bf16_peak) = run_prec(Strategy::Full, ActPrecision::Bf16);
+        assert_eq!(bf16_peak * 2, f32_peak, "bf16 block-input stash");
+        // Selective++ adds f32 Lse vectors to the stash, so the ratio sits
+        // strictly between ½ (all-matrix) and 1.
+        let (_, _, pp32) = run_prec(Strategy::SelectivePlusPlus, ActPrecision::F32);
+        let (_, _, pp16) = run_prec(Strategy::SelectivePlusPlus, ActPrecision::Bf16);
+        assert!(
+            pp16 * 2 > pp32 && pp16 < pp32,
+            "selective++ bf16 stash: {pp16} vs f32 {pp32}"
+        );
+    }
+
+    #[test]
+    fn bf16_stash_gradients_stay_close_to_f32() {
+        // Recompute starts from bf16-rounded inputs. The ~0.4% input
+        // rounding amplifies through three blocks of recompute, so the
+        // bound is loose — what matters is that gradients stay the same
+        // order, not bitwise (training tolerance, not kernel tolerance).
+        let (y32, g32, _) = run_prec(Strategy::Full, ActPrecision::F32);
+        let (y16, g16, _) = run_prec(Strategy::Full, ActPrecision::Bf16);
+        assert_allclose(&y16, &y32, 1e-5, "bf16 stash forward output");
+        assert_ne!(
+            g16[0].as_slice(),
+            g32[0].as_slice(),
+            "bf16 rounding must actually perturb the recompute"
+        );
+        for (a, b) in g16.iter().zip(&g32) {
+            assert_allclose(a, b, 1e-1, "bf16 stash grads");
+        }
     }
 }

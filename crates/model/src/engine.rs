@@ -5,7 +5,7 @@
 //! second per GPU), MFU and modeled memory.
 
 use crate::attention::{AttnExec, DistExec, LocalExec, UlyssesExec, UspExec};
-use crate::checkpoint::Strategy;
+use crate::checkpoint::{ActPrecision, Strategy};
 use crate::checkpoint_io::{atomic_write, decode_checkpoint, encode_checkpoint};
 use crate::checkpoint_shard::{
     load_sharded, shard_meta, write_manifest, write_shard, ShardManifest,
@@ -57,6 +57,10 @@ pub struct EngineConfig {
     /// every parameter to bfloat16 before each step's compute while Adam
     /// keeps fp32 masters — the standard mixed-precision recipe.
     pub emulate_bf16: bool,
+    /// Hold checkpointed activations (block inputs, cached attention
+    /// outputs) at genuine 2-byte bf16 width, halving the tracked stash
+    /// (see [`ActPrecision`]).
+    pub bf16_activations: bool,
     /// Communication/computation overlap discipline for flat-ring backends.
     pub overlap: OverlapMode,
     pub adam: AdamCfg,
@@ -76,6 +80,7 @@ impl EngineConfig {
             offload_optimizer: false,
             grad_accum: 1,
             emulate_bf16: false,
+            bf16_activations: false,
             overlap: OverlapMode::Fine,
             adam: AdamCfg::default(),
             seed: 42,
@@ -387,12 +392,18 @@ fn step_with<E: AttnExec>(
     let idx = exec.local_indices();
     let local_tokens: Vec<usize> = idx.iter().map(|&i| tokens[i]).collect();
     let local_targets: Vec<usize> = idx.iter().map(|&i| targets[i]).collect();
-    model.train_step(
+    let precision = if cfg.bf16_activations {
+        ActPrecision::Bf16
+    } else {
+        ActPrecision::F32
+    };
+    model.train_step_prec(
         &local_tokens,
         &local_targets,
         exec,
         cfg.strategy,
         cfg.model.seq_len * accum,
+        precision,
     )
 }
 

@@ -46,7 +46,7 @@ pub mod rope;
 
 pub use attention::{AttnExec, DistExec, LocalExec, MultiHeadAttention};
 pub use block::TransformerBlock;
-pub use checkpoint::Strategy;
+pub use checkpoint::{ActPrecision, StoredMat, Strategy};
 pub use checkpoint_shard::{load_sharded, save_sharded, ShardManifest, ShardMeta};
 pub use engine::{
     train_with_recovery, EngineConfig, RecoveryCfg, RecoveryReport, SpanOutcome, TrainCheckpoint,

@@ -3,7 +3,7 @@
 
 use crate::attention::AttnExec;
 use crate::block::TransformerBlock;
-use crate::checkpoint::{backward_blocks, forward_blocks, Strategy};
+use crate::checkpoint::{backward_blocks, forward_blocks_prec, ActPrecision, Strategy};
 use crate::embedding::Embedding;
 use crate::memory::MemoryTracker;
 use crate::norm::RmsNorm;
@@ -194,18 +194,42 @@ impl Model {
         strategy: Strategy,
         global_tokens: usize,
     ) -> StepOutput {
+        self.train_step_prec(
+            tokens,
+            targets,
+            exec,
+            strategy,
+            global_tokens,
+            ActPrecision::F32,
+        )
+    }
+
+    /// [`Model::train_step`] at an explicit activation-stash precision:
+    /// under [`ActPrecision::Bf16`] every checkpointed block input and
+    /// cached attention output is held at 2 bytes per element, halving
+    /// `peak_activation_bytes`' stash component.
+    pub fn train_step_prec<E: AttnExec>(
+        &mut self,
+        tokens: &[usize],
+        targets: &[usize],
+        exec: &mut E,
+        strategy: Strategy,
+        global_tokens: usize,
+        precision: ActPrecision,
+    ) -> StepOutput {
         assert_eq!(tokens.len(), targets.len(), "train_step: token/target");
         let mut tracker = MemoryTracker::new();
         // ---- forward ----
         let x = self.embed.forward(tokens);
         tracker.alloc(x.nbytes());
-        let (h, stored) = forward_blocks(
+        let (h, stored) = forward_blocks_prec(
             &self.blocks,
             &x,
             exec,
             strategy,
             self.cfg.seq_len,
             &mut tracker,
+            precision,
         );
         let (hn, norm_saved) = self.final_norm.forward(&h);
         tracker.alloc(norm_saved.nbytes());

@@ -28,6 +28,7 @@ fn cfg(backend: Backend) -> EngineConfig {
         offload_optimizer: false,
         grad_accum: 1,
         emulate_bf16: true,
+        bf16_activations: true,
         overlap: OverlapMode::Fine,
         adam: Default::default(),
         seed: 88,

@@ -29,6 +29,7 @@ fn cfg(backend: Backend) -> EngineConfig {
         offload_optimizer: false,
         grad_accum: 1,
         emulate_bf16: false,
+        bf16_activations: false,
         overlap: burst_dattn::OverlapMode::Fine,
         adam: Default::default(),
         seed: 77,

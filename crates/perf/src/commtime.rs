@@ -16,6 +16,7 @@
 //!   (2 forward + ~3 backward units, both levels overlapped)
 
 use crate::machine::Cluster;
+use burst_comm::WireDtype;
 use serde::{Deserialize, Serialize};
 
 /// Communication time of one layer's attention fwd+bwd for each method.
@@ -26,9 +27,22 @@ pub struct CommTimes {
     pub burst: f64,
 }
 
-/// Per-hop partition bytes: one `N/G × d_model` activation in bf16.
+/// Per-hop partition bytes: one `N/G × d_model` activation in bf16 —
+/// the paper's Table 1 assumes half-width activations on the wire
+/// (the simulator's [`WireDtype::Bf16`] setting). For the f32 wire use
+/// `partition_bytes_dtype` with [`WireDtype::F32`].
 pub fn partition_bytes(seq_len: usize, d_model: usize, world: usize) -> f64 {
-    (seq_len as f64 / world as f64) * d_model as f64 * 2.0
+    partition_bytes_dtype(seq_len, d_model, world, WireDtype::Bf16)
+}
+
+/// [`partition_bytes`] at an explicit wire dtype.
+pub fn partition_bytes_dtype(
+    seq_len: usize,
+    d_model: usize,
+    world: usize,
+    dtype: WireDtype,
+) -> f64 {
+    (seq_len as f64 / world as f64) * d_model as f64 * dtype.width()
 }
 
 /// Evaluate all three Table 1 rows for a partition of `p_bytes`.
@@ -130,8 +144,10 @@ impl WireCounts {
 }
 
 /// Count every message the schedule for `method` posts, over all ranks,
-/// for per-rank partitions of `seq_len / world` rows of width `d` (bf16 on
-/// the wire). The per-rank counts mirror the send sites in `burst-dattn`:
+/// for per-rank partitions of `seq_len / world` rows of width `d`, at the
+/// simulator's default f32 wire (4 bytes per matrix element; use
+/// [`exact_wire_counts_dtype`] for a bf16 wire). The per-rank counts
+/// mirror the send sites in `burst-dattn`:
 ///
 /// * flat ring: `2(G−1)` forward + `4G` Algorithm 1 backward `Mat` hops on
 ///   each rank's single outgoing edge; `nodes` of the `G` edges cross a
@@ -149,11 +165,24 @@ pub fn exact_wire_counts(
     d: usize,
     method: RingMethod,
 ) -> WireCounts {
+    exact_wire_counts_dtype(cluster, seq_len, d, method, WireDtype::F32)
+}
+
+/// [`exact_wire_counts`] at an explicit matrix wire dtype. Only the `Mat`
+/// payloads change width: the softmax statistics vectors (`LSE`, `D`)
+/// always travel as f32 (4 bytes per element), matching the simulator.
+pub fn exact_wire_counts_dtype(
+    cluster: &Cluster,
+    seq_len: usize,
+    d: usize,
+    method: RingMethod,
+    dtype: WireDtype,
+) -> WireCounts {
     let g = cluster.world();
     let (n, p) = (cluster.nodes as u64, cluster.gpus_per_node as u64);
     let m = seq_len as f64 / g as f64;
-    let mat = m * d as f64 * 2.0;
-    let vec = m * 2.0;
+    let mat = m * d as f64 * dtype.width();
+    let vec = m * 4.0;
     let mut w = WireCounts::default();
     if g == 1 {
         return w; // single rank: both backwards early-return, no sends
@@ -192,13 +221,32 @@ pub fn exact_wire_counts(
 }
 
 /// The exact-census counterpart of [`layer_comm_times`]: total wire
-/// occupancy per method for one layer, summed over all ranks.
+/// occupancy per method for one layer, summed over all ranks, at the
+/// default f32 wire.
 pub fn exact_comm_times(cluster: &Cluster, seq_len: usize, d_model: usize) -> CommTimes {
+    exact_comm_times_dtype(cluster, seq_len, d_model, WireDtype::F32)
+}
+
+/// [`exact_comm_times`] at an explicit matrix wire dtype.
+pub fn exact_comm_times_dtype(
+    cluster: &Cluster,
+    seq_len: usize,
+    d_model: usize,
+    dtype: WireDtype,
+) -> CommTimes {
     CommTimes {
-        ring: exact_wire_counts(cluster, seq_len, d_model, RingMethod::Ring).secs(cluster),
-        double_ring: exact_wire_counts(cluster, seq_len, d_model, RingMethod::DoubleRing)
+        ring: exact_wire_counts_dtype(cluster, seq_len, d_model, RingMethod::Ring, dtype)
             .secs(cluster),
-        burst: exact_wire_counts(cluster, seq_len, d_model, RingMethod::Burst).secs(cluster),
+        double_ring: exact_wire_counts_dtype(
+            cluster,
+            seq_len,
+            d_model,
+            RingMethod::DoubleRing,
+            dtype,
+        )
+        .secs(cluster),
+        burst: exact_wire_counts_dtype(cluster, seq_len, d_model, RingMethod::Burst, dtype)
+            .secs(cluster),
     }
 }
 
@@ -272,13 +320,13 @@ mod tests {
 
     #[test]
     fn exact_census_matches_hand_count() {
-        // 2 nodes × 2 GPUs, 8 tokens, d = 4: m = 2 rows, Mat = 16 bytes.
+        // 2 nodes × 2 GPUs, 8 tokens, d = 4: m = 2 rows, f32 Mat = 32 bytes.
         let c = Cluster::a800(2, 2);
         let w = exact_wire_counts(&c, 8, 4, RingMethod::Ring);
         // Per rank 2·3 fwd + 4·4 bwd = 22 Mat hops; 2 of 4 edges are inter.
         assert_eq!(w.inter_msgs, 2 * 22);
         assert_eq!(w.intra_msgs, 2 * 22);
-        assert_eq!(w.inter_bytes, 44.0 * 16.0);
+        assert_eq!(w.inter_bytes, 44.0 * 32.0);
 
         let w = exact_wire_counts(&c, 8, 4, RingMethod::DoubleRing);
         // Per rank inter: 6·1 + 2 completion = 8; intra: 6·2·1 + 2·(2%2) = 12.
@@ -287,10 +335,26 @@ mod tests {
 
         let w = exact_wire_counts(&c, 8, 4, RingMethod::Burst);
         // Per rank inter: 4 Mat read-only + 2 Vec + 2 ∇Q; intra: 8 Mat
-        // read-only + 4 Vec + 2 ∇Q.
+        // read-only + 4 Vec + 2 ∇Q. Vec = 2 rows · 4 bytes.
         assert_eq!(w.inter_msgs, 4 * 8);
         assert_eq!(w.intra_msgs, 4 * 14);
-        assert_eq!(w.inter_bytes, 4.0 * (6.0 * 16.0 + 2.0 * 4.0));
+        assert_eq!(w.inter_bytes, 4.0 * (6.0 * 32.0 + 2.0 * 8.0));
+    }
+
+    #[test]
+    fn bf16_wire_halves_mat_bytes_but_not_vec_bytes() {
+        let c = Cluster::a800(2, 2);
+        for method in [RingMethod::Ring, RingMethod::DoubleRing] {
+            // Mat-only methods: total bytes halve exactly.
+            let f = exact_wire_counts_dtype(&c, 8, 4, method, WireDtype::F32);
+            let h = exact_wire_counts_dtype(&c, 8, 4, method, WireDtype::Bf16);
+            assert_eq!(h.bytes() * 2.0, f.bytes(), "{method:?}");
+            assert_eq!(h.msgs(), f.msgs(), "{method:?}: census counts messages");
+        }
+        // Burst also ships f32 statistics vectors, so the halving applies
+        // only to the Mat share: Bf16 Mat = 2·4·2 = 16 B, Vec stays 8 B.
+        let h = exact_wire_counts_dtype(&c, 8, 4, RingMethod::Burst, WireDtype::Bf16);
+        assert_eq!(h.inter_bytes, 4.0 * (6.0 * 16.0 + 2.0 * 8.0));
     }
 
     #[test]

@@ -1,12 +1,22 @@
-//! bf16 emulation: round-trip `f32` values through bfloat16 precision.
+//! bf16 storage: round `f32` through bfloat16 precision, and hold matrices
+//! at genuine 2-byte width.
 //!
 //! The paper trains in bf16 with fp32 Adam masters. The simulator computes
-//! in `f32` for exact cross-checks, but [`round_bf16`] lets the engine
-//! emulate bf16 weight storage — truncating the mantissa to 8 bits with
-//! round-to-nearest-even — to demonstrate that every equivalence in this
-//! reproduction survives the paper's actual numeric format.
+//! in `f32` for exact cross-checks, and offers two bf16 facilities:
+//!
+//! * [`round_bf16`] — round-to-nearest-even to the closest bf16-representable
+//!   `f32`, used by the engine to *emulate* bf16 weight storage while keeping
+//!   4-byte buffers;
+//! * [`Bf16Mat`] — a real 2-byte-per-element matrix ([`encode_bf16`] /
+//!   [`decode_bf16`]) used for half-width activation stashes, KV ring
+//!   shards, and wire payloads. Decoding is exact (a bf16 value is a
+//!   prefix of an `f32`), so `decode(encode(x)) == round_bf16(x)` bit-for-
+//!   bit and re-encoding a decoded matrix is lossless — a shard can
+//!   circulate a ring indefinitely without further drift. All arithmetic
+//!   stays in `f32`: a `Bf16Mat` only ever stores, never computes.
 
 use crate::mat::Mat;
+use serde::{Deserialize, Serialize};
 
 /// Round an `f32` to the nearest bfloat16-representable value
 /// (round-to-nearest-even on the dropped 16 mantissa bits).
@@ -18,6 +28,26 @@ pub fn round_bf16(x: f32) -> f32 {
     let bits = x.to_bits();
     let rounding_bias = 0x7FFF + ((bits >> 16) & 1);
     f32::from_bits(bits.wrapping_add(rounding_bias) & 0xFFFF_0000)
+}
+
+/// Encode an `f32` into the 16 stored bits of its nearest bf16 value
+/// (round-to-nearest-even, same rounding as [`round_bf16`]).
+#[inline]
+pub fn encode_bf16(x: f32) -> u16 {
+    let bits = x.to_bits();
+    if x.is_nan() {
+        // Keep NaN a NaN after truncation even if the payload's high
+        // mantissa bits are zero (quiet-bit set).
+        return ((bits >> 16) as u16) | 0x0040;
+    }
+    let rounding_bias = 0x7FFF + ((bits >> 16) & 1);
+    (bits.wrapping_add(rounding_bias) >> 16) as u16
+}
+
+/// Decode 16 stored bf16 bits back to `f32` — exact, no rounding.
+#[inline]
+pub fn decode_bf16(u: u16) -> f32 {
+    f32::from_bits((u as u32) << 16)
 }
 
 impl Mat {
@@ -33,6 +63,74 @@ impl Mat {
         let mut m = self.clone();
         m.round_bf16_inplace();
         m
+    }
+}
+
+/// A row-major matrix stored at genuine bfloat16 width: 2 bytes per
+/// element. The half-width storage type behind bf16 activation stashes,
+/// KV ring shards, and wire payloads; see the module docs for the
+/// numerics contract.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Bf16Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<u16>,
+}
+
+impl Bf16Mat {
+    /// Encode an `f32` matrix (round-to-nearest-even per element).
+    pub fn from_mat(m: &Mat) -> Self {
+        Bf16Mat {
+            rows: m.rows(),
+            cols: m.cols(),
+            data: m.as_slice().iter().map(|&x| encode_bf16(x)).collect(),
+        }
+    }
+
+    /// Decode back to `f32`. Exact: the result equals `m.to_bf16()` of the
+    /// originally encoded matrix, bit for bit.
+    pub fn to_mat(&self) -> Mat {
+        Mat::from_vec(
+            self.rows,
+            self.cols,
+            self.data.iter().map(|&u| decode_bf16(u)).collect(),
+        )
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Storage footprint: 2 bytes per element — half of [`Mat::nbytes`].
+    pub fn nbytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<u16>()
+    }
+
+    /// Raw stored bits (row-major), for checksums and wire accounting.
+    pub fn as_bits(&self) -> &[u16] {
+        &self.data
+    }
+
+    /// Mutable raw bits, for injected wire corruption in the fault layer.
+    pub fn as_bits_mut(&mut self) -> &mut [u16] {
+        &mut self.data
     }
 }
 
@@ -92,5 +190,62 @@ mod tests {
         for c in 0..3 {
             assert_eq!(round_bf16(m.get(0, c)), r.get(0, c));
         }
+    }
+
+    #[test]
+    fn encode_decode_agrees_with_round_bf16_bitwise() {
+        for i in 0..4000u32 {
+            let x = f32::from_bits(i.wrapping_mul(0x9E37_79B9) | (i & 1) << 31);
+            if x.is_nan() {
+                assert!(decode_bf16(encode_bf16(x)).is_nan(), "NaN lost: {i}");
+                continue;
+            }
+            assert_eq!(
+                decode_bf16(encode_bf16(x)).to_bits(),
+                round_bf16(x).to_bits(),
+                "x = {x:?}"
+            );
+        }
+        for &x in &[
+            0.0f32,
+            -0.0,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::MIN_POSITIVE,
+        ] {
+            assert_eq!(
+                decode_bf16(encode_bf16(x)).to_bits(),
+                round_bf16(x).to_bits()
+            );
+        }
+        assert!(decode_bf16(encode_bf16(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn bf16mat_round_trip_is_exact_and_half_width() {
+        let m = crate::randn_mat(7, 9, 1.3, 42);
+        let h = Bf16Mat::from_mat(&m);
+        assert_eq!(h.shape(), (7, 9));
+        assert_eq!(h.nbytes() * 2, m.nbytes(), "bf16 must be half of f32");
+        let back = h.to_mat();
+        assert_eq!(back, m.to_bf16(), "decode must equal rounded original");
+        // Re-encoding the decoded matrix is lossless: a shard can circulate
+        // a ring without accumulating further rounding.
+        assert_eq!(Bf16Mat::from_mat(&back), h);
+    }
+
+    #[test]
+    fn bf16mat_exposes_raw_bits_row_major() {
+        let m = Mat::from_vec(2, 2, vec![1.0, -2.0, 0.5, 256.0]);
+        let h = Bf16Mat::from_mat(&m);
+        assert_eq!(h.len(), 4);
+        assert!(!h.is_empty());
+        let bits: Vec<u16> = m
+            .as_slice()
+            .iter()
+            .map(|&x| (x.to_bits() >> 16) as u16)
+            .collect();
+        // All four values are exactly representable: encoding is truncation.
+        assert_eq!(h.as_bits(), &bits[..]);
     }
 }

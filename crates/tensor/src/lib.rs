@@ -28,9 +28,10 @@ pub mod mat;
 pub mod ops;
 pub mod random;
 pub mod scratch;
+pub mod simd;
 pub mod testutil;
 
-pub use bf16::round_bf16;
+pub use bf16::{decode_bf16, encode_bf16, round_bf16, Bf16Mat};
 pub use mat::{Mat, MatRef};
 pub use ops::{axpy_rows_slice, matmul_into, matmul_nt_into, matmul_tn_into, tree_sum};
 pub use random::{randn_mat, uniform_mat, SeedStream};

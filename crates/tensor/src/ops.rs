@@ -17,6 +17,7 @@
 //! results are bit-identical across thread counts and entry points.
 
 use crate::mat::{Mat, MatRef};
+use crate::simd;
 use rayon::prelude::*;
 
 /// Row-block size used to split work across rayon tasks. Must stay a
@@ -24,17 +25,17 @@ use rayon::prelude::*;
 /// same 4-row quads.
 const PAR_ROW_BLOCK: usize = 32;
 /// Register-block row edge: micro-kernels process `MR` output rows at once.
-const MR: usize = 4;
+pub(crate) const MR: usize = 4;
 /// Column width of the output-stationary register tile in [`nn_micro`] /
 /// [`tn_micro`] (two 8-lane SIMD registers per output row).
-const NR: usize = 16;
+pub(crate) const NR: usize = 16;
 /// Emulated SIMD width: reduction accumulators in [`nt_micro`] are
 /// `[f32; VL]` arrays whose element-wise update LLVM lowers to one FMA.
 const VL: usize = 8;
 /// Column edge of the `nt` register block. `MR × NTC` vector accumulators
 /// must fit the 16 architectural SIMD registers with room for operands;
 /// 4×4 spills.
-const NTC: usize = 2;
+pub(crate) const NTC: usize = 2;
 
 /// Smallest matrix volume (`m * n * k`) worth parallelising; below this the
 /// rayon fork/join overhead dominates.
@@ -105,11 +106,9 @@ impl Mat {
         out
     }
 
-    /// Multiply every element by `s` in place.
+    /// Multiply every element by `s` in place (vectorized; see [`simd`]).
     pub fn scale(&mut self, s: f32) {
-        for v in self.as_mut_slice() {
-            *v *= s;
-        }
+        simd::scale_slice(self.as_mut_slice(), s);
     }
 
     /// A scaled copy.
@@ -209,13 +208,19 @@ impl Mat {
     pub fn exp_sub_rowwise_inplace(&mut self, s: &[f32]) {
         assert_eq!(self.rows(), s.len(), "exp_sub_rowwise: row count mismatch");
         for (r, &shift) in s.iter().enumerate() {
-            for v in self.row_mut(r) {
-                // exp(-inf - -inf) must be 0, not NaN: a masked row has no mass.
-                *v = if v.is_finite() || shift.is_finite() {
-                    (*v - shift).exp()
-                } else {
-                    0.0
-                };
+            if shift.is_finite() {
+                // Vectorized polynomial exp; -inf (masked) scores flush to 0.
+                simd::exp_shift_inplace(self.row_mut(r), shift);
+            } else {
+                for v in self.row_mut(r) {
+                    // exp(-inf - -inf) must be 0, not NaN: a masked row has
+                    // no mass.
+                    *v = if v.is_finite() {
+                        (*v - shift).exp()
+                    } else {
+                        0.0
+                    };
+                }
             }
         }
     }
@@ -260,8 +265,10 @@ pub fn matmul_into(a: MatRef<'_>, b: MatRef<'_>, out: &mut Mat) {
     );
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
     out.reshape_in_place(m, n);
+    let use_simd = simd::avx2_active();
+    let panel = simd::col_panel(n);
     run_blocked(out, m, m * n * k, |rows, r0, len| {
-        matmul_nn_block(a, b, rows, r0, len, n);
+        matmul_nn_block(a, b, rows, r0, len, n, use_simd, panel);
     });
 }
 
@@ -279,8 +286,9 @@ pub fn matmul_nt_into(a: MatRef<'_>, b: MatRef<'_>, out: &mut Mat) {
     );
     let (m, k, n) = (a.rows(), a.cols(), b.rows());
     out.reshape_in_place(m, n);
+    let use_simd = simd::avx2_active();
     run_blocked(out, m, m * n * k, |rows, r0, len| {
-        matmul_nt_block(a, b, rows, r0, len, n);
+        matmul_nt_block(a, b, rows, r0, len, n, use_simd);
     });
 }
 
@@ -300,8 +308,9 @@ pub fn matmul_tn_into(a: MatRef<'_>, b: MatRef<'_>, out: &mut Mat) {
     );
     let (m, k, n) = (a.cols(), a.rows(), b.cols());
     out.reshape_in_place(m, n);
+    let use_simd = simd::avx2_active();
     run_blocked(out, m, m * n * k, |rows, c0, len| {
-        matmul_tn_block(a, b, rows, c0, len, n);
+        matmul_tn_block(a, b, rows, c0, len, n, use_simd);
     });
 }
 
@@ -350,7 +359,10 @@ fn run_blocked(
     kernel: impl Fn(&mut [f32], usize, usize) + Sync,
 ) {
     let n = out.cols();
-    if volume >= PAR_THRESHOLD && m > PAR_ROW_BLOCK {
+    // A one-thread pool still pays rayon's producer-splitting and join
+    // machinery per call — measurable when the tiled kernels issue
+    // thousands of small products — so only fork when it can help.
+    if volume >= PAR_THRESHOLD && m > PAR_ROW_BLOCK && rayon::current_num_threads() > 1 {
         out.as_mut_slice()
             .par_chunks_mut(PAR_ROW_BLOCK * n)
             .enumerate()
@@ -366,11 +378,25 @@ fn run_blocked(
 
 /// Fixed-order pairwise reduction of one emulated vector register. The
 /// association is baked into the code, so the value never depends on how
-/// the caller was dispatched.
+/// the caller was dispatched. Shared with the AVX2 kernels in
+/// [`crate::simd`], which spill their 256-bit accumulators to `[f32; 8]`
+/// and reduce through this exact association — that reduction is what
+/// keeps the two paths bit-identical.
 #[inline(always)]
-fn hsum8(v: [f32; VL]) -> f32 {
+pub(crate) fn hsum8(v: [f32; VL]) -> f32 {
     ((v[0] + v[1]) + (v[2] + v[3])) + ((v[4] + v[5]) + (v[6] + v[7]))
 }
+
+// ---------------------------------------------------------------------------
+// Dispatch happens at the *block driver* level: each `matmul_*_block` below
+// jumps to its AVX2+FMA twin in [`crate::simd`] when `use_simd` is set
+// (decided once per `_into` call by `simd::avx2_active`), so the vector
+// path pays one branch per block and the `#[target_feature]` microkernels
+// inline into their drivers. Both branches contract every multiply-add into
+// a single-rounding IEEE FMA (`f32::mul_add` ⟷ `_mm256_fmadd_ps`), so
+// either yields the same bits. Column tails run the shared scalar tail
+// kernels in both modes.
+// ---------------------------------------------------------------------------
 
 /// `R × C` register-blocked panel of `A · Bᵀ`: accumulate
 /// `out[or0+p][c0+q] += Σ_k a[r0+p][k] · b[c0+q][k]`.
@@ -407,7 +433,7 @@ fn nt_micro<const R: usize, const C: usize>(
                 let av = &arows[p][i..i + VL];
                 let bv = &brows[q][i..i + VL];
                 for l in 0..VL {
-                    acc[p][q][l] += av[l] * bv[l];
+                    acc[p][q][l] = av[l].mul_add(bv[l], acc[p][q][l]);
                 }
             }
         }
@@ -416,7 +442,7 @@ fn nt_micro<const R: usize, const C: usize>(
     while i < k {
         for p in 0..R {
             for q in 0..C {
-                acc[p][q][0] += arows[p][i] * brows[q][i];
+                acc[p][q][0] = arows[p][i].mul_add(brows[q][i], acc[p][q][0]);
             }
         }
         i += 1;
@@ -454,7 +480,7 @@ fn nn_micro<const R: usize>(
         for p in 0..R {
             let x = arows[p][i];
             for l in 0..NR {
-                acc[p][l] += x * brow[l];
+                acc[p][l] = x.mul_add(brow[l], acc[p][l]);
             }
         }
     }
@@ -468,10 +494,11 @@ fn nn_micro<const R: usize>(
 
 /// Column remainder of [`nn_micro`] (`cn < NR` trailing columns):
 /// accumulates straight into `out` in the same ascending-`k` order. Only
-/// runs when `n % NR != 0`, so its throughput is irrelevant.
+/// runs when `n % NR != 0`, so its throughput is irrelevant; it is shared
+/// verbatim with the AVX2 drivers in [`crate::simd`].
 #[allow(clippy::needless_range_loop, clippy::too_many_arguments)]
 #[inline(always)]
-fn nn_micro_tail<const R: usize>(
+pub(crate) fn nn_micro_tail<const R: usize>(
     a: MatRef<'_>,
     b: MatRef<'_>,
     out: &mut [f32],
@@ -489,7 +516,7 @@ fn nn_micro_tail<const R: usize>(
             let x = arows[p][i];
             let orow = &mut out[(or0 + p) * n + c0..(or0 + p) * n + c0 + cn];
             for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += x * bv;
+                *o = x.mul_add(bv, *o);
             }
         }
     }
@@ -517,7 +544,7 @@ fn tn_micro<const R: usize>(
         for p in 0..R {
             let x = arow[ac0 + i0 + p];
             for l in 0..NR {
-                acc[p][l] += x * brow[l];
+                acc[p][l] = x.mul_add(brow[l], acc[p][l]);
             }
         }
     }
@@ -532,7 +559,7 @@ fn tn_micro<const R: usize>(
 /// Column remainder of [`tn_micro`], analogous to [`nn_micro_tail`].
 #[allow(clippy::needless_range_loop, clippy::too_many_arguments)]
 #[inline(always)]
-fn tn_micro_tail<const R: usize>(
+pub(crate) fn tn_micro_tail<const R: usize>(
     a: MatRef<'_>,
     b: MatRef<'_>,
     out: &mut [f32],
@@ -550,44 +577,105 @@ fn tn_micro_tail<const R: usize>(
             let x = arow[ac0 + i0 + p];
             let orow = &mut out[(i0 + p) * n + c0..(i0 + p) * n + c0 + cn];
             for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += x * bv;
+                *o = x.mul_add(bv, *o);
             }
         }
     }
 }
 
 /// `out[0..len] += A[r0..r0+len] · B`, in `MR`-row quads relative to `r0`
-/// and `NR`-column register tiles.
-fn matmul_nn_block(a: MatRef<'_>, b: MatRef<'_>, out: &mut [f32], r0: usize, len: usize, n: usize) {
-    let cwhole = n - n % NR;
-    let mut r = 0;
-    while r < len {
-        let mut c = 0;
-        if r + MR <= len {
-            while c < cwhole {
-                nn_micro::<MR>(a, b, out, n, r0 + r, r, c);
-                c += NR;
-            }
-            if c < n {
-                nn_micro_tail::<MR>(a, b, out, n, r0 + r, r, c, n - c);
-            }
-            r += MR;
-        } else {
-            while c < cwhole {
-                nn_micro::<1>(a, b, out, n, r0 + r, r, c);
-                c += NR;
-            }
-            if c < n {
-                nn_micro_tail::<1>(a, b, out, n, r0 + r, r, c, n - c);
-            }
-            r += 1;
-        }
+/// and `NR`-column register tiles, visited one column panel at a time.
+///
+/// Panelling bounds how much of `B` each pass over the row quads streams,
+/// so a panel of `B` stays cache-resident across all quads; `panel` comes
+/// from the autotuner ([`simd::col_panel`], `usize::MAX` = no panelling).
+/// Every output element still accumulates inside a single micro call in
+/// ascending-`k` order, so the panel width never affects values — only the
+/// order in which independent output tiles are visited.
+#[allow(clippy::too_many_arguments)]
+fn matmul_nn_block(
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    out: &mut [f32],
+    r0: usize,
+    len: usize,
+    n: usize,
+    use_simd: bool,
+    panel: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if use_simd {
+        unsafe { simd::x86::nn_block_avx2(a, b, out, r0, len, n, panel) };
+        return;
     }
+    let _ = use_simd;
+    let mut p0 = 0;
+    while p0 < n {
+        let pend = if panel == usize::MAX {
+            n
+        } else {
+            n.min(p0 + panel)
+        };
+        let span = pend - p0;
+        let cwhole = p0 + (span - span % NR);
+        let mut r = 0;
+        while r < len {
+            let mut c = p0;
+            if r + MR <= len {
+                while c < cwhole {
+                    nn_micro::<MR>(a, b, out, n, r0 + r, r, c);
+                    c += NR;
+                }
+                if c < pend {
+                    nn_micro_tail::<MR>(a, b, out, n, r0 + r, r, c, pend - c);
+                }
+                r += MR;
+            } else {
+                while c < cwhole {
+                    nn_micro::<1>(a, b, out, n, r0 + r, r, c);
+                    c += NR;
+                }
+                if c < pend {
+                    nn_micro_tail::<1>(a, b, out, n, r0 + r, r, c, pend - c);
+                }
+                r += 1;
+            }
+        }
+        p0 = pend;
+    }
+}
+
+/// [`matmul_nn_block`] with an explicit panel width — the autotuner's probe
+/// target (and the hook tests use to prove panel choice is value-neutral).
+pub(crate) fn nn_block_with_panel(
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    out: &mut [f32],
+    r0: usize,
+    len: usize,
+    n: usize,
+    panel: usize,
+) {
+    matmul_nn_block(a, b, out, r0, len, n, simd::avx2_active(), panel);
 }
 
 /// `out[0..len] += A[r0..r0+len] · Bᵀ`, in `MR × NTC` register blocks
 /// (eight 8-lane accumulators — small enough to stay in registers).
-fn matmul_nt_block(a: MatRef<'_>, b: MatRef<'_>, out: &mut [f32], r0: usize, len: usize, n: usize) {
+fn matmul_nt_block(
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    out: &mut [f32],
+    r0: usize,
+    len: usize,
+    n: usize,
+    use_simd: bool,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if use_simd {
+        unsafe { simd::x86::nt_block_avx2(a, b, out, r0, len, n) };
+        return;
+    }
+    let _ = use_simd;
     let mut r = 0;
     while r + MR <= len {
         let mut c = 0;
@@ -616,7 +704,21 @@ fn matmul_nt_block(a: MatRef<'_>, b: MatRef<'_>, out: &mut [f32], r0: usize, len
 }
 
 /// `out[0..len] += (Aᵀ · B)[c0..c0+len]` where `out` rows index columns of A.
-fn matmul_tn_block(a: MatRef<'_>, b: MatRef<'_>, out: &mut [f32], c0: usize, len: usize, n: usize) {
+fn matmul_tn_block(
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    out: &mut [f32],
+    c0: usize,
+    len: usize,
+    n: usize,
+    use_simd: bool,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if use_simd {
+        unsafe { simd::x86::tn_block_avx2(a, b, out, c0, len, n) };
+        return;
+    }
+    let _ = use_simd;
     let cwhole = n - n % NR;
     let mut i = 0;
     while i < len {

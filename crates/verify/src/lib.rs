@@ -58,6 +58,31 @@ pub const ORACLE_TRAIN_RTOL: f32 = 2e-3;
 /// (ULP `2^-8 ≈ 3.9e-3`); a few ULPs of slack cover reduction reorder.
 pub const BF16_RTOL: f32 = 1.6e-2;
 
+/// Bounds for schedules run with bf16 **wire** payloads
+/// (`burst_comm::WireDtype::Bf16`): every K/V ring shard and merged O
+/// block is rounded to 8 mantissa bits at the sender, exactly once per
+/// tensor (the round-once law — re-encoding a decoded shard is lossless).
+///
+/// Derivation, to first order in `ε = 2⁻⁸` (one bf16 ULP):
+/// * rounding `K` perturbs each score by `≤ ε·|q·k|`; softmax maps a
+///   score perturbation `δ` to an output-weight perturbation `≤ 2δ` (its
+///   Jacobian rows have ℓ₁ norm `≤ 2·max pᵢ(1−pᵢ)·spread ≤ spread/2`,
+///   and the generated inputs keep the score spread ≲ 4);
+/// * rounding `V` adds `≤ ε·max|v|` directly to the convex combination;
+/// * `O` crosses the wire once more in the ring merge: `+ε`.
+///
+/// So `|ΔO| ≲ (2·spread·ε + 2ε)·scale ≈ 3–4 ε` relative in the worst
+/// case. [`BF16_ATTN_RTOL`] allows 4 ULPs; the absolute floor covers
+/// near-zero outputs where the relative bound collapses. Gradients chain
+/// one more rounded factor (`dS·K`, `P·dO`), hence double the slack.
+pub const BF16_ATTN_ATOL: f32 = 1e-3;
+/// Relative bound for attention outputs under bf16 wire payloads (4 ULPs).
+pub const BF16_ATTN_RTOL: f32 = 1.6e-2;
+/// Absolute floor for attention gradients under bf16 wire payloads.
+pub const BF16_GRAD_ATOL: f32 = 2e-3;
+/// Relative bound for attention gradients under bf16 wire payloads (8 ULPs).
+pub const BF16_GRAD_RTOL: f32 = 3.2e-2;
+
 /// Where and how badly two tensors disagree — the payload of every failed
 /// comparison, formatted so a shrunken proptest case reads as a bug report.
 #[derive(Debug, Clone)]

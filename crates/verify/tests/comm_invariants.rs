@@ -9,10 +9,10 @@
 //!   census, per link class, exactly;
 //! * the virtual clock is monotone through any sequence of collectives.
 
-use burst_comm::{Topology, World};
+use burst_comm::{Topology, WireDtype, World};
 use burst_dattn::{run_attention, Algo, CostModel, Layout};
 use burst_kernels::AttnMask;
-use burst_perf::commtime::{exact_wire_counts, RingMethod};
+use burst_perf::commtime::{exact_wire_counts, exact_wire_counts_dtype, RingMethod};
 use burst_perf::machine::Cluster;
 use burst_tensor::{randn_mat, Mat};
 use burst_verify::assert_bits_eq;
@@ -146,52 +146,59 @@ fn measured_wire_traffic_equals_exact_census() {
     ];
     let (seq, d) = (64usize, 8usize);
     for (nodes, gpn) in [(1usize, 4usize), (2, 2), (2, 4)] {
-        let topo = Topology::a800(nodes, gpn);
         let cluster = Cluster::a800(nodes, gpn);
         let g = nodes * gpn;
-        for (name, algo, method) in METHODS {
-            let q = randn_mat(seq, d, 0.7, 61);
-            let k = randn_mat(seq, d, 0.7, 62);
-            let v = randn_mat(seq, d, 0.7, 63);
-            let go = randn_mat(seq, d, 0.8, 64);
-            let world = World::new(topo.clone());
-            let outs = world.run(move |comm| {
-                let idx = Layout::Zigzag.indices(seq, g, comm.rank());
-                run_attention(
-                    algo,
-                    comm,
-                    &q.gather_rows(&idx),
-                    &k.gather_rows(&idx),
-                    &v.gather_rows(&idx),
-                    &go.gather_rows(&idx),
-                    1.0 / (d as f32).sqrt(),
-                    &AttnMask::Causal,
-                    Layout::Zigzag,
-                    seq,
-                    &CostModel::free(),
+        // Both wire dtypes: the census must track the 4-byte f32 payloads
+        // and the 2-byte bf16 payloads (LSE/D stat vectors stay f32 either
+        // way, so bf16 does NOT simply halve the totals).
+        for dtype in [WireDtype::F32, WireDtype::Bf16] {
+            let topo = Topology::a800(nodes, gpn).with_wire_dtype(dtype);
+            for (name, algo, method) in METHODS {
+                let q = randn_mat(seq, d, 0.7, 61);
+                let k = randn_mat(seq, d, 0.7, 62);
+                let v = randn_mat(seq, d, 0.7, 63);
+                let go = randn_mat(seq, d, 0.8, 64);
+                let world = World::new(topo.clone());
+                let outs = world.run(move |comm| {
+                    let idx = Layout::Zigzag.indices(seq, g, comm.rank());
+                    run_attention(
+                        algo,
+                        comm,
+                        &q.gather_rows(&idx),
+                        &k.gather_rows(&idx),
+                        &v.gather_rows(&idx),
+                        &go.gather_rows(&idx),
+                        1.0 / (d as f32).sqrt(),
+                        &AttnMask::Causal,
+                        Layout::Zigzag,
+                        seq,
+                        &CostModel::free(),
+                    );
+                });
+                let mut intra_msgs = 0u64;
+                let mut inter_msgs = 0u64;
+                let mut intra_bytes = 0.0f64;
+                let mut inter_bytes = 0.0f64;
+                for o in &outs {
+                    intra_msgs += o.stats.intra_msgs;
+                    inter_msgs += o.stats.inter_msgs;
+                    intra_bytes += o.stats.intra_bytes;
+                    inter_bytes += o.stats.inter_bytes;
+                }
+                let want = exact_wire_counts_dtype(&cluster, seq, d, method, dtype);
+                assert_eq!(
+                    (intra_msgs, inter_msgs),
+                    (want.intra_msgs, want.inter_msgs),
+                    "{name} {nodes}x{gpn} {}: message census mismatch",
+                    dtype.label()
                 );
-            });
-            let mut intra_msgs = 0u64;
-            let mut inter_msgs = 0u64;
-            let mut intra_bytes = 0.0f64;
-            let mut inter_bytes = 0.0f64;
-            for o in &outs {
-                intra_msgs += o.stats.intra_msgs;
-                inter_msgs += o.stats.inter_msgs;
-                intra_bytes += o.stats.intra_bytes;
-                inter_bytes += o.stats.inter_bytes;
+                assert_eq!(
+                    (intra_bytes, inter_bytes),
+                    (want.intra_bytes, want.inter_bytes),
+                    "{name} {nodes}x{gpn} {}: byte census mismatch",
+                    dtype.label()
+                );
             }
-            let want = exact_wire_counts(&cluster, seq, d, method);
-            assert_eq!(
-                (intra_msgs, inter_msgs),
-                (want.intra_msgs, want.inter_msgs),
-                "{name} {nodes}x{gpn}: message census mismatch"
-            );
-            assert_eq!(
-                (intra_bytes, inter_bytes),
-                (want.intra_bytes, want.inter_bytes),
-                "{name} {nodes}x{gpn}: byte census mismatch"
-            );
         }
     }
 }

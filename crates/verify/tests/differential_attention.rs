@@ -7,7 +7,7 @@
 //! * bit-exact (`assert_bits_eq`) for pairs sharing an accumulation order —
 //!   determinism re-runs and timing-only fault runs.
 
-use burst_comm::{FaultPlan, Topology};
+use burst_comm::{FaultPlan, Topology, WireDtype};
 use burst_dattn::{Algo, Layout};
 use burst_kernels::AttnMask;
 use burst_verify::diff::{
@@ -15,8 +15,8 @@ use burst_verify::diff::{
 };
 use burst_verify::oracle::oracle_attention;
 use burst_verify::{
-    assert_bits_eq, compare_slice, ORACLE_ATTN_ATOL, ORACLE_ATTN_RTOL, ORACLE_GRAD_ATOL,
-    ORACLE_GRAD_RTOL,
+    assert_bits_eq, compare_slice, BF16_ATTN_ATOL, BF16_ATTN_RTOL, BF16_GRAD_ATOL, BF16_GRAD_RTOL,
+    ORACLE_ATTN_ATOL, ORACLE_ATTN_RTOL, ORACLE_GRAD_ATOL, ORACLE_GRAD_RTOL,
 };
 use proptest::prelude::*;
 
@@ -77,6 +77,50 @@ fn expect_matches_oracle(
     );
 }
 
+/// Like [`expect_matches_oracle`], under the looser `BF16_*` bounds for
+/// runs whose wire payloads are rounded to bf16 (see the derivation on the
+/// constants in `burst_verify`).
+fn expect_matches_oracle_bf16(
+    label: &str,
+    got: &GlobalAttn,
+    want: &burst_verify::oracle::OracleAttn,
+) {
+    let gate = |what: &str, g: &[f32], w: &[f32], atol: f32, rtol: f32| {
+        if let Err(d) = compare_slice(what, g, w, atol, rtol) {
+            panic!("{label}: {d}");
+        }
+    };
+    gate(
+        "o",
+        got.o.as_slice(),
+        want.o.as_slice(),
+        BF16_ATTN_ATOL,
+        BF16_ATTN_RTOL,
+    );
+    gate("lse", &got.lse, &want.lse, BF16_ATTN_ATOL, BF16_ATTN_RTOL);
+    gate(
+        "dq",
+        got.dq.as_slice(),
+        want.dq.as_slice(),
+        BF16_GRAD_ATOL,
+        BF16_GRAD_RTOL,
+    );
+    gate(
+        "dk",
+        got.dk.as_slice(),
+        want.dk.as_slice(),
+        BF16_GRAD_ATOL,
+        BF16_GRAD_RTOL,
+    );
+    gate(
+        "dv",
+        got.dv.as_slice(),
+        want.dv.as_slice(),
+        BF16_GRAD_ATOL,
+        BF16_GRAD_RTOL,
+    );
+}
+
 fn bits_eq_attn(label: &str, a: &GlobalAttn, b: &GlobalAttn) {
     assert_bits_eq(&format!("{label}/o"), a.o.as_slice(), b.o.as_slice());
     assert_bits_eq(&format!("{label}/lse"), &a.lse, &b.lse);
@@ -132,6 +176,35 @@ proptest! {
         let got = run_ring_family(algo, layout, &topo, n, d, seed, &mask, None)
             .unwrap_or_else(|e| panic!("{} failed: {e}", algo_name(algo)));
         expect_matches_oracle(algo_name(algo), &got, &want, true);
+    }
+
+    /// The same ring-family sweep with **bf16 wire payloads**: every K/V
+    /// shard and merged O block is genuinely rounded to 8 mantissa bits at
+    /// the sender. Results must stay inside the `BF16_*` bounds of the
+    /// oracle — and remain deterministic (rounding is a pure function of
+    /// the data flow, so two runs still agree bit for bit).
+    #[test]
+    fn ring_family_bf16_wire_matches_oracle(
+        g in 2usize..=4,
+        chunks_per_rank in 1usize..=2,
+        d in prop_oneof![Just(4usize), Just(8)],
+        seed in 0u64..1_000,
+        algo in prop_oneof![
+            Just(Algo::RingFlat), Just(Algo::BurstFlat),
+            Just(Algo::DoubleRing), Just(Algo::BurstTopo)
+        ],
+        causal in prop_oneof![Just(true), Just(false)],
+    ) {
+        let n = 2 * g * chunks_per_rank * 2;
+        let mask = if causal { AttnMask::Causal } else { AttnMask::Full };
+        let topo = Topology::single_node(g).with_wire_dtype(WireDtype::Bf16);
+        let want = oracle_for(n, d, seed, &mask);
+        let label = format!("{}+bf16wire", algo_name(algo));
+        let got = run_ring_family(algo, Layout::Zigzag, &topo, n, d, seed, &mask, None)
+            .unwrap_or_else(|e| panic!("{label} failed: {e}"));
+        expect_matches_oracle_bf16(&label, &got, &want);
+        let again = run_ring_family(algo, Layout::Zigzag, &topo, n, d, seed, &mask, None).unwrap();
+        bits_eq_attn(&label, &got, &again);
     }
 
     /// Pure Ulysses head parallelism matches the oracle head-by-head,
@@ -332,6 +405,47 @@ fn fixed_fault_matrix_all_schedules() {
     assert_eq!(out.evicted, vec![1]);
     let want = oracle_for(24, d, 11, &AttnMask::Causal);
     expect_matches_oracle("elastic", &out.attn, &want, true);
+
+    // bf16-wire rows: the same four ring schedules with rounded payloads,
+    // including one under the link-delay plan (timing faults still must
+    // not touch the — now rounded — numerics).
+    let bf16_topo = topo.with_wire_dtype(WireDtype::Bf16);
+    for algo in [
+        Algo::RingFlat,
+        Algo::BurstFlat,
+        Algo::DoubleRing,
+        Algo::BurstTopo,
+    ] {
+        let want = oracle_for(n, d, 11, &AttnMask::Causal);
+        let clean = run_ring_family(
+            algo,
+            Layout::Zigzag,
+            &bf16_topo,
+            n,
+            d,
+            11,
+            &AttnMask::Causal,
+            None,
+        )
+        .unwrap();
+        expect_matches_oracle_bf16(&format!("{}+bf16wire", algo_name(algo)), &clean, &want);
+        let delayed = run_ring_family(
+            algo,
+            Layout::Zigzag,
+            &bf16_topo,
+            n,
+            d,
+            11,
+            &AttnMask::Causal,
+            Some(&delay),
+        )
+        .unwrap();
+        bits_eq_attn(
+            &format!("{}+bf16wire+delay", algo_name(algo)),
+            &clean,
+            &delayed,
+        );
+    }
 }
 
 /// The reassembly helper itself is covered by construction everywhere

@@ -62,6 +62,7 @@ fn main() {
         offload_optimizer: false,
         grad_accum: 1,
         emulate_bf16: false,
+        bf16_activations: false,
         overlap: burst_dattn::OverlapMode::Fine,
         adam: AdamCfg {
             lr: 3e-3,
@@ -103,7 +104,18 @@ fn main() {
             let out = model.train_step(&local_tokens, &local_targets, &mut exec, cfg.strategy, seq);
             let loss = comm.all_reduce_vec(&[out.loss_sum])[0] / seq as f32;
             fsdp::sync_grads(comm, &mut model.params_mut());
-            model.adam_step(&cfg.adam, step as u64 + 1);
+            // Decay the learning rate once the corpus is roughly learned:
+            // the tail steps then settle into the memorised optimum instead
+            // of oscillating around it.
+            let adam = AdamCfg {
+                lr: if step < 800 {
+                    cfg.adam.lr
+                } else {
+                    cfg.adam.lr / 3.0
+                },
+                ..cfg.adam
+            };
+            model.adam_step(&adam, step as u64 + 1);
             if step % 200 == 0 || step + 1 == steps {
                 printed.push((step, loss));
             }

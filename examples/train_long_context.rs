@@ -37,6 +37,7 @@ fn main() {
         offload_optimizer: false,
         grad_accum: 1,
         emulate_bf16: false,
+        bf16_activations: false,
         overlap: burst_dattn::OverlapMode::Fine,
         adam: AdamCfg {
             lr: 2e-3,

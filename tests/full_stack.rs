@@ -24,6 +24,7 @@ fn tiny_engine(backend: Backend) -> EngineConfig {
         offload_optimizer: false,
         grad_accum: 1,
         emulate_bf16: false,
+        bf16_activations: false,
         overlap: burst_dattn::OverlapMode::Fine,
         adam: AdamCfg::default(),
         seed: 101,
