@@ -32,6 +32,9 @@ pub enum CtrlKind {
     Ack,
     /// The leader's release: every survivor drained, safe to resume.
     Go,
+    /// A parked rank petitioning the leader for re-admission (the join leg
+    /// of the epoch protocol; `suspects` carries the joiner itself).
+    Join,
 }
 
 /// An elastic-layer control message: abort pills and the eviction-agreement

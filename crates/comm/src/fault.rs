@@ -199,6 +199,26 @@ pub enum CrashAt {
     Op(u64),
 }
 
+/// The direction of a scheduled elastic membership change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnKind {
+    /// The rank departs the training ring before executing the step.
+    Leave,
+    /// The rank petitions the leader for re-admission before the step.
+    Join,
+}
+
+/// One scheduled membership event: before executing `step`, `rank` either
+/// leaves the training ring or petitions to rejoin it. Joins at a step are
+/// processed before leaves at the same step, so a valid schedule requires a
+/// rank's rejoin step to be strictly greater than its departure step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnEvent {
+    pub step: u64,
+    pub rank: usize,
+    pub kind: ChurnKind,
+}
+
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct LinkFault {
     src: usize,
@@ -249,6 +269,9 @@ pub struct FaultPlan {
     /// Compute-side stragglers: (rank, factor) multiplies every
     /// `advance_compute` on that rank by `factor` (slow kernel).
     slowdowns: Vec<(usize, f64)>,
+    /// Elastic membership schedule: voluntary leaves and rejoin petitions
+    /// keyed off the training step counter (see [`ChurnEvent`]).
+    churn: Vec<ChurnEvent>,
 }
 
 impl FaultPlan {
@@ -353,6 +376,137 @@ impl FaultPlan {
             .map(|&(_, f)| f)
             .product::<f64>()
             .max(1.0)
+    }
+
+    /// Schedule `rank` to leave the training ring voluntarily just before
+    /// executing `step` (0-based). The survivors agree on the departure,
+    /// bump the membership epoch, and continue on the shrunken ring; the
+    /// leaver parks until (and unless) a matching [`FaultPlan::join_at`] is
+    /// scheduled.
+    pub fn leave_at(mut self, rank: usize, step: u64) -> Self {
+        self.churn.push(ChurnEvent {
+            step,
+            rank,
+            kind: ChurnKind::Leave,
+        });
+        self
+    }
+
+    /// Schedule parked `rank` to petition for re-admission just before
+    /// executing `step`. Must come strictly after the rank's departure
+    /// (joins at a step are processed before leaves at the same step).
+    pub fn join_at(mut self, rank: usize, step: u64) -> Self {
+        self.churn.push(ChurnEvent {
+            step,
+            rank,
+            kind: ChurnKind::Join,
+        });
+        self
+    }
+
+    /// Generate a seeded leave/join storm: `events` membership changes
+    /// spread over training steps `1..steps`, Poisson-flavoured in that
+    /// event kinds and victims are drawn from the plan's deterministic
+    /// mixer. The generator enforces validity — a rank leaves only while
+    /// present, rejoins only strictly after it left, rank 0 never departs
+    /// (so the leader every parked rank petitions stays stable), and at
+    /// least two ranks remain present at all times.
+    pub fn churn_storm(mut self, world: usize, steps: u64, events: usize) -> Self {
+        assert!(world >= 3, "churn storm needs >= 3 ranks, got {world}");
+        assert!(steps >= 2, "churn storm needs >= 2 steps, got {steps}");
+        let mut state = self.seed ^ 0x00c0_ffee_c0ff_ee00;
+        let mut roll = move || {
+            state = splitmix64(state);
+            state
+        };
+        let mut present = vec![true; world];
+        // The step each absent rank left at, to keep rejoins strictly later.
+        let mut left_at = vec![0u64; world];
+        for i in 0..events as u64 {
+            // Non-decreasing spread of the events over the horizon.
+            let step = 1 + i * (steps - 1) / events as u64;
+            let absent: Vec<usize> = (0..world)
+                .filter(|&r| !present[r] && left_at[r] < step)
+                .collect();
+            let n_present = present.iter().filter(|&&p| p).count();
+            let leavable: Vec<usize> = (1..world)
+                .filter(|&r| present[r] && n_present > 2)
+                .collect();
+            let leave = if absent.is_empty() {
+                true
+            } else if leavable.is_empty() {
+                false
+            } else {
+                roll() % 2 == 0
+            };
+            if leave {
+                let r = leavable[(roll() % leavable.len() as u64) as usize];
+                present[r] = false;
+                left_at[r] = step;
+                self.churn.push(ChurnEvent {
+                    step,
+                    rank: r,
+                    kind: ChurnKind::Leave,
+                });
+            } else {
+                let r = absent[(roll() % absent.len() as u64) as usize];
+                present[r] = true;
+                self.churn.push(ChurnEvent {
+                    step,
+                    rank: r,
+                    kind: ChurnKind::Join,
+                });
+            }
+        }
+        self
+    }
+
+    /// The full churn schedule, in insertion (= step) order.
+    pub fn churn_events(&self) -> &[ChurnEvent] {
+        &self.churn
+    }
+
+    /// Whether any elastic membership events are scheduled at all.
+    pub fn has_churn(&self) -> bool {
+        !self.churn.is_empty()
+    }
+
+    /// Ranks scheduled to leave just before `step`, ascending.
+    pub fn leaves_at(&self, step: u64) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .churn
+            .iter()
+            .filter(|e| e.kind == ChurnKind::Leave && e.step == step)
+            .map(|e| e.rank)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Ranks scheduled to petition for re-admission just before `step`,
+    /// ascending.
+    pub fn joins_at(&self, step: u64) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .churn
+            .iter()
+            .filter(|e| e.kind == ChurnKind::Join && e.step == step)
+            .map(|e| e.rank)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// The step at which parked `rank` is scheduled to rejoin after having
+    /// left at `after` (the earliest join strictly later than `after`), if
+    /// any — what a departed rank consults to know when to petition.
+    pub fn rejoin_step(&self, rank: usize, after: u64) -> Option<u64> {
+        self.churn
+            .iter()
+            .filter(|e| e.kind == ChurnKind::Join && e.rank == rank && e.step > after)
+            .map(|e| e.step)
+            .min()
     }
 
     /// Set the virtual-clock receive deadline: a `try_recv` whose message
@@ -479,6 +633,67 @@ mod tests {
         };
         assert_eq!(v.peer(), None);
         assert!(format!("{v}").contains("epoch 2"));
+    }
+
+    #[test]
+    fn churn_schedule_is_queryable_per_step() {
+        let plan = FaultPlan::new(3)
+            .leave_at(2, 4)
+            .leave_at(1, 4)
+            .join_at(2, 7)
+            .join_at(1, 9);
+        assert!(plan.has_churn());
+        assert_eq!(plan.leaves_at(4), vec![1, 2]);
+        assert_eq!(plan.leaves_at(5), Vec::<usize>::new());
+        assert_eq!(plan.joins_at(7), vec![2]);
+        assert_eq!(plan.joins_at(9), vec![1]);
+        assert_eq!(plan.rejoin_step(2, 4), Some(7));
+        assert_eq!(plan.rejoin_step(1, 4), Some(9));
+        assert_eq!(plan.rejoin_step(1, 9), None);
+        assert_eq!(plan.churn_events().len(), 4);
+        assert!(!FaultPlan::new(0).has_churn());
+    }
+
+    #[test]
+    fn churn_storm_is_deterministic_and_valid() {
+        for seed in [7u64, 23, 42, 1234] {
+            let a = FaultPlan::new(seed).churn_storm(6, 24, 8);
+            let b = FaultPlan::new(seed).churn_storm(6, 24, 8);
+            assert_eq!(a.churn_events(), b.churn_events());
+            assert_eq!(a.churn_events().len(), 8);
+
+            // Replay the schedule and check every validity invariant.
+            let mut present = [true; 6];
+            let mut left_at = [0u64; 6];
+            let mut last_step = 0u64;
+            for e in a.churn_events() {
+                assert!(e.step >= last_step, "events must be step-ordered");
+                last_step = e.step;
+                assert!(e.step >= 1 && e.step < 24);
+                match e.kind {
+                    ChurnKind::Leave => {
+                        assert_ne!(e.rank, 0, "rank 0 must never depart");
+                        assert!(present[e.rank], "only present ranks may leave");
+                        present[e.rank] = false;
+                        left_at[e.rank] = e.step;
+                        let n = present.iter().filter(|&&p| p).count();
+                        assert!(n >= 2, "membership must never shrink below 2");
+                    }
+                    ChurnKind::Join => {
+                        assert!(!present[e.rank], "only absent ranks may join");
+                        assert!(
+                            e.step > left_at[e.rank],
+                            "rejoin must be strictly after departure"
+                        );
+                        present[e.rank] = true;
+                    }
+                }
+            }
+        }
+        // Different seeds give different storms (for these seeds).
+        let a = FaultPlan::new(7).churn_storm(6, 24, 8);
+        let b = FaultPlan::new(8).churn_storm(6, 24, 8);
+        assert_ne!(a.churn_events(), b.churn_events());
     }
 
     #[test]

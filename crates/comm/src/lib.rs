@@ -37,10 +37,11 @@ pub mod trace;
 pub mod world;
 
 pub use comm::{saturating_deadline, Communicator, CtrlKind, CtrlMsg, Msg, MsgData};
-pub use fault::{CommError, CrashAt, FaultPlan};
+pub use fault::{ChurnEvent, ChurnKind, CommError, CrashAt, FaultPlan};
 pub use membership::{
-    agree_on_eviction, send_abort, shrink_all_gather_mat, shrink_reduce_scatter_mat,
-    shrink_ring_shift, AgreeOutcome, Membership, RetryPolicy,
+    agree_on_eviction, agree_on_join, agree_on_leave, send_abort, shrink_all_gather_mat,
+    shrink_all_reduce_mat, shrink_all_reduce_vec, shrink_barrier, shrink_reduce_scatter_mat,
+    shrink_ring_shift, AgreeOutcome, JoinOutcome, Membership, RetryPolicy,
 };
 pub use stats::{CommStats, FaultCounters};
 pub use topology::{Link, Topology, WireDtype};

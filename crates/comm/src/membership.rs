@@ -115,6 +115,19 @@ impl Membership {
         }
     }
 
+    /// Mark `rank` alive again — the inverse of [`Membership::evict`].
+    /// Returns whether the view changed. Like `evict`, this does **not**
+    /// bump the epoch; only the join agreement does, once per admitted
+    /// round.
+    pub fn readmit(&mut self, rank: usize) -> bool {
+        if rank < self.alive.len() && !self.alive[rank] {
+            self.alive[rank] = true;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Cyclic next alive rank after `rank` (returns `rank` when alone).
     pub fn next_alive(&self, rank: usize) -> usize {
         let n = self.alive.len();
@@ -371,6 +384,374 @@ pub fn agree_on_eviction(
     }
 }
 
+/// The outcome of one join agreement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinOutcome {
+    /// Ranks re-admitted this round (empty = the join round aborted, e.g.
+    /// every petitioner died mid-protocol).
+    pub admitted: Vec<usize>,
+    /// The membership epoch after the round.
+    pub epoch: u64,
+}
+
+/// Leader-based re-admission agreement — the **Join leg** of the epoch
+/// protocol, the inverse of [`agree_on_eviction`].
+///
+/// Every current member calls this with the scheduled `joiners` set (known
+/// deterministically to every rank — a real cluster's scheduler plays this
+/// role); every joiner calls it too, with the same set. Roles:
+///
+/// * **joiner** — waits parked for the leader's [`CtrlKind::Join`] invite
+///   (sending nothing unsolicited: a drain barrier the members run while it
+///   waits would sweep an early petition away), replies `Join`, waits for
+///   `Decide`, applies it, drains, `Ack`s and waits for `Go`. A joiner the
+///   decision did not admit keeps waiting parked.
+/// * **member (follower)** — proposes the join set, waits for `Decide`,
+///   applies, drains, `Ack`/`Go` — the same drain barrier as eviction, so
+///   no stale pre-join message can leak into the grown ring.
+/// * **leader** — gathers the member proposals (the commit barrier), then
+///   invites each scheduled joiner and collects its reply (a joiner that
+///   dies mid-join is simply dropped from the admitted set — the abort pill
+///   of the join leg is "you are not in the `Decide`"), bumps the epoch iff
+///   someone was admitted, and distributes `Decide`/`Go` to members **and**
+///   admitted joiners.
+///
+/// A member that dies mid-join surfaces as a typed error; callers fall back
+/// to [`agree_on_eviction`], exactly as for any other collective failure.
+pub fn agree_on_join(
+    comm: &mut Communicator,
+    m: &mut Membership,
+    joiners: &[usize],
+    policy: &RetryPolicy,
+) -> Result<JoinOutcome, CommError> {
+    let me = comm.rank();
+    comm.span_begin(SpanKind::Join, "agree_on_join");
+    let joiners: Vec<usize> = {
+        let mut j: Vec<usize> = joiners
+            .iter()
+            .copied()
+            .filter(|&r| r < m.world_size() && !m.is_alive(r))
+            .collect();
+        j.sort_unstable();
+        j.dedup();
+        j
+    };
+    let joining = joiners.contains(&me);
+    assert!(
+        joining || m.is_alive(me),
+        "rank {me}: join agreement from a rank that is neither member nor joiner"
+    );
+    let members = m.alive_ranks();
+    let leader = members[0];
+    let finish = |comm: &mut Communicator, m: &mut Membership, admitted: Vec<usize>, epoch| {
+        for &r in &admitted {
+            m.readmit(r);
+            comm.span_instant(SpanKind::Rejoin, "rank_readmitted");
+        }
+        m.set_epoch(epoch);
+        comm.span_end();
+        Ok(JoinOutcome { admitted, epoch })
+    };
+    if joining {
+        // Petitioner: wait for the leader's invite before sending anything —
+        // a parked rank's unsolicited message could be swept up by a drain
+        // barrier the members run while it waits. Then: reply → Decide →
+        // drain → Ack → Go.
+        wait_for_ctrl(comm, leader, CtrlKind::Join, policy, &mut Vec::new())?;
+        comm.try_send(leader, ctrl(CtrlKind::Join, 0, vec![me]))?;
+        let decide = wait_for_ctrl(comm, leader, CtrlKind::Decide, policy, &mut Vec::new())?;
+        if !decide.suspects.contains(&me) {
+            // Not admitted this round; stay parked.
+            comm.span_end();
+            return Ok(JoinOutcome {
+                admitted: Vec::new(),
+                epoch: decide.epoch,
+            });
+        }
+        comm.drain_all();
+        comm.try_send(leader, ctrl(CtrlKind::Ack, decide.epoch, Vec::new()))?;
+        wait_for_ctrl(comm, leader, CtrlKind::Go, policy, &mut Vec::new())?;
+        // A parked rank may have missed evictions; the leader ships its
+        // authoritative alive set so the joiner's view is exact.
+        let flags = recv_vec_retry(comm, leader, policy)?;
+        for (r, f) in flags.iter().enumerate() {
+            if *f > 0.5 {
+                m.readmit(r);
+            } else {
+                m.evict(r);
+            }
+        }
+        return finish(comm, m, decide.suspects, decide.epoch);
+    }
+    if leader == me {
+        // Gather member proposals first (the commit half of the barrier). A
+        // member dying here is an eviction concern — bail with the error.
+        for &p in members.iter().filter(|&&p| p != me) {
+            wait_for_ctrl(comm, p, CtrlKind::Propose, policy, &mut Vec::new())?;
+        }
+        // Invite each petitioner and collect its reply; a joiner that dies
+        // mid-protocol is dropped (the abort pill of the join leg is "you
+        // are not in the `Decide`"), nothing else stops.
+        let mut admitted: Vec<usize> = Vec::new();
+        for &j in &joiners {
+            if comm
+                .try_send(j, ctrl(CtrlKind::Join, m.epoch(), Vec::new()))
+                .is_ok()
+                && wait_for_ctrl(comm, j, CtrlKind::Join, policy, &mut Vec::new()).is_ok()
+            {
+                admitted.push(j);
+            }
+        }
+        let epoch = if admitted.is_empty() {
+            m.epoch()
+        } else {
+            m.epoch() + 1
+        };
+        let audience: Vec<usize> = members
+            .iter()
+            .copied()
+            .filter(|&p| p != me)
+            .chain(admitted.iter().copied())
+            .collect();
+        for &p in &audience {
+            comm.try_send(p, ctrl(CtrlKind::Decide, epoch, admitted.clone()))?;
+        }
+        for &p in &audience {
+            let _ = wait_for_ctrl(comm, p, CtrlKind::Ack, policy, &mut Vec::new());
+        }
+        comm.drain_all();
+        for &p in &audience {
+            let _ = comm.try_send(p, ctrl(CtrlKind::Go, epoch, Vec::new()));
+        }
+        // Authoritative alive set for each admitted (previously parked)
+        // joiner: their own flags plus everything they missed while parked.
+        let mut flags: Vec<f32> = (0..m.world_size())
+            .map(|r| if m.is_alive(r) { 1.0 } else { 0.0 })
+            .collect();
+        for &r in &admitted {
+            flags[r] = 1.0;
+        }
+        for &j in &admitted {
+            comm.try_send_vec(j, &flags)?;
+        }
+        if !admitted.is_empty() {
+            comm.span_instant(SpanKind::Epoch, "epoch_bump");
+        }
+        return finish(comm, m, admitted, epoch);
+    }
+    // Member follower.
+    comm.try_send(leader, ctrl(CtrlKind::Propose, m.epoch(), joiners.clone()))?;
+    let decide = wait_for_ctrl(comm, leader, CtrlKind::Decide, policy, &mut Vec::new())?;
+    comm.drain_all();
+    comm.try_send(leader, ctrl(CtrlKind::Ack, decide.epoch, Vec::new()))?;
+    let _ = wait_for_ctrl(comm, leader, CtrlKind::Go, policy, &mut Vec::new());
+    if !decide.suspects.is_empty() {
+        comm.span_instant(SpanKind::Epoch, "epoch_bump");
+    }
+    finish(comm, m, decide.suspects, decide.epoch)
+}
+
+/// Voluntary departure: every current member (leavers included) applies the
+/// deterministic leave schedule — evict the leavers, bump the epoch once —
+/// and the survivors synchronise on a [`shrink_barrier`]. No agreement
+/// round is needed because the schedule is shared knowledge (the scheduler
+/// told everyone); the barrier is what makes the departure a clean cut
+/// between epochs. Leavers skip the barrier and park.
+pub fn agree_on_leave(
+    comm: &mut Communicator,
+    m: &mut Membership,
+    leavers: &[usize],
+    policy: &RetryPolicy,
+) -> Result<AgreeOutcome, CommError> {
+    let me = comm.rank();
+    comm.span_begin(SpanKind::Eviction, "voluntary_leave");
+    let mut departed: Vec<usize> = Vec::new();
+    for &r in leavers {
+        if m.evict(r) {
+            departed.push(r);
+        }
+    }
+    departed.sort_unstable();
+    let epoch = if departed.is_empty() {
+        m.epoch()
+    } else {
+        m.epoch() + 1
+    };
+    m.set_epoch(epoch);
+    if !departed.is_empty() {
+        comm.span_instant(SpanKind::Epoch, "epoch_bump");
+    }
+    if !departed.contains(&me) {
+        shrink_barrier(comm, m, policy)?;
+    }
+    comm.span_end();
+    Ok(AgreeOutcome {
+        evicted: departed,
+        epoch,
+    })
+}
+
+/// Barrier over the alive set: gather-to-leader + release, mirroring
+/// [`Communicator::try_barrier`] on the membership ring.
+pub fn shrink_barrier(
+    comm: &mut Communicator,
+    m: &mut Membership,
+    policy: &RetryPolicy,
+) -> Result<(), CommError> {
+    let (members, pos) = ring_neighbors(comm, m);
+    let attempt = (|| {
+        if members.len() == 1 {
+            return Ok(());
+        }
+        if pos == 0 {
+            for &src in &members[1..] {
+                let mut tries = 0u32;
+                loop {
+                    match comm.try_recv(src) {
+                        Ok(_) => break,
+                        Err(CommError::Timeout { .. })
+                            if tries + 1 < policy.max_attempts.max(1) =>
+                        {
+                            backoff_retry(comm, policy, tries);
+                            tries += 1;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+            for &dst in &members[1..] {
+                comm.try_send(dst, MsgData::Empty)?;
+            }
+        } else {
+            comm.try_send(members[0], MsgData::Empty)?;
+            let mut tries = 0u32;
+            loop {
+                match comm.try_recv(members[0]) {
+                    Ok(_) => break,
+                    Err(CommError::Timeout { .. }) if tries + 1 < policy.max_attempts.max(1) => {
+                        backoff_retry(comm, policy, tries);
+                        tries += 1;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(())
+    })();
+    finish_collective(comm, m, attempt, policy)
+}
+
+/// Receive a vector from `src`, retrying timeouts on the policy schedule.
+fn recv_vec_retry(
+    comm: &mut Communicator,
+    src: usize,
+    policy: &RetryPolicy,
+) -> Result<Vec<f32>, CommError> {
+    let mut attempt = 0u32;
+    loop {
+        match comm.try_recv_vec(src) {
+            Err(CommError::Timeout { .. }) if attempt + 1 < policy.max_attempts.max(1) => {
+                backoff_retry(comm, policy, attempt);
+                attempt += 1;
+            }
+            other => return other,
+        }
+    }
+}
+
+/// All-reduce (sum) of a flat vector over the alive set. Mirrors
+/// [`Communicator::try_all_reduce_vec`] exactly — leader-gather summed in
+/// ascending member order, then broadcast — so a shrunken world's reduction
+/// is bit-identical to a fresh world of the same size.
+pub fn shrink_all_reduce_vec(
+    comm: &mut Communicator,
+    m: &mut Membership,
+    v: &[f32],
+    policy: &RetryPolicy,
+) -> Result<Vec<f32>, CommError> {
+    let (members, pos) = ring_neighbors(comm, m);
+    let g = members.len();
+    let attempt = (|| {
+        if g == 1 {
+            return Ok(v.to_vec());
+        }
+        if pos == 0 {
+            let mut acc = v.to_vec();
+            for &src in &members[1..] {
+                let part = recv_vec_retry(comm, src, policy)?;
+                if part.len() != acc.len() {
+                    return Err(CommError::ShapeMismatch {
+                        rank: comm.rank(),
+                        src,
+                        expected: "all-reduce vector of matching length",
+                        got: format!("Vec[{}] (expected Vec[{}])", part.len(), acc.len()),
+                    });
+                }
+                for (a, p) in acc.iter_mut().zip(&part) {
+                    *a += p;
+                }
+            }
+            for &dst in &members[1..] {
+                comm.try_send_vec(dst, &acc)?;
+            }
+            Ok(acc)
+        } else {
+            comm.try_send_vec(members[0], v)?;
+            recv_vec_retry(comm, members[0], policy)
+        }
+    })();
+    finish_collective(comm, m, attempt, policy)
+}
+
+/// All-reduce (sum) of a matrix over the alive set: ring reduce-scatter +
+/// all-gather when the rows divide evenly (the same algorithm, and thus the
+/// same accumulation order, as [`Communicator::try_all_reduce_mat`] on a
+/// fresh world of the alive size), otherwise leader-gather in ascending
+/// member order plus broadcast.
+pub fn shrink_all_reduce_mat(
+    comm: &mut Communicator,
+    m: &mut Membership,
+    mat: &Mat,
+    policy: &RetryPolicy,
+) -> Result<Mat, CommError> {
+    let g = m.num_alive();
+    if g == 1 {
+        return Ok(mat.clone());
+    }
+    if mat.rows().is_multiple_of(g) && mat.rows() >= g {
+        let parts = mat.chunk_rows(g);
+        let mine = shrink_reduce_scatter_mat(comm, m, &parts, policy)?;
+        let gathered = shrink_all_gather_mat(comm, m, &mine, policy)?;
+        return Ok(Mat::vstack(&gathered));
+    }
+    let (members, pos) = ring_neighbors(comm, m);
+    let attempt = (|| {
+        if pos == 0 {
+            let mut acc = mat.clone();
+            for &src in &members[1..] {
+                let part = recv_mat_retry(comm, src, policy)?;
+                if part.shape() != acc.shape() {
+                    return Err(CommError::ShapeMismatch {
+                        rank: comm.rank(),
+                        src,
+                        expected: "all-reduce contribution of matching shape",
+                        got: format!("Mat {}x{}", part.rows(), part.cols()),
+                    });
+                }
+                acc.add_assign(&part);
+            }
+            for &dst in &members[1..] {
+                comm.try_send_mat(dst, &acc)?;
+            }
+            Ok(acc)
+        } else {
+            comm.try_send_mat(members[0], mat)?;
+            recv_mat_retry(comm, members[0], policy)
+        }
+    })();
+    finish_collective(comm, m, attempt, policy)
+}
+
 /// Receive a matrix from `src`, retrying timeouts on the policy schedule.
 fn recv_mat_retry(
     comm: &mut Communicator,
@@ -576,6 +957,73 @@ mod tests {
         assert_eq!(m.prev_alive(3), 1);
         assert_eq!(m.next_alive(3), 0);
         assert_eq!(m.num_alive(), 3);
+        assert!(m.readmit(2), "an evicted rank can be re-admitted");
+        assert!(!m.readmit(2), "double re-admission is a no-op");
+        assert!(!m.readmit(7), "out-of-range re-admission is a no-op");
+        assert_eq!(m.alive_ranks(), vec![0, 1, 2, 3]);
+        assert_eq!(m.pos_of(2), Some(2));
+    }
+
+    #[test]
+    fn leave_then_rejoin_restores_the_full_ring() {
+        // Rank 2 departs voluntarily, parks, and petitions for re-admission;
+        // the grown ring must be the original ring at a higher epoch, and a
+        // collective over it must see all four contributions again.
+        let world = World::new(Topology::single_node(4));
+        let outs = world.run_results(|comm| {
+            let mut m = Membership::new(comm.world_size());
+            let policy = RetryPolicy::default();
+            let leave = agree_on_leave(comm, &mut m, &[2], &policy).unwrap();
+            assert_eq!(leave.evicted, vec![2]);
+            assert_eq!(leave.epoch, 1);
+            let join = agree_on_join(comm, &mut m, &[2], &policy).unwrap();
+            let sum = shrink_all_reduce_vec(comm, &mut m, &[comm.rank() as f32], &policy).unwrap();
+            (join, m.alive_ranks(), m.epoch(), sum)
+        });
+        for (r, (join, alive, epoch, sum)) in outs.into_iter().enumerate() {
+            assert_eq!(join.admitted, vec![2], "rank {r} must see rank 2 admitted");
+            assert_eq!(join.epoch, 2, "leave then join = two epoch bumps");
+            assert_eq!(alive, vec![0, 1, 2, 3], "rank {r}: ring must regrow");
+            assert_eq!(epoch, 2);
+            assert_eq!(sum, vec![6.0], "rank {r}: full-ring reduction");
+        }
+    }
+
+    #[test]
+    fn joiner_crash_mid_join_is_dropped_not_fatal() {
+        // Rank 3 leaves, then dies on its very first comm op of the join
+        // petition. The leader must drop it from the admitted set and the
+        // surviving members complete the round with nothing admitted.
+        let plan = FaultPlan::new(13).crash_at_op(3, 0).recv_deadline(60.0);
+        let world = World::with_faults(Topology::single_node(4), plan);
+        let outs = world.run_faulty::<_, CommError, _>(|comm| {
+            let mut m = Membership::new(comm.world_size());
+            let policy = RetryPolicy::default();
+            // Everyone knows the schedule: rank 3 is leaving. The leaver
+            // skips the survivor barrier, so its first comm op is the Join
+            // petition — where the crash fires.
+            m.evict(3);
+            m.set_epoch(1);
+            if comm.rank() != 3 {
+                shrink_barrier(comm, &mut m, &policy)?;
+            }
+            let join = agree_on_join(comm, &mut m, &[3], &policy)?;
+            Ok((join, m.alive_ranks(), m.epoch()))
+        });
+        assert!(
+            matches!(outs[3].result, Err(CommError::Crashed { rank: 3, .. })),
+            "the dead joiner reports its own crash: {:?}",
+            outs[3].result
+        );
+        for (r, out) in outs.iter().enumerate().take(3) {
+            let (join, alive, epoch) = out.result.as_ref().expect("member completes");
+            assert!(
+                join.admitted.is_empty(),
+                "rank {r}: a dead petitioner must not be admitted"
+            );
+            assert_eq!(*alive, vec![0, 1, 2], "rank {r}: ring stays shrunken");
+            assert_eq!(*epoch, 1, "rank {r}: aborted join must not bump the epoch");
+        }
     }
 
     #[test]

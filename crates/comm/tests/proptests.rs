@@ -1,7 +1,8 @@
 //! Property-based tests of the simulated cluster's collectives under
-//! randomised world sizes, shapes and payloads.
+//! randomised world sizes, shapes and payloads, and of the [`Membership`]
+//! ring-navigation invariants under ragged evict/readmit churn.
 
-use burst_comm::{Topology, World};
+use burst_comm::{Membership, Topology, World};
 use burst_tensor::Mat;
 use proptest::prelude::*;
 
@@ -184,6 +185,131 @@ proptest! {
                 expect.add_assign(&rank_mat(src * 17 + dst, rows, 3, salt));
             }
             prop_assert!(burst_tensor::testutil::allclose(got, &expect, 1e-4, 1e-4));
+        }
+    }
+
+    /// Drive a [`Membership`] view through a ragged evict/readmit sequence
+    /// (never letting the alive set empty), then check every navigation
+    /// query against a naive scan of the alive list: `pos_of` is the index
+    /// in `alive_ranks`, `next_alive`/`prev_alive` are cyclic neighbors for
+    /// alive *and* dead starting ranks, and walking `next_alive` from any
+    /// member visits the whole ring and returns home.
+    #[test]
+    fn membership_navigation_survives_ragged_churn(
+        n in 1usize..8,
+        ops in (0usize..16).prop_flat_map(|len| collection::vec((0usize..2, 0usize..8), len)),
+    ) {
+        let mut m = Membership::new(n);
+        for (kind, pick) in ops {
+            let r = pick % n;
+            match kind {
+                0 => {
+                    // Evicting the last member is a protocol-level
+                    // impossibility (someone must stay to agree); keep the
+                    // invariant the agreement layer guarantees.
+                    if m.num_alive() > 1 {
+                        let was_alive = m.is_alive(r);
+                        prop_assert_eq!(m.evict(r), was_alive, "evict({}) return", r);
+                    }
+                }
+                _ => {
+                    let was_dead = !m.is_alive(r);
+                    prop_assert_eq!(m.readmit(r), was_dead, "readmit({}) return", r);
+                }
+            }
+        }
+
+        let alive = m.alive_ranks();
+        prop_assert!(!alive.is_empty());
+        prop_assert_eq!(alive.len(), m.num_alive());
+        prop_assert!(alive.windows(2).all(|w| w[0] < w[1]), "alive_ranks unsorted");
+
+        let k = alive.len();
+        for r in 0..n {
+            match alive.iter().position(|&a| a == r) {
+                Some(p) => {
+                    prop_assert_eq!(m.pos_of(r), Some(p));
+                    prop_assert_eq!(m.next_alive(r), alive[(p + 1) % k]);
+                    prop_assert_eq!(m.prev_alive(r), alive[(p + k - 1) % k]);
+                    prop_assert_eq!(m.prev_alive(m.next_alive(r)), r);
+                    prop_assert_eq!(m.next_alive(m.prev_alive(r)), r);
+                }
+                None => {
+                    prop_assert_eq!(m.pos_of(r), None);
+                    // From a dead rank the cyclic scans still land on the
+                    // first alive rank in each direction.
+                    let next = (1..=n).map(|s| (r + s) % n).find(|&x| m.is_alive(x));
+                    let prev = (1..=n).map(|s| (r + n - s) % n).find(|&x| m.is_alive(x));
+                    prop_assert_eq!(Some(m.next_alive(r)), next);
+                    prop_assert_eq!(Some(m.prev_alive(r)), prev);
+                }
+            }
+        }
+
+        // One full lap of next_alive from the lowest member traverses the
+        // ring in ascending order and closes the cycle.
+        let mut walk = vec![alive[0]];
+        for _ in 1..k {
+            walk.push(m.next_alive(*walk.last().unwrap()));
+        }
+        prop_assert_eq!(&walk, &alive);
+        prop_assert_eq!(m.next_alive(*walk.last().unwrap()), alive[0]);
+    }
+
+    /// Evict every rank but one: the survivor is its own cyclic neighbor
+    /// in both directions and holds ring slot 0 — the degenerate world the
+    /// shrink collectives special-case as local no-ops.
+    #[test]
+    fn membership_single_survivor_is_its_own_ring(
+        n in 1usize..8,
+        keep in 0usize..8,
+    ) {
+        let keep = keep % n;
+        let mut m = Membership::new(n);
+        for r in 0..n {
+            if r != keep {
+                prop_assert!(m.evict(r));
+            }
+        }
+        prop_assert_eq!(m.num_alive(), 1);
+        prop_assert_eq!(m.alive_ranks(), vec![keep]);
+        prop_assert_eq!(m.pos_of(keep), Some(0));
+        prop_assert_eq!(m.next_alive(keep), keep);
+        prop_assert_eq!(m.prev_alive(keep), keep);
+        // Every dead rank's scans converge on the lone survivor too.
+        for r in 0..n {
+            prop_assert_eq!(m.next_alive(r), keep);
+            prop_assert_eq!(m.prev_alive(r), keep);
+        }
+    }
+
+    /// Evict a ragged subset, then readmit every dead rank: the view must
+    /// be indistinguishable from a fresh full world (positions, neighbors,
+    /// and the idempotence of a second readmit).
+    #[test]
+    fn membership_full_readmission_restores_the_dense_ring(
+        n in 2usize..8,
+        evict_mask in 1u64..128,
+        keep in 0usize..8,
+    ) {
+        let keep = keep % n;
+        let mut m = Membership::new(n);
+        for r in 0..n {
+            if r != keep && evict_mask & (1 << r) != 0 {
+                prop_assert!(m.evict(r));
+            }
+        }
+        for r in 0..n {
+            if !m.is_alive(r) {
+                prop_assert!(m.readmit(r));
+            }
+            prop_assert!(!m.readmit(r), "readmit of a live rank must be a no-op");
+        }
+        prop_assert_eq!(m.alive_ranks(), (0..n).collect::<Vec<_>>());
+        for r in 0..n {
+            prop_assert_eq!(m.pos_of(r), Some(r));
+            prop_assert_eq!(m.next_alive(r), (r + 1) % n);
+            prop_assert_eq!(m.prev_alive(r), (r + n - 1) % n);
         }
     }
 

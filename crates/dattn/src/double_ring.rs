@@ -30,9 +30,119 @@
 //! heap allocations in the tile-compute path.
 
 use crate::ring::{escalate_attn, AttnFailure, AttnShard, BackwardInputs, DistAttnOut, Phase};
-use burst_comm::{Communicator, SpanKind};
+use burst_comm::{Communicator, SpanKind, Topology};
 use burst_kernels::{attn_tile_backward, attn_tile_backward_acc, flash_forward_acc, KernelWork};
 use burst_tensor::{Mat, Scratch};
+
+/// The logical geometry of a two-level ring over an arbitrary member set.
+///
+/// All schedule arithmetic in this module runs on **slots** — dense logical
+/// positions `slot = outer · gpus_per_node + inner`, node-major like fresh
+/// physical ranks — and `slots[slot]` maps each one back to the physical
+/// rank occupying it. A full world is the identity mapping; after an
+/// eviction, [`DoubleRingSpec::from_members`] rebuilds the split from the
+/// survivors **iff node locality survived** (every remaining node
+/// contributes the same number of ranks), so inner hops stay on NVLink and
+/// outer hops stay on the NICs. Because slot arithmetic is exactly the
+/// rank arithmetic of a fresh `(nodes, gpus_per_node)` world, a shrunken
+/// double-ring schedule is bit-identical to a fresh world of that shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DoubleRingSpec {
+    nodes: usize,
+    gpn: usize,
+    /// `slots[outer * gpn + inner]` = physical rank at that slot.
+    slots: Vec<usize>,
+}
+
+impl DoubleRingSpec {
+    /// The identity spec over the full topology.
+    pub fn full(topo: &Topology) -> Self {
+        DoubleRingSpec {
+            nodes: topo.nodes,
+            gpn: topo.gpus_per_node,
+            slots: (0..topo.nodes * topo.gpus_per_node).collect(),
+        }
+    }
+
+    /// Rebuild the two-level split over a surviving member set, preserving
+    /// node locality. Returns `None` when the survivors are *ragged* — the
+    /// non-empty nodes hold unequal rank counts, so no valid inner/outer
+    /// split exists and the caller must fall back to a flat ring.
+    pub fn from_members(topo: &Topology, members: &[usize]) -> Option<Self> {
+        let mut members = members.to_vec();
+        members.sort_unstable();
+        members.dedup();
+        if members.is_empty() || *members.last().unwrap() >= topo.world_size() {
+            return None;
+        }
+        let mut per_node = vec![0usize; topo.nodes];
+        for &r in &members {
+            per_node[topo.node_of(r)] += 1;
+        }
+        let counts: Vec<usize> = per_node.iter().copied().filter(|&c| c > 0).collect();
+        let gpn = counts[0];
+        if counts.iter().any(|&c| c != gpn) {
+            return None;
+        }
+        // Ranks are node-major, so ascending survivors are already grouped
+        // by (retained) node: the sorted list *is* the slot map.
+        Some(DoubleRingSpec {
+            nodes: counts.len(),
+            gpn,
+            slots: members,
+        })
+    }
+
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    pub fn gpus_per_node(&self) -> usize {
+        self.gpn
+    }
+
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The physical rank occupying `slot`.
+    pub fn rank_at(&self, slot: usize) -> usize {
+        self.slots[slot]
+    }
+
+    /// The slot occupied by physical `rank`, if it is a member.
+    pub fn slot_of(&self, rank: usize) -> Option<usize> {
+        self.slots.iter().position(|&r| r == rank)
+    }
+
+    /// Next slot on the same (logical) node's NVLink sub-ring.
+    pub fn next_in_node(&self, slot: usize) -> usize {
+        let (outer, inner) = (slot / self.gpn, slot % self.gpn);
+        outer * self.gpn + (inner + 1) % self.gpn
+    }
+
+    /// Previous slot on the same (logical) node's NVLink sub-ring.
+    pub fn prev_in_node(&self, slot: usize) -> usize {
+        let (outer, inner) = (slot / self.gpn, slot % self.gpn);
+        outer * self.gpn + (inner + self.gpn - 1) % self.gpn
+    }
+
+    /// Same-inner-position slot on the next (logical) node.
+    pub fn peer_next_node(&self, slot: usize) -> usize {
+        let (outer, inner) = (slot / self.gpn, slot % self.gpn);
+        ((outer + 1) % self.nodes) * self.gpn + inner
+    }
+
+    /// Same-inner-position slot on the previous (logical) node.
+    pub fn peer_prev_node(&self, slot: usize) -> usize {
+        let (outer, inner) = (slot / self.gpn, slot % self.gpn);
+        ((outer + self.nodes - 1) % self.nodes) * self.gpn + inner
+    }
+}
 
 /// Forward pass over the two-level ring.
 pub fn double_ring_forward(comm: &mut Communicator, shard: &AttnShard) -> DistAttnOut {
@@ -48,12 +158,30 @@ pub fn try_double_ring_forward(
     comm: &mut Communicator,
     shard: &AttnShard,
 ) -> Result<DistAttnOut, AttnFailure> {
-    let topo = comm.topology().clone();
-    let (nodes, gpn) = (topo.nodes, topo.gpus_per_node);
-    let g = comm.world_size();
+    let spec = DoubleRingSpec::full(comm.topology());
+    try_double_ring_forward_on(comm, shard, &spec)
+}
+
+/// [`try_double_ring_forward`] over an explicit [`DoubleRingSpec`] — the
+/// elastic entry point: the caller's `Q/K/V` must hold the tokens of its
+/// *slot* in the spec's `len()`-way partition (`AttnShard::idx_at`).
+pub fn try_double_ring_forward_on(
+    comm: &mut Communicator,
+    shard: &AttnShard,
+    spec: &DoubleRingSpec,
+) -> Result<DistAttnOut, AttnFailure> {
+    let (nodes, gpn) = (spec.nodes(), spec.gpus_per_node());
+    let g = spec.len();
+    let me = spec
+        .slot_of(comm.rank())
+        .expect("double-ring caller must be a spec member");
+    let intra_next = spec.rank_at(spec.next_in_node(me));
+    let intra_prev = spec.rank_at(spec.prev_in_node(me));
+    let peer_next = spec.rank_at(spec.peer_next_node(me));
+    let peer_prev = spec.rank_at(spec.peer_prev_node(me));
     let d = shard.q.cols();
-    let qi = shard.my_idx(comm);
-    let kidx_all: Vec<Vec<usize>> = (0..g).map(|r| shard.idx_of(comm, r)).collect();
+    let qi = shard.idx_at(g, me);
+    let kidx_all: Vec<Vec<usize>> = (0..g).map(|s| shard.idx_at(g, s)).collect();
     let mut acc_o = Mat::zeros(shard.q.rows(), shard.v.cols());
     let mut acc_lse = vec![f32::NEG_INFINITY; shard.q.rows()];
     let mut scratch = Scratch::new();
@@ -62,7 +190,7 @@ pub fn try_double_ring_forward(
     // `None` start bundle = outer round 0, read the local shard in place;
     // `None` current bundle = inner step 0, read the start bundle in place.
     let mut start_owned: Option<(Mat, Mat)> = None;
-    let mut start_src = comm.rank();
+    let mut start_src = me;
     for outer in 0..nodes {
         let (start_k, start_v) = match &start_owned {
             Some((k, v)) => (k, v),
@@ -71,10 +199,8 @@ pub fn try_double_ring_forward(
         if outer < nodes - 1 {
             // Early inter-node post: hides behind the whole intra sweep.
             let at = AttnFailure::at(Phase::Forward, outer * gpn);
-            comm.try_send_mat(comm.peer_next_node(), start_k)
-                .map_err(&at)?;
-            comm.try_send_mat(comm.peer_next_node(), start_v)
-                .map_err(&at)?;
+            comm.try_send_mat(peer_next, start_k).map_err(&at)?;
+            comm.try_send_mat(peer_next, start_v).map_err(&at)?;
         }
         let mut cur_owned: Option<(Mat, Mat)> = None;
         let mut src = start_src;
@@ -86,8 +212,8 @@ pub fn try_double_ring_forward(
                 None => (start_k, start_v),
             };
             if inner < gpn - 1 {
-                comm.try_send_mat(comm.next_in_node(), cur_k).map_err(&at)?;
-                comm.try_send_mat(comm.next_in_node(), cur_v).map_err(&at)?;
+                comm.try_send_mat(intra_next, cur_k).map_err(&at)?;
+                comm.try_send_mat(intra_next, cur_v).map_err(&at)?;
             }
             let w = flash_forward_acc(
                 shard.q,
@@ -105,20 +231,20 @@ pub fn try_double_ring_forward(
             work.merge(w);
             if inner < gpn - 1 {
                 cur_owned = Some((
-                    comm.try_recv_mat(comm.prev_in_node()).map_err(&at)?,
-                    comm.try_recv_mat(comm.prev_in_node()).map_err(&at)?,
+                    comm.try_recv_mat(intra_prev).map_err(&at)?,
+                    comm.try_recv_mat(intra_prev).map_err(&at)?,
                 ));
-                src = topo.prev_in_node(src);
+                src = spec.prev_in_node(src);
             }
             comm.span_end();
         }
         if outer < nodes - 1 {
             let at = AttnFailure::at(Phase::Forward, (outer + 1) * gpn - 1);
             start_owned = Some((
-                comm.try_recv_mat(comm.peer_prev_node()).map_err(&at)?,
-                comm.try_recv_mat(comm.peer_prev_node()).map_err(&at)?,
+                comm.try_recv_mat(peer_prev).map_err(&at)?,
+                comm.try_recv_mat(peer_prev).map_err(&at)?,
             ));
-            start_src = topo.peer_prev_node(start_src);
+            start_src = spec.peer_prev_node(start_src);
         }
     }
     Ok(DistAttnOut {
@@ -152,12 +278,29 @@ pub fn try_double_ring_backward_alg1(
     shard: &AttnShard,
     back: &BackwardInputs,
 ) -> Result<(Mat, Mat, Mat), AttnFailure> {
-    let topo = comm.topology().clone();
-    let (nodes, gpn) = (topo.nodes, topo.gpus_per_node);
-    let g = comm.world_size();
+    let spec = DoubleRingSpec::full(comm.topology());
+    try_double_ring_backward_alg1_on(comm, shard, back, &spec)
+}
+
+/// [`try_double_ring_backward_alg1`] over an explicit [`DoubleRingSpec`].
+pub fn try_double_ring_backward_alg1_on(
+    comm: &mut Communicator,
+    shard: &AttnShard,
+    back: &BackwardInputs,
+    spec: &DoubleRingSpec,
+) -> Result<(Mat, Mat, Mat), AttnFailure> {
+    let (nodes, gpn) = (spec.nodes(), spec.gpus_per_node());
+    let g = spec.len();
+    let me = spec
+        .slot_of(comm.rank())
+        .expect("double-ring caller must be a spec member");
+    let intra_next = spec.rank_at(spec.next_in_node(me));
+    let intra_prev = spec.rank_at(spec.prev_in_node(me));
+    let peer_next = spec.rank_at(spec.peer_next_node(me));
+    let peer_prev = spec.rank_at(spec.peer_prev_node(me));
     let d = shard.q.cols();
-    let qi = shard.my_idx(comm);
-    let kidx_all: Vec<Vec<usize>> = (0..g).map(|r| shard.idx_of(comm, r)).collect();
+    let qi = shard.idx_at(g, me);
+    let kidx_all: Vec<Vec<usize>> = (0..g).map(|s| shard.idx_at(g, s)).collect();
     let d_vec = back.grad_o.rowsum_hadamard(back.o);
     let d_recompute = shard.cost.gemm_secs(shard.q.rows(), d, 1);
     let mut grad_q = Mat::zeros(shard.q.rows(), shard.q.cols());
@@ -165,7 +308,7 @@ pub fn try_double_ring_backward_alg1(
     let mut cur_dk = Mat::zeros(shard.k.rows(), shard.k.cols());
     let mut cur_dv = Mat::zeros(shard.v.rows(), shard.v.cols());
     let mut scratch = Scratch::new();
-    let mut src = comm.rank();
+    let mut src = me;
 
     for outer in 0..nodes {
         for inner in 0..gpn {
@@ -199,15 +342,11 @@ pub fn try_double_ring_backward_alg1(
                     comm.span_end();
                     break; // sweep done; completion hops below
                 }
-                comm.peer_next_node()
+                peer_next
             } else {
-                comm.next_in_node()
+                intra_next
             };
-            let src_peer = if last_inner {
-                comm.peer_prev_node()
-            } else {
-                comm.prev_in_node()
-            };
+            let src_peer = if last_inner { peer_prev } else { intra_prev };
             comm.try_send_mat(dst, cur_k).map_err(&at)?;
             comm.try_send_mat(dst, cur_v).map_err(&at)?;
             comm.try_send_mat(dst, &cur_dk).map_err(&at)?;
@@ -219,9 +358,9 @@ pub fn try_double_ring_backward_alg1(
             cur_dk = comm.try_recv_mat(src_peer).map_err(&at)?;
             cur_dv = comm.try_recv_mat(src_peer).map_err(&at)?;
             src = if last_inner {
-                topo.peer_prev_node(src)
+                spec.peer_prev_node(src)
             } else {
-                topo.prev_in_node(src)
+                spec.prev_in_node(src)
             };
             comm.span_end();
         }
@@ -232,27 +371,23 @@ pub fn try_double_ring_backward_alg1(
     let at = AttnFailure::at(Phase::Backward, nodes * gpn - 1);
     comm.span_begin(SpanKind::AttnRound, "dr_bwd_completion");
     if nodes > 1 {
-        comm.try_send_mat(comm.peer_next_node(), &cur_dk)
-            .map_err(&at)?;
-        comm.try_send_mat(comm.peer_next_node(), &cur_dv)
-            .map_err(&at)?;
-        cur_dk = comm.try_recv_mat(comm.peer_prev_node()).map_err(&at)?;
-        cur_dv = comm.try_recv_mat(comm.peer_prev_node()).map_err(&at)?;
-        src = topo.peer_prev_node(src);
+        comm.try_send_mat(peer_next, &cur_dk).map_err(&at)?;
+        comm.try_send_mat(peer_next, &cur_dv).map_err(&at)?;
+        cur_dk = comm.try_recv_mat(peer_prev).map_err(&at)?;
+        cur_dv = comm.try_recv_mat(peer_prev).map_err(&at)?;
+        src = spec.peer_prev_node(src);
     }
     for _ in 0..nodes % gpn {
-        comm.try_send_mat(comm.next_in_node(), &cur_dk)
-            .map_err(&at)?;
-        comm.try_send_mat(comm.next_in_node(), &cur_dv)
-            .map_err(&at)?;
-        cur_dk = comm.try_recv_mat(comm.prev_in_node()).map_err(&at)?;
-        cur_dv = comm.try_recv_mat(comm.prev_in_node()).map_err(&at)?;
+        comm.try_send_mat(intra_next, &cur_dk).map_err(&at)?;
+        comm.try_send_mat(intra_next, &cur_dv).map_err(&at)?;
+        cur_dk = comm.try_recv_mat(intra_prev).map_err(&at)?;
+        cur_dv = comm.try_recv_mat(intra_prev).map_err(&at)?;
         // The buffer we now hold came from our intra predecessor, whose
         // owner sits one local slot earlier than our previous buffer's.
-        src = topo.prev_in_node(src);
+        src = spec.prev_in_node(src);
     }
     comm.span_end();
-    debug_assert_eq!(src, comm.rank(), "alg1 completion must deliver home");
+    debug_assert_eq!(src, me, "alg1 completion must deliver home");
     Ok((grad_q, cur_dk, cur_dv))
 }
 
@@ -282,12 +417,29 @@ pub fn try_double_ring_backward_alg2(
     shard: &AttnShard,
     back: &BackwardInputs,
 ) -> Result<(Mat, Mat, Mat), AttnFailure> {
-    let topo = comm.topology().clone();
-    let (nodes, gpn) = (topo.nodes, topo.gpus_per_node);
-    let g = comm.world_size();
+    let spec = DoubleRingSpec::full(comm.topology());
+    try_double_ring_backward_alg2_on(comm, shard, back, &spec)
+}
+
+/// [`try_double_ring_backward_alg2`] over an explicit [`DoubleRingSpec`].
+pub fn try_double_ring_backward_alg2_on(
+    comm: &mut Communicator,
+    shard: &AttnShard,
+    back: &BackwardInputs,
+    spec: &DoubleRingSpec,
+) -> Result<(Mat, Mat, Mat), AttnFailure> {
+    let (nodes, gpn) = (spec.nodes(), spec.gpus_per_node());
+    let g = spec.len();
+    let me = spec
+        .slot_of(comm.rank())
+        .expect("double-ring caller must be a spec member");
+    let intra_next = spec.rank_at(spec.next_in_node(me));
+    let intra_prev = spec.rank_at(spec.prev_in_node(me));
+    let peer_next = spec.rank_at(spec.peer_next_node(me));
+    let peer_prev = spec.rank_at(spec.peer_prev_node(me));
     let d = shard.q.cols();
-    let ki = shard.my_idx(comm);
-    let qidx_all: Vec<Vec<usize>> = (0..g).map(|r| shard.idx_of(comm, r)).collect();
+    let ki = shard.idx_at(g, me);
+    let qidx_all: Vec<Vec<usize>> = (0..g).map(|s| shard.idx_at(g, s)).collect();
     let d_vec = back.grad_o.rowsum_hadamard(back.o);
     comm.advance_compute(shard.cost.gemm_secs(shard.q.rows(), d, 1));
     let mut grad_k = Mat::zeros(shard.k.rows(), shard.k.cols());
@@ -314,11 +466,11 @@ pub fn try_double_ring_backward_alg2(
 
     // The rank that processes a bundle right after us when crossing nodes,
     // and the one that processed it right before us.
-    let diag_next = topo.peer_next_node(topo.next_in_node(comm.rank()));
-    let diag_prev = topo.peer_prev_node(topo.prev_in_node(comm.rank()));
+    let diag_next = spec.rank_at(spec.peer_next_node(spec.next_in_node(me)));
+    let diag_prev = spec.rank_at(spec.peer_prev_node(spec.prev_in_node(me)));
 
     let mut start_owned: Option<(Mat, Mat, Vec<f32>, Vec<f32>)> = None;
-    let mut start_src = comm.rank();
+    let mut start_src = me;
 
     for outer in 0..nodes {
         let (start_q, start_do, start_lse, start_d): (&Mat, &Mat, &[f32], &[f32]) =
@@ -329,7 +481,7 @@ pub fn try_double_ring_backward_alg2(
         if outer < nodes - 1 {
             // Early inter-node post of the read-only bundle.
             let at = AttnFailure::at(Phase::Backward, outer * gpn);
-            let p = comm.peer_next_node();
+            let p = peer_next;
             comm.try_send_mat(p, start_q).map_err(&at)?;
             comm.try_send_mat(p, start_do).map_err(&at)?;
             comm.try_send_vec(p, start_lse).map_err(&at)?;
@@ -346,7 +498,7 @@ pub fn try_double_ring_backward_alg2(
             };
             if inner < gpn - 1 {
                 // Read-only intra post before compute.
-                let n = comm.next_in_node();
+                let n = intra_next;
                 comm.try_send_mat(n, cur_q).map_err(&at)?;
                 comm.try_send_mat(n, cur_do).map_err(&at)?;
                 comm.try_send_vec(n, cur_lse).map_err(&at)?;
@@ -376,42 +528,38 @@ pub fn try_double_ring_backward_alg2(
             let to = if inner == gpn - 1 {
                 diag_next
             } else {
-                comm.next_in_node()
+                intra_next
             };
             if outer == 0 && inner == 0 {
                 comm.try_send_mat(to, &dq_buf).map_err(&at)?;
             } else {
-                let from = if inner == 0 {
-                    diag_prev
-                } else {
-                    comm.prev_in_node()
-                };
+                let from = if inner == 0 { diag_prev } else { intra_prev };
                 let mut dq_j = comm.try_recv_mat(from).map_err(&at)?;
                 dq_j.add_assign(&dq_buf);
                 comm.try_send_mat(to, &dq_j).map_err(&at)?;
             }
             if inner < gpn - 1 {
-                let p = comm.prev_in_node();
+                let p = intra_prev;
                 cur_owned = Some((
                     comm.try_recv_mat(p).map_err(&at)?,
                     comm.try_recv_mat(p).map_err(&at)?,
                     comm.try_recv_vec(p).map_err(&at)?,
                     comm.try_recv_vec(p).map_err(&at)?,
                 ));
-                src = topo.prev_in_node(src);
+                src = spec.prev_in_node(src);
             }
             comm.span_end();
         }
         if outer < nodes - 1 {
             let at = AttnFailure::at(Phase::Backward, (outer + 1) * gpn - 1);
-            let p = comm.peer_prev_node();
+            let p = peer_prev;
             start_owned = Some((
                 comm.try_recv_mat(p).map_err(&at)?,
                 comm.try_recv_mat(p).map_err(&at)?,
                 comm.try_recv_vec(p).map_err(&at)?,
                 comm.try_recv_vec(p).map_err(&at)?,
             ));
-            start_src = topo.peer_prev_node(start_src);
+            start_src = spec.peer_prev_node(start_src);
         }
     }
     // The very last ∇Q send above (slot (nodes−1, gpn−1)) delivered that
@@ -423,4 +571,73 @@ pub fn try_double_ring_backward_alg2(
         .map_err(AttnFailure::at(Phase::Backward, nodes * gpn - 1))?;
     comm.span_end();
     Ok((grad_q, grad_k, grad_v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_spec_is_the_identity_over_the_topology() {
+        let topo = Topology::a800(3, 4);
+        let spec = DoubleRingSpec::full(&topo);
+        assert_eq!(spec.len(), 12);
+        assert_eq!((spec.nodes(), spec.gpus_per_node()), (3, 4));
+        for r in 0..12 {
+            assert_eq!(spec.rank_at(r), r);
+            assert_eq!(spec.slot_of(r), Some(r));
+            assert_eq!(spec.next_in_node(r), topo.next_in_node(r));
+            assert_eq!(spec.prev_in_node(r), topo.prev_in_node(r));
+            assert_eq!(spec.peer_next_node(r), topo.peer_next_node(r));
+            assert_eq!(spec.peer_prev_node(r), topo.peer_prev_node(r));
+        }
+    }
+
+    #[test]
+    fn balanced_survivors_rebuild_a_two_level_split() {
+        // 2 nodes x 3 gpus; one death per node keeps the split valid as a
+        // 2x2 logical double-ring.
+        let topo = Topology::a800(2, 3);
+        let spec = DoubleRingSpec::from_members(&topo, &[0, 2, 3, 5]).expect("balanced");
+        assert_eq!((spec.nodes(), spec.gpus_per_node()), (2, 2));
+        assert_eq!(
+            (0..4).map(|s| spec.rank_at(s)).collect::<Vec<_>>(),
+            vec![0, 2, 3, 5]
+        );
+        // Slot arithmetic mirrors a fresh 2x2 world: slot 1's intra
+        // neighbour is slot 0, its inter peer is slot 3.
+        assert_eq!(spec.next_in_node(1), 0);
+        assert_eq!(spec.peer_next_node(1), 3);
+        assert_eq!(spec.slot_of(5), Some(3));
+        assert_eq!(spec.slot_of(1), None);
+    }
+
+    #[test]
+    fn whole_node_loss_still_splits() {
+        // Losing node 1 entirely leaves 2 nodes of 2 — still valid.
+        let topo = Topology::a800(3, 2);
+        let spec = DoubleRingSpec::from_members(&topo, &[0, 1, 4, 5]).expect("node loss");
+        assert_eq!((spec.nodes(), spec.gpus_per_node()), (2, 2));
+        assert_eq!(spec.rank_at(2), 4);
+        assert_eq!(spec.peer_next_node(0), 2);
+    }
+
+    #[test]
+    fn ragged_survivors_are_rejected() {
+        let topo = Topology::a800(2, 3);
+        // Node 0 keeps 3 ranks, node 1 keeps 2: no valid split.
+        assert!(DoubleRingSpec::from_members(&topo, &[0, 1, 2, 3, 4]).is_none());
+        // Empty and out-of-range member sets are rejected too.
+        assert!(DoubleRingSpec::from_members(&topo, &[]).is_none());
+        assert!(DoubleRingSpec::from_members(&topo, &[0, 99]).is_none());
+    }
+
+    #[test]
+    fn single_survivor_is_a_one_by_one_spec() {
+        let topo = Topology::a800(2, 2);
+        let spec = DoubleRingSpec::from_members(&topo, &[3]).expect("singleton");
+        assert_eq!((spec.nodes(), spec.gpus_per_node(), spec.len()), (1, 1, 1));
+        assert_eq!(spec.next_in_node(0), 0);
+        assert_eq!(spec.peer_next_node(0), 0);
+    }
 }

@@ -17,6 +17,9 @@
 //! shard re-assembly from per-rank checkpoint data, and the re-run loop.
 
 use crate::cost::CostModel;
+use crate::double_ring::{
+    try_double_ring_backward_alg2_on, try_double_ring_forward_on, DoubleRingSpec,
+};
 use crate::layout::Layout;
 use crate::ring::{
     try_burst_backward, try_ring_forward, AttnFailure, AttnShard, BackwardInputs, OverlapMode, Ring,
@@ -51,6 +54,26 @@ pub struct ElasticAttnOut {
     pub shards_loaded: usize,
     /// Ring attempts run (1 = no failure).
     pub attempts: usize,
+    /// Attempts where a topology-aware double-ring was requested but the
+    /// alive set was ragged (no valid inner/outer split), so the flat ring
+    /// ran instead.
+    pub flat_fallbacks: usize,
+}
+
+/// Options for [`try_elastic_attention_opts`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ElasticOpts {
+    /// Run the topology-aware double-ring schedules (forward + Algorithm 2
+    /// backward) whenever the alive set preserves node locality
+    /// ([`DoubleRingSpec::from_members`]); ragged alive sets fall back to
+    /// the flat ring for that attempt (counted in
+    /// [`ElasticAttnOut::flat_fallbacks`]).
+    pub double_ring: bool,
+    /// This rank's local `Q/K/V/∇O` buffers are stale (a freshly re-admitted
+    /// joiner warm-starting from checkpoint): force a partition rebuild even
+    /// at full world, sourcing *every* row — including this rank's own —
+    /// from `load_shard`.
+    pub warm_start: bool,
 }
 
 /// Ranks an attention failure implicates, for the eviction proposal.
@@ -75,6 +98,7 @@ fn rebuild_partition(
     ring_size: usize,
     pos: usize,
     local: &ShardData,
+    use_local: bool,
     cache: &mut HashMap<usize, ShardData>,
     loads: &mut usize,
     load_shard: &mut dyn FnMut(usize) -> ShardData,
@@ -105,7 +129,7 @@ fn rebuild_partition(
     );
     for (row_out, &t) in new_idx.iter().enumerate() {
         let (owner, row_in) = home[t];
-        let src: &ShardData = if owner == me {
+        let src: &ShardData = if owner == me && use_local {
             local
         } else {
             cache.entry(owner).or_insert_with(|| {
@@ -153,6 +177,44 @@ pub fn try_elastic_attention(
     load_shard: &mut dyn FnMut(usize) -> ShardData,
     policy: &RetryPolicy,
 ) -> Result<ElasticAttnOut, AttnFailure> {
+    try_elastic_attention_opts(
+        comm,
+        m,
+        q,
+        k,
+        v,
+        grad_o,
+        scale,
+        mask,
+        layout,
+        seq_len,
+        cost,
+        load_shard,
+        policy,
+        ElasticOpts::default(),
+    )
+}
+
+/// [`try_elastic_attention`] with explicit [`ElasticOpts`]: topology-aware
+/// double-ring scheduling and/or a warm-starting joiner whose shard must be
+/// reassembled entirely from checkpoint data.
+#[allow(clippy::too_many_arguments)]
+pub fn try_elastic_attention_opts(
+    comm: &mut Communicator,
+    m: &mut Membership,
+    q: &Mat,
+    k: &Mat,
+    v: &Mat,
+    grad_o: &Mat,
+    scale: f32,
+    mask: &AttnMask,
+    layout: Layout,
+    seq_len: usize,
+    cost: &CostModel,
+    load_shard: &mut dyn FnMut(usize) -> ShardData,
+    policy: &RetryPolicy,
+    opts: ElasticOpts,
+) -> Result<ElasticAttnOut, AttnFailure> {
     let me = comm.rank();
     let orig_world = comm.world_size();
     assert!(
@@ -165,14 +227,16 @@ pub fn try_elastic_attention(
     let mut loads = 0usize;
     let mut evicted_all: Vec<usize> = Vec::new();
     let mut attempts = 0usize;
+    let mut flat_fallbacks = 0usize;
     let mut last_err: Option<AttnFailure> = None;
     while attempts <= orig_world {
         attempts += 1;
         let members = m.alive_ranks();
         let pos = m.pos_of(me).expect("alive rank has a ring position");
         // First attempt on the full world runs straight off the caller's
-        // borrowed shard; any shrunken ring re-assembles its partition.
-        let (shard_data, idx) = if members.len() == orig_world {
+        // borrowed shard; any shrunken ring — or a warm-starting joiner
+        // whose local buffers are stale — re-assembles its partition.
+        let (shard_data, idx) = if members.len() == orig_world && !opts.warm_start {
             (None, my_orig_idx.clone())
         } else {
             let (data, idx) = rebuild_partition(
@@ -183,6 +247,7 @@ pub fn try_elastic_attention(
                 members.len(),
                 pos,
                 &local,
+                !opts.warm_start,
                 &mut cache,
                 &mut loads,
                 load_shard,
@@ -215,15 +280,38 @@ pub fn try_elastic_attention(
         if attempts > 1 {
             comm.span_begin(SpanKind::Replay, "replay_attempt");
         }
-        let result = try_ring_forward(comm, &ring, &shard).and_then(|fwd| {
-            let back = BackwardInputs {
-                o: &fwd.o,
-                lse: &fwd.lse,
-                grad_o: sgo,
-            };
-            try_burst_backward(comm, &ring, &shard, &back, OverlapMode::Fine)
-                .map(|(dq, dk, dv)| (fwd, dq, dk, dv))
-        });
+        // Schedule selection: the topology-aware double-ring when requested
+        // and the alive set preserves node locality, the flat ring
+        // otherwise. Slot order == ascending member order == ring position,
+        // so both schedules consume the identical partition.
+        let dr_spec = if opts.double_ring {
+            DoubleRingSpec::from_members(comm.topology(), &members)
+        } else {
+            None
+        };
+        if opts.double_ring && dr_spec.is_none() {
+            flat_fallbacks += 1;
+        }
+        let result = match &dr_spec {
+            Some(spec) => try_double_ring_forward_on(comm, &shard, spec).and_then(|fwd| {
+                let back = BackwardInputs {
+                    o: &fwd.o,
+                    lse: &fwd.lse,
+                    grad_o: sgo,
+                };
+                try_double_ring_backward_alg2_on(comm, &shard, &back, spec)
+                    .map(|(dq, dk, dv)| (fwd, dq, dk, dv))
+            }),
+            None => try_ring_forward(comm, &ring, &shard).and_then(|fwd| {
+                let back = BackwardInputs {
+                    o: &fwd.o,
+                    lse: &fwd.lse,
+                    grad_o: sgo,
+                };
+                try_burst_backward(comm, &ring, &shard, &back, OverlapMode::Fine)
+                    .map(|(dq, dk, dv)| (fwd, dq, dk, dv))
+            }),
+        };
         // Settle the span stack: closes the replay span and any round span
         // a failure left open via `?`.
         comm.span_unwind(span_depth);
@@ -257,6 +345,7 @@ pub fn try_elastic_attention(
                         epoch: outcome.epoch,
                         shards_loaded: loads,
                         attempts,
+                        flat_fallbacks,
                     });
                 }
                 // Nothing evicted yet the ring failed: a non-membership

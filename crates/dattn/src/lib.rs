@@ -36,7 +36,10 @@ pub mod ulysses;
 pub mod usp;
 
 pub use cost::CostModel;
-pub use elastic::{try_elastic_attention, ElasticAttnOut, ShardData};
+pub use double_ring::DoubleRingSpec;
+pub use elastic::{
+    try_elastic_attention, try_elastic_attention_opts, ElasticAttnOut, ElasticOpts, ShardData,
+};
 pub use layout::Layout;
 pub use ring::{
     burst_backward, ring_backward, ring_forward, try_burst_backward, try_ring_backward,

@@ -17,12 +17,13 @@
 
 use crate::linear::{Linear, LinearSaved};
 use crate::rope::{rope_apply, rope_backward, ROPE_THETA};
-use burst_comm::{Communicator, SpanKind};
+use burst_comm::{CommError, Communicator, SpanKind};
 use burst_dattn::ulysses::{ulysses_backward, ulysses_forward};
 use burst_dattn::usp::{usp_backward, usp_forward, UspTopo};
 use burst_dattn::{
-    burst_backward, double_ring, ring_backward, ring_forward, Algo, AttnShard, BackwardInputs,
-    CostModel, Layout, OverlapMode, Ring,
+    burst_backward, double_ring, ring_backward, ring_forward, try_burst_backward,
+    try_ring_backward, try_ring_forward, Algo, AttnFailure, AttnShard, BackwardInputs, CostModel,
+    DoubleRingSpec, Layout, OverlapMode, Ring,
 };
 use burst_kernels::{flash_backward, flash_forward, AttnMask};
 use burst_tensor::Mat;
@@ -321,6 +322,270 @@ impl AttnExec for DistExec<'_> {
     fn local_indices(&self) -> Vec<usize> {
         self.layout
             .indices(self.seq_len, self.comm.world_size(), self.comm.rank())
+    }
+
+    fn span_begin(&mut self, kind: SpanKind, name: &'static str) {
+        self.comm.span_begin(kind, name);
+    }
+
+    fn span_end(&mut self) {
+        self.comm.span_end();
+    }
+
+    fn recompute_scope(&mut self, enter: bool) {
+        self.comm.recompute_scope(enter);
+    }
+}
+
+/// Membership-aware ring attention for **in-step recovery**: [`DistExec`]
+/// over the current alive set, but a communication fault returns control to
+/// the engine instead of aborting the process.
+///
+/// The model's layer stack drives [`AttnExec`] infallibly, so the first
+/// fault is *latched*: the failing call yields zero-shaped outputs and every
+/// later call short-circuits without touching the wire. The train step then
+/// unwinds cheaply; the engine reads [`ElasticExec::take_failure`], agrees
+/// on the eviction with the survivors and replays the step on the shrunken
+/// ring.
+///
+/// Bit-identity: the ring is the ascending alive set with this rank at its
+/// membership position, so a `g'`-member step reproduces a fresh `g'`-world
+/// step bit-for-bit. Topology-aware algorithms run on a
+/// [`DoubleRingSpec`] when the survivors preserve node balance and fall
+/// back to the flat ring (counted) when they are ragged.
+pub struct ElasticExec<'a> {
+    pub comm: &'a mut Communicator,
+    /// Alive ranks in ascending order (the elastic ring).
+    members: Vec<usize>,
+    /// This rank's position within `members`.
+    pos: usize,
+    pub algo: Algo,
+    pub layout: Layout,
+    pub mask: AttnMask,
+    pub seq_len: usize,
+    pub cost: CostModel,
+    pub overlap: OverlapMode,
+    /// Two-level geometry over the alive set (topology-aware algorithms
+    /// with node-balanced survivors only).
+    spec: Option<DoubleRingSpec>,
+    /// A topology-aware algorithm had to run on the flat ring because the
+    /// survivor pattern is ragged across nodes.
+    flat_fallback: bool,
+    /// First communication fault observed; latched until taken.
+    failure: Option<CommError>,
+}
+
+impl<'a> ElasticExec<'a> {
+    /// Panics if the calling rank is not in `members`.
+    pub fn new(
+        comm: &'a mut Communicator,
+        members: Vec<usize>,
+        algo: Algo,
+        layout: Layout,
+        mask: AttnMask,
+        seq_len: usize,
+        cost: CostModel,
+    ) -> Self {
+        let pos = members
+            .iter()
+            .position(|&m| m == comm.rank())
+            .expect("ElasticExec: calling rank not in member list");
+        let topo_algo = matches!(algo, Algo::DoubleRing | Algo::BurstTopo);
+        let spec = if topo_algo {
+            DoubleRingSpec::from_members(comm.topology(), &members)
+        } else {
+            None
+        };
+        let flat_fallback = topo_algo && spec.is_none();
+        ElasticExec {
+            comm,
+            members,
+            pos,
+            algo,
+            layout,
+            mask,
+            seq_len,
+            cost,
+            overlap: OverlapMode::Fine,
+            spec,
+            flat_fallback,
+            failure: None,
+        }
+    }
+
+    /// The fault that stopped this step, if any (cleared on read).
+    pub fn take_failure(&mut self) -> Option<CommError> {
+        self.failure.take()
+    }
+
+    /// Whether a topology-aware algorithm ran flat because the survivors
+    /// are ragged across nodes.
+    pub fn flat_fallback(&self) -> bool {
+        self.flat_fallback
+    }
+
+    /// Members of the current elastic ring, ascending.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    fn ring(&self) -> Ring {
+        Ring {
+            members: self.members.clone(),
+            pos: self.pos,
+        }
+    }
+
+    fn latch(&mut self, e: AttnFailure) {
+        if self.failure.is_none() {
+            self.failure = Some(e.source);
+        }
+    }
+
+    fn fwd_one(
+        &mut self,
+        q: &Mat,
+        k: &Mat,
+        v: &Mat,
+        cutoff: Option<usize>,
+    ) -> Result<(Mat, Vec<f32>), AttnFailure> {
+        let shard = AttnShard {
+            q,
+            k,
+            v,
+            scale: head_scale(q),
+            mask: &self.mask,
+            layout: self.layout,
+            seq_len: self.seq_len,
+            cost: self.cost,
+            max_token: cutoff,
+        };
+        let out = match &self.spec {
+            Some(spec) => double_ring::try_double_ring_forward_on(self.comm, &shard, spec)?,
+            None => {
+                let ring = self.ring();
+                try_ring_forward(self.comm, &ring, &shard)?
+            }
+        };
+        Ok((out.o, out.lse))
+    }
+}
+
+impl AttnExec for ElasticExec<'_> {
+    fn forward(&mut self, q: &[Mat], k: &[Mat], v: &[Mat]) -> AttnOut {
+        let mut o = Vec::with_capacity(q.len());
+        let mut lse = Vec::with_capacity(q.len());
+        for h in 0..q.len() {
+            if self.failure.is_none() {
+                match self.fwd_one(&q[h], &k[h], &v[h], None) {
+                    Ok((oh, lh)) => {
+                        o.push(oh);
+                        lse.push(lh);
+                        continue;
+                    }
+                    Err(e) => self.latch(e),
+                }
+            }
+            o.push(Mat::zeros(q[h].rows(), v[h].cols()));
+            lse.push(vec![0.0; q[h].rows()]);
+        }
+        (o, lse)
+    }
+
+    fn backward(
+        &mut self,
+        q: &[Mat],
+        k: &[Mat],
+        v: &[Mat],
+        o: &[Mat],
+        lse: &[Vec<f32>],
+        grad_o: &[Mat],
+    ) -> (Vec<Mat>, Vec<Mat>, Vec<Mat>) {
+        let mut dq = Vec::with_capacity(q.len());
+        let mut dk = Vec::with_capacity(q.len());
+        let mut dv = Vec::with_capacity(q.len());
+        for h in 0..q.len() {
+            if self.failure.is_none() {
+                let shard = AttnShard {
+                    q: &q[h],
+                    k: &k[h],
+                    v: &v[h],
+                    scale: head_scale(&q[h]),
+                    mask: &self.mask,
+                    layout: self.layout,
+                    seq_len: self.seq_len,
+                    cost: self.cost,
+                    max_token: None,
+                };
+                let back = BackwardInputs {
+                    o: &o[h],
+                    lse: &lse[h],
+                    grad_o: &grad_o[h],
+                };
+                let res = match (&self.spec, self.algo) {
+                    (Some(spec), Algo::DoubleRing) => {
+                        double_ring::try_double_ring_backward_alg1_on(
+                            self.comm, &shard, &back, spec,
+                        )
+                    }
+                    (Some(spec), _) => double_ring::try_double_ring_backward_alg2_on(
+                        self.comm, &shard, &back, spec,
+                    ),
+                    (None, Algo::RingFlat | Algo::DoubleRing) => {
+                        let ring = self.ring();
+                        try_ring_backward(self.comm, &ring, &shard, &back, self.overlap)
+                    }
+                    (None, Algo::BurstFlat | Algo::BurstTopo) => {
+                        let ring = self.ring();
+                        try_burst_backward(self.comm, &ring, &shard, &back, self.overlap)
+                    }
+                };
+                match res {
+                    Ok((a, b, c)) => {
+                        dq.push(a);
+                        dk.push(b);
+                        dv.push(c);
+                        continue;
+                    }
+                    Err(e) => self.latch(e),
+                }
+            }
+            dq.push(Mat::zeros(q[h].rows(), q[h].cols()));
+            dk.push(Mat::zeros(k[h].rows(), k[h].cols()));
+            dv.push(Mat::zeros(v[h].rows(), v[h].cols()));
+        }
+        (dq, dk, dv)
+    }
+
+    fn forward_partial(
+        &mut self,
+        q: &[Mat],
+        k: &[Mat],
+        v: &[Mat],
+        cutoff: usize,
+    ) -> Option<AttnOut> {
+        let mut o = Vec::with_capacity(q.len());
+        let mut lse = Vec::with_capacity(q.len());
+        for h in 0..q.len() {
+            if self.failure.is_none() {
+                match self.fwd_one(&q[h], &k[h], &v[h], Some(cutoff)) {
+                    Ok((oh, lh)) => {
+                        o.push(oh);
+                        lse.push(lh);
+                        continue;
+                    }
+                    Err(e) => self.latch(e),
+                }
+            }
+            o.push(Mat::zeros(q[h].rows(), v[h].cols()));
+            lse.push(vec![0.0; q[h].rows()]);
+        }
+        Some((o, lse))
+    }
+
+    fn local_indices(&self) -> Vec<usize> {
+        self.layout
+            .indices(self.seq_len, self.members.len(), self.pos)
     }
 
     fn span_begin(&mut self, kind: SpanKind, name: &'static str) {

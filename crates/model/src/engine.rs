@@ -4,7 +4,7 @@
 //! paper's evaluation metrics — loss, virtual step time, TGS (tokens per
 //! second per GPU), MFU and modeled memory.
 
-use crate::attention::{AttnExec, DistExec, LocalExec, UlyssesExec, UspExec};
+use crate::attention::{AttnExec, DistExec, ElasticExec, LocalExec, UlyssesExec, UspExec};
 use crate::checkpoint::{ActPrecision, Strategy};
 use crate::checkpoint_io::{atomic_write, decode_checkpoint, encode_checkpoint};
 use crate::checkpoint_shard::{
@@ -13,14 +13,18 @@ use crate::checkpoint_shard::{
 use crate::fsdp;
 use crate::model::{Model, ModelConfig, StepOutput};
 use crate::param::AdamCfg;
-use burst_comm::{CommError, CommStats, Communicator, SpanKind, World};
+use burst_comm::{
+    agree_on_eviction, agree_on_join, agree_on_leave, send_abort, shrink_all_reduce_vec,
+    shrink_barrier, ChurnEvent, ChurnKind, CommError, CommStats, Communicator, Membership,
+    RetryPolicy, SpanKind, World,
+};
 use burst_dattn::{Algo, CostModel, Layout, OverlapMode};
 use burst_kernels::AttnMask;
 use burst_tensor::Mat;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Which attention parallelism the engine runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -456,6 +460,402 @@ pub fn train(world: &World, cfg: &EngineConfig, steps: usize) -> TrainMetrics {
     }
 }
 
+/// Options for [`run_span_elastic`].
+#[derive(Debug, Clone, Default)]
+pub struct ElasticCfg {
+    /// Retry policy for the shrink collectives and membership agreements.
+    pub policy: RetryPolicy,
+    /// Sharded checkpoint directory (`BURSTCKPT v2`). Required when the
+    /// fault plan schedules joins: a checkpoint is force-written at the end
+    /// of the step before each join so the joiner can warm-start from it.
+    pub ckpt_dir: Option<PathBuf>,
+    /// Also checkpoint every `every` steps (0 = only before joins and at
+    /// span end).
+    pub every: usize,
+    /// Give up on a step after this many in-step replays (0 = world size).
+    pub max_replays_per_step: usize,
+}
+
+/// Per-rank outcome of an elastic span.
+#[derive(Debug, Clone)]
+pub struct ElasticOutcome {
+    /// Full global loss history (prior + this span) as this rank saw it.
+    pub losses: Vec<f32>,
+    /// Ranks evicted by in-step recovery, in eviction order.
+    pub evicted: Vec<usize>,
+    /// Ranks re-admitted by the Join leg, in admission order.
+    pub rejoined: Vec<usize>,
+    /// Steps replayed from their top by in-step recovery.
+    pub steps_replayed: usize,
+    /// Steps where a topology-aware algorithm ran on the flat ring because
+    /// the survivor pattern was ragged across nodes.
+    pub flat_fallbacks: usize,
+    /// Optimizer updates skipped in lockstep after gradient poison.
+    pub skipped_steps: usize,
+    /// Step at which this rank left the job for good (`None` = finished).
+    pub parked_at: Option<usize>,
+    /// Final membership epoch.
+    pub epoch: u64,
+}
+
+/// How a failure relates to the rank observing it.
+fn fatal_to_me(e: &CommError, me: usize) -> bool {
+    matches!(e,
+        CommError::Crashed { rank, .. } | CommError::Panicked { rank, .. } if *rank == me)
+}
+
+/// Run training steps `start_step..end_step` **elastically**: scheduled
+/// leaves shrink the ring, scheduled joins grow it back (the joiner
+/// warm-starts from the sharded checkpoint the survivors committed), and a
+/// mid-step fault is repaired *inside* the step — the survivors agree on
+/// the eviction, restore the step-start model snapshot and replay the step
+/// on the shrunken ring, instead of restarting the whole attempt.
+///
+/// The churn schedule comes from the world's [`burst_comm::FaultPlan`]
+/// (`leave_at` / `join_at` / `churn_storm`), which every rank knows
+/// deterministically — a real cluster's scheduler plays this role. Within a
+/// step the member list is fixed; churn is applied at step boundaries:
+/// joins first (so a rank can hand off to its replacement in one step),
+/// then leaves, then the step itself.
+///
+/// Bit-identity: every collective in the step — weight gather, loss
+/// reduction, gradient sync, ring attention — runs over the ascending alive
+/// set with this rank at its membership position, with the same
+/// accumulation order as a fresh world of that size. A span that shrinks at
+/// step `f` and regrows at step `j` therefore reproduces, bit for bit, the
+/// segmented reference: a fresh full world over `[0, f)`, a fresh shrunken
+/// world over `[f, j)` warm-started from the first segment, and a fresh
+/// full world over `[j, end)` warm-started from the second. `crates/verify`
+/// gates on exactly this equivalence.
+pub fn run_span_elastic(
+    comm: &mut Communicator,
+    cfg: &EngineConfig,
+    model: &mut Model,
+    start_step: usize,
+    end_step: usize,
+    prior_losses: &[f32],
+    ecfg: &ElasticCfg,
+) -> Result<ElasticOutcome, CommError> {
+    let algo = match cfg.backend {
+        Backend::Ring(a) => a,
+        _ => panic!("run_span_elastic requires a ring backend"),
+    };
+    let me = comm.rank();
+    let mut m = Membership::new(comm.world_size());
+    // The deterministic churn schedule, cloned out of the plan so the
+    // communicator stays mutably borrowable.
+    let churn: Vec<ChurnEvent> = comm
+        .fault_plan()
+        .map(|p| p.churn_events().to_vec())
+        .unwrap_or_default();
+    let joins_at = |s: usize| -> Vec<usize> {
+        let mut v: Vec<usize> = churn
+            .iter()
+            .filter(|e| e.kind == ChurnKind::Join && e.step == s as u64)
+            .map(|e| e.rank)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let leaves_at = |s: usize| -> Vec<usize> {
+        let mut v: Vec<usize> = churn
+            .iter()
+            .filter(|e| e.kind == ChurnKind::Leave && e.step == s as u64)
+            .map(|e| e.rank)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let rejoin_of = |rank: usize, after: usize| -> Option<usize> {
+        churn
+            .iter()
+            .filter(|e| e.kind == ChurnKind::Join && e.rank == rank && e.step > after as u64)
+            .map(|e| e.step as usize)
+            .min()
+    };
+    if !churn.is_empty() {
+        assert!(
+            ecfg.ckpt_dir.is_some() || churn.iter().all(|e| e.kind == ChurnKind::Leave),
+            "scheduled joins need ElasticCfg::ckpt_dir for the warm-start"
+        );
+    }
+    let mut out = ElasticOutcome {
+        losses: prior_losses.to_vec(),
+        evicted: Vec::new(),
+        rejoined: Vec::new(),
+        steps_replayed: 0,
+        flat_fallbacks: 0,
+        skipped_steps: 0,
+        parked_at: None,
+        epoch: 0,
+    };
+    let mut step = start_step;
+    'span: while step < end_step {
+        // Scheduled joins first: the ring regrows before the step runs.
+        let joiners: Vec<usize> = joins_at(step)
+            .into_iter()
+            .filter(|&r| !m.is_alive(r))
+            .collect();
+        if !joiners.is_empty() {
+            let j = agree_on_join(comm, &mut m, &joiners, &ecfg.policy)?;
+            out.rejoined.extend(j.admitted.iter().copied());
+        }
+        // Scheduled leaves: the departing ranks and the survivors agree,
+        // then the leaver parks until its rejoin step (if it has one).
+        let leavers: Vec<usize> = leaves_at(step)
+            .into_iter()
+            .filter(|&r| m.is_alive(r))
+            .collect();
+        if !leavers.is_empty() {
+            agree_on_leave(comm, &mut m, &leavers, &ecfg.policy)?;
+            if leavers.contains(&me) {
+                let Some(j) = rejoin_of(me, step) else {
+                    out.parked_at = Some(step);
+                    break 'span;
+                };
+                // Park: wait for the leader's invite at step `j`. The wait
+                // spans many survivor steps, so the petitioner must be
+                // patient about receive timeouts.
+                let patient = RetryPolicy {
+                    max_attempts: u32::MAX,
+                    ..ecfg.policy
+                };
+                let cohort = joins_at(j);
+                let res = agree_on_join(comm, &mut m, &cohort, &patient)?;
+                if !m.is_alive(me) {
+                    out.parked_at = Some(step);
+                    break 'span;
+                }
+                out.rejoined.extend(res.admitted.iter().copied());
+                // Warm-start from the checkpoint the survivors committed at
+                // the end of step j-1 (BURSTCKPT v2 shards).
+                let dir = ecfg
+                    .ckpt_dir
+                    .as_ref()
+                    .expect("scheduled rejoin requires ElasticCfg::ckpt_dir");
+                let (loaded, man, _files) = load_sharded(dir).map_err(|e| CommError::Corrupt {
+                    rank: me,
+                    src: me,
+                    detail: format!("warm-start restore failed: {e}"),
+                })?;
+                *model = loaded;
+                out.losses = man.losses.clone();
+                debug_assert_eq!(man.step as usize, j, "warm-start checkpoint is stale");
+                step = man.step as usize;
+                continue 'span;
+            }
+        }
+        // The step itself, replayed in place on the shrunken ring if a
+        // member dies partway through it.
+        let max_replays = if ecfg.max_replays_per_step == 0 {
+            m.world_size()
+        } else {
+            ecfg.max_replays_per_step
+        };
+        let mut attempts = 0usize;
+        let (mean_loss, skipped) = loop {
+            attempts += 1;
+            let snapshot = model.clone();
+            let span_depth = comm.span_depth();
+            if attempts > 1 {
+                comm.span_begin(SpanKind::Replay, "replay_step");
+            }
+            let res = elastic_step(comm, &mut m, cfg, model, step, algo, &ecfg.policy);
+            match res {
+                Ok((loss, skipped, fell_flat)) => {
+                    if attempts > 1 {
+                        comm.span_end();
+                    }
+                    if fell_flat {
+                        out.flat_fallbacks += 1;
+                    }
+                    break (loss, skipped);
+                }
+                Err(e) => {
+                    comm.span_unwind(span_depth);
+                    if fatal_to_me(&e, me) {
+                        return Err(e);
+                    }
+                    *model = snapshot;
+                    let suspects: Vec<usize> = dead_ranks(&e)
+                        .into_iter()
+                        .filter(|&r| r != me && m.is_alive(r))
+                        .collect();
+                    send_abort(comm, &m, &suspects);
+                    let agreed = agree_on_eviction(comm, &mut m, &suspects, &ecfg.policy)?;
+                    out.evicted.extend(agreed.evicted.iter().copied());
+                    if !m.is_alive(me) {
+                        out.parked_at = Some(step);
+                        break 'span;
+                    }
+                    out.steps_replayed += 1;
+                    if attempts > max_replays {
+                        return Err(e);
+                    }
+                }
+            }
+        };
+        out.losses.push(mean_loss);
+        if skipped {
+            out.skipped_steps += 1;
+        }
+        let done = step + 1;
+        if let Some(dir) = ecfg.ckpt_dir.as_ref() {
+            let join_next = done < end_step && joins_at(done).iter().any(|&r| !m.is_alive(r));
+            let periodic = ecfg.every > 0 && done.is_multiple_of(ecfg.every);
+            if join_next || periodic || done == end_step {
+                write_elastic_ckpt(comm, &mut m, dir, model, done, &out.losses, &ecfg.policy)?;
+            }
+        }
+        step = done;
+    }
+    out.epoch = m.epoch();
+    Ok(out)
+}
+
+/// One attempt at one elastic optimizer step over the current alive set.
+/// Returns `(global mean loss, update skipped, flat fallback)`; a typed
+/// error means a member died and the caller should evict and replay.
+fn elastic_step(
+    comm: &mut Communicator,
+    m: &mut Membership,
+    cfg: &EngineConfig,
+    model: &mut Model,
+    step: usize,
+    algo: Algo,
+    policy: &RetryPolicy,
+) -> Result<(f32, bool, bool), CommError> {
+    let n = cfg.model.seq_len;
+    let accum = cfg.grad_accum.max(1);
+    let members = m.alive_ranks();
+    comm.span_begin(SpanKind::Step, "step");
+    model.zero_grads();
+    if cfg.fsdp {
+        fsdp::try_gather_weights_m(comm, m, &mut model.params_mut(), policy)?;
+    }
+    if cfg.emulate_bf16 {
+        for p in model.params_mut() {
+            p.w.round_bf16_inplace();
+        }
+    }
+    let mut step_loss_sum = 0.0f32;
+    let mut local_bad = 0.0f32;
+    let mut fell_flat = false;
+    for micro in 0..accum {
+        comm.span_begin(SpanKind::Micro, "micro");
+        let (tokens, targets) = synthetic_batch(&cfg.model, step * accum + micro);
+        let (micro_out, flat, failure) = {
+            let mut exec = ElasticExec::new(
+                comm,
+                members.clone(),
+                algo,
+                cfg.layout,
+                cfg.mask.clone(),
+                n,
+                cfg.cost,
+            );
+            exec.overlap = cfg.overlap;
+            let mo = step_with(&mut *model, &tokens, &targets, &mut exec, cfg, accum);
+            (mo, exec.flat_fallback(), exec.take_failure())
+        };
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        fell_flat |= flat;
+        let dense_secs = dense_flops_per_token(&cfg.model, cfg.strategy) * micro_out.tokens as f64
+            / (cfg.cost.peak_flops * cfg.cost.efficiency);
+        if dense_secs.is_finite() {
+            comm.advance_compute(dense_secs);
+        }
+        step_loss_sum += micro_out.loss_sum;
+        if let Some(v) = comm.grad_poison(step as u64, micro as u64) {
+            comm.span_instant(SpanKind::Fault, "grad_poison");
+            model.params_mut()[0].grad.as_mut_slice()[0] = v;
+            if !v.is_finite() {
+                local_bad = 1.0;
+            }
+        }
+        comm.span_end();
+    }
+    let reduced = shrink_all_reduce_vec(comm, m, &[step_loss_sum, local_bad], policy)?;
+    let mean_loss = reduced[0] / (n * accum) as f32;
+    if !mean_loss.is_finite() {
+        return Err(CommError::Corrupt {
+            rank: comm.rank(),
+            src: comm.rank(),
+            detail: format!("non-finite global loss {mean_loss} at step {step}"),
+        });
+    }
+    if reduced[1] > 0.0 {
+        comm.span_instant(SpanKind::Fault, "skip_step");
+        model.zero_grads();
+        comm.span_end();
+        return Ok((mean_loss, true, fell_flat));
+    }
+    if cfg.fsdp {
+        fsdp::try_sync_grads_m(comm, m, &mut model.params_mut(), policy)?;
+    }
+    model.adam_step(&cfg.adam, step as u64 + 1);
+    if cfg.offload_optimizer {
+        let shard = if cfg.fsdp { m.num_alive() } else { 1 };
+        comm.advance_compute(fsdp::offload_step_seconds(cfg.model.param_count(), shard));
+    }
+    comm.span_end();
+    Ok((mean_loss, false, fell_flat))
+}
+
+/// Sharded checkpoint over the **current members**: each member writes the
+/// shard at its membership position for a world of `num_alive` ranks —
+/// exactly what a fresh world of that size would write — and the leader
+/// (position 0) commits the manifest between two shrink barriers.
+fn write_elastic_ckpt(
+    comm: &mut Communicator,
+    m: &mut Membership,
+    dir: &Path,
+    model: &Model,
+    done: usize,
+    losses: &[f32],
+    policy: &RetryPolicy,
+) -> Result<(), CommError> {
+    let g = m.num_alive();
+    let pos = m
+        .pos_of(comm.rank())
+        .expect("checkpoint on an evicted rank");
+    let rank = comm.rank();
+    comm.span_begin(SpanKind::Checkpoint, "checkpoint");
+    std::fs::create_dir_all(dir)
+        .unwrap_or_else(|e| panic!("rank {rank}: checkpoint dir creation failed: {e}"));
+    let flat = model.flat_state();
+    write_shard(dir, pos, g, &flat)
+        .unwrap_or_else(|e| panic!("rank {rank}: shard write failed: {e}"));
+    shrink_barrier(comm, m, policy)?;
+    if pos == 0 {
+        let shards = (0..g)
+            .map(|s| {
+                shard_meta(&flat, g, s)
+                    .unwrap_or_else(|e| panic!("rank {rank}: shard meta failed: {e}"))
+            })
+            .collect();
+        let man = ShardManifest {
+            step: done as u64,
+            epoch: m.epoch(),
+            world_size: g,
+            flat_len: flat.len(),
+            cfg: model.cfg,
+            losses: losses.to_vec(),
+            shards,
+        };
+        write_manifest(dir, &man)
+            .unwrap_or_else(|e| panic!("rank {rank}: manifest commit failed: {e}"));
+    }
+    // No member trains past an uncommitted checkpoint.
+    shrink_barrier(comm, m, policy)?;
+    comm.span_end();
+    Ok(())
+}
+
 /// Everything needed to resume a training job from the middle: the number
 /// of completed optimizer steps, the global loss history, and the full
 /// model state (weights, gradients, Adam moments). Persisted with the same
@@ -505,6 +905,12 @@ pub struct RecoveryCfg {
     /// continue on a world shrunk by those ranks instead of a same-size
     /// replacement cluster.
     pub shrink: bool,
+    /// Repair failures **inside** the failed step (requires `sharded` and a
+    /// ring backend): survivors agree on the eviction and replay only the
+    /// current step on the shrunken ring via [`run_span_elastic`], instead
+    /// of restarting the attempt from the last checkpoint. Scheduled churn
+    /// (leave/join events in the world's fault plan) is honored too.
+    pub in_step: bool,
     /// Suppress the one-line recovery summary printed on completion.
     pub quiet: bool,
 }
@@ -528,9 +934,11 @@ pub struct RecoveryReport {
     /// Poisoned micro-batches rolled back across all ranks of the final
     /// attempt.
     pub dropped_micros: usize,
-    /// Ranks evicted by the shrink path, in eviction order (rank ids are
-    /// relative to the world they were evicted from).
+    /// Ranks evicted by the shrink path or by in-step recovery, in eviction
+    /// order (rank ids are relative to the world they were evicted from).
     pub evicted_ranks: Vec<usize>,
+    /// Ranks re-admitted by the Join leg, in admission order.
+    pub rejoined_ranks: Vec<usize>,
     /// Shard files read across every sharded restore.
     pub shards_reloaded: usize,
     /// Completed-then-lost steps re-run after restarts (work between the
@@ -558,10 +966,17 @@ pub fn train_with_recovery(
     steps: usize,
     recovery: &RecoveryCfg,
 ) -> io::Result<RecoveryReport> {
+    if recovery.in_step {
+        assert!(
+            recovery.sharded,
+            "RecoveryCfg::in_step requires sharded checkpoints (the joiner warm-start path)"
+        );
+    }
     let every = recovery.every.max(1);
     let mut restarts = 0usize;
     let mut failures: Vec<CommError> = Vec::new();
     let mut evicted_ranks: Vec<usize> = Vec::new();
+    let mut rejoined_ranks: Vec<usize> = Vec::new();
     let mut shards_reloaded = 0usize;
     let mut steps_replayed = 0usize;
     let mut shrink_to: Option<usize> = None;
@@ -603,9 +1018,54 @@ pub fn train_with_recovery(
         let world_size = world.topology().world_size();
         let epoch = evicted_ranks.len() as u64;
         let ckpt_path = recovery.path.clone();
+        // In-step recovery reports evictions/rejoins/replays out of the
+        // rank closures through a shared accumulator.
+        let extras = Arc::new(Mutex::new(ElasticExtras::default()));
         let outs = world.run_faulty::<_, CommError, _>(|comm| {
             let mut model = start_model.clone();
             let completed = Arc::clone(&completed);
+            if recovery.in_step {
+                let ecfg = ElasticCfg {
+                    policy: RetryPolicy::default(),
+                    ckpt_dir: Some(ckpt_path.clone()),
+                    every,
+                    max_replays_per_step: 0,
+                };
+                let eout = run_span_elastic(
+                    comm,
+                    cfg,
+                    &mut model,
+                    start_step,
+                    steps,
+                    &prior_losses,
+                    &ecfg,
+                )?;
+                let finished = eout.parked_at.is_none();
+                if finished {
+                    completed.fetch_max(steps, Ordering::Relaxed);
+                }
+                {
+                    let mut ex = extras.lock().unwrap_or_else(|p| p.into_inner());
+                    for &r in &eout.evicted {
+                        if !ex.evicted.contains(&r) {
+                            ex.evicted.push(r);
+                        }
+                    }
+                    for &r in &eout.rejoined {
+                        if !ex.rejoined.contains(&r) {
+                            ex.rejoined.push(r);
+                        }
+                    }
+                    ex.steps_replayed = ex.steps_replayed.max(eout.steps_replayed);
+                }
+                let span = SpanOutcome {
+                    losses: eout.losses[prior_losses.len()..].to_vec(),
+                    last: None,
+                    skipped_steps: eout.skipped_steps,
+                    dropped_micros: 0,
+                };
+                return Ok((span, model, finished));
+            }
             let out = run_span(
                 comm,
                 cfg,
@@ -671,7 +1131,7 @@ pub fn train_with_recovery(
                     comm.span_end();
                 },
             )?;
-            Ok((out, model))
+            Ok((out, model, true))
         });
         let mut first_err: Option<CommError> = None;
         let mut ok: Option<(SpanOutcome, Model)> = None;
@@ -679,9 +1139,19 @@ pub fn train_with_recovery(
         let mut attempt_dropped = 0usize;
         for out in outs {
             match out.result {
-                Ok(r) => {
-                    attempt_dropped += r.0.dropped_micros;
-                    ok = Some(r);
+                Ok((span, model, finished)) => {
+                    attempt_dropped += span.dropped_micros;
+                    // A rank that left the job and stayed parked returns a
+                    // partial outcome — not a failure, but not the result
+                    // either. Prefer the longest (most complete) history.
+                    if finished {
+                        let better = ok
+                            .as_ref()
+                            .is_none_or(|p| span.losses.len() >= p.0.losses.len());
+                        if better {
+                            ok = Some((span, model));
+                        }
+                    }
                 }
                 Err(e) => {
                     dead.extend(dead_ranks(&e));
@@ -689,6 +1159,20 @@ pub fn train_with_recovery(
                         first_err = Some(e);
                     }
                 }
+            }
+        }
+        {
+            let ex = extras.lock().unwrap_or_else(|p| p.into_inner());
+            evicted_ranks.extend(ex.evicted.iter().copied());
+            rejoined_ranks.extend(ex.rejoined.iter().copied());
+            steps_replayed += ex.steps_replayed;
+        }
+        // In-step mode the attempt succeeds as long as some rank finished
+        // every step: a crashed member's own error was already absorbed by
+        // the survivors' in-step eviction.
+        if recovery.in_step && ok.is_some() {
+            if let Some(e) = first_err.take() {
+                failures.push(e);
             }
         }
         match first_err {
@@ -700,7 +1184,7 @@ pub fn train_with_recovery(
                     eprintln!(
                         "[recovery] steps={steps} restarts={restarts} replayed={steps_replayed} \
                          skipped={} dropped_micros={attempt_dropped} evicted={evicted_ranks:?} \
-                         shards_reloaded={shards_reloaded}",
+                         rejoined={rejoined_ranks:?} shards_reloaded={shards_reloaded}",
                         span.skipped_steps
                     );
                 }
@@ -712,6 +1196,7 @@ pub fn train_with_recovery(
                     skipped_steps: span.skipped_steps,
                     dropped_micros: attempt_dropped,
                     evicted_ranks,
+                    rejoined_ranks,
                     shards_reloaded,
                     steps_replayed,
                 });
@@ -739,6 +1224,15 @@ pub fn train_with_recovery(
             }
         }
     }
+}
+
+/// What the in-step recovery closures report out of [`run_span_elastic`],
+/// shared across the rank threads of one attempt.
+#[derive(Default)]
+struct ElasticExtras {
+    evicted: Vec<usize>,
+    rejoined: Vec<usize>,
+    steps_replayed: usize,
 }
 
 /// Which ranks a failure implicates as dead, for the shrink path.

@@ -10,7 +10,9 @@
 //! overlap is imperfect (§4.3).
 
 use crate::param::Param;
-use burst_comm::Communicator;
+use burst_comm::{
+    shrink_all_gather_mat, shrink_all_reduce_mat, CommError, Communicator, Membership, RetryPolicy,
+};
 use burst_tensor::Mat;
 
 /// Near-equal row range of `rank` for an `rows`-row parameter.
@@ -38,6 +40,57 @@ pub fn gather_weights(comm: &mut Communicator, params: &mut [&mut Param]) {
         );
         p.w = gathered;
     }
+}
+
+/// Membership-aware [`gather_weights`]: shards over the **alive set** (ring
+/// positions replace rank ids), so a shrunken or regrown world gathers
+/// exactly like a fresh world of the same size — the bit-identity the
+/// elastic engine's differential gates rely on. Fallible: a rank dying
+/// mid-gather surfaces as a typed error for the in-step recovery loop.
+pub fn try_gather_weights_m(
+    comm: &mut Communicator,
+    m: &mut Membership,
+    params: &mut [&mut Param],
+    policy: &RetryPolicy,
+) -> Result<(), CommError> {
+    let g = m.num_alive();
+    if g == 1 {
+        return Ok(());
+    }
+    let pos = m
+        .pos_of(comm.rank())
+        .expect("FSDP gather on an evicted rank");
+    for p in params.iter_mut() {
+        let (r0, r1) = shard_range(p.w.rows(), g, pos);
+        let shard = p.w.slice_rows(r0, r1);
+        let gathered = Mat::vstack(&shrink_all_gather_mat(comm, m, &shard, policy)?);
+        debug_assert_eq!(gathered.shape(), p.w.shape());
+        assert!(
+            burst_tensor::testutil::allclose(&gathered, &p.w, 1e-6, 1e-6),
+            "FSDP: rank replicas diverged for a parameter of shape {:?}",
+            p.w.shape()
+        );
+        p.w = gathered;
+    }
+    Ok(())
+}
+
+/// Membership-aware [`sync_grads`]: all-reduce over the alive set with the
+/// same accumulation order as a fresh world of that size (see
+/// [`burst_comm::shrink_all_reduce_mat`]).
+pub fn try_sync_grads_m(
+    comm: &mut Communicator,
+    m: &mut Membership,
+    params: &mut [&mut Param],
+    policy: &RetryPolicy,
+) -> Result<(), CommError> {
+    if m.num_alive() == 1 {
+        return Ok(());
+    }
+    for p in params.iter_mut() {
+        p.grad = shrink_all_reduce_mat(comm, m, &p.grad, policy)?;
+    }
+    Ok(())
 }
 
 /// All-reduce (sum) every parameter's gradient across ranks.

@@ -44,13 +44,13 @@ pub mod norm;
 pub mod param;
 pub mod rope;
 
-pub use attention::{AttnExec, DistExec, LocalExec, MultiHeadAttention};
+pub use attention::{AttnExec, DistExec, ElasticExec, LocalExec, MultiHeadAttention};
 pub use block::TransformerBlock;
 pub use checkpoint::{ActPrecision, StoredMat, Strategy};
 pub use checkpoint_shard::{load_sharded, save_sharded, ShardManifest, ShardMeta};
 pub use engine::{
-    train_with_recovery, EngineConfig, RecoveryCfg, RecoveryReport, SpanOutcome, TrainCheckpoint,
-    TrainMetrics,
+    run_span_elastic, train_with_recovery, ElasticCfg, ElasticOutcome, EngineConfig, RecoveryCfg,
+    RecoveryReport, SpanOutcome, TrainCheckpoint, TrainMetrics,
 };
 pub use memory::MemoryTracker;
 pub use model::{Model, ModelConfig};

@@ -50,6 +50,10 @@ pub enum SpanKind {
     Epoch,
     /// A fault firing or fault-driven decision (instant).
     Fault,
+    /// The join-agreement protocol re-admitting a parked rank.
+    Join,
+    /// A rank being re-admitted to the alive set (instant).
+    Rejoin,
 }
 
 impl SpanKind {
@@ -69,6 +73,8 @@ impl SpanKind {
             SpanKind::Replay => "replay",
             SpanKind::Epoch => "epoch",
             SpanKind::Fault => "fault",
+            SpanKind::Join => "join",
+            SpanKind::Rejoin => "rejoin",
         }
     }
 

@@ -12,10 +12,11 @@ use burst_dattn::ring::AttnFailure;
 use burst_dattn::ulysses::{try_ulysses_backward, try_ulysses_forward};
 use burst_dattn::usp::{try_usp_backward, try_usp_forward, UspTopo};
 use burst_dattn::{
-    try_elastic_attention, try_run_attention, Algo, CostModel, DattnError, Layout, ShardData,
+    try_elastic_attention_opts, try_run_attention, Algo, CostModel, DattnError, ElasticOpts,
+    Layout, ShardData,
 };
 use burst_kernels::AttnMask;
-use burst_model::engine::{run_span, EngineConfig};
+use burst_model::engine::{run_span, run_span_elastic, ElasticCfg, EngineConfig};
 use burst_model::Model;
 use burst_tensor::{randn_mat, Mat};
 
@@ -243,13 +244,15 @@ pub fn run_usp(
     Ok(global)
 }
 
-/// What an elastic run produced beyond the tensors: who was evicted, and
-/// how many ring attempts it took.
+/// What an elastic run produced beyond the tensors: who was evicted, how
+/// many ring attempts it took, and how often a topology-aware schedule had
+/// to fall back to the flat ring on a ragged survivor set.
 #[derive(Debug, Clone)]
 pub struct ElasticOutcome {
     pub attn: GlobalAttn,
     pub evicted: Vec<usize>,
     pub attempts: usize,
+    pub flat_fallbacks: usize,
 }
 
 /// Run elastic attention on an `orig_world`-rank zigzag ring with a fault
@@ -263,9 +266,30 @@ pub fn run_elastic(
     seed: u64,
     plan: Option<&FaultPlan>,
 ) -> Result<ElasticOutcome, AttnFailure> {
+    run_elastic_on(
+        &Topology::single_node(orig_world),
+        n,
+        d,
+        seed,
+        plan,
+        ElasticOpts::default(),
+    )
+}
+
+/// [`run_elastic`] on an explicit (typically multi-node) topology with
+/// [`ElasticOpts`] — the entry point for the topology-aware double-ring
+/// elastic cells.
+pub fn run_elastic_on(
+    topo: &Topology,
+    n: usize,
+    d: usize,
+    seed: u64,
+    plan: Option<&FaultPlan>,
+    opts: ElasticOpts,
+) -> Result<ElasticOutcome, AttnFailure> {
+    let orig_world = topo.world_size();
     let (q, k, v, go) = attn_inputs(n, d, seed);
-    let topo = Topology::single_node(orig_world);
-    let world = world_for(&topo, plan);
+    let world = world_for(topo, plan);
     let (qc, kc, vc, goc) = (q.clone(), k.clone(), v.clone(), go.clone());
     let outs = world.run_faulty::<_, AttnFailure, _>(move |comm| {
         let mut m = Membership::new(comm.world_size());
@@ -281,7 +305,7 @@ pub fn run_elastic(
         };
         let (sq, sk, sv, sgo) = shard_of(comm.rank());
         let mut load = |r: usize| shard_of(r);
-        let out = try_elastic_attention(
+        let out = try_elastic_attention_opts(
             comm,
             &mut m,
             &sq,
@@ -295,12 +319,14 @@ pub fn run_elastic(
             &CostModel::free(),
             &mut load,
             &policy,
+            opts,
         )?;
         Ok(out)
     });
     let mut global = GlobalAttn::empty(n, d);
     let mut evicted: Vec<usize> = Vec::new();
     let mut attempts = 1usize;
+    let mut flat_fallbacks = 0usize;
     let mut survivors = 0usize;
     for out in outs {
         match out.result {
@@ -312,6 +338,7 @@ pub fn run_elastic(
                     }
                 }
                 attempts = attempts.max(e.attempts);
+                flat_fallbacks = flat_fallbacks.max(e.flat_fallbacks);
                 survivors += 1;
             }
             Err(e) => {
@@ -329,6 +356,7 @@ pub fn run_elastic(
         attn: global,
         evicted,
         attempts,
+        flat_fallbacks,
     })
 }
 
@@ -401,6 +429,109 @@ pub fn engine_span(
         }
     }
     Ok(first.expect("world has at least one rank"))
+}
+
+/// What an **elastic** engine run produced: the comparable training facts
+/// plus the membership history in-step recovery and scheduled churn left
+/// behind.
+#[derive(Debug, Clone)]
+pub struct ElasticEngineRun {
+    /// Global mean loss of every step (full history, bit-comparable to a
+    /// segmented reference of fresh worlds chained with [`engine_span`]).
+    pub losses: Vec<f32>,
+    /// Final flattened training state of the finishing ranks (asserted
+    /// bit-identical across them).
+    pub flat: Vec<f32>,
+    /// Ranks evicted by in-step recovery, sorted.
+    pub evicted: Vec<usize>,
+    /// Ranks re-admitted by the Join leg, in admission order.
+    pub rejoined: Vec<usize>,
+    /// Steps replayed from their top by in-step recovery.
+    pub steps_replayed: usize,
+    /// Optimizer steps skipped in lockstep (gradient poison).
+    pub skipped: usize,
+}
+
+/// Train `steps` steps **elastically** ([`run_span_elastic`]): mid-step
+/// faults are repaired inside the failed step, scheduled churn shrinks and
+/// regrows the ring. Ranks that leave for good (parked) or die are
+/// excluded from the result; the finishing ranks' replicas are asserted
+/// bit-identical. `ckpt_dir` is required when the plan schedules joins.
+pub fn engine_elastic(
+    cfg: &EngineConfig,
+    topo: &Topology,
+    steps: usize,
+    plan: Option<&FaultPlan>,
+    ckpt_dir: Option<&std::path::Path>,
+    every: usize,
+) -> Result<ElasticEngineRun, CommError> {
+    let world = world_for(topo, plan);
+    let cfg = cfg.clone();
+    let ecfg = ElasticCfg {
+        policy: RetryPolicy::default(),
+        ckpt_dir: ckpt_dir.map(|p| p.to_path_buf()),
+        every,
+        max_replays_per_step: 0,
+    };
+    let outs = world.run_faulty::<_, CommError, _>(move |comm| {
+        let mut model = Model::new(cfg.model, cfg.seed);
+        let out = run_span_elastic(comm, &cfg, &mut model, 0, steps, &[], &ecfg)?;
+        Ok((out, model.flat_state()))
+    });
+    let mut first: Option<ElasticEngineRun> = None;
+    for out in outs {
+        match out.result {
+            Ok((eo, flat)) => {
+                if eo.parked_at.is_some() {
+                    continue; // left the job for good — not a finisher
+                }
+                let mut evicted = eo.evicted;
+                evicted.sort_unstable();
+                evicted.dedup();
+                let run = ElasticEngineRun {
+                    losses: eo.losses,
+                    flat,
+                    evicted,
+                    rejoined: eo.rejoined,
+                    steps_replayed: eo.steps_replayed,
+                    skipped: eo.skipped_steps,
+                };
+                match &first {
+                    None => first = Some(run),
+                    Some(f) => {
+                        assert_eq!(
+                            f.losses, run.losses,
+                            "ranks disagree on the elastic loss history"
+                        );
+                        crate::assert_bits_eq("elastic replica", &f.flat, &run.flat);
+                    }
+                }
+            }
+            Err(e) => {
+                // A crashed rank reports its own death; anything else is a
+                // real failure the caller must see.
+                if !matches!(e, CommError::Crashed { .. } | CommError::Panicked { .. }) {
+                    return Err(e);
+                }
+            }
+        }
+    }
+    Ok(first.expect("elastic engine run lost every rank"))
+}
+
+/// Op count `rank` has accumulated after `s` **clean** elastic steps on a
+/// fresh `topo` world — for aiming a [`FaultPlan::crash_at_op`] inside a
+/// specific training step.
+pub fn elastic_ops_after(cfg: &EngineConfig, topo: &Topology, rank: usize, s: usize) -> u64 {
+    let world = World::new(topo.clone());
+    let cfg = cfg.clone();
+    let outs = world.run_results(move |comm| {
+        let mut model = Model::new(cfg.model, cfg.seed);
+        run_span_elastic(comm, &cfg, &mut model, 0, s, &[], &ElasticCfg::default())
+            .expect("clean elastic probe failed");
+        comm.op_count()
+    });
+    outs[rank]
 }
 
 /// Train to `cut`, drop the world, then resume `cut..steps` on a fresh

@@ -8,10 +8,10 @@
 //!   determinism re-runs and timing-only fault runs.
 
 use burst_comm::{FaultPlan, Topology, WireDtype};
-use burst_dattn::{Algo, Layout};
+use burst_dattn::{Algo, ElasticOpts, Layout};
 use burst_kernels::AttnMask;
 use burst_verify::diff::{
-    attn_inputs, run_elastic, run_ring_family, run_ulysses, run_usp, GlobalAttn,
+    attn_inputs, run_elastic, run_elastic_on, run_ring_family, run_ulysses, run_usp, GlobalAttn,
 };
 use burst_verify::oracle::oracle_attention;
 use burst_verify::{
@@ -353,6 +353,38 @@ proptest! {
         let fresh = run_elastic(orig - 1, n, d, seed, None).expect("fresh small world failed");
         bits_eq_attn("elastic-vs-fresh", &out.attn, &fresh.attn);
     }
+
+    /// Multi-node elastic double-ring: crash one of four ranks on a
+    /// 2-node × 2-GPU cluster. Any three survivors are ragged across the
+    /// nodes, so the topology-aware retry must fall back to the flat ring
+    /// — and still match the oracle, and a fresh 3-rank world bit for bit
+    /// (the fallback shares its accumulation order with the flat path).
+    #[test]
+    fn elastic_double_ring_shrink_matches_oracle(
+        dead in 0usize..4,
+        seed in 0u64..500,
+        crash_op in 2u64..10,
+    ) {
+        let (n, d) = (24, 8);
+        let multi = Topology::a800(2, 2);
+        let plan = FaultPlan::new(seed)
+            .crash_at_op(dead, crash_op)
+            .recv_deadline(60.0);
+        let opts = ElasticOpts { double_ring: true, warm_start: false };
+        let out = run_elastic_on(&multi, n, d, seed, Some(&plan), opts)
+            .expect("elastic double-ring recovery failed");
+        prop_assert_eq!(out.evicted.clone(), vec![dead]);
+        prop_assert!(
+            out.flat_fallbacks >= 1,
+            "3 ragged survivors must fall back to the flat ring"
+        );
+
+        let want = oracle_for(n, d, seed, &AttnMask::Causal);
+        expect_matches_oracle("elastic-dr", &out.attn, &want, true);
+
+        let fresh = run_elastic(3, n, d, seed, None).expect("fresh small world failed");
+        bits_eq_attn("elastic-dr-vs-fresh", &out.attn, &fresh.attn);
+    }
 }
 
 /// One deliberate, non-random fault+resume case per schedule — the
@@ -405,6 +437,26 @@ fn fixed_fault_matrix_all_schedules() {
     assert_eq!(out.evicted, vec![1]);
     let want = oracle_for(24, d, 11, &AttnMask::Causal);
     expect_matches_oracle("elastic", &out.attn, &want, true);
+
+    // The same crash on a 2×2 multi-node cluster with the topology-aware
+    // schedule enabled: the ragged survivor set forces a flat-ring
+    // fallback, which must still satisfy the oracle gate.
+    let crash_dr = FaultPlan::new(7).crash_at_op(1, 5).recv_deadline(60.0);
+    let out = run_elastic_on(
+        &Topology::a800(2, 2),
+        24,
+        d,
+        11,
+        Some(&crash_dr),
+        ElasticOpts {
+            double_ring: true,
+            warm_start: false,
+        },
+    )
+    .unwrap();
+    assert_eq!(out.evicted, vec![1]);
+    assert!(out.flat_fallbacks >= 1, "expected a flat-ring fallback");
+    expect_matches_oracle("elastic-dr", &out.attn, &want, true);
 
     // bf16-wire rows: the same four ring schedules with rounded payloads,
     // including one under the link-delay plan (timing faults still must

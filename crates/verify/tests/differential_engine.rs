@@ -6,7 +6,9 @@
 use burst_comm::{FaultPlan, Topology};
 use burst_dattn::Algo;
 use burst_model::engine::{Backend, EngineConfig};
-use burst_verify::diff::{engine_resume, engine_run};
+use burst_verify::diff::{
+    elastic_ops_after, engine_elastic, engine_resume, engine_run, engine_span,
+};
 use burst_verify::oracle::oracle_train;
 use burst_verify::{
     assert_bits_eq, compare_slice, BF16_RTOL, ORACLE_TRAIN_ATOL, ORACLE_TRAIN_RTOL,
@@ -180,6 +182,54 @@ proptest! {
             &slow.flat,
             &clean.flat,
         );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Crash one rank mid-step: the elastic engine evicts it, replays only
+    /// that step in place on the shrunken ring, and the whole run must be
+    /// **bit-identical** to a fresh 4-rank world chained into a fresh
+    /// 3-rank world at the crash step — the shrink-and-continue invariant.
+    #[test]
+    fn elastic_shrink_continue_is_bit_exact(
+        victim in 1usize..4,
+        seed in 0u64..500,
+        f in 1usize..3,
+    ) {
+        let steps = 3usize;
+        let mut cfg = cfg_for(Backend::Ring(Algo::BurstFlat), 1, seed);
+        cfg.model.seq_len = 48;            // zigzag needs n % 2g == 0 for g in {3, 4}
+        let topo = Topology::single_node(4);
+
+        // Aim the crash inside step `f` by probing the op counter of a
+        // clean elastic run at the step boundaries.
+        let before = elastic_ops_after(&cfg, &topo, victim, f);
+        let after = elastic_ops_after(&cfg, &topo, victim, f + 1);
+        let plan = FaultPlan::new(seed)
+            .crash_at_op(victim, (before + after) / 2)
+            .recv_deadline(60.0);
+
+        let run = engine_elastic(&cfg, &topo, steps, Some(&plan), None, 0)
+            .expect("elastic train failed");
+        prop_assert_eq!(run.evicted.clone(), vec![victim]);
+        prop_assert_eq!(run.steps_replayed, 1, "only the failed step may replay");
+        prop_assert_eq!(run.skipped, 0);
+
+        let phase1 = engine_span(&cfg, &topo, 0, f, None, None).expect("full-world span failed");
+        let phase2 = engine_span(
+            &cfg,
+            &Topology::single_node(3),
+            f,
+            steps,
+            Some(&phase1.flat),
+            None,
+        )
+        .expect("shrunken span failed");
+        let want: Vec<f32> = phase1.losses.iter().chain(&phase2.losses).copied().collect();
+        prop_assert_eq!(&run.losses, &want);
+        assert_bits_eq("elastic-shrink-continue", &run.flat, &phase2.flat);
     }
 }
 

@@ -13,10 +13,15 @@
 //!   Because all strategies reduce draws modulo their range, a tape fully
 //!   determines the generated inputs, and *replaying* a tape reproduces a
 //!   case without re-running the original search.
-//! * **Shrinking** — on failure the runner minimises the tape: each entry
-//!   is driven toward zero (delete-to-zero, then binary search) while the
-//!   property keeps failing. Since integer strategies map smaller raw draws
-//!   to values closer to the range start, this lands on a near-minimal
+//! * **Shrinking** — on failure the runner minimises the tape in two
+//!   alternating passes until a fixpoint: a *record-deletion* pass drops
+//!   one generated record wholesale (decrement a count-like entry, drain
+//!   the record's fixed-width run of draws; accepted only when the
+//!   re-recorded tape gets strictly shorter), so a multi-event fault plan
+//!   or churn storm collapses to the single event that matters; then each
+//!   surviving entry is binary-searched toward zero while the property
+//!   keeps failing. Since integer strategies map smaller raw draws to
+//!   values closer to the range start, this lands on a near-minimal
 //!   counterexample, Hypothesis-style.
 //! * **Regression persistence** — the shrunken tape is appended to
 //!   `<crate>/proptest-regressions/<source-file-stem>.txt` as a `cc` line
@@ -399,18 +404,84 @@ fn execute(
     (rng.tape, failure)
 }
 
-/// Minimise a failing tape: for each entry, binary-search the smallest
-/// raw draw that still fails (strategies map draws to values modulo their
+/// Minimise a failing tape. Two passes alternate to a fixpoint: a
+/// delta-debugging deletion pass drops whole runs of entries (a generator
+/// that draws N fixed-width event records — a fault plan, a churn storm —
+/// loses the irrelevant events wholesale once the chunk size matches the
+/// record width), then a per-entry pass binary-searches the smallest raw
+/// draw that still fails (strategies map draws to values modulo their
 /// range, so smaller draws mean values nearer the range start). Bounded so
 /// a pathological property cannot spin forever.
 fn shrink(body: &mut dyn FnMut(&mut TestRng), seed: u64, tape: Vec<u64>) -> (Vec<u64>, String) {
-    const MAX_RUNS: usize = 512;
+    const MAX_RUNS: usize = 4096;
     let mut runs = 0usize;
     let mut best = tape; // invariant: replaying `best` fails
     let mut message = String::new();
     let mut changed = true;
     while changed && runs < MAX_RUNS {
         changed = false;
+        // Record-deletion pass: drop one generated record wholesale by
+        // decrementing an early (count-like) entry and draining a small
+        // run of draws in the same candidate. A candidate is accepted
+        // only when it still fails AND the re-recorded tape is strictly
+        // shorter — strict shortening is what filters out decrements of
+        // entries that were not actually lengths (the body would just
+        // refill the drained draws from the fresh stream, leaving the
+        // tape the same size) and guarantees the pass terminates.
+        let mut improved = true;
+        'deletion: while improved && runs < MAX_RUNS {
+            improved = false;
+            // Later records first, so surviving earlier draws keep their
+            // alignment with the strategies that consume them.
+            for i in (1..best.len()).rev() {
+                for w in [1usize, 2, 3, 4] {
+                    if i + w > best.len() {
+                        continue;
+                    }
+                    for e in 0..i.min(4) {
+                        if best[e] == 0 {
+                            continue;
+                        }
+                        runs += 1;
+                        if runs >= MAX_RUNS {
+                            break 'deletion;
+                        }
+                        let mut t = best.clone();
+                        t[e] -= 1;
+                        t.drain(i..i + w);
+                        let (recorded, failure) = execute(body, seed, t);
+                        if recorded.len() < best.len() {
+                            if let Some(msg) = failure {
+                                message = msg;
+                                best = recorded;
+                                changed = true;
+                                improved = true;
+                                continue 'deletion;
+                            }
+                        }
+                    }
+                    // Plain drain, for bodies whose draw count follows
+                    // the data itself rather than an up-front length.
+                    runs += 1;
+                    if runs >= MAX_RUNS {
+                        break 'deletion;
+                    }
+                    let mut t = best.clone();
+                    t.drain(i..i + w);
+                    let (recorded, failure) = execute(body, seed, t);
+                    if recorded.len() < best.len() {
+                        if let Some(msg) = failure {
+                            message = msg;
+                            best = recorded;
+                            changed = true;
+                            improved = true;
+                            continue 'deletion;
+                        }
+                    }
+                }
+            }
+        }
+        // Per-entry minimisation pass.
         let mut i = 0usize;
         while i < best.len() && runs < MAX_RUNS {
             // Smallest failing value for entry i in [lo, hi]; `hi` fails.
@@ -638,6 +709,54 @@ mod tests {
         let (min_tape, msg) = crate::shrink(&mut body, seed, tape);
         assert_eq!(min_tape.len(), 1);
         assert_eq!(min_tape[0] % 1000, 10, "shrinks to the boundary: {msg}");
+    }
+
+    #[test]
+    fn shrinking_reduces_an_event_storm_to_the_single_culprit() {
+        // A fault-plan-shaped generator: a drawn number of fixed-width
+        // (step, rank, leave?) event records. The property only fails when
+        // a Leave of rank 2 is scheduled, so the minimal counterexample
+        // must name exactly that one event — the deletion pass excises the
+        // irrelevant records, the binary-search pass drops the count.
+        let decode = |rng: &mut TestRng| -> Vec<(usize, usize, bool)> {
+            let n = crate::Strategy::generate(&(0usize..8), rng);
+            (0..n)
+                .map(|_| {
+                    let step = crate::Strategy::generate(&(1usize..10), rng);
+                    let rank = crate::Strategy::generate(&(0usize..4), rng);
+                    let leave = crate::Strategy::generate(&(0usize..2), rng) == 0;
+                    (step, rank, leave)
+                })
+                .collect()
+        };
+        let mut body = |rng: &mut TestRng| {
+            let events = decode(rng);
+            assert!(
+                !events.iter().any(|&(_, r, leave)| leave && r == 2),
+                "events = {events:?}"
+            );
+        };
+        // Find a failing seed whose storm has several events.
+        let mut found = None;
+        for s in 0..500u64 {
+            let (t, failure) = crate::execute(&mut body, s, Vec::new());
+            if failure.is_some() && t.len() > 7 {
+                found = Some((s, t));
+                break;
+            }
+        }
+        let (seed, tape) = found.expect("expected a failing multi-event seed");
+        let (min_tape, msg) = crate::shrink(&mut body, seed, tape);
+        // Replay the minimal tape to see the counterexample it describes.
+        let mut rng = TestRng::replaying(seed, min_tape);
+        let events = decode(&mut rng);
+        assert_eq!(
+            events.len(),
+            1,
+            "the minimal storm names one event: {events:?} ({msg})"
+        );
+        let (_, rank, leave) = events[0];
+        assert!(leave && rank == 2, "and it is the culprit: {events:?}");
     }
 
     #[test]

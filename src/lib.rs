@@ -65,20 +65,23 @@ pub use burst_tensor as tensor;
 /// The most commonly used items across the workspace.
 pub mod prelude {
     pub use burst_comm::{
-        agree_on_eviction, CommError, CommStats, Communicator, CrashAt, FaultPlan, Link,
-        Membership, RetryPolicy, Topology, World,
+        agree_on_eviction, agree_on_join, agree_on_leave, ChurnEvent, ChurnKind, CommError,
+        CommStats, Communicator, CrashAt, FaultPlan, Link, Membership, RetryPolicy, Topology,
+        World,
     };
     pub use burst_dattn::{
-        run_attention, try_elastic_attention, try_run_attention, Algo, AttnFailure, AttnShard,
-        CostModel, DattnError, ElasticAttnOut, Layout, OverlapMode, Phase, Ring,
+        run_attention, try_elastic_attention, try_elastic_attention_opts, try_run_attention, Algo,
+        AttnFailure, AttnShard, CostModel, DattnError, DoubleRingSpec, ElasticAttnOut, ElasticOpts,
+        Layout, OverlapMode, Phase, Ring,
     };
     pub use burst_kernels::{
         flash_backward, flash_forward, fused_lm_loss, AttnMask, BlockSparseMask, OnlineState,
     };
     pub use burst_model::engine::{train, Backend, EngineConfig};
     pub use burst_model::{
-        load_sharded, save_sharded, train_with_recovery, AdamCfg, LocalExec, Model, ModelConfig,
-        MultiHeadAttention, RecoveryCfg, RecoveryReport, ShardManifest, Strategy, TrainCheckpoint,
+        load_sharded, run_span_elastic, save_sharded, train_with_recovery, AdamCfg, ElasticCfg,
+        ElasticOutcome, LocalExec, Model, ModelConfig, MultiHeadAttention, RecoveryCfg,
+        RecoveryReport, ShardManifest, Strategy, TrainCheckpoint,
     };
     pub use burst_perf::endtoend::{evaluate, BurstOpts, Method};
     pub use burst_perf::machine::{Cluster, PaperModel};

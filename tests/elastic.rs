@@ -289,6 +289,7 @@ fn poisoned_gradient_is_skipped_in_lockstep_without_a_restart() {
         max_restarts: 0,
         sharded: false,
         shrink: false,
+        in_step: false,
         quiet: true,
     };
     let report = train_with_recovery(
@@ -324,6 +325,7 @@ fn poisoned_micro_batch_is_rolled_back_and_rescaled() {
         max_restarts: 0,
         sharded: false,
         shrink: false,
+        in_step: false,
         quiet: true,
     };
     let report = train_with_recovery(
@@ -347,6 +349,405 @@ fn poisoned_micro_batch_is_rolled_back_and_rescaled() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Like [`elastic_run`] but with explicit [`ElasticOpts`] — the
+/// topology-aware double-ring entry point.
+#[allow(clippy::type_complexity)]
+fn elastic_run_opts(
+    world: &World,
+    orig_world: usize,
+    opts: ElasticOpts,
+) -> Vec<burstengine::comm::RankOutput<Result<(ElasticAttnOut, Vec<usize>), AttnFailure>>> {
+    world.run_faulty::<_, AttnFailure, _>(move |comm| {
+        let mut m = Membership::new(comm.world_size());
+        let policy = RetryPolicy::default();
+        let (q, k, v, go) = shard_of(orig_world, comm.rank());
+        let mut loaded: Vec<usize> = Vec::new();
+        let out = {
+            let mut load = |r: usize| {
+                loaded.push(r);
+                shard_of(orig_world, r)
+            };
+            try_elastic_attention_opts(
+                comm,
+                &mut m,
+                &q,
+                &k,
+                &v,
+                &go,
+                scale(),
+                &AttnMask::Causal,
+                Layout::Zigzag,
+                N,
+                &CostModel::free(),
+                &mut load,
+                &policy,
+                opts,
+            )?
+        };
+        Ok((out, loaded))
+    })
+}
+
+/// Reference: double-ring forward + Algorithm 2 backward on a fresh
+/// `nodes × gpn` cluster that never saw a fault.
+fn fresh_double_ring_world(nodes: usize, gpn: usize) -> Vec<(Mat, Vec<f32>, Mat, Mat, Mat)> {
+    let w = World::new(Topology::a800(nodes, gpn));
+    let g = nodes * gpn;
+    w.run_results(|comm| {
+        let (q, k, v, go) = shard_of(g, comm.rank());
+        let shard = AttnShard {
+            q: &q,
+            k: &k,
+            v: &v,
+            scale: scale(),
+            mask: &AttnMask::Causal,
+            layout: Layout::Zigzag,
+            seq_len: N,
+            cost: CostModel::free(),
+            max_token: None,
+        };
+        let fwd = burstengine::dattn::double_ring::try_double_ring_forward(comm, &shard)
+            .expect("clean double-ring forward");
+        let back = BackwardInputs {
+            o: &fwd.o,
+            lse: &fwd.lse,
+            grad_o: &go,
+        };
+        let (dq, dk, dv) =
+            burstengine::dattn::double_ring::try_double_ring_backward_alg2(comm, &shard, &back)
+                .expect("clean double-ring backward");
+        (fwd.o, fwd.lse, dq, dk, dv)
+    })
+}
+
+#[test]
+fn ragged_survivors_fall_back_to_the_flat_ring_bit_exactly() {
+    // Rank 1 of a 2-node × 2-GPU cluster dies mid-double-ring. The
+    // survivor set [0, 2, 3] is ragged across nodes (1 GPU on node 0,
+    // 2 on node 1), so no inner/outer split exists: the re-run must land
+    // on the flat ring and still be bit-identical to a fresh 3-rank flat
+    // run.
+    let plan = FaultPlan::new(19).crash_at_op(1, 5).recv_deadline(60.0);
+    let world = World::with_faults(Topology::a800(2, 2), plan);
+    let opts = ElasticOpts {
+        double_ring: true,
+        warm_start: false,
+    };
+    let outs = elastic_run_opts(&world, 4, opts);
+
+    let reference = fresh_small_world(3);
+    for (pos, &r) in [0usize, 2, 3].iter().enumerate() {
+        let (out, _) = outs[r].result.as_ref().expect("survivor completes");
+        assert_eq!(out.evicted, vec![1], "rank {r}");
+        assert!(
+            out.flat_fallbacks >= 1,
+            "rank {r}: ragged [0,2,3] has no node-local split, got {} fallbacks",
+            out.flat_fallbacks
+        );
+        let (o, lse, dq, dk, dv) = &reference[pos];
+        assert_eq!(&out.o, o, "rank {r}: O");
+        assert_eq!(&out.lse, lse, "rank {r}: Lse");
+        assert_eq!(&out.dq, dq, "rank {r}: dQ");
+        assert_eq!(&out.dk, dk, "rank {r}: dK");
+        assert_eq!(&out.dv, dv, "rank {r}: dV");
+    }
+}
+
+#[test]
+fn node_balanced_survivors_keep_the_double_ring() {
+    // Ranks 1 and 3 die, one per node. The survivor set [0, 2] is
+    // node-balanced (1 GPU per node), so the topology-aware schedule must
+    // survive the shrink: the final attempt runs a genuine 2-node × 1-GPU
+    // double ring, bit-identical to a fresh cluster of that shape.
+    let plan = FaultPlan::new(29)
+        .crash_at_op(1, 5)
+        .crash_at_op(3, 9)
+        .recv_deadline(60.0);
+    let world = World::with_faults(Topology::a800(2, 2), plan);
+    let opts = ElasticOpts {
+        double_ring: true,
+        warm_start: false,
+    };
+    let outs = elastic_run_opts(&world, 4, opts);
+
+    let reference = fresh_double_ring_world(2, 1);
+    for (pos, &r) in [0usize, 2].iter().enumerate() {
+        let (out, _) = outs[r].result.as_ref().expect("survivor completes");
+        let mut evicted = out.evicted.clone();
+        evicted.sort_unstable();
+        assert_eq!(evicted, vec![1, 3], "rank {r}");
+        let (o, lse, dq, dk, dv) = &reference[pos];
+        assert_eq!(&out.o, o, "rank {r}: O");
+        assert_eq!(&out.lse, lse, "rank {r}: Lse");
+        assert_eq!(&out.dq, dq, "rank {r}: dQ");
+        assert_eq!(&out.dk, dk, "rank {r}: dK");
+        assert_eq!(&out.dv, dv, "rank {r}: dV");
+    }
+}
+
+/// Engine config whose sequence length keeps the zigzag layout valid for
+/// every world size the elastic tests pass through: 48 is divisible by
+/// `2·g` for g ∈ {2, 3, 4}.
+fn elastic_cfg() -> EngineConfig {
+    let mut cfg = EngineConfig::tiny(Backend::Ring(Algo::BurstFlat));
+    cfg.model.seq_len = 48;
+    cfg
+}
+
+/// Reference segment: steps `start..end` on a fresh, never-faulted
+/// `g`-rank world, warm-started from `warm` flat state (`None` = fresh
+/// model). Returns the segment's losses and the final flat state, after
+/// checking all ranks agree bit-for-bit.
+fn segment(
+    g: usize,
+    warm: Option<&[f32]>,
+    start: usize,
+    end: usize,
+    cfg: &EngineConfig,
+) -> (Vec<f32>, Vec<f32>) {
+    let w = World::new(Topology::single_node(g));
+    let mut outs = w.run_results(|comm| {
+        let mut model = Model::new(cfg.model, cfg.seed);
+        if let Some(f) = warm {
+            model.load_flat_state(f);
+        }
+        let out = burstengine::model::engine::run_span(
+            comm,
+            cfg,
+            &mut model,
+            start,
+            end,
+            |_, _, _, _| {},
+        )
+        .expect("clean reference segment");
+        (out.losses, model.flat_state())
+    });
+    let first = outs.remove(0);
+    for o in &outs {
+        assert_eq!(o.0, first.0, "reference ranks disagree on losses");
+        assert_eq!(o.1, first.1, "reference ranks disagree on state");
+    }
+    first
+}
+
+/// The op count rank `victim` has accumulated after `s` clean elastic
+/// steps — used to aim a crash inside a specific step.
+fn elastic_ops_after(cfg: &EngineConfig, g: usize, victim: usize, s: usize) -> u64 {
+    let outs = World::new(Topology::single_node(g)).run_results(|comm| {
+        let mut model = Model::new(cfg.model, cfg.seed);
+        run_span_elastic(comm, cfg, &mut model, 0, s, &[], &ElasticCfg::default())
+            .expect("clean elastic probe");
+        comm.op_count()
+    });
+    outs[victim]
+}
+
+#[test]
+fn in_step_recovery_replays_only_the_failed_step_bit_exactly() {
+    let cfg = elastic_cfg();
+    let steps = 4;
+    let f = 2; // the step the crash interrupts
+    let victim = 2;
+    // Aim the crash mid-step: between the victim's op counts at the end of
+    // step f-1 and the end of step f.
+    let before = elastic_ops_after(&cfg, 4, victim, f);
+    let after = elastic_ops_after(&cfg, 4, victim, f + 1);
+    assert!(after > before, "a step must cost comm ops");
+    let crash_op = (before + after) / 2;
+
+    let dir = scratch("in-step");
+    let rcfg = RecoveryCfg {
+        every: 100,
+        path: dir.clone(),
+        max_restarts: 0,
+        sharded: true,
+        shrink: false,
+        in_step: true,
+        quiet: true,
+    };
+    let report = train_with_recovery(
+        |_, _| {
+            let plan = FaultPlan::new(11)
+                .crash_at_op(victim, crash_op)
+                .recv_deadline(60.0);
+            World::with_faults(Topology::single_node(4), plan)
+        },
+        &cfg,
+        steps,
+        &rcfg,
+    )
+    .expect("in-step recovery must finish the job without a restart");
+
+    assert_eq!(
+        report.restarts, 0,
+        "the failure is absorbed inside the step"
+    );
+    assert_eq!(report.evicted_ranks, vec![victim]);
+    assert!(report.rejoined_ranks.is_empty());
+    assert_eq!(
+        report.steps_replayed, 1,
+        "only the interrupted step re-runs"
+    );
+    assert_eq!(
+        report.failures.len(),
+        1,
+        "the absorbed crash is still reported"
+    );
+    assert_eq!(report.skipped_steps, 0);
+
+    // Bit-identity against the segmented reference: a fresh 4-rank world
+    // over [0, f), then a fresh 3-rank world over [f, steps) warm-started
+    // from the first segment's final state.
+    let (la, flat_a) = segment(4, None, 0, f, &cfg);
+    let (lb, flat_b) = segment(3, Some(&flat_a), f, steps, &cfg);
+    let mut expect = la;
+    expect.extend(lb);
+    assert_eq!(
+        report.losses, expect,
+        "losses must match the segmented reference bit-for-bit"
+    );
+    assert_eq!(
+        report.final_model.flat_state(),
+        flat_b,
+        "parameters must match the segmented reference bit-for-bit"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn leave_and_rejoin_runs_bit_identical_to_the_segmented_reference() {
+    // Rank 2 of 3 leaves before step 1 and rejoins before step 3,
+    // warm-starting from the checkpoint the two survivors committed. The
+    // whole run — 3-rank, then 2-rank, then regrown 3-rank — must be
+    // bit-identical to three fresh chained reference worlds.
+    let cfg = elastic_cfg();
+    let steps = 5;
+    let dir = scratch("rejoin");
+    let rcfg = RecoveryCfg {
+        every: 2,
+        path: dir.clone(),
+        max_restarts: 0,
+        sharded: true,
+        shrink: false,
+        in_step: true,
+        quiet: true,
+    };
+    let report = train_with_recovery(
+        |_, _| {
+            let plan = FaultPlan::new(23).leave_at(2, 1).join_at(2, 3);
+            World::with_faults(Topology::single_node(3), plan)
+        },
+        &cfg,
+        steps,
+        &rcfg,
+    )
+    .expect("a voluntary leave/rejoin cycle must not kill the job");
+
+    assert_eq!(report.restarts, 0);
+    assert_eq!(report.rejoined_ranks, vec![2]);
+    assert!(
+        report.evicted_ranks.is_empty(),
+        "a voluntary leave is not an eviction"
+    );
+    assert_eq!(
+        report.steps_replayed, 0,
+        "no step is lost to voluntary churn"
+    );
+
+    let (la, flat_a) = segment(3, None, 0, 1, &cfg);
+    let (lb, flat_b) = segment(2, Some(&flat_a), 1, 3, &cfg);
+    let (lc, flat_c) = segment(3, Some(&flat_b), 3, 5, &cfg);
+    let mut expect = la;
+    expect.extend(lb);
+    expect.extend(lc);
+    assert_eq!(report.losses, expect, "losses must chain bit-exactly");
+    assert_eq!(report.final_model.flat_state(), flat_c);
+
+    // The manifest left on disk describes the regrown 3-rank world.
+    let man = burstengine::model::checkpoint_shard::read_manifest(&dir).unwrap();
+    assert_eq!(man.world_size, 3);
+    assert_eq!(man.step as usize, steps);
+    assert_eq!(man.epoch, 2, "one leave + one join bump the epoch twice");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn seeded_churn_storm_completes_with_bounded_replay() {
+    let cfg = elastic_cfg();
+    let steps = 8;
+    // The CI `elastic-churn` job sweeps FAULT_SEED (which storm) and
+    // CHURN_EVENTS (how dense the leave/join schedule is); both default to
+    // the committed storm so a plain `cargo test` stays deterministic.
+    let events: usize = std::env::var("CHURN_EVENTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .map_or(6, |e: usize| e.clamp(1, 6));
+    let seed: u64 = std::env::var("FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2024);
+
+    // The storm schedule is a pure function of the seed; regenerate it
+    // here to know what to expect.
+    let schedule = FaultPlan::new(seed).churn_storm(4, steps as u64, events);
+    assert!(
+        schedule.churn_events().len() >= events,
+        "the storm must schedule at least {events} membership events"
+    );
+    let mut expect_rejoined: Vec<usize> = schedule
+        .churn_events()
+        .iter()
+        .filter(|e| e.kind == ChurnKind::Join)
+        .map(|e| e.rank)
+        .collect();
+    expect_rejoined.sort_unstable();
+    expect_rejoined.dedup();
+
+    let dir = scratch(&format!("churn-storm-{seed}-{events}"));
+    let rcfg = RecoveryCfg {
+        every: 2,
+        path: dir.clone(),
+        max_restarts: 0,
+        sharded: true,
+        shrink: false,
+        in_step: true,
+        // CI sets RECOVERY_SUMMARY to collect the one-line `[recovery]`
+        // summaries as a job artifact.
+        quiet: std::env::var("RECOVERY_SUMMARY").is_err(),
+    };
+    let report = train_with_recovery(
+        |_, _| {
+            let plan = FaultPlan::new(seed).churn_storm(4, steps as u64, events);
+            World::with_faults(Topology::single_node(4), plan)
+        },
+        &cfg,
+        steps,
+        &rcfg,
+    )
+    .expect("the churn storm must not kill the job");
+
+    assert_eq!(report.restarts, 0, "churn is absorbed without restarts");
+    assert!(
+        report.steps_replayed <= events,
+        "replay is bounded by the events injected: {} > {events}",
+        report.steps_replayed
+    );
+    let mut rejoined = report.rejoined_ranks.clone();
+    rejoined.sort_unstable();
+    rejoined.dedup();
+    assert_eq!(
+        rejoined, expect_rejoined,
+        "every scheduled join is admitted"
+    );
+    assert_eq!(report.losses.len(), steps);
+    assert!(
+        report.losses.iter().all(|l| l.is_finite()),
+        "churn never corrupts the loss history: {:?}",
+        report.losses
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn sharded_checkpoints_and_shrink_recover_a_dead_rank() {
     let cfg = EngineConfig::tiny(Backend::Ring(Algo::BurstFlat));
@@ -367,6 +768,7 @@ fn sharded_checkpoints_and_shrink_recover_a_dead_rank() {
         max_restarts: 2,
         sharded: true,
         shrink: true,
+        in_step: false,
         quiet: true,
     };
     let report = train_with_recovery(

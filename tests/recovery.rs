@@ -37,6 +37,7 @@ fn recovered_run_is_bit_identical_to_uninterrupted() {
         max_restarts: 3,
         sharded: false,
         shrink: false,
+        in_step: false,
         quiet: true,
     };
     // Attempt 0 runs on a cluster where rank 1 dies mid-job; every later
@@ -84,6 +85,7 @@ fn recovered_run_is_bit_identical_to_uninterrupted() {
         max_restarts: 0,
         sharded: false,
         shrink: false,
+        in_step: false,
         quiet: true,
     };
     let clean = train_with_recovery(|_, _| World::new(topo()), &cfg, steps, &clean_rcfg)
@@ -150,6 +152,7 @@ fn corrupt_train_checkpoint_fails_recovery_loudly() {
         max_restarts: 1,
         sharded: false,
         shrink: false,
+        in_step: false,
         quiet: true,
     };
     let err = train_with_recovery(|_, _| World::new(Topology::single_node(2)), &cfg, 4, &rcfg)
