@@ -12,20 +12,32 @@
 //!
 //! ```text
 //! cargo run -p burst-bench --bin burst-trace -- \
-//!     --seq 2048 --d 64 --nodes 2 --gpn 4 --out target/burst-trace [--fault]
+//!     --seq 2048 --d 64 --nodes 2 --gpn 4 --out target/burst-trace \
+//!     [--fault] [--transport]
+//! ```
+//!
+//! A second mode compares two exported timelines span-kind by span-kind —
+//! e.g. a clean run against a reliable-transport run of the same shape, to
+//! see exactly where the retransmit overhead landed:
+//!
+//! ```text
+//! cargo run -p burst-bench --bin burst-trace -- diff clean.json faulty.json
 //! ```
 
+use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::process::ExitCode;
 
 use burst_comm::obs::{
-    self, flame_text, to_perfetto_grouped, E2eReport, MethodReport, PerfettoTrace, RankTrace,
-    Registry, SpanKind,
+    self, flame_text, to_perfetto, to_perfetto_grouped, E2eReport, MethodReport, PerfettoTrace,
+    RankTrace, Registry, SpanKind,
 };
-use burst_comm::{CommStats, FaultCounters, FaultPlan, Topology, World};
+use burst_comm::{
+    CommStats, DetectorCfg, FaultCounters, FaultPlan, Topology, TransportPolicy, World,
+};
 use burst_dattn::{run_attention, try_run_attention, Algo, CostModel, Layout};
 use burst_kernels::AttnMask;
-use burst_perf::commtime::{exact_wire_counts, layer_comm_times, RingMethod};
+use burst_perf::commtime::{exact_wire_counts, layer_comm_times, RetransCensus, RingMethod};
 use burst_perf::Cluster;
 use burst_tensor::randn_mat;
 
@@ -40,6 +52,7 @@ struct Args {
     gpn: usize,
     out: String,
     fault: bool,
+    transport: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -50,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
         gpn: 4,
         out: "target/burst-trace".to_string(),
         fault: false,
+        transport: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -72,6 +86,7 @@ fn parse_args() -> Result<Args, String> {
             "--gpn" => args.gpn = value("--gpn")?.parse().map_err(|e| format!("--gpn: {e}"))?,
             "--out" => args.out = value("--out")?,
             "--fault" => args.fault = true,
+            "--transport" => args.transport = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
         i += 1;
@@ -154,6 +169,20 @@ fn rank_registry(trace: &RankTrace, stats: &CommStats, faults: &FaultCounters) -
     reg.add_counter("faults/crashes", faults.crashes);
     reg.add_counter("faults/timeouts", faults.timeouts);
     reg.add_counter("faults/retries", faults.retries);
+    reg.add_counter("faults/flaps", faults.flaps);
+    reg.add_counter("faults/retransmits", faults.retransmits);
+    reg.add_counter("faults/healed", faults.healed);
+    reg.add_counter("faults/giveups", faults.giveups);
+    reg.add_counter("faults/suspicions", faults.suspicions);
+    reg.add_counter("comm/retrans_msgs", stats.retrans_msgs);
+    reg.add_counter("comm/retrans_bytes", stats.retrans_bytes as u64);
+    let retrans: f64 = trace
+        .spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::Retransmit)
+        .map(|s| s.duration())
+        .sum();
+    reg.add_secs("time/retrans", retrans);
     let bounds = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2];
     for s in trace.spans.iter().filter(|s| s.kind == SpanKind::Send) {
         reg.observe("comm/send_secs", &bounds, s.duration());
@@ -246,6 +275,251 @@ fn fault_demo(topo: &Topology, seq: usize, d: usize) -> Result<(), String> {
     println!(
         "fault demo: {failed}/{g} ranks failed, {warnings} spans force-closed \
          with warnings, all timelines still validate"
+    );
+    Ok(())
+}
+
+/// Run one attention pass (traced) and return the per-rank outputs next to
+/// the observability state, so runs can be compared bit for bit.
+#[allow(clippy::type_complexity)]
+fn traced_attention(
+    topo: &Topology,
+    seq: usize,
+    d: usize,
+    plan: Option<FaultPlan>,
+) -> (Vec<(Vec<f32>, Vec<f32>)>, MethodRun) {
+    let g = topo.world_size();
+    let q = randn_mat(seq, d, 0.7, 61);
+    let k = randn_mat(seq, d, 0.7, 62);
+    let v = randn_mat(seq, d, 0.7, 63);
+    let grad_o = randn_mat(seq, d, 0.8, 64);
+    let scale = 1.0 / (d as f32).sqrt();
+    let mask = AttnMask::Causal;
+    let cost = CostModel::a800();
+    let layout = Layout::Zigzag;
+    let world = match plan {
+        Some(p) => World::with_faults(topo.clone(), p),
+        None => World::new(topo.clone()),
+    };
+    let outs = world.run(|comm| {
+        let idx = layout.indices(seq, g, comm.rank());
+        let (ql, kl, vl, dol) = (
+            q.gather_rows(&idx),
+            k.gather_rows(&idx),
+            v.gather_rows(&idx),
+            grad_o.gather_rows(&idx),
+        );
+        comm.start_trace();
+        let (o, lse, dq, dk, dv) = run_attention(
+            Algo::BurstTopo,
+            comm,
+            &ql,
+            &kl,
+            &vl,
+            &dol,
+            scale,
+            &mask,
+            layout,
+            seq,
+            &cost,
+        );
+        let mut flat = o.as_slice().to_vec();
+        flat.extend_from_slice(dq.as_slice());
+        flat.extend_from_slice(dk.as_slice());
+        flat.extend_from_slice(dv.as_slice());
+        (flat, lse)
+    });
+    let mut run = MethodRun {
+        traces: Vec::with_capacity(g),
+        stats: Vec::with_capacity(g),
+        faults: Vec::with_capacity(g),
+    };
+    let mut values = Vec::with_capacity(g);
+    for o in outs {
+        values.push(o.result);
+        run.stats.push(o.stats);
+        run.faults.push(o.faults);
+        run.traces
+            .push(o.trace.expect("tracing was on; world must return a trace"));
+    }
+    (values, run)
+}
+
+/// Reliable-transport demo: a seeded flap + drop + partition plan, healed
+/// entirely on the wire. Asserts the heal is bit-transparent, that the
+/// clean comm census is untouched by the recovery traffic, and that the
+/// exact retransmit-byte census accounts for every recovery byte — then
+/// exports the faulty timeline so `diff` can show the overhead.
+fn transport_demo(args: &Args, topo: &Topology, cluster: &Cluster) -> Result<(), String> {
+    let seed: u64 = std::env::var("FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let tp = TransportPolicy::default();
+    let budget = tp.min_retry_budget();
+    let g = topo.world_size();
+    // Seed-derived transient windows, all strictly inside the retry budget.
+    let frac = |salt: u64| (seed.wrapping_mul(0x9e37_79b9).wrapping_add(salt) % 97) as f64 / 97.0;
+    let w0 = 1e-5 + frac(1) * budget * 0.4;
+    let w1 = 1e-5 + frac(2) * budget * 0.4;
+    let split = 1 + (seed as usize % (g - 1));
+    let groups: [Vec<usize>; 2] = [(0..split).collect(), (split..g).collect()];
+    let group_refs: [&[usize]; 2] = [&groups[0], &groups[1]];
+    let plan = FaultPlan::new(seed)
+        .flap_link(0, 1 % g, 0.0, w0)
+        .drop_msg(1 % g, 2 % g, 1 + seed % 3)
+        .partition(&group_refs, 2.0 * budget, 2.0 * budget + w1)
+        .recv_deadline(60.0)
+        .reliable()
+        .with_detector(DetectorCfg::default());
+
+    let (clean_vals, clean) = traced_attention(topo, args.seq, args.d, None);
+    let (healed_vals, healed) = traced_attention(topo, args.seq, args.d, Some(plan));
+
+    for (r, (c, h)) in clean_vals.iter().zip(&healed_vals).enumerate() {
+        if c != h {
+            return Err(format!(
+                "transport demo: rank {r} outputs are not bit-identical to the clean run"
+            ));
+        }
+    }
+    // The clean comm census must not see the recovery traffic…
+    let clean_bytes: f64 = clean.stats.iter().map(|s| s.total_bytes()).sum();
+    let healed_bytes: f64 = healed.stats.iter().map(|s| s.total_bytes()).sum();
+    if clean_bytes != healed_bytes {
+        return Err(format!(
+            "transport demo: clean byte census moved under faults \
+             ({clean_bytes} vs {healed_bytes})"
+        ));
+    }
+    // …and the retransmit census must account for every recovery byte.
+    let census = RetransCensus::from_run(&healed.stats);
+    let with_retrans: f64 = healed
+        .stats
+        .iter()
+        .map(|s| s.wire_bytes_with_retrans())
+        .sum();
+    if with_retrans != healed_bytes + census.bytes {
+        return Err(format!(
+            "transport demo: retransmit census mismatch \
+             ({with_retrans} != {healed_bytes} + {})",
+            census.bytes
+        ));
+    }
+    let retransmits: u64 = healed.faults.iter().map(|f| f.retransmits).sum();
+    if census.msgs != retransmits || census.msgs == 0 {
+        return Err(format!(
+            "transport demo: {} retransmit msgs in the census, {retransmits} counted",
+            census.msgs
+        ));
+    }
+    let giveups: u64 = healed.faults.iter().map(|f| f.giveups).sum();
+    let timeouts: u64 = healed.faults.iter().map(|f| f.timeouts).sum();
+    let suspicions: u64 = healed.faults.iter().map(|f| f.suspicions).sum();
+    if giveups + timeouts + suspicions != 0 {
+        return Err(format!(
+            "transport demo: a transient plan escalated \
+             (giveups {giveups}, timeouts {timeouts}, suspicions {suspicions})"
+        ));
+    }
+    // The ≤1% comm gate holds with faults on: Retransmit spans live on
+    // their own lane, outside the clean wire census.
+    let predicted = exact_wire_counts(cluster, args.seq, args.d, RingMethod::Burst).secs(cluster);
+    let (intra, inter) = obs::wire_secs(&healed.traces);
+    let measured = intra + inter;
+    let rel_err = (measured - predicted).abs() / predicted;
+    if rel_err > MAX_COMM_REL_ERR {
+        return Err(format!(
+            "transport demo: measured comm {measured}s diverges from exact \
+             prediction {predicted}s by {:.3}% with faults on",
+            100.0 * rel_err
+        ));
+    }
+    let (r_intra, r_inter) = obs::retrans_secs(&healed.traces);
+    let flaps: u64 = healed.faults.iter().map(|f| f.flaps).sum();
+    let drops: u64 = healed.faults.iter().map(|f| f.drops).sum();
+    let healed_n: u64 = healed.faults.iter().map(|f| f.healed).sum();
+    println!(
+        "[recovery] seed={seed} flaps={flaps} drops={drops} retransmits={retransmits} \
+         healed={healed_n} giveups=0 timeouts=0 suspicions=0 \
+         retrans_bytes={} retrans_secs={:.6} comm_rel_err={rel_err:.5}",
+        census.bytes,
+        r_intra + r_inter,
+    );
+    let perfetto = to_perfetto(&healed.traces);
+    let json =
+        serde_json::to_string_pretty(&perfetto).map_err(|e| format!("perfetto serde: {e}"))?;
+    write_file(&args.out, "trace.transport.perfetto.json", &json)?;
+    let clean_json = serde_json::to_string_pretty(&to_perfetto(&clean.traces))
+        .map_err(|e| format!("perfetto serde: {e}"))?;
+    write_file(&args.out, "trace.clean.perfetto.json", &clean_json)?;
+    let census_json =
+        serde_json::to_string_pretty(&census).map_err(|e| format!("census serde: {e}"))?;
+    write_file(&args.out, "retrans_census.json", &census_json)?;
+    println!(
+        "transport demo: wrote trace.transport.perfetto.json, retrans_census.json to {}",
+        args.out
+    );
+    Ok(())
+}
+
+/// Per-span-kind `(count, total seconds)` census of an exported timeline.
+fn span_census(trace: &PerfettoTrace) -> BTreeMap<String, (u64, f64)> {
+    let mut census: BTreeMap<String, (u64, f64)> = BTreeMap::new();
+    for e in &trace.traceEvents {
+        if e.cat == "__metadata" {
+            continue;
+        }
+        let entry = census.entry(e.cat.clone()).or_insert((0, 0.0));
+        entry.0 += 1;
+        entry.1 += e.dur / 1e6; // µs back to seconds
+    }
+    census
+}
+
+/// `burst-trace diff a.json b.json`: per-span-kind count and duration
+/// deltas between two exported timelines — e.g. a clean run against a
+/// reliable-transport run, where the delta *is* the recovery overhead.
+fn run_diff(path_a: &str, path_b: &str) -> Result<(), String> {
+    let load = |path: &str| -> Result<PerfettoTrace, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        serde_json::from_str(&text).map_err(|e| format!("{path}: not a perfetto trace: {e}"))
+    };
+    let a = span_census(&load(path_a)?);
+    let b = span_census(&load(path_b)?);
+    let kinds: Vec<&String> = {
+        let mut k: Vec<&String> = a.keys().chain(b.keys()).collect();
+        k.sort_unstable();
+        k.dedup();
+        k
+    };
+    println!(
+        "{:<14} {:>8} {:>8} {:>7}  {:>12} {:>12} {:>12}",
+        "span", "n(a)", "n(b)", "Δn", "secs(a)", "secs(b)", "Δsecs"
+    );
+    let (mut da, mut db) = ((0u64, 0.0f64), (0u64, 0.0f64));
+    for kind in kinds {
+        let (na, sa) = a.get(kind).copied().unwrap_or((0, 0.0));
+        let (nb, sb) = b.get(kind).copied().unwrap_or((0, 0.0));
+        da.0 += na;
+        da.1 += sa;
+        db.0 += nb;
+        db.1 += sb;
+        println!(
+            "{kind:<14} {na:>8} {nb:>8} {:>+7}  {sa:>12.6} {sb:>12.6} {:>+12.6}",
+            nb as i64 - na as i64,
+            sb - sa,
+        );
+    }
+    println!(
+        "{:<14} {:>8} {:>8} {:>+7}  {:>12.6} {:>12.6} {:>+12.6}",
+        "total",
+        da.0,
+        db.0,
+        db.0 as i64 - da.0 as i64,
+        da.1,
+        db.1,
+        db.1 - da.1,
     );
     Ok(())
 }
@@ -357,6 +631,12 @@ fn run(args: &Args) -> Result<(), String> {
     if args.fault {
         fault_demo(&topo, args.seq, args.d)?;
     }
+    if args.transport {
+        if topo.world_size() < 2 {
+            return Err("--transport needs a world of at least 2 ranks".to_string());
+        }
+        transport_demo(args, &topo, &cluster)?;
+    }
     Ok(())
 }
 
@@ -368,12 +648,29 @@ fn write_file(dir: &str, name: &str, content: &str) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("diff") {
+        return match &argv[1..] {
+            [a, b] => match run_diff(a, b) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("burst-trace: diff: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            _ => {
+                eprintln!("usage: burst-trace diff <a.perfetto.json> <b.perfetto.json>");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
             eprintln!(
                 "burst-trace: {e}\nusage: burst-trace [--seq N] [--d D] \
-                 [--nodes N] [--gpn G] [--out DIR] [--fault]"
+                 [--nodes N] [--gpn G] [--out DIR] [--fault] [--transport] \
+                 | burst-trace diff <a.json> <b.json>"
             );
             return ExitCode::FAILURE;
         }

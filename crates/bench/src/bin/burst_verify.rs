@@ -18,7 +18,7 @@
 use std::io::Write as _;
 use std::process::ExitCode;
 
-use burst_comm::{FaultPlan, Topology};
+use burst_comm::{FaultPlan, Topology, TransportPolicy};
 use burst_dattn::{Algo, ElasticOpts, Layout};
 use burst_kernels::AttnMask;
 use burst_model::engine::{Backend, EngineConfig};
@@ -389,6 +389,128 @@ fn engine_cells(seed: u64, steps: usize, cells: &mut Vec<Cell>) {
     push(cells, &label, seed, outcome);
 }
 
+/// The recovery-ladder cells of the reliable transport.
+///
+/// * `engine/transport/transient-clean` — a seeded plan carrying every
+///   transient fault class (drops, a burst window, corruption, a link
+///   flap, a partition), all inside the retry budget, run under the
+///   reliable transport through the *elastic* engine: it must finish with
+///   zero evictions and zero step replays, and its losses and final state
+///   must be bit-identical to the clean run — transient faults never
+///   reach the rungs above the transport.
+/// * `engine/transport/escalation-parity` — one dropped attention message
+///   with retries disabled must reproduce today's escalation path
+///   exactly: the sender is evicted, the step replays on the shrunken
+///   ring, and the whole run equals the PR 7 segmented elastic reference
+///   (a fresh small world). The same plan under the transport heals to
+///   the clean fixed point.
+fn transport_cells(seed: u64, steps: usize, cells: &mut Vec<Cell>) {
+    let steps = steps.max(2);
+
+    // --- transient-clean -------------------------------------------------
+    let mut cfg = EngineConfig::tiny(Backend::Ring(Algo::BurstFlat));
+    cfg.seed = seed;
+    let topo = Topology::single_node(4);
+    let label = "engine/transport/transient-clean".to_string();
+    let budget = TransportPolicy::default().min_retry_budget();
+    let transient = FaultPlan::new(seed)
+        .drop_msg(1, 2, 3)
+        .drop_burst(2, 3, 5, 2)
+        .corrupt_msg(3, 0, 2)
+        .flap_link(0, 1, 0.0, (budget * 0.4).min(8e-4))
+        .partition(&[&[0, 1], &[2, 3]], 1.2e-3, 2e-3)
+        .recv_deadline(60.0)
+        .reliable();
+    let outcome = engine_run(&cfg, &topo, steps, None)
+        .map_err(|e| e.to_string())
+        .and_then(|clean| {
+            let run = engine_elastic(&cfg, &topo, steps, Some(&transient), None, 0)
+                .map_err(|e| e.to_string())?;
+            if !run.evicted.is_empty() {
+                return Err(format!("transient plan evicted {:?}", run.evicted));
+            }
+            if run.steps_replayed != 0 {
+                return Err(format!(
+                    "transient plan replayed {} steps",
+                    run.steps_replayed
+                ));
+            }
+            if bits_differ(&run.losses, &clean.losses) {
+                return Err("healed losses diverge from the clean run".to_string());
+            }
+            if bits_differ(&run.flat, &clean.flat) {
+                return Err("healed final state diverges from the clean run".to_string());
+            }
+            Ok(())
+        });
+    push(cells, &label, seed, outcome);
+
+    // --- escalation-parity -----------------------------------------------
+    // The drop is aimed at the victim's first *attention* K/V send, past
+    // the FSDP gather prelude (one ring all-gather of g-1 hops per
+    // parameter tensor), so the legacy path escalates instantly at the
+    // receiver instead of stalling in the gather's receive-retry loop.
+    let mut cfg = EngineConfig::tiny(Backend::Ring(Algo::BurstFlat));
+    cfg.model.seq_len = 48; // zigzag needs n % 2g == 0 for g in {3, 4}
+    cfg.seed = seed;
+    let victim = 1 + (seed % 2) as usize;
+    let dst = victim + 1;
+    let params = burst_model::Model::new(cfg.model, cfg.seed).params().len() as u64;
+    let prelude = 3 * params; // (g - 1) messages per parameter on the link
+    let one_drop = move |reliable: bool| {
+        let p = FaultPlan::new(seed)
+            .drop_msg(victim, dst, prelude)
+            .recv_deadline(60.0);
+        if reliable {
+            p.reliable()
+        } else {
+            p
+        }
+    };
+    let label = "engine/transport/escalation-parity".to_string();
+    let outcome = engine_elastic(&cfg, &topo, steps, Some(&one_drop(false)), None, 0)
+        .map_err(|e| e.to_string())
+        .and_then(|run| {
+            if run.evicted != vec![victim] {
+                return Err(format!("evicted {:?}, expected [{victim}]", run.evicted));
+            }
+            if run.steps_replayed != 1 {
+                return Err(format!("steps_replayed {}, expected 1", run.steps_replayed));
+            }
+            // PR 7 reference: the eviction lands in step 0, so the whole
+            // run must equal a fresh 3-rank world, bit for bit.
+            let small = Topology::single_node(3);
+            let reference =
+                engine_span(&cfg, &small, 0, steps, None, None).map_err(|e| e.to_string())?;
+            if bits_differ(&run.losses, &reference.losses) {
+                return Err("escalation losses diverge from the PR 7 reference".to_string());
+            }
+            if bits_differ(&run.flat, &reference.flat) {
+                return Err("escalation state diverges from the PR 7 reference".to_string());
+            }
+            // The very same drop under the transport heals to the clean
+            // fixed point instead: full ring, nothing evicted or replayed.
+            let clean = engine_run(&cfg, &topo, steps, None).map_err(|e| e.to_string())?;
+            let healed = engine_elastic(&cfg, &topo, steps, Some(&one_drop(true)), None, 0)
+                .map_err(|e| e.to_string())?;
+            if !healed.evicted.is_empty() || healed.steps_replayed != 0 {
+                return Err(format!(
+                    "reliable path escalated anyway: evicted {:?}, replayed {}",
+                    healed.evicted, healed.steps_replayed
+                ));
+            }
+            if bits_differ(&healed.flat, &clean.flat) {
+                return Err("healed state diverges from the clean run".to_string());
+            }
+            Ok(())
+        });
+    push(cells, &label, seed, outcome);
+}
+
+fn bits_differ(a: &[f32], b: &[f32]) -> bool {
+    a.len() != b.len() || a.iter().zip(b).any(|(x, y)| x.to_bits() != y.to_bits())
+}
+
 fn push(cells: &mut Vec<Cell>, label: &str, seed: u64, outcome: Result<(), String>) {
     let (ok, detail) = match outcome {
         Ok(()) => (true, "ok".to_string()),
@@ -421,6 +543,7 @@ fn run(args: &Args) -> Result<(), String> {
         let seed = args.seed_base + s;
         attention_cells(seed, &mut cells);
         engine_cells(seed, args.steps, &mut cells);
+        transport_cells(seed, args.steps, &mut cells);
     }
     let failed: Vec<&Cell> = cells.iter().filter(|c| !c.ok).collect();
 

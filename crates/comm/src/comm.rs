@@ -2,10 +2,11 @@
 //! and fallible `try_*` variants that surface injected faults as typed
 //! [`CommError`]s instead of panics.
 
-use crate::fault::{CommError, CrashAt, FaultPlan};
+use crate::fault::{CommError, CrashAt, FaultPlan, LossKind};
 use crate::stats::{CommStats, FaultCounters};
 use crate::topology::{Topology, WireDtype};
 use crate::trace::TraceEvent;
+use crate::transport::FailureDetector;
 use burst_obs::{RankSink, RankTrace, SpanKind, DEFAULT_SPAN_CAPACITY};
 use burst_tensor::{Bf16Mat, Mat};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
@@ -219,6 +220,11 @@ pub struct Communicator {
     ops: u64,
     /// Per-destination sent-message counters (fault trigger indexing).
     sent: Vec<u64>,
+    /// Deterministic virtual-time failure detector: per-peer evidence of
+    /// receive failures, retransmit history and heartbeat silence. Pure
+    /// bookkeeping (never touches the clock); consulted by the membership
+    /// layer to decide dead-vs-slow before escalating a timeout.
+    detector: FailureDetector,
     /// Slow-kernel straggler factor from the fault plan (1.0 = healthy).
     compute_factor: f64,
     /// Depth of open recompute scopes: while nonzero, `advance_compute`
@@ -257,6 +263,10 @@ impl Communicator {
             .as_ref()
             .map(|p| p.compute_slowdown(rank))
             .unwrap_or(1.0);
+        let detector = FailureDetector::new(
+            world,
+            fault.as_ref().map(|p| p.detector_cfg()).unwrap_or_default(),
+        );
         Communicator {
             rank,
             topo,
@@ -272,6 +282,7 @@ impl Communicator {
             crash_fired: false,
             ops: 0,
             sent: vec![0; world],
+            detector,
             compute_factor,
             recompute_depth: 0,
         }
@@ -450,6 +461,36 @@ impl Communicator {
         self.fault.as_ref()
     }
 
+    /// The failure detector's accrued suspicion (phi) toward `peer` at the
+    /// current virtual time. Diagnostic read — see
+    /// [`crate::transport::FailureDetector::phi`].
+    pub fn suspicion_phi(&self, peer: usize) -> f64 {
+        self.detector.phi(peer, self.clock)
+    }
+
+    /// Read access to the failure detector's evidence (tests/diagnostics).
+    pub fn failure_detector(&self) -> &FailureDetector {
+        &self.detector
+    }
+
+    /// Consult the failure detector: is `peer` confirmed *dead* rather
+    /// than merely *slow*? `default_fail_threshold` is the consulting
+    /// retry policy's `max_attempts`, so with a default
+    /// [`crate::transport::DetectorCfg`] the answer reproduces the
+    /// pre-detector escalation decision exactly. The first confirmation of
+    /// an incident is announced as a suspicion span and counted in
+    /// [`FaultCounters::suspicions`].
+    pub fn peer_confirmed_dead(&mut self, peer: usize, default_fail_threshold: u32) -> bool {
+        let dead = self
+            .detector
+            .is_dead(peer, default_fail_threshold, self.clock);
+        if dead && self.detector.announce_suspicion(peer) {
+            self.faults.suspicions += 1;
+            self.span_instant(SpanKind::Fault, "suspect");
+        }
+        dead
+    }
+
     /// The gradient poison scheduled for this rank at (`step`, `micro`),
     /// if any (compute-side fault injection).
     #[inline]
@@ -582,52 +623,170 @@ impl Communicator {
         let elems = data.elems();
         let bytes = data.wire_bytes();
         let link = self.topo.link(self.rank, dst);
-        let msg_index = self.sent[dst];
-        self.sent[dst] = self.sent[dst].saturating_add(1);
-        // Injected link faults: deterministic extra latency/jitter, drops
-        // and corruption, all keyed off the plan seed and message index.
-        let (extra, dropped, checksum, corrupted) = match &self.fault {
-            Some(plan) => {
-                let extra = plan.extra_latency(self.rank, dst, msg_index);
-                let dropped = plan.should_drop(self.rank, dst, msg_index);
-                let checksum = data.checksum();
-                let corrupted = plan.should_corrupt(self.rank, dst, msg_index);
-                if corrupted {
-                    data.corrupt_in_place();
-                }
-                (extra, dropped, checksum, corrupted)
-            }
-            None => (0.0, false, 0, false),
-        };
-        if extra > 0.0 {
-            self.faults.delays += 1;
-            self.span_instant(SpanKind::Fault, "delay");
-        }
-        if dropped {
-            self.faults.drops += 1;
-            self.span_instant(SpanKind::Fault, "drop");
-        }
-        if corrupted {
-            self.faults.corruptions += 1;
-            self.span_instant(SpanKind::Fault, "corrupt");
-        }
-        let port_free = if self.topo.same_node(self.rank, dst) {
-            &mut self.intra_port_free
-        } else {
-            &mut self.nic_free
-        };
-        let depart = self.clock.max(*port_free);
+        let inter = !self.topo.same_node(self.rank, dst);
         let tx_time = link.serialization(bytes);
-        *port_free = depart + tx_time;
-        let arrival = depart + link.latency + extra + tx_time;
-        if self.topo.same_node(self.rank, dst) {
-            self.stats.intra_msgs += 1;
-            self.stats.intra_elems += elems as u64;
-            self.stats.intra_bytes += bytes;
+        // Take the plan so its queries can interleave with the mutable
+        // accounting below; restored before returning.
+        let plan = self.fault.take();
+        let transport = plan.as_ref().and_then(|p| p.transport());
+        let (depart, arrival, checksum, dropped) = if let Some(tp) = transport {
+            // Reliable path: the plan is shared deterministic data, so the
+            // sender simulates the whole ack/retransmit dialogue locally.
+            // Each physical attempt consumes a message index, occupies the
+            // egress port and is billed on the wire; a lost or corrupted
+            // attempt schedules a retransmission one RTO later, and only
+            // the final (clean) transmission is enqueued — the receiver
+            // never sees the healed failures.
+            let p = plan.as_ref().expect("transport policy implies a plan");
+            let checksum = data.checksum();
+            let mut attempt = 0u32;
+            let mut resend_gate = 0.0f64;
+            loop {
+                let msg_index = self.sent[dst];
+                self.sent[dst] = self.sent[dst].saturating_add(1);
+                let extra = p.extra_latency(self.rank, dst, msg_index);
+                let port_free = if inter {
+                    &mut self.nic_free
+                } else {
+                    &mut self.intra_port_free
+                };
+                let depart = self.clock.max(*port_free).max(resend_gate);
+                *port_free = depart + tx_time;
+                let arrival = depart + link.latency + extra + tx_time;
+                let loss = p.link_loss(self.rank, dst, msg_index, depart);
+                let corrupted = loss.is_none() && p.should_corrupt(self.rank, dst, msg_index);
+                if extra > 0.0 {
+                    self.faults.delays += 1;
+                    self.span_instant(SpanKind::Fault, "delay");
+                }
+                match loss {
+                    Some(LossKind::Drop) => {
+                        self.faults.drops += 1;
+                        self.span_instant(SpanKind::Fault, "drop");
+                    }
+                    Some(LossKind::Flap) => {
+                        self.faults.flaps += 1;
+                        self.span_instant(SpanKind::Fault, "flap");
+                    }
+                    Some(LossKind::Partition) => {
+                        self.faults.flaps += 1;
+                        self.span_instant(SpanKind::Fault, "partition");
+                    }
+                    None => {}
+                }
+                if corrupted {
+                    self.faults.corruptions += 1;
+                    self.span_instant(SpanKind::Fault, "corrupt");
+                }
+                let failed = loss.is_some() || corrupted;
+                if failed && attempt < tp.max_resends {
+                    // Billed as retransmit overhead, invisible above the
+                    // transport; the next attempt departs one RTO later,
+                    // which is what lets it outlive a flap/partition window.
+                    self.stats.retrans_msgs += 1;
+                    self.stats.retrans_bytes += bytes;
+                    self.faults.retransmits += 1;
+                    self.detector.record_retransmit(dst);
+                    if let Some(obs) = &mut self.obs {
+                        obs.leaf(
+                            SpanKind::Retransmit,
+                            "retransmit",
+                            depart,
+                            arrival,
+                            dst as u32,
+                            elems as u64,
+                            inter,
+                        );
+                    }
+                    resend_gate = depart + tp.rto(attempt, self.rank, dst, msg_index);
+                    attempt += 1;
+                    continue;
+                }
+                if failed {
+                    // Retry budget exhausted: hand the failure up the
+                    // ladder by delivering the legacy observable (the
+                    // receiver sees a timeout or a checksum mismatch).
+                    self.faults.giveups += 1;
+                    self.span_instant(SpanKind::Fault, "giveup");
+                    if corrupted {
+                        data.corrupt_in_place();
+                    }
+                } else if attempt > 0 {
+                    self.faults.healed += 1;
+                    self.span_instant(SpanKind::Fault, "healed");
+                }
+                break (depart, arrival, checksum, loss.is_some());
+            }
         } else {
+            // Legacy wire: deterministic extra latency/jitter, drops and
+            // corruption, all keyed off the plan seed and message index;
+            // every loss surfaces directly to the receiver.
+            let msg_index = self.sent[dst];
+            self.sent[dst] = self.sent[dst].saturating_add(1);
+            let port_free_now = if inter {
+                self.nic_free
+            } else {
+                self.intra_port_free
+            };
+            let depart = self.clock.max(port_free_now);
+            let (extra, loss, checksum, corrupted) = match &plan {
+                Some(p) => {
+                    let extra = p.extra_latency(self.rank, dst, msg_index);
+                    let loss = p.link_loss(self.rank, dst, msg_index, depart);
+                    let checksum = data.checksum();
+                    let corrupted = p.should_corrupt(self.rank, dst, msg_index);
+                    if corrupted {
+                        data.corrupt_in_place();
+                    }
+                    (extra, loss, checksum, corrupted)
+                }
+                None => (0.0, None, 0, false),
+            };
+            if extra > 0.0 {
+                self.faults.delays += 1;
+                self.span_instant(SpanKind::Fault, "delay");
+            }
+            match loss {
+                Some(LossKind::Drop) => {
+                    self.faults.drops += 1;
+                    self.span_instant(SpanKind::Fault, "drop");
+                }
+                Some(LossKind::Flap) => {
+                    self.faults.flaps += 1;
+                    self.span_instant(SpanKind::Fault, "flap");
+                }
+                Some(LossKind::Partition) => {
+                    self.faults.flaps += 1;
+                    self.span_instant(SpanKind::Fault, "partition");
+                }
+                None => {}
+            }
+            if corrupted {
+                self.faults.corruptions += 1;
+                self.span_instant(SpanKind::Fault, "corrupt");
+            }
+            let port_free = if inter {
+                &mut self.nic_free
+            } else {
+                &mut self.intra_port_free
+            };
+            *port_free = depart + tx_time;
+            (
+                depart,
+                depart + link.latency + extra + tx_time,
+                checksum,
+                loss.is_some(),
+            )
+        };
+        self.fault = plan;
+        if inter {
             self.stats.inter_msgs += 1;
             self.stats.inter_elems += elems as u64;
             self.stats.inter_bytes += bytes;
+        } else {
+            self.stats.intra_msgs += 1;
+            self.stats.intra_elems += elems as u64;
+            self.stats.intra_bytes += bytes;
         }
         if let Some(obs) = &mut self.obs {
             obs.leaf(
@@ -637,7 +796,7 @@ impl Communicator {
                 arrival,
                 dst as u32,
                 elems as u64,
-                !self.topo.same_node(self.rank, dst),
+                inter,
             );
         }
         self.tx[dst]
@@ -695,6 +854,7 @@ impl Communicator {
                 }
                 Err(RecvTimeoutError::Timeout) => {
                     self.faults.timeouts += 1;
+                    self.detector.record_failure(src);
                     self.span_instant(SpanKind::Fault, "timeout");
                     return Err(CommError::Timeout {
                         rank: self.rank,
@@ -735,6 +895,7 @@ impl Communicator {
                 self.clock = deadline;
             }
             self.faults.timeouts += 1;
+            self.detector.record_failure(src);
             self.span_instant(SpanKind::Fault, "timeout");
             return Err(CommError::Timeout {
                 rank: self.rank,
@@ -759,6 +920,7 @@ impl Communicator {
             self.clock = msg.arrival;
         }
         if self.fault.is_some() && msg.data.checksum() != msg.checksum {
+            self.detector.record_failure(src);
             return Err(CommError::Corrupt {
                 rank: self.rank,
                 src,
@@ -769,6 +931,9 @@ impl Communicator {
                     msg.data.checksum()
                 ),
             });
+        }
+        if self.fault.is_some() {
+            self.detector.record_ok(src, self.clock);
         }
         if let Some(obs) = &mut self.obs {
             obs.leaf(

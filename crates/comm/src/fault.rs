@@ -230,6 +230,49 @@ struct LinkFault {
     jitter: f64,
 }
 
+/// A directed link outage window: every message departing on `src → dst`
+/// within `[from, until)` of virtual time is lost on the wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct FlapWindow {
+    src: usize,
+    dst: usize,
+    from: f64,
+    until: f64,
+}
+
+/// A network partition window: messages crossing between two different
+/// `groups` within `[from, until)` of virtual time are lost in both
+/// directions. Ranks not listed in any group form one implicit group of
+/// their own (so `partition(&[&[0, 1]], ..)` cuts `{0, 1}` off from
+/// everyone else).
+#[derive(Debug, Clone, PartialEq)]
+struct PartitionWindow {
+    groups: Vec<Vec<usize>>,
+    from: f64,
+    until: f64,
+}
+
+impl PartitionWindow {
+    fn group_of(&self, rank: usize) -> usize {
+        self.groups
+            .iter()
+            .position(|g| g.contains(&rank))
+            .unwrap_or(usize::MAX)
+    }
+}
+
+/// Why the wire lost a physical transmission — reported so the fault
+/// counters can split "a packet vanished" from "the link was down".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossKind {
+    /// A per-index drop trigger or burst-drop window fired.
+    Drop,
+    /// The message departed inside a link-flap outage window.
+    Flap,
+    /// The message crossed a partition boundary during a partition window.
+    Partition,
+}
+
 /// SplitMix64: a tiny, high-quality deterministic mixer — all jitter
 /// randomness derives from it so a plan's seed fully determines the run.
 pub(crate) fn splitmix64(mut x: u64) -> u64 {
@@ -272,6 +315,21 @@ pub struct FaultPlan {
     /// Elastic membership schedule: voluntary leaves and rejoin petitions
     /// keyed off the training step counter (see [`ChurnEvent`]).
     churn: Vec<ChurnEvent>,
+    /// Burst-drop windows: `(src, dst, from_index, count)` discards that
+    /// many consecutive messages on the link starting at `from_index`.
+    drop_windows: Vec<(usize, usize, u64, u64)>,
+    /// Directed link-flap outage windows on the virtual clock.
+    flaps: Vec<FlapWindow>,
+    /// Network partition windows on the virtual clock.
+    partitions: Vec<PartitionWindow>,
+    /// Reliable-delivery transport (ack/retransmit below the comm API).
+    /// `None` = the pre-transport wire: every loss surfaces to the
+    /// receiver and escalation is immediate.
+    transport: Option<crate::transport::TransportPolicy>,
+    /// Failure-detector thresholds (always consulted before a timed-out
+    /// peer is reported to the membership agreement; the default config
+    /// reproduces the retry policy's escalation timing exactly).
+    detector: Option<crate::transport::DetectorCfg>,
 }
 
 impl FaultPlan {
@@ -325,6 +383,74 @@ impl FaultPlan {
     pub fn corrupt_msg(mut self, src: usize, dst: usize, index: u64) -> Self {
         self.corrupts.push((src, dst, index));
         self
+    }
+
+    /// Drop `count` consecutive messages on `src → dst` starting at
+    /// message `from_index` (a burst-drop window — congestion shedding a
+    /// whole train of packets).
+    pub fn drop_burst(mut self, src: usize, dst: usize, from_index: u64, count: u64) -> Self {
+        self.drop_windows.push((src, dst, from_index, count));
+        self
+    }
+
+    /// Take the directed link `src → dst` down for virtual time
+    /// `[from, until)`: every message *departing* in that window is lost.
+    /// With a reliable transport whose retry budget outlives the window,
+    /// the flap heals invisibly; without one, each lost message surfaces
+    /// as a receive timeout.
+    pub fn flap_link(mut self, src: usize, dst: usize, from: f64, until: f64) -> Self {
+        assert!(from <= until, "flap window must have from <= until");
+        self.flaps.push(FlapWindow {
+            src,
+            dst,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Partition the cluster for virtual time `[from, until)`: messages
+    /// crossing between different `groups` are lost in both directions.
+    /// Ranks not listed in any group form one implicit group of their own.
+    pub fn partition(mut self, groups: &[&[usize]], from: f64, until: f64) -> Self {
+        assert!(from <= until, "partition window must have from <= until");
+        self.partitions.push(PartitionWindow {
+            groups: groups.iter().map(|g| g.to_vec()).collect(),
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Enable the reliable-delivery transport with default policy: lost or
+    /// corrupted transmissions are retransmitted on a seeded RTO schedule
+    /// instead of surfacing to the receiver (see [`crate::transport`]).
+    pub fn reliable(self) -> Self {
+        self.with_transport(crate::transport::TransportPolicy::default())
+    }
+
+    /// Enable the reliable-delivery transport with an explicit policy.
+    pub fn with_transport(mut self, policy: crate::transport::TransportPolicy) -> Self {
+        self.transport = Some(policy);
+        self
+    }
+
+    /// Override the failure detector's thresholds (defaults reproduce the
+    /// retry policy's escalation timing; see
+    /// [`crate::transport::DetectorCfg`]).
+    pub fn with_detector(mut self, cfg: crate::transport::DetectorCfg) -> Self {
+        self.detector = Some(cfg);
+        self
+    }
+
+    /// The reliable-transport policy, if enabled.
+    pub fn transport(&self) -> Option<crate::transport::TransportPolicy> {
+        self.transport
+    }
+
+    /// The failure-detector configuration (defaults when not overridden).
+    pub fn detector_cfg(&self) -> crate::transport::DetectorCfg {
+        self.detector.unwrap_or_default()
     }
 
     /// Overwrite one gradient entry on `rank` with `value` (typically NaN
@@ -561,6 +687,55 @@ impl FaultPlan {
             .iter()
             .any(|&(s, d, i)| (s, d, i) == (src, dst, index))
     }
+
+    /// Whether — and why — the wire loses a physical transmission of
+    /// message `index` on `src → dst` departing at virtual time `at`.
+    /// Keying flap/partition windows off the *departure* time is what lets
+    /// a retransmitting transport outlive them: each RTO backoff pushes
+    /// the next attempt's departure later until it clears the window.
+    pub(crate) fn link_loss(
+        &self,
+        src: usize,
+        dst: usize,
+        index: u64,
+        at: f64,
+    ) -> Option<LossKind> {
+        if self.should_drop(src, dst, index) {
+            return Some(LossKind::Drop);
+        }
+        if self
+            .drop_windows
+            .iter()
+            .any(|&(s, d, f, c)| s == src && d == dst && index >= f && index < f.saturating_add(c))
+        {
+            return Some(LossKind::Drop);
+        }
+        if self
+            .flaps
+            .iter()
+            .any(|w| w.src == src && w.dst == dst && at >= w.from && at < w.until)
+        {
+            return Some(LossKind::Flap);
+        }
+        if self
+            .partitions
+            .iter()
+            .any(|p| at >= p.from && at < p.until && p.group_of(src) != p.group_of(dst))
+        {
+            return Some(LossKind::Partition);
+        }
+        None
+    }
+
+    /// Whether the plan schedules any transient wire faults at all (used
+    /// by docs/tests to label all-transient plans).
+    pub fn has_transient_faults(&self) -> bool {
+        !self.drops.is_empty()
+            || !self.corrupts.is_empty()
+            || !self.drop_windows.is_empty()
+            || !self.flaps.is_empty()
+            || !self.partitions.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -694,6 +869,61 @@ mod tests {
         let a = FaultPlan::new(7).churn_storm(6, 24, 8);
         let b = FaultPlan::new(8).churn_storm(6, 24, 8);
         assert_ne!(a.churn_events(), b.churn_events());
+    }
+
+    #[test]
+    fn burst_windows_flaps_and_partitions_trigger_precisely() {
+        let plan = FaultPlan::new(5)
+            .drop_burst(0, 1, 4, 3)
+            .flap_link(2, 3, 1e-3, 2e-3)
+            .partition(&[&[0, 1]], 5e-3, 6e-3);
+        assert!(plan.has_transient_faults());
+        // Burst window covers indices [4, 7) on 0→1 only.
+        assert_eq!(plan.link_loss(0, 1, 3, 0.0), None);
+        assert_eq!(plan.link_loss(0, 1, 4, 0.0), Some(LossKind::Drop));
+        assert_eq!(plan.link_loss(0, 1, 6, 0.0), Some(LossKind::Drop));
+        assert_eq!(plan.link_loss(0, 1, 7, 0.0), None);
+        assert_eq!(plan.link_loss(1, 0, 5, 0.0), None);
+        // Flap is directed and keyed off departure time, half-open window.
+        assert_eq!(plan.link_loss(2, 3, 0, 0.5e-3), None);
+        assert_eq!(plan.link_loss(2, 3, 0, 1e-3), Some(LossKind::Flap));
+        assert_eq!(plan.link_loss(2, 3, 0, 1.9e-3), Some(LossKind::Flap));
+        assert_eq!(plan.link_loss(2, 3, 0, 2e-3), None);
+        assert_eq!(plan.link_loss(3, 2, 0, 1.5e-3), None);
+        // Partition cuts {0,1} from the implicit rest, both directions.
+        assert_eq!(plan.link_loss(0, 2, 0, 5.5e-3), Some(LossKind::Partition));
+        assert_eq!(plan.link_loss(2, 1, 0, 5.5e-3), Some(LossKind::Partition));
+        assert_eq!(plan.link_loss(0, 1, 0, 5.5e-3), None, "same group stays up");
+        assert_eq!(
+            plan.link_loss(2, 3, 0, 5.5e-3),
+            None,
+            "implicit group stays up"
+        );
+        assert_eq!(plan.link_loss(0, 2, 0, 6e-3), None, "window is half-open");
+        // Per-index drops still report as plain drops.
+        let p2 = FaultPlan::new(0).drop_msg(1, 2, 9);
+        assert_eq!(p2.link_loss(1, 2, 9, 0.0), Some(LossKind::Drop));
+        assert!(!FaultPlan::new(0).has_transient_faults());
+    }
+
+    #[test]
+    fn transport_and_detector_are_opt_in() {
+        let plain = FaultPlan::new(1);
+        assert!(plain.transport().is_none());
+        assert_eq!(
+            plain.detector_cfg(),
+            crate::transport::DetectorCfg::default()
+        );
+        let reliable = FaultPlan::new(1).reliable();
+        assert_eq!(
+            reliable.transport(),
+            Some(crate::transport::TransportPolicy::default())
+        );
+        let strict = FaultPlan::new(1).with_detector(crate::transport::DetectorCfg {
+            fail_threshold: Some(7),
+            ..Default::default()
+        });
+        assert_eq!(strict.detector_cfg().fail_threshold, Some(7));
     }
 
     #[test]

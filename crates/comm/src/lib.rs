@@ -34,10 +34,11 @@ pub mod membership;
 pub mod stats;
 pub mod topology;
 pub mod trace;
+pub mod transport;
 pub mod world;
 
 pub use comm::{saturating_deadline, Communicator, CtrlKind, CtrlMsg, Msg, MsgData};
-pub use fault::{ChurnEvent, ChurnKind, CommError, CrashAt, FaultPlan};
+pub use fault::{ChurnEvent, ChurnKind, CommError, CrashAt, FaultPlan, LossKind};
 pub use membership::{
     agree_on_eviction, agree_on_join, agree_on_leave, send_abort, shrink_all_gather_mat,
     shrink_all_reduce_mat, shrink_all_reduce_vec, shrink_barrier, shrink_reduce_scatter_mat,
@@ -46,6 +47,7 @@ pub use membership::{
 pub use stats::{CommStats, FaultCounters};
 pub use topology::{Link, Topology, WireDtype};
 pub use trace::{ascii_lane, summarize, TraceEvent, TraceSummary};
+pub use transport::{DetectorCfg, FailureDetector, TransportPolicy};
 pub use world::{RankOutput, World};
 
 /// The observability layer the communicator records into (re-exported so

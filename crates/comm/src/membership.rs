@@ -218,6 +218,29 @@ fn suspects_of(e: &CommError) -> Vec<usize> {
     }
 }
 
+/// [`suspects_of`], filtered through the failure detector: a terminated
+/// peer (channel disconnect) is dead by construction and an abort pill
+/// carries its sender's already-confirmed suspicion, but a *timeout* is
+/// only escalated when the detector's accumulated evidence (consecutive
+/// receive failures vs the policy's `max_attempts`, or phi from the
+/// heartbeat/retransmit channels) confirms the peer dead rather than
+/// slow. With the default detector config this reproduces the
+/// pre-detector escalation decision exactly, because any timeout that
+/// escapes a `max_attempts` retry loop has recorded exactly that many
+/// consecutive failures.
+fn confirmed_suspects(comm: &mut Communicator, e: &CommError, policy: &RetryPolicy) -> Vec<usize> {
+    match e {
+        CommError::Timeout { src, .. } => {
+            if comm.peer_confirmed_dead(*src, policy.max_attempts) {
+                vec![*src]
+            } else {
+                Vec::new()
+            }
+        }
+        other => suspects_of(other),
+    }
+}
+
 /// Best-effort abort pills to both alive non-suspect ring neighbors, so a
 /// peer blocked on this rank's data observes [`CommError::Aborted`] instead
 /// of hanging until the wall backstop. Send failures are ignored — a dead
@@ -274,6 +297,32 @@ fn wait_for_ctrl(
     }
 }
 
+/// True when the continuing partition after an eviction decision is a
+/// strict minority of the pre-agreement membership. The winning side of a
+/// network split keeps at least half the ranks, so a side whose decision
+/// evicts a strict majority has necessarily mistaken a partition (or its
+/// own isolation) for mass death; continuing would train a divergent
+/// split-brain replica. An exact half keeps today's behavior: a two-rank
+/// ring shrinking to one survivor still continues.
+fn quorum_lost(m: &Membership, pre_alive: usize, evicted: &[usize]) -> bool {
+    !evicted.is_empty() && 2 * m.num_alive() < pre_alive
+}
+
+/// Park the local rank after a lost quorum: mark it evicted in its own
+/// membership and report the self-eviction. Callers observe the rank in
+/// the returned set (or `!m.is_alive(me)`) and park instead of training
+/// ahead on the minority side of a split.
+fn park_self(comm: &mut Communicator, m: &mut Membership, epoch: u64) -> AgreeOutcome {
+    let me = comm.rank();
+    m.evict(me);
+    comm.span_instant(SpanKind::Fault, "minority_partition");
+    comm.span_end();
+    AgreeOutcome {
+        evicted: vec![me],
+        epoch,
+    }
+}
+
 /// Leader-based eviction agreement; see the module docs for the protocol.
 ///
 /// Every alive rank must call this with its current suspect list (empty if
@@ -281,6 +330,13 @@ fn wait_for_ctrl(
 /// the updated epoch; `m` is updated in place. The call is also a barrier:
 /// when it returns, every survivor has applied the same decision and
 /// drained every stale message addressed to it.
+///
+/// **Quorum rule.** A decision that would leave the continuing side with a
+/// strict minority of the pre-agreement membership parks the local rank
+/// instead: the call returns `evicted = [me]` with the rank marked dead in
+/// its own `m`. This is what stops a live-but-unreachable rank — one whose
+/// peers all stopped answering because *they* evicted *it* — from evicting
+/// the entire majority in absentia and training ahead as a split brain.
 pub fn agree_on_eviction(
     comm: &mut Communicator,
     m: &mut Membership,
@@ -325,6 +381,7 @@ pub fn agree_on_eviction(
             } else {
                 m.epoch() + 1
             };
+            let pre_alive = m.num_alive();
             for &r in &evicted {
                 m.evict(r);
             }
@@ -345,6 +402,9 @@ pub fn agree_on_eviction(
             if !evicted.is_empty() {
                 comm.span_instant(SpanKind::Epoch, "epoch_bump");
             }
+            if quorum_lost(m, pre_alive, &evicted) {
+                return Ok(park_self(comm, m, epoch));
+            }
             comm.span_end();
             return Ok(AgreeOutcome { evicted, epoch });
         }
@@ -360,6 +420,7 @@ pub fn agree_on_eviction(
         let mut gossip = Vec::new();
         match wait_for_ctrl(comm, leader, CtrlKind::Decide, policy, &mut gossip) {
             Ok(decide) => {
+                let pre_alive = m.num_alive();
                 for &r in &decide.suspects {
                     m.evict(r);
                 }
@@ -369,6 +430,9 @@ pub fn agree_on_eviction(
                 let _ = wait_for_ctrl(comm, leader, CtrlKind::Go, policy, &mut Vec::new());
                 if !decide.suspects.is_empty() {
                     comm.span_instant(SpanKind::Epoch, "epoch_bump");
+                }
+                if quorum_lost(m, pre_alive, &decide.suspects) {
+                    return Ok(park_self(comm, m, decide.epoch));
                 }
                 comm.span_end();
                 return Ok(AgreeOutcome {
@@ -786,7 +850,7 @@ fn finish_collective<T>(
     }
     let my_suspects = match &result {
         Err(e) => {
-            let s = suspects_of(e);
+            let s = confirmed_suspects(comm, e, policy);
             send_abort(comm, m, &s);
             s
         }

@@ -23,6 +23,15 @@ pub struct CommStats {
     pub wait_time: f64,
     /// Virtual seconds of modeled compute on this rank.
     pub compute_time: f64,
+    /// Physical transmissions the reliable transport re-sent after a loss
+    /// or corruption (extra traffic beyond the clean run's one
+    /// transmission per message; not counted in `intra_msgs`/`inter_msgs`).
+    pub retrans_msgs: u64,
+    /// Wire bytes consumed by those retransmitted attempts. The clean
+    /// byte counters above are unchanged by healing, so
+    /// `total_bytes()` of a healed run equals the clean run exactly and
+    /// `retrans_bytes` is precisely the recovery overhead.
+    pub retrans_bytes: f64,
 }
 
 impl CommStats {
@@ -51,7 +60,15 @@ impl CommStats {
             inter_bytes: self.inter_bytes + other.inter_bytes,
             wait_time: self.wait_time + other.wait_time,
             compute_time: self.compute_time + other.compute_time,
+            retrans_msgs: self.retrans_msgs + other.retrans_msgs,
+            retrans_bytes: self.retrans_bytes + other.retrans_bytes,
         }
+    }
+
+    /// Total wire bytes including retransmitted attempts — what the
+    /// physical fabric actually carried.
+    pub fn wire_bytes_with_retrans(&self) -> f64 {
+        self.total_bytes() + self.retrans_bytes
     }
 }
 
@@ -72,6 +89,19 @@ pub struct FaultCounters {
     pub timeouts: u64,
     /// Control-plane retry attempts (membership layer backoffs).
     pub retries: u64,
+    /// Transmissions lost to a link-flap or partition outage window.
+    pub flaps: u64,
+    /// Physical retransmissions performed by the reliable transport.
+    pub retransmits: u64,
+    /// Messages delivered intact after at least one retransmission —
+    /// faults that healed at the transport, invisible above it.
+    pub healed: u64,
+    /// Messages whose retry budget ran out: the transport delivered the
+    /// legacy observable (timeout/corruption) and escalation began.
+    pub giveups: u64,
+    /// Failure-detector suspicion confirmations (a peer declared dead
+    /// rather than slow, once per incident).
+    pub suspicions: u64,
 }
 
 impl FaultCounters {
@@ -84,12 +114,18 @@ impl FaultCounters {
             crashes: self.crashes + other.crashes,
             timeouts: self.timeouts + other.timeouts,
             retries: self.retries + other.retries,
+            flaps: self.flaps + other.flaps,
+            retransmits: self.retransmits + other.retransmits,
+            healed: self.healed + other.healed,
+            giveups: self.giveups + other.giveups,
+            suspicions: self.suspicions + other.suspicions,
         }
     }
 
-    /// Total fault firings of any kind on the wire or the clock.
+    /// Total fault firings of any kind on the wire or the clock (remedies
+    /// — retransmits, heals — are not faults and are excluded).
     pub fn total(&self) -> u64 {
-        self.delays + self.drops + self.corruptions + self.crashes + self.timeouts
+        self.delays + self.drops + self.corruptions + self.crashes + self.timeouts + self.flaps
     }
 }
 
@@ -106,11 +142,21 @@ mod tests {
             crashes: 1,
             timeouts: 4,
             retries: 5,
+            flaps: 6,
+            retransmits: 7,
+            healed: 8,
+            giveups: 9,
+            suspicions: 10,
         };
         let m = a.merge(&a);
         assert_eq!(m.drops, 4);
         assert_eq!(m.retries, 10);
-        assert_eq!(m.total(), 22);
+        assert_eq!(m.flaps, 12);
+        assert_eq!(m.retransmits, 14);
+        assert_eq!(m.healed, 16);
+        assert_eq!(m.giveups, 18);
+        assert_eq!(m.suspicions, 20);
+        assert_eq!(m.total(), 34, "remedies are excluded from total()");
         assert_eq!(FaultCounters::default().total(), 0);
     }
 
@@ -125,6 +171,8 @@ mod tests {
             inter_bytes: 200.0,
             wait_time: 0.5,
             compute_time: 1.5,
+            retrans_msgs: 3,
+            retrans_bytes: 50.0,
         };
         let m = a.merge(&a);
         assert_eq!(m.total_msgs(), 6);
@@ -132,5 +180,8 @@ mod tests {
         assert_eq!(m.total_bytes(), 600.0);
         assert_eq!(m.wait_time, 1.0);
         assert_eq!(m.compute_time, 3.0);
+        assert_eq!(m.retrans_msgs, 6);
+        assert_eq!(m.retrans_bytes, 100.0);
+        assert_eq!(m.wire_bytes_with_retrans(), 700.0);
     }
 }

@@ -1,0 +1,373 @@
+//! The self-healing transport: reliable delivery on the virtual clock and
+//! a deterministic failure detector.
+//!
+//! This is the bottom rung of the recovery ladder (see DESIGN.md §13).
+//! When a [`crate::FaultPlan`] carries a [`TransportPolicy`], every
+//! point-to-point message is delivered through an ack/retransmit dialogue
+//! that the *sender simulates locally*: the plan is shared deterministic
+//! data, so the sender knows exactly which physical transmission attempts
+//! the wire will lose (drops, burst-drop windows, link flaps, partitions)
+//! or corrupt, bills each failed attempt as retransmit traffic, pushes the
+//! next attempt out by a seeded retransmission timeout (RTO), and finally
+//! enqueues one clean message carrying the accumulated later arrival time.
+//! The receiver never sees the failed attempts — a healed fault is
+//! invisible above the transport, so the final numerical results of a
+//! healed run are **bit-identical** to a clean run; only virtual time and
+//! wire-byte accounting differ. This mirrors how InfiniBand's link-layer
+//! retransmission hides transient loss from the verbs consumer.
+//!
+//! When the outage outlives the retry budget the transport gives up and
+//! delivers the legacy observable — a dropped marker (receiver times out)
+//! or the corrupted payload (receiver's checksum fires) — handing the
+//! failure to the next rung: the [`FailureDetector`] decides whether the
+//! peer is *dead* (evict via membership agreement) or merely *slow* (keep
+//! retrying), from evidence accumulated deterministically on the virtual
+//! clock: consecutive receive failures, retransmit history, and
+//! phi-accrual-style silence relative to the peer's observed heartbeat
+//! gap. Everything here is a pure function of the fault plan and seeds —
+//! no wall clocks, no OS scheduling.
+
+use crate::fault::splitmix64;
+
+/// Reliable-delivery configuration, attached to a plan with
+/// [`crate::FaultPlan::reliable`] or [`crate::FaultPlan::with_transport`].
+/// Absent (the default), the wire behaves exactly as before this layer
+/// existed: a lost message surfaces as a receive timeout and escalation is
+/// immediate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransportPolicy {
+    /// Retransmission attempts per message beyond the first transmission.
+    pub max_resends: u32,
+    /// First retransmission timeout, in virtual seconds.
+    pub rto_base: f64,
+    /// Retransmission timeout cap, in virtual seconds.
+    pub rto_max: f64,
+    /// Jitter seed (mixes with link endpoints and the message index).
+    pub seed: u64,
+}
+
+impl Default for TransportPolicy {
+    fn default() -> Self {
+        TransportPolicy {
+            max_resends: 8,
+            rto_base: 2e-4,
+            rto_max: 5e-2,
+            seed: 0x7ea7_ac4d_0bad_cafe,
+        }
+    }
+}
+
+impl TransportPolicy {
+    /// The virtual-time gap between physical attempt `attempt` (0-based)
+    /// and its retransmission: exponential backoff capped at `rto_max`,
+    /// stretched by seeded jitter in `[1.0, 1.5]×` so parallel links do
+    /// not retransmit in lockstep. Deterministic in (seed, link, index,
+    /// attempt).
+    pub fn rto(&self, attempt: u32, src: usize, dst: usize, index: u64) -> f64 {
+        let raw = (self.rto_base * f64::from(1u32 << attempt.min(20))).min(self.rto_max);
+        let h = splitmix64(
+            self.seed
+                ^ ((src as u64) << 40)
+                ^ ((dst as u64) << 20)
+                ^ index.wrapping_mul(0x9e37_79b9)
+                ^ (u64::from(attempt) << 56),
+        );
+        let frac = (h >> 11) as f64 / (1u64 << 53) as f64;
+        raw * (1.0 + 0.5 * frac)
+    }
+
+    /// Guaranteed minimum virtual-time window the retry schedule covers:
+    /// jitter only stretches RTOs, so any outage shorter than this beyond
+    /// the first departure is healed within the resend budget. Tests and
+    /// fault plans use this to construct provably-transient flap windows.
+    pub fn min_retry_budget(&self) -> f64 {
+        (0..self.max_resends)
+            .map(|a| (self.rto_base * f64::from(1u32 << a.min(20))).min(self.rto_max))
+            .sum()
+    }
+}
+
+/// Failure-detector thresholds, attached to a plan with
+/// [`crate::FaultPlan::with_detector`]. The defaults reproduce the
+/// pre-detector escalation timing exactly: a peer is confirmed dead after
+/// as many consecutive receive failures as the membership layer's
+/// [`crate::RetryPolicy::max_attempts`], and the phi (silence) channel is
+/// disabled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorCfg {
+    /// Consecutive receive failures that confirm a suspicion. `None`
+    /// defers to the consulting retry policy's `max_attempts`.
+    pub fail_threshold: Option<u32>,
+    /// Phi (accrued suspicion) level that confirms a suspicion via the
+    /// heartbeat/silence channel. `INFINITY` disables it.
+    pub phi_threshold: f64,
+    /// Floor for the observed heartbeat gap, so phi stays finite when the
+    /// peer was exchanging messages back-to-back.
+    pub min_gap: f64,
+    /// Suspicion accrued per recorded retransmission toward the peer
+    /// (transport-level evidence that the link is struggling).
+    pub retransmit_weight: f64,
+}
+
+impl Default for DetectorCfg {
+    fn default() -> Self {
+        DetectorCfg {
+            fail_threshold: None,
+            phi_threshold: f64::INFINITY,
+            min_gap: 1e-6,
+            retransmit_weight: 0.25,
+        }
+    }
+}
+
+/// Per-peer health evidence, all on the virtual clock.
+#[derive(Debug, Clone, Copy, Default)]
+struct PeerHealth {
+    /// Virtual time of the last successful receive from the peer.
+    last_ok: f64,
+    /// EWMA of the gap between successful receives (the peer's observed
+    /// heartbeat interval).
+    mean_gap: f64,
+    /// Successful receives recorded (the silence channel needs a baseline).
+    samples: u64,
+    /// Receive failures since the last success.
+    consec_fails: u32,
+    /// Retransmissions toward the peer since the last success (decayed on
+    /// every success).
+    recent_retransmits: u32,
+    /// Whether a suspicion for this peer has already been announced (so
+    /// the suspicion span/counter fires once per incident).
+    announced: bool,
+}
+
+/// Deterministic virtual-time failure detector: accumulates per-peer
+/// evidence (receive successes/failures, retransmit history) and answers
+/// the one question the membership layer needs — is this peer *dead*, or
+/// merely *slow*? Pure bookkeeping: it never touches the virtual clock,
+/// so enabling it is bit-invisible to the simulation.
+#[derive(Debug, Clone)]
+pub struct FailureDetector {
+    cfg: DetectorCfg,
+    peers: Vec<PeerHealth>,
+}
+
+impl FailureDetector {
+    pub fn new(world: usize, cfg: DetectorCfg) -> Self {
+        FailureDetector {
+            cfg,
+            peers: vec![PeerHealth::default(); world],
+        }
+    }
+
+    pub fn cfg(&self) -> &DetectorCfg {
+        &self.cfg
+    }
+
+    /// A payload from `peer` arrived intact at virtual time `now`: reset
+    /// the failure streak, decay retransmit evidence, fold the inter-ok
+    /// gap into the heartbeat EWMA.
+    pub fn record_ok(&mut self, peer: usize, now: f64) {
+        let p = &mut self.peers[peer];
+        if p.samples > 0 {
+            let gap = (now - p.last_ok).max(0.0);
+            p.mean_gap = if p.samples == 1 {
+                gap
+            } else {
+                0.875 * p.mean_gap + 0.125 * gap
+            };
+        }
+        p.last_ok = now;
+        p.samples += 1;
+        p.consec_fails = 0;
+        p.recent_retransmits /= 2;
+        p.announced = false;
+    }
+
+    /// A receive from `peer` failed (virtual deadline or wall backstop).
+    pub fn record_failure(&mut self, peer: usize) {
+        let p = &mut self.peers[peer];
+        p.consec_fails = p.consec_fails.saturating_add(1);
+    }
+
+    /// The transport retransmitted a message toward `peer`.
+    pub fn record_retransmit(&mut self, peer: usize) {
+        let p = &mut self.peers[peer];
+        p.recent_retransmits = p.recent_retransmits.saturating_add(1);
+    }
+
+    /// Receive failures since the last success from `peer`.
+    pub fn consecutive_failures(&self, peer: usize) -> u32 {
+        self.peers[peer].consec_fails
+    }
+
+    /// Accrued suspicion toward `peer` at virtual time `now`
+    /// (phi-accrual style, base-10): each consecutive receive failure
+    /// contributes 1.0, retransmit history contributes
+    /// `retransmit_weight` each, and — once a heartbeat baseline of three
+    /// successes exists — silence contributes
+    /// `(now − last_ok) / (mean_gap · ln 10)`, the phi of an
+    /// exponentially distributed heartbeat with the observed mean.
+    pub fn phi(&self, peer: usize, now: f64) -> f64 {
+        let p = &self.peers[peer];
+        let mut phi = f64::from(p.consec_fails)
+            + self.cfg.retransmit_weight * f64::from(p.recent_retransmits);
+        if p.samples >= 3 {
+            let gap = p.mean_gap.max(self.cfg.min_gap);
+            let silence = (now - p.last_ok).max(0.0);
+            phi += silence / (gap * std::f64::consts::LN_10);
+        }
+        phi
+    }
+
+    /// Whether the evidence confirms `peer` dead rather than slow.
+    /// `default_fail_threshold` is the consulting retry policy's
+    /// `max_attempts` — with a default [`DetectorCfg`] this reproduces the
+    /// pre-detector escalation decision exactly.
+    pub fn is_dead(&self, peer: usize, default_fail_threshold: u32, now: f64) -> bool {
+        let p = &self.peers[peer];
+        let thr = self
+            .cfg
+            .fail_threshold
+            .unwrap_or(default_fail_threshold)
+            .max(1);
+        if p.consec_fails >= thr {
+            return true;
+        }
+        self.cfg.phi_threshold.is_finite() && self.phi(peer, now) >= self.cfg.phi_threshold
+    }
+
+    /// Confirm-once latch for the suspicion span/counter: returns `true`
+    /// the first time a suspicion is confirmed for `peer` (resets when the
+    /// peer produces a successful receive again).
+    pub fn announce_suspicion(&mut self, peer: usize) -> bool {
+        let p = &mut self.peers[peer];
+        if p.announced {
+            false
+        } else {
+            p.announced = true;
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rto_is_deterministic_bounded_and_grows() {
+        let tp = TransportPolicy::default();
+        for attempt in 0..6 {
+            let a = tp.rto(attempt, 0, 1, 7);
+            let b = tp.rto(attempt, 0, 1, 7);
+            assert_eq!(a, b, "same inputs must give the same RTO");
+            let raw = (tp.rto_base * f64::from(1u32 << attempt)).min(tp.rto_max);
+            assert!(
+                (raw..=1.5 * raw).contains(&a),
+                "jitter must stay in [1, 1.5]×"
+            );
+        }
+        // Different links / indices decorrelate.
+        assert_ne!(tp.rto(0, 0, 1, 7), tp.rto(0, 1, 0, 7));
+        assert_ne!(tp.rto(0, 0, 1, 7), tp.rto(0, 0, 1, 8));
+        // The guaranteed budget is the un-jittered sum.
+        let expect: f64 = (0..tp.max_resends)
+            .map(|a| (tp.rto_base * f64::from(1u32 << a)).min(tp.rto_max))
+            .sum();
+        assert_eq!(tp.min_retry_budget(), expect);
+        assert!(
+            tp.min_retry_budget() > 0.05,
+            "default budget covers ≥ 50 ms"
+        );
+    }
+
+    #[test]
+    fn count_threshold_matches_retry_policy_semantics() {
+        let mut d = FailureDetector::new(4, DetectorCfg::default());
+        assert!(!d.is_dead(2, 3, 0.0));
+        d.record_failure(2);
+        d.record_failure(2);
+        assert!(
+            !d.is_dead(2, 3, 0.0),
+            "two failures stay below max_attempts=3"
+        );
+        d.record_failure(2);
+        assert!(d.is_dead(2, 3, 0.0), "three consecutive failures confirm");
+        // A success resets the streak: slow, not dead.
+        d.record_ok(2, 1.0);
+        assert!(!d.is_dead(2, 3, 1.0));
+        // An explicit threshold overrides the policy default.
+        let mut strict = FailureDetector::new(
+            4,
+            DetectorCfg {
+                fail_threshold: Some(5),
+                ..DetectorCfg::default()
+            },
+        );
+        for _ in 0..4 {
+            strict.record_failure(1);
+        }
+        assert!(
+            !strict.is_dead(1, 3, 0.0),
+            "cfg threshold 5 outranks policy 3"
+        );
+        strict.record_failure(1);
+        assert!(strict.is_dead(1, 3, 0.0));
+    }
+
+    #[test]
+    fn phi_accrues_with_silence_against_the_heartbeat_gap() {
+        let cfg = DetectorCfg {
+            phi_threshold: 4.0,
+            ..DetectorCfg::default()
+        };
+        let mut d = FailureDetector::new(2, cfg);
+        // Establish a 1 ms heartbeat.
+        for i in 0..8 {
+            d.record_ok(1, i as f64 * 1e-3);
+        }
+        let last = 7e-3;
+        assert!(
+            d.phi(1, last + 1e-3) < 1.0,
+            "one heartbeat of silence is normal"
+        );
+        assert!(!d.is_dead(1, 3, last + 1e-3));
+        // 20 heartbeats of silence: phi ≈ 20/ln10 ≈ 8.7 ≥ 4 → dead.
+        assert!(d.phi(1, last + 20e-3) > 4.0);
+        assert!(d.is_dead(1, 3, last + 20e-3));
+        // phi is monotone in silence.
+        assert!(d.phi(1, last + 30e-3) > d.phi(1, last + 20e-3));
+    }
+
+    #[test]
+    fn retransmit_history_accrues_and_decays() {
+        let cfg = DetectorCfg {
+            retransmit_weight: 0.5,
+            ..DetectorCfg::default()
+        };
+        let mut d = FailureDetector::new(2, cfg);
+        for _ in 0..4 {
+            d.record_retransmit(1);
+        }
+        assert_eq!(d.phi(1, 0.0), 2.0);
+        d.record_ok(1, 1.0);
+        assert_eq!(d.phi(1, 1.0), 1.0, "success halves retransmit evidence");
+        d.record_ok(1, 2.0);
+        d.record_failure(1);
+        assert_eq!(d.phi(1, 2.0), 1.5, "failures stack on retransmit history");
+    }
+
+    #[test]
+    fn suspicion_announcement_is_once_per_incident() {
+        let mut d = FailureDetector::new(2, DetectorCfg::default());
+        d.record_failure(1);
+        assert!(d.announce_suspicion(1));
+        assert!(
+            !d.announce_suspicion(1),
+            "second announcement is suppressed"
+        );
+        d.record_ok(1, 1.0);
+        d.record_failure(1);
+        assert!(d.announce_suspicion(1), "a new incident announces again");
+    }
+}

@@ -331,6 +331,17 @@ pub fn try_elastic_attention_opts(
         // operation failed (the leader's gather sees its channels drop).
         let outcome =
             agree_on_eviction(comm, m, &my_suspects, policy).map_err(AttnFailure::from)?;
+        if !m.is_alive(me) {
+            // The agreement parked this rank — it sat on the minority side
+            // of a split and lost the quorum. Surface it as a self-eviction
+            // so the caller parks instead of retrying on a ring it left.
+            return Err(AttnFailure::from(CommError::Evicted {
+                rank: me,
+                epoch: outcome.epoch,
+                evicted: outcome.evicted,
+                at: comm.time(),
+            }));
+        }
         if outcome.evicted.is_empty() {
             match result {
                 Ok((fwd, dq, dk, dv)) => {

@@ -679,6 +679,16 @@ pub fn run_span_elastic(
                         return Err(e);
                     }
                     *model = snapshot;
+                    if !m.is_alive(me) {
+                        // The step's internal agreement already parked this
+                        // rank (minority side of a split) — no second
+                        // agreement round; just stop here.
+                        if !out.evicted.contains(&me) {
+                            out.evicted.push(me);
+                        }
+                        out.parked_at = Some(step);
+                        break 'span;
+                    }
                     let suspects: Vec<usize> = dead_ranks(&e)
                         .into_iter()
                         .filter(|&r| r != me && m.is_alive(r))

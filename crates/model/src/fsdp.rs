@@ -8,10 +8,16 @@
 //! the identical Adam update). The virtual clock therefore carries the
 //! FSDP communication the paper identifies as the reason end-to-end
 //! overlap is imperfect (§4.3).
+//!
+//! Every per-parameter collective is wrapped in a [`SpanKind::Optim`] span
+//! (`fsdp_gather` / `fsdp_sync`), so optimizer-path communication — and
+//! under the reliable transport, its retransmissions — is attributable
+//! per operation in the trace, not just in aggregate.
 
 use crate::param::Param;
 use burst_comm::{
     shrink_all_gather_mat, shrink_all_reduce_mat, CommError, Communicator, Membership, RetryPolicy,
+    SpanKind,
 };
 use burst_tensor::Mat;
 
@@ -31,7 +37,10 @@ pub fn gather_weights(comm: &mut Communicator, params: &mut [&mut Param]) {
     for p in params.iter_mut() {
         let (r0, r1) = shard_range(p.w.rows(), g, comm.rank());
         let shard = p.w.slice_rows(r0, r1);
-        let gathered = Mat::vstack(&comm.all_gather_mat(&shard));
+        comm.span_begin(SpanKind::Optim, "fsdp_gather");
+        let parts = comm.all_gather_mat(&shard);
+        comm.span_end();
+        let gathered = Mat::vstack(&parts);
         debug_assert_eq!(gathered.shape(), p.w.shape());
         assert!(
             burst_tensor::testutil::allclose(&gathered, &p.w, 1e-6, 1e-6),
@@ -63,7 +72,10 @@ pub fn try_gather_weights_m(
     for p in params.iter_mut() {
         let (r0, r1) = shard_range(p.w.rows(), g, pos);
         let shard = p.w.slice_rows(r0, r1);
-        let gathered = Mat::vstack(&shrink_all_gather_mat(comm, m, &shard, policy)?);
+        comm.span_begin(SpanKind::Optim, "fsdp_gather");
+        let parts = shrink_all_gather_mat(comm, m, &shard, policy);
+        comm.span_end();
+        let gathered = Mat::vstack(&parts?);
         debug_assert_eq!(gathered.shape(), p.w.shape());
         assert!(
             burst_tensor::testutil::allclose(&gathered, &p.w, 1e-6, 1e-6),
@@ -88,7 +100,10 @@ pub fn try_sync_grads_m(
         return Ok(());
     }
     for p in params.iter_mut() {
-        p.grad = shrink_all_reduce_mat(comm, m, &p.grad, policy)?;
+        comm.span_begin(SpanKind::Optim, "fsdp_sync");
+        let reduced = shrink_all_reduce_mat(comm, m, &p.grad, policy);
+        comm.span_end();
+        p.grad = reduced?;
     }
     Ok(())
 }
@@ -100,7 +115,9 @@ pub fn sync_grads(comm: &mut Communicator, params: &mut [&mut Param]) {
         return;
     }
     for p in params.iter_mut() {
+        comm.span_begin(SpanKind::Optim, "fsdp_sync");
         p.grad = comm.all_reduce_mat(&p.grad);
+        comm.span_end();
     }
 }
 

@@ -42,6 +42,6 @@ pub use metrics::{Histogram, Metric, Registry};
 pub use perfetto::{to_perfetto, to_perfetto_grouped, PerfettoEvent, PerfettoTrace};
 pub use report::{mfu, overlap_efficiency, E2eReport, MethodReport};
 pub use span::{
-    validate, wait_compute_secs, wire_secs, RankSink, RankTrace, SpanKind, SpanRecord,
-    DEFAULT_SPAN_CAPACITY,
+    retrans_secs, validate, wait_compute_secs, wire_secs, RankSink, RankTrace, SpanKind,
+    SpanRecord, DEFAULT_SPAN_CAPACITY,
 };

@@ -65,13 +65,14 @@ fn lane_name(lane: u64) -> &'static str {
         1 => "compute",
         2 => "recv/wait",
         3 => "wire",
+        4 => "wire-retry",
         _ => "control",
     }
 }
 
 fn push_rank(events: &mut Vec<PerfettoEvent>, trace: &RankTrace, pid: u64, rank_label: &str) {
     events.push(metadata("process_name", pid, 0, rank_label.to_string()));
-    let mut lanes_seen = [false; 4];
+    let mut lanes_seen = [false; 5];
     for s in &trace.spans {
         lanes_seen[s.kind.lane() as usize] = true;
     }

@@ -54,6 +54,15 @@ pub enum SpanKind {
     Join,
     /// A rank being re-admitted to the alive set (instant).
     Rejoin,
+    /// A failed physical transmission the reliable transport re-sent:
+    /// `[depart, would-be-arrival]` on the wire lane. Excluded from
+    /// [`wire_secs`] so the measured-vs-analytic comm gate keeps holding
+    /// with faults on; summed separately by [`retrans_secs`].
+    Retransmit,
+    /// An optimizer/FSDP communication op (weight all-gather, gradient
+    /// all-reduce, offload round-trip) — per-op tracing of the optimizer
+    /// path.
+    Optim,
 }
 
 impl SpanKind {
@@ -75,6 +84,8 @@ impl SpanKind {
             SpanKind::Fault => "fault",
             SpanKind::Join => "join",
             SpanKind::Rejoin => "rejoin",
+            SpanKind::Retransmit => "retransmit",
+            SpanKind::Optim => "optim",
         }
     }
 
@@ -85,6 +96,7 @@ impl SpanKind {
             SpanKind::Kernel => 1,
             SpanKind::Recv | SpanKind::Wait => 2,
             SpanKind::Send => 3,
+            SpanKind::Retransmit => 4,
             _ => 0,
         }
     }
@@ -92,7 +104,7 @@ impl SpanKind {
     /// Wire-lane spans are exempt from parent containment (a non-blocking
     /// send may land after the structural span that issued it closed).
     pub fn is_wire(self) -> bool {
-        matches!(self, SpanKind::Send)
+        matches!(self, SpanKind::Send | SpanKind::Retransmit)
     }
 }
 
@@ -363,7 +375,7 @@ pub fn validate(trace: &RankTrace) -> Result<(), String> {
                 }
                 last_clock_leaf = s.start;
             }
-            SpanKind::Send => {
+            SpanKind::Send | SpanKind::Retransmit => {
                 let class = s.inter as usize;
                 if s.start < last_depart[class] - EPS {
                     return fail(i, s, "send departs before the port's previous send");
@@ -383,6 +395,25 @@ pub fn wire_secs(traces: &[RankTrace]) -> (f64, f64) {
     for t in traces {
         for s in &t.spans {
             if s.kind == SpanKind::Send {
+                if s.inter {
+                    inter += s.duration();
+                } else {
+                    intra += s.duration();
+                }
+            }
+        }
+    }
+    (intra, inter)
+}
+
+/// Wire seconds consumed by retransmitted physical attempts, split
+/// `(intra, inter)` — the transport's recovery overhead on the fabric,
+/// kept out of [`wire_secs`] so the clean comm census stays exact.
+pub fn retrans_secs(traces: &[RankTrace]) -> (f64, f64) {
+    let (mut intra, mut inter) = (0.0, 0.0);
+    for t in traces {
+        for s in &t.spans {
+            if s.kind == SpanKind::Retransmit {
                 if s.inter {
                     inter += s.duration();
                 } else {

@@ -16,7 +16,7 @@
 //!   (2 forward + ~3 backward units, both levels overlapped)
 
 use crate::machine::Cluster;
-use burst_comm::WireDtype;
+use burst_comm::{CommStats, WireDtype};
 use serde::{Deserialize, Serialize};
 
 /// Communication time of one layer's attention fwd+bwd for each method.
@@ -220,6 +220,71 @@ pub fn exact_wire_counts_dtype(
     w
 }
 
+/// Exact retransmit census of a (possibly faulty) run under the reliable
+/// transport.
+///
+/// The transport bills every *physical* attempt after the first into the
+/// simulator's `retrans_msgs`/`retrans_bytes` counters, while the clean
+/// message counters stay byte-for-byte what a fault-free run records. That
+/// split is what keeps the measured-vs-analytic comm gate exact with
+/// faults on: the analytic side stays [`WireCounts`] (the schedule's
+/// clean census), and the *reliability overhead* is this census — so
+///
+/// ```text
+/// measured wire bytes == WireCounts::bytes() + RetransCensus::bytes
+/// ```
+///
+/// holds exactly, not approximately, for any seeded transient fault plan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RetransCensus {
+    /// Retransmitted physical messages (attempts beyond the first).
+    pub msgs: u64,
+    /// Bytes those attempts put on the wire.
+    pub bytes: f64,
+}
+
+impl RetransCensus {
+    /// Extract the retransmit share of one rank's [`CommStats`].
+    pub fn from_stats(stats: &CommStats) -> Self {
+        RetransCensus {
+            msgs: stats.retrans_msgs,
+            bytes: stats.retrans_bytes,
+        }
+    }
+
+    /// Aggregate the census over all ranks of a run.
+    pub fn from_run(stats: &[CommStats]) -> Self {
+        stats.iter().fold(RetransCensus::default(), |mut c, s| {
+            c.msgs += s.retrans_msgs;
+            c.bytes += s.retrans_bytes;
+            c
+        })
+    }
+
+    /// A clean run (or one where every fault was outside the wire path)
+    /// retransmits nothing.
+    pub fn is_clean(&self) -> bool {
+        self.msgs == 0 && self.bytes == 0.0
+    }
+
+    /// Total bytes the reliable run put on the wire: the schedule's clean
+    /// census plus every retransmitted attempt. Matches
+    /// `CommStats::wire_bytes_with_retrans()` summed over ranks exactly.
+    pub fn reliable_wire_bytes(&self, clean: &WireCounts) -> f64 {
+        clean.bytes() + self.bytes
+    }
+
+    /// Fractional byte overhead of reliability over the clean census
+    /// (`0.0` for a clean run; `0.10` means 10 % extra wire bytes).
+    pub fn overhead_fraction(&self, clean: &WireCounts) -> f64 {
+        if clean.bytes() == 0.0 {
+            0.0
+        } else {
+            self.bytes / clean.bytes()
+        }
+    }
+}
+
 /// The exact-census counterpart of [`layer_comm_times`]: total wire
 /// occupancy per method for one layer, summed over all ranks, at the
 /// default f32 wire.
@@ -386,6 +451,72 @@ mod tests {
         for method in [RingMethod::Ring, RingMethod::DoubleRing, RingMethod::Burst] {
             assert_eq!(exact_wire_counts(&c, 64, 8, method).msgs(), 0);
         }
+    }
+
+    #[test]
+    fn retrans_census_accounts_reliable_overhead_exactly() {
+        use burst_comm::{FaultPlan, Topology, World};
+        // Two ranks, one uniform 16-element f32 message per step: every
+        // retransmitted attempt re-ships exactly 64 bytes.
+        let steps = 8usize;
+        let run = |plan: Option<FaultPlan>| {
+            let topo = Topology::single_node(2);
+            let world = match plan {
+                Some(p) => World::with_faults(topo, p),
+                None => World::new(topo),
+            };
+            world.run(|comm| {
+                let v: Vec<f32> = (0..16).map(|i| (comm.rank() * 100 + i) as f32).collect();
+                for _ in 0..steps {
+                    if comm.rank() == 0 {
+                        comm.send_vec(1, &v);
+                    } else {
+                        comm.recv_vec(0);
+                    }
+                }
+            })
+        };
+        let clean = run(None);
+        let faulty = run(Some(
+            FaultPlan::new(7)
+                .drop_burst(0, 1, 2, 2)
+                .flap_link(0, 1, 0.0, 1e-4)
+                .reliable(),
+        ));
+        let census = RetransCensus::from_run(&faulty.iter().map(|o| o.stats).collect::<Vec<_>>());
+        assert!(!census.is_clean(), "the plan must actually retransmit");
+        // Clean counters are untouched by healing: byte-for-byte equal to
+        // the fault-free run, so the census is precisely the overhead.
+        let clean_bytes: f64 = clean.iter().map(|o| o.stats.total_bytes()).sum();
+        let faulty_clean_bytes: f64 = faulty.iter().map(|o| o.stats.total_bytes()).sum();
+        assert_eq!(faulty_clean_bytes, clean_bytes);
+        let with_retrans: f64 = faulty
+            .iter()
+            .map(|o| o.stats.wire_bytes_with_retrans())
+            .sum();
+        assert_eq!(with_retrans, clean_bytes + census.bytes);
+        // Uniform payloads: retransmitted bytes are an exact multiple.
+        assert_eq!(census.bytes, census.msgs as f64 * 64.0);
+        let retransmits: u64 = faulty.iter().map(|o| o.faults.retransmits).sum();
+        assert_eq!(census.msgs, retransmits);
+        // And the WireCounts-based closed form agrees.
+        let wc = WireCounts {
+            intra_msgs: steps as u64,
+            inter_msgs: 0,
+            intra_bytes: clean_bytes,
+            inter_bytes: 0.0,
+        };
+        assert_eq!(census.reliable_wire_bytes(&wc), with_retrans);
+        assert!(census.overhead_fraction(&wc) > 0.0);
+    }
+
+    #[test]
+    fn retrans_census_is_clean_without_faults() {
+        let c = RetransCensus::from_stats(&CommStats::default());
+        assert!(c.is_clean());
+        let w = WireCounts::default();
+        assert_eq!(c.overhead_fraction(&w), 0.0);
+        assert_eq!(c.reliable_wire_bytes(&w), 0.0);
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! The recovery-ladder property: **any** all-transient fault plan, run
+//! under the reliable transport, trains to a final state bit-identical to
+//! the fault-free run — drops, burst drops, corruptions, link flaps and
+//! partitions all heal at the transport rung without ever reaching the
+//! detector/eviction/replay rungs above it.
+//!
+//! Failures shrink (via the proptest tape) toward the smallest fault set
+//! that still breaks the bit-identity, typically a single fault spec.
+
+use burst_comm::{FaultPlan, Topology, TransportPolicy};
+use burst_dattn::Algo;
+use burst_model::engine::{Backend, EngineConfig};
+use burst_verify::assert_bits_eq;
+use burst_verify::diff::engine_run;
+use proptest::prelude::*;
+
+/// One drawn fault spec: `kind` selects the class, the rest parameterize
+/// it. `src == dst` draws are skipped (no self-links on the wire).
+type FaultSpec = (u8, usize, usize, u64, u64);
+
+/// Apply `n_active` of the drawn specs to a plan. Every window is built
+/// strictly inside the transport's minimum retry budget, so the resulting
+/// plan is transient by construction.
+fn apply_specs(mut plan: FaultPlan, specs: &[FaultSpec], n_active: usize) -> FaultPlan {
+    let budget = TransportPolicy::default().min_retry_budget();
+    for &(kind, src, dst, index, extent) in specs.iter().take(n_active) {
+        if src == dst {
+            continue;
+        }
+        match kind % 5 {
+            0 => plan = plan.drop_msg(src, dst, index),
+            1 => plan = plan.drop_burst(src, dst, index, 1 + extent % 3),
+            2 => plan = plan.corrupt_msg(src, dst, index),
+            3 => {
+                // Flap window: starts somewhere in the first few virtual
+                // milliseconds, stays under half the retry budget.
+                let from = (index % 50) as f64 * 1e-4;
+                let width = 1e-5 + (extent % 100) as f64 / 100.0 * (budget * 0.5);
+                plan = plan.flap_link(src, dst, from, from + width);
+            }
+            _ => {
+                let from = (index % 50) as f64 * 1e-4;
+                let width = 1e-5 + (extent % 100) as f64 / 100.0 * (budget * 0.5);
+                let groups: [&[usize]; 2] = if extent % 2 == 0 {
+                    [&[0, 1], &[2, 3]]
+                } else {
+                    [&[0, 2], &[1, 3]]
+                };
+                plan = plan.partition(&groups, from, from + width);
+            }
+        }
+    }
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Transient plan + reliable transport ⇒ losses, final state and the
+    /// skip count are all bit-identical to the clean run: the transport
+    /// rung absorbs the whole fault plan.
+    #[test]
+    fn any_transient_plan_heals_to_the_clean_fixed_point(
+        seed in 0u64..1_000,
+        n_active in 0usize..6,
+        specs in proptest::collection::vec(
+            (0u8..5, 0usize..4, 0usize..4, 0u64..60, 0u64..100),
+            6,
+        ),
+    ) {
+        let cfg = EngineConfig::tiny(Backend::Ring(Algo::BurstFlat));
+        let topo = Topology::single_node(4);
+        let steps = 2;
+        let clean = engine_run(&cfg, &topo, steps, None).expect("clean run");
+
+        let plan = apply_specs(FaultPlan::new(seed), &specs, n_active).reliable();
+        prop_assert!(
+            plan.has_transient_faults() || n_active == 0 || specs.iter().take(n_active).all(|s| s.1 == s.2),
+            "the drawn plan should carry transient faults"
+        );
+        let healed = engine_run(&cfg, &topo, steps, Some(&plan))
+            .expect("a transient plan must never kill the run");
+
+        assert_bits_eq("ladder: losses", &healed.losses, &clean.losses);
+        assert_bits_eq("ladder: final state", &healed.flat, &clean.flat);
+        prop_assert_eq!(healed.skipped, clean.skipped, "no step is ever skipped");
+    }
+
+    /// The same property across the other ring schedules: the transport is
+    /// below the schedule layer, so every discipline rides it untouched.
+    #[test]
+    fn every_ring_schedule_rides_the_reliable_path(
+        algo in prop_oneof![
+            Just(Algo::RingFlat),
+            Just(Algo::DoubleRing),
+            Just(Algo::BurstTopo),
+        ],
+        seed in 0u64..1_000,
+        specs in proptest::collection::vec(
+            (0u8..5, 0usize..4, 0usize..4, 0u64..60, 0u64..100),
+            3,
+        ),
+    ) {
+        let cfg = EngineConfig::tiny(Backend::Ring(algo));
+        let topo = Topology::single_node(4);
+        let clean = engine_run(&cfg, &topo, 1, None).expect("clean run");
+        let plan = apply_specs(FaultPlan::new(seed), &specs, specs.len()).reliable();
+        let healed = engine_run(&cfg, &topo, 1, Some(&plan))
+            .expect("a transient plan must never kill the run");
+        assert_bits_eq("schedule ladder: final state", &healed.flat, &clean.flat);
+    }
+}

@@ -66,8 +66,8 @@ pub use burst_tensor as tensor;
 pub mod prelude {
     pub use burst_comm::{
         agree_on_eviction, agree_on_join, agree_on_leave, ChurnEvent, ChurnKind, CommError,
-        CommStats, Communicator, CrashAt, FaultPlan, Link, Membership, RetryPolicy, Topology,
-        World,
+        CommStats, Communicator, CrashAt, DetectorCfg, FailureDetector, FaultPlan, Link, LossKind,
+        Membership, RetryPolicy, Topology, TransportPolicy, World,
     };
     pub use burst_dattn::{
         run_attention, try_elastic_attention, try_elastic_attention_opts, try_run_attention, Algo,

@@ -385,6 +385,94 @@ fn fault_injection_is_deterministic_for_a_fixed_seed() {
 }
 
 #[test]
+fn transient_faults_split_into_healed_vs_escalated() {
+    // One plan, two fates: the drop on 0→1 is transient (a single lost
+    // transmission — the transport heals it), while the 10-second flap on
+    // 0→2 outlives the whole retry budget (the transport gives up and the
+    // failure escalates to the receiver). The counters must record that
+    // split exactly: one healed incident, one give-up, and a receiver
+    // timeout only where healing failed.
+    let tp = TransportPolicy::default();
+    let plan = |reliable: bool| {
+        let p = FaultPlan::new(fault_seed())
+            .drop_msg(0, 1, 0)
+            .flap_link(0, 2, 0.0, 10.0)
+            .recv_deadline(1.0);
+        if reliable {
+            p.reliable()
+        } else {
+            p
+        }
+    };
+    let run = |reliable: bool| {
+        let world = World::with_faults(Topology::single_node(3), plan(reliable));
+        world.run_faulty::<_, CommError, _>(|comm| match comm.rank() {
+            0 => {
+                comm.try_send_vec(1, &[4.0, 5.0])?;
+                comm.try_send_vec(2, &[6.0, 7.0])?;
+                Ok(vec![])
+            }
+            1 => comm.try_recv_vec(0),
+            _ => comm.try_recv_vec(0),
+        })
+    };
+
+    let healed = run(true);
+    assert_eq!(
+        healed[1].result.as_deref(),
+        Ok(&[4.0, 5.0][..]),
+        "the transient drop must heal invisibly"
+    );
+    assert!(
+        matches!(
+            healed[2].result,
+            Err(CommError::Timeout {
+                rank: 2,
+                src: 0,
+                ..
+            })
+        ),
+        "the unhealable flap must escalate: {:?}",
+        healed[2].result
+    );
+    assert_eq!(healed[0].faults.healed, 1, "one incident healed");
+    assert_eq!(healed[0].faults.giveups, 1, "one incident escalated");
+    assert_eq!(
+        healed[0].faults.retransmits,
+        1 + u64::from(tp.max_resends),
+        "one resend heals the drop; the flap burns the whole budget"
+    );
+    assert_eq!(
+        healed[1].faults.timeouts, 0,
+        "healed link: no receiver timeout"
+    );
+    assert_eq!(healed[2].faults.timeouts, 1, "escalated link: exactly one");
+
+    // Retries disabled: the same plan reproduces today's escalation path
+    // on BOTH links — no retransmissions, both receivers time out.
+    let legacy = run(false);
+    assert!(matches!(
+        legacy[1].result,
+        Err(CommError::Timeout {
+            rank: 1,
+            src: 0,
+            ..
+        })
+    ));
+    assert!(matches!(
+        legacy[2].result,
+        Err(CommError::Timeout {
+            rank: 2,
+            src: 0,
+            ..
+        })
+    ));
+    assert_eq!(legacy[0].faults.retransmits, 0);
+    assert_eq!(legacy[0].faults.healed, 0);
+    assert_eq!(legacy[0].faults.giveups, 0);
+}
+
+#[test]
 fn corrupted_checkpoint_is_rejected_on_load() {
     let cfg = ModelConfig::tiny();
     let m = Model::new(cfg, 99);
