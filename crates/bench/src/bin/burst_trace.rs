@@ -13,8 +13,17 @@
 //! ```text
 //! cargo run -p burst-bench --bin burst-trace -- \
 //!     --seq 2048 --d 64 --nodes 2 --gpn 4 --out target/burst-trace \
-//!     [--fault] [--transport]
+//!     [--fault] [--transport] [--baseline baselines/BENCH_e2e.json]
 //! ```
+//!
+//! Every run also carries the per-rank **virtual-memory accountant**: each
+//! method's ledger is validated (balanced, leak-free), its per-category
+//! peak census lands in `BENCH_e2e.json`, and `mem/<category>` counter
+//! tracks ride next to the span timeline in the Perfetto export — which is
+//! streamed to disk through the O(step) incremental writer and checked
+//! byte-identical against the buffered serialization. With `--baseline`,
+//! the fresh report is gated against a committed one: a >10 % tokens/GPU/s
+//! drop or a >1 % gated peak-bytes rise on any lane exits non-zero.
 //!
 //! A second mode compares two exported timelines span-kind by span-kind —
 //! e.g. a clean run against a reliable-transport run of the same shape, to
@@ -29,8 +38,9 @@ use std::io::Write as _;
 use std::process::ExitCode;
 
 use burst_comm::obs::{
-    self, flame_text, to_perfetto, to_perfetto_grouped, E2eReport, MethodReport, PerfettoTrace,
-    RankTrace, Registry, SpanKind,
+    self, compare_to_baseline, flame_text, mem_counter_events, to_perfetto, to_perfetto_grouped,
+    validate_mem, E2eReport, MemReport, MethodReport, PerfettoTrace, RankTrace, Registry, SpanKind,
+    StreamingPerfettoWriter,
 };
 use burst_comm::{
     CommStats, DetectorCfg, FaultCounters, FaultPlan, Topology, TransportPolicy, World,
@@ -53,6 +63,7 @@ struct Args {
     out: String,
     fault: bool,
     transport: bool,
+    baseline: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -64,6 +75,7 @@ fn parse_args() -> Result<Args, String> {
         out: "target/burst-trace".to_string(),
         fault: false,
         transport: false,
+        baseline: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -87,6 +99,7 @@ fn parse_args() -> Result<Args, String> {
             "--out" => args.out = value("--out")?,
             "--fault" => args.fault = true,
             "--transport" => args.transport = true,
+            "--baseline" => args.baseline = Some(value("--baseline")?),
             other => return Err(format!("unknown flag `{other}`")),
         }
         i += 1;
@@ -101,11 +114,13 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// One method's run: per-rank traces plus the per-rank comm/fault counters.
+/// One method's run: per-rank traces plus the per-rank comm/fault counters
+/// and the finished per-rank memory ledgers.
 struct MethodRun {
     traces: Vec<RankTrace>,
     stats: Vec<CommStats>,
     faults: Vec<FaultCounters>,
+    mem: Vec<MemReport>,
 }
 
 fn run_method(algo: Algo, topo: &Topology, seq: usize, d: usize) -> MethodRun {
@@ -128,18 +143,22 @@ fn run_method(algo: Algo, topo: &Topology, seq: usize, d: usize) -> MethodRun {
             grad_o.gather_rows(&idx),
         );
         comm.start_trace();
+        comm.start_mem_accounting();
         run_attention(
             algo, comm, &ql, &kl, &vl, &dol, scale, &mask, layout, seq, &cost,
         );
+        comm.take_mem_report().expect("accounting was on")
     });
     let mut run = MethodRun {
         traces: Vec::with_capacity(g),
         stats: Vec::with_capacity(g),
         faults: Vec::with_capacity(g),
+        mem: Vec::with_capacity(g),
     };
     for o in outs {
         run.stats.push(o.stats);
         run.faults.push(o.faults);
+        run.mem.push(o.result);
         run.traces
             .push(o.trace.expect("tracing was on; world must return a trace"));
     }
@@ -310,6 +329,7 @@ fn traced_attention(
             grad_o.gather_rows(&idx),
         );
         comm.start_trace();
+        comm.start_mem_accounting();
         let (o, lse, dq, dk, dv) = run_attention(
             Algo::BurstTopo,
             comm,
@@ -327,16 +347,20 @@ fn traced_attention(
         flat.extend_from_slice(dq.as_slice());
         flat.extend_from_slice(dk.as_slice());
         flat.extend_from_slice(dv.as_slice());
-        (flat, lse)
+        let mem = comm.take_mem_report().expect("accounting was on");
+        ((flat, lse), mem)
     });
     let mut run = MethodRun {
         traces: Vec::with_capacity(g),
         stats: Vec::with_capacity(g),
         faults: Vec::with_capacity(g),
+        mem: Vec::with_capacity(g),
     };
     let mut values = Vec::with_capacity(g);
     for o in outs {
-        values.push(o.result);
+        let (vals, mem) = o.result;
+        values.push(vals);
+        run.mem.push(mem);
         run.stats.push(o.stats);
         run.faults.push(o.faults);
         run.traces
@@ -381,6 +405,14 @@ fn transport_demo(args: &Args, topo: &Topology, cluster: &Cluster) -> Result<(),
             return Err(format!(
                 "transport demo: rank {r} outputs are not bit-identical to the clean run"
             ));
+        }
+    }
+    // Both ledgers must balance: the reliable transport heals on the wire
+    // without leaking a single accounted buffer.
+    for (label, run) in [("clean", &clean), ("healed", &healed)] {
+        for m in &run.mem {
+            validate_mem(m)
+                .map_err(|e| format!("transport demo: {label} rank {} ledger: {e}", m.rank))?;
         }
     }
     // The clean comm census must not see the recovery traffic…
@@ -446,12 +478,26 @@ fn transport_demo(args: &Args, topo: &Topology, cluster: &Cluster) -> Result<(),
         census.bytes,
         r_intra + r_inter,
     );
-    let perfetto = to_perfetto(&healed.traces);
+    // Both timelines carry their memory counter tracks (pid = rank, the
+    // ungrouped convention), so `diff` can show where the recovery bytes
+    // landed — the retransmit queue lane — next to the span overhead.
+    let mut faulty_trace = to_perfetto(&healed.traces);
+    for m in &healed.mem {
+        faulty_trace
+            .traceEvents
+            .extend(mem_counter_events(m, m.rank as u64));
+    }
     let json =
-        serde_json::to_string_pretty(&perfetto).map_err(|e| format!("perfetto serde: {e}"))?;
+        serde_json::to_string_pretty(&faulty_trace).map_err(|e| format!("perfetto serde: {e}"))?;
     write_file(&args.out, "trace.transport.perfetto.json", &json)?;
-    let clean_json = serde_json::to_string_pretty(&to_perfetto(&clean.traces))
-        .map_err(|e| format!("perfetto serde: {e}"))?;
+    let mut clean_trace = to_perfetto(&clean.traces);
+    for m in &clean.mem {
+        clean_trace
+            .traceEvents
+            .extend(mem_counter_events(m, m.rank as u64));
+    }
+    let clean_json =
+        serde_json::to_string_pretty(&clean_trace).map_err(|e| format!("perfetto serde: {e}"))?;
     write_file(&args.out, "trace.clean.perfetto.json", &clean_json)?;
     let census_json =
         serde_json::to_string_pretty(&census).map_err(|e| format!("census serde: {e}"))?;
@@ -467,7 +513,7 @@ fn transport_demo(args: &Args, topo: &Topology, cluster: &Cluster) -> Result<(),
 fn span_census(trace: &PerfettoTrace) -> BTreeMap<String, (u64, f64)> {
     let mut census: BTreeMap<String, (u64, f64)> = BTreeMap::new();
     for e in &trace.traceEvents {
-        if e.cat == "__metadata" {
+        if e.cat == "__metadata" || e.ph == "C" {
             continue;
         }
         let entry = census.entry(e.cat.clone()).or_insert((0, 0.0));
@@ -477,16 +523,36 @@ fn span_census(trace: &PerfettoTrace) -> BTreeMap<String, (u64, f64)> {
     census
 }
 
+/// Per-category peak-bytes census of an exported timeline's `mem/…`
+/// counter tracks: the maximum sampled value of each counter across all
+/// pids — i.e. the worst single rank, the same convention as
+/// `peak_census`.
+fn mem_peak_census(trace: &PerfettoTrace) -> BTreeMap<String, u64> {
+    let mut census: BTreeMap<String, u64> = BTreeMap::new();
+    for e in &trace.traceEvents {
+        if e.ph != "C" || e.cat != "mem" {
+            continue;
+        }
+        let peak = census.entry(e.name.clone()).or_insert(0);
+        *peak = (*peak).max(e.args.value as u64);
+    }
+    census
+}
+
 /// `burst-trace diff a.json b.json`: per-span-kind count and duration
 /// deltas between two exported timelines — e.g. a clean run against a
 /// reliable-transport run, where the delta *is* the recovery overhead.
+/// When either timeline carries memory counter tracks, a second table
+/// shows the per-category peak-bytes deltas.
 fn run_diff(path_a: &str, path_b: &str) -> Result<(), String> {
     let load = |path: &str| -> Result<PerfettoTrace, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         serde_json::from_str(&text).map_err(|e| format!("{path}: not a perfetto trace: {e}"))
     };
-    let a = span_census(&load(path_a)?);
-    let b = span_census(&load(path_b)?);
+    let trace_a = load(path_a)?;
+    let trace_b = load(path_b)?;
+    let a = span_census(&trace_a);
+    let b = span_census(&trace_b);
     let kinds: Vec<&String> = {
         let mut k: Vec<&String> = a.keys().chain(b.keys()).collect();
         k.sort_unstable();
@@ -521,6 +587,37 @@ fn run_diff(path_a: &str, path_b: &str) -> Result<(), String> {
         db.1,
         db.1 - da.1,
     );
+    let ma = mem_peak_census(&trace_a);
+    let mb = mem_peak_census(&trace_b);
+    if !ma.is_empty() || !mb.is_empty() {
+        let lanes: Vec<&String> = {
+            let mut k: Vec<&String> = ma.keys().chain(mb.keys()).collect();
+            k.sort_unstable();
+            k.dedup();
+            k
+        };
+        println!();
+        println!(
+            "{:<18} {:>14} {:>14} {:>15}",
+            "peak", "bytes(a)", "bytes(b)", "Δbytes"
+        );
+        let (mut ta, mut tb) = (0u64, 0u64);
+        for lane in lanes {
+            let pa = ma.get(lane).copied().unwrap_or(0);
+            let pb = mb.get(lane).copied().unwrap_or(0);
+            ta += pa;
+            tb += pb;
+            println!(
+                "{lane:<18} {pa:>14} {pb:>14} {:>+15}",
+                pb as i64 - pa as i64
+            );
+        }
+        println!(
+            "{:<18} {ta:>14} {tb:>14} {:>+15}",
+            "total",
+            tb as i64 - ta as i64
+        );
+    }
     Ok(())
 }
 
@@ -549,6 +646,7 @@ fn run(args: &Args) -> Result<(), String> {
     std::fs::create_dir_all(&args.out).map_err(|e| format!("mkdir {}: {e}", args.out))?;
     let mut report = E2eReport::new(args.nodes, args.gpn, args.seq, args.d);
     let mut groups: Vec<(String, Vec<RankTrace>)> = Vec::new();
+    let mut mem_groups: Vec<Vec<MemReport>> = Vec::new();
     let mut flame = String::new();
     let mut metrics = Registry::new();
 
@@ -563,6 +661,15 @@ fn run(args: &Args) -> Result<(), String> {
                 ));
             }
         }
+        for m in &run.mem {
+            validate_mem(m).map_err(|e| format!("{name} rank {} ledger: {e}", m.rank))?;
+            if !m.warnings.is_empty() || m.live_at_close != 0 {
+                return Err(format!(
+                    "{name} rank {} leaked {} B on a healthy run: {:?}",
+                    m.rank, m.live_at_close, m.warnings
+                ));
+            }
+        }
         let predicted = exact_wire_counts(&cluster, args.seq, args.d, ring_method).secs(&cluster);
         let m = MethodReport::from_traces(
             name,
@@ -572,16 +679,18 @@ fn run(args: &Args) -> Result<(), String> {
             cluster.peak_flops,
             predicted,
             table1_secs,
-        );
+        )
+        .with_mem(&run.mem);
         println!(
             "{name:>12}: makespan {:.6}s  overlap {:.3}  mfu {:.4}  \
-             comm {:.6}s (predicted {:.6}s, rel err {:.5})",
+             comm {:.6}s (predicted {:.6}s, rel err {:.5})  peak {:.3} MB gated",
             m.makespan_secs,
             m.overlap_efficiency,
             m.mfu,
             m.comm_measured_secs,
             m.comm_predicted_secs,
-            m.comm_rel_err
+            m.comm_rel_err,
+            m.peak.gated_total as f64 / 1e6,
         );
         if m.comm_rel_err > MAX_COMM_REL_ERR {
             return Err(format!(
@@ -599,13 +708,23 @@ fn run(args: &Args) -> Result<(), String> {
         flame.push_str(&flame_text(&run.traces));
         flame.push('\n');
         groups.push((name.to_string(), run.traces));
+        mem_groups.push(run.mem);
     }
 
     report
         .validate_schema()
         .map_err(|e| format!("BENCH_e2e.json schema: {e}"))?;
 
-    let perfetto = to_perfetto_grouped(&groups);
+    let mut perfetto = to_perfetto_grouped(&groups);
+    // Memory counter tracks ride next to each method's span timeline on
+    // the same pid grid (`pid = group * 100 + rank`).
+    for (g, mems) in mem_groups.iter().enumerate() {
+        for m in mems {
+            perfetto
+                .traceEvents
+                .extend(mem_counter_events(m, (g as u64) * 100 + m.rank as u64));
+        }
+    }
     let perfetto_json =
         serde_json::to_string_pretty(&perfetto).map_err(|e| format!("perfetto serde: {e}"))?;
     let back: PerfettoTrace =
@@ -614,7 +733,23 @@ fn run(args: &Args) -> Result<(), String> {
         return Err("perfetto trace does not round-trip through serde".to_string());
     }
 
-    write_file(&args.out, "trace.perfetto.json", &perfetto_json)?;
+    // The timeline goes to disk through the O(step) streaming writer; the
+    // buffered serialization above only exists to prove — on every single
+    // run — that the streamed document is byte-identical to it.
+    let high_water = stream_trace_file(&args.out, "trace.perfetto.json", &perfetto)?;
+    let streamed_path = std::path::Path::new(&args.out).join("trace.perfetto.json");
+    let streamed = std::fs::read_to_string(&streamed_path)
+        .map_err(|e| format!("{}: {e}", streamed_path.display()))?;
+    if streamed != perfetto_json {
+        return Err(
+            "streamed perfetto export diverges from the buffered serialization".to_string(),
+        );
+    }
+    println!(
+        "streaming export: {} events, {} B document, {high_water} B writer high-water",
+        perfetto.traceEvents.len(),
+        perfetto_json.len(),
+    );
     let report_json =
         serde_json::to_string_pretty(&report).map_err(|e| format!("report serde: {e}"))?;
     write_file(&args.out, "BENCH_e2e.json", &report_json)?;
@@ -628,6 +763,26 @@ fn run(args: &Args) -> Result<(), String> {
         args.out
     );
 
+    if let Some(path) = &args.baseline {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let baseline: E2eReport =
+            serde_json::from_str(&text).map_err(|e| format!("{path}: not an e2e report: {e}"))?;
+        let violations = compare_to_baseline(&report, &baseline);
+        if !violations.is_empty() {
+            for v in &violations {
+                eprintln!("baseline regression: {v}");
+            }
+            return Err(format!(
+                "{} perf-trajectory violation(s) against {path}",
+                violations.len()
+            ));
+        }
+        println!(
+            "baseline gate: ok — {} methods within bands against {path}",
+            report.methods.len()
+        );
+    }
+
     if args.fault {
         fault_demo(&topo, args.seq, args.d)?;
     }
@@ -638,6 +793,21 @@ fn run(args: &Args) -> Result<(), String> {
         transport_demo(args, &topo, &cluster)?;
     }
     Ok(())
+}
+
+/// Stream a Perfetto trace to `dir/name` event by event (O(step) resident
+/// memory). Returns the writer's high-water mark in bytes.
+fn stream_trace_file(dir: &str, name: &str, trace: &PerfettoTrace) -> Result<usize, String> {
+    let path = std::path::Path::new(dir).join(name);
+    let file = std::fs::File::create(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut w = StreamingPerfettoWriter::pretty(std::io::BufWriter::new(file));
+    for e in &trace.traceEvents {
+        w.write_event(e)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+    }
+    let high_water = w.high_water_bytes();
+    w.finish().map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(high_water)
 }
 
 fn write_file(dir: &str, name: &str, content: &str) -> Result<(), String> {
@@ -670,7 +840,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "burst-trace: {e}\nusage: burst-trace [--seq N] [--d D] \
                  [--nodes N] [--gpn G] [--out DIR] [--fault] [--transport] \
-                 | burst-trace diff <a.json> <b.json>"
+                 [--baseline FILE] | burst-trace diff <a.json> <b.json>"
             );
             return ExitCode::FAILURE;
         }

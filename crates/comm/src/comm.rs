@@ -7,7 +7,9 @@ use crate::stats::{CommStats, FaultCounters};
 use crate::topology::{Topology, WireDtype};
 use crate::trace::TraceEvent;
 use crate::transport::FailureDetector;
-use burst_obs::{RankSink, RankTrace, SpanKind, DEFAULT_SPAN_CAPACITY};
+use burst_obs::{
+    MemCategory, MemId, MemLedger, MemReport, RankSink, RankTrace, SpanKind, DEFAULT_SPAN_CAPACITY,
+};
 use burst_tensor::{Bf16Mat, Mat};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use std::time::Duration;
@@ -211,6 +213,15 @@ pub struct Communicator {
     /// sink never touches the virtual clock, so enabling it is
     /// bit-identical to running without it).
     obs: Option<RankSink>,
+    /// Virtual-memory accountant (`None` = accounting off). Like `obs`, a
+    /// pure observer of the virtual clock: hooks record buffer lifetimes
+    /// but never advance time, so accounting on is bit-identical to off.
+    mem: Option<MemLedger>,
+    /// LIFO stack of open checkpoint-stash entries: the model layer pushes
+    /// one entry per stored block in the forward and pops in reverse block
+    /// order during the backward, without threading ledger ids through the
+    /// checkpointing data structures.
+    mem_stash: Vec<MemId>,
     fault: Option<FaultPlan>,
     /// Injected-fault firing counters (always on; zero on a healthy run).
     pub(crate) faults: FaultCounters,
@@ -277,6 +288,8 @@ impl Communicator {
             nic_free: 0.0,
             stats: CommStats::default(),
             obs: None,
+            mem: None,
+            mem_stash: Vec::new(),
             fault,
             faults: FaultCounters::default(),
             crash_fired: false,
@@ -339,6 +352,96 @@ impl Communicator {
                 _ => None,
             })
             .collect()
+    }
+
+    /// Start the per-rank virtual-memory accountant (see
+    /// [`burst_obs::mem`]). Off by default; strictly an observer of the
+    /// virtual clock.
+    pub fn start_mem_accounting(&mut self) {
+        self.mem = Some(MemLedger::new(self.rank));
+        self.mem_stash.clear();
+    }
+
+    /// Whether memory accounting is active.
+    #[inline]
+    pub fn mem_accounting(&self) -> bool {
+        self.mem.is_some()
+    }
+
+    /// Stop accounting and return the finished ledger, force-closing (with
+    /// warnings) any interval still open — on a crashed rank this is what
+    /// keeps the ledger balanced (allocation == free + live-at-crash).
+    /// `None` if accounting was off.
+    pub fn take_mem_report(&mut self) -> Option<MemReport> {
+        let clock = self.clock;
+        // Ids index into the ledger being taken; a crashed pass's leftovers
+        // are force-closed by `finish`, so the stack must not leak into a
+        // future ledger.
+        self.mem_stash.clear();
+        self.mem.take().map(|m| m.finish(clock))
+    }
+
+    /// Register a named buffer of `bytes` becoming live now. No-op (and
+    /// `None`) when accounting is off; never touches the clock.
+    pub fn mem_alloc(&mut self, name: &str, cat: MemCategory, bytes: u64) -> Option<MemId> {
+        let clock = self.clock;
+        self.mem.as_mut().map(|m| m.alloc(name, cat, bytes, clock))
+    }
+
+    /// Close a ledger entry opened by [`Communicator::mem_alloc`]. Accepts
+    /// the `Option` handle directly so call sites stay one line.
+    pub fn mem_free(&mut self, id: Option<MemId>) {
+        if let (Some(m), Some(id)) = (self.mem.as_mut(), id) {
+            m.free(id, self.clock);
+        }
+    }
+
+    /// Open a checkpoint-stash entry and push it on the stash stack. The
+    /// model's checkpointing code stores per-block stashes in forward order
+    /// and consumes them in reverse, so LIFO pairing frees the right entry
+    /// without the `Stored` structures carrying ledger ids. No-op when
+    /// accounting is off.
+    pub fn mem_stash_push(&mut self, bytes: u64) {
+        if let Some(id) = self.mem_alloc("ckpt_stash", MemCategory::CkptStash, bytes) {
+            self.mem_stash.push(id);
+        }
+    }
+
+    /// Close the most recently opened, still-open stash entry. No-op when
+    /// accounting is off or the stack is empty (a crashed pass's leftovers
+    /// are force-closed by [`Communicator::take_mem_report`] instead).
+    pub fn mem_stash_pop(&mut self) {
+        let id = self.mem_stash.pop();
+        self.mem_free(id);
+    }
+
+    /// Raise the (ungated) workspace lane's high-water mark to at least
+    /// `bytes` — called with a scratch allocator's resident size at the
+    /// end of a pass.
+    pub fn mem_note_workspace(&mut self, bytes: u64) {
+        if let Some(m) = self.mem.as_mut() {
+            m.note_peak(MemCategory::Workspace, bytes);
+        }
+    }
+
+    /// `(len, capacity)` of the ledger's entry vector — the zero-churn
+    /// steady-state contract compares this across rounds.
+    pub fn mem_fingerprint(&self) -> Option<(usize, usize)> {
+        self.mem.as_ref().map(MemLedger::fingerprint)
+    }
+
+    /// Current live bytes on one accountant lane (0 when accounting is off).
+    pub fn mem_cur(&self, cat: MemCategory) -> u64 {
+        self.mem.as_ref().map_or(0, |m| m.cur(cat))
+    }
+
+    /// Bytes `elems` matrix elements occupy at the topology's wire dtype —
+    /// the rate communication buffers are billed at (a bf16 wire halves
+    /// the circulating ring-buffer footprint, exactly as a real bf16 comm
+    /// buffer would).
+    #[inline]
+    pub fn mem_wire_bytes(&self, elems: usize) -> u64 {
+        self.topo.wire_bytes(elems) as u64
     }
 
     /// Stop tracing and return the full per-rank span tree, force-closing
@@ -699,6 +802,19 @@ impl Communicator {
                         );
                     }
                     resend_gate = depart + tp.rto(attempt, self.rank, dst, msg_index);
+                    if let Some(mem) = &mut self.mem {
+                        // The transport holds the payload for the re-send:
+                        // queued bytes from the (constant-clock) post until
+                        // the next attempt may depart. Charged at the post
+                        // clock so lane charge times stay monotone.
+                        let clock = self.clock;
+                        mem.charge_until(
+                            MemCategory::RetransQueue,
+                            bytes as u64,
+                            clock,
+                            resend_gate,
+                        );
+                    }
                     attempt += 1;
                     continue;
                 }
@@ -798,6 +914,15 @@ impl Communicator {
                 elems as u64,
                 inter,
             );
+        }
+        if let Some(mem) = &mut self.mem {
+            // Sender-side in-flight occupancy: the sender owns the payload
+            // from post until delivery, `[clock, arrival)`. Lane-only — no
+            // ledger entry — so steady-state rounds append nothing; charged
+            // at the post clock, which is monotone per rank, so the lane
+            // peak is the exact peak of its step function.
+            let clock = self.clock;
+            mem.charge_until(MemCategory::InFlight, bytes as u64, clock, arrival);
         }
         self.tx[dst]
             .send(Msg {

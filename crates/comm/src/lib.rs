@@ -53,4 +53,6 @@ pub use world::{RankOutput, World};
 /// The observability layer the communicator records into (re-exported so
 /// downstream crates can name span kinds without a direct `burst-obs` dep).
 pub use burst_obs as obs;
-pub use burst_obs::{RankSink, RankTrace, SpanKind};
+pub use burst_obs::{
+    MemCategory, MemId, MemLedger, MemReport, PeakBytes, RankSink, RankTrace, SpanKind,
+};

@@ -4,7 +4,7 @@ use crate::comm::{Communicator, Msg};
 use crate::fault::{CommError, FaultPlan};
 use crate::stats::{CommStats, FaultCounters};
 use crate::topology::Topology;
-use burst_obs::RankTrace;
+use burst_obs::{MemReport, RankTrace};
 use crossbeam::channel::unbounded;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -24,6 +24,12 @@ pub struct RankOutput<R> {
     /// crashed rank any spans left open are force-closed at crash time
     /// (with warnings), so faulty timelines stay renderable.
     pub trace: Option<RankTrace>,
+    /// The rank's memory ledger, if the closure called
+    /// [`Communicator::start_mem_accounting`] and did not consume it
+    /// itself. On a crashed rank any intervals left open are force-closed
+    /// at crash time (with warnings), so even a crashed rank's ledger
+    /// balances: allocated == freed + live-at-crash.
+    pub mem: Option<MemReport>,
 }
 
 /// A simulated cluster described by a [`Topology`], optionally carrying a
@@ -125,6 +131,7 @@ impl World {
                             faults: comm.fault_counters(),
                             time: comm.time(),
                             trace: comm.take_rank_trace(),
+                            mem: comm.take_mem_report(),
                         }
                     })
                 })
@@ -181,6 +188,7 @@ impl World {
                                 faults: comm.fault_counters(),
                                 time: comm.time(),
                                 trace: comm.take_rank_trace(),
+                                mem: comm.take_mem_report(),
                             },
                             Err(payload) => {
                                 let err = match payload.downcast::<E>() {
@@ -207,7 +215,10 @@ impl World {
                                 // channels for the surviving peers. Spans
                                 // the crashed rank never closed are force-
                                 // closed at its final clock inside
-                                // `take_rank_trace`, with one warning each.
+                                // `take_rank_trace`, with one warning each;
+                                // the memory ledger gets the same treatment
+                                // in `take_mem_report`, so a crashed rank's
+                                // ledger still balances.
                                 RankOutput {
                                     rank,
                                     result: Err(err),
@@ -215,6 +226,7 @@ impl World {
                                     faults: comm.fault_counters(),
                                     time: comm.time(),
                                     trace: comm.take_rank_trace(),
+                                    mem: comm.take_mem_report(),
                                 }
                             }
                         }

@@ -30,7 +30,7 @@
 //! heap allocations in the tile-compute path.
 
 use crate::ring::{escalate_attn, AttnFailure, AttnShard, BackwardInputs, DistAttnOut, Phase};
-use burst_comm::{Communicator, SpanKind, Topology};
+use burst_comm::{Communicator, MemCategory, SpanKind, Topology};
 use burst_kernels::{attn_tile_backward, attn_tile_backward_acc, flash_forward_acc, KernelWork};
 use burst_tensor::{Mat, Scratch};
 
@@ -186,6 +186,25 @@ pub fn try_double_ring_forward_on(
     let mut acc_lse = vec![f32::NEG_INFINITY; shard.q.rows()];
     let mut scratch = Scratch::new();
     let mut work = KernelWork::default();
+    // Pass-scoped accountant entries: the persistent accumulators plus one
+    // steady-state (K, V) slot per active ring level — the inter-node start
+    // bundle and the intra-node current bundle circulate concurrently.
+    let mem_acc = comm.mem_alloc(
+        "dr_fwd_acc",
+        MemCategory::Activations,
+        (acc_o.nbytes() + 4 * acc_lse.len()) as u64,
+    );
+    let kv_wire = comm.mem_wire_bytes(shard.k.len() + shard.v.len());
+    let mem_start = if nodes > 1 {
+        comm.mem_alloc("dr_fwd_start_kv", MemCategory::CommBuffers, kv_wire)
+    } else {
+        None
+    };
+    let mem_cur = if gpn > 1 {
+        comm.mem_alloc("dr_fwd_cur_kv", MemCategory::CommBuffers, kv_wire)
+    } else {
+        None
+    };
 
     // `None` start bundle = outer round 0, read the local shard in place;
     // `None` current bundle = inner step 0, read the start bundle in place.
@@ -247,6 +266,10 @@ pub fn try_double_ring_forward_on(
             start_src = spec.peer_prev_node(start_src);
         }
     }
+    comm.mem_note_workspace(scratch.resident_bytes());
+    comm.mem_free(mem_cur);
+    comm.mem_free(mem_start);
+    comm.mem_free(mem_acc);
     Ok(DistAttnOut {
         o: acc_o,
         lse: acc_lse,
@@ -309,6 +332,20 @@ pub fn try_double_ring_backward_alg1_on(
     let mut cur_dv = Mat::zeros(shard.v.rows(), shard.v.cols());
     let mut scratch = Scratch::new();
     let mut src = me;
+    // Pass-scoped accountant entries: the ∇Q accumulator and — when the
+    // ring circulates — Algorithm 1's fused (K, V, ∇K, ∇V) bundle. No early
+    // posts here, so a single slot covers both ring levels.
+    let mem_dq = comm.mem_alloc(
+        "dr_bwd_dq",
+        MemCategory::Activations,
+        grad_q.nbytes() as u64,
+    );
+    let bundle_wire = comm.mem_wire_bytes(2 * (shard.k.len() + shard.v.len()));
+    let mem_bundle = if g > 1 {
+        comm.mem_alloc("dr_bwd_kv_grads", MemCategory::CommBuffers, bundle_wire)
+    } else {
+        None
+    };
 
     for outer in 0..nodes {
         for inner in 0..gpn {
@@ -388,6 +425,9 @@ pub fn try_double_ring_backward_alg1_on(
     }
     comm.span_end();
     debug_assert_eq!(src, me, "alg1 completion must deliver home");
+    comm.mem_note_workspace(scratch.resident_bytes());
+    comm.mem_free(mem_bundle);
+    comm.mem_free(mem_dq);
     Ok((grad_q, cur_dk, cur_dv))
 }
 
@@ -463,6 +503,34 @@ pub fn try_double_ring_backward_alg2_on(
         comm.advance_compute(shard.cost.attn_bwd_secs(w.pairs, d));
         return Ok((dq, dk, dv));
     }
+
+    // Pass-scoped accountant entries: ∇K/∇V accumulators and the per-round
+    // ∇Q staging buffer, plus one read-only-bundle slot per active ring
+    // level and one slot for the ∇Q partial riding one step behind.
+    let mem_dkv = comm.mem_alloc(
+        "dr_bwd_dkv",
+        MemCategory::Activations,
+        (grad_k.nbytes() + grad_v.nbytes()) as u64,
+    );
+    let mem_dq_buf = comm.mem_alloc(
+        "dr_bwd_dq_buf",
+        MemCategory::Activations,
+        shard.q.nbytes() as u64,
+    );
+    let ro_wire = comm.mem_wire_bytes(shard.q.len() + back.grad_o.len())
+        + 4 * (back.lse.len() + d_vec.len()) as u64;
+    let mem_start = if nodes > 1 {
+        comm.mem_alloc("dr_bwd_start_bundle", MemCategory::CommBuffers, ro_wire)
+    } else {
+        None
+    };
+    let mem_cur = if gpn > 1 {
+        comm.mem_alloc("dr_bwd_cur_bundle", MemCategory::CommBuffers, ro_wire)
+    } else {
+        None
+    };
+    let dq_wire = comm.mem_wire_bytes(shard.q.len());
+    let mem_dq_ring = comm.mem_alloc("dr_dq_ring", MemCategory::CommBuffers, dq_wire);
 
     // The rank that processes a bundle right after us when crossing nodes,
     // and the one that processed it right before us.
@@ -570,6 +638,12 @@ pub fn try_double_ring_backward_alg2_on(
         .try_recv_mat(diag_prev)
         .map_err(AttnFailure::at(Phase::Backward, nodes * gpn - 1))?;
     comm.span_end();
+    comm.mem_note_workspace(scratch.resident_bytes());
+    comm.mem_free(mem_dq_ring);
+    comm.mem_free(mem_cur);
+    comm.mem_free(mem_start);
+    comm.mem_free(mem_dq_buf);
+    comm.mem_free(mem_dkv);
     Ok((grad_q, grad_k, grad_v))
 }
 

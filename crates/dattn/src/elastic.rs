@@ -25,7 +25,8 @@ use crate::ring::{
     try_burst_backward, try_ring_forward, AttnFailure, AttnShard, BackwardInputs, OverlapMode, Ring,
 };
 use burst_comm::{
-    agree_on_eviction, send_abort, CommError, Communicator, Membership, RetryPolicy, SpanKind,
+    agree_on_eviction, send_abort, CommError, Communicator, MemCategory, MemId, Membership,
+    RetryPolicy, SpanKind,
 };
 use burst_kernels::AttnMask;
 use burst_tensor::Mat;
@@ -222,6 +223,16 @@ pub fn try_elastic_attention_opts(
         "rank {me}: elastic attention on an evicted rank"
     );
     let local: ShardData = (q.clone(), k.clone(), v.clone(), grad_o.clone());
+    // Accountant entries that live across attempts: the cloned local shard
+    // (checkpoint-shaped recovery data) plus every peer shard loaded into
+    // the cache. Closed on every surviving exit path; a rank that dies
+    // mid-call leaves them open, and the ledger's force-close at crash time
+    // keeps its books balanced.
+    let mut mem_open: Vec<Option<MemId>> = vec![comm.mem_alloc(
+        "elastic_local_stash",
+        MemCategory::CkptStash,
+        (local.0.nbytes() + local.1.nbytes() + local.2.nbytes() + local.3.nbytes()) as u64,
+    )];
     let my_orig_idx = layout.indices(seq_len, orig_world, me);
     let mut cache: HashMap<usize, ShardData> = HashMap::new();
     let mut loads = 0usize;
@@ -236,6 +247,7 @@ pub fn try_elastic_attention_opts(
         // First attempt on the full world runs straight off the caller's
         // borrowed shard; any shrunken ring — or a warm-starting joiner
         // whose local buffers are stale — re-assembles its partition.
+        let cached_before: Vec<usize> = cache.keys().copied().collect();
         let (shard_data, idx) = if members.len() == orig_world && !opts.warm_start {
             (None, my_orig_idx.clone())
         } else {
@@ -254,6 +266,28 @@ pub fn try_elastic_attention_opts(
             );
             (Some(data), idx)
         };
+        // Bill this attempt's cache growth (shards newly loaded from
+        // checkpoint; they stay resident for later attempts) and the
+        // rebuilt partition itself (dropped when the attempt ends).
+        let fresh_bytes: usize = cache
+            .iter()
+            .filter(|(owner, _)| !cached_before.contains(owner))
+            .map(|(_, s)| s.0.nbytes() + s.1.nbytes() + s.2.nbytes() + s.3.nbytes())
+            .sum();
+        if fresh_bytes > 0 {
+            mem_open.push(comm.mem_alloc(
+                "elastic_shard_cache",
+                MemCategory::CkptStash,
+                fresh_bytes as u64,
+            ));
+        }
+        let mem_rebuilt = shard_data.as_ref().map(|s| {
+            comm.mem_alloc(
+                "elastic_rebuilt_shard",
+                MemCategory::RingShards,
+                (s.0.nbytes() + s.1.nbytes() + s.2.nbytes() + s.3.nbytes()) as u64,
+            )
+        });
         let (sq, sk, sv, sgo): (&Mat, &Mat, &Mat, &Mat) = match &shard_data {
             Some((a, b, c, d)) => (a, b, c, d),
             None => (q, k, v, grad_o),
@@ -315,6 +349,7 @@ pub fn try_elastic_attention_opts(
         // Settle the span stack: closes the replay span and any round span
         // a failure left open via `?`.
         comm.span_unwind(span_depth);
+        comm.mem_free(mem_rebuilt.flatten());
         let my_suspects = match &result {
             Ok(_) => Vec::new(),
             Err(e) => {
@@ -335,6 +370,9 @@ pub fn try_elastic_attention_opts(
             // The agreement parked this rank — it sat on the minority side
             // of a split and lost the quorum. Surface it as a self-eviction
             // so the caller parks instead of retrying on a ring it left.
+            for id in mem_open.drain(..) {
+                comm.mem_free(id);
+            }
             return Err(AttnFailure::from(CommError::Evicted {
                 rank: me,
                 epoch: outcome.epoch,
@@ -343,6 +381,9 @@ pub fn try_elastic_attention_opts(
             }));
         }
         if outcome.evicted.is_empty() {
+            for id in mem_open.drain(..) {
+                comm.mem_free(id);
+            }
             match result {
                 Ok((fwd, dq, dk, dv)) => {
                     return Ok(ElasticAttnOut {
@@ -366,6 +407,9 @@ pub fn try_elastic_attention_opts(
         }
         evicted_all.extend(outcome.evicted);
         last_err = result.err();
+    }
+    for id in mem_open.drain(..) {
+        comm.mem_free(id);
     }
     Err(last_err.unwrap_or_else(|| {
         AttnFailure::from(CommError::Panicked {

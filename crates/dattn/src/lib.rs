@@ -47,7 +47,7 @@ pub use ring::{
     Ring,
 };
 
-use burst_comm::{CommError, Communicator};
+use burst_comm::{CommError, Communicator, MemCategory};
 use burst_kernels::AttnMask;
 use burst_tensor::Mat;
 use ulysses::UlyssesError;
@@ -167,11 +167,25 @@ pub fn try_run_attention(
         cost: *cost,
         max_token: None,
     };
+    // The rank's resident sequence shards — Q, K, V and ∇O, f32 on device —
+    // live for the whole forward+backward call.
+    let mem_inputs = comm.mem_alloc(
+        "attn_inputs",
+        MemCategory::RingShards,
+        (q.nbytes() + k.nbytes() + v.nbytes() + grad_o.nbytes()) as u64,
+    );
     let ring = Ring::global(comm);
     let fwd = match algo {
         Algo::RingFlat | Algo::BurstFlat => try_ring_forward(comm, &ring, &shard)?,
         Algo::DoubleRing | Algo::BurstTopo => double_ring::try_double_ring_forward(comm, &shard)?,
     };
+    // The forward's (O, Lse) outputs stay live through the backward (the
+    // schedule's own accumulator entry closed when it returned them).
+    let mem_out = comm.mem_alloc(
+        "attn_fwd_out",
+        MemCategory::Activations,
+        (fwd.o.nbytes() + 4 * fwd.lse.len()) as u64,
+    );
     let back = BackwardInputs {
         o: &fwd.o,
         lse: &fwd.lse,
@@ -183,5 +197,7 @@ pub fn try_run_attention(
         Algo::DoubleRing => double_ring::try_double_ring_backward_alg1(comm, &shard, &back)?,
         Algo::BurstTopo => double_ring::try_double_ring_backward_alg2(comm, &shard, &back)?,
     };
+    comm.mem_free(mem_out);
+    comm.mem_free(mem_inputs);
     Ok((fwd.o, fwd.lse, dq, dk, dv))
 }

@@ -27,7 +27,7 @@
 
 use crate::cost::CostModel;
 use crate::layout::Layout;
-use burst_comm::{CommError, Communicator, SpanKind};
+use burst_comm::{CommError, Communicator, MemCategory, SpanKind};
 use burst_kernels::{
     attn_tile_backward, attn_tile_backward_acc, flash_forward_acc, AttnMask, KernelWork,
 };
@@ -271,6 +271,21 @@ pub fn try_ring_forward(
     let mut acc_lse = vec![f32::NEG_INFINITY; shard.q.rows()];
     let mut scratch = Scratch::new();
     let mut work = KernelWork::default();
+    // Accountant entries for the pass: the persistent (O, Lse) accumulators
+    // and — when the ring actually circulates — one steady-state slot for
+    // the received (K, V) bundle, billed at the wire dtype. Registered once
+    // per pass, so steady-state rounds append nothing to the ledger.
+    let mem_acc = comm.mem_alloc(
+        "ring_fwd_acc",
+        MemCategory::Activations,
+        (acc_o.nbytes() + 4 * acc_lse.len()) as u64,
+    );
+    let kv_wire = comm.mem_wire_bytes(shard.k.len() + shard.v.len());
+    let mem_kv = if g > 1 {
+        comm.mem_alloc("ring_fwd_kv", MemCategory::CommBuffers, kv_wire)
+    } else {
+        None
+    };
     // `None` means "round 0, read the local shard in place"; afterwards the
     // received partitions are owned ring buffers.
     let mut owned_kv: Option<(Mat, Mat)> = None;
@@ -313,6 +328,9 @@ pub fn try_ring_forward(
         }
         comm.span_end();
     }
+    comm.mem_note_workspace(scratch.resident_bytes());
+    comm.mem_free(mem_kv);
+    comm.mem_free(mem_acc);
     Ok(DistAttnOut {
         o: acc_o,
         lse: acc_lse,
@@ -370,6 +388,17 @@ pub fn try_ring_backward(
     }
     let mut grad_q = Mat::zeros(shard.q.rows(), shard.q.cols());
     let kidx_all: Vec<Vec<usize>> = (0..g).map(|p| shard.idx_at(g, p)).collect();
+    // Pass-scoped accountant entries: the local ∇Q accumulator, plus one
+    // steady-state slot for Algorithm 1's circulating (K, V, ∇K, ∇V)
+    // bundle at the wire dtype — twice the forward's traffic, the waste
+    // Algorithm 2 removes.
+    let mem_dq = comm.mem_alloc(
+        "ring_bwd_dq",
+        MemCategory::Activations,
+        grad_q.nbytes() as u64,
+    );
+    let bundle_wire = comm.mem_wire_bytes(2 * (shard.k.len() + shard.v.len()));
+    let mem_bundle = comm.mem_alloc("ring_bwd_kv_grads", MemCategory::CommBuffers, bundle_wire);
     // Round 0 reads the local K/V shard by reference; the circulating
     // gradient buffers start at zero and the tile kernel accumulates into
     // them (and into `grad_q`) in place, through one reused scratch — no
@@ -433,6 +462,9 @@ pub fn try_ring_backward(
     // After G hops everything is home: src wrapped to our own position and
     // the circulating buffers carry the fully reduced gradients of our K, V.
     debug_assert_eq!(src, ring.pos);
+    comm.mem_note_workspace(scratch.resident_bytes());
+    comm.mem_free(mem_bundle);
+    comm.mem_free(mem_dq);
     Ok((grad_q, cur_dk, cur_dv))
 }
 
@@ -494,6 +526,21 @@ pub fn try_burst_backward(
         return Ok((dq, dk, dv));
     }
 
+    // Pass-scoped accountant entries: the local ∇K/∇V accumulators, one
+    // steady-state slot for the circulating read-only bundle
+    // (Q, ∇O, Lse, D) — matrices at the wire dtype, softmax statistics as
+    // f32 — and one slot for the ∇Q partial riding the ring.
+    let mem_dkv = comm.mem_alloc(
+        "burst_bwd_dkv",
+        MemCategory::Activations,
+        (grad_k.nbytes() + grad_v.nbytes()) as u64,
+    );
+    let ro_wire = comm.mem_wire_bytes(shard.q.len() + back.grad_o.len())
+        + 4 * (back.lse.len() + d_vec.len()) as u64;
+    let mem_ro = comm.mem_alloc("burst_ro_bundle", MemCategory::CommBuffers, ro_wire);
+    let dq_wire = comm.mem_wire_bytes(shard.q.len());
+    let mem_dq_ring = comm.mem_alloc("burst_dq_ring", MemCategory::CommBuffers, dq_wire);
+
     match overlap {
         OverlapMode::Fine => {
             // Warm-up round: process our own bundle before any communication
@@ -506,6 +553,11 @@ pub fn try_burst_backward(
             let next = ring.next();
             let prev = ring.prev();
             let mut dq_buf = Mat::default();
+            let mem_dq_buf = comm.mem_alloc(
+                "burst_dq_buf",
+                MemCategory::Activations,
+                shard.q.nbytes() as u64,
+            );
             // Read-only parts depart before the warm-up compute; ∇Q follows
             // one round behind it.
             let at = AttnFailure::at(Phase::Backward, 0);
@@ -578,6 +630,11 @@ pub fn try_burst_backward(
                 .try_recv_mat(prev)
                 .map_err(AttnFailure::at(Phase::Backward, g - 1))?;
             comm.span_end();
+            comm.mem_note_workspace(scratch.resident_bytes());
+            comm.mem_free(mem_dq_buf);
+            comm.mem_free(mem_dq_ring);
+            comm.mem_free(mem_ro);
+            comm.mem_free(mem_dkv);
             Ok((grad_q, grad_k, grad_v))
         }
         OverlapMode::None => {
@@ -632,6 +689,10 @@ pub fn try_burst_backward(
                 }
                 comm.span_end();
             }
+            comm.mem_note_workspace(scratch.resident_bytes());
+            comm.mem_free(mem_dq_ring);
+            comm.mem_free(mem_ro);
+            comm.mem_free(mem_dkv);
             Ok((cur_dq, grad_k, grad_v))
         }
     }

@@ -12,7 +12,7 @@
 use crate::cost::CostModel;
 use crate::ring::{escalate_attn, AttnFailure, Phase};
 use crate::DattnError;
-use burst_comm::{CommError, Communicator, SpanKind};
+use burst_comm::{CommError, Communicator, MemCategory, MemId, SpanKind};
 use burst_kernels::{flash_backward, flash_forward, AttnMask};
 use burst_tensor::Mat;
 
@@ -58,7 +58,14 @@ pub(crate) fn try_group_all_to_all(
 ) -> Result<Vec<Mat>, CommError> {
     let depth = comm.span_depth();
     comm.span_begin(SpanKind::AttnRound, "a2a");
+    // Staging for the exchange: the outgoing blocks plus the equal-sized
+    // incoming set, live for the duration of the a2a, billed at the wire
+    // dtype. One hook covers Ulysses and USP.
+    let out_elems: usize = outgoing.iter().map(Mat::len).sum();
+    let staging = 2 * comm.mem_wire_bytes(out_elems);
+    let mem = comm.mem_alloc("a2a_staging", MemCategory::CommBuffers, staging);
     let res = a2a_inner(comm, members, outgoing);
+    comm.mem_free(mem);
     comm.span_unwind(depth);
     res
 }
@@ -113,6 +120,25 @@ pub struct UlyssesSaved {
     o: Vec<Mat>,
     lse: Vec<Vec<f32>>,
     heads_per_rank: usize,
+    /// Accountant handle for the stash: opened when the forward saves this
+    /// state, closed when the backward consumes it.
+    mem: Option<MemId>,
+}
+
+/// Bill the full-sequence saved state (Q, K, V, O as f32 plus Lse) as one
+/// checkpoint-stash entry spanning forward → backward.
+pub(crate) fn stash_entry(
+    comm: &mut Communicator,
+    name: &str,
+    q: &[Mat],
+    k: &[Mat],
+    v: &[Mat],
+    o: &[Mat],
+    lse: &[Vec<f32>],
+) -> Option<MemId> {
+    let mats: usize = q.iter().chain(k).chain(v).chain(o).map(Mat::nbytes).sum();
+    let vecs: usize = lse.iter().map(|l| 4 * l.len()).sum();
+    comm.mem_alloc(name, MemCategory::CkptStash, (mats + vecs) as u64)
 }
 
 /// Ulysses forward. `member_idx[p]` lists the global token indices of member
@@ -220,6 +246,15 @@ pub fn try_ulysses_forward(
         o_heads.extend(unbundle_heads(bundle, hpr));
         let _ = s;
     }
+    let mem = stash_entry(
+        comm,
+        "ulysses_saved",
+        &q_full,
+        &k_full,
+        &v_full,
+        &o_full,
+        &lse,
+    );
     Ok((
         o_heads,
         UlyssesSaved {
@@ -229,6 +264,7 @@ pub fn try_ulysses_forward(
             o: o_full,
             lse,
             heads_per_rank: hpr,
+            mem,
         },
     ))
 }
@@ -275,6 +311,7 @@ pub fn rebuild_saved(
             .collect::<Vec<_>>(),
     );
     let lse: Vec<Vec<f32>> = lse_full.iter().map(|m| m.as_slice().to_vec()).collect();
+    let mem = stash_entry(comm, "ulysses_saved", &q, &k, &v, &o, &lse);
     Ok(UlyssesSaved {
         q,
         k,
@@ -282,6 +319,7 @@ pub fn rebuild_saved(
         o,
         lse,
         heads_per_rank: hpr,
+        mem,
     })
 }
 
@@ -342,6 +380,15 @@ pub fn try_ulysses_backward(
     let hpr = saved.heads_per_rank;
     let full_idx: Vec<usize> = member_idx.iter().flatten().copied().collect();
     let dh = saved.q[0].cols();
+    // The full-sequence (∇Q, ∇K, ∇V) of this rank's owned heads, live from
+    // the head loop until the scatters return them to the sequence
+    // partition.
+    let grads_bytes: usize = 3 * saved.q.iter().map(Mat::nbytes).sum::<usize>();
+    let mem_grads = comm.mem_alloc(
+        "ulysses_grads",
+        MemCategory::Activations,
+        grads_bytes as u64,
+    );
 
     let outgoing: Vec<Mat> = (0..group)
         .map(|p| bundle_heads(grad_o_heads, p * hpr, (p + 1) * hpr))
@@ -395,5 +442,7 @@ pub fn try_ulysses_backward(
     let dq = scatter(comm, &dq_full, 1)?;
     let dk = scatter(comm, &dk_full, 2)?;
     let dv = scatter(comm, &dv_full, 3)?;
+    comm.mem_free(mem_grads);
+    comm.mem_free(saved.mem);
     Ok((dq, dk, dv))
 }

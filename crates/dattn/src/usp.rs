@@ -22,9 +22,11 @@ use crate::ring::{
     escalate_attn, try_ring_backward, try_ring_forward, AttnFailure, AttnShard, BackwardInputs,
     OverlapMode, Phase, Ring,
 };
-use crate::ulysses::{group_all_to_all, try_group_all_to_all, HeadGrads, UlyssesError};
+use crate::ulysses::{
+    group_all_to_all, stash_entry, try_group_all_to_all, HeadGrads, UlyssesError,
+};
 use crate::DattnError;
-use burst_comm::Communicator;
+use burst_comm::{Communicator, MemCategory, MemId};
 use burst_kernels::AttnMask;
 use burst_tensor::Mat;
 
@@ -98,6 +100,9 @@ pub struct UspSaved {
     o: Vec<Mat>,
     lse: Vec<Vec<f32>>,
     heads_per_rank: usize,
+    /// Accountant handle for the stash: opened when the forward saves this
+    /// state, closed when the backward consumes it.
+    mem: Option<MemId>,
 }
 
 fn bundle(heads: &[Mat], h0: usize, h1: usize) -> Mat {
@@ -208,6 +213,15 @@ pub fn try_usp_forward(
     let incoming = try_group_all_to_all(comm, &topo.u_members, outgoing)
         .map_err(AttnFailure::at(Phase::Forward, 3))?;
     let o_heads: Vec<Mat> = incoming.iter().flat_map(|b| unbundle(b, hpr)).collect();
+    let mem = stash_entry(
+        comm,
+        "usp_saved",
+        &q_shard,
+        &k_shard,
+        &v_shard,
+        &o_shard,
+        &lse,
+    );
     Ok((
         o_heads,
         UspSaved {
@@ -217,6 +231,7 @@ pub fn try_usp_forward(
             o: o_shard,
             lse,
             heads_per_rank: hpr,
+            mem,
         },
     ))
 }
@@ -257,6 +272,7 @@ pub fn rebuild_saved(
     let lse_cols: Vec<Mat> = (0..heads).map(|h| lse_local.slice_cols(h, h + 1)).collect();
     let lse_full = redistribute(comm, &lse_cols);
     let lse: Vec<Vec<f32>> = lse_full.iter().map(|m| m.as_slice().to_vec()).collect();
+    let mem = stash_entry(comm, "usp_saved", &q, &k, &v, &o, &lse);
     Ok(UspSaved {
         q,
         k,
@@ -264,6 +280,7 @@ pub fn rebuild_saved(
         o,
         lse,
         heads_per_rank: hpr,
+        mem,
     })
 }
 
@@ -310,6 +327,10 @@ pub fn try_usp_backward(
         }));
     }
     let hpr = saved.heads_per_rank;
+    // The ring-shard (∇Q, ∇K, ∇V) of this rank's owned heads, live from the
+    // per-head ring backwards until the scatters return them.
+    let grads_bytes: usize = 3 * saved.q.iter().map(Mat::nbytes).sum::<usize>();
+    let mem_grads = comm.mem_alloc("usp_grads", MemCategory::Activations, grads_bytes as u64);
 
     let outgoing: Vec<Mat> = (0..topo.ulysses)
         .map(|p| bundle(grad_o_heads, p * hpr, (p + 1) * hpr))
@@ -364,5 +385,7 @@ pub fn try_usp_backward(
     let dq = scatter(comm, &dq_shard, 1)?;
     let dk = scatter(comm, &dk_shard, 2)?;
     let dv = scatter(comm, &dv_shard, 3)?;
+    comm.mem_free(mem_grads);
+    comm.mem_free(saved.mem);
     Ok((dq, dk, dv))
 }

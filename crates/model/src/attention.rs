@@ -78,6 +78,19 @@ pub trait AttnExec {
     /// Enter/leave a recompute scope: compute charged inside is tagged
     /// `"recompute"` in the trace (no-op without a communicator).
     fn recompute_scope(&mut self, _enter: bool) {}
+
+    /// Register `bytes` of checkpoint stash kept for one block, freed in
+    /// reverse block order by [`AttnExec::stash_pop`] during the backward.
+    /// Lands on the accountant's `CkptStash` lane (no-op without a
+    /// communicator or with accounting off).
+    fn stash_push(&mut self, _bytes: usize) {}
+
+    /// Release the most recently pushed, still-open stash entry.
+    fn stash_pop(&mut self) {}
+
+    /// Note transient working-set bytes (recompute scratch, rebuilt block
+    /// contexts) on the accountant's ungated `Workspace` lane.
+    fn note_workspace(&mut self, _bytes: usize) {}
 }
 
 /// Single-device blocked flash attention.
@@ -334,6 +347,18 @@ impl AttnExec for DistExec<'_> {
 
     fn recompute_scope(&mut self, enter: bool) {
         self.comm.recompute_scope(enter);
+    }
+
+    fn stash_push(&mut self, bytes: usize) {
+        self.comm.mem_stash_push(bytes as u64);
+    }
+
+    fn stash_pop(&mut self) {
+        self.comm.mem_stash_pop();
+    }
+
+    fn note_workspace(&mut self, bytes: usize) {
+        self.comm.mem_note_workspace(bytes as u64);
     }
 }
 
@@ -599,6 +624,18 @@ impl AttnExec for ElasticExec<'_> {
     fn recompute_scope(&mut self, enter: bool) {
         self.comm.recompute_scope(enter);
     }
+
+    fn stash_push(&mut self, bytes: usize) {
+        self.comm.mem_stash_push(bytes as u64);
+    }
+
+    fn stash_pop(&mut self) {
+        self.comm.mem_stash_pop();
+    }
+
+    fn note_workspace(&mut self, bytes: usize) {
+        self.comm.mem_note_workspace(bytes as u64);
+    }
 }
 
 /// DeepSpeed-Ulysses backend (global group, contiguous sequence chunks).
@@ -683,6 +720,18 @@ impl AttnExec for UlyssesExec<'_> {
 
     fn recompute_scope(&mut self, enter: bool) {
         self.comm.recompute_scope(enter);
+    }
+
+    fn stash_push(&mut self, bytes: usize) {
+        self.comm.mem_stash_push(bytes as u64);
+    }
+
+    fn stash_pop(&mut self) {
+        self.comm.mem_stash_pop();
+    }
+
+    fn note_workspace(&mut self, bytes: usize) {
+        self.comm.mem_note_workspace(bytes as u64);
     }
 }
 
@@ -773,6 +822,18 @@ impl AttnExec for UspExec<'_> {
 
     fn recompute_scope(&mut self, enter: bool) {
         self.comm.recompute_scope(enter);
+    }
+
+    fn stash_push(&mut self, bytes: usize) {
+        self.comm.mem_stash_push(bytes as u64);
+    }
+
+    fn stash_pop(&mut self) {
+        self.comm.mem_stash_pop();
+    }
+
+    fn note_workspace(&mut self, bytes: usize) {
+        self.comm.mem_note_workspace(bytes as u64);
     }
 }
 

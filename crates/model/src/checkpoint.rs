@@ -220,6 +220,7 @@ pub fn forward_blocks_prec<E: AttnExec>(
             }
         };
         tracker.alloc(keep.nbytes());
+        exec.stash_push(keep.nbytes());
         stored.push(keep);
         cur = y;
         exec.span_end();
@@ -271,8 +272,10 @@ pub fn backward_blocks<E: AttnExec>(
         // The rebuilt full context is transient: live only during this
         // block's backward.
         let transient = saved.nbytes().saturating_sub(kept_bytes);
+        exec.note_workspace(transient);
         grad = tracker.with_transient(transient, |_t| block.backward(&saved, &grad, exec));
         tracker.free(kept_bytes);
+        exec.stash_pop();
         exec.span_end();
     }
     grad

@@ -13,6 +13,7 @@ use crate::checkpoint_shard::{
 use crate::fsdp;
 use crate::model::{Model, ModelConfig, StepOutput};
 use crate::param::AdamCfg;
+use burst_comm::obs::{MemCategory, MemId};
 use burst_comm::{
     agree_on_eviction, agree_on_join, agree_on_leave, send_abort, shrink_all_reduce_vec,
     shrink_barrier, ChurnEvent, ChurnKind, CommError, CommStats, Communicator, Membership,
@@ -146,6 +147,35 @@ fn useful_flops(cfg: &ModelConfig, mask: &AttnMask) -> f64 {
     6.0 * dense as f64 * cfg.seq_len as f64 + pairs * 14.0 * dh as f64
 }
 
+/// Open ledger entries for the device-resident training state: weights,
+/// gradients and (unless offloaded) the two Adam moments, FSDP-sharded
+/// across `shard` ranks — [`fsdp::device_state_bytes`]'s decomposition as
+/// three accountant lanes. [`free_state_entries`] closes them at span end;
+/// an error path that skips the close is force-closed (with a warning)
+/// when the ledger is taken, the same crash semantics as every other lane.
+fn bill_state_entries(
+    comm: &mut Communicator,
+    cfg: &EngineConfig,
+    shard: usize,
+) -> [Option<MemId>; 3] {
+    let bytes = (cfg.model.param_count() * 4 / shard) as u64;
+    let params = comm.mem_alloc("model_params", MemCategory::Params, bytes);
+    let grads = comm.mem_alloc("model_grads", MemCategory::Grads, bytes);
+    let optim = if cfg.offload_optimizer {
+        // ZeRO-Offload: the Adam moments live in host memory.
+        None
+    } else {
+        comm.mem_alloc("adam_moments", MemCategory::OptimState, 2 * bytes)
+    };
+    [params, grads, optim]
+}
+
+fn free_state_entries(comm: &mut Communicator, ids: [Option<MemId>; 3]) {
+    for id in ids {
+        comm.mem_free(id);
+    }
+}
+
 /// What a [`run_span`] call observed, beyond the losses themselves.
 #[derive(Debug, Clone)]
 pub struct SpanOutcome {
@@ -227,6 +257,8 @@ pub fn run_span(
         && comm
             .fault_plan()
             .is_some_and(|p| p.has_poisons(comm.rank()));
+    let state_shard = if cfg.fsdp { comm.world_size() } else { 1 };
+    let state_ids = bill_state_entries(comm, cfg, state_shard);
     for step in start_step..end_step {
         // The step span also covers the checkpoint `on_step` may write. A
         // step that fails out via `?` leaves it open; the trace collector
@@ -377,6 +409,7 @@ pub fn run_span(
         on_step(comm, step + 1, model, &losses);
         comm.span_end();
     }
+    free_state_entries(comm, state_ids);
     Ok(SpanOutcome {
         losses,
         last,
@@ -741,6 +774,8 @@ fn elastic_step(
     let accum = cfg.grad_accum.max(1);
     let members = m.alive_ranks();
     comm.span_begin(SpanKind::Step, "step");
+    // Re-billed every elastic step: the FSDP shard tracks the alive set.
+    let state_ids = bill_state_entries(comm, cfg, if cfg.fsdp { m.num_alive() } else { 1 });
     model.zero_grads();
     if cfg.fsdp {
         fsdp::try_gather_weights_m(comm, m, &mut model.params_mut(), policy)?;
@@ -801,6 +836,7 @@ fn elastic_step(
     if reduced[1] > 0.0 {
         comm.span_instant(SpanKind::Fault, "skip_step");
         model.zero_grads();
+        free_state_entries(comm, state_ids);
         comm.span_end();
         return Ok((mean_loss, true, fell_flat));
     }
@@ -812,6 +848,7 @@ fn elastic_step(
         let shard = if cfg.fsdp { m.num_alive() } else { 1 };
         comm.advance_compute(fsdp::offload_step_seconds(cfg.model.param_count(), shard));
     }
+    free_state_entries(comm, state_ids);
     comm.span_end();
     Ok((mean_loss, false, fell_flat))
 }

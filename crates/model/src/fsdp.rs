@@ -15,6 +15,7 @@
 //! per operation in the trace, not just in aggregate.
 
 use crate::param::Param;
+use burst_comm::obs::MemCategory;
 use burst_comm::{
     shrink_all_gather_mat, shrink_all_reduce_mat, CommError, Communicator, Membership, RetryPolicy,
     SpanKind,
@@ -37,10 +38,18 @@ pub fn gather_weights(comm: &mut Communicator, params: &mut [&mut Param]) {
     for p in params.iter_mut() {
         let (r0, r1) = shard_range(p.w.rows(), g, comm.rank());
         let shard = p.w.slice_rows(r0, r1);
+        // The gathered replica is a transient wire-width buffer, live from
+        // the collective until the shards are stitched back together.
+        let buf = comm.mem_alloc(
+            "fsdp_gather_buf",
+            MemCategory::CommBuffers,
+            comm.mem_wire_bytes(p.w.rows() * p.w.cols()),
+        );
         comm.span_begin(SpanKind::Optim, "fsdp_gather");
         let parts = comm.all_gather_mat(&shard);
         comm.span_end();
         let gathered = Mat::vstack(&parts);
+        comm.mem_free(buf);
         debug_assert_eq!(gathered.shape(), p.w.shape());
         assert!(
             burst_tensor::testutil::allclose(&gathered, &p.w, 1e-6, 1e-6),
@@ -72,10 +81,18 @@ pub fn try_gather_weights_m(
     for p in params.iter_mut() {
         let (r0, r1) = shard_range(p.w.rows(), g, pos);
         let shard = p.w.slice_rows(r0, r1);
+        let buf = comm.mem_alloc(
+            "fsdp_gather_buf",
+            MemCategory::CommBuffers,
+            comm.mem_wire_bytes(p.w.rows() * p.w.cols()),
+        );
         comm.span_begin(SpanKind::Optim, "fsdp_gather");
         let parts = shrink_all_gather_mat(comm, m, &shard, policy);
         comm.span_end();
+        // A member dying mid-gather leaves `buf` open; the ledger
+        // force-closes it with a warning — the crash's true footprint.
         let gathered = Mat::vstack(&parts?);
+        comm.mem_free(buf);
         debug_assert_eq!(gathered.shape(), p.w.shape());
         assert!(
             burst_tensor::testutil::allclose(&gathered, &p.w, 1e-6, 1e-6),
@@ -100,10 +117,16 @@ pub fn try_sync_grads_m(
         return Ok(());
     }
     for p in params.iter_mut() {
+        let buf = comm.mem_alloc(
+            "fsdp_sync_buf",
+            MemCategory::CommBuffers,
+            comm.mem_wire_bytes(p.grad.rows() * p.grad.cols()),
+        );
         comm.span_begin(SpanKind::Optim, "fsdp_sync");
         let reduced = shrink_all_reduce_mat(comm, m, &p.grad, policy);
         comm.span_end();
         p.grad = reduced?;
+        comm.mem_free(buf);
     }
     Ok(())
 }
@@ -115,9 +138,15 @@ pub fn sync_grads(comm: &mut Communicator, params: &mut [&mut Param]) {
         return;
     }
     for p in params.iter_mut() {
+        let buf = comm.mem_alloc(
+            "fsdp_sync_buf",
+            MemCategory::CommBuffers,
+            comm.mem_wire_bytes(p.grad.rows() * p.grad.cols()),
+        );
         comm.span_begin(SpanKind::Optim, "fsdp_sync");
         p.grad = comm.all_reduce_mat(&p.grad);
         comm.span_end();
+        comm.mem_free(buf);
     }
 }
 

@@ -251,6 +251,11 @@ impl Model {
         let grad_x = backward_blocks(&mut self.blocks, stored, &grad_h, exec, &mut tracker);
         self.embed.backward(tokens, &grad_x);
         tracker.free(x.nbytes());
+        // Mirror the model-layer tracked peak onto the accountant's ungated
+        // workspace lane, so a rank's ledger also carries the dense-path
+        // activation high-water mark (stash entries are billed exactly;
+        // everything else here is transient).
+        exec.note_workspace(tracker.peak());
         StepOutput {
             loss_sum,
             tokens: tokens.len(),

@@ -1,0 +1,125 @@
+//! Ledger accounting at the model/engine layer: device-resident state
+//! entries, FSDP collective buffers and the checkpoint stash — including
+//! the gate that a bf16 activation stash is exactly half the f32 one.
+
+use burst_comm::obs::{validate_mem, MemReport};
+use burst_comm::{Topology, World};
+use burst_dattn::Algo;
+use burst_model::engine::{run_rank, Backend, EngineConfig};
+use burst_model::Strategy;
+
+/// Run `steps` training steps on every rank with accounting on and return
+/// the finished per-rank ledgers.
+fn run_accounted(cfg: &EngineConfig, topo: Topology, steps: usize) -> Vec<MemReport> {
+    let world = World::new(topo);
+    world
+        .run(|comm| {
+            comm.start_mem_accounting();
+            let _ = run_rank(comm, cfg, steps);
+            comm.take_mem_report().expect("accounting was on")
+        })
+        .into_iter()
+        .map(|o| o.result)
+        .collect()
+}
+
+fn stash_peak(bf16: bool) -> u64 {
+    let mut cfg = EngineConfig::tiny(Backend::Ring(Algo::BurstFlat));
+    // Strategy::Full stores only block-input matrices, so the stash is a
+    // pure f32-vs-bf16 width comparison (no always-f32 Lse vectors mixed
+    // in, unlike SelectivePlusPlus).
+    cfg.strategy = Strategy::Full;
+    cfg.bf16_activations = bf16;
+    let reports = run_accounted(&cfg, Topology::a800(1, 2), 1);
+    for r in &reports {
+        validate_mem(r).unwrap();
+        assert!(r.warnings.is_empty(), "clean run: {:?}", r.warnings);
+        assert_eq!(r.live_at_close, 0, "clean run frees everything");
+    }
+    reports.iter().map(|r| r.peak.ckpt_stash).max().unwrap()
+}
+
+#[test]
+fn bf16_activation_stash_is_exactly_half_of_f32() {
+    let f32_peak = stash_peak(false);
+    let bf16_peak = stash_peak(true);
+    assert!(bf16_peak > 0, "stash must be billed at all");
+    assert_eq!(f32_peak, 2 * bf16_peak, "2-byte stash vs 4-byte stash");
+}
+
+#[test]
+fn device_state_entries_match_the_fsdp_decomposition() {
+    let mut cfg = EngineConfig::tiny(Backend::Ring(Algo::RingFlat));
+    let p = cfg.model.param_count() as u64;
+    // FSDP on (tiny() default), no offload: P·4/G weights, P·4/G grads,
+    // 2·(P·4/G) Adam moments.
+    let g = 2u64;
+    let bytes = p * 4 / g;
+    for r in &run_accounted(&cfg, Topology::a800(1, g as usize), 1) {
+        assert_eq!(r.peak.params, bytes);
+        assert_eq!(r.peak.grads, bytes);
+        assert_eq!(r.peak.optim_state, 2 * bytes);
+    }
+    // ZeRO-Offload: the Adam moments leave the device ledger entirely.
+    cfg.offload_optimizer = true;
+    for r in &run_accounted(&cfg, Topology::a800(1, g as usize), 1) {
+        assert_eq!(r.peak.params, bytes);
+        assert_eq!(r.peak.optim_state, 0, "offloaded moments are host-side");
+    }
+    // No FSDP: fully replicated state, no gather/sync buffers.
+    cfg.offload_optimizer = false;
+    cfg.fsdp = false;
+    for r in &run_accounted(&cfg, Topology::a800(1, g as usize), 1) {
+        assert_eq!(r.peak.params, p * 4);
+        assert_eq!(r.peak.grads, p * 4);
+        assert_eq!(r.peak.optim_state, p * 8);
+    }
+}
+
+#[test]
+fn fsdp_buffers_stash_and_workspace_land_on_their_lanes() {
+    let mut cfg = EngineConfig::tiny(Backend::Ring(Algo::BurstFlat));
+    cfg.strategy = Strategy::SelectivePlusPlus;
+    let reports = run_accounted(&cfg, Topology::a800(1, 4), 2);
+    for r in &reports {
+        validate_mem(r).unwrap();
+        assert!(r.warnings.is_empty(), "clean run: {:?}", r.warnings);
+        assert!(r.peak.comm_buffers > 0, "FSDP + ring buffers were billed");
+        assert!(r.peak.ckpt_stash > 0, "selective++ stash was billed");
+        assert!(r.peak.workspace > 0, "dense-path peak was noted");
+        assert!(
+            r.entries.iter().any(|e| e.name == "fsdp_gather_buf"),
+            "weight gather buffers appear by name"
+        );
+        assert!(
+            r.entries.iter().any(|e| e.name == "fsdp_sync_buf"),
+            "gradient sync buffers appear by name"
+        );
+    }
+}
+
+#[test]
+fn engine_accounting_is_a_pure_observer() {
+    let cfg = EngineConfig::tiny(Backend::Ring(Algo::BurstFlat));
+    let base = World::new(Topology::a800(1, 2)).run(|comm| run_rank(comm, &cfg, 2));
+    let acct = World::new(Topology::a800(1, 2)).run(|comm| {
+        comm.start_mem_accounting();
+        let out = run_rank(comm, &cfg, 2);
+        let report = comm.take_mem_report().expect("accounting was on");
+        (out, report)
+    });
+    for (a, b) in base.iter().zip(&acct) {
+        let (losses_a, _) = &a.result;
+        let ((losses_b, _), report) = &b.result;
+        assert!(report.allocated_bytes > 0, "the ledger actually recorded");
+        assert_eq!(losses_a.len(), losses_b.len());
+        for (x, y) in losses_a.iter().zip(losses_b) {
+            assert_eq!(x.to_bits(), y.to_bits(), "losses must be bit-identical");
+        }
+        assert_eq!(
+            a.time.to_bits(),
+            b.time.to_bits(),
+            "accounting must never touch the virtual clock"
+        );
+    }
+}

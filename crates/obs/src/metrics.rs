@@ -62,6 +62,35 @@ impl Histogram {
     }
 }
 
+/// A per-step sampled counter: `samples[step]` is the integer value
+/// sampled at that step, summed across ranks. Ranks that never reached a
+/// step simply contribute nothing there (missing = 0), so ragged rank
+/// counts — elastic shrink mid-run, late joiners — merge exactly: the
+/// series extends to the longest rank and every position is a plain
+/// integer sum, hence associative and commutative.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Series {
+    pub samples: Vec<u64>,
+}
+
+impl Series {
+    fn add(&mut self, step: usize, v: u64) {
+        if self.samples.len() <= step {
+            self.samples.resize(step + 1, 0);
+        }
+        self.samples[step] += v;
+    }
+
+    fn merge(&mut self, other: &Series) {
+        if self.samples.len() < other.samples.len() {
+            self.samples.resize(other.samples.len(), 0);
+        }
+        for (a, b) in self.samples.iter_mut().zip(&other.samples) {
+            *a += b;
+        }
+    }
+}
+
 /// One named metric.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Metric {
@@ -73,6 +102,8 @@ pub enum Metric {
     Gauge(f64),
     /// Distribution; merges bucket-wise.
     Hist(Histogram),
+    /// Per-step sampled counters; merges position-wise by sum.
+    Series(Series),
 }
 
 impl Metric {
@@ -82,6 +113,7 @@ impl Metric {
             Metric::Secs(_) => "secs",
             Metric::Gauge(_) => "gauge",
             Metric::Hist(_) => "histogram",
+            Metric::Series(_) => "series",
         }
     }
 }
@@ -144,6 +176,22 @@ impl Registry {
         }
     }
 
+    /// Add `v` to position `step` of the per-step series `name` (creating
+    /// the series, and any skipped positions, at zero).
+    pub fn add_sample(&mut self, name: &str, step: usize, v: u64) {
+        if let Metric::Series(s) = self.slot(name, Metric::Series(Series::default())) {
+            s.add(step, v);
+        }
+    }
+
+    /// The sampled series (empty if absent).
+    pub fn series(&self, name: &str) -> &[u64] {
+        match self.metrics.get(name) {
+            Some(Metric::Series(s)) => &s.samples,
+            _ => &[],
+        }
+    }
+
     pub fn get(&self, name: &str) -> Option<&Metric> {
         self.metrics.get(name)
     }
@@ -189,6 +237,7 @@ impl Registry {
                     (Metric::Secs(a), Metric::Secs(b)) => *a += b,
                     (Metric::Gauge(a), Metric::Gauge(b)) => *a = a.max(*b),
                     (Metric::Hist(a), Metric::Hist(b)) => a.merge(b),
+                    (Metric::Series(a), Metric::Series(b)) => a.merge(b),
                     (mine, m) => panic!(
                         "metric `{name}` merge across types: {} vs {}",
                         mine.type_name(),
@@ -215,6 +264,13 @@ impl Registry {
                 Metric::Gauge(g) => Value::Object(vec![
                     ("type".into(), Value::String("gauge".into())),
                     ("value".into(), Value::Number(*g)),
+                ]),
+                Metric::Series(s) => Value::Object(vec![
+                    ("type".into(), Value::String("series".into())),
+                    (
+                        "samples".into(),
+                        Value::Array(s.samples.iter().map(|&v| Value::Number(v as f64)).collect()),
+                    ),
                 ]),
                 Metric::Hist(h) => Value::Object(vec![
                     ("type".into(), Value::String("histogram".into())),
@@ -317,5 +373,90 @@ mod tests {
         let mut r = Registry::new();
         r.add_counter("x", 1);
         r.add_secs("x", 1.0);
+    }
+
+    /// A rank sampling a per-step counter over `[first, last)` steps — the
+    /// shape elastic membership produces: late joiners start past 0,
+    /// evicted ranks stop early.
+    fn sampling_rank(rank: u64, first: usize, last: usize) -> Registry {
+        let mut r = Registry::new();
+        for step in first..last {
+            r.add_sample("mem/peak_by_step", step, rank * 100 + step as u64);
+            r.add_sample("comm/msgs_by_step", step, (rank + 1) * (step as u64 + 1));
+        }
+        r
+    }
+
+    #[test]
+    fn series_merge_is_order_independent_with_ragged_rank_counts() {
+        // Four ranks with ragged step spans: 0..8, 0..5, 2..8, 0..3.
+        let spans = [(0usize, 8usize), (0, 5), (2, 8), (0, 3)];
+        let regs: Vec<Registry> = spans
+            .iter()
+            .enumerate()
+            .map(|(rank, &(a, b))| sampling_rank(rank as u64, a, b))
+            .collect();
+        let fold = |order: &[usize]| {
+            let mut acc = Registry::new();
+            for &i in order {
+                acc.merge_from(&regs[i]);
+            }
+            acc
+        };
+        let fwd = fold(&[0, 1, 2, 3]);
+        let rev = fold(&[3, 2, 1, 0]);
+        let shuffled = fold(&[2, 0, 3, 1]);
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd, shuffled);
+        assert_eq!(fwd.to_json(), rev.to_json());
+        // The merged series spans the longest rank; position 0 sums only
+        // the ranks that sampled it (ranks 0, 1, 3 — rank 0 contributed 0).
+        let s = fwd.series("mem/peak_by_step");
+        assert_eq!(s.len(), 8);
+        assert_eq!(s[0], 100 + 300);
+        // Position 7 is sampled only by ranks 0 and 2.
+        assert_eq!(s[7], 7 + 207);
+    }
+
+    #[test]
+    fn series_survives_elastic_shrink_and_grow_mid_run() {
+        // Rank 1 is evicted after step 3; rank 2 joins at step 4 (shrink
+        // then grow). Merging pre- and post-churn registries in any order
+        // gives one exact series.
+        let pre = [sampling_rank(0, 0, 4), sampling_rank(1, 0, 4)];
+        let post = [sampling_rank(0, 4, 8), sampling_rank(2, 4, 8)];
+        let mut a = Registry::new();
+        for r in pre.iter().chain(&post) {
+            a.merge_from(r);
+        }
+        let mut b = Registry::new();
+        for r in post.iter().chain(&pre) {
+            b.merge_from(r);
+        }
+        assert_eq!(a, b);
+        let s = a.series("mem/peak_by_step");
+        assert_eq!(s.len(), 8);
+        // Steps 0–3: ranks {0, 1}; steps 4–7: ranks {0, 2}.
+        assert_eq!(s[2], 2 + 102);
+        assert_eq!(s[5], 5 + 205);
+    }
+
+    #[test]
+    fn series_skipped_steps_are_zero_and_json_exports() {
+        let mut r = Registry::new();
+        r.add_sample("s", 3, 7);
+        assert_eq!(r.series("s"), &[0, 0, 0, 7]);
+        assert_eq!(r.series("missing"), &[] as &[u64]);
+        let text = serde_json::to_string(&r.to_json()).unwrap();
+        assert!(text.contains("series"), "{text}");
+        assert!(text.contains("samples"), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn series_type_confusion_panics() {
+        let mut r = Registry::new();
+        r.add_counter("x", 1);
+        r.add_sample("x", 0, 1);
     }
 }

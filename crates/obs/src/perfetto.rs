@@ -20,6 +20,9 @@ const US: f64 = 1e6;
 pub struct PerfettoArgs {
     /// `kind` label, peer and payload summary: e.g. `"send -> r3, 2048 elems, inter"`.
     pub detail: String,
+    /// Numeric sample for counter events (`ph:"C"`, e.g. the memory
+    /// lanes); 0 for span/metadata events.
+    pub value: f64,
 }
 
 /// One `trace_events` entry. Field names are part of the Chrome trace
@@ -56,7 +59,10 @@ fn metadata(name: &str, pid: u64, tid: u64, label: String) -> PerfettoEvent {
         dur: 0.0,
         pid,
         tid,
-        args: PerfettoArgs { detail: label },
+        args: PerfettoArgs {
+            detail: label,
+            value: 0.0,
+        },
     }
 }
 
@@ -106,7 +112,7 @@ fn push_rank(events: &mut Vec<PerfettoEvent>, trace: &RankTrace, pid: u64, rank_
             dur: s.duration() * US,
             pid,
             tid: s.kind.lane(),
-            args: PerfettoArgs { detail },
+            args: PerfettoArgs { detail, value: 0.0 },
         });
     }
 }

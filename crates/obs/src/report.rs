@@ -7,6 +7,7 @@
 //! each other in CI. Overlap efficiency and modeled MFU summarise where
 //! the virtual time went.
 
+use crate::mem::{peak_census, MemCategory, MemReport, PeakBytes};
 use crate::span::{wait_compute_secs, wire_secs, RankTrace};
 use serde::{Deserialize, Serialize};
 
@@ -68,6 +69,9 @@ pub struct MethodReport {
     pub comm_table1_secs: f64,
     /// `|measured − predicted| / predicted` (0 when predicted is 0).
     pub comm_rel_err: f64,
+    /// Max-over-ranks measured peak bytes per accountant category (all
+    /// zeros when the run was not memory-accounted).
+    pub peak: PeakBytes,
 }
 
 impl MethodReport {
@@ -118,14 +122,23 @@ impl MethodReport {
             comm_predicted_secs,
             comm_table1_secs,
             comm_rel_err: rel_err,
+            peak: PeakBytes::default(),
         }
+    }
+
+    /// Attach the per-rank memory census of the same run (max over ranks,
+    /// per category).
+    pub fn with_mem(mut self, reports: &[MemReport]) -> MethodReport {
+        self.peak = peak_census(reports);
+        self
     }
 }
 
 /// The `BENCH_e2e.json` document.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct E2eReport {
-    /// Schema tag, currently `"burst-e2e/v1"`; CI checks it.
+    /// Schema tag, currently `"burst-e2e/v2"` (v2 added the per-category
+    /// peak-memory census to every method row); CI checks it.
     pub schema: String,
     pub nodes: usize,
     pub gpus_per_node: usize,
@@ -135,7 +148,7 @@ pub struct E2eReport {
 }
 
 impl E2eReport {
-    pub const SCHEMA: &'static str = "burst-e2e/v1";
+    pub const SCHEMA: &'static str = "burst-e2e/v2";
 
     pub fn new(nodes: usize, gpus_per_node: usize, seq_len: usize, head_dim: usize) -> Self {
         E2eReport {
@@ -180,6 +193,71 @@ impl E2eReport {
         }
         Ok(())
     }
+}
+
+/// A throughput regression fails the gate when measured tokens/GPU/s falls
+/// more than this fraction below the committed baseline.
+pub const MAX_TGS_DROP: f64 = 0.10;
+
+/// A memory regression fails the gate when a gated peak-bytes lane (or the
+/// gated total) rises more than this fraction above the committed baseline.
+pub const MAX_PEAK_RISE: f64 = 0.01;
+
+/// The perf-trajectory regression gate: compare a freshly measured report
+/// against the committed baseline. Virtual time makes both deterministic,
+/// so the bands police *code* changes, not machine noise: a >10 %
+/// throughput drop or a >1 % gated peak-memory rise on any method is a
+/// violation. Methods present only in `current` are new work and pass;
+/// methods missing from `current` are lost coverage and fail. Returns every
+/// violation (empty = gate green).
+pub fn compare_to_baseline(current: &E2eReport, baseline: &E2eReport) -> Vec<String> {
+    let mut violations = Vec::new();
+    if current.schema != baseline.schema {
+        violations.push(format!(
+            "schema drifted: `{}` vs baseline `{}` — regenerate the baseline",
+            current.schema, baseline.schema
+        ));
+        return violations;
+    }
+    for base in &baseline.methods {
+        let Some(cur) = current.methods.iter().find(|m| m.method == base.method) else {
+            violations.push(format!(
+                "method `{}` disappeared from the report",
+                base.method
+            ));
+            continue;
+        };
+        if base.tokens_per_gpu_per_sec > 0.0 {
+            let floor = base.tokens_per_gpu_per_sec * (1.0 - MAX_TGS_DROP);
+            if cur.tokens_per_gpu_per_sec < floor {
+                violations.push(format!(
+                    "method `{}`: throughput {:.6e} tok/GPU/s is more than {:.0}% below \
+                     baseline {:.6e}",
+                    cur.method,
+                    cur.tokens_per_gpu_per_sec,
+                    MAX_TGS_DROP * 100.0,
+                    base.tokens_per_gpu_per_sec,
+                ));
+            }
+        }
+        let mut lanes: Vec<(&str, u64, u64)> = MemCategory::ALL
+            .iter()
+            .filter(|c| c.is_gated())
+            .map(|&c| (c.label(), cur.peak.get(c), base.peak.get(c)))
+            .collect();
+        lanes.push(("gated_total", cur.peak.gated_total, base.peak.gated_total));
+        for (lane, got, want) in lanes {
+            if want > 0 && got as f64 > want as f64 * (1.0 + MAX_PEAK_RISE) {
+                violations.push(format!(
+                    "method `{}`: peak {lane} {got} B is more than {:.0}% above baseline \
+                     {want} B",
+                    cur.method,
+                    MAX_PEAK_RISE * 100.0,
+                ));
+            }
+        }
+    }
+    violations
 }
 
 #[cfg(test)]
@@ -245,6 +323,54 @@ mod tests {
         let text = serde_json::to_string_pretty(&report).unwrap();
         let back: E2eReport = serde_json::from_str(&text).unwrap();
         assert_eq!(back, report);
-        assert!(text.contains("burst-e2e/v1"));
+        assert!(text.contains("burst-e2e/v2"));
+    }
+
+    fn gated_report(tgs: f64, peak_total: u64) -> E2eReport {
+        let mut report = E2eReport::new(1, 2, 1024, 64);
+        let traces = vec![busy_trace(0, 0.6, 0.2)];
+        let mut m = MethodReport::from_traces("burst", &traces, 1024, 64, 312e12, 0.5, 0.5);
+        m.tokens_per_gpu_per_sec = tgs;
+        m.peak.ring_shards = peak_total;
+        m.peak.gated_total = peak_total;
+        report.methods.push(m);
+        report
+    }
+
+    #[test]
+    fn baseline_gate_passes_inside_the_bands() {
+        let base = gated_report(1000.0, 1_000_000);
+        // 5% slower and 0.5% more memory: both inside tolerance.
+        let cur = gated_report(950.0, 1_005_000);
+        assert!(compare_to_baseline(&cur, &base).is_empty());
+        // A new method in `current` is new work, not a regression.
+        let mut grown = cur.clone();
+        let mut extra = grown.methods[0].clone();
+        extra.method = "ring".into();
+        grown.methods.push(extra);
+        assert!(compare_to_baseline(&grown, &base).is_empty());
+    }
+
+    #[test]
+    fn baseline_gate_fails_on_throughput_drop() {
+        let base = gated_report(1000.0, 1_000_000);
+        let cur = gated_report(850.0, 1_000_000);
+        let v = compare_to_baseline(&cur, &base);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("throughput"), "{v:?}");
+    }
+
+    #[test]
+    fn baseline_gate_fails_on_peak_memory_rise_and_lost_methods() {
+        let base = gated_report(1000.0, 1_000_000);
+        let cur = gated_report(1000.0, 1_020_000);
+        let v = compare_to_baseline(&cur, &base);
+        // Both the ring_shards lane and the gated total breached 1%.
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|s| s.contains("above baseline")), "{v:?}");
+        let empty = E2eReport::new(1, 2, 1024, 64);
+        let v = compare_to_baseline(&empty, &base);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("disappeared"), "{v:?}");
     }
 }

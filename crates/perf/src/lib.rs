@@ -16,6 +16,8 @@
 //!   states (FSDP-sharded or replicated, optionally offloaded), activation
 //!   checkpoints per strategy (Fig. 7), LM-head logits (Fig. 8), transient
 //!   working set and ring buffers;
+//! * [`peakmem`] — the exact per-rank peak-bytes census: the analytic twin
+//!   of the virtual-memory accountant's measured ledger, gated equal in CI;
 //! * [`endtoend`] — assembles the above into per-method step time, TGS,
 //!   MFU and peak memory with feasibility checks (Megatron-CP's optimizer
 //!   OOM, Ulysses' head-divisibility cap) — the engine behind Fig. 12–14
@@ -32,6 +34,8 @@ pub mod endtoend;
 pub mod flops;
 pub mod machine;
 pub mod memory;
+pub mod peakmem;
 
 pub use endtoend::{evaluate, EndToEnd, Infeasible, Method};
 pub use machine::{Cluster, PaperModel};
+pub use peakmem::{exact_peak_bytes, exact_peak_bytes_dtype, PeakMethod};

@@ -60,6 +60,18 @@ impl Scratch {
             self.vtiles.resize_with(n, Mat::default);
         }
     }
+
+    /// Bytes currently held by the workspace buffers, at their present
+    /// shapes. Tile sizes come from the autotuner, so this is a measured
+    /// (host-dependent) quantity — the memory accountant reports it on the
+    /// ungated `workspace` lane rather than gating it against the analytic
+    /// census.
+    pub fn resident_bytes(&self) -> u64 {
+        let mats = self.score.nbytes() + self.gp.nbytes() + self.gtmp.nbytes();
+        let vecs = 4 * (self.tile_lse.len() + self.tile_max.len());
+        let vtiles: usize = self.vtiles.iter().map(|m| m.nbytes()).sum();
+        (mats + vecs + vtiles) as u64
+    }
 }
 
 #[cfg(test)]
