@@ -46,6 +46,7 @@ fn cfg(strategy: Strategy) -> EngineConfig {
         emulate_bf16: false,
         bf16_activations: false,
         overlap: burst_dattn::OverlapMode::Fine,
+        skip_masked_rounds: false,
         adam: AdamCfg::default(),
         seed: 13,
     }

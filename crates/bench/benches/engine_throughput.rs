@@ -32,6 +32,7 @@ fn cfg(backend: Backend) -> EngineConfig {
         emulate_bf16: false,
         bf16_activations: false,
         overlap: OverlapMode::Fine,
+        skip_masked_rounds: false,
         adam: AdamCfg::default(),
         seed: 17,
     }

@@ -43,11 +43,15 @@ use burst_comm::obs::{
     StreamingPerfettoWriter,
 };
 use burst_comm::{
-    CommStats, DetectorCfg, FaultCounters, FaultPlan, Topology, TransportPolicy, World,
+    CommStats, DetectorCfg, FaultCounters, FaultPlan, Topology, TransportPolicy, WireDtype, World,
 };
-use burst_dattn::{run_attention, try_run_attention, Algo, CostModel, Layout};
+use burst_dattn::{
+    run_attention, try_run_attention, try_run_attention_opts, Algo, CostModel, Layout,
+};
 use burst_kernels::AttnMask;
-use burst_perf::commtime::{exact_wire_counts, layer_comm_times, RetransCensus, RingMethod};
+use burst_perf::commtime::{
+    exact_wire_counts, exact_wire_counts_masked_dtype, layer_comm_times, RetransCensus, RingMethod,
+};
 use burst_perf::Cluster;
 use burst_tensor::randn_mat;
 
@@ -123,16 +127,22 @@ struct MethodRun {
     mem: Vec<MemReport>,
 }
 
-fn run_method(algo: Algo, topo: &Topology, seq: usize, d: usize) -> MethodRun {
+fn run_method(
+    algo: Algo,
+    topo: &Topology,
+    seq: usize,
+    d: usize,
+    mask: &AttnMask,
+    layout: Layout,
+    skip: bool,
+) -> MethodRun {
     let g = topo.world_size();
     let q = randn_mat(seq, d, 0.7, 41);
     let k = randn_mat(seq, d, 0.7, 42);
     let v = randn_mat(seq, d, 0.7, 43);
     let grad_o = randn_mat(seq, d, 0.8, 44);
     let scale = 1.0 / (d as f32).sqrt();
-    let mask = AttnMask::Causal;
     let cost = CostModel::a800();
-    let layout = Layout::Zigzag;
     let world = World::new(topo.clone());
     let outs = world.run(|comm| {
         let idx = layout.indices(seq, g, comm.rank());
@@ -144,9 +154,10 @@ fn run_method(algo: Algo, topo: &Topology, seq: usize, d: usize) -> MethodRun {
         );
         comm.start_trace();
         comm.start_mem_accounting();
-        run_attention(
-            algo, comm, &ql, &kl, &vl, &dol, scale, &mask, layout, seq, &cost,
-        );
+        try_run_attention_opts(
+            algo, comm, &ql, &kl, &vl, &dol, scale, mask, layout, seq, &cost, skip,
+        )
+        .expect("fault-free schedule failed");
         comm.take_mem_report().expect("accounting was on")
     });
     let mut run = MethodRun {
@@ -165,6 +176,13 @@ fn run_method(algo: Algo, topo: &Topology, seq: usize, d: usize) -> MethodRun {
     run
 }
 
+/// Useful FLOPs of one attention layer pass under `mask`: the same
+/// 14 · d FLOPs per (query, key) pair as `obs::causal_attn_flops`, with
+/// the pair count read off the mask instead of assumed dense-causal.
+fn masked_attn_flops(mask: &AttnMask, seq_len: usize, head_dim: usize) -> f64 {
+    14.0 * head_dim as f64 * mask.allowed_pairs(seq_len) as f64
+}
+
 /// Fold one rank's counters and span aggregates into a fresh registry.
 fn rank_registry(trace: &RankTrace, stats: &CommStats, faults: &FaultCounters) -> Registry {
     let mut reg = Registry::new();
@@ -172,6 +190,8 @@ fn rank_registry(trace: &RankTrace, stats: &CommStats, faults: &FaultCounters) -
     reg.add_counter("comm/inter_msgs", stats.inter_msgs);
     reg.add_counter("comm/intra_bytes", stats.intra_bytes as u64);
     reg.add_counter("comm/inter_bytes", stats.inter_bytes as u64);
+    reg.add_counter("comm/rounds_skipped", stats.rounds_skipped);
+    reg.add_counter("comm/wire_bytes_saved", stats.skipped_bytes as u64);
     reg.add_secs("time/wait", trace.total_secs(SpanKind::Wait));
     reg.add_secs("time/compute", trace.total_secs(SpanKind::Kernel));
     let recompute: f64 = trace
@@ -632,15 +652,62 @@ fn run(args: &Args) -> Result<(), String> {
     assert_eq!(topo.inter.bandwidth, cluster.nic.bandwidth);
 
     let table1 = layer_comm_times(&cluster, args.seq, args.d);
-    let methods = [
-        ("ring", Algo::RingFlat, RingMethod::Ring, table1.ring),
-        (
+    /// One row of the report: a schedule run either dense (causal mask,
+    /// zigzag layout, no skipping — the legacy configuration) or masked
+    /// (sliding window over the contiguous layout with round skipping on,
+    /// the skip-rich configuration the sparsity gates police).
+    struct Row {
+        name: &'static str,
+        algo: Algo,
+        method: RingMethod,
+        table1_secs: f64,
+        mask: AttnMask,
+        layout: Layout,
+        skip: bool,
+    }
+    let window = AttnMask::SlidingWindow {
+        window: (args.seq / 4).max(1),
+    };
+    let dense_row = |name, algo, method, table1_secs| Row {
+        name,
+        algo,
+        method,
+        table1_secs,
+        mask: AttnMask::Causal,
+        layout: Layout::Zigzag,
+        skip: false,
+    };
+    let masked_row = |name, algo, method, table1_secs| Row {
+        name,
+        algo,
+        method,
+        table1_secs,
+        mask: window.clone(),
+        layout: Layout::Contiguous,
+        skip: true,
+    };
+    let rows = [
+        dense_row("ring", Algo::RingFlat, RingMethod::Ring, table1.ring),
+        dense_row(
             "double_ring",
             Algo::DoubleRing,
             RingMethod::DoubleRing,
             table1.double_ring,
         ),
-        ("burst", Algo::BurstTopo, RingMethod::Burst, table1.burst),
+        dense_row("burst", Algo::BurstTopo, RingMethod::Burst, table1.burst),
+        masked_row("ring_masked", Algo::RingFlat, RingMethod::Ring, table1.ring),
+        masked_row(
+            "double_ring_masked",
+            Algo::DoubleRing,
+            RingMethod::DoubleRing,
+            table1.double_ring,
+        ),
+        masked_row(
+            "burst_masked",
+            Algo::BurstTopo,
+            RingMethod::Burst,
+            table1.burst,
+        ),
     ];
 
     std::fs::create_dir_all(&args.out).map_err(|e| format!("mkdir {}: {e}", args.out))?;
@@ -650,8 +717,11 @@ fn run(args: &Args) -> Result<(), String> {
     let mut flame = String::new();
     let mut metrics = Registry::new();
 
-    for (name, algo, ring_method, table1_secs) in methods {
-        let run = run_method(algo, &topo, args.seq, args.d);
+    for row in rows {
+        let name = row.name;
+        let run = run_method(
+            row.algo, &topo, args.seq, args.d, &row.mask, row.layout, row.skip,
+        );
         for t in &run.traces {
             obs::validate(t).map_err(|e| format!("{name} rank {} trace: {e}", t.rank))?;
             if !t.warnings.is_empty() {
@@ -670,20 +740,71 @@ fn run(args: &Args) -> Result<(), String> {
                 ));
             }
         }
-        let predicted = exact_wire_counts(&cluster, args.seq, args.d, ring_method).secs(&cluster);
-        let m = MethodReport::from_traces(
+        let predicted = if row.skip {
+            exact_wire_counts_masked_dtype(
+                &cluster,
+                args.seq,
+                args.d,
+                row.method,
+                WireDtype::F32,
+                &row.mask,
+                row.layout,
+                None,
+                true,
+            )
+            .counts
+            .secs(&cluster)
+        } else {
+            exact_wire_counts(&cluster, args.seq, args.d, row.method).secs(&cluster)
+        };
+        let rounds_skipped: u64 = run.stats.iter().map(|s| s.rounds_skipped).sum();
+        let bytes_saved: f64 = run.stats.iter().map(|s| s.skipped_bytes).sum();
+        let mut m = MethodReport::from_traces(
             name,
             &run.traces,
             args.seq,
             args.d,
             cluster.peak_flops,
             predicted,
-            table1_secs,
+            row.table1_secs,
         )
-        .with_mem(&run.mem);
+        .with_mem(&run.mem)
+        .with_skips(rounds_skipped, bytes_saved);
+        // MFU against the FLOPs the mask actually allows — `from_traces`
+        // assumes dense-causal, which overstates useful work under a
+        // window (identical for the causal rows).
+        m.mfu = obs::mfu(
+            masked_attn_flops(&row.mask, args.seq, args.d),
+            m.makespan_secs,
+            m.world,
+            cluster.peak_flops,
+        );
+        if row.skip {
+            // The sparsity gates: a masked row that skips nothing is
+            // vacuous, and whatever it did skip must reconstruct the
+            // dense wire census to the byte when added back.
+            if m.rounds_skipped == 0 || m.wire_bytes_saved <= 0.0 {
+                return Err(format!(
+                    "{name}: masked run elided no rounds — the skip path is vacuous"
+                ));
+            }
+            let dense = exact_wire_counts(&cluster, args.seq, args.d, row.method);
+            let measured_bytes: f64 = run.stats.iter().map(|s| s.total_bytes()).sum();
+            if measured_bytes + m.wire_bytes_saved != dense.intra_bytes + dense.inter_bytes {
+                return Err(format!(
+                    "{name}: measured {measured_bytes} B + saved {} B do not reconstruct \
+                     the dense census {} B",
+                    m.wire_bytes_saved,
+                    dense.intra_bytes + dense.inter_bytes
+                ));
+            }
+        } else if m.rounds_skipped != 0 || m.wire_bytes_saved != 0.0 {
+            return Err(format!("{name}: dense run billed phantom skips"));
+        }
         println!(
-            "{name:>12}: makespan {:.6}s  overlap {:.3}  mfu {:.4}  \
-             comm {:.6}s (predicted {:.6}s, rel err {:.5})  peak {:.3} MB gated",
+            "{name:>18}: makespan {:.6}s  overlap {:.3}  mfu {:.4}  \
+             comm {:.6}s (predicted {:.6}s, rel err {:.5})  peak {:.3} MB gated  \
+             skipped {} rounds / {:.3} MB saved",
             m.makespan_secs,
             m.overlap_efficiency,
             m.mfu,
@@ -691,6 +812,8 @@ fn run(args: &Args) -> Result<(), String> {
             m.comm_predicted_secs,
             m.comm_rel_err,
             m.peak.gated_total as f64 / 1e6,
+            m.rounds_skipped,
+            m.wire_bytes_saved / 1e6,
         );
         if m.comm_rel_err > MAX_COMM_REL_ERR {
             return Err(format!(

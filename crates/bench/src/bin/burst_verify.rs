@@ -20,11 +20,12 @@ use std::process::ExitCode;
 
 use burst_comm::{FaultPlan, Topology, TransportPolicy};
 use burst_dattn::{Algo, ElasticOpts, Layout};
-use burst_kernels::AttnMask;
+use burst_kernels::{AttnMask, BlockSparseMask};
 use burst_model::engine::{Backend, EngineConfig};
 use burst_verify::diff::{
     attn_inputs, elastic_ops_after, engine_elastic, engine_resume, engine_run, engine_span,
-    run_elastic, run_elastic_on, run_ring_family, run_ulysses, run_usp, GlobalAttn,
+    run_elastic, run_elastic_on, run_ring_family, run_ring_family_opts, run_ulysses, run_usp,
+    GlobalAttn,
 };
 use burst_verify::oracle::{oracle_attention, oracle_train, OracleAttn};
 use burst_verify::{
@@ -231,6 +232,7 @@ fn attention_cells(seed: u64, cells: &mut Vec<Cell>) {
     let dr_opts = ElasticOpts {
         double_ring: true,
         warm_start: false,
+        skip_masked_rounds: false,
     };
     let outcome = run_elastic_on(&multi, 24, d, seed, Some(&crash_dr), dr_opts)
         .map_err(|e| e.to_string())
@@ -245,6 +247,100 @@ fn attention_cells(seed: u64, cells: &mut Vec<Cell>) {
             check_attn(&label, &out.attn, &want, true).map_err(|d| d.to_string())
         });
     push(cells, &label, seed, outcome);
+}
+
+/// Deterministic random block-sparse pattern (xorshift64, diagonal kept
+/// allowed) — the same generator the verify-crate test matrix uses.
+fn random_block_sparse(n: usize, block: usize, seed: u64) -> AttnMask {
+    let nblocks = n.div_ceil(block);
+    let mut s = seed | 1;
+    let mut allowed = vec![false; nblocks * nblocks];
+    for bi in 0..nblocks {
+        for bj in 0..nblocks {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            allowed[bi * nblocks + bj] = bi == bj || (s >> 33) & 3 == 0;
+        }
+    }
+    AttnMask::BlockSparse(BlockSparseMask::new(block, nblocks, allowed))
+}
+
+/// The masked rows of the matrix: every sparse mask kind through every
+/// ring-family schedule with mask-aware round skipping ON, checked against
+/// the oracle — and against the skip-OFF run of the same cell **bit for
+/// bit** (skipping must be a pure communication optimisation). The
+/// contiguous layout keeps fully-masked rounds plentiful, so the skip path
+/// is genuinely exercised, and the multi-node topology exercises
+/// forwarding-only hops.
+fn masked_cells(seed: u64, cells: &mut Vec<Cell>) {
+    let (n, d) = (32usize, 8usize);
+    let multi = Topology::a800(2, 2);
+    let masks = [
+        ("sliding-window", AttnMask::SlidingWindow { window: 8 }),
+        (
+            "dilated",
+            AttnMask::Dilated {
+                window: 16,
+                step: 2,
+            },
+        ),
+        ("block-sparse", random_block_sparse(n, 4, seed)),
+    ];
+    let ring_algos = [
+        ("ring-flat", Algo::RingFlat),
+        ("burst-flat", Algo::BurstFlat),
+        ("double-ring", Algo::DoubleRing),
+        ("burst-topo", Algo::BurstTopo),
+    ];
+    for (mask_name, mask) in &masks {
+        let want = oracle_for(n, d, seed, mask);
+        for (name, algo) in ring_algos {
+            let label = format!("attn/{name}/masked-{mask_name}");
+            let outcome = run_ring_family_opts(
+                algo,
+                Layout::Contiguous,
+                &multi,
+                n,
+                d,
+                seed,
+                mask,
+                None,
+                true,
+            )
+            .map_err(|e| e.to_string())
+            .and_then(|got| {
+                check_attn(&label, &got, &want, true).map_err(|d| d.to_string())?;
+                let dense = run_ring_family_opts(
+                    algo,
+                    Layout::Contiguous,
+                    &multi,
+                    n,
+                    d,
+                    seed,
+                    mask,
+                    None,
+                    false,
+                )
+                .map_err(|e| e.to_string())?;
+                for (what, a, b) in [
+                    ("o", &got.o, &dense.o),
+                    ("dq", &got.dq, &dense.dq),
+                    ("dk", &got.dk, &dense.dk),
+                    ("dv", &got.dv, &dense.dv),
+                ] {
+                    if bits_differ(a.as_slice(), b.as_slice()) {
+                        return Err(format!("{what}: skip-on differs from skip-off"));
+                    }
+                }
+                if bits_differ(&got.lse, &dense.lse) {
+                    return Err("lse: skip-on differs from skip-off".to_string());
+                }
+                Ok(())
+            });
+            push(cells, &label, seed, outcome);
+        }
+    }
 }
 
 /// The engine half: every backend trains against the oracle train-step,
@@ -542,6 +638,7 @@ fn run(args: &Args) -> Result<(), String> {
     for s in 0..args.seeds {
         let seed = args.seed_base + s;
         attention_cells(seed, &mut cells);
+        masked_cells(seed, &mut cells);
         engine_cells(seed, args.steps, &mut cells);
         transport_cells(seed, args.steps, &mut cells);
     }

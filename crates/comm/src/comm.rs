@@ -545,6 +545,29 @@ impl Communicator {
         self.faults
     }
 
+    /// Record one ring round elided entirely by mask-aware skipping (no
+    /// compute, no traffic, no virtual time). Pure accounting: never
+    /// touches the clock.
+    #[inline]
+    pub fn note_round_skipped(&mut self) {
+        self.stats.rounds_skipped += 1;
+    }
+
+    /// Record a suppressed `Mat` send of `elems` elements — wire bytes a
+    /// dense schedule would have shipped at this site, billed at the
+    /// topology's wire dtype. Pure accounting.
+    #[inline]
+    pub fn note_skipped_mat(&mut self, elems: usize) {
+        self.stats.skipped_bytes += self.topo.wire_bytes(elems);
+    }
+
+    /// Record a suppressed statistics-vector send of `len` f32 elements
+    /// (LSE/D vectors always travel at 4 bytes each). Pure accounting.
+    #[inline]
+    pub fn note_skipped_vec(&mut self, len: usize) {
+        self.stats.skipped_bytes += 4.0 * len as f64;
+    }
+
     /// Communication operations (sends + receives) performed so far — the
     /// index space of [`FaultPlan::crash_at_op`].
     #[inline]

@@ -32,6 +32,14 @@ pub struct CommStats {
     /// `total_bytes()` of a healed run equals the clean run exactly and
     /// `retrans_bytes` is precisely the recovery overhead.
     pub retrans_bytes: f64,
+    /// Ring rounds mask-aware skipping elided entirely on this rank — no
+    /// compute, no sends, no receives, no virtual time.
+    pub rounds_skipped: u64,
+    /// Wire bytes the skip gates avoided putting on the wire (the sends a
+    /// dense schedule would have posted at the same sites). Dual of the
+    /// clean byte counters: `total_bytes() + skipped_bytes` equals the
+    /// dense schedule's census exactly.
+    pub skipped_bytes: f64,
 }
 
 impl CommStats {
@@ -62,6 +70,8 @@ impl CommStats {
             compute_time: self.compute_time + other.compute_time,
             retrans_msgs: self.retrans_msgs + other.retrans_msgs,
             retrans_bytes: self.retrans_bytes + other.retrans_bytes,
+            rounds_skipped: self.rounds_skipped + other.rounds_skipped,
+            skipped_bytes: self.skipped_bytes + other.skipped_bytes,
         }
     }
 
@@ -173,6 +183,8 @@ mod tests {
             compute_time: 1.5,
             retrans_msgs: 3,
             retrans_bytes: 50.0,
+            rounds_skipped: 4,
+            skipped_bytes: 25.0,
         };
         let m = a.merge(&a);
         assert_eq!(m.total_msgs(), 6);
@@ -183,5 +195,7 @@ mod tests {
         assert_eq!(m.retrans_msgs, 6);
         assert_eq!(m.retrans_bytes, 100.0);
         assert_eq!(m.wire_bytes_with_retrans(), 700.0);
+        assert_eq!(m.rounds_skipped, 8);
+        assert_eq!(m.skipped_bytes, 50.0);
     }
 }

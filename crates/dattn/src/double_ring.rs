@@ -29,10 +29,48 @@
 //! each sweep's start bundle) by reference — steady-state rounds perform no
 //! heap allocations in the tile-compute path.
 
-use crate::ring::{escalate_attn, AttnFailure, AttnShard, BackwardInputs, DistAttnOut, Phase};
+use crate::ring::{
+    escalate_attn, AttnFailure, AttnShard, BackwardInputs, DistAttnOut, KvHold, Phase,
+};
 use burst_comm::{Communicator, MemCategory, SpanKind, Topology};
 use burst_kernels::{attn_tile_backward, attn_tile_backward_acc, flash_forward_acc, KernelWork};
 use burst_tensor::{Mat, Scratch};
+
+/// What a rank holds of a circulating read-only `(Q, ∇O, Lse, D)` bundle.
+/// `Absent` only arises with skipping on; gate monotonicity guarantees an
+/// absent bundle is never read.
+enum RoHold {
+    Local,
+    Owned(Mat, Mat, Vec<f32>, Vec<f32>),
+    Absent,
+}
+
+impl RoHold {
+    fn view<'a>(
+        &'a self,
+        q: &'a Mat,
+        grad_o: &'a Mat,
+        lse: &'a [f32],
+        d: &'a [f32],
+    ) -> (&'a Mat, &'a Mat, &'a [f32], &'a [f32]) {
+        match self {
+            RoHold::Local => (q, grad_o, lse, d),
+            RoHold::Owned(oq, oo, ol, od) => (oq, oo, ol, od),
+            RoHold::Absent => unreachable!("skip gates never read an absent bundle"),
+        }
+    }
+}
+
+/// Resolve the two-level `cur`-over-`start` K/V hold without touching
+/// `start` unless `cur` actually defers to it — with skipping on, a rank
+/// can own the current shard while the sweep's start shard was gated off
+/// and is legitimately absent.
+fn kv_pair<'a>(cur: &'a KvHold, start: &'a KvHold, k: &'a Mat, v: &'a Mat) -> (&'a Mat, &'a Mat) {
+    match cur {
+        KvHold::Local => start.view(k, v),
+        held => held.view(k, v),
+    }
+}
 
 /// The logical geometry of a two-level ring over an arbitrary member set.
 ///
@@ -194,75 +232,109 @@ pub fn try_double_ring_forward_on(
         MemCategory::Activations,
         (acc_o.nbytes() + 4 * acc_lse.len()) as u64,
     );
+    let plan = shard.skip_plan(&kidx_all);
+    let (buf_start, buf_cur) = plan.dr_fwd_bufs(me, nodes, gpn);
     let kv_wire = comm.mem_wire_bytes(shard.k.len() + shard.v.len());
-    let mem_start = if nodes > 1 {
+    let mem_start = if nodes > 1 && buf_start {
         comm.mem_alloc("dr_fwd_start_kv", MemCategory::CommBuffers, kv_wire)
     } else {
         None
     };
-    let mem_cur = if gpn > 1 {
+    let mem_cur = if gpn > 1 && buf_cur {
         comm.mem_alloc("dr_fwd_cur_kv", MemCategory::CommBuffers, kv_wire)
     } else {
         None
     };
 
-    // `None` start bundle = outer round 0, read the local shard in place;
-    // `None` current bundle = inner step 0, read the start bundle in place.
-    let mut start_owned: Option<(Mat, Mat)> = None;
+    // `Local` start bundle = outer round 0, read the local shard in place;
+    // `Local` current bundle = inner step 0, read the start bundle in place.
+    let mut start_held = KvHold::Local;
     let mut start_src = me;
     for outer in 0..nodes {
-        let (start_k, start_v) = match &start_owned {
-            Some((k, v)) => (k, v),
-            None => (shard.k, shard.v),
-        };
+        let op = plan.dr_fwd_outer(me, outer, nodes, gpn);
+        debug_assert_eq!(op.start_shard, start_src);
         if outer < nodes - 1 {
-            // Early inter-node post: hides behind the whole intra sweep.
-            let at = AttnFailure::at(Phase::Forward, outer * gpn);
-            comm.try_send_mat(peer_next, start_k).map_err(&at)?;
-            comm.try_send_mat(peer_next, start_v).map_err(&at)?;
+            if op.send_inter {
+                // Early inter-node post: hides behind the whole intra sweep.
+                let at = AttnFailure::at(Phase::Forward, outer * gpn);
+                let (start_k, start_v) = start_held.view(shard.k, shard.v);
+                comm.try_send_mat(peer_next, start_k).map_err(&at)?;
+                comm.try_send_mat(peer_next, start_v).map_err(&at)?;
+            } else {
+                comm.note_skipped_mat(kidx_all[start_src].len() * shard.k.cols());
+                comm.note_skipped_mat(kidx_all[start_src].len() * shard.v.cols());
+            }
         }
-        let mut cur_owned: Option<(Mat, Mat)> = None;
+        let mut cur_held = KvHold::Local;
         let mut src = start_src;
         for inner in 0..gpn {
+            let s = plan.dr_fwd_slot(me, outer, inner, nodes, gpn);
+            debug_assert_eq!(s.shard, src);
+            let k_elems = kidx_all[src].len() * shard.k.cols();
+            let v_elems = kidx_all[src].len() * shard.v.cols();
+            if s.idle() {
+                // Fully-masked slot: no span, no clock, no wire.
+                comm.note_round_skipped();
+                if inner < gpn - 1 {
+                    comm.note_skipped_mat(k_elems);
+                    comm.note_skipped_mat(v_elems);
+                    cur_held = KvHold::Absent;
+                    src = spec.prev_in_node(src);
+                }
+                continue;
+            }
             let at = AttnFailure::at(Phase::Forward, outer * gpn + inner);
             comm.span_begin(SpanKind::AttnRound, "dr_fwd_slot");
-            let (cur_k, cur_v) = match &cur_owned {
-                Some((k, v)) => (k, v),
-                None => (start_k, start_v),
-            };
             if inner < gpn - 1 {
-                comm.try_send_mat(intra_next, cur_k).map_err(&at)?;
-                comm.try_send_mat(intra_next, cur_v).map_err(&at)?;
+                if s.send {
+                    let (cur_k, cur_v) = kv_pair(&cur_held, &start_held, shard.k, shard.v);
+                    comm.try_send_mat(intra_next, cur_k).map_err(&at)?;
+                    comm.try_send_mat(intra_next, cur_v).map_err(&at)?;
+                } else {
+                    comm.note_skipped_mat(k_elems);
+                    comm.note_skipped_mat(v_elems);
+                }
             }
-            let w = flash_forward_acc(
-                shard.q,
-                cur_k,
-                cur_v,
-                shard.scale,
-                shard.mask,
-                &qi,
-                &kidx_all[src],
-                &mut acc_o,
-                &mut acc_lse,
-                &mut scratch,
-            );
-            comm.advance_compute(shard.cost.attn_fwd_secs(w.pairs, d));
-            work.merge(w);
+            if s.compute {
+                let (cur_k, cur_v) = kv_pair(&cur_held, &start_held, shard.k, shard.v);
+                let w = flash_forward_acc(
+                    shard.q,
+                    cur_k,
+                    cur_v,
+                    shard.scale,
+                    shard.mask,
+                    &qi,
+                    &kidx_all[src],
+                    &mut acc_o,
+                    &mut acc_lse,
+                    &mut scratch,
+                );
+                comm.advance_compute(shard.cost.attn_fwd_secs(w.pairs, d));
+                work.merge(w);
+            }
             if inner < gpn - 1 {
-                cur_owned = Some((
-                    comm.try_recv_mat(intra_prev).map_err(&at)?,
-                    comm.try_recv_mat(intra_prev).map_err(&at)?,
-                ));
+                cur_held = if s.recv {
+                    KvHold::Owned(
+                        comm.try_recv_mat(intra_prev).map_err(&at)?,
+                        comm.try_recv_mat(intra_prev).map_err(&at)?,
+                    )
+                } else {
+                    KvHold::Absent
+                };
                 src = spec.prev_in_node(src);
             }
             comm.span_end();
         }
         if outer < nodes - 1 {
-            let at = AttnFailure::at(Phase::Forward, (outer + 1) * gpn - 1);
-            start_owned = Some((
-                comm.try_recv_mat(peer_prev).map_err(&at)?,
-                comm.try_recv_mat(peer_prev).map_err(&at)?,
-            ));
+            start_held = if op.recv_inter {
+                let at = AttnFailure::at(Phase::Forward, (outer + 1) * gpn - 1);
+                KvHold::Owned(
+                    comm.try_recv_mat(peer_prev).map_err(&at)?,
+                    comm.try_recv_mat(peer_prev).map_err(&at)?,
+                )
+            } else {
+                KvHold::Absent
+            };
             start_src = spec.peer_prev_node(start_src);
         }
     }
@@ -327,73 +399,130 @@ pub fn try_double_ring_backward_alg1_on(
     let d_vec = back.grad_o.rowsum_hadamard(back.o);
     let d_recompute = shard.cost.gemm_secs(shard.q.rows(), d, 1);
     let mut grad_q = Mat::zeros(shard.q.rows(), shard.q.cols());
-    let mut owned_kv: Option<(Mat, Mat)> = None;
-    let mut cur_dk = Mat::zeros(shard.k.rows(), shard.k.cols());
-    let mut cur_dv = Mat::zeros(shard.v.rows(), shard.v.cols());
+    let mut held = KvHold::Local;
+    // The (∇K, ∇V) half of the circulating bundle, materialized lazily at
+    // the first contribution (dense zeros plus identical adds — bit-equal
+    // to the always-materialized dense path).
+    let mut dkv: Option<(Mat, Mat)> = None;
     let mut scratch = Scratch::new();
     let mut src = me;
+    let plan = shard.skip_plan(&kidx_all);
     // Pass-scoped accountant entries: the ∇Q accumulator and — when the
     // ring circulates — Algorithm 1's fused (K, V, ∇K, ∇V) bundle. No early
-    // posts here, so a single slot covers both ring levels.
+    // posts here, so a single slot covers both ring levels; with skipping
+    // on, a rank gated out of a half never holds it.
     let mem_dq = comm.mem_alloc(
         "dr_bwd_dq",
         MemCategory::Activations,
         grad_q.nbytes() as u64,
     );
-    let bundle_wire = comm.mem_wire_bytes(2 * (shard.k.len() + shard.v.len()));
-    let mem_bundle = if g > 1 {
-        comm.mem_alloc("dr_bwd_kv_grads", MemCategory::CommBuffers, bundle_wire)
+    let (buf_kv, buf_dkv) = plan.dr_alg1_bufs(me, nodes, gpn);
+    let halves = buf_kv as u64 + buf_dkv as u64;
+    let half_wire = comm.mem_wire_bytes(shard.k.len() + shard.v.len());
+    let mem_bundle = if g > 1 && halves > 0 {
+        comm.mem_alloc(
+            "dr_bwd_kv_grads",
+            MemCategory::CommBuffers,
+            halves * half_wire,
+        )
     } else {
         None
     };
 
     for outer in 0..nodes {
         for inner in 0..gpn {
-            let at = AttnFailure::at(Phase::Backward, outer * gpn + inner);
-            comm.span_begin(SpanKind::AttnRound, "dr_bwd_slot");
-            let (cur_k, cur_v) = match &owned_kv {
-                Some((k, v)) => (k, v),
-                None => (shard.k, shard.v),
-            };
-            let w = attn_tile_backward_acc(
-                shard.q,
-                cur_k,
-                cur_v,
-                back.grad_o,
-                back.lse,
-                &d_vec,
-                shard.scale,
-                shard.mask,
-                &qi,
-                &kidx_all[src],
-                &mut grad_q,
-                &mut cur_dk,
-                &mut cur_dv,
-                &mut scratch,
-            );
-            // Algorithm 1 recomputes D every round.
-            comm.advance_compute(shard.cost.attn_bwd_secs(w.pairs, d) + d_recompute);
+            let t = outer * gpn + inner;
+            let s = plan.dr_alg1_slot(me, t, nodes, gpn);
+            debug_assert_eq!(s.shard, src);
+            let last = t + 1 == g;
             let last_inner = inner == gpn - 1;
-            let dst = if last_inner {
-                if outer == nodes - 1 {
-                    comm.span_end();
-                    break; // sweep done; completion hops below
+            let k_elems = kidx_all[src].len() * shard.k.cols();
+            let v_elems = kidx_all[src].len() * shard.v.cols();
+            if s.idle() {
+                comm.note_round_skipped();
+                if !last {
+                    comm.note_skipped_mat(k_elems);
+                    comm.note_skipped_mat(v_elems);
+                    comm.note_skipped_mat(k_elems);
+                    comm.note_skipped_mat(v_elems);
+                    held = KvHold::Absent;
+                    dkv = None;
+                    src = if last_inner {
+                        spec.peer_prev_node(src)
+                    } else {
+                        spec.prev_in_node(src)
+                    };
                 }
-                peer_next
-            } else {
-                intra_next
-            };
+                continue;
+            }
+            let at = AttnFailure::at(Phase::Backward, t);
+            comm.span_begin(SpanKind::AttnRound, "dr_bwd_slot");
+            if s.compute {
+                let (cur_k, cur_v) = held.view(shard.k, shard.v);
+                if dkv.is_none() {
+                    dkv = Some((
+                        Mat::zeros(kidx_all[src].len(), shard.k.cols()),
+                        Mat::zeros(kidx_all[src].len(), shard.v.cols()),
+                    ));
+                }
+                let (cur_dk, cur_dv) = dkv.as_mut().expect("just materialized");
+                let w = attn_tile_backward_acc(
+                    shard.q,
+                    cur_k,
+                    cur_v,
+                    back.grad_o,
+                    back.lse,
+                    &d_vec,
+                    shard.scale,
+                    shard.mask,
+                    &qi,
+                    &kidx_all[src],
+                    &mut grad_q,
+                    cur_dk,
+                    cur_dv,
+                    &mut scratch,
+                );
+                // Algorithm 1 recomputes D every round.
+                comm.advance_compute(shard.cost.attn_bwd_secs(w.pairs, d) + d_recompute);
+            }
+            if last {
+                comm.span_end();
+                break; // sweep done; completion hops below
+            }
+            let dst = if last_inner { peer_next } else { intra_next };
             let src_peer = if last_inner { peer_prev } else { intra_prev };
-            comm.try_send_mat(dst, cur_k).map_err(&at)?;
-            comm.try_send_mat(dst, cur_v).map_err(&at)?;
-            comm.try_send_mat(dst, &cur_dk).map_err(&at)?;
-            comm.try_send_mat(dst, &cur_dv).map_err(&at)?;
-            owned_kv = Some((
-                comm.try_recv_mat(src_peer).map_err(&at)?,
-                comm.try_recv_mat(src_peer).map_err(&at)?,
-            ));
-            cur_dk = comm.try_recv_mat(src_peer).map_err(&at)?;
-            cur_dv = comm.try_recv_mat(src_peer).map_err(&at)?;
+            if s.send_kv {
+                let (cur_k, cur_v) = held.view(shard.k, shard.v);
+                comm.try_send_mat(dst, cur_k).map_err(&at)?;
+                comm.try_send_mat(dst, cur_v).map_err(&at)?;
+            } else {
+                comm.note_skipped_mat(k_elems);
+                comm.note_skipped_mat(v_elems);
+            }
+            if s.send_dkv {
+                let (cur_dk, cur_dv) = dkv.as_ref().expect("∇K/∇V gate implies a contribution");
+                comm.try_send_mat(dst, cur_dk).map_err(&at)?;
+                comm.try_send_mat(dst, cur_dv).map_err(&at)?;
+            } else {
+                comm.note_skipped_mat(k_elems);
+                comm.note_skipped_mat(v_elems);
+            }
+            held = if s.recv_kv {
+                KvHold::Owned(
+                    comm.try_recv_mat(src_peer).map_err(&at)?,
+                    comm.try_recv_mat(src_peer).map_err(&at)?,
+                )
+            } else {
+                KvHold::Absent
+            };
+            dkv = if s.recv_dkv {
+                Some((
+                    comm.try_recv_mat(src_peer).map_err(&at)?,
+                    comm.try_recv_mat(src_peer).map_err(&at)?,
+                ))
+            } else {
+                None
+            };
             src = if last_inner {
                 spec.peer_prev_node(src)
             } else {
@@ -404,31 +533,60 @@ pub fn try_double_ring_backward_alg1_on(
     }
     // Completion: deliver (∇K, ∇V) home — one inter hop (the sweep ends one
     // node early) plus `nodes mod gpn` intra hops (local drift of the
-    // nested rotation).
-    let at = AttnFailure::at(Phase::Backward, nodes * gpn - 1);
-    comm.span_begin(SpanKind::AttnRound, "dr_bwd_completion");
-    if nodes > 1 {
-        comm.try_send_mat(peer_next, &cur_dk).map_err(&at)?;
-        comm.try_send_mat(peer_next, &cur_dv).map_err(&at)?;
-        cur_dk = comm.try_recv_mat(peer_prev).map_err(&at)?;
-        cur_dv = comm.try_recv_mat(peer_prev).map_err(&at)?;
-        src = spec.peer_prev_node(src);
+    // nested rotation). Each hop's gate is `col_any` of the shard it moves;
+    // a completion with hops but no live gate anywhere on this rank is one
+    // skipped round.
+    let hops = plan.dr_alg1_completion(me, nodes, gpn);
+    if hops.is_empty() || hops.iter().any(|h| h.send || h.recv) {
+        let at = AttnFailure::at(Phase::Backward, nodes * gpn - 1);
+        comm.span_begin(SpanKind::AttnRound, "dr_bwd_completion");
+        for h in &hops {
+            let (dst, src_peer) = if h.inter {
+                (peer_next, peer_prev)
+            } else {
+                (intra_next, intra_prev)
+            };
+            if h.send {
+                let (dk, dv) = dkv
+                    .as_ref()
+                    .expect("completion gate implies a contribution");
+                comm.try_send_mat(dst, dk).map_err(&at)?;
+                comm.try_send_mat(dst, dv).map_err(&at)?;
+            } else {
+                comm.note_skipped_mat(kidx_all[h.send_shard].len() * shard.k.cols());
+                comm.note_skipped_mat(kidx_all[h.send_shard].len() * shard.v.cols());
+            }
+            dkv = if h.recv {
+                Some((
+                    comm.try_recv_mat(src_peer).map_err(&at)?,
+                    comm.try_recv_mat(src_peer).map_err(&at)?,
+                ))
+            } else {
+                None
+            };
+        }
+        comm.span_end();
+    } else {
+        comm.note_round_skipped();
+        for h in &hops {
+            comm.note_skipped_mat(kidx_all[h.send_shard].len() * shard.k.cols());
+            comm.note_skipped_mat(kidx_all[h.send_shard].len() * shard.v.cols());
+        }
+        dkv = None;
     }
-    for _ in 0..nodes % gpn {
-        comm.try_send_mat(intra_next, &cur_dk).map_err(&at)?;
-        comm.try_send_mat(intra_next, &cur_dv).map_err(&at)?;
-        cur_dk = comm.try_recv_mat(intra_prev).map_err(&at)?;
-        cur_dv = comm.try_recv_mat(intra_prev).map_err(&at)?;
-        // The buffer we now hold came from our intra predecessor, whose
-        // owner sits one local slot earlier than our previous buffer's.
-        src = spec.prev_in_node(src);
-    }
-    comm.span_end();
-    debug_assert_eq!(src, me, "alg1 completion must deliver home");
     comm.mem_note_workspace(scratch.resident_bytes());
     comm.mem_free(mem_bundle);
     comm.mem_free(mem_dq);
-    Ok((grad_q, cur_dk, cur_dv))
+    let (grad_k, grad_v) = match dkv {
+        Some(pair) => pair,
+        // No live consumer anywhere for our shard: the dense gradients are
+        // identically (+0.0) zero.
+        None => (
+            Mat::zeros(shard.k.rows(), shard.k.cols()),
+            Mat::zeros(shard.v.rows(), shard.v.cols()),
+        ),
+    };
+    Ok((grad_q, grad_k, grad_v))
 }
 
 /// Full BurstAttention backward: Algorithm 2 over the two-level ring with
@@ -504,6 +662,8 @@ pub fn try_double_ring_backward_alg2_on(
         return Ok((dq, dk, dv));
     }
 
+    let plan = shard.skip_plan(&qidx_all);
+    let (buf_start, buf_cur, buf_dq_ring, buf_dq_buf) = plan.dr_alg2_bufs(me, nodes, gpn);
     // Pass-scoped accountant entries: ∇K/∇V accumulators and the per-round
     // ∇Q staging buffer, plus one read-only-bundle slot per active ring
     // level and one slot for the ∇Q partial riding one step behind.
@@ -512,84 +672,132 @@ pub fn try_double_ring_backward_alg2_on(
         MemCategory::Activations,
         (grad_k.nbytes() + grad_v.nbytes()) as u64,
     );
-    let mem_dq_buf = comm.mem_alloc(
-        "dr_bwd_dq_buf",
-        MemCategory::Activations,
-        shard.q.nbytes() as u64,
-    );
+    let mem_dq_buf = if buf_dq_buf {
+        comm.mem_alloc(
+            "dr_bwd_dq_buf",
+            MemCategory::Activations,
+            shard.q.nbytes() as u64,
+        )
+    } else {
+        None
+    };
     let ro_wire = comm.mem_wire_bytes(shard.q.len() + back.grad_o.len())
         + 4 * (back.lse.len() + d_vec.len()) as u64;
-    let mem_start = if nodes > 1 {
+    let mem_start = if nodes > 1 && buf_start {
         comm.mem_alloc("dr_bwd_start_bundle", MemCategory::CommBuffers, ro_wire)
     } else {
         None
     };
-    let mem_cur = if gpn > 1 {
+    let mem_cur = if gpn > 1 && buf_cur {
         comm.mem_alloc("dr_bwd_cur_bundle", MemCategory::CommBuffers, ro_wire)
     } else {
         None
     };
     let dq_wire = comm.mem_wire_bytes(shard.q.len());
-    let mem_dq_ring = comm.mem_alloc("dr_dq_ring", MemCategory::CommBuffers, dq_wire);
+    let mem_dq_ring = if buf_dq_ring {
+        comm.mem_alloc("dr_dq_ring", MemCategory::CommBuffers, dq_wire)
+    } else {
+        None
+    };
 
     // The rank that processes a bundle right after us when crossing nodes,
     // and the one that processed it right before us.
     let diag_next = spec.rank_at(spec.peer_next_node(spec.next_in_node(me)));
     let diag_prev = spec.rank_at(spec.peer_prev_node(spec.prev_in_node(me)));
 
-    let mut start_owned: Option<(Mat, Mat, Vec<f32>, Vec<f32>)> = None;
+    let mut start_held = RoHold::Local;
     let mut start_src = me;
 
     for outer in 0..nodes {
-        let (start_q, start_do, start_lse, start_d): (&Mat, &Mat, &[f32], &[f32]) =
-            match &start_owned {
-                Some((q, o, l, dd)) => (q, o, l, dd),
-                None => (shard.q, back.grad_o, back.lse, &d_vec),
-            };
+        let op = plan.dr_alg2_outer(me, outer, nodes, gpn);
+        debug_assert_eq!(op.start_bundle, start_src);
         if outer < nodes - 1 {
-            // Early inter-node post of the read-only bundle.
-            let at = AttnFailure::at(Phase::Backward, outer * gpn);
-            let p = peer_next;
-            comm.try_send_mat(p, start_q).map_err(&at)?;
-            comm.try_send_mat(p, start_do).map_err(&at)?;
-            comm.try_send_vec(p, start_lse).map_err(&at)?;
-            comm.try_send_vec(p, start_d).map_err(&at)?;
+            if op.send_inter {
+                // Early inter-node post of the read-only bundle.
+                let at = AttnFailure::at(Phase::Backward, outer * gpn);
+                let (start_q, start_do, start_lse, start_d) =
+                    start_held.view(shard.q, back.grad_o, back.lse, &d_vec);
+                let p = peer_next;
+                comm.try_send_mat(p, start_q).map_err(&at)?;
+                comm.try_send_mat(p, start_do).map_err(&at)?;
+                comm.try_send_vec(p, start_lse).map_err(&at)?;
+                comm.try_send_vec(p, start_d).map_err(&at)?;
+            } else {
+                let rows = qidx_all[start_src].len();
+                comm.note_skipped_mat(rows * (shard.q.cols() + back.grad_o.cols()));
+                comm.note_skipped_vec(2 * rows);
+            }
         }
-        let mut cur_owned: Option<(Mat, Mat, Vec<f32>, Vec<f32>)> = None;
+        let mut cur_held = RoHold::Local;
         let mut src = start_src;
         for inner in 0..gpn {
-            let at = AttnFailure::at(Phase::Backward, outer * gpn + inner);
+            let t = outer * gpn + inner;
+            let s = plan.dr_alg2_slot(me, outer, inner, nodes, gpn);
+            debug_assert_eq!(s.bundle, src);
+            let rows_j = qidx_all[src].len();
+            let ro_mat_elems = rows_j * (shard.q.cols() + back.grad_o.cols());
+            let dq_elems = rows_j * shard.q.cols();
+            if s.idle() {
+                comm.note_round_skipped();
+                if inner < gpn - 1 {
+                    comm.note_skipped_mat(ro_mat_elems);
+                    comm.note_skipped_vec(2 * rows_j);
+                    cur_held = RoHold::Absent;
+                    src = spec.prev_in_node(src);
+                }
+                comm.note_skipped_mat(dq_elems);
+                continue;
+            }
+            let at = AttnFailure::at(Phase::Backward, t);
             comm.span_begin(SpanKind::AttnRound, "dr_bwd_slot");
-            let (cur_q, cur_do, cur_lse, cur_d): (&Mat, &Mat, &[f32], &[f32]) = match &cur_owned {
-                Some((q, o, l, dd)) => (q, o, l, dd),
-                None => (start_q, start_do, start_lse, start_d),
+            // Dereference the bundle lazily: a slot can be live purely for
+            // the ∇Q stream (or an intra receive) while the read-only
+            // bundle itself was gated off upstream and is absent here.
+            let ro = if s.send_ro || s.compute {
+                Some(match &cur_held {
+                    RoHold::Local => start_held.view(shard.q, back.grad_o, back.lse, &d_vec),
+                    held => held.view(shard.q, back.grad_o, back.lse, &d_vec),
+                })
+            } else {
+                None
             };
             if inner < gpn - 1 {
-                // Read-only intra post before compute.
-                let n = intra_next;
-                comm.try_send_mat(n, cur_q).map_err(&at)?;
-                comm.try_send_mat(n, cur_do).map_err(&at)?;
-                comm.try_send_vec(n, cur_lse).map_err(&at)?;
-                comm.try_send_vec(n, cur_d).map_err(&at)?;
+                if s.send_ro {
+                    // Read-only intra post before compute.
+                    let (cur_q, cur_do, cur_lse, cur_d) =
+                        ro.expect("send gate implies a held bundle");
+                    let n = intra_next;
+                    comm.try_send_mat(n, cur_q).map_err(&at)?;
+                    comm.try_send_mat(n, cur_do).map_err(&at)?;
+                    comm.try_send_vec(n, cur_lse).map_err(&at)?;
+                    comm.try_send_vec(n, cur_d).map_err(&at)?;
+                } else {
+                    comm.note_skipped_mat(ro_mat_elems);
+                    comm.note_skipped_vec(2 * rows_j);
+                }
             }
-            dq_buf.reshape_in_place(cur_q.rows(), cur_q.cols());
-            let w = attn_tile_backward_acc(
-                cur_q,
-                shard.k,
-                shard.v,
-                cur_do,
-                cur_lse,
-                cur_d,
-                shard.scale,
-                shard.mask,
-                &qidx_all[src],
-                &ki,
-                &mut dq_buf,
-                &mut grad_k,
-                &mut grad_v,
-                &mut scratch,
-            );
-            comm.advance_compute(shard.cost.attn_bwd_secs(w.pairs, d));
+            if s.compute {
+                let (cur_q, cur_do, cur_lse, cur_d) =
+                    ro.expect("compute gate implies a held bundle");
+                dq_buf.reshape_in_place(cur_q.rows(), cur_q.cols());
+                let w = attn_tile_backward_acc(
+                    cur_q,
+                    shard.k,
+                    shard.v,
+                    cur_do,
+                    cur_lse,
+                    cur_d,
+                    shard.scale,
+                    shard.mask,
+                    &qidx_all[src],
+                    &ki,
+                    &mut dq_buf,
+                    &mut grad_k,
+                    &mut grad_v,
+                    &mut scratch,
+                );
+                comm.advance_compute(shard.cost.attn_bwd_secs(w.pairs, d));
+            }
             // ∇Q stream, one step behind: receive the partial sum from the
             // bundle's previous processor (none at the very first slot),
             // add our contribution, forward to the next processor.
@@ -598,46 +806,78 @@ pub fn try_double_ring_backward_alg2_on(
             } else {
                 intra_next
             };
-            if outer == 0 && inner == 0 {
-                comm.try_send_mat(to, &dq_buf).map_err(&at)?;
-            } else {
+            if s.recv_dq {
                 let from = if inner == 0 { diag_prev } else { intra_prev };
                 let mut dq_j = comm.try_recv_mat(from).map_err(&at)?;
+                if !s.compute {
+                    // Mirror the dense pass-through bit-for-bit: the reshape
+                    // zeroes the staging buffer and the add replays dense's
+                    // elementwise `+ 0.0`.
+                    dq_buf.reshape_in_place(dq_j.rows(), dq_j.cols());
+                }
                 dq_j.add_assign(&dq_buf);
                 comm.try_send_mat(to, &dq_j).map_err(&at)?;
+            } else if s.send_dq {
+                debug_assert!(s.compute, "first ∇Q contribution implies a live tile");
+                if t == 0 {
+                    comm.try_send_mat(to, &dq_buf).map_err(&at)?;
+                } else {
+                    // First contributor mid-ring: every upstream dense add
+                    // was `0.0 + 0.0`, so materialize the zeros and add.
+                    let mut dq_j = Mat::zeros(rows_j, shard.q.cols());
+                    dq_j.add_assign(&dq_buf);
+                    comm.try_send_mat(to, &dq_j).map_err(&at)?;
+                }
+            } else {
+                comm.note_skipped_mat(dq_elems);
             }
             if inner < gpn - 1 {
-                let p = intra_prev;
-                cur_owned = Some((
-                    comm.try_recv_mat(p).map_err(&at)?,
-                    comm.try_recv_mat(p).map_err(&at)?,
-                    comm.try_recv_vec(p).map_err(&at)?,
-                    comm.try_recv_vec(p).map_err(&at)?,
-                ));
+                cur_held = if s.recv_ro {
+                    let p = intra_prev;
+                    RoHold::Owned(
+                        comm.try_recv_mat(p).map_err(&at)?,
+                        comm.try_recv_mat(p).map_err(&at)?,
+                        comm.try_recv_vec(p).map_err(&at)?,
+                        comm.try_recv_vec(p).map_err(&at)?,
+                    )
+                } else {
+                    RoHold::Absent
+                };
                 src = spec.prev_in_node(src);
             }
             comm.span_end();
         }
         if outer < nodes - 1 {
-            let at = AttnFailure::at(Phase::Backward, (outer + 1) * gpn - 1);
-            let p = peer_prev;
-            start_owned = Some((
-                comm.try_recv_mat(p).map_err(&at)?,
-                comm.try_recv_mat(p).map_err(&at)?,
-                comm.try_recv_vec(p).map_err(&at)?,
-                comm.try_recv_vec(p).map_err(&at)?,
-            ));
+            start_held = if op.recv_inter {
+                let at = AttnFailure::at(Phase::Backward, (outer + 1) * gpn - 1);
+                let p = peer_prev;
+                RoHold::Owned(
+                    comm.try_recv_mat(p).map_err(&at)?,
+                    comm.try_recv_mat(p).map_err(&at)?,
+                    comm.try_recv_vec(p).map_err(&at)?,
+                    comm.try_recv_vec(p).map_err(&at)?,
+                )
+            } else {
+                RoHold::Absent
+            };
             start_src = spec.peer_prev_node(start_src);
         }
     }
     // The very last ∇Q send above (slot (nodes−1, gpn−1)) delivered that
     // bundle's gradient home via the diagonal; symmetrically, our own ∇Q
-    // arrives from our diagonal predecessor.
-    comm.span_begin(SpanKind::AttnRound, "dr_dq_final");
-    let grad_q = comm
-        .try_recv_mat(diag_prev)
-        .map_err(AttnFailure::at(Phase::Backward, nodes * gpn - 1))?;
-    comm.span_end();
+    // arrives from our diagonal predecessor — unless no rank anywhere
+    // attends to our queries, in which case ∇Q is identically zero.
+    let grad_q = if plan.dr_alg2_final(me) {
+        comm.span_begin(SpanKind::AttnRound, "dr_dq_final");
+        let gq = comm
+            .try_recv_mat(diag_prev)
+            .map_err(AttnFailure::at(Phase::Backward, nodes * gpn - 1))?;
+        comm.span_end();
+        gq
+    } else {
+        comm.note_round_skipped();
+        Mat::zeros(shard.q.rows(), shard.q.cols())
+    };
     comm.mem_note_workspace(scratch.resident_bytes());
     comm.mem_free(mem_dq_ring);
     comm.mem_free(mem_cur);

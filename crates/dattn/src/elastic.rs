@@ -75,6 +75,11 @@ pub struct ElasticOpts {
     /// at full world, sourcing *every* row — including this rank's own —
     /// from `load_shard`.
     pub warm_start: bool,
+    /// Mask-aware round skipping on every schedule the elastic loop runs
+    /// (flat ring, burst backward, double-ring): fully-masked rounds send
+    /// nothing, compute nothing and advance no virtual time, bit-identical
+    /// to the dense run. Off by default.
+    pub skip_masked_rounds: bool,
 }
 
 /// Ranks an attention failure implicates, for the eviction proposal.
@@ -302,6 +307,7 @@ pub fn try_elastic_attention_opts(
             seq_len,
             cost: *cost,
             max_token: None,
+            skip: opts.skip_masked_rounds,
         };
         let ring = Ring {
             members: members.clone(),

@@ -32,6 +32,7 @@ pub mod double_ring;
 pub mod elastic;
 pub mod layout;
 pub mod ring;
+pub mod skip;
 pub mod ulysses;
 pub mod usp;
 
@@ -45,6 +46,10 @@ pub use ring::{
     burst_backward, ring_backward, ring_forward, try_burst_backward, try_ring_backward,
     try_ring_forward, AttnFailure, AttnShard, BackwardInputs, DistAttnOut, OverlapMode, Phase,
     Ring,
+};
+pub use skip::{
+    census_dr_alg1, census_dr_alg2, census_dr_forward, census_flat_alg1, census_flat_alg2,
+    census_flat_forward, MaskedWire, RingGeom, SkipPlan,
 };
 
 use burst_comm::{CommError, Communicator, MemCategory};
@@ -156,6 +161,31 @@ pub fn try_run_attention(
     seq_len: usize,
     cost: &CostModel,
 ) -> Result<(Mat, Vec<f32>, Mat, Mat, Mat), AttnFailure> {
+    try_run_attention_opts(
+        algo, comm, q, k, v, grad_o, scale, mask, layout, seq_len, cost, false,
+    )
+}
+
+/// [`try_run_attention`] with mask-aware round skipping selectable: with
+/// `skip` on, every schedule classifies each (q-shard × kv-shard) tile via
+/// [`AttnMask::tile_state`] and elides fully-masked rounds — no compute, no
+/// wire traffic, no virtual time — while staying bit-identical to the
+/// unskipped run (a skipped tile contributes exactly nothing).
+#[allow(clippy::too_many_arguments)]
+pub fn try_run_attention_opts(
+    algo: Algo,
+    comm: &mut Communicator,
+    q: &Mat,
+    k: &Mat,
+    v: &Mat,
+    grad_o: &Mat,
+    scale: f32,
+    mask: &AttnMask,
+    layout: Layout,
+    seq_len: usize,
+    cost: &CostModel,
+    skip: bool,
+) -> Result<(Mat, Vec<f32>, Mat, Mat, Mat), AttnFailure> {
     let shard = AttnShard {
         q,
         k,
@@ -166,6 +196,7 @@ pub fn try_run_attention(
         seq_len,
         cost: *cost,
         max_token: None,
+        skip,
     };
     // The rank's resident sequence shards — Q, K, V and ∇O, f32 on device —
     // live for the whole forward+backward call.

@@ -27,6 +27,7 @@
 
 use crate::cost::CostModel;
 use crate::layout::Layout;
+use crate::skip::SkipPlan;
 use burst_comm::{CommError, Communicator, MemCategory, SpanKind};
 use burst_kernels::{
     attn_tile_backward, attn_tile_backward_acc, flash_forward_acc, AttnMask, KernelWork,
@@ -141,9 +142,26 @@ pub struct AttnShard<'a> {
     /// checkpointing to recompute only the front segment. `None` = full
     /// sequence.
     pub max_token: Option<usize>,
+    /// Mask-aware round skipping: classify every (q-shard × kv-shard) tile
+    /// up front and elide fully-masked rounds (no compute, no wire bytes,
+    /// no virtual time). Off by default — the dense path reproduces the
+    /// paper's headline `2Nd`/`4Nd`/`3Nd + 2N` traffic exactly; with skip
+    /// on the counters shrink to the masked census (and Algorithm 1's
+    /// read-only K/V homecoming hop disappears even under a full mask).
+    pub skip: bool,
 }
 
 impl AttnShard<'_> {
+    /// The pass's [`SkipPlan`]: tile liveness from the per-position index
+    /// tables when skipping is enabled, the gate-everything-on dense plan
+    /// otherwise.
+    pub(crate) fn skip_plan(&self, idx: &[Vec<usize>]) -> SkipPlan {
+        if self.skip {
+            SkipPlan::from_indices(self.mask, idx)
+        } else {
+            SkipPlan::dense(idx.len())
+        }
+    }
     /// Global indices owned by ring position `pos` of a `ring_size` ring.
     pub fn idx_at(&self, ring_size: usize, pos: usize) -> Vec<usize> {
         let idx = self.layout.indices(self.seq_len, ring_size, pos);
@@ -180,6 +198,28 @@ pub struct DistAttnOut {
     pub o: Mat,
     pub lse: Vec<f32>,
     pub work: KernelWork,
+}
+
+/// What a rank holds of a circulating (K, V) pair mid-ring. `Absent` only
+/// arises with skipping on, when the upstream gate elided the transfer;
+/// the gate monotonicity guarantees an absent shard is never read.
+pub(crate) enum KvHold {
+    /// Round 0: the local shard, by reference.
+    Local,
+    /// A received partition (owned ring buffers).
+    Owned(Mat, Mat),
+    /// Gated off upstream — no consumer here or downstream.
+    Absent,
+}
+
+impl KvHold {
+    pub(crate) fn view<'a>(&'a self, k: &'a Mat, v: &'a Mat) -> (&'a Mat, &'a Mat) {
+        match self {
+            KvHold::Local => (k, v),
+            KvHold::Owned(ok, ov) => (ok, ov),
+            KvHold::Absent => unreachable!("skip gates never read an absent shard"),
+        }
+    }
 }
 
 /// Communication/computation overlap discipline.
@@ -267,64 +307,85 @@ pub fn try_ring_forward(
     let d = shard.head_dim();
     let qi = shard.idx_at(g, ring.pos);
     let kidx_all: Vec<Vec<usize>> = (0..g).map(|p| shard.idx_at(g, p)).collect();
+    let plan = shard.skip_plan(&kidx_all);
     let mut acc_o = Mat::zeros(shard.q.rows(), shard.v.cols());
     let mut acc_lse = vec![f32::NEG_INFINITY; shard.q.rows()];
     let mut scratch = Scratch::new();
     let mut work = KernelWork::default();
     // Accountant entries for the pass: the persistent (O, Lse) accumulators
-    // and — when the ring actually circulates — one steady-state slot for
-    // the received (K, V) bundle, billed at the wire dtype. Registered once
-    // per pass, so steady-state rounds append nothing to the ledger.
+    // and — when the ring actually lands a partition here — one
+    // steady-state slot for the received (K, V) bundle, billed at the wire
+    // dtype. Registered once per pass, so steady-state rounds append
+    // nothing to the ledger.
     let mem_acc = comm.mem_alloc(
         "ring_fwd_acc",
         MemCategory::Activations,
         (acc_o.nbytes() + 4 * acc_lse.len()) as u64,
     );
     let kv_wire = comm.mem_wire_bytes(shard.k.len() + shard.v.len());
-    let mem_kv = if g > 1 {
+    let mem_kv = if g > 1 && plan.flat_fwd_recv_any(ring.pos) {
         comm.mem_alloc("ring_fwd_kv", MemCategory::CommBuffers, kv_wire)
     } else {
         None
     };
-    // `None` means "round 0, read the local shard in place"; afterwards the
-    // received partitions are owned ring buffers.
-    let mut owned_kv: Option<(Mat, Mat)> = None;
-    let mut src = ring.pos;
+    let mut held = KvHold::Local;
     for step in 0..g {
         let at = AttnFailure::at(Phase::Forward, step);
+        let r = plan.flat_fwd_round(ring.pos, step);
+        let k_elems = kidx_all[r.shard_out].len() * shard.k.cols();
+        let v_elems = kidx_all[r.shard_out].len() * shard.v.cols();
+        if r.idle() {
+            // Fully-masked round: no span, no clock, no wire. The sends the
+            // dense schedule would have posted are billed to the skip dual.
+            comm.note_round_skipped();
+            if step < g - 1 {
+                comm.note_skipped_mat(k_elems);
+                comm.note_skipped_mat(v_elems);
+            }
+            held = KvHold::Absent;
+            continue;
+        }
         // A rank that dies mid-round leaves this span open; the trace
         // collector force-closes it at crash time (with a warning).
         comm.span_begin(SpanKind::AttnRound, "fwd_round");
-        let (cur_k, cur_v) = match &owned_kv {
-            Some((k, v)) => (k, v),
-            None => (shard.k, shard.v),
-        };
         // Post the shift before computing so the transfer hides under the
         // kernel (double buffering).
         if step < g - 1 {
-            comm.try_send_mat(ring.next(), cur_k).map_err(&at)?;
-            comm.try_send_mat(ring.next(), cur_v).map_err(&at)?;
+            if r.send {
+                let (cur_k, cur_v) = held.view(shard.k, shard.v);
+                comm.try_send_mat(ring.next(), cur_k).map_err(&at)?;
+                comm.try_send_mat(ring.next(), cur_v).map_err(&at)?;
+            } else {
+                comm.note_skipped_mat(k_elems);
+                comm.note_skipped_mat(v_elems);
+            }
         }
-        let w = flash_forward_acc(
-            shard.q,
-            cur_k,
-            cur_v,
-            shard.scale,
-            shard.mask,
-            &qi,
-            &kidx_all[src],
-            &mut acc_o,
-            &mut acc_lse,
-            &mut scratch,
-        );
-        comm.advance_compute(shard.cost.attn_fwd_secs(w.pairs, d));
-        work.merge(w);
+        if r.compute {
+            let (cur_k, cur_v) = held.view(shard.k, shard.v);
+            let w = flash_forward_acc(
+                shard.q,
+                cur_k,
+                cur_v,
+                shard.scale,
+                shard.mask,
+                &qi,
+                &kidx_all[r.shard_out],
+                &mut acc_o,
+                &mut acc_lse,
+                &mut scratch,
+            );
+            comm.advance_compute(shard.cost.attn_fwd_secs(w.pairs, d));
+            work.merge(w);
+        }
         if step < g - 1 {
-            owned_kv = Some((
-                comm.try_recv_mat(ring.prev()).map_err(&at)?,
-                comm.try_recv_mat(ring.prev()).map_err(&at)?,
-            ));
-            src = (src + g - 1) % g;
+            held = if r.recv {
+                KvHold::Owned(
+                    comm.try_recv_mat(ring.prev()).map_err(&at)?,
+                    comm.try_recv_mat(ring.prev()).map_err(&at)?,
+                )
+            } else {
+                KvHold::Absent
+            };
         }
         comm.span_end();
     }
@@ -388,84 +449,140 @@ pub fn try_ring_backward(
     }
     let mut grad_q = Mat::zeros(shard.q.rows(), shard.q.cols());
     let kidx_all: Vec<Vec<usize>> = (0..g).map(|p| shard.idx_at(g, p)).collect();
+    let plan = shard.skip_plan(&kidx_all);
     // Pass-scoped accountant entries: the local ∇Q accumulator, plus one
     // steady-state slot for Algorithm 1's circulating (K, V, ∇K, ∇V)
     // bundle at the wire dtype — twice the forward's traffic, the waste
-    // Algorithm 2 removes.
+    // Algorithm 2 removes. With skipping on, a rank that never holds the
+    // read-only half (or never holds gradients) only bills the half it
+    // actually buffers.
     let mem_dq = comm.mem_alloc(
         "ring_bwd_dq",
         MemCategory::Activations,
         grad_q.nbytes() as u64,
     );
-    let bundle_wire = comm.mem_wire_bytes(2 * (shard.k.len() + shard.v.len()));
-    let mem_bundle = comm.mem_alloc("ring_bwd_kv_grads", MemCategory::CommBuffers, bundle_wire);
+    let (buf_kv, buf_dkv) = plan.flat_alg1_bufs(ring.pos);
+    let halves = buf_kv as usize + buf_dkv as usize;
+    let mem_bundle = if halves > 0 {
+        let bundle_wire = comm.mem_wire_bytes(halves * (shard.k.len() + shard.v.len()));
+        comm.mem_alloc("ring_bwd_kv_grads", MemCategory::CommBuffers, bundle_wire)
+    } else {
+        None
+    };
     // Round 0 reads the local K/V shard by reference; the circulating
-    // gradient buffers start at zero and the tile kernel accumulates into
-    // them (and into `grad_q`) in place, through one reused scratch — no
-    // per-round temporaries.
-    let mut owned_kv: Option<(Mat, Mat)> = None;
-    let mut cur_dk = Mat::zeros(shard.k.rows(), shard.k.cols());
-    let mut cur_dv = Mat::zeros(shard.v.rows(), shard.v.cols());
+    // gradient buffers materialize (at zero) at the first live consumer of
+    // each shard and the tile kernel accumulates into them (and into
+    // `grad_q`) in place, through one reused scratch — no per-round
+    // temporaries on the dense path.
+    let mut held = KvHold::Local;
+    let mut dkv: Option<(Mat, Mat)> = None;
     let mut scratch = Scratch::new();
-    let mut src = ring.pos;
     for step in 0..g {
         let at = AttnFailure::at(Phase::Backward, step);
+        let r = plan.flat_alg1_round(ring.pos, step);
+        let k_elems = kidx_all[r.shard_out].len() * shard.k.cols();
+        let v_elems = kidx_all[r.shard_out].len() * shard.v.cols();
+        if r.idle() {
+            comm.note_round_skipped();
+            comm.note_skipped_mat(k_elems);
+            comm.note_skipped_mat(v_elems);
+            comm.note_skipped_mat(k_elems);
+            comm.note_skipped_mat(v_elems);
+            held = KvHold::Absent;
+            dkv = None;
+            continue;
+        }
         comm.span_begin(SpanKind::AttnRound, "bwd_round");
-        let (cur_k, cur_v) = match &owned_kv {
-            Some((k, v)) => (k, v),
-            None => (shard.k, shard.v),
-        };
         if overlap == OverlapMode::Fine {
             // Activations can depart before the compute that reads them
             // (we own a copy); gradients cannot.
-            comm.try_send_mat(ring.next(), cur_k).map_err(&at)?;
-            comm.try_send_mat(ring.next(), cur_v).map_err(&at)?;
-        }
-        let w = attn_tile_backward_acc(
-            shard.q,
-            cur_k,
-            cur_v,
-            back.grad_o,
-            back.lse,
-            &d_vec,
-            shard.scale,
-            shard.mask,
-            &qi,
-            &kidx_all[src],
-            &mut grad_q,
-            &mut cur_dk,
-            &mut cur_dv,
-            &mut scratch,
-        );
-        comm.advance_compute(shard.cost.attn_bwd_secs(w.pairs, d) + d_recompute);
-        match overlap {
-            OverlapMode::Fine => {
-                comm.try_send_mat(ring.next(), &cur_dk).map_err(&at)?;
-                comm.try_send_mat(ring.next(), &cur_dv).map_err(&at)?;
-            }
-            OverlapMode::None => {
+            if r.send_kv {
+                let (cur_k, cur_v) = held.view(shard.k, shard.v);
                 comm.try_send_mat(ring.next(), cur_k).map_err(&at)?;
                 comm.try_send_mat(ring.next(), cur_v).map_err(&at)?;
-                comm.try_send_mat(ring.next(), &cur_dk).map_err(&at)?;
-                comm.try_send_mat(ring.next(), &cur_dv).map_err(&at)?;
+            } else {
+                comm.note_skipped_mat(k_elems);
+                comm.note_skipped_mat(v_elems);
             }
         }
-        owned_kv = Some((
-            comm.try_recv_mat(ring.prev()).map_err(&at)?,
-            comm.try_recv_mat(ring.prev()).map_err(&at)?,
-        ));
-        cur_dk = comm.try_recv_mat(ring.prev()).map_err(&at)?;
-        cur_dv = comm.try_recv_mat(ring.prev()).map_err(&at)?;
-        src = (src + g - 1) % g;
+        if r.compute {
+            if dkv.is_none() {
+                // First live consumer after a gated-off stretch: carry the
+                // zeros the dense ring would have delivered.
+                dkv = Some((
+                    Mat::zeros(kidx_all[r.shard_out].len(), shard.k.cols()),
+                    Mat::zeros(kidx_all[r.shard_out].len(), shard.v.cols()),
+                ));
+            }
+            let (cur_dk, cur_dv) = dkv.as_mut().expect("just materialized");
+            let (cur_k, cur_v) = held.view(shard.k, shard.v);
+            let w = attn_tile_backward_acc(
+                shard.q,
+                cur_k,
+                cur_v,
+                back.grad_o,
+                back.lse,
+                &d_vec,
+                shard.scale,
+                shard.mask,
+                &qi,
+                &kidx_all[r.shard_out],
+                &mut grad_q,
+                cur_dk,
+                cur_dv,
+                &mut scratch,
+            );
+            comm.advance_compute(shard.cost.attn_bwd_secs(w.pairs, d) + d_recompute);
+        }
+        if overlap == OverlapMode::None {
+            if r.send_kv {
+                let (cur_k, cur_v) = held.view(shard.k, shard.v);
+                comm.try_send_mat(ring.next(), cur_k).map_err(&at)?;
+                comm.try_send_mat(ring.next(), cur_v).map_err(&at)?;
+            } else {
+                comm.note_skipped_mat(k_elems);
+                comm.note_skipped_mat(v_elems);
+            }
+        }
+        if r.send_dkv {
+            let (cur_dk, cur_dv) = dkv.as_ref().expect("dkv gate implies a contribution");
+            comm.try_send_mat(ring.next(), cur_dk).map_err(&at)?;
+            comm.try_send_mat(ring.next(), cur_dv).map_err(&at)?;
+        } else {
+            comm.note_skipped_mat(k_elems);
+            comm.note_skipped_mat(v_elems);
+        }
+        held = if r.recv_kv {
+            KvHold::Owned(
+                comm.try_recv_mat(ring.prev()).map_err(&at)?,
+                comm.try_recv_mat(ring.prev()).map_err(&at)?,
+            )
+        } else {
+            KvHold::Absent
+        };
+        dkv = if r.recv_dkv {
+            Some((
+                comm.try_recv_mat(ring.prev()).map_err(&at)?,
+                comm.try_recv_mat(ring.prev()).map_err(&at)?,
+            ))
+        } else {
+            None
+        };
         comm.span_end();
     }
-    // After G hops everything is home: src wrapped to our own position and
-    // the circulating buffers carry the fully reduced gradients of our K, V.
-    debug_assert_eq!(src, ring.pos);
+    // After G hops everything is home: the circulating buffers carry the
+    // fully reduced gradients of our own K, V (zeros if no q-shard anywhere
+    // attends to them — the dense ring would have carried zeros home too).
+    let (dk_home, dv_home) = dkv.unwrap_or_else(|| {
+        (
+            Mat::zeros(shard.k.rows(), shard.k.cols()),
+            Mat::zeros(shard.v.rows(), shard.v.cols()),
+        )
+    });
     comm.mem_note_workspace(scratch.resident_bytes());
     comm.mem_free(mem_bundle);
     comm.mem_free(mem_dq);
-    Ok((grad_q, cur_dk, cur_dv))
+    Ok((grad_q, dk_home, dv_home))
 }
 
 /// BurstAttention backward (Algorithm 2): `K_i, V_i, ∇K_i, ∇V_i` stay
@@ -526,10 +643,13 @@ pub fn try_burst_backward(
         return Ok((dq, dk, dv));
     }
 
+    let plan = shard.skip_plan(&qidx_all);
+    let (buf_ro, buf_dq_ring, buf_dq_buf) = plan.flat_alg2_bufs(ring.pos);
     // Pass-scoped accountant entries: the local ∇K/∇V accumulators, one
     // steady-state slot for the circulating read-only bundle
     // (Q, ∇O, Lse, D) — matrices at the wire dtype, softmax statistics as
-    // f32 — and one slot for the ∇Q partial riding the ring.
+    // f32 — and one slot for the ∇Q partial riding the ring. With skipping
+    // on, slots this rank's gates never fill are not billed.
     let mem_dkv = comm.mem_alloc(
         "burst_bwd_dkv",
         MemCategory::Activations,
@@ -537,9 +657,17 @@ pub fn try_burst_backward(
     );
     let ro_wire = comm.mem_wire_bytes(shard.q.len() + back.grad_o.len())
         + 4 * (back.lse.len() + d_vec.len()) as u64;
-    let mem_ro = comm.mem_alloc("burst_ro_bundle", MemCategory::CommBuffers, ro_wire);
+    let mem_ro = if buf_ro {
+        comm.mem_alloc("burst_ro_bundle", MemCategory::CommBuffers, ro_wire)
+    } else {
+        None
+    };
     let dq_wire = comm.mem_wire_bytes(shard.q.len());
-    let mem_dq_ring = comm.mem_alloc("burst_dq_ring", MemCategory::CommBuffers, dq_wire);
+    let mem_dq_ring = if buf_dq_ring {
+        comm.mem_alloc("burst_dq_ring", MemCategory::CommBuffers, dq_wire)
+    } else {
+        None
+    };
 
     match overlap {
         OverlapMode::Fine => {
@@ -553,83 +681,162 @@ pub fn try_burst_backward(
             let next = ring.next();
             let prev = ring.prev();
             let mut dq_buf = Mat::default();
-            let mem_dq_buf = comm.mem_alloc(
-                "burst_dq_buf",
-                MemCategory::Activations,
-                shard.q.nbytes() as u64,
-            );
-            // Read-only parts depart before the warm-up compute; ∇Q follows
-            // one round behind it.
-            let at = AttnFailure::at(Phase::Backward, 0);
-            comm.span_begin(SpanKind::AttnRound, "burst_warmup");
-            comm.try_send_mat(next, shard.q).map_err(&at)?;
-            comm.try_send_mat(next, back.grad_o).map_err(&at)?;
-            comm.try_send_vec(next, back.lse).map_err(&at)?;
-            comm.try_send_vec(next, &d_vec).map_err(&at)?;
-            dq_buf.reshape_in_place(shard.q.rows(), shard.q.cols());
-            let w = attn_tile_backward_acc(
-                shard.q,
-                shard.k,
-                shard.v,
-                back.grad_o,
-                back.lse,
-                &d_vec,
-                shard.scale,
-                shard.mask,
-                &qidx_all[me],
-                &ki,
-                &mut dq_buf,
-                &mut grad_k,
-                &mut grad_v,
-                &mut scratch,
-            );
-            comm.advance_compute(shard.cost.attn_bwd_secs(w.pairs, d));
-            comm.try_send_mat(next, &dq_buf).map_err(&at)?;
-            comm.span_end();
-            for s in 1..g {
-                let at = AttnFailure::at(Phase::Backward, s);
-                comm.span_begin(SpanKind::AttnRound, "burst_round");
-                let src = (me + g - s) % g;
-                let q_j = comm.try_recv_mat(prev).map_err(&at)?;
-                let do_j = comm.try_recv_mat(prev).map_err(&at)?;
-                let lse_j = comm.try_recv_vec(prev).map_err(&at)?;
-                let d_j = comm.try_recv_vec(prev).map_err(&at)?;
-                if s < g - 1 {
-                    // The next rank is not the bundle's home: forward the
-                    // read-only parts immediately, before computing.
-                    comm.try_send_mat(next, &q_j).map_err(&at)?;
-                    comm.try_send_mat(next, &do_j).map_err(&at)?;
-                    comm.try_send_vec(next, &lse_j).map_err(&at)?;
-                    comm.try_send_vec(next, &d_j).map_err(&at)?;
+            let mem_dq_buf = if buf_dq_buf {
+                comm.mem_alloc(
+                    "burst_dq_buf",
+                    MemCategory::Activations,
+                    shard.q.nbytes() as u64,
+                )
+            } else {
+                None
+            };
+            let dq_elems = |j: usize| qidx_all[j].len() * shard.q.cols();
+            let ro_mat_elems = |j: usize| qidx_all[j].len() * (shard.q.cols() + back.grad_o.cols());
+            // Warm-up round: the read-only parts depart before the local
+            // compute; ∇Q follows one round behind it.
+            let r0 = plan.flat_alg2_round(me, 0);
+            if r0.idle() {
+                comm.note_round_skipped();
+                comm.note_skipped_mat(ro_mat_elems(me));
+                comm.note_skipped_vec(2 * qidx_all[me].len());
+                comm.note_skipped_mat(dq_elems(me));
+            } else {
+                let at = AttnFailure::at(Phase::Backward, 0);
+                comm.span_begin(SpanKind::AttnRound, "burst_warmup");
+                if r0.fwd_ro {
+                    comm.try_send_mat(next, shard.q).map_err(&at)?;
+                    comm.try_send_mat(next, back.grad_o).map_err(&at)?;
+                    comm.try_send_vec(next, back.lse).map_err(&at)?;
+                    comm.try_send_vec(next, &d_vec).map_err(&at)?;
+                } else {
+                    comm.note_skipped_mat(ro_mat_elems(me));
+                    comm.note_skipped_vec(2 * qidx_all[me].len());
                 }
-                dq_buf.reshape_in_place(q_j.rows(), q_j.cols());
-                let w = attn_tile_backward_acc(
-                    &q_j,
-                    shard.k,
-                    shard.v,
-                    &do_j,
-                    &lse_j,
-                    &d_j,
-                    shard.scale,
-                    shard.mask,
-                    &qidx_all[src],
-                    &ki,
-                    &mut dq_buf,
-                    &mut grad_k,
-                    &mut grad_v,
-                    &mut scratch,
-                );
-                comm.advance_compute(shard.cost.attn_bwd_secs(w.pairs, d));
-                let mut dq_j = comm.try_recv_mat(prev).map_err(&at)?;
-                dq_j.add_assign(&dq_buf);
-                comm.try_send_mat(next, &dq_j).map_err(&at)?;
+                if r0.compute {
+                    dq_buf.reshape_in_place(shard.q.rows(), shard.q.cols());
+                    let w = attn_tile_backward_acc(
+                        shard.q,
+                        shard.k,
+                        shard.v,
+                        back.grad_o,
+                        back.lse,
+                        &d_vec,
+                        shard.scale,
+                        shard.mask,
+                        &qidx_all[me],
+                        &ki,
+                        &mut dq_buf,
+                        &mut grad_k,
+                        &mut grad_v,
+                        &mut scratch,
+                    );
+                    comm.advance_compute(shard.cost.attn_bwd_secs(w.pairs, d));
+                }
+                if r0.send_dq {
+                    debug_assert!(r0.compute, "∇Q warm-up gate implies a live local tile");
+                    comm.try_send_mat(next, &dq_buf).map_err(&at)?;
+                } else {
+                    comm.note_skipped_mat(dq_elems(me));
+                }
                 comm.span_end();
             }
-            comm.span_begin(SpanKind::AttnRound, "burst_final");
-            let grad_q = comm
-                .try_recv_mat(prev)
-                .map_err(AttnFailure::at(Phase::Backward, g - 1))?;
-            comm.span_end();
+            for s in 1..g {
+                let at = AttnFailure::at(Phase::Backward, s);
+                let r = plan.flat_alg2_round(me, s);
+                let j = r.bundle;
+                if r.idle() {
+                    comm.note_round_skipped();
+                    if s < g - 1 {
+                        comm.note_skipped_mat(ro_mat_elems(j));
+                        comm.note_skipped_vec(2 * qidx_all[j].len());
+                    }
+                    comm.note_skipped_mat(dq_elems(j));
+                    continue;
+                }
+                comm.span_begin(SpanKind::AttnRound, "burst_round");
+                let bundle = if r.recv_ro {
+                    Some((
+                        comm.try_recv_mat(prev).map_err(&at)?,
+                        comm.try_recv_mat(prev).map_err(&at)?,
+                        comm.try_recv_vec(prev).map_err(&at)?,
+                        comm.try_recv_vec(prev).map_err(&at)?,
+                    ))
+                } else {
+                    None
+                };
+                if s < g - 1 {
+                    if r.fwd_ro {
+                        // The next rank is not the bundle's home: forward the
+                        // read-only parts immediately, before computing.
+                        let (q_j, do_j, lse_j, d_j) =
+                            bundle.as_ref().expect("forward gate implies receipt");
+                        comm.try_send_mat(next, q_j).map_err(&at)?;
+                        comm.try_send_mat(next, do_j).map_err(&at)?;
+                        comm.try_send_vec(next, lse_j).map_err(&at)?;
+                        comm.try_send_vec(next, d_j).map_err(&at)?;
+                    } else {
+                        comm.note_skipped_mat(ro_mat_elems(j));
+                        comm.note_skipped_vec(2 * qidx_all[j].len());
+                    }
+                }
+                if r.compute {
+                    let (q_j, do_j, lse_j, d_j) =
+                        bundle.as_ref().expect("compute gate implies receipt");
+                    dq_buf.reshape_in_place(q_j.rows(), q_j.cols());
+                    let w = attn_tile_backward_acc(
+                        q_j,
+                        shard.k,
+                        shard.v,
+                        do_j,
+                        lse_j,
+                        d_j,
+                        shard.scale,
+                        shard.mask,
+                        &qidx_all[j],
+                        &ki,
+                        &mut dq_buf,
+                        &mut grad_k,
+                        &mut grad_v,
+                        &mut scratch,
+                    );
+                    comm.advance_compute(shard.cost.attn_bwd_secs(w.pairs, d));
+                }
+                if r.recv_dq {
+                    let mut dq_j = comm.try_recv_mat(prev).map_err(&at)?;
+                    if !r.compute {
+                        // The dense schedule adds a freshly zeroed buffer
+                        // here; mirror it so the bits (±0.0 included) match.
+                        dq_buf.reshape_in_place(dq_j.rows(), dq_j.cols());
+                    }
+                    dq_j.add_assign(&dq_buf);
+                    debug_assert!(r.send_dq, "held ∇Q always travels on");
+                    comm.try_send_mat(next, &dq_j).map_err(&at)?;
+                } else if r.send_dq {
+                    // First live contributor after a gated-off stretch:
+                    // materialize the zeros the dense ring would have
+                    // delivered, then add our contribution.
+                    debug_assert!(r.compute, "first ∇Q hop implies a live tile");
+                    let mut dq_j = Mat::zeros(qidx_all[j].len(), shard.q.cols());
+                    dq_j.add_assign(&dq_buf);
+                    comm.try_send_mat(next, &dq_j).map_err(&at)?;
+                } else {
+                    comm.note_skipped_mat(dq_elems(j));
+                }
+                comm.span_end();
+            }
+            let grad_q = if plan.flat_alg2_final(me) {
+                comm.span_begin(SpanKind::AttnRound, "burst_final");
+                let gq = comm
+                    .try_recv_mat(prev)
+                    .map_err(AttnFailure::at(Phase::Backward, g - 1))?;
+                comm.span_end();
+                gq
+            } else {
+                // No rank anywhere attends to our queries: the homecoming
+                // hop is gated off and ∇Q is identically zero.
+                comm.note_round_skipped();
+                Mat::zeros(shard.q.rows(), shard.q.cols())
+            };
             comm.mem_note_workspace(scratch.resident_bytes());
             comm.mem_free(mem_dq_buf);
             comm.mem_free(mem_dq_ring);
@@ -640,60 +847,127 @@ pub fn try_burst_backward(
         OverlapMode::None => {
             // Bundle moves strictly after each compute: no hiding. Round 0
             // reads the local bundle by reference; the circulating ∇Q
-            // partial is accumulated into directly by the tile kernel.
+            // partial is accumulated into directly by the tile kernel. The
+            // round structure differs from `Fine` (receives land in the
+            // same round as the sends), so the gates are indexed directly;
+            // total message/byte counts match the fine-overlap census.
+            let me = ring.pos;
+            let dq_elems = |j: usize| qidx_all[j].len() * shard.q.cols();
+            let ro_mat_elems = |j: usize| qidx_all[j].len() * (shard.q.cols() + back.grad_o.cols());
+            // `None` = gated off upstream (never read, by monotonicity).
             let mut owned: Option<(Mat, Mat, Vec<f32>, Vec<f32>)> = None;
-            let mut cur_dq = Mat::zeros(shard.q.rows(), shard.q.cols());
-            let mut src = ring.pos;
+            let mut have_local = true;
+            let mut cur_dq: Option<Mat> = None;
             for step in 0..g {
                 let at = AttnFailure::at(Phase::Backward, step);
-                comm.span_begin(SpanKind::AttnRound, "burst_round");
-                let (q_j, do_j, lse_j, d_j): (&Mat, &Mat, &[f32], &[f32]) = match &owned {
-                    Some((q, o, l, dd)) => (q, o, l, dd),
-                    None => (shard.q, back.grad_o, back.lse, &d_vec),
+                let j = (me + g - step % g) % g;
+                let j_in = (j + g - 1) % g;
+                let compute = plan.live(j, me);
+                let send_ro = step < g - 1 && plan.alg2_ro_hop(j, step);
+                let send_dq = plan.alg2_dq_hop(j, step);
+                let recv_ro = step < g - 1 && plan.alg2_ro_hop(j_in, step);
+                let recv_dq = if step < g - 1 {
+                    plan.alg2_dq_hop(j_in, step)
+                } else {
+                    plan.flat_alg2_final(me)
                 };
-                let w = attn_tile_backward_acc(
-                    q_j,
-                    shard.k,
-                    shard.v,
-                    do_j,
-                    lse_j,
-                    d_j,
-                    shard.scale,
-                    shard.mask,
-                    &qidx_all[src],
-                    &ki,
-                    &mut cur_dq,
-                    &mut grad_k,
-                    &mut grad_v,
-                    &mut scratch,
-                );
-                comm.advance_compute(shard.cost.attn_bwd_secs(w.pairs, d));
+                if !(compute || send_ro || send_dq || recv_ro || recv_dq) {
+                    comm.note_round_skipped();
+                    if step < g - 1 {
+                        comm.note_skipped_mat(ro_mat_elems(j));
+                        comm.note_skipped_vec(2 * qidx_all[j].len());
+                    }
+                    comm.note_skipped_mat(dq_elems(j));
+                    owned = None;
+                    have_local = false;
+                    continue;
+                }
+                comm.span_begin(SpanKind::AttnRound, "burst_round");
+                if compute {
+                    let (q_j, do_j, lse_j, d_j): (&Mat, &Mat, &[f32], &[f32]) = match &owned {
+                        Some((q, o, l, dd)) => (q, o, l, dd),
+                        None => {
+                            debug_assert!(have_local, "compute gate implies a held bundle");
+                            (shard.q, back.grad_o, back.lse, &d_vec)
+                        }
+                    };
+                    if cur_dq.is_none() {
+                        // First live contributor: carry the zeros the dense
+                        // ring would have delivered.
+                        cur_dq = Some(Mat::zeros(q_j.rows(), q_j.cols()));
+                    }
+                    let w = attn_tile_backward_acc(
+                        q_j,
+                        shard.k,
+                        shard.v,
+                        do_j,
+                        lse_j,
+                        d_j,
+                        shard.scale,
+                        shard.mask,
+                        &qidx_all[j],
+                        &ki,
+                        cur_dq.as_mut().expect("just materialized"),
+                        &mut grad_k,
+                        &mut grad_v,
+                        &mut scratch,
+                    );
+                    comm.advance_compute(shard.cost.attn_bwd_secs(w.pairs, d));
+                }
                 if step < g - 1 {
-                    comm.try_send_mat(ring.next(), q_j).map_err(&at)?;
-                    comm.try_send_mat(ring.next(), do_j).map_err(&at)?;
-                    comm.try_send_vec(ring.next(), lse_j).map_err(&at)?;
-                    comm.try_send_vec(ring.next(), d_j).map_err(&at)?;
-                    comm.try_send_mat(ring.next(), &cur_dq).map_err(&at)?;
-                    owned = Some((
-                        comm.try_recv_mat(ring.prev()).map_err(&at)?,
-                        comm.try_recv_mat(ring.prev()).map_err(&at)?,
-                        comm.try_recv_vec(ring.prev()).map_err(&at)?,
-                        comm.try_recv_vec(ring.prev()).map_err(&at)?,
-                    ));
-                    cur_dq = comm.try_recv_mat(ring.prev()).map_err(&at)?;
-                    src = (src + g - 1) % g;
+                    if send_ro {
+                        let (q_j, do_j, lse_j, d_j): (&Mat, &Mat, &[f32], &[f32]) = match &owned {
+                            Some((q, o, l, dd)) => (q, o, l, dd),
+                            None => (shard.q, back.grad_o, back.lse, &d_vec),
+                        };
+                        comm.try_send_mat(ring.next(), q_j).map_err(&at)?;
+                        comm.try_send_mat(ring.next(), do_j).map_err(&at)?;
+                        comm.try_send_vec(ring.next(), lse_j).map_err(&at)?;
+                        comm.try_send_vec(ring.next(), d_j).map_err(&at)?;
+                    } else {
+                        comm.note_skipped_mat(ro_mat_elems(j));
+                        comm.note_skipped_vec(2 * qidx_all[j].len());
+                    }
+                }
+                if send_dq {
+                    let dq = cur_dq.as_ref().expect("∇Q gate implies a contribution");
+                    comm.try_send_mat(ring.next(), dq).map_err(&at)?;
+                } else {
+                    comm.note_skipped_mat(dq_elems(j));
+                }
+                if step < g - 1 {
+                    owned = if recv_ro {
+                        Some((
+                            comm.try_recv_mat(ring.prev()).map_err(&at)?,
+                            comm.try_recv_mat(ring.prev()).map_err(&at)?,
+                            comm.try_recv_vec(ring.prev()).map_err(&at)?,
+                            comm.try_recv_vec(ring.prev()).map_err(&at)?,
+                        ))
+                    } else {
+                        None
+                    };
+                    have_local = false;
+                    cur_dq = if recv_dq {
+                        Some(comm.try_recv_mat(ring.prev()).map_err(&at)?)
+                    } else {
+                        None
+                    };
                 } else {
                     // Last hop: only ∇Q needs to travel home.
-                    comm.try_send_mat(ring.next(), &cur_dq).map_err(&at)?;
-                    cur_dq = comm.try_recv_mat(ring.prev()).map_err(&at)?;
+                    cur_dq = if recv_dq {
+                        Some(comm.try_recv_mat(ring.prev()).map_err(&at)?)
+                    } else {
+                        None
+                    };
                 }
                 comm.span_end();
             }
+            let grad_q = cur_dq.unwrap_or_else(|| Mat::zeros(shard.q.rows(), shard.q.cols()));
             comm.mem_note_workspace(scratch.resident_bytes());
             comm.mem_free(mem_dq_ring);
             comm.mem_free(mem_ro);
             comm.mem_free(mem_dkv);
-            Ok((cur_dq, grad_k, grad_v))
+            Ok((grad_q, grad_k, grad_v))
         }
     }
 }

@@ -45,6 +45,10 @@ pub struct UspTopo {
     pub u_pos: usize,
     /// Position within the ring group.
     pub r_pos: usize,
+    /// Mask-aware round skipping on the ring legs (off by default). The
+    /// all-to-alls are mask-independent — every token still changes owner —
+    /// so only the ring rounds shrink.
+    pub skip: bool,
 }
 
 impl UspTopo {
@@ -67,7 +71,14 @@ impl UspTopo {
             r_members: (0..r).map(|i| u_pos + i * ulysses_size).collect(),
             u_pos,
             r_pos,
+            skip: false,
         }
+    }
+
+    /// Same geometry with mask-aware ring-round skipping switched on/off.
+    pub fn with_skip(mut self, skip: bool) -> Self {
+        self.skip = skip;
+        self
     }
 
     /// Global token indices of this rank's local rows: the zigzag shard of
@@ -192,6 +203,7 @@ pub fn try_usp_forward(
             seq_len,
             cost: *cost,
             max_token: None,
+            skip: topo.skip,
         };
         let out = try_ring_forward(comm, &ring, &shard)?;
         let _ = dh;
@@ -354,6 +366,7 @@ pub fn try_usp_backward(
             seq_len,
             cost: *cost,
             max_token: None,
+            skip: topo.skip,
         };
         let back = BackwardInputs {
             o: &saved.o[h],

@@ -50,6 +50,7 @@ fn measure_flat(n: usize, d: usize, g: usize, burst: bool, overlap: OverlapMode)
             seq_len: n,
             cost: CostModel::free(),
             max_token: None,
+            skip: false,
         };
         let ring = Ring::global(comm);
         let fwd = ring_forward(comm, &ring, &shard);
@@ -201,6 +202,7 @@ fn fine_overlap_beats_no_overlap_in_virtual_time() {
                     efficiency: 1.0,
                 },
                 max_token: None,
+                skip: false,
             };
             let ring = Ring::global(comm);
             let fwd = ring_forward(comm, &ring, &shard);

@@ -223,6 +223,7 @@ fn overlap_modes_agree_numerically() {
                 seq_len: n,
                 cost: CostModel::free(),
                 max_token: None,
+                skip: false,
             };
             let ring = Ring::global(comm);
             let fwd = ring_forward(comm, &ring, &shard);
@@ -270,6 +271,7 @@ fn double_ring_forward_standalone_matches_flat_ring() {
             seq_len: n,
             cost: CostModel::free(),
             max_token: None,
+            skip: false,
         };
         let flat = ring_forward(comm, &Ring::global(comm), &shard);
         let topo = double_ring::double_ring_forward(comm, &shard);

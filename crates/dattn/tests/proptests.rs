@@ -147,6 +147,7 @@ proptest! {
                 seq_len: n,
                 cost: CostModel::free(),
                 max_token: None,
+                skip: false,
             };
             let ring = Ring::global(comm);
             let fwd = ring_forward(comm, &ring, &shard);

@@ -32,8 +32,8 @@ pub mod naive;
 pub mod online;
 
 pub use flash::{
-    attn_tile_backward, attn_tile_backward_acc, flash_backward, flash_forward, flash_forward_acc,
-    FlashOut, KernelWork,
+    attn_tile_backward, attn_tile_backward_acc, attn_tile_backward_with_block, flash_backward,
+    flash_forward, flash_forward_acc, flash_forward_with_block, FlashOut, KernelWork,
 };
 pub use lmhead::{fused_lm_loss, naive_lm_loss, LmLossOut};
 pub use mask::{AttnMask, BlockSparseMask, TileState};

@@ -141,7 +141,43 @@ impl AttnMask {
                     self.scan_tile(q_idx, k_idx)
                 }
             }
-            AttnMask::BlockSparse(_) => self.scan_tile(q_idx, k_idx),
+            AttnMask::BlockSparse(bs) => {
+                // Block-granular fast path: the pattern is constant on
+                // block-aligned token rectangles, so classifying the
+                // *covered* block pairs is exact — every tile pair lands in
+                // some covered (bi, bj), and every covered (bi, bj) holds at
+                // least one tile pair. Two edge rules keep it in agreement
+                // with the per-token scan on ragged shapes
+                // (`seq_len % block != 0`, or indices past the pattern's
+                // extent): covered blocks come from the actual indices,
+                // never from the [min/block, max/block] range (strided
+                // tiles touch gaps that range would claim), and block
+                // indices `>= nblocks` participate as masked, exactly as
+                // `block_allowed` answers for them.
+                let qb = covered_blocks(q_idx, bs.block);
+                let kb = covered_blocks(k_idx, bs.block);
+                let mut any = false;
+                let mut all = true;
+                for &bi in &qb {
+                    for &bj in &kb {
+                        if bs.block_allowed(bi, bj) {
+                            any = true;
+                        } else {
+                            all = false;
+                        }
+                        if any && !all {
+                            return TileState::Partial;
+                        }
+                    }
+                }
+                if all {
+                    TileState::FullyAllowed
+                } else if any {
+                    TileState::Partial
+                } else {
+                    TileState::FullyMasked
+                }
+            }
         }
     }
 
@@ -221,6 +257,14 @@ fn block_span(b: usize, block: usize, n: usize) -> usize {
     } else {
         block.min(n - start)
     }
+}
+
+/// Distinct block indices actually touched by `idx`, ascending.
+fn covered_blocks(idx: &[usize], block: usize) -> Vec<usize> {
+    let mut blocks: Vec<usize> = idx.iter().map(|&i| i / block).collect();
+    blocks.sort_unstable();
+    blocks.dedup();
+    blocks
 }
 
 fn min_max(idx: &[usize]) -> (usize, usize) {

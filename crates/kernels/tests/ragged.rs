@@ -1,0 +1,171 @@
+//! Ragged-shape agreement between the tile classifier, the per-token mask
+//! and the blocked kernels.
+//!
+//! The block-sparse fast path in [`AttnMask::tile_state`] classifies tiles
+//! at mask-block granularity. On ragged shapes — `seq_len % block != 0`,
+//! tiles straddling mask-block boundaries, or token indices past the
+//! pattern's `nblocks · block` extent — a range-based classification
+//! (`[min/block, max/block]` rectangles, unclipped at `nblocks`) disagrees
+//! with the per-token semantics of `AttnMask::allowed`. These tests pin the
+//! classifier to a brute-force scan for **every** mask kind across
+//! non-power-of-two lengths, strided and zigzag index sets, and patterns
+//! whose extent both over- and under-covers the sequence, then check the
+//! kernels stay deterministic and census-exact on the same shapes.
+
+use burst_kernels::{
+    attn_tile_backward, flash_forward, flash_forward_with_block, AttnMask, BlockSparseMask,
+    TileState,
+};
+use burst_tensor::randn_mat;
+
+/// Exact classification by scanning every (query, key) pair.
+fn brute_state(mask: &AttnMask, q: &[usize], k: &[usize]) -> TileState {
+    if q.is_empty() || k.is_empty() {
+        return TileState::FullyMasked;
+    }
+    let total = q.len() * k.len();
+    let allowed = q
+        .iter()
+        .flat_map(|&i| k.iter().map(move |&j| (i, j)))
+        .filter(|&(i, j)| mask.allowed(i, j))
+        .count();
+    if allowed == total {
+        TileState::FullyAllowed
+    } else if allowed == 0 {
+        TileState::FullyMasked
+    } else {
+        TileState::Partial
+    }
+}
+
+/// Every mask kind, instantiated at a (possibly ragged) sequence length.
+/// The second block-sparse pattern deliberately covers only `4 · (n / 5)`
+/// tokens, so indices past its extent exercise the out-of-range-block rule.
+fn mask_kinds(n: usize) -> Vec<AttnMask> {
+    vec![
+        AttnMask::Full,
+        AttnMask::Causal,
+        AttnMask::SlidingWindow { window: 7 },
+        AttnMask::Dilated { window: 9, step: 2 },
+        AttnMask::BlockSparse(BlockSparseMask::sliding_window_blocks(4, n.div_ceil(4), 2)),
+        AttnMask::BlockSparse(BlockSparseMask::sliding_window_blocks(5, n / 5, 1)),
+    ]
+}
+
+/// Index sets a distributed layout actually produces: contiguous runs,
+/// stride-G combs, and zigzag front+back pairs — none aligned to the mask
+/// blocks above.
+fn index_sets(n: usize) -> Vec<Vec<usize>> {
+    let mut sets: Vec<Vec<usize>> = Vec::new();
+    for start in [0usize, 3, n / 2] {
+        let end = (start + 6).min(n);
+        sets.push((start..end).collect());
+    }
+    sets.push((0..n).step_by(3).collect());
+    sets.push((1..n).step_by(4).collect());
+    let q = n / 4;
+    let mut zig: Vec<usize> = (0..q).collect();
+    zig.extend(n - q..n);
+    sets.push(zig);
+    sets
+}
+
+#[test]
+fn tile_state_matches_bruteforce_on_ragged_shapes() {
+    for n in [19usize, 37, 45, 101] {
+        for mask in mask_kinds(n) {
+            for q in index_sets(n) {
+                for k in index_sets(n) {
+                    assert_eq!(
+                        mask.tile_state(&q, &k),
+                        brute_state(&mask, &q, &k),
+                        "mask {mask:?} n={n} q={q:?} k={k:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn tile_state_clips_blocks_past_the_pattern_extent() {
+    // Pattern extent 16 tokens (4 blocks of 4); tokens 16.. map to block
+    // indices >= nblocks and must read as masked — a fast path that only
+    // checks the allowed table over an unclipped block range would call
+    // these tiles dense.
+    let bs = BlockSparseMask::sliding_window_blocks(4, 4, 4);
+    let m = AttnMask::BlockSparse(bs);
+    let inside: Vec<usize> = (12..16).collect();
+    let beyond: Vec<usize> = (16..20).collect();
+    let straddle: Vec<usize> = (14..18).collect();
+    assert_eq!(m.tile_state(&inside, &inside), TileState::FullyAllowed);
+    assert_eq!(m.tile_state(&beyond, &inside), TileState::FullyMasked);
+    assert_eq!(m.tile_state(&beyond, &beyond), TileState::FullyMasked);
+    assert_eq!(m.tile_state(&straddle, &inside), TileState::Partial);
+    assert_eq!(m.tile_state(&inside, &straddle), TileState::Partial);
+}
+
+#[test]
+fn kernel_pair_census_is_exact_on_ragged_lengths() {
+    // The kernels' work counters must equal the analytic allowed-pair count
+    // for every mask kind at non-power-of-two lengths — tile classification
+    // errors on edge tiles would show up as census drift.
+    for n in [19usize, 45] {
+        let d = 6;
+        let q = randn_mat(n, d, 0.8, 120);
+        let k = randn_mat(n, d, 0.8, 121);
+        let v = randn_mat(n, d, 0.8, 122);
+        let idx: Vec<usize> = (0..n).collect();
+        for mask in mask_kinds(n) {
+            for block in [4usize, 7, 32] {
+                let out = flash_forward_with_block(&q, &k, &v, 0.5, &mask, &idx, &idx, block);
+                assert_eq!(
+                    out.work.pairs as u128,
+                    mask.allowed_pairs(n),
+                    "mask {mask:?} n={n} block={block}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn ragged_blocksparse_forward_backward_deterministic_across_tilings() {
+    // A pattern whose extent under-covers the sequence, at a prime length:
+    // the fully-masked tail rows must come out as exact zeros (forward and
+    // backward), identically for every kernel tile size.
+    let n = 23usize;
+    let d = 5;
+    let mask = AttnMask::BlockSparse(BlockSparseMask::sliding_window_blocks(5, 4, 2));
+    let extent = 20usize; // 4 blocks of 5; rows 20.. are dead
+    let q = randn_mat(n, d, 0.7, 130);
+    let k = randn_mat(n, d, 0.7, 131);
+    let v = randn_mat(n, d, 0.7, 132);
+    let grad_o = randn_mat(n, d, 0.9, 133);
+    let idx: Vec<usize> = (0..n).collect();
+    let reference = flash_forward_with_block(&q, &k, &v, 0.5, &mask, &idx, &idx, 32);
+    for block in [3usize, 5, 8] {
+        let out = flash_forward_with_block(&q, &k, &v, 0.5, &mask, &idx, &idx, block);
+        for r in extent..n {
+            assert!(
+                out.o.row(r).iter().all(|&x| x == 0.0),
+                "dead row {r} must be exactly zero at block {block}"
+            );
+            assert_eq!(out.lse[r], f32::NEG_INFINITY, "dead row {r} lse");
+        }
+        assert_eq!(
+            out.work.pairs, reference.work.pairs,
+            "pair census at block {block}"
+        );
+    }
+    let out = flash_forward(&q, &k, &v, 0.5, &mask, &idx, &idx);
+    let d_vec = grad_o.rowsum_hadamard(&out.o);
+    let (gq, gk, gv, _) = attn_tile_backward(
+        &q, &k, &v, &grad_o, &out.lse, &d_vec, 0.5, &mask, &idx, &idx,
+    );
+    for r in extent..n {
+        assert!(gq.row(r).iter().all(|&x| x == 0.0), "dead ∇Q row {r}");
+        assert!(gk.row(r).iter().all(|&x| x == 0.0), "dead ∇K row {r}");
+        assert!(gv.row(r).iter().all(|&x| x == 0.0), "dead ∇V row {r}");
+    }
+}

@@ -67,6 +67,12 @@ pub trait AttnExec {
     /// Global token indices of this rank's local rows, in storage order.
     fn local_indices(&self) -> Vec<usize>;
 
+    /// The attention mask this executor computes under. Drives the
+    /// mask-aware sequence-selective checkpointing cutoff: sparse masks
+    /// make front-segment recompute cheaper, so the same recompute budget
+    /// buys a smaller stash.
+    fn mask(&self) -> &AttnMask;
+
     /// Open a structural span on the rank's timeline (no-op for backends
     /// without a communicator). Layer-level instrumentation goes through
     /// these so `checkpoint.rs` stays backend-agnostic.
@@ -192,6 +198,10 @@ impl AttnExec for LocalExec {
     fn local_indices(&self) -> Vec<usize> {
         (0..self.seq_len).collect()
     }
+
+    fn mask(&self) -> &AttnMask {
+        &self.mask
+    }
 }
 
 /// Ring-family context parallelism on the simulated cluster.
@@ -206,6 +216,10 @@ pub struct DistExec<'a> {
     /// fine-grained overlap ablation knob; the topology-aware algorithms
     /// have their schedule built in).
     pub overlap: OverlapMode,
+    /// Mask-aware round skipping: fully-masked ring rounds are elided
+    /// (no wire traffic, no compute, no virtual time) while remaining
+    /// bit-identical to the dense schedule. Off by default.
+    pub skip: bool,
 }
 
 impl<'a> DistExec<'a> {
@@ -225,6 +239,7 @@ impl<'a> DistExec<'a> {
             seq_len,
             cost,
             overlap: OverlapMode::Fine,
+            skip: false,
         }
     }
 
@@ -239,6 +254,7 @@ impl<'a> DistExec<'a> {
             seq_len: self.seq_len,
             cost: self.cost,
             max_token: cutoff,
+            skip: self.skip,
         };
         let out = match self.algo {
             Algo::RingFlat | Algo::BurstFlat => {
@@ -288,6 +304,7 @@ impl AttnExec for DistExec<'_> {
                 seq_len: self.seq_len,
                 cost: self.cost,
                 max_token: None,
+                skip: self.skip,
             };
             let back = BackwardInputs {
                 o: &o[h],
@@ -335,6 +352,10 @@ impl AttnExec for DistExec<'_> {
     fn local_indices(&self) -> Vec<usize> {
         self.layout
             .indices(self.seq_len, self.comm.world_size(), self.comm.rank())
+    }
+
+    fn mask(&self) -> &AttnMask {
+        &self.mask
     }
 
     fn span_begin(&mut self, kind: SpanKind, name: &'static str) {
@@ -390,6 +411,8 @@ pub struct ElasticExec<'a> {
     pub seq_len: usize,
     pub cost: CostModel,
     pub overlap: OverlapMode,
+    /// Mask-aware round skipping on the elastic ring (off by default).
+    pub skip: bool,
     /// Two-level geometry over the alive set (topology-aware algorithms
     /// with node-balanced survivors only).
     spec: Option<DoubleRingSpec>,
@@ -432,6 +455,7 @@ impl<'a> ElasticExec<'a> {
             seq_len,
             cost,
             overlap: OverlapMode::Fine,
+            skip: false,
             spec,
             flat_fallback,
             failure: None,
@@ -484,6 +508,7 @@ impl<'a> ElasticExec<'a> {
             seq_len: self.seq_len,
             cost: self.cost,
             max_token: cutoff,
+            skip: self.skip,
         };
         let out = match &self.spec {
             Some(spec) => double_ring::try_double_ring_forward_on(self.comm, &shard, spec)?,
@@ -541,6 +566,7 @@ impl AttnExec for ElasticExec<'_> {
                     seq_len: self.seq_len,
                     cost: self.cost,
                     max_token: None,
+                    skip: self.skip,
                 };
                 let back = BackwardInputs {
                     o: &o[h],
@@ -611,6 +637,10 @@ impl AttnExec for ElasticExec<'_> {
     fn local_indices(&self) -> Vec<usize> {
         self.layout
             .indices(self.seq_len, self.members.len(), self.pos)
+    }
+
+    fn mask(&self) -> &AttnMask {
+        &self.mask
     }
 
     fn span_begin(&mut self, kind: SpanKind, name: &'static str) {
@@ -710,6 +740,10 @@ impl AttnExec for UlyssesExec<'_> {
         Layout::Contiguous.indices(self.seq_len, self.comm.world_size(), self.comm.rank())
     }
 
+    fn mask(&self) -> &AttnMask {
+        &self.mask
+    }
+
     fn span_begin(&mut self, kind: SpanKind, name: &'static str) {
         self.comm.span_begin(kind, name);
     }
@@ -742,11 +776,14 @@ pub struct UspExec<'a> {
     pub mask: AttnMask,
     pub seq_len: usize,
     pub cost: CostModel,
+    /// Mask-aware round skipping on the context-parallel ring legs (the
+    /// all-to-alls are mask-independent). Off by default.
+    pub skip: bool,
 }
 
 impl AttnExec for UspExec<'_> {
     fn forward(&mut self, q: &[Mat], k: &[Mat], v: &[Mat]) -> AttnOut {
-        let topo = UspTopo::new(self.comm, self.ulysses_size);
+        let topo = UspTopo::new(self.comm, self.ulysses_size).with_skip(self.skip);
         let scale = head_scale(&q[0]);
         let (o, saved) = usp_forward(
             self.comm,
@@ -775,7 +812,7 @@ impl AttnExec for UspExec<'_> {
         _lse: &[Vec<f32>],
         grad_o: &[Mat],
     ) -> (Vec<Mat>, Vec<Mat>, Vec<Mat>) {
-        let topo = UspTopo::new(self.comm, self.ulysses_size);
+        let topo = UspTopo::new(self.comm, self.ulysses_size).with_skip(self.skip);
         let scale = head_scale(&q[0]);
         let _ = o;
         self.comm.recompute_scope(true);
@@ -810,6 +847,10 @@ impl AttnExec for UspExec<'_> {
     fn local_indices(&self) -> Vec<usize> {
         let topo = UspTopo::new(self.comm, self.ulysses_size);
         topo.local_idx(self.seq_len)
+    }
+
+    fn mask(&self) -> &AttnMask {
+        &self.mask
     }
 
     fn span_begin(&mut self, kind: SpanKind, name: &'static str) {

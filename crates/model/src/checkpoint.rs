@@ -17,6 +17,7 @@ use crate::attention::AttnExec;
 use crate::block::{BlockSaved, TransformerBlock};
 use crate::memory::MemoryTracker;
 use burst_comm::SpanKind;
+use burst_kernels::AttnMask;
 use burst_tensor::{Bf16Mat, Mat};
 
 /// Precision of stashed activations (block inputs and cached attention
@@ -189,7 +190,7 @@ pub fn forward_blocks_prec<E: AttnExec>(
                 },
             },
             Strategy::SeqSelective { rho } => {
-                let cutoff = cutoff_for(rho, seq_len);
+                let cutoff = cutoff_for_masked(rho, seq_len, exec.mask());
                 let idx = exec.local_indices();
                 let tail_rows: Vec<usize> = idx
                     .iter()
@@ -231,6 +232,49 @@ pub fn forward_blocks_prec<E: AttnExec>(
 /// Round the split point to the sequence position `ρ·N`.
 pub fn cutoff_for(rho: f32, seq_len: usize) -> usize {
     ((rho as f64 * seq_len as f64).round() as usize).min(seq_len)
+}
+
+/// Mask-aware split point for sequence-level selective checkpointing.
+///
+/// The paper's rule trades `ρ²` of the attention recompute for `(1−ρ)` of
+/// the output stash, which is exact for causal attention: the front `ρ·N`
+/// rows hold `ρ²` of the causal score pairs. A sparse mask keeps that
+/// *absolute* recompute budget but makes each recomputed row cheaper (its
+/// cost is its allowed-pair count, not its position), so the same budget
+/// buys a longer recomputed front — segments the mask makes cheap are
+/// recomputed rather than stashed. The cutoff is the largest prefix whose
+/// masked recompute work stays within the causal-calibrated budget:
+/// `allowed_pairs(c) ≤ ρ² · N(N+1)/2`. `Full` and `Causal` reduce to
+/// [`cutoff_for`] (the paper's position rule), keeping every existing
+/// schedule bit-identical.
+pub fn cutoff_for_masked(rho: f32, seq_len: usize, mask: &AttnMask) -> usize {
+    match mask {
+        AttnMask::Full | AttnMask::Causal => cutoff_for(rho, seq_len),
+        _ => {
+            let causal_total = seq_len as f64 * (seq_len + 1) as f64 / 2.0;
+            let budget = (rho as f64) * (rho as f64) * causal_total;
+            // `allowed_pairs` is monotone in the prefix length: binary
+            // search the largest prefix within the budget.
+            let (mut lo, mut hi) = (0usize, seq_len);
+            while lo < hi {
+                let mid = (lo + hi).div_ceil(2);
+                if allowed_pairs(mask, mid, seq_len) as f64 <= budget {
+                    lo = mid;
+                } else {
+                    hi = mid - 1;
+                }
+            }
+            lo
+        }
+    }
+}
+
+/// Allowed `(q, k)` pairs with query index `< c`: the recompute work of
+/// the front segment, in score-matrix elements.
+fn allowed_pairs(mask: &AttnMask, c: usize, seq_len: usize) -> usize {
+    (0..c)
+        .map(|i| (0..seq_len).filter(|&j| mask.allowed(i, j)).count())
+        .sum()
 }
 
 /// Backward through all blocks in reverse, recomputing per the stored kind.
@@ -369,6 +413,89 @@ mod tests {
         assert_eq!(cutoff_for(0.0, 16), 0);
         assert_eq!(cutoff_for(1.0, 16), 16);
         assert_eq!(cutoff_for(0.26, 100), 26);
+    }
+
+    #[test]
+    fn masked_cutoff_reduces_to_position_rule_for_dense_masks() {
+        for n in [16usize, 100] {
+            for rho in [0.0f32, 0.25, 0.5, 1.0] {
+                assert_eq!(
+                    cutoff_for_masked(rho, n, &AttnMask::Causal),
+                    cutoff_for(rho, n)
+                );
+                assert_eq!(
+                    cutoff_for_masked(rho, n, &AttnMask::Full),
+                    cutoff_for(rho, n)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn masked_cutoff_recomputes_more_under_a_window() {
+        // Window rows cost O(w) to recompute instead of O(i): the same
+        // causal-calibrated ρ² budget buys a longer recomputed front, so
+        // the cutoff moves right and the stash shrinks.
+        let n = 256;
+        let mask = AttnMask::SlidingWindow { window: 64 };
+        for rho in [0.5f32, 0.75] {
+            let masked = cutoff_for_masked(rho, n, &mask);
+            let causal = cutoff_for(rho, n);
+            assert!(
+                masked > causal,
+                "rho {rho}: window cutoff {masked} must exceed causal {causal}"
+            );
+        }
+        // A narrow enough window makes the whole sequence cheaper than the
+        // budget: everything is recomputed, nothing stashed.
+        assert_eq!(
+            cutoff_for_masked(0.25, n, &AttnMask::SlidingWindow { window: 8 }),
+            n
+        );
+        // Endpoints are preserved: no budget recomputes nothing, full
+        // budget covers the (cheaper-than-causal) whole sequence.
+        assert_eq!(cutoff_for_masked(0.0, n, &mask), 0);
+        assert_eq!(cutoff_for_masked(1.0, n, &mask), n);
+        // The budget rule is exact: the chosen prefix fits, the next row
+        // does not.
+        let rho = 0.5f32;
+        let c = cutoff_for_masked(rho, n, &mask);
+        assert!(c < n, "boundary check needs a mid-sequence cutoff");
+        let budget = (rho as f64).powi(2) * (n as f64) * (n as f64 + 1.0) / 2.0;
+        assert!(allowed_pairs(&mask, c, n) as f64 <= budget);
+        assert!(allowed_pairs(&mask, c + 1, n) as f64 > budget);
+    }
+
+    #[test]
+    fn masked_seq_selective_keeps_gradients_identical() {
+        // The mask-aware cutoff only moves the stash/recompute split; the
+        // rebuilt state must stay bit-compatible with the no-checkpoint
+        // reference under the same mask.
+        let (n, d, heads, dff, layers) = (16usize, 4usize, 2usize, 8usize, 2usize);
+        let mask = AttnMask::SlidingWindow { window: 5 };
+        let run = |strategy: Strategy| {
+            let mut bs = blocks(d, heads, dff, layers);
+            let x = randn_mat(n, d, 0.8, 610);
+            let gy = randn_mat(n, d, 1.0, 611);
+            let mut exec = LocalExec::new(mask.clone(), n);
+            let mut tracker = MemoryTracker::new();
+            let (y, stored) = forward_blocks(&bs, &x, &mut exec, strategy, n, &mut tracker);
+            let stash = tracker.current();
+            let gx = backward_blocks(&mut bs, stored, &gy, &mut exec, &mut tracker);
+            let gw = bs[0].attn.wq.weight.grad.clone();
+            (y, gx, gw, stash)
+        };
+        let (y_ref, gx_ref, gw_ref, _) = run(Strategy::None);
+        let (y, gx, gw, stash_seq) = run(Strategy::SeqSelective { rho: 0.5 });
+        assert_allclose(&y, &y_ref, 1e-5, "masked seq-selective output");
+        assert_allclose(&gx, &gx_ref, 1e-5, "masked seq-selective ∇x");
+        assert_allclose(&gw, &gw_ref, 1e-5, "masked seq-selective ∇W");
+        // And the window stash is strictly below the full-cache stash.
+        let (_, _, _, stash_pp) = run(Strategy::SelectivePlusPlus);
+        assert!(
+            stash_seq < stash_pp,
+            "window stash {stash_seq} < selective++ {stash_pp}"
+        );
     }
 
     #[test]

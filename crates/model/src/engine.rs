@@ -68,6 +68,11 @@ pub struct EngineConfig {
     pub bf16_activations: bool,
     /// Communication/computation overlap discipline for flat-ring backends.
     pub overlap: OverlapMode,
+    /// Mask-aware round skipping in the distributed attention schedules:
+    /// fully-masked (q-shard × kv-shard) rounds are elided — no wire
+    /// traffic, no compute, no virtual time — bit-identically to the dense
+    /// run. Off by default.
+    pub skip_masked_rounds: bool,
     pub adam: AdamCfg,
     pub seed: u64,
 }
@@ -87,6 +92,7 @@ impl EngineConfig {
             emulate_bf16: false,
             bf16_activations: false,
             overlap: OverlapMode::Fine,
+            skip_masked_rounds: false,
             adam: AdamCfg::default(),
             seed: 42,
         }
@@ -298,6 +304,7 @@ pub fn run_span(
                         let mut exec =
                             DistExec::new(comm, algo, cfg.layout, cfg.mask.clone(), n, cfg.cost);
                         exec.overlap = cfg.overlap;
+                        exec.skip = cfg.skip_masked_rounds;
                         step_with(&mut *model, &tokens, &targets, &mut exec, cfg, accum)
                     }
                     Backend::Ulysses => {
@@ -316,6 +323,7 @@ pub fn run_span(
                             mask: cfg.mask.clone(),
                             seq_len: n,
                             cost: cfg.cost,
+                            skip: cfg.skip_masked_rounds,
                         };
                         step_with(&mut *model, &tokens, &targets, &mut exec, cfg, accum)
                     }
@@ -802,6 +810,7 @@ fn elastic_step(
                 cfg.cost,
             );
             exec.overlap = cfg.overlap;
+            exec.skip = cfg.skip_masked_rounds;
             let mo = step_with(&mut *model, &tokens, &targets, &mut exec, cfg, accum);
             (mo, exec.flat_fallback(), exec.take_failure())
         };

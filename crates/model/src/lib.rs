@@ -46,7 +46,7 @@ pub mod rope;
 
 pub use attention::{AttnExec, DistExec, ElasticExec, LocalExec, MultiHeadAttention};
 pub use block::TransformerBlock;
-pub use checkpoint::{ActPrecision, StoredMat, Strategy};
+pub use checkpoint::{cutoff_for, cutoff_for_masked, ActPrecision, StoredMat, Strategy};
 pub use checkpoint_shard::{load_sharded, save_sharded, ShardManifest, ShardMeta};
 pub use engine::{
     run_span_elastic, train_with_recovery, ElasticCfg, ElasticOutcome, EngineConfig, RecoveryCfg,

@@ -30,6 +30,7 @@ fn cfg(backend: Backend) -> EngineConfig {
         emulate_bf16: true,
         bf16_activations: true,
         overlap: OverlapMode::Fine,
+        skip_masked_rounds: false,
         adam: Default::default(),
         seed: 88,
     }

@@ -31,6 +31,7 @@ fn cfg(backend: Backend) -> EngineConfig {
         emulate_bf16: false,
         bf16_activations: false,
         overlap: burst_dattn::OverlapMode::Fine,
+        skip_masked_rounds: false,
         adam: Default::default(),
         seed: 77,
     }

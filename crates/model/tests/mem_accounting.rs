@@ -4,9 +4,10 @@
 
 use burst_comm::obs::{validate_mem, MemReport};
 use burst_comm::{Topology, World};
-use burst_dattn::Algo;
+use burst_dattn::{Algo, Layout};
+use burst_kernels::AttnMask;
 use burst_model::engine::{run_rank, Backend, EngineConfig};
-use burst_model::Strategy;
+use burst_model::{cutoff_for_masked, Strategy};
 
 /// Run `steps` training steps on every rank with accounting on and return
 /// the finished per-rank ledgers.
@@ -94,6 +95,72 @@ fn fsdp_buffers_stash_and_workspace_land_on_their_lanes() {
         assert!(
             r.entries.iter().any(|e| e.name == "fsdp_sync_buf"),
             "gradient sync buffers appear by name"
+        );
+    }
+}
+
+/// Per-rank expected checkpoint stash of `SeqSelective { rho }`: every
+/// block keeps its input plus the tail `(O, Lse)` cache past the
+/// mask-aware cutoff, and all blocks' stashes are live at once when the
+/// forward finishes. Matrix stashes follow the activation width; `Lse`
+/// stays f32.
+fn expected_seq_stash(cfg: &EngineConfig, g: usize, rank: usize, rho: f32) -> u64 {
+    let m = &cfg.model;
+    let width = if cfg.bf16_activations { 2 } else { 4 };
+    let cutoff = cutoff_for_masked(rho, m.seq_len, &cfg.mask);
+    let idx = cfg.layout.indices(m.seq_len, g, rank);
+    let rows = idx.len();
+    let tail = idx.iter().filter(|&&i| i >= cutoff).count();
+    let per_layer = rows * m.d_model * width   // block input
+        + tail * m.d_model * width             // per-head O tail, Σ dh = d
+        + m.heads * tail * 4; // Lse tail, always f32
+    (m.layers * per_layer) as u64
+}
+
+#[test]
+fn masked_seq_selective_stash_is_exact_and_smaller() {
+    // Satellite: under a window mask the mask-aware cutoff moves right
+    // (cheap rows are recomputed, not stashed), so sequence-selective
+    // checkpointing stashes strictly fewer bytes than both the causal
+    // cutoff at the same ρ and the full attention-output cache — and the
+    // measured stash equals the analytic expectation to the byte, at both
+    // activation widths.
+    let g = 2usize;
+    let rho = 0.5f32;
+    let run = |mask: AttnMask, strategy: Strategy, bf16: bool| -> (EngineConfig, Vec<MemReport>) {
+        let mut cfg = EngineConfig::tiny(Backend::Ring(Algo::BurstFlat));
+        cfg.layout = Layout::Zigzag;
+        cfg.mask = mask;
+        cfg.strategy = strategy;
+        cfg.bf16_activations = bf16;
+        let reports = run_accounted(&cfg, Topology::a800(1, g), 1);
+        (cfg, reports)
+    };
+    let window = AttnMask::SlidingWindow { window: 8 };
+    for bf16 in [false, true] {
+        let (cfg, masked) = run(window.clone(), Strategy::SeqSelective { rho }, bf16);
+        for (rank, r) in masked.iter().enumerate() {
+            validate_mem(r).unwrap();
+            assert_eq!(
+                r.peak.ckpt_stash,
+                expected_seq_stash(&cfg, g, rank, rho),
+                "rank {rank} bf16={bf16}: stash must match the census exactly"
+            );
+        }
+        let (_, causal) = run(AttnMask::Causal, Strategy::SeqSelective { rho }, bf16);
+        let (_, pp) = run(window.clone(), Strategy::SelectivePlusPlus, bf16);
+        let sum = |rs: &[MemReport]| rs.iter().map(|r| r.peak.ckpt_stash).sum::<u64>();
+        assert!(
+            sum(&masked) < sum(&causal),
+            "bf16={bf16}: window stash {} < causal-cutoff stash {}",
+            sum(&masked),
+            sum(&causal)
+        );
+        assert!(
+            sum(&masked) < sum(&pp),
+            "bf16={bf16}: window stash {} < full-cache stash {}",
+            sum(&masked),
+            sum(&pp)
         );
     }
 }

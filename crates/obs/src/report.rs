@@ -72,6 +72,15 @@ pub struct MethodReport {
     /// Max-over-ranks measured peak bytes per accountant category (all
     /// zeros when the run was not memory-accounted).
     pub peak: PeakBytes,
+    /// Fully-masked rank-rounds elided by mask-aware skipping, summed over
+    /// ranks (zero on a dense run or with skipping off).
+    #[serde(default)]
+    pub rounds_skipped: u64,
+    /// Wire bytes those skipped rounds would have moved — the dual that
+    /// reconstructs the dense census: measured bytes + saved bytes equals
+    /// the dense wire census exactly.
+    #[serde(default)]
+    pub wire_bytes_saved: f64,
 }
 
 impl MethodReport {
@@ -123,7 +132,17 @@ impl MethodReport {
             comm_table1_secs,
             comm_rel_err: rel_err,
             peak: PeakBytes::default(),
+            rounds_skipped: 0,
+            wire_bytes_saved: 0.0,
         }
+    }
+
+    /// Attach the mask-aware skip summary of the same run (summed over
+    /// ranks).
+    pub fn with_skips(mut self, rounds_skipped: u64, wire_bytes_saved: f64) -> MethodReport {
+        self.rounds_skipped = rounds_skipped;
+        self.wire_bytes_saved = wire_bytes_saved;
+        self
     }
 
     /// Attach the per-rank memory census of the same run (max over ranks,
@@ -137,8 +156,10 @@ impl MethodReport {
 /// The `BENCH_e2e.json` document.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct E2eReport {
-    /// Schema tag, currently `"burst-e2e/v2"` (v2 added the per-category
-    /// peak-memory census to every method row); CI checks it.
+    /// Schema tag, currently `"burst-e2e/v3"` (v2 added the per-category
+    /// peak-memory census to every method row; v3 added the mask-aware
+    /// `rounds_skipped`/`wire_bytes_saved` summary and masked method
+    /// rows); CI checks it.
     pub schema: String,
     pub nodes: usize,
     pub gpus_per_node: usize,
@@ -148,7 +169,7 @@ pub struct E2eReport {
 }
 
 impl E2eReport {
-    pub const SCHEMA: &'static str = "burst-e2e/v2";
+    pub const SCHEMA: &'static str = "burst-e2e/v3";
 
     pub fn new(nodes: usize, gpus_per_node: usize, seq_len: usize, head_dim: usize) -> Self {
         E2eReport {
@@ -323,7 +344,27 @@ mod tests {
         let text = serde_json::to_string_pretty(&report).unwrap();
         let back: E2eReport = serde_json::from_str(&text).unwrap();
         assert_eq!(back, report);
-        assert!(text.contains("burst-e2e/v2"));
+        assert!(text.contains("burst-e2e/v3"));
+    }
+
+    #[test]
+    fn skip_summary_rides_the_report_and_defaults_on_old_json() {
+        let traces = vec![busy_trace(0, 0.6, 0.2)];
+        let m = MethodReport::from_traces("burst_masked", &traces, 1024, 64, 312e12, 0.5, 0.5)
+            .with_skips(12, 4096.0);
+        assert_eq!(m.rounds_skipped, 12);
+        assert_eq!(m.wire_bytes_saved, 4096.0);
+        let text = serde_json::to_string(&m).unwrap();
+        assert!(text.contains("rounds_skipped"));
+        // A method row written before the skip summary existed still
+        // parses, with the summary defaulting to a dense (zero-skip) run.
+        // The two fields are declared last, so cutting at the first one
+        // (and re-closing the object) yields the old-schema document.
+        let cut = text.find(",\"rounds_skipped\"").unwrap();
+        let stripped = format!("{}}}", &text[..cut]);
+        let back: MethodReport = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.rounds_skipped, 0);
+        assert_eq!(back.wire_bytes_saved, 0.0);
     }
 
     fn gated_report(tgs: f64, peak_total: u64) -> E2eReport {

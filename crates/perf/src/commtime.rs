@@ -17,6 +17,11 @@
 
 use crate::machine::Cluster;
 use burst_comm::{CommStats, WireDtype};
+use burst_dattn::{
+    census_dr_alg1, census_dr_alg2, census_dr_forward, census_flat_alg1, census_flat_forward,
+    Layout, MaskedWire, RingGeom, SkipPlan,
+};
+use burst_kernels::AttnMask;
 use serde::{Deserialize, Serialize};
 
 /// Communication time of one layer's attention fwd+bwd for each method.
@@ -218,6 +223,114 @@ pub fn exact_wire_counts_dtype(
         }
     }
     w
+}
+
+/// [`WireCounts`] plus the skip duals: what a mask-gated run actually puts
+/// on the wire, what it elides, and how many rank-rounds disappear. With
+/// `skip = false` (or under [`AttnMask::Full`]) `counts` reproduces
+/// [`exact_wire_counts_dtype`] bit-for-bit and the duals are zero; with
+/// skipping on, `counts.bytes() + skipped_bytes` still equals the dense
+/// census — bytes move between the lanes, they never vanish.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MaskedWireCounts {
+    /// Messages the gated schedule actually posts, split by link class.
+    pub counts: WireCounts,
+    /// Rank-rounds elided entirely (no span, no clock, no wire),
+    /// summed over all ranks.
+    pub rounds_skipped: u64,
+    /// Bytes the dense schedule would have posted that the gates kept off
+    /// the wire (matrix payloads at the wire dtype, statistics vectors at
+    /// f32 — the same widths `CommStats::skipped_bytes` bills).
+    pub skipped_bytes: f64,
+}
+
+impl MaskedWireCounts {
+    /// Dense-equivalent wire bytes: actual traffic plus the skipped dual.
+    pub fn dense_bytes(&self) -> f64 {
+        self.counts.bytes() + self.skipped_bytes
+    }
+}
+
+/// Exact per-rank wire activity of one *masked* pass of `method`, in
+/// logical elements. This is the symbolic twin of the gated send sites in
+/// `burst-dattn`: for every `(schedule × mask × layout)` cell the returned
+/// [`MaskedWire`] matches rank `me`'s measured `CommStats` — messages,
+/// matrix/vector elements, skipped rounds and skipped elements — exactly.
+///
+/// `skip = false` builds the dense plan (every gate forced open), so the
+/// census then reproduces the unmasked schedule regardless of `mask`.
+#[allow(clippy::too_many_arguments)]
+pub fn masked_wire_rank(
+    cluster: &Cluster,
+    seq_len: usize,
+    d: usize,
+    method: RingMethod,
+    mask: &AttnMask,
+    layout: Layout,
+    max_token: Option<usize>,
+    skip: bool,
+    me: usize,
+) -> MaskedWire {
+    let g = cluster.world();
+    let (n, p) = (cluster.nodes, cluster.gpus_per_node);
+    let plan = if skip {
+        SkipPlan::build(mask, layout, seq_len, g, max_token)
+    } else {
+        SkipPlan::dense(g)
+    };
+    let geom = RingGeom::build(layout, seq_len, g, d, d, max_token);
+    // A flat rank's single outgoing edge crosses the node boundary exactly
+    // when the rank is the last GPU of its node.
+    let edge_inter = n > 1 && (me + 1).is_multiple_of(p);
+    let fwd = match method {
+        RingMethod::Ring => census_flat_forward(&plan, &geom, edge_inter, me),
+        RingMethod::DoubleRing | RingMethod::Burst => census_dr_forward(&plan, &geom, n, p, me),
+    };
+    match method {
+        // Flat Algorithm 1 and two-level Algorithm 2 early-return into one
+        // dense local tile on a single rank, before any gating; two-level
+        // Algorithm 1 still runs its (single, gated) slot.
+        RingMethod::Ring if g == 1 => fwd,
+        RingMethod::Burst if g == 1 => fwd,
+        RingMethod::Ring => fwd.add(&census_flat_alg1(&plan, &geom, edge_inter, me)),
+        RingMethod::DoubleRing => fwd.add(&census_dr_alg1(&plan, &geom, n, p, me)),
+        RingMethod::Burst => fwd.add(&census_dr_alg2(&plan, &geom, n, p, me)),
+    }
+}
+
+/// Mask-aware [`exact_wire_counts_dtype`]: aggregate the per-rank masked
+/// censuses over the whole cluster and convert elements to bytes (matrix
+/// payloads at `dtype`, statistics vectors always f32).
+#[allow(clippy::too_many_arguments)]
+pub fn exact_wire_counts_masked_dtype(
+    cluster: &Cluster,
+    seq_len: usize,
+    d: usize,
+    method: RingMethod,
+    dtype: WireDtype,
+    mask: &AttnMask,
+    layout: Layout,
+    max_token: Option<usize>,
+    skip: bool,
+) -> MaskedWireCounts {
+    let g = cluster.world();
+    let total = (0..g).fold(MaskedWire::default(), |acc, me| {
+        acc.add(&masked_wire_rank(
+            cluster, seq_len, d, method, mask, layout, max_token, skip, me,
+        ))
+    });
+    let width = dtype.width();
+    MaskedWireCounts {
+        counts: WireCounts {
+            intra_msgs: total.intra_msgs,
+            inter_msgs: total.inter_msgs,
+            intra_bytes: total.intra_mat_elems as f64 * width + total.intra_vec_elems as f64 * 4.0,
+            inter_bytes: total.inter_mat_elems as f64 * width + total.inter_vec_elems as f64 * 4.0,
+        },
+        rounds_skipped: total.rounds_skipped,
+        skipped_bytes: total.skipped_mat_elems as f64 * width
+            + total.skipped_vec_elems as f64 * 4.0,
+    }
 }
 
 /// Exact retransmit census of a (possibly faulty) run under the reliable
@@ -517,6 +630,191 @@ mod tests {
         let w = WireCounts::default();
         assert_eq!(c.overhead_fraction(&w), 0.0);
         assert_eq!(c.reliable_wire_bytes(&w), 0.0);
+    }
+
+    #[test]
+    fn masked_census_skip_off_reproduces_dense_census() {
+        // With skipping off the plan is dense and every gate is forced
+        // open, so the masked census must equal the closed forms exactly —
+        // for any mask, any layout, both wire dtypes.
+        let c = Cluster::a800(2, 3);
+        let masks = [
+            AttnMask::Full,
+            AttnMask::Causal,
+            AttnMask::SlidingWindow { window: 7 },
+        ];
+        for method in [RingMethod::Ring, RingMethod::DoubleRing, RingMethod::Burst] {
+            for dtype in [WireDtype::F32, WireDtype::Bf16] {
+                let dense = exact_wire_counts_dtype(&c, 48, 8, method, dtype);
+                for mask in &masks {
+                    for layout in [Layout::Contiguous, Layout::Zigzag] {
+                        let m = exact_wire_counts_masked_dtype(
+                            &c, 48, 8, method, dtype, mask, layout, None, false,
+                        );
+                        assert_eq!(m.counts, dense, "{method:?} {mask:?} {layout:?}");
+                        assert_eq!(m.rounds_skipped, 0, "{method:?} {mask:?}");
+                        assert_eq!(m.skipped_bytes, 0.0, "{method:?} {mask:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn masked_census_full_mask_skips_nothing() {
+        // Under Full every tile is live, so even with skipping on the
+        // gated schedule is the dense schedule (the flat Algorithm 1
+        // homecoming being the one documented exception, on by the dense
+        // flag only — Full + skip uses live gates and those are all-true,
+        // so the monotone futures ranges still fire every hop).
+        let c = Cluster::a800(2, 2);
+        for method in [RingMethod::DoubleRing, RingMethod::Burst] {
+            let dense = exact_wire_counts(&c, 32, 8, method);
+            let m = exact_wire_counts_masked_dtype(
+                &c,
+                32,
+                8,
+                method,
+                WireDtype::F32,
+                &AttnMask::Full,
+                Layout::Zigzag,
+                None,
+                true,
+            );
+            assert_eq!(m.counts, dense, "{method:?}");
+            assert_eq!(m.rounds_skipped, 0, "{method:?}");
+        }
+    }
+
+    #[test]
+    fn masked_census_duals_to_dense() {
+        // Whatever the gates keep off the wire is billed to the skip dual:
+        // actual + skipped == dense, byte-for-byte, for every cell.
+        let c = Cluster::a800(2, 3);
+        let masks = [
+            AttnMask::Causal,
+            AttnMask::SlidingWindow { window: 9 },
+            AttnMask::Dilated { window: 9, step: 2 },
+        ];
+        for method in [RingMethod::Ring, RingMethod::DoubleRing, RingMethod::Burst] {
+            for dtype in [WireDtype::F32, WireDtype::Bf16] {
+                let dense = exact_wire_counts_dtype(&c, 48, 8, method, dtype);
+                for mask in &masks {
+                    let m = exact_wire_counts_masked_dtype(
+                        &c,
+                        48,
+                        8,
+                        method,
+                        dtype,
+                        mask,
+                        Layout::Contiguous,
+                        None,
+                        true,
+                    );
+                    assert_eq!(
+                        m.dense_bytes(),
+                        dense.bytes(),
+                        "{method:?} {mask:?} {dtype:?}"
+                    );
+                    assert!(
+                        m.counts.msgs() <= dense.msgs(),
+                        "{method:?} {mask:?}: gating cannot add messages"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn masked_census_window_on_contiguous_saves_wire() {
+        // A narrow window on the contiguous layout leaves most remote
+        // tiles fully masked: rounds disappear and bytes move to the dual.
+        let c = Cluster::a800(2, 3);
+        let mask = AttnMask::SlidingWindow { window: 8 };
+        for method in [RingMethod::Ring, RingMethod::DoubleRing, RingMethod::Burst] {
+            let dense = exact_wire_counts(&c, 48, 8, method);
+            let m = exact_wire_counts_masked_dtype(
+                &c,
+                48,
+                8,
+                method,
+                WireDtype::F32,
+                &mask,
+                Layout::Contiguous,
+                None,
+                true,
+            );
+            assert!(m.rounds_skipped > 0, "{method:?}: no rounds skipped");
+            assert!(m.skipped_bytes > 0.0, "{method:?}: no bytes saved");
+            assert!(
+                m.counts.bytes() < dense.bytes(),
+                "{method:?}: wire bytes must shrink"
+            );
+        }
+        // Zigzag under the same window balances compute instead: (almost)
+        // every rank pair stays live, so the savings collapse.
+        let zig = exact_wire_counts_masked_dtype(
+            &c,
+            48,
+            8,
+            RingMethod::Burst,
+            WireDtype::F32,
+            &mask,
+            Layout::Zigzag,
+            None,
+            true,
+        );
+        let con = exact_wire_counts_masked_dtype(
+            &c,
+            48,
+            8,
+            RingMethod::Burst,
+            WireDtype::F32,
+            &mask,
+            Layout::Contiguous,
+            None,
+            true,
+        );
+        assert!(con.skipped_bytes > zig.skipped_bytes);
+    }
+
+    #[test]
+    fn masked_census_per_rank_sums_to_aggregate() {
+        let c = Cluster::a800(2, 2);
+        let mask = AttnMask::SlidingWindow { window: 8 };
+        for method in [RingMethod::Ring, RingMethod::DoubleRing, RingMethod::Burst] {
+            let agg = exact_wire_counts_masked_dtype(
+                &c,
+                32,
+                8,
+                method,
+                WireDtype::F32,
+                &mask,
+                Layout::Contiguous,
+                None,
+                true,
+            );
+            let by_rank = (0..c.world()).fold(MaskedWire::default(), |acc, me| {
+                acc.add(&masked_wire_rank(
+                    &c,
+                    32,
+                    8,
+                    method,
+                    &mask,
+                    Layout::Contiguous,
+                    None,
+                    true,
+                    me,
+                ))
+            });
+            assert_eq!(agg.counts.msgs(), by_rank.msgs(), "{method:?}");
+            assert_eq!(agg.rounds_skipped, by_rank.rounds_skipped, "{method:?}");
+            assert_eq!(
+                agg.counts.bytes(),
+                by_rank.mat_elems() as f64 * 4.0 + by_rank.vec_elems() as f64 * 4.0,
+                "{method:?}"
+            );
+        }
     }
 
     #[test]

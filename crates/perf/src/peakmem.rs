@@ -18,6 +18,8 @@
 
 use crate::machine::Cluster;
 use burst_comm::{PeakBytes, WireDtype};
+use burst_dattn::{Layout, RingGeom, SkipPlan};
+use burst_kernels::AttnMask;
 
 /// Which distributed-attention schedule to predict. The first four mirror
 /// `burst_dattn::Algo` (driven through `try_run_attention`); the last three
@@ -220,6 +222,150 @@ pub fn exact_peak_bytes_dtype(
     peak
 }
 
+/// Mask-aware [`exact_peak_bytes_dtype`]: the exact peak of rank `me` when
+/// the schedule runs with round skipping. Every term is gated by the same
+/// `SkipPlan` buffer-activity flag that gates the matching `mem_alloc` in
+/// `burst-dattn`, so the prediction equals the measured `MemLedger` gated
+/// peak byte-for-byte — a comm-buffer slot this rank's gates never fill is
+/// simply not billed.
+///
+/// `skip = false` builds the dense plan (every flag on), reproducing
+/// [`exact_peak_bytes_dtype`] exactly for any mask. The head-parallel
+/// methods (`Ulysses`, `Usp`) have no mask-gated slots — their all-to-all
+/// staging is mask-independent — and return the dense census unchanged.
+#[allow(clippy::too_many_arguments)]
+pub fn exact_peak_bytes_masked_dtype(
+    cluster: &Cluster,
+    seq_len: usize,
+    d: usize,
+    method: PeakMethod,
+    dtype: WireDtype,
+    mask: &AttnMask,
+    layout: Layout,
+    max_token: Option<usize>,
+    skip: bool,
+    me: usize,
+) -> PeakBytes {
+    if matches!(method, PeakMethod::Ulysses { .. } | PeakMethod::Usp { .. }) {
+        return exact_peak_bytes_dtype(cluster, seq_len, d, method, dtype);
+    }
+    let wire = |elems: usize| -> u64 { (elems as f64 * dtype.width()) as u64 };
+    let g = cluster.world();
+    let (n, p) = (cluster.nodes, cluster.gpus_per_node);
+    let plan = if skip {
+        SkipPlan::build(mask, layout, seq_len, g, max_token)
+    } else {
+        SkipPlan::dense(g)
+    };
+    let geom = RingGeom::build(layout, seq_len, g, d, d, max_token);
+    let r = geom.rows[me];
+    // Resident accumulator and bundle shapes, all sized by this rank's own
+    // shard (the slot-registration sites use `shard.*.len()`).
+    let acc = (4 * r * d + 4 * r) as u64;
+    let kv_slot = wire(2 * r * d);
+    let ro_bundle = wire(2 * r * d) + 8 * r as u64;
+    // Flat forward (K, V) slot: `ring_fwd_kv`, gated on ever receiving.
+    let flat_cb_fwd = if g > 1 && plan.flat_fwd_recv_any(me) {
+        kv_slot
+    } else {
+        0
+    };
+    // Flat Algorithm 2 backward extras (also the elastic healthy path):
+    // `burst_bwd_dkv` is unconditional past the single-rank early return;
+    // `burst_dq_buf` / `burst_ro_bundle` / `burst_dq_ring` are flag-gated.
+    let flat_alg2 = |plan: &SkipPlan| -> (u64, u64) {
+        if g == 1 {
+            return (0, 0);
+        }
+        let (ro, dq_ring, dq_buf) = plan.flat_alg2_bufs(me);
+        let act = (8 * r * d) as u64 + if dq_buf { (4 * r * d) as u64 } else { 0 };
+        let cb = if ro { ro_bundle } else { 0 } + if dq_ring { wire(r * d) } else { 0 };
+        (act, cb)
+    };
+    let mut peak = PeakBytes::default();
+    match method {
+        PeakMethod::RingFlat => {
+            peak.ring_shards = 16 * (r * d) as u64;
+            // `ring_bwd_dq` is unconditional past the early return; the
+            // fused `ring_bwd_kv_grads` slot bills only the halves this
+            // rank's gates ever hold.
+            let (act_bwd, cb_bwd) = if g > 1 {
+                let (kv, dkv) = plan.flat_alg1_bufs(me);
+                let halves = kv as usize + dkv as usize;
+                let cb = if halves > 0 {
+                    wire(halves * 2 * r * d)
+                } else {
+                    0
+                };
+                ((4 * r * d) as u64, cb)
+            } else {
+                (0, 0)
+            };
+            peak.activations = acc + act_bwd;
+            peak.comm_buffers = flat_cb_fwd.max(cb_bwd);
+            peak.gated_total = peak.ring_shards + acc + flat_cb_fwd.max(act_bwd + cb_bwd);
+        }
+        PeakMethod::BurstFlat => {
+            peak.ring_shards = 16 * (r * d) as u64;
+            let (act_bwd, cb_bwd) = flat_alg2(&plan);
+            peak.activations = acc + act_bwd;
+            peak.comm_buffers = flat_cb_fwd.max(cb_bwd);
+            peak.gated_total = peak.ring_shards + acc + flat_cb_fwd.max(act_bwd + cb_bwd);
+        }
+        PeakMethod::DoubleRing => {
+            peak.ring_shards = 16 * (r * d) as u64;
+            // `dr_fwd_start_kv` / `dr_fwd_cur_kv`: one slot per active
+            // level this rank's gates ever fill.
+            let (buf_start, buf_cur) = plan.dr_fwd_bufs(me, n, p);
+            let cb_fwd = if n > 1 && buf_start { kv_slot } else { 0 }
+                + if p > 1 && buf_cur { kv_slot } else { 0 };
+            // `dr_bwd_dq` is unconditional (no single-rank early return);
+            // `dr_bwd_kv_grads` bills per held half.
+            let (buf_kv, buf_dkv) = plan.dr_alg1_bufs(me, n, p);
+            let halves = buf_kv as u64 + buf_dkv as u64;
+            let cb_bwd = if g > 1 && halves > 0 {
+                halves * kv_slot
+            } else {
+                0
+            };
+            let act_bwd = (4 * r * d) as u64;
+            peak.activations = acc + act_bwd;
+            peak.comm_buffers = cb_fwd.max(cb_bwd);
+            peak.gated_total = peak.ring_shards + acc + cb_fwd.max(act_bwd + cb_bwd);
+        }
+        PeakMethod::BurstTopo => {
+            peak.ring_shards = 16 * (r * d) as u64;
+            let (buf_start, buf_cur) = plan.dr_fwd_bufs(me, n, p);
+            let cb_fwd = if n > 1 && buf_start { kv_slot } else { 0 }
+                + if p > 1 && buf_cur { kv_slot } else { 0 };
+            // Algorithm 2 on the double ring: `dr_bwd_dkv` unconditional
+            // past the early return, the bundle slots per active level.
+            let (act_bwd, cb_bwd) = if g > 1 {
+                let (start, cur, dq_ring, dq_buf) = plan.dr_alg2_bufs(me, n, p);
+                let act = (8 * r * d) as u64 + if dq_buf { (4 * r * d) as u64 } else { 0 };
+                let cb = if n > 1 && start { ro_bundle } else { 0 }
+                    + if p > 1 && cur { ro_bundle } else { 0 }
+                    + if dq_ring { wire(r * d) } else { 0 };
+                (act, cb)
+            } else {
+                (0, 0)
+            };
+            peak.activations = acc + act_bwd;
+            peak.comm_buffers = cb_fwd.max(cb_bwd);
+            peak.gated_total = peak.ring_shards + acc + cb_fwd.max(act_bwd + cb_bwd);
+        }
+        PeakMethod::ElasticHealthy => {
+            peak.ckpt_stash = 16 * (r * d) as u64;
+            let (act_bwd, cb_bwd) = flat_alg2(&plan);
+            peak.activations = acc.max(act_bwd);
+            peak.comm_buffers = flat_cb_fwd.max(cb_bwd);
+            peak.gated_total = peak.ckpt_stash + (acc + flat_cb_fwd).max(act_bwd + cb_bwd);
+        }
+        PeakMethod::Ulysses { .. } | PeakMethod::Usp { .. } => unreachable!(),
+    }
+    peak
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,6 +451,126 @@ mod tests {
         assert_eq!(uly.ring_shards, 0);
         assert!(uly.ckpt_stash > burst.ckpt_stash);
         assert!(burst.ring_shards > 0);
+    }
+
+    #[test]
+    fn masked_peak_skip_off_reproduces_dense_census() {
+        // The dense plan forces every buffer-activity flag on, so the
+        // masked census must equal the closed forms for every method,
+        // every rank, both wire dtypes — regardless of the mask.
+        let c = cluster();
+        let methods = [
+            PeakMethod::RingFlat,
+            PeakMethod::BurstFlat,
+            PeakMethod::DoubleRing,
+            PeakMethod::BurstTopo,
+            PeakMethod::Ulysses { heads: 8 },
+            PeakMethod::Usp {
+                heads: 8,
+                ulysses: 4,
+            },
+            PeakMethod::ElasticHealthy,
+        ];
+        for m in methods {
+            for dtype in [WireDtype::F32, WireDtype::Bf16] {
+                let dense = exact_peak_bytes_dtype(&c, SEQ, D, m, dtype);
+                for me in 0..c.world() {
+                    let masked = exact_peak_bytes_masked_dtype(
+                        &c,
+                        SEQ,
+                        D,
+                        m,
+                        dtype,
+                        &AttnMask::SlidingWindow { window: 64 },
+                        Layout::Zigzag,
+                        None,
+                        false,
+                        me,
+                    );
+                    assert_eq!(masked, dense, "{m:?} rank {me} {dtype:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn masked_peak_never_exceeds_dense_and_window_shrinks_it() {
+        // Gating can only turn slots off: every lane is bounded by the
+        // dense census, and a narrow window on the contiguous layout must
+        // actually free comm buffers on at least one rank.
+        let c = cluster();
+        let mask = AttnMask::SlidingWindow {
+            window: SEQ / c.world() / 2,
+        };
+        // Flat Algorithm 1 circulates (K, V): under a causal window the
+        // early shards run out of downstream consumers, so early ranks
+        // stop receiving and their bundle halves are freed. Algorithm 2
+        // circulates the read-only (Q, ∇O) bundle instead, and causal
+        // consumers sit *behind* each bundle on the ring — every rank
+        // keeps forwarding, so its slots stay live. The double ring's
+        // node-major traversal likewise wraps each node's inner ring,
+        // turning the early ranks into cross-node forwarders. For those
+        // schedules the window's savings are wire messages and skipped
+        // rounds, not freed buffer slots. BurstTopo is the exception among
+        // the Algorithm 2 runs: its outer ring is a direct boundary
+        // exchange with no forwarding, and causal consumers cross it one
+        // way only, so the last node's inter-level bundle slots are freed.
+        for (m, expect_shrink) in [
+            (PeakMethod::RingFlat, true),
+            (PeakMethod::BurstFlat, false),
+            (PeakMethod::DoubleRing, false),
+            (PeakMethod::BurstTopo, true),
+            (PeakMethod::ElasticHealthy, false),
+        ] {
+            let dense = exact_peak_bytes(&c, SEQ, D, m);
+            let mut any_shrunk = false;
+            for me in 0..c.world() {
+                let p = exact_peak_bytes_masked_dtype(
+                    &c,
+                    SEQ,
+                    D,
+                    m,
+                    WireDtype::F32,
+                    &mask,
+                    Layout::Contiguous,
+                    None,
+                    true,
+                    me,
+                );
+                assert!(p.comm_buffers <= dense.comm_buffers, "{m:?} rank {me}");
+                assert!(p.activations <= dense.activations, "{m:?} rank {me}");
+                assert!(p.gated_total <= dense.gated_total, "{m:?} rank {me}");
+                any_shrunk |= p.gated_total < dense.gated_total;
+            }
+            assert_eq!(
+                any_shrunk, expect_shrink,
+                "{m:?}: unexpected slot gating under the window mask"
+            );
+        }
+    }
+
+    #[test]
+    fn masked_peak_full_mask_with_skip_is_dense() {
+        // Full leaves every tile live: skipping on changes nothing.
+        let c = cluster();
+        for m in [PeakMethod::BurstTopo, PeakMethod::RingFlat] {
+            let dense = exact_peak_bytes(&c, SEQ, D, m);
+            for me in 0..c.world() {
+                let p = exact_peak_bytes_masked_dtype(
+                    &c,
+                    SEQ,
+                    D,
+                    m,
+                    WireDtype::F32,
+                    &AttnMask::Full,
+                    Layout::Zigzag,
+                    None,
+                    true,
+                    me,
+                );
+                assert_eq!(p, dense, "{m:?} rank {me}");
+            }
+        }
     }
 
     #[test]

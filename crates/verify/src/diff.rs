@@ -12,7 +12,7 @@ use burst_dattn::ring::AttnFailure;
 use burst_dattn::ulysses::{try_ulysses_backward, try_ulysses_forward};
 use burst_dattn::usp::{try_usp_backward, try_usp_forward, UspTopo};
 use burst_dattn::{
-    try_elastic_attention_opts, try_run_attention, Algo, CostModel, DattnError, ElasticOpts,
+    try_elastic_attention_opts, try_run_attention_opts, Algo, CostModel, DattnError, ElasticOpts,
     Layout, ShardData,
 };
 use burst_kernels::AttnMask;
@@ -86,13 +86,30 @@ pub fn run_ring_family(
     mask: &AttnMask,
     plan: Option<&FaultPlan>,
 ) -> Result<GlobalAttn, AttnFailure> {
+    run_ring_family_opts(algo, layout, topo, n, d, seed, mask, plan, false)
+}
+
+/// [`run_ring_family`] with mask-aware round skipping toggled explicitly —
+/// the entry point for the skip-on vs skip-off bit-identity cells.
+#[allow(clippy::too_many_arguments)]
+pub fn run_ring_family_opts(
+    algo: Algo,
+    layout: Layout,
+    topo: &Topology,
+    n: usize,
+    d: usize,
+    seed: u64,
+    mask: &AttnMask,
+    plan: Option<&FaultPlan>,
+    skip: bool,
+) -> Result<GlobalAttn, AttnFailure> {
     let g = topo.world_size();
     let (q, k, v, go) = attn_inputs(n, d, seed);
     let world = world_for(topo, plan);
     let mask = mask.clone();
     let outs = world.run_faulty::<_, AttnFailure, _>(move |comm| {
         let idx = layout.indices(n, g, comm.rank());
-        let (o, lse, dq, dk, dv) = try_run_attention(
+        let (o, lse, dq, dk, dv) = try_run_attention_opts(
             algo,
             comm,
             &q.gather_rows(&idx),
@@ -104,6 +121,7 @@ pub fn run_ring_family(
             layout,
             n,
             &CostModel::free(),
+            skip,
         )?;
         Ok((idx, o, lse, dq, dk, dv))
     });
@@ -194,6 +212,23 @@ pub fn run_usp(
     mask: &AttnMask,
     plan: Option<&FaultPlan>,
 ) -> Result<Vec<GlobalAttn>, DattnError> {
+    run_usp_opts(topo, n, d, heads, ulysses_size, seed, mask, plan, false)
+}
+
+/// [`run_usp`] with mask-aware skipping on the ring legs toggled explicitly
+/// (the Ulysses all-to-all legs have no rounds to skip).
+#[allow(clippy::too_many_arguments)]
+pub fn run_usp_opts(
+    topo: &Topology,
+    n: usize,
+    d: usize,
+    heads: usize,
+    ulysses_size: usize,
+    seed: u64,
+    mask: &AttnMask,
+    plan: Option<&FaultPlan>,
+    skip: bool,
+) -> Result<Vec<GlobalAttn>, DattnError> {
     let per_head: Vec<(Mat, Mat, Mat, Mat)> = (0..heads)
         .map(|h| attn_inputs(n, d, seed.wrapping_mul(64) + h as u64))
         .collect();
@@ -201,7 +236,7 @@ pub fn run_usp(
     let mask = mask.clone();
     let inputs = per_head.clone();
     let outs = world.run_faulty::<_, DattnError, _>(move |comm| {
-        let utopo = UspTopo::new(comm, ulysses_size);
+        let utopo = UspTopo::new(comm, ulysses_size).with_skip(skip);
         let idx = utopo.local_idx(n);
         let gather = |sel: fn(&(Mat, Mat, Mat, Mat)) -> &Mat| -> Vec<Mat> {
             inputs.iter().map(|t| sel(t).gather_rows(&idx)).collect()
@@ -287,15 +322,41 @@ pub fn run_elastic_on(
     plan: Option<&FaultPlan>,
     opts: ElasticOpts,
 ) -> Result<ElasticOutcome, AttnFailure> {
+    run_elastic_masked_on(
+        topo,
+        n,
+        d,
+        seed,
+        &AttnMask::Causal,
+        Layout::Zigzag,
+        plan,
+        opts,
+    )
+}
+
+/// [`run_elastic_on`] with an explicit mask and layout — the entry point
+/// for the sparse-mask elastic cells and their skip-on/off twins.
+#[allow(clippy::too_many_arguments)]
+pub fn run_elastic_masked_on(
+    topo: &Topology,
+    n: usize,
+    d: usize,
+    seed: u64,
+    mask: &AttnMask,
+    layout: Layout,
+    plan: Option<&FaultPlan>,
+    opts: ElasticOpts,
+) -> Result<ElasticOutcome, AttnFailure> {
     let orig_world = topo.world_size();
     let (q, k, v, go) = attn_inputs(n, d, seed);
     let world = world_for(topo, plan);
     let (qc, kc, vc, goc) = (q.clone(), k.clone(), v.clone(), go.clone());
+    let mask = mask.clone();
     let outs = world.run_faulty::<_, AttnFailure, _>(move |comm| {
         let mut m = Membership::new(comm.world_size());
         let policy = RetryPolicy::default();
         let shard_of = |r: usize| -> ShardData {
-            let idx = Layout::Zigzag.indices(n, orig_world, r);
+            let idx = layout.indices(n, orig_world, r);
             (
                 qc.gather_rows(&idx),
                 kc.gather_rows(&idx),
@@ -313,8 +374,8 @@ pub fn run_elastic_on(
             &sv,
             &sgo,
             head_scale(d),
-            &AttnMask::Causal,
-            Layout::Zigzag,
+            &mask,
+            layout,
             n,
             &CostModel::free(),
             &mut load,

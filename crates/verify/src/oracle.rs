@@ -248,6 +248,10 @@ impl AttnExec for OracleExec {
     fn local_indices(&self) -> Vec<usize> {
         (0..self.seq_len).collect()
     }
+
+    fn mask(&self) -> &AttnMask {
+        &self.mask
+    }
 }
 
 /// What one oracle training run produced.

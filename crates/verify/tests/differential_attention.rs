@@ -9,9 +9,10 @@
 
 use burst_comm::{FaultPlan, Topology, WireDtype};
 use burst_dattn::{Algo, ElasticOpts, Layout};
-use burst_kernels::AttnMask;
+use burst_kernels::{AttnMask, BlockSparseMask};
 use burst_verify::diff::{
-    attn_inputs, run_elastic, run_elastic_on, run_ring_family, run_ulysses, run_usp, GlobalAttn,
+    attn_inputs, run_elastic, run_elastic_masked_on, run_elastic_on, run_ring_family,
+    run_ring_family_opts, run_ulysses, run_usp, run_usp_opts, GlobalAttn,
 };
 use burst_verify::oracle::oracle_attention;
 use burst_verify::{
@@ -370,7 +371,7 @@ proptest! {
         let plan = FaultPlan::new(seed)
             .crash_at_op(dead, crash_op)
             .recv_deadline(60.0);
-        let opts = ElasticOpts { double_ring: true, warm_start: false };
+        let opts = ElasticOpts { double_ring: true, warm_start: false, skip_masked_rounds: false };
         let out = run_elastic_on(&multi, n, d, seed, Some(&plan), opts)
             .expect("elastic double-ring recovery failed");
         prop_assert_eq!(out.evicted.clone(), vec![dead]);
@@ -451,6 +452,7 @@ fn fixed_fault_matrix_all_schedules() {
         ElasticOpts {
             double_ring: true,
             warm_start: false,
+            skip_masked_rounds: false,
         },
     )
     .unwrap();
@@ -542,5 +544,175 @@ fn reassembly_is_layout_invariant() {
         ORACLE_ATTN_RTOL,
     ) {
         panic!("striped vs contiguous: {divergence}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sparse-mask cells: every mask kind × every schedule vs the oracle, plus
+// skip-on vs skip-off bit identity (mask-aware round skipping must be a
+// pure communication optimisation — same arithmetic, same order).
+// ---------------------------------------------------------------------------
+
+/// Deterministic random block-sparse pattern from a seed (xorshift64).
+/// Diagonal blocks stay allowed so no query row is ever fully dead —
+/// off-diagonal blocks drop with probability ~3/4, which reliably produces
+/// fully-masked tiles for the skip path to elide.
+fn random_block_sparse(n: usize, block: usize, seed: u64) -> AttnMask {
+    let nblocks = n.div_ceil(block);
+    let mut s = seed | 1;
+    let mut allowed = vec![false; nblocks * nblocks];
+    for bi in 0..nblocks {
+        for bj in 0..nblocks {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            allowed[bi * nblocks + bj] = bi == bj || (s >> 33) & 3 == 0;
+        }
+    }
+    AttnMask::BlockSparse(BlockSparseMask::new(block, nblocks, allowed))
+}
+
+/// The sparse mask kinds of the acceptance matrix. Every kind keeps the
+/// diagonal allowed, so softmax is defined for every row under every
+/// sharding.
+fn sparse_masks(n: usize, seed: u64) -> Vec<(&'static str, AttnMask)> {
+    vec![
+        ("sliding-window", AttnMask::SlidingWindow { window: 6 }),
+        (
+            "dilated",
+            AttnMask::Dilated {
+                window: 12,
+                step: 3,
+            },
+        ),
+        ("block-sparse", random_block_sparse(n, 4, seed)),
+    ]
+}
+
+/// Every sparse mask kind through every schedule — the fixed-seed rows of
+/// the mask × schedule acceptance matrix. Ring family runs multi-node (so
+/// forwarding-only hops exist), head-parallel and elastic run single-node.
+#[test]
+fn sparse_mask_matrix_all_schedules() {
+    let (n, d, g, heads, seed) = (32usize, 8usize, 4usize, 4usize, 11u64);
+    let multi = Topology::a800(2, 2);
+    let single = Topology::single_node(g);
+    for (name, mask) in sparse_masks(n, seed) {
+        let want = oracle_for(n, d, seed, &mask);
+        for algo in [
+            Algo::RingFlat,
+            Algo::BurstFlat,
+            Algo::DoubleRing,
+            Algo::BurstTopo,
+        ] {
+            let label = format!("{}+{name}", algo_name(algo));
+            let got = run_ring_family(algo, Layout::Zigzag, &multi, n, d, seed, &mask, None)
+                .unwrap_or_else(|e| panic!("{label} failed: {e}"));
+            expect_matches_oracle(&label, &got, &want, true);
+        }
+        let ul = run_ulysses(&single, n, d, heads, seed, &mask, None)
+            .unwrap_or_else(|e| panic!("ulysses+{name} failed: {e}"));
+        for (h, got_h) in ul.iter().enumerate() {
+            let want_h = oracle_for(n, d, seed.wrapping_mul(64) + h as u64, &mask);
+            expect_matches_oracle(&format!("ulysses+{name}/head{h}"), got_h, &want_h, false);
+        }
+        let usp = run_usp(&single, n, d, heads, 2, seed, &mask, None)
+            .unwrap_or_else(|e| panic!("usp+{name} failed: {e}"));
+        for (h, got_h) in usp.iter().enumerate() {
+            let want_h = oracle_for(n, d, seed.wrapping_mul(64) + h as u64, &mask);
+            expect_matches_oracle(&format!("usp+{name}/head{h}"), got_h, &want_h, false);
+        }
+        let el = run_elastic_masked_on(
+            &single,
+            n,
+            d,
+            seed,
+            &mask,
+            Layout::Zigzag,
+            None,
+            ElasticOpts::default(),
+        )
+        .unwrap_or_else(|e| panic!("elastic+{name} failed: {e}"));
+        expect_matches_oracle(&format!("elastic+{name}"), &el.attn, &want, true);
+    }
+}
+
+/// Mask-aware round skipping is bit-invisible: for every mask kind (causal
+/// included), every ring-family schedule, USP, the elastic loop, and both a
+/// skip-rich layout (contiguous) and a balanced one (zigzag), the skip-on
+/// run is bit-identical to the skip-off run of the same cell.
+#[test]
+fn skip_on_is_bit_identical_to_skip_off_matrix() {
+    let (n, d, g, heads, seed) = (32usize, 8usize, 4usize, 4usize, 17u64);
+    let multi = Topology::a800(2, 2);
+    let single = Topology::single_node(g);
+    let mut masks = vec![("causal", AttnMask::Causal)];
+    masks.extend(sparse_masks(n, seed));
+    for (name, mask) in &masks {
+        for layout in [Layout::Contiguous, Layout::Zigzag] {
+            for algo in [
+                Algo::RingFlat,
+                Algo::BurstFlat,
+                Algo::DoubleRing,
+                Algo::BurstTopo,
+            ] {
+                let label = format!("{}+{name}+{layout:?}", algo_name(algo));
+                let off = run_ring_family_opts(algo, layout, &multi, n, d, seed, mask, None, false)
+                    .unwrap_or_else(|e| panic!("{label} skip-off failed: {e}"));
+                let on = run_ring_family_opts(algo, layout, &multi, n, d, seed, mask, None, true)
+                    .unwrap_or_else(|e| panic!("{label} skip-on failed: {e}"));
+                bits_eq_attn(&label, &on, &off);
+            }
+            let opts_off = ElasticOpts::default();
+            let opts_on = ElasticOpts {
+                skip_masked_rounds: true,
+                ..ElasticOpts::default()
+            };
+            let label = format!("elastic+{name}+{layout:?}");
+            let off = run_elastic_masked_on(&single, n, d, seed, mask, layout, None, opts_off)
+                .unwrap_or_else(|e| panic!("{label} skip-off failed: {e}"));
+            let on = run_elastic_masked_on(&single, n, d, seed, mask, layout, None, opts_on)
+                .unwrap_or_else(|e| panic!("{label} skip-on failed: {e}"));
+            bits_eq_attn(&label, &on.attn, &off.attn);
+        }
+        let off = run_usp_opts(&single, n, d, heads, 2, seed, mask, None, false)
+            .unwrap_or_else(|e| panic!("usp+{name} skip-off failed: {e}"));
+        let on = run_usp_opts(&single, n, d, heads, 2, seed, mask, None, true)
+            .unwrap_or_else(|e| panic!("usp+{name} skip-on failed: {e}"));
+        for (h, (a, b)) in on.iter().zip(&off).enumerate() {
+            bits_eq_attn(&format!("usp+{name}/head{h}"), a, b);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Randomised sweep over the sparse-mask cells: a random world size,
+    /// mask kind and ring-family schedule must match the oracle with
+    /// skipping ON, and be bit-identical to the same run with skipping OFF.
+    #[test]
+    fn sparse_masks_match_oracle_and_skip_is_invisible(
+        g in 1usize..=4,
+        chunks_per_rank in 1usize..=3,
+        seed in 0u64..1_000,
+        algo in prop_oneof![
+            Just(Algo::RingFlat), Just(Algo::BurstFlat),
+            Just(Algo::DoubleRing), Just(Algo::BurstTopo)
+        ],
+        kind in 0usize..3,
+        layout in prop_oneof![Just(Layout::Contiguous), Just(Layout::Zigzag)],
+    ) {
+        let n = 2 * g * chunks_per_rank * 2;
+        let d = 8usize;
+        let (name, mask) = sparse_masks(n, seed).swap_remove(kind);
+        let topo = Topology::single_node(g);
+        let want = oracle_for(n, d, seed, &mask);
+        let on = run_ring_family_opts(algo, layout, &topo, n, d, seed, &mask, None, true)
+            .unwrap_or_else(|e| panic!("{}+{name} skip-on failed: {e}", algo_name(algo)));
+        expect_matches_oracle(&format!("{}+{name}+skip", algo_name(algo)), &on, &want, true);
+        let off = run_ring_family_opts(algo, layout, &topo, n, d, seed, &mask, None, false)
+            .unwrap_or_else(|e| panic!("{}+{name} skip-off failed: {e}", algo_name(algo)));
+        bits_eq_attn(&format!("{}+{name}", algo_name(algo)), &on, &off);
     }
 }

@@ -64,6 +64,7 @@ fn main() {
         emulate_bf16: false,
         bf16_activations: false,
         overlap: burst_dattn::OverlapMode::Fine,
+        skip_masked_rounds: false,
         adam: AdamCfg {
             lr: 3e-3,
             ..AdamCfg::default()

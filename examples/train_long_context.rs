@@ -39,6 +39,7 @@ fn main() {
         emulate_bf16: false,
         bf16_activations: false,
         overlap: burst_dattn::OverlapMode::Fine,
+        skip_masked_rounds: false,
         adam: AdamCfg {
             lr: 2e-3,
             ..AdamCfg::default()

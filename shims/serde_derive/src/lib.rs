@@ -8,7 +8,9 @@
 //! * structs with named fields (private fields fine — impls are generated in
 //!   the defining crate),
 //! * enums with unit, tuple, and struct variants,
-//! * no generic parameters, no `#[serde(...)]` attributes.
+//! * `#[serde(default)]` on named fields (a missing key deserializes to
+//!   `Default::default()` instead of erroring — how report schemas stay
+//!   readable across versions); no other attributes, no generics.
 //!
 //! Encoding matches real serde's externally-tagged default, so e.g.
 //! `CkptKind::SeqSelective { rho: 0.5 }` becomes
@@ -16,7 +18,7 @@
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     gen_serialize(&item)
@@ -24,7 +26,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         .expect("serde_derive: bad generated code")
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     gen_deserialize(&item)
@@ -38,9 +40,16 @@ struct Item {
 }
 
 enum Kind {
-    /// Named-field struct: field names in declaration order.
-    Struct(Vec<String>),
+    /// Named-field struct: fields in declaration order.
+    Struct(Vec<Field>),
     Enum(Vec<Variant>),
+}
+
+/// One named field; `default` is set by `#[serde(default)]` and makes a
+/// missing key deserialize to `Default::default()`.
+struct Field {
+    name: String,
+    default: bool,
 }
 
 struct Variant {
@@ -52,7 +61,7 @@ enum VFields {
     Unit,
     /// Tuple variant with this many fields.
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 // ---------------------------------------------------------------- parsing
@@ -117,15 +126,55 @@ fn expect_ident(tts: &[TokenTree], i: &mut usize) -> String {
     }
 }
 
+/// Like [`skip_attrs_and_vis`], but reports whether any of the skipped
+/// attributes was `#[serde(default)]`.
+fn take_field_attrs(tts: &[TokenTree], i: &mut usize) -> bool {
+    let mut default = false;
+    loop {
+        match tts.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tts.get(*i + 1) {
+                    default |= is_serde_default(g.stream());
+                }
+                *i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tts.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => return default,
+        }
+    }
+}
+
+/// `serde(... default ...)` inside the bracket group of one attribute.
+fn is_serde_default(stream: TokenStream) -> bool {
+    let tts: Vec<TokenTree> = stream.into_iter().collect();
+    match (tts.first(), tts.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
+            if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
 /// Parse `name: Type, ...` from inside a brace group. Commas nested in
 /// `<...>` (multi-parameter generics) are not separators, so angle depth is
 /// tracked explicitly; bracket-like groups are single tokens already.
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let tts: Vec<TokenTree> = stream.into_iter().collect();
     let mut i = 0;
     let mut fields = Vec::new();
     loop {
-        skip_attrs_and_vis(&tts, &mut i);
+        let default = take_field_attrs(&tts, &mut i);
         if i >= tts.len() {
             break;
         }
@@ -151,7 +200,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
             }
             i += 1;
         }
-        fields.push(name);
+        fields.push(Field { name, default });
     }
     fields
 }
@@ -235,7 +284,8 @@ fn gen_serialize(item: &Item) -> String {
                 .map(|f| {
                     format!(
                         "(::std::string::String::from(\"{f}\"), \
-                         ::serde::Serialize::to_value(&self.{f}))"
+                         ::serde::Serialize::to_value(&self.{f}))",
+                        f = f.name
                     )
                 })
                 .collect();
@@ -276,13 +326,18 @@ fn ser_arm(name: &str, v: &Variant) -> String {
             )
         }
         VFields::Named(fields) => {
-            let binds = fields.join(", ");
+            let binds = fields
+                .iter()
+                .map(|f| f.name.as_str())
+                .collect::<Vec<_>>()
+                .join(", ");
             let pairs: Vec<String> = fields
                 .iter()
                 .map(|f| {
                     format!(
                         "(::std::string::String::from(\"{f}\"), \
-                         ::serde::Serialize::to_value({f}))"
+                         ::serde::Serialize::to_value({f}))",
+                        f = f.name
                     )
                 })
                 .collect();
@@ -296,14 +351,31 @@ fn ser_arm(name: &str, v: &Variant) -> String {
     }
 }
 
+/// `name: <expr>` initializer for one named field read from `src` (`__v`
+/// for structs, `__inner` for struct variants), honoring
+/// `#[serde(default)]` by falling back to `Default::default()` when the
+/// key is missing.
+fn de_field(f: &Field, src: &str) -> String {
+    if f.default {
+        format!(
+            "{f}: match {src}.field(\"{f}\") {{ \
+             ::std::result::Result::Ok(__x) => ::serde::Deserialize::from_value(__x)?, \
+             ::std::result::Result::Err(_) => ::std::default::Default::default() }}",
+            f = f.name
+        )
+    } else {
+        format!(
+            "{f}: ::serde::Deserialize::from_value({src}.field(\"{f}\")?)?",
+            f = f.name
+        )
+    }
+}
+
 fn gen_deserialize(item: &Item) -> String {
     let name = &item.name;
     let body = match &item.kind {
         Kind::Struct(fields) => {
-            let inits: Vec<String> = fields
-                .iter()
-                .map(|f| format!("{f}: ::serde::Deserialize::from_value(__v.field(\"{f}\")?)?"))
-                .collect();
+            let inits: Vec<String> = fields.iter().map(|f| de_field(f, "__v")).collect();
             format!(
                 "::std::result::Result::Ok({name} {{ {} }})",
                 inits.join(", ")
@@ -354,15 +426,8 @@ fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
                     ))
                 }
                 VFields::Named(fields) => {
-                    let inits: Vec<String> = fields
-                        .iter()
-                        .map(|f| {
-                            format!(
-                                "{f}: ::serde::Deserialize::from_value(\
-                                 __inner.field(\"{f}\")?)?"
-                            )
-                        })
-                        .collect();
+                    let inits: Vec<String> =
+                        fields.iter().map(|f| de_field(f, "__inner")).collect();
                     Some(format!(
                         "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {} }}),",
                         inits.join(", ")

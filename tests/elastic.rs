@@ -54,6 +54,7 @@ fn fresh_small_world(world: usize) -> Vec<(Mat, Vec<f32>, Mat, Mat, Mat)> {
             seq_len: N,
             cost: CostModel::free(),
             max_token: None,
+            skip: false,
         };
         let ring = Ring::global(comm);
         let fwd = try_ring_forward(comm, &ring, &shard).expect("clean forward");
@@ -405,6 +406,7 @@ fn fresh_double_ring_world(nodes: usize, gpn: usize) -> Vec<(Mat, Vec<f32>, Mat,
             seq_len: N,
             cost: CostModel::free(),
             max_token: None,
+            skip: false,
         };
         let fwd = burstengine::dattn::double_ring::try_double_ring_forward(comm, &shard)
             .expect("clean double-ring forward");
@@ -432,6 +434,7 @@ fn ragged_survivors_fall_back_to_the_flat_ring_bit_exactly() {
     let opts = ElasticOpts {
         double_ring: true,
         warm_start: false,
+        skip_masked_rounds: false,
     };
     let outs = elastic_run_opts(&world, 4, opts);
 
@@ -467,6 +470,7 @@ fn node_balanced_survivors_keep_the_double_ring() {
     let opts = ElasticOpts {
         double_ring: true,
         warm_start: false,
+        skip_masked_rounds: false,
     };
     let outs = elastic_run_opts(&world, 4, opts);
 

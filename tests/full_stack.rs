@@ -26,6 +26,7 @@ fn tiny_engine(backend: Backend) -> EngineConfig {
         emulate_bf16: false,
         bf16_activations: false,
         overlap: burst_dattn::OverlapMode::Fine,
+        skip_masked_rounds: false,
         adam: AdamCfg::default(),
         seed: 101,
     }
